@@ -1,0 +1,157 @@
+// Experiment E9 — ablation study of the design choices Section 3 calls
+// out for VMIS-kNN:
+//   * early stopping on sorted posting lists (on/off)
+//   * heap arity (binary / quaternary / octonary)
+//   * the scoring simplifications: log-idf vs (1 + log)-idf vs none
+//   * the evolving-session length cap
+// Reports per-prediction latency for the performance knobs and MRR@20 /
+// Prec@20 for the quality knobs.
+//
+// Paper reference: early stopping + octonary heaps together buy 6-12%
+// over the no-opt variant (Section 5.1.3); using log instead of 1+log
+// "gives us better results in offline evaluations" (Section 3).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+using namespace serenade;
+
+namespace {
+
+uint64_t MeasureMedianLatency(VmisKnn& model,
+                              const std::vector<EvolvingSession>& queries,
+                              int repetitions) {
+  Histogram latency;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (const EvolvingSession& query : queries) {
+      Stopwatch stopwatch;
+      const auto result = model.NeighborSessions(query);
+      latency.Record(stopwatch.ElapsedNanos());
+      (void)result;
+    }
+  }
+  return latency.Percentile(0.5);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Experiment E9", "Section 3 design choices (ablation)",
+                     "Early stopping, heap arity, IDF variant, session cap.");
+  const double scale = bench::ScaleFromEnv();
+
+  SyntheticConfig data_config;
+  data_config.seed = 0xab1a;
+  data_config.num_items = static_cast<size_t>(5000 * scale);
+  data_config.num_sessions = static_cast<size_t>(30000 * scale);
+  data_config.num_days = 14;
+  Dataset dataset = GenerateDataset(data_config);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  SessionIndex index = SessionIndex::Build(split.train, 1000);
+
+  // Query stream for the latency knobs.
+  std::vector<EvolvingSession> queries;
+  for (const SessionData& session : split.test.sessions()) {
+    if (queries.size() >= 300) break;
+    queries.push_back(session.items);
+  }
+
+  // ---------- performance knobs ----------
+  bench::PrintSection("latency: early stopping x heap arity (m=1000,k=100)");
+  std::printf("%-14s %10s %10s %10s\n", "early stop", "binary", "4-ary",
+              "octonary");
+  for (bool early : {false, true}) {
+    std::printf("%-14s", early ? "on" : "off");
+    for (size_t arity : {2u, 4u, 8u}) {
+      KnnConfig config;
+      config.m = 1000;
+      config.k = 100;
+      config.early_stopping = early;
+      config.heap_arity = arity;
+      VmisKnn model(&index, config);
+      std::printf(" %8llu n",
+                  static_cast<unsigned long long>(
+                      MeasureMedianLatency(model, queries, 3)));
+    }
+    std::printf("   (median ns/query)\n");
+  }
+
+  // ---------- quality knobs ----------
+  EvalOptions eval_options;
+  eval_options.max_sessions = 800;
+
+  bench::PrintSection("quality: IDF weighting variant (m=500, k=100)");
+  std::printf("%-14s %8s %8s\n", "idf", "MRR@20", "P@20");
+  for (IdfWeighting idf : {IdfWeighting::kNone, IdfWeighting::kLog,
+                           IdfWeighting::kOnePlusLog}) {
+    KnnConfig config;
+    config.m = 500;
+    config.k = 100;
+    config.idf = idf;
+    VmisKnn model(&index, config);
+    const EvalResult result =
+        EvaluateRecommender(model, split.test, eval_options);
+    std::printf("%-14s %8.4f %8.4f\n", IdfWeightingName(idf),
+                result.metrics.Mrr(), result.metrics.Precision());
+  }
+
+  bench::PrintSection("quality: evolving-session length cap (m=500, k=100)");
+  std::printf("%-14s %8s %8s\n", "cap", "MRR@20", "P@20");
+  for (size_t cap : {1u, 2u, 5u, 10u, 30u}) {
+    KnnConfig config;
+    config.m = 500;
+    config.k = 100;
+    config.max_session_length = cap;
+    VmisKnn model(&index, config);
+    const EvalResult result =
+        EvaluateRecommender(model, split.test, eval_options);
+    std::printf("%-14zu %8.4f %8.4f\n", cap, result.metrics.Mrr(),
+                result.metrics.Precision());
+  }
+
+  bench::PrintSection("quality: decay function pi (m=500, k=100)");
+  std::printf("%-14s %8s %8s\n", "decay", "MRR@20", "P@20");
+  for (DecayType decay :
+       {DecayType::kSame, DecayType::kLinear, DecayType::kQuadratic,
+        DecayType::kHarmonic, DecayType::kLogarithmic}) {
+    KnnConfig config;
+    config.m = 500;
+    config.k = 100;
+    config.decay = decay;
+    VmisKnn model(&index, config);
+    const EvalResult result =
+        EvaluateRecommender(model, split.test, eval_options);
+    std::printf("%-14s %8.4f %8.4f\n", DecayTypeName(decay),
+                result.metrics.Mrr(), result.metrics.Precision());
+  }
+
+  bench::PrintSection("quality: match-weight function (m=500, k=100)");
+  std::printf("%-24s %8s %8s\n", "lambda", "MRR@20", "P@20");
+  for (MatchWeightType mw :
+       {MatchWeightType::kConstant, MatchWeightType::kPaperInsertionOrder,
+        MatchWeightType::kStepsFromEnd}) {
+    KnnConfig config;
+    config.m = 500;
+    config.k = 100;
+    config.match_weight = mw;
+    VmisKnn model(&index, config);
+    const EvalResult result =
+        EvaluateRecommender(model, split.test, eval_options);
+    std::printf("%-24s %8.4f %8.4f\n", MatchWeightTypeName(mw),
+                result.metrics.Mrr(), result.metrics.Precision());
+  }
+
+  std::printf(
+      "\npaper shape: the fully-optimised configuration (early stopping, "
+      "octonary\nheaps) is fastest; log-idf at least matches 1+log; "
+      "capping the session\nhelps latency at little quality cost.\n");
+  return 0;
+}

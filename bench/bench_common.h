@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness. Every bench binary
+// regenerates one table or figure of the paper on synthetic data (see
+// DESIGN.md for the per-experiment index) and prints:
+//   * the paper's reference numbers (shape to compare against), and
+//   * the measured values from this machine.
+//
+// Dataset sizes are scaled to laptop budgets; set SERENADE_BENCH_SCALE
+// (default 1.0) to grow or shrink every dataset proportionally.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace serenade::bench {
+
+/// Global scale knob from the environment (default 1.0).
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("SERENADE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("%s — reproduces %s\n", experiment, paper_ref);
+  std::printf("%s\n", description);
+  std::printf("==========================================================\n");
+}
+
+inline void PrintSection(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace serenade::bench

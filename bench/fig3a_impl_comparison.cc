@@ -1,0 +1,156 @@
+// Experiment E4 — reproduces Figure 3(a), top: median and 90th-percentile
+// per-prediction computation time across implementation strategies, on
+// datasets of growing scale. The engines of the paper (Python/pandas,
+// Differential Dataflow, Java, DuckDB SQL) are represented by C++
+// variants with the same execution strategy (see DESIGN.md):
+//   VS-Py      -> MaterializingVsKnn  (full join materialised, then sample)
+//   VMIS-Diff  -> IncrementalVmisKnn  (indexed incremental arrangements)
+//   VMIS-Java  -> BoxedVmisKnn        (node-based boxed structures)
+//   VMIS-SQL   -> JoinAggregateVmisKnn (operator-at-a-time with sorts)
+//   VMIS-kNN   -> VmisKnn             (this paper's index + heaps)
+//
+// Paper shape to reproduce: VMIS-kNN is fastest on every dataset by one
+// to two orders of magnitude over the materializing strategies, and the
+// gap grows with dataset size; p90 of VMIS-kNN stays in the hundreds of
+// microseconds.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "core/session_index.h"
+#include "core/variants.h"
+#include "core/vmis_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+using namespace serenade;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  uint64_t median_micros = 0;
+  uint64_t p90_micros = 0;
+  size_t peak_state_bytes = 0;
+};
+
+// Replays growing test sessions through a recommender, measuring each
+// RecommendNext call.
+VariantResult MeasureVariant(const std::string& name, Recommender& model,
+                             const Dataset& test, size_t max_sessions,
+                             IncrementalVmisKnn* incremental = nullptr) {
+  Histogram latency;
+  size_t session_count = 0;
+  size_t peak_state = 0;
+  for (const SessionData& session : test.sessions()) {
+    if (session_count++ >= max_sessions) break;
+    EvolvingSession evolving;
+    for (ItemId item : session.items) {
+      evolving.push_back(item);
+      Stopwatch stopwatch;
+      const auto result = model.RecommendNext(evolving, 20);
+      latency.Record(stopwatch.ElapsedMicros());
+      (void)result;
+    }
+    if (incremental != nullptr) {
+      peak_state = std::max(peak_state, incremental->ArrangementBytes());
+    }
+  }
+  return VariantResult{name, latency.Percentile(0.5), latency.Percentile(0.9),
+                       peak_state};
+}
+
+void RunForScale(const char* label, size_t num_items, size_t num_sessions,
+                 size_t max_eval_sessions) {
+  SyntheticConfig config;
+  config.seed = 0xf16a;
+  config.num_items = num_items;
+  config.num_sessions = num_sessions;
+  config.num_days = 14;
+  Dataset dataset = GenerateDataset(config);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+
+  KnnConfig knn_config;
+  knn_config.m = 500;
+  knn_config.k = 100;
+
+  // Only VMIS-kNN reads the capped index; the other strategies scan the
+  // full postings, exactly as their engines (pandas / differential /
+  // DuckDB) would scan the raw session tables.
+  SessionIndex capped = SessionIndex::Build(split.train, knn_config.m);
+  SessionIndex full =
+      SessionIndex::Build(split.train, split.train.num_sessions());
+
+  VmisKnn vmis(&capped, knn_config);
+  BoxedVmisKnn java(&capped, knn_config);
+  JoinAggregateVmisKnn sql(&full, knn_config);
+  MaterializingVsKnn python(&full, knn_config);
+  IncrementalVmisKnn diff(&full, knn_config);
+
+  std::printf("\n=== %s: %zu train sessions, %zu items, %zu postings ===\n",
+              label, split.train.num_sessions(), split.train.num_items(),
+              full.num_postings());
+  std::printf("%-26s %12s %12s %16s\n", "variant", "median(us)", "p90(us)",
+              "peak state");
+
+  std::vector<VariantResult> results;
+  results.push_back(MeasureVariant("vs-py(materializing)", python,
+                                   split.test, max_eval_sessions));
+  results.push_back(MeasureVariant("vmis-diff(incremental)", diff, split.test,
+                                   max_eval_sessions, &diff));
+  results.push_back(MeasureVariant("vmis-sql(join-aggregate)", sql,
+                                   split.test, max_eval_sessions));
+  results.push_back(
+      MeasureVariant("vmis-java(boxed)", java, split.test,
+                     max_eval_sessions));
+  results.push_back(
+      MeasureVariant("vmis-knn", vmis, split.test, max_eval_sessions));
+
+  const uint64_t vmis_p90 = results.back().p90_micros;
+  for (const VariantResult& result : results) {
+    char state[32] = "-";
+    if (result.peak_state_bytes > 0) {
+      std::snprintf(state, sizeof(state), "%.1f MB",
+                    static_cast<double>(result.peak_state_bytes) / 1e6);
+    }
+    std::printf("%-26s %12llu %12llu %16s   (%5.1fx vs vmis-knn p90)\n",
+                result.name.c_str(),
+                static_cast<unsigned long long>(result.median_micros),
+                static_cast<unsigned long long>(result.p90_micros), state,
+                vmis_p90 == 0
+                    ? 0.0
+                    : static_cast<double>(result.p90_micros) / vmis_p90);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Experiment E4", "Figure 3(a), top",
+      "Per-prediction latency across implementation strategies.");
+  const double scale = bench::ScaleFromEnv();
+
+  RunForScale("small (retailrocket-like)",
+              static_cast<size_t>(2000 * scale),
+              static_cast<size_t>(8000 * scale), 60);
+  RunForScale("medium (ecom-1m-like)", static_cast<size_t>(6000 * scale),
+              static_cast<size_t>(30000 * scale), 60);
+  RunForScale("large (ecom-60m-like, scaled)",
+              static_cast<size_t>(12000 * scale),
+              static_cast<size_t>(90000 * scale), 40);
+  RunForScale("xlarge (ecom-180m-like, scaled)",
+              static_cast<size_t>(25000 * scale),
+              static_cast<size_t>(300000 * scale), 30);
+
+  std::printf(
+      "\nPaper shape: vmis-knn fastest everywhere; materializing "
+      "strategies\ndegrade with scale (VS-Py/VMIS-SQL ran out of memory on "
+      "the largest\ndatasets in the paper); the incremental variant pays "
+      "for indexing all\nintermediate results.\n");
+  return 0;
+}

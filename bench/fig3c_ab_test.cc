@@ -1,0 +1,194 @@
+// Experiment E7 — reproduces Figure 3(c) and Section 5.2.3: the online
+// A/B test. Two parts:
+//
+//  (1) Latency under the production traffic pattern: a diurnal load curve
+//      oscillating between 200 and 600 rps (21 "days" compressed into the
+//      test window) against two serving pods; per-bucket latency
+//      percentiles as in Figure 3(c).
+//
+//  (2) Customer engagement: a simulated A/B comparison of
+//        serenade-hist   (VMIS-kNN on the last TWO session items)
+//        serenade-recent (VMIS-kNN on the most recent item only)
+//        legacy          (item-to-item collaborative filtering)
+//      Engagement proxy: the user "engages with the slot" when the item
+//      they actually viewed next appears in the 21 recommendations shown.
+//      We report the engagement uplift of each variant over legacy with a
+//      two-proportion z-test.
+//
+// Paper shape to reproduce: p90 latency ~5 ms at 200-600 rps; BOTH
+// Serenade variants beat legacy by several percent (paper: +2.85% for
+// serenade-hist, +5.72% for serenade-recent, both significant).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/item_knn.h"
+#include "bench_common.h"
+#include "benchutil/load_generator.h"
+#include "benchutil/workload.h"
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "serving/business_rules.h"
+#include "serving/server.h"
+
+using namespace serenade;
+
+namespace {
+
+struct EngagementResult {
+  uint64_t impressions = 0;
+  uint64_t engagements = 0;
+  double Rate() const {
+    return impressions == 0
+               ? 0.0
+               : static_cast<double>(engagements) / impressions;
+  }
+};
+
+EngagementResult SimulateEngagement(Recommender& model, const Dataset& test,
+                                    const ItemCatalog& catalog,
+                                    size_t max_sessions) {
+  BusinessRulesConfig rules;  // 21 items, availability/adult filters
+  EngagementResult result;
+  size_t sessions = 0;
+  for (const SessionData& session : test.sessions()) {
+    if (sessions++ >= max_sessions) break;
+    EvolvingSession evolving;
+    for (size_t i = 0; i + 1 < session.items.size(); ++i) {
+      evolving.push_back(session.items[i]);
+      const auto raw = model.RecommendNext(evolving, rules.max_items * 2 + 8);
+      const auto shown = ApplyBusinessRules(raw, catalog, rules);
+      ++result.impressions;
+      const ItemId next = session.items[i + 1];
+      for (const ScoredItem& item : shown) {
+        if (item.item == next) {
+          ++result.engagements;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// Two-proportion z-test statistic for engagement rates.
+double ZScore(const EngagementResult& a, const EngagementResult& b) {
+  const double p_pool =
+      static_cast<double>(a.engagements + b.engagements) /
+      static_cast<double>(a.impressions + b.impressions);
+  const double se = std::sqrt(p_pool * (1 - p_pool) *
+                              (1.0 / a.impressions + 1.0 / b.impressions));
+  return se == 0.0 ? 0.0 : (a.Rate() - b.Rate()) / se;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Experiment E7", "Figure 3(c) + Section 5.2.3",
+                     "Simulated three-week A/B test: latency under diurnal "
+                     "load and engagement uplift vs the legacy system.");
+  const double scale = bench::ScaleFromEnv();
+
+  SyntheticConfig data_config;
+  data_config.seed = 0xab;
+  data_config.num_items = static_cast<size_t>(15000 * scale);
+  data_config.num_sessions = static_cast<size_t>(70000 * scale);
+  data_config.num_days = 30;
+  data_config.cluster_size = 100;
+  Dataset dataset = GenerateDataset(data_config);
+  TrainTestSplit split = SplitLastDays(dataset, 2);
+  const ItemCatalog catalog = GenerateCatalog(dataset.num_items(), 7);
+
+  // ---------- part 1: latency under the diurnal A/B traffic ----------
+  bench::PrintSection("part 1: latency under diurnal 200-600 rps");
+  auto index =
+      std::make_shared<SessionIndex>(SessionIndex::Build(split.train, 500));
+  ServiceConfig service_config;
+  service_config.knn.m = 500;
+  service_config.knn.k = 500;  // the A/B test's production setting
+  service_config.knn.max_session_length = 2;  // serenade-hist serving mode
+
+  std::vector<std::unique_ptr<SerenadeServer>> servers;
+  std::vector<uint16_t> ports;
+  for (int pod = 0; pod < 2; ++pod) {
+    auto service = SerenadeService::Create(index, catalog, service_config);
+    if (!service.ok()) return 1;
+    servers.push_back(std::make_unique<SerenadeServer>(
+        std::move(service).value(), ServerConfig{}));
+    if (!servers.back()->Start().ok()) return 1;
+    ports.push_back(servers.back()->port());
+  }
+
+  WorkloadOptions workload_options;
+  workload_options.duration_seconds = 30.0;
+  workload_options.no_consent_fraction = 0.02;
+  const auto events = BuildWorkload(
+      split.train, RateProfile::Diurnal(200, 600, 3.0), workload_options);
+  std::printf("replaying %zu requests (3 compressed 'days', 200-600 rps)\n",
+              events.size());
+
+  LoadGeneratorOptions load_options;
+  load_options.connections_per_server = 8;
+  load_options.bucket_seconds = 2.5;
+  const LoadResult latency = RunLoad(events, ports, load_options);
+  std::printf("%s", latency.FormatTable().c_str());
+  for (auto& server : servers) server->Stop();
+
+  // ---------- part 2: engagement A/B ----------
+  bench::PrintSection("part 2: engagement uplift over legacy (21 'days')");
+  KnnConfig hist_config;
+  hist_config.m = 500;
+  hist_config.k = 500;
+  hist_config.max_session_length = 2;
+  VmisKnn serenade_hist(index.get(), hist_config);
+
+  KnnConfig recent_config = hist_config;
+  recent_config.max_session_length = 1;
+  VmisKnn serenade_recent(index.get(), recent_config);
+
+  ItemKnnConfig legacy_config;
+  legacy_config.history_length = 1;
+  ItemKnnRecommender legacy(split.train, legacy_config);
+
+  const size_t max_sessions = static_cast<size_t>(4000 * scale);
+  const EngagementResult legacy_result =
+      SimulateEngagement(legacy, split.test, catalog, max_sessions);
+  const EngagementResult hist_result =
+      SimulateEngagement(serenade_hist, split.test, catalog, max_sessions);
+  const EngagementResult recent_result =
+      SimulateEngagement(serenade_recent, split.test, catalog, max_sessions);
+
+  std::printf("%-18s %12s %12s %10s %10s %8s\n", "variant", "impressions",
+              "engagements", "rate", "uplift", "z");
+  auto print_row = [&](const char* name, const EngagementResult& result) {
+    const double uplift =
+        legacy_result.Rate() == 0.0
+            ? 0.0
+            : 100.0 * (result.Rate() / legacy_result.Rate() - 1.0);
+    std::printf("%-18s %12llu %12llu %9.2f%% %+9.2f%% %8.1f\n", name,
+                static_cast<unsigned long long>(result.impressions),
+                static_cast<unsigned long long>(result.engagements),
+                100.0 * result.Rate(), uplift,
+                ZScore(result, legacy_result));
+  };
+  print_row("legacy(item-cf)", legacy_result);
+  print_row("serenade-hist", hist_result);
+  print_row("serenade-recent", recent_result);
+
+  const bool both_beat_legacy =
+      hist_result.Rate() > legacy_result.Rate() &&
+      recent_result.Rate() > legacy_result.Rate();
+  const double p90_ms = latency.total_latency_micros.Percentile(0.9) / 1000.0;
+  std::printf(
+      "\nshape check (paper: both Serenade variants beat legacy "
+      "significantly;\np90 latency ~5 ms): variants beat legacy: %s, "
+      "p90=%.2f ms\n",
+      both_beat_legacy ? "YES" : "NO", p90_ms);
+  std::printf(
+      "paper reference: serenade-hist +2.85%%, serenade-recent +5.72%% on "
+      "the\nslot engagement metric (serenade-recent cannibalised other "
+      "slots,\nmaking serenade-hist the preferred variant).\n");
+  return both_beat_legacy ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Offline evaluation walkthrough: chronological train/test split, several
+// recommenders (VMIS-kNN, VS-kNN, item-kNN, Markov, popularity), and the
+// paper's ranking metrics @20 — a miniature of the Section 5.1.1
+// prediction-quality experiment.
+//
+//   $ ./offline_evaluation
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/item_knn.h"
+#include "baselines/popularity.h"
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "core/vs_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+using namespace serenade;
+
+int main() {
+  // Clickstream with co-browsing structure; last day held out for testing.
+  SyntheticConfig data_config;
+  data_config.seed = 7;
+  data_config.num_items = 4000;
+  data_config.num_sessions = 25000;
+  data_config.num_days = 10;
+  data_config.cluster_size = 80;
+  Dataset dataset = GenerateDataset(data_config);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  std::printf("train: %zu sessions | test: %zu sessions\n",
+              split.train.num_sessions(), split.test.num_sessions());
+
+  // Index-backed kNN recommenders.
+  KnnConfig knn_config;
+  knn_config.m = 500;
+  knn_config.k = 100;
+  SessionIndex index = SessionIndex::Build(split.train, knn_config.m);
+  VmisKnn vmis(&index, knn_config);
+  VsKnn vs(split.train, knn_config);
+
+  // Classical baselines.
+  PopularityRecommender popularity(split.train);
+  MarkovRecommender markov(split.train);
+  ItemKnnRecommender item_knn(split.train, ItemKnnConfig{});
+
+  EvalOptions options;
+  options.cutoff = 20;
+  options.max_sessions = 1500;
+
+  std::printf("\n%-18s %8s %8s %8s %8s %8s\n", "model", "MRR@20", "HR@20",
+              "P@20", "R@20", "MAP@20");
+  std::vector<Recommender*> models = {&vmis, &vs, &item_knn, &markov,
+                                      &popularity};
+  for (Recommender* model : models) {
+    const EvalResult result =
+        EvaluateRecommender(*model, split.test, options);
+    std::printf("%-18s %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+                model->Name().c_str(), result.metrics.Mrr(),
+                result.metrics.HitRate(), result.metrics.Precision(),
+                result.metrics.Recall(), result.metrics.Map());
+  }
+  std::printf(
+      "\nExpected ordering (paper, Section 5.1.1): the VS-kNN family ranks "
+      "first,\nahead of item-to-item CF and the popularity floor.\n");
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "baselines/gru4rec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+}  // namespace
+
+Gru4Rec::Gru4Rec(size_t num_items, Gru4RecConfig config)
+    : num_items_(num_items),
+      config_(config),
+      e_in_(num_items, config.embedding_dim),
+      wz_(config.hidden_dim, config.embedding_dim),
+      wr_(config.hidden_dim, config.embedding_dim),
+      wc_(config.hidden_dim, config.embedding_dim),
+      uz_(config.hidden_dim, config.hidden_dim),
+      ur_(config.hidden_dim, config.hidden_dim),
+      uc_(config.hidden_dim, config.hidden_dim),
+      bz_(1, config.hidden_dim),
+      br_(1, config.hidden_dim),
+      bc_(1, config.hidden_dim),
+      e_out_(num_items, config.hidden_dim),
+      b_out_(1, num_items) {
+  assert(num_items > 0);
+  Rng rng(config.seed);
+  e_in_.InitUniform(rng, config.init_range);
+  wz_.InitUniform(rng, config.init_range);
+  wr_.InitUniform(rng, config.init_range);
+  wc_.InitUniform(rng, config.init_range);
+  uz_.InitUniform(rng, config.init_range);
+  ur_.InitUniform(rng, config.init_range);
+  uc_.InitUniform(rng, config.init_range);
+  e_out_.InitUniform(rng, config.init_range);
+}
+
+void Gru4Rec::Forward(ItemId input, const std::vector<float>& hidden,
+                      StepState* state) const {
+  const size_t h = config_.hidden_dim;
+  const size_t d = config_.embedding_dim;
+  state->x.assign(e_in_.Row(input), e_in_.Row(input) + d);
+  state->h_in = hidden;
+
+  state->z.assign(bz_.Row(0), bz_.Row(0) + h);
+  MatVecAdd(wz_, state->x.data(), state->z.data());
+  MatVecAdd(uz_, hidden.data(), state->z.data());
+  SigmoidInPlace(state->z.data(), h);
+
+  state->r.assign(br_.Row(0), br_.Row(0) + h);
+  MatVecAdd(wr_, state->x.data(), state->r.data());
+  MatVecAdd(ur_, hidden.data(), state->r.data());
+  SigmoidInPlace(state->r.data(), h);
+
+  state->rh.resize(h);
+  for (size_t i = 0; i < h; ++i) state->rh[i] = state->r[i] * hidden[i];
+
+  state->c.assign(bc_.Row(0), bc_.Row(0) + h);
+  MatVecAdd(wc_, state->x.data(), state->c.data());
+  MatVecAdd(uc_, state->rh.data(), state->c.data());
+  TanhInPlace(state->c.data(), h);
+
+  state->h_out.resize(h);
+  for (size_t i = 0; i < h; ++i) {
+    state->h_out[i] =
+        (1.0f - state->z[i]) * hidden[i] + state->z[i] * state->c[i];
+  }
+}
+
+void Gru4Rec::Backward(ItemId input, const StepState& state,
+                       const std::vector<float>& dh_out) {
+  const size_t h = config_.hidden_dim;
+  const size_t d = config_.embedding_dim;
+
+  std::vector<float> dz(h), dc(h), dac(h), dar(h), daz(h), drh(h, 0.0f),
+      dx(d, 0.0f);
+  for (size_t i = 0; i < h; ++i) {
+    dz[i] = dh_out[i] * (state.c[i] - state.h_in[i]);
+    dc[i] = dh_out[i] * state.z[i];
+    dac[i] = dc[i] * (1.0f - state.c[i] * state.c[i]);
+  }
+  AccumulateOuter(wc_, dac.data(), state.x.data());
+  AccumulateOuter(uc_, dac.data(), state.rh.data());
+  for (size_t i = 0; i < h; ++i) bc_.GradRow(0)[i] += dac[i];
+
+  MatVecTransposeAdd(uc_, dac.data(), drh.data());
+  for (size_t i = 0; i < h; ++i) {
+    const float dr = drh[i] * state.h_in[i];
+    dar[i] = dr * state.r[i] * (1.0f - state.r[i]);
+    daz[i] = dz[i] * state.z[i] * (1.0f - state.z[i]);
+  }
+  AccumulateOuter(wr_, dar.data(), state.x.data());
+  AccumulateOuter(ur_, dar.data(), state.h_in.data());
+  AccumulateOuter(wz_, daz.data(), state.x.data());
+  AccumulateOuter(uz_, daz.data(), state.h_in.data());
+  for (size_t i = 0; i < h; ++i) {
+    br_.GradRow(0)[i] += dar[i];
+    bz_.GradRow(0)[i] += daz[i];
+  }
+
+  MatVecTransposeAdd(wc_, dac.data(), dx.data());
+  MatVecTransposeAdd(wr_, dar.data(), dx.data());
+  MatVecTransposeAdd(wz_, daz.data(), dx.data());
+  float* e_grad = e_in_.GradRow(input);
+  for (size_t i = 0; i < d; ++i) e_grad[i] += dx[i];
+}
+
+float Gru4Rec::Train(const Dataset& train) {
+  const auto& sessions = train.sessions();
+  if (sessions.empty()) return 0.0f;
+  const size_t h = config_.hidden_dim;
+  const size_t batch = std::min(config_.batch_size, sessions.size());
+
+  float final_epoch_loss = 0.0f;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Session-parallel mini-batches: each slot walks one session; when a
+    // session ends the slot is refilled with the next session and its
+    // hidden state reset.
+    size_t next_session = 0;
+    std::vector<size_t> slot_session(batch), slot_position(batch, 0);
+    std::vector<std::vector<float>> slot_hidden(batch,
+                                                std::vector<float>(h, 0.0f));
+    for (size_t b = 0; b < batch; ++b) slot_session[b] = next_session++;
+
+    double loss_sum = 0.0;
+    size_t loss_count = 0;
+    std::vector<StepState> states(batch);
+    std::vector<ItemId> inputs(batch), targets(batch);
+    std::vector<uint32_t> touched_in, touched_out;
+
+    bool exhausted = false;
+    while (!exhausted) {
+      touched_in.clear();
+      touched_out.clear();
+
+      // Forward all slots.
+      for (size_t b = 0; b < batch; ++b) {
+        const auto& items = sessions[slot_session[b]].items;
+        inputs[b] = items[slot_position[b]];
+        targets[b] = items[slot_position[b] + 1];
+        Forward(inputs[b], slot_hidden[b], &states[b]);
+        touched_in.push_back(inputs[b]);
+      }
+
+      // Sampled softmax over the union of batch targets (in-batch
+      // negatives, as in the original implementation).
+      std::vector<ItemId> samples = {targets.begin(), targets.end()};
+      std::sort(samples.begin(), samples.end());
+      samples.erase(std::unique(samples.begin(), samples.end()),
+                    samples.end());
+      std::unordered_map<ItemId, size_t> sample_pos;
+      for (size_t i = 0; i < samples.size(); ++i) sample_pos[samples[i]] = i;
+      for (ItemId item : samples) touched_out.push_back(item);
+
+      std::vector<float> logits(samples.size());
+      std::vector<float> dh(h);
+      for (size_t b = 0; b < batch; ++b) {
+        for (size_t i = 0; i < samples.size(); ++i) {
+          logits[i] = Dot(e_out_.Row(samples[i]), states[b].h_out.data(), h) +
+                      b_out_.Row(0)[samples[i]];
+        }
+        SoftmaxInPlace(logits.data(), logits.size());
+        const size_t target_index = sample_pos[targets[b]];
+        loss_sum += -std::log(std::max(logits[target_index], 1e-12f));
+        ++loss_count;
+
+        // dL/dlogit_i = p_i - 1{i == target}.
+        std::fill(dh.begin(), dh.end(), 0.0f);
+        for (size_t i = 0; i < samples.size(); ++i) {
+          const float dlogit =
+              logits[i] - (i == target_index ? 1.0f : 0.0f);
+          const float* out_row = e_out_.Row(samples[i]);
+          float* out_grad = e_out_.GradRow(samples[i]);
+          for (size_t j = 0; j < h; ++j) {
+            dh[j] += dlogit * out_row[j];
+            out_grad[j] += dlogit * states[b].h_out[j];
+          }
+          b_out_.GradRow(0)[samples[i]] += dlogit;
+        }
+        Backward(inputs[b], states[b], dh);
+      }
+
+      // Adagrad step (dense for GRU weights, sparse for embeddings).
+      const float lr = config_.learning_rate;
+      wz_.ApplyAdagrad(lr);
+      wr_.ApplyAdagrad(lr);
+      wc_.ApplyAdagrad(lr);
+      uz_.ApplyAdagrad(lr);
+      ur_.ApplyAdagrad(lr);
+      uc_.ApplyAdagrad(lr);
+      bz_.ApplyAdagrad(lr);
+      br_.ApplyAdagrad(lr);
+      bc_.ApplyAdagrad(lr);
+      e_in_.ApplyAdagradRows(touched_in, lr);
+      e_out_.ApplyAdagradRows(touched_out, lr);
+      b_out_.ApplyAdagrad(lr);
+
+      // Advance slots; carry hidden state within a session, reset on
+      // session switch.
+      for (size_t b = 0; b < batch; ++b) {
+        slot_hidden[b] = states[b].h_out;
+        ++slot_position[b];
+        if (slot_position[b] + 1 >= sessions[slot_session[b]].items.size()) {
+          if (next_session >= sessions.size()) {
+            exhausted = true;
+            break;
+          }
+          slot_session[b] = next_session++;
+          slot_position[b] = 0;
+          std::fill(slot_hidden[b].begin(), slot_hidden[b].end(), 0.0f);
+        }
+      }
+    }
+    final_epoch_loss =
+        loss_count == 0 ? 0.0f : static_cast<float>(loss_sum / loss_count);
+  }
+  return final_epoch_loss;
+}
+
+std::vector<ScoredItem> Gru4Rec::RecommendNext(const EvolvingSession& session,
+                                               size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+  const size_t h = config_.hidden_dim;
+  const size_t start = session.size() > config_.max_session_length
+                           ? session.size() - config_.max_session_length
+                           : 0;
+
+  std::vector<float> hidden(h, 0.0f);
+  StepState state;
+  for (size_t i = start; i < session.size(); ++i) {
+    if (session[i] >= num_items_) continue;  // unknown item: skip
+    Forward(session[i], hidden, &state);
+    hidden = state.h_out;
+  }
+
+  BoundedTopK<ScoredItem, 8, ScoredItemLess> top(how_many);
+  for (ItemId item = 0; item < num_items_; ++item) {
+    const float score =
+        Dot(e_out_.Row(item), hidden.data(), h) + b_out_.Row(0)[item];
+    top.Offer(ScoredItem{item, score});
+  }
+  return top.TakeSortedDescending();
+}
+
+}  // namespace serenade

@@ -1,0 +1,72 @@
+// GRU4Rec (Hidasi et al., ICLR'16) re-implemented from scratch: a single
+// GRU layer over item embeddings, trained with session-parallel
+// mini-batches and sampled softmax (in-batch negatives), exactly the
+// training scheme of the original paper (which also truncated backprop to
+// one step, as sessions are short). One of the three neural baselines the
+// paper compares VMIS-kNN against (Section 5.1.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "baselines/nn.h"
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct Gru4RecConfig {
+  size_t embedding_dim = 48;   ///< input embedding size
+  size_t hidden_dim = 48;      ///< GRU state size
+  size_t epochs = 5;
+  size_t batch_size = 32;      ///< parallel sessions per step
+  float learning_rate = 0.1f;  ///< Adagrad step size
+  float init_range = 0.08f;
+  uint64_t seed = 1;
+  /// Items of the evolving session considered at inference time.
+  size_t max_session_length = 20;
+};
+
+/// Trainable GRU4Rec model. Train() is deterministic for a fixed seed.
+class Gru4Rec : public Recommender {
+ public:
+  Gru4Rec(size_t num_items, Gru4RecConfig config);
+
+  /// Runs the configured number of epochs over the training sessions.
+  /// Returns the mean training loss of the final epoch.
+  float Train(const Dataset& train);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "gru4rec"; }
+
+  const Gru4RecConfig& config() const { return config_; }
+
+ private:
+  // One forward step; reads hidden, writes next_hidden (may not alias).
+  // Scratch views into step_buffers_ hold the gate activations needed by
+  // the backward pass.
+  struct StepState {
+    std::vector<float> x, z, r, rh, c, h_in, h_out;
+  };
+  void Forward(ItemId input, const std::vector<float>& hidden,
+               StepState* state) const;
+
+  // Backward for one step given dL/dh_out; accumulates parameter grads
+  // and the input-embedding gradient (into e_in_.GradRow(input)).
+  void Backward(ItemId input, const StepState& state,
+                const std::vector<float>& dh_out);
+
+  size_t num_items_;
+  Gru4RecConfig config_;
+
+  Tensor e_in_;                  // items x d
+  Tensor wz_, wr_, wc_;          // H x d
+  Tensor uz_, ur_, uc_;          // H x H
+  Tensor bz_, br_, bc_;          // 1 x H
+  Tensor e_out_;                 // items x H
+  Tensor b_out_;                 // 1 x items
+};
+
+}  // namespace serenade

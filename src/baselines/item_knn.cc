@@ -1,0 +1,99 @@
+#include "baselines/item_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+}  // namespace
+
+ItemKnnRecommender::ItemKnnRecommender(const Dataset& train,
+                                       ItemKnnConfig config)
+    : config_(config) {
+  const size_t num_items = train.num_items();
+  similar_.resize(num_items);
+
+  // Session-level co-occurrence counts. Long sessions are capped so a
+  // single pathological session cannot contribute O(len^2) pairs.
+  constexpr size_t kMaxPairSessionLength = 50;
+  std::vector<uint32_t> item_frequency(num_items, 0);
+  std::unordered_map<uint64_t, uint32_t> cooccurrence;
+  std::vector<ItemId> distinct;
+  for (const SessionData& session : train.sessions()) {
+    distinct.assign(session.items.begin(), session.items.end());
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() > kMaxPairSessionLength) {
+      distinct.resize(kMaxPairSessionLength);
+    }
+    for (ItemId item : distinct) ++item_frequency[item];
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (size_t j = i + 1; j < distinct.size(); ++j) {
+        const uint64_t key =
+            (static_cast<uint64_t>(distinct[i]) << 32) | distinct[j];
+        ++cooccurrence[key];
+      }
+    }
+  }
+
+  // Cosine similarity over binary session-occurrence vectors:
+  // sim(a, b) = cooc(a, b) / sqrt(freq(a) * freq(b)).
+  std::vector<BoundedTopK<ScoredItem, 8, ScoredItemLess>> top_lists;
+  top_lists.reserve(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    top_lists.emplace_back(config_.neighbors_per_item);
+  }
+  for (const auto& [key, count] : cooccurrence) {
+    const ItemId a = static_cast<ItemId>(key >> 32);
+    const ItemId b = static_cast<ItemId>(key & 0xffffffffULL);
+    const float sim = static_cast<float>(
+        count / std::sqrt(static_cast<double>(item_frequency[a]) *
+                          static_cast<double>(item_frequency[b])));
+    top_lists[a].Offer(ScoredItem{b, sim});
+    top_lists[b].Offer(ScoredItem{a, sim});
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    similar_[i] = top_lists[i].TakeSortedDescending();
+  }
+}
+
+const std::vector<ScoredItem>& ItemKnnRecommender::SimilarItems(
+    ItemId item) const {
+  return item < similar_.size() ? similar_[item] : empty_;
+}
+
+std::vector<ScoredItem> ItemKnnRecommender::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+  const size_t history =
+      std::min(config_.history_length, session.size());
+
+  // Merge the similarity lists of the most recent items, weighting
+  // recency linearly (most recent item weight 1, one before 1/2, ...).
+  std::unordered_map<ItemId, float> scores;
+  for (size_t back = 0; back < history; ++back) {
+    const ItemId item = session[session.size() - 1 - back];
+    const float weight = 1.0f / static_cast<float>(back + 1);
+    for (const ScoredItem& similar : SimilarItems(item)) {
+      scores[similar.item] += weight * similar.score;
+    }
+  }
+
+  BoundedTopK<ScoredItem, 8, ScoredItemLess> top(how_many);
+  for (const auto& [item, score] : scores) {
+    top.Offer(ScoredItem{item, score});
+  }
+  return top.TakeSortedDescending();
+}
+
+}  // namespace serenade

@@ -1,0 +1,45 @@
+// Item-to-item collaborative filtering (Sarwar et al., WWW'01) — the
+// paper's "legacy" production system, which the A/B test compares Serenade
+// against ("a variant of classic item-to-item collaborative filtering").
+// Recommends items whose session co-occurrence vectors are cosine-similar
+// to the user's most recent item(s).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct ItemKnnConfig {
+  /// Pre-computed similar items kept per item.
+  size_t neighbors_per_item = 100;
+  /// How many of the most recent session items contribute (the legacy
+  /// system recommends per product detail page, i.e. 1).
+  size_t history_length = 1;
+};
+
+/// Precomputes a top-n cosine similarity list per item from session
+/// co-occurrence counts; serving is a merge of the lists of the session's
+/// recent items.
+class ItemKnnRecommender : public Recommender {
+ public:
+  ItemKnnRecommender(const Dataset& train, ItemKnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "item-knn(legacy)"; }
+
+  /// The precomputed neighbour list of one item (tests / diagnostics).
+  const std::vector<ScoredItem>& SimilarItems(ItemId item) const;
+
+ private:
+  ItemKnnConfig config_;
+  std::vector<std::vector<ScoredItem>> similar_;  // per item, best first
+  std::vector<ScoredItem> empty_;
+};
+
+}  // namespace serenade

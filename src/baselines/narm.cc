@@ -1,0 +1,322 @@
+#include "baselines/narm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+}  // namespace
+
+Narm::Narm(size_t num_items, NarmConfig config)
+    : num_items_(num_items),
+      config_(config),
+      e_in_(num_items, config.embedding_dim),
+      wz_(config.hidden_dim, config.embedding_dim),
+      wr_(config.hidden_dim, config.embedding_dim),
+      wc_(config.hidden_dim, config.embedding_dim),
+      uz_(config.hidden_dim, config.hidden_dim),
+      ur_(config.hidden_dim, config.hidden_dim),
+      uc_(config.hidden_dim, config.hidden_dim),
+      bz_(1, config.hidden_dim),
+      br_(1, config.hidden_dim),
+      bc_(1, config.hidden_dim),
+      a1_(config.hidden_dim, config.hidden_dim),
+      a2_(config.hidden_dim, config.hidden_dim),
+      v_(1, config.hidden_dim),
+      b_decoder_(config.hidden_dim, 2 * config.hidden_dim),
+      e_out_(num_items, config.hidden_dim) {
+  assert(num_items > 0);
+  Rng rng(config.seed);
+  e_in_.InitUniform(rng, config.init_range);
+  wz_.InitUniform(rng, config.init_range);
+  wr_.InitUniform(rng, config.init_range);
+  wc_.InitUniform(rng, config.init_range);
+  uz_.InitUniform(rng, config.init_range);
+  ur_.InitUniform(rng, config.init_range);
+  uc_.InitUniform(rng, config.init_range);
+  a1_.InitUniform(rng, config.init_range);
+  a2_.InitUniform(rng, config.init_range);
+  v_.InitUniform(rng, config.init_range);
+  b_decoder_.InitUniform(rng, config.init_range);
+  e_out_.InitUniform(rng, config.init_range);
+}
+
+void Narm::GruForward(ItemId input, const std::vector<float>& hidden,
+                      GruStep* step) const {
+  const size_t h = config_.hidden_dim;
+  const size_t d = config_.embedding_dim;
+  step->x.assign(e_in_.Row(input), e_in_.Row(input) + d);
+  step->h_in = hidden;
+
+  step->z.assign(bz_.Row(0), bz_.Row(0) + h);
+  MatVecAdd(wz_, step->x.data(), step->z.data());
+  MatVecAdd(uz_, hidden.data(), step->z.data());
+  SigmoidInPlace(step->z.data(), h);
+
+  step->r.assign(br_.Row(0), br_.Row(0) + h);
+  MatVecAdd(wr_, step->x.data(), step->r.data());
+  MatVecAdd(ur_, hidden.data(), step->r.data());
+  SigmoidInPlace(step->r.data(), h);
+
+  step->rh.resize(h);
+  for (size_t i = 0; i < h; ++i) step->rh[i] = step->r[i] * hidden[i];
+
+  step->c.assign(bc_.Row(0), bc_.Row(0) + h);
+  MatVecAdd(wc_, step->x.data(), step->c.data());
+  MatVecAdd(uc_, step->rh.data(), step->c.data());
+  TanhInPlace(step->c.data(), h);
+
+  step->h_out.resize(h);
+  for (size_t i = 0; i < h; ++i) {
+    step->h_out[i] = (1.0f - step->z[i]) * hidden[i] + step->z[i] * step->c[i];
+  }
+}
+
+void Narm::GruBackward(ItemId input, const GruStep& step,
+                       const std::vector<float>& dh_out,
+                       std::vector<uint32_t>* touched) {
+  const size_t h = config_.hidden_dim;
+  const size_t d = config_.embedding_dim;
+
+  std::vector<float> dz(h), dc(h), dac(h), dar(h), daz(h), drh(h, 0.0f),
+      dx(d, 0.0f);
+  for (size_t i = 0; i < h; ++i) {
+    dz[i] = dh_out[i] * (step.c[i] - step.h_in[i]);
+    dc[i] = dh_out[i] * step.z[i];
+    dac[i] = dc[i] * (1.0f - step.c[i] * step.c[i]);
+  }
+  AccumulateOuter(wc_, dac.data(), step.x.data());
+  AccumulateOuter(uc_, dac.data(), step.rh.data());
+  for (size_t i = 0; i < h; ++i) bc_.GradRow(0)[i] += dac[i];
+
+  MatVecTransposeAdd(uc_, dac.data(), drh.data());
+  for (size_t i = 0; i < h; ++i) {
+    const float dr = drh[i] * step.h_in[i];
+    dar[i] = dr * step.r[i] * (1.0f - step.r[i]);
+    daz[i] = dz[i] * step.z[i] * (1.0f - step.z[i]);
+  }
+  AccumulateOuter(wr_, dar.data(), step.x.data());
+  AccumulateOuter(ur_, dar.data(), step.h_in.data());
+  AccumulateOuter(wz_, daz.data(), step.x.data());
+  AccumulateOuter(uz_, daz.data(), step.h_in.data());
+  for (size_t i = 0; i < h; ++i) {
+    br_.GradRow(0)[i] += dar[i];
+    bz_.GradRow(0)[i] += daz[i];
+  }
+
+  MatVecTransposeAdd(wc_, dac.data(), dx.data());
+  MatVecTransposeAdd(wr_, dar.data(), dx.data());
+  MatVecTransposeAdd(wz_, daz.data(), dx.data());
+  float* e_grad = e_in_.GradRow(input);
+  for (size_t i = 0; i < d; ++i) e_grad[i] += dx[i];
+  touched->push_back(input);
+}
+
+bool Narm::Forward(const EvolvingSession& session,
+                   ForwardState* state) const {
+  const size_t h = config_.hidden_dim;
+
+  state->prefix.clear();
+  const size_t start = session.size() > config_.max_prefix_length
+                           ? session.size() - config_.max_prefix_length
+                           : 0;
+  for (size_t i = start; i < session.size(); ++i) {
+    if (session[i] < num_items_) state->prefix.push_back(session[i]);
+  }
+  if (state->prefix.empty()) return false;
+  const size_t t = state->prefix.size();
+
+  // GRU encoding.
+  state->steps.assign(t, GruStep{});
+  std::vector<float> hidden(h, 0.0f);
+  for (size_t j = 0; j < t; ++j) {
+    GruForward(state->prefix[j], hidden, &state->steps[j]);
+    hidden = state->steps[j].h_out;
+  }
+  const std::vector<float>& h_t = state->steps.back().h_out;
+
+  // Attention: alpha_j = v . sigmoid(A1 h_t + A2 h_j).
+  std::vector<float> query(h);
+  MatVec(a1_, h_t.data(), query.data());
+  state->att.assign(t, std::vector<float>(h));
+  state->alpha.assign(t, 0.0f);
+  std::vector<float> c_local(h, 0.0f);
+  for (size_t j = 0; j < t; ++j) {
+    std::copy(query.begin(), query.end(), state->att[j].begin());
+    MatVecAdd(a2_, state->steps[j].h_out.data(), state->att[j].data());
+    SigmoidInPlace(state->att[j].data(), h);
+    state->alpha[j] = Dot(v_.Row(0), state->att[j].data(), h);
+    for (size_t i = 0; i < h; ++i) {
+      c_local[i] += state->alpha[j] * state->steps[j].h_out[i];
+    }
+  }
+
+  state->code.resize(2 * h);
+  std::copy(h_t.begin(), h_t.end(), state->code.begin());
+  std::copy(c_local.begin(), c_local.end(), state->code.begin() + h);
+
+  state->p.resize(h);
+  MatVec(b_decoder_, state->code.data(), state->p.data());
+  return true;
+}
+
+void Narm::Backward(const ForwardState& state, const std::vector<float>& dp,
+                    std::vector<uint32_t>* touched) {
+  const size_t h = config_.hidden_dim;
+  const size_t t = state.prefix.size();
+
+  // Decoder: p = B code.
+  AccumulateOuter(b_decoder_, dp.data(), state.code.data());
+  std::vector<float> dcode(2 * h, 0.0f);
+  MatVecTransposeAdd(b_decoder_, dp.data(), dcode.data());
+
+  // Split code gradient.
+  std::vector<float> dlocal(dcode.begin() + h, dcode.end());
+  std::vector<std::vector<float>> dh(t, std::vector<float>(h, 0.0f));
+  for (size_t i = 0; i < h; ++i) dh[t - 1][i] += dcode[i];  // global code
+
+  // Attention backward.
+  std::vector<float> dquery(h, 0.0f);
+  std::vector<float> ds(h);
+  for (size_t j = 0; j < t; ++j) {
+    const std::vector<float>& h_j = state.steps[j].h_out;
+    float dalpha = 0.0f;
+    for (size_t i = 0; i < h; ++i) {
+      dalpha += dlocal[i] * h_j[i];
+      dh[j][i] += state.alpha[j] * dlocal[i];
+    }
+    for (size_t i = 0; i < h; ++i) {
+      v_.GradRow(0)[i] += dalpha * state.att[j][i];
+      ds[i] = dalpha * v_.Row(0)[i] * state.att[j][i] *
+              (1.0f - state.att[j][i]);
+    }
+    AccumulateOuter(a2_, ds.data(), h_j.data());
+    MatVecTransposeAdd(a2_, ds.data(), dh[j].data());
+    for (size_t i = 0; i < h; ++i) dquery[i] += ds[i];
+  }
+  AccumulateOuter(a1_, dquery.data(), state.steps[t - 1].h_out.data());
+  MatVecTransposeAdd(a1_, dquery.data(), dh[t - 1].data());
+
+  // GRU backward per step (gradients truncated at each step boundary).
+  for (size_t j = 0; j < t; ++j) {
+    GruBackward(state.prefix[j], state.steps[j], dh[j], touched);
+  }
+}
+
+void Narm::ApplyUpdates(const std::vector<uint32_t>& touched_in,
+                        const std::vector<uint32_t>& touched_out) {
+  const float lr = config_.learning_rate;
+  wz_.ApplyAdagrad(lr);
+  wr_.ApplyAdagrad(lr);
+  wc_.ApplyAdagrad(lr);
+  uz_.ApplyAdagrad(lr);
+  ur_.ApplyAdagrad(lr);
+  uc_.ApplyAdagrad(lr);
+  bz_.ApplyAdagrad(lr);
+  br_.ApplyAdagrad(lr);
+  bc_.ApplyAdagrad(lr);
+  a1_.ApplyAdagrad(lr);
+  a2_.ApplyAdagrad(lr);
+  v_.ApplyAdagrad(lr);
+  b_decoder_.ApplyAdagrad(lr);
+  e_in_.ApplyAdagradRows(touched_in, lr);
+  e_out_.ApplyAdagradRows(touched_out, lr);
+}
+
+float Narm::Train(const Dataset& train) {
+  const size_t h = config_.hidden_dim;
+  float final_epoch_loss = 0.0f;
+
+  std::vector<ForwardState> states(config_.batch_size);
+  std::vector<ItemId> targets(config_.batch_size);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    size_t loss_count = 0;
+    size_t filled = 0;
+    std::vector<uint32_t> touched_in, touched_out;
+
+    auto flush_batch = [&]() {
+      if (filled == 0) return;
+      std::vector<ItemId> samples(targets.begin(), targets.begin() + filled);
+      std::sort(samples.begin(), samples.end());
+      samples.erase(std::unique(samples.begin(), samples.end()),
+                    samples.end());
+      std::unordered_map<ItemId, size_t> sample_pos;
+      for (size_t i = 0; i < samples.size(); ++i) sample_pos[samples[i]] = i;
+
+      touched_in.clear();
+      touched_out.clear();
+      std::vector<float> logits(samples.size());
+      std::vector<float> dp(h);
+      for (size_t b = 0; b < filled; ++b) {
+        for (size_t i = 0; i < samples.size(); ++i) {
+          logits[i] = Dot(e_out_.Row(samples[i]), states[b].p.data(), h);
+        }
+        SoftmaxInPlace(logits.data(), logits.size());
+        const size_t target_index = sample_pos[targets[b]];
+        loss_sum += -std::log(std::max(logits[target_index], 1e-12f));
+        ++loss_count;
+
+        std::fill(dp.begin(), dp.end(), 0.0f);
+        for (size_t i = 0; i < samples.size(); ++i) {
+          const float dlogit = logits[i] - (i == target_index ? 1.0f : 0.0f);
+          const float* row = e_out_.Row(samples[i]);
+          float* grad = e_out_.GradRow(samples[i]);
+          for (size_t j = 0; j < h; ++j) {
+            dp[j] += dlogit * row[j];
+            grad[j] += dlogit * states[b].p[j];
+          }
+          touched_out.push_back(samples[i]);
+        }
+        Backward(states[b], dp, &touched_in);
+      }
+      std::sort(touched_in.begin(), touched_in.end());
+      touched_in.erase(std::unique(touched_in.begin(), touched_in.end()),
+                       touched_in.end());
+      ApplyUpdates(touched_in, touched_out);
+      filled = 0;
+    };
+
+    EvolvingSession prefix;
+    for (const SessionData& session : train.sessions()) {
+      prefix.clear();
+      for (size_t pos = 0; pos + 1 < session.items.size(); ++pos) {
+        prefix.push_back(session.items[pos]);
+        if (!Forward(prefix, &states[filled])) continue;
+        targets[filled] = session.items[pos + 1];
+        if (++filled == config_.batch_size) flush_batch();
+      }
+    }
+    flush_batch();
+    final_epoch_loss =
+        loss_count == 0 ? 0.0f : static_cast<float>(loss_sum / loss_count);
+  }
+  return final_epoch_loss;
+}
+
+std::vector<ScoredItem> Narm::RecommendNext(const EvolvingSession& session,
+                                            size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+  ForwardState state;
+  if (!Forward(session, &state)) return {};
+  const size_t h = config_.hidden_dim;
+
+  BoundedTopK<ScoredItem, 8, ScoredItemLess> top(how_many);
+  for (ItemId item = 0; item < num_items_; ++item) {
+    top.Offer(ScoredItem{item, Dot(e_out_.Row(item), state.p.data(), h)});
+  }
+  return top.TakeSortedDescending();
+}
+
+}  // namespace serenade

@@ -1,0 +1,88 @@
+// NARM (Li et al., CIKM'17) re-implemented from scratch: Neural Attentive
+// Recommendation Machine. A GRU encodes the session; the *global* code is
+// the final hidden state, the *local* code is an attention-weighted sum
+// of all hidden states (queried by the final state); a bilinear decoder
+// scores candidate items against the concatenated code. Third neural
+// baseline of the paper's quality comparison (Section 5.1.1).
+//
+// Training follows the same tractable scheme as our GRU4Rec: per-prefix
+// examples, in-batch sampled softmax, and gradients truncated to one GRU
+// step (each h_t receives gradient from the attention/decoder, but the
+// recurrence into h_{t-1} is cut — sessions are short, so this captures
+// most of the signal at a fraction of full-BPTT cost).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "baselines/nn.h"
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct NarmConfig {
+  size_t embedding_dim = 32;
+  size_t hidden_dim = 32;
+  size_t epochs = 3;
+  size_t batch_size = 32;
+  float learning_rate = 0.08f;
+  float init_range = 0.08f;
+  uint64_t seed = 3;
+  /// Prefix items encoded per example.
+  size_t max_prefix_length = 8;
+};
+
+/// Trainable NARM model.
+class Narm : public Recommender {
+ public:
+  Narm(size_t num_items, NarmConfig config);
+
+  /// Trains on every (prefix, next item) pair; returns the final epoch's
+  /// mean loss.
+  float Train(const Dataset& train);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "narm"; }
+
+ private:
+  struct GruStep {
+    std::vector<float> x, z, r, rh, c, h_in, h_out;
+  };
+  struct ForwardState {
+    std::vector<ItemId> prefix;
+    std::vector<GruStep> steps;           // one per prefix item
+    std::vector<std::vector<float>> att;  // sigmoid activations per step
+    std::vector<float> alpha;             // attention scalars per step
+    std::vector<float> code;              // [c_global ; c_local], 2H
+    std::vector<float> p;                 // B * code, the decoder query
+  };
+
+  void GruForward(ItemId input, const std::vector<float>& hidden,
+                  GruStep* step) const;
+  void GruBackward(ItemId input, const GruStep& step,
+                   const std::vector<float>& dh_out,
+                   std::vector<uint32_t>* touched);
+
+  bool Forward(const EvolvingSession& session, ForwardState* state) const;
+  void Backward(const ForwardState& state, const std::vector<float>& dcode,
+                std::vector<uint32_t>* touched);
+  void ApplyUpdates(const std::vector<uint32_t>& touched_in,
+                    const std::vector<uint32_t>& touched_out);
+
+  size_t num_items_;
+  NarmConfig config_;
+
+  Tensor e_in_;                // items x d
+  Tensor wz_, wr_, wc_;        // H x d
+  Tensor uz_, ur_, uc_;        // H x H
+  Tensor bz_, br_, bc_;        // 1 x H
+  Tensor a1_, a2_;             // H x H attention projections
+  Tensor v_;                   // 1 x H attention readout
+  Tensor b_decoder_;           // H x 2H bilinear decoder (emb^T B code)
+  Tensor e_out_;               // items x H (decoder-side embeddings)
+};
+
+}  // namespace serenade

@@ -1,0 +1,99 @@
+#include "baselines/nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace serenade {
+
+namespace {
+constexpr float kAdagradEpsilon = 1e-6f;
+}
+
+void Tensor::ApplyAdagrad(float learning_rate) {
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const float g = grad_[i];
+    if (g == 0.0f) continue;
+    accum_[i] += g * g;
+    data_[i] -= learning_rate * g / std::sqrt(accum_[i] + kAdagradEpsilon);
+    grad_[i] = 0.0f;
+  }
+}
+
+void Tensor::ApplyAdagradRows(const std::vector<uint32_t>& rows,
+                              float learning_rate) {
+  for (uint32_t r : rows) {
+    const size_t base = static_cast<size_t>(r) * cols_;
+    for (size_t c = 0; c < cols_; ++c) {
+      const float g = grad_[base + c];
+      if (g == 0.0f) continue;
+      accum_[base + c] += g * g;
+      data_[base + c] -=
+          learning_rate * g / std::sqrt(accum_[base + c] + kAdagradEpsilon);
+      grad_[base + c] = 0.0f;
+    }
+  }
+}
+
+void MatVec(const Tensor& w, const float* x, float* out) {
+  std::fill(out, out + w.rows(), 0.0f);
+  MatVecAdd(w, x, out);
+}
+
+void MatVecAdd(const Tensor& w, const float* x, float* out) {
+  const size_t rows = w.rows(), cols = w.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = w.Row(r);
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols; ++c) sum += row[c] * x[c];
+    out[r] += sum;
+  }
+}
+
+void AccumulateOuter(Tensor& w, const float* dy, const float* x) {
+  const size_t rows = w.rows(), cols = w.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    float* grad_row = w.GradRow(r);
+    const float d = dy[r];
+    if (d == 0.0f) continue;
+    for (size_t c = 0; c < cols; ++c) grad_row[c] += d * x[c];
+  }
+}
+
+void MatVecTransposeAdd(const Tensor& w, const float* dy, float* dx) {
+  const size_t rows = w.rows(), cols = w.cols();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = w.Row(r);
+    const float d = dy[r];
+    if (d == 0.0f) continue;
+    for (size_t c = 0; c < cols; ++c) dx[c] += d * row[c];
+  }
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void SigmoidInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = Sigmoid(x[i]);
+}
+
+void TanhInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void SoftmaxInPlace(float* logits, size_t n) {
+  float max_logit = logits[0];
+  for (size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    logits[i] = std::exp(logits[i] - max_logit);
+    sum += logits[i];
+  }
+  for (size_t i = 0; i < n; ++i) logits[i] /= sum;
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace serenade

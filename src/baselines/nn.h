@@ -1,0 +1,84 @@
+// Minimal dense tensor + Adagrad machinery for the from-scratch neural
+// baselines (GRU4Rec, STAMP, NARM-lite). Deliberately simple: row-major
+// float matrices, explicit gradient buffers, per-row sparse updates for
+// embedding tables. No autograd — each model writes its own backward pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace serenade {
+
+/// A 2D parameter with gradient and Adagrad accumulator buffers.
+/// Vectors are represented as single-row tensors.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(rows * cols, 0.0f),
+        grad_(rows * cols, 0.0f),
+        accum_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  float* GradRow(size_t r) { return grad_.data() + r * cols_; }
+
+  /// Uniform(-range, range) initialisation.
+  void InitUniform(Rng& rng, float range) {
+    for (float& v : data_) v = static_cast<float>(rng.Uniform(-range, range));
+  }
+
+  /// Adagrad step on every parameter; zeroes the gradient buffer.
+  void ApplyAdagrad(float learning_rate);
+
+  /// Adagrad step restricted to the given rows (for embedding tables
+  /// where only a few rows receive gradient per batch).
+  void ApplyAdagradRows(const std::vector<uint32_t>& rows,
+                        float learning_rate);
+
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+  std::vector<float> grad_;
+  std::vector<float> accum_;
+};
+
+// --- dense ops (out must not alias inputs) ---------------------------------
+
+/// out[h] = sum_d W[h][d] * x[d]   (W: h x d)
+void MatVec(const Tensor& w, const float* x, float* out);
+
+/// out[h] += sum_d W[h][d] * x[d]
+void MatVecAdd(const Tensor& w, const float* x, float* out);
+
+/// Gradient of MatVec wrt W: gradW[h][d] += dy[h] * x[d].
+void AccumulateOuter(Tensor& w, const float* dy, const float* x);
+
+/// Gradient of MatVec wrt x: dx[d] += sum_h W[h][d] * dy[h].
+void MatVecTransposeAdd(const Tensor& w, const float* dy, float* dx);
+
+// --- activations ------------------------------------------------------------
+
+float Sigmoid(float x);
+
+/// In-place sigmoid / tanh over n elements.
+void SigmoidInPlace(float* x, size_t n);
+void TanhInPlace(float* x, size_t n);
+
+/// Numerically-stable in-place softmax over n logits.
+void SoftmaxInPlace(float* logits, size_t n);
+
+/// Dot product of two n-vectors.
+float Dot(const float* a, const float* b, size_t n);
+
+}  // namespace serenade

@@ -1,0 +1,66 @@
+#include "baselines/popularity.h"
+
+#include <algorithm>
+
+namespace serenade {
+
+PopularityRecommender::PopularityRecommender(const Dataset& train) {
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const SessionData& session : train.sessions()) {
+    for (ItemId item : session.items) ++counts[item];
+  }
+  ranked_.reserve(counts.size());
+  for (const auto& [item, count] : counts) {
+    ranked_.push_back(ScoredItem{item, static_cast<float>(count)});
+  }
+  std::sort(ranked_.begin(), ranked_.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.item < b.item);
+            });
+}
+
+std::vector<ScoredItem> PopularityRecommender::RecommendNext(
+    const EvolvingSession& /*session*/, size_t how_many) {
+  std::vector<ScoredItem> result = ranked_;
+  if (result.size() > how_many) result.resize(how_many);
+  return result;
+}
+
+MarkovRecommender::MarkovRecommender(const Dataset& train)
+    : fallback_(train) {
+  std::unordered_map<ItemId, std::unordered_map<ItemId, uint32_t>> counts;
+  for (const SessionData& session : train.sessions()) {
+    for (size_t i = 0; i + 1 < session.items.size(); ++i) {
+      ++counts[session.items[i]][session.items[i + 1]];
+    }
+  }
+  transitions_.reserve(counts.size());
+  for (auto& [item, successors] : counts) {
+    std::vector<ScoredItem> ranked;
+    ranked.reserve(successors.size());
+    for (const auto& [successor, count] : successors) {
+      ranked.push_back(ScoredItem{successor, static_cast<float>(count)});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                return a.score > b.score ||
+                       (a.score == b.score && a.item < b.item);
+              });
+    transitions_.emplace(item, std::move(ranked));
+  }
+}
+
+std::vector<ScoredItem> MarkovRecommender::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  if (session.empty()) return {};
+  auto it = transitions_.find(session.back());
+  if (it == transitions_.end()) {
+    return fallback_.RecommendNext(session, how_many);
+  }
+  std::vector<ScoredItem> result = it->second;
+  if (result.size() > how_many) result.resize(how_many);
+  return result;
+}
+
+}  // namespace serenade

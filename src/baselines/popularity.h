@@ -1,0 +1,46 @@
+// Popularity and first-order Markov baselines. These are the sanity
+// floors of session-based recommendation: any useful model must beat
+// popularity, and Markov captures pure item-to-item sequence signal.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// Recommends the globally most-clicked training items, ignoring the
+/// session entirely.
+class PopularityRecommender : public Recommender {
+ public:
+  explicit PopularityRecommender(const Dataset& train);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "popularity"; }
+
+ private:
+  std::vector<ScoredItem> ranked_;  // all items, most popular first
+};
+
+/// First-order Markov chain: scores items by their transition frequency
+/// from the most recent session item, backing off to popularity when the
+/// last item was never seen.
+class MarkovRecommender : public Recommender {
+ public:
+  explicit MarkovRecommender(const Dataset& train);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "markov-1st"; }
+
+ private:
+  // item -> (successor, count) pairs sorted by descending count.
+  std::unordered_map<ItemId, std::vector<ScoredItem>> transitions_;
+  PopularityRecommender fallback_;
+};
+
+}  // namespace serenade

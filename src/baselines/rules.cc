@@ -1,0 +1,99 @@
+#include "baselines/rules.h"
+
+#include <algorithm>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+
+// Converts per-antecedent weight maps into bounded, sorted rule lists.
+std::vector<std::vector<ScoredItem>> ToRuleLists(
+    std::vector<std::unordered_map<ItemId, float>>& weights,
+    size_t rules_per_item) {
+  std::vector<std::vector<ScoredItem>> rules(weights.size());
+  for (size_t a = 0; a < weights.size(); ++a) {
+    if (weights[a].empty()) continue;
+    BoundedTopK<ScoredItem, 8, ScoredItemLess> top(rules_per_item);
+    for (const auto& [b, w] : weights[a]) top.Offer(ScoredItem{b, w});
+    rules[a] = top.TakeSortedDescending();
+  }
+  return rules;
+}
+
+std::vector<ScoredItem> RecommendFromRules(
+    const std::vector<std::vector<ScoredItem>>& rules,
+    const EvolvingSession& session, size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+  const ItemId last = session.back();
+  if (last >= rules.size()) return {};
+  std::vector<ScoredItem> result = rules[last];
+  if (result.size() > how_many) result.resize(how_many);
+  return result;
+}
+
+}  // namespace
+
+AssociationRules::AssociationRules(const Dataset& train, RulesConfig config) {
+  std::vector<std::unordered_map<ItemId, float>> weights(train.num_items());
+  std::vector<ItemId> distinct;
+  for (const SessionData& session : train.sessions()) {
+    distinct.assign(session.items.begin(), session.items.end());
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    constexpr size_t kMaxSessionItems = 50;  // bound the O(n^2) pair loop
+    const size_t n = std::min(distinct.size(), kMaxSessionItems);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        weights[distinct[i]][distinct[j]] += 1.0f;
+      }
+    }
+  }
+  rules_ = ToRuleLists(weights, config.rules_per_item);
+}
+
+const std::vector<ScoredItem>& AssociationRules::RulesFor(ItemId item) const {
+  return item < rules_.size() ? rules_[item] : empty_;
+}
+
+std::vector<ScoredItem> AssociationRules::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  return RecommendFromRules(rules_, session, how_many);
+}
+
+SequentialRules::SequentialRules(const Dataset& train, RulesConfig config) {
+  std::vector<std::unordered_map<ItemId, float>> weights(train.num_items());
+  for (const SessionData& session : train.sessions()) {
+    const auto& items = session.items;
+    for (size_t p = 0; p < items.size(); ++p) {
+      const size_t limit =
+          std::min(items.size(), p + 1 + config.max_distance);
+      for (size_t q = p + 1; q < limit; ++q) {
+        if (items[p] == items[q]) continue;
+        weights[items[p]][items[q]] +=
+            1.0f / static_cast<float>(q - p);
+      }
+    }
+  }
+  rules_ = ToRuleLists(weights, config.rules_per_item);
+}
+
+const std::vector<ScoredItem>& SequentialRules::RulesFor(ItemId item) const {
+  return item < rules_.size() ? rules_[item] : empty_;
+}
+
+std::vector<ScoredItem> SequentialRules::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  return RecommendFromRules(rules_, session, how_many);
+}
+
+}  // namespace serenade

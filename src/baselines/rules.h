@@ -1,0 +1,58 @@
+// Association Rules (AR) and Sequential Rules (SR) — the simple rule
+// baselines from the session-rec benchmark (Ludewig & Jannach) that the
+// VS-kNN line of work is evaluated against. Both learn item->item rule
+// weights from historical sessions and recommend from the current item:
+//   AR: w(a, b) += 1 for every unordered co-occurrence of a and b
+//   SR: w(a, b) += 1 / (q - p) for a at position p before b at position q
+//       (only forward pairs, discounted by distance)
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct RulesConfig {
+  /// Rules kept per antecedent item.
+  size_t rules_per_item = 100;
+  /// SR only: maximal forward distance between the pair's positions.
+  size_t max_distance = 10;
+};
+
+/// Association-rules recommender (unordered co-occurrence counts).
+class AssociationRules : public Recommender {
+ public:
+  AssociationRules(const Dataset& train, RulesConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "ar"; }
+
+  const std::vector<ScoredItem>& RulesFor(ItemId item) const;
+
+ private:
+  std::vector<std::vector<ScoredItem>> rules_;
+  std::vector<ScoredItem> empty_;
+};
+
+/// Sequential-rules recommender (forward pairs, distance-discounted).
+class SequentialRules : public Recommender {
+ public:
+  SequentialRules(const Dataset& train, RulesConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "sr"; }
+
+  const std::vector<ScoredItem>& RulesFor(ItemId item) const;
+
+ private:
+  std::vector<std::vector<ScoredItem>> rules_;
+  std::vector<ScoredItem> empty_;
+};
+
+}  // namespace serenade

@@ -1,0 +1,268 @@
+#include "baselines/stamp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+}  // namespace
+
+Stamp::Stamp(size_t num_items, StampConfig config)
+    : num_items_(num_items),
+      config_(config),
+      embeddings_(num_items, config.embedding_dim),
+      w1_(config.embedding_dim, config.embedding_dim),
+      w2_(config.embedding_dim, config.embedding_dim),
+      w3_(config.embedding_dim, config.embedding_dim),
+      ba_(1, config.embedding_dim),
+      w0_(1, config.embedding_dim),
+      ws_(config.embedding_dim, config.embedding_dim),
+      wt_(config.embedding_dim, config.embedding_dim),
+      bs_(1, config.embedding_dim),
+      bt_(1, config.embedding_dim) {
+  assert(num_items > 0);
+  Rng rng(config.seed);
+  embeddings_.InitUniform(rng, config.init_range);
+  w1_.InitUniform(rng, config.init_range);
+  w2_.InitUniform(rng, config.init_range);
+  w3_.InitUniform(rng, config.init_range);
+  w0_.InitUniform(rng, config.init_range);
+  ws_.InitUniform(rng, config.init_range);
+  wt_.InitUniform(rng, config.init_range);
+}
+
+bool Stamp::Forward(const EvolvingSession& session,
+                    ForwardState* state) const {
+  const size_t d = config_.embedding_dim;
+
+  state->prefix.clear();
+  const size_t start = session.size() > config_.max_prefix_length
+                           ? session.size() - config_.max_prefix_length
+                           : 0;
+  for (size_t i = start; i < session.size(); ++i) {
+    if (session[i] < num_items_) state->prefix.push_back(session[i]);
+  }
+  if (state->prefix.empty()) return false;
+  const size_t t = state->prefix.size();
+  const ItemId last = state->prefix.back();
+
+  // Session mean m_s.
+  state->ms.assign(d, 0.0f);
+  for (ItemId item : state->prefix) {
+    const float* x = embeddings_.Row(item);
+    for (size_t j = 0; j < d; ++j) state->ms[j] += x[j];
+  }
+  for (size_t j = 0; j < d; ++j) state->ms[j] /= static_cast<float>(t);
+
+  // Attention: a_i = sigmoid(W1 x_i + W2 x_t + W3 m_s + ba),
+  //            e_i = w0 . a_i,    m_a = sum e_i x_i.
+  std::vector<float> query(d);
+  std::copy(ba_.Row(0), ba_.Row(0) + d, query.begin());
+  MatVecAdd(w2_, embeddings_.Row(last), query.data());
+  MatVecAdd(w3_, state->ms.data(), query.data());
+
+  state->avec.assign(t, std::vector<float>(d));
+  state->e.assign(t, 0.0f);
+  state->ma.assign(d, 0.0f);
+  for (size_t i = 0; i < t; ++i) {
+    const float* x = embeddings_.Row(state->prefix[i]);
+    std::copy(query.begin(), query.end(), state->avec[i].begin());
+    MatVecAdd(w1_, x, state->avec[i].data());
+    SigmoidInPlace(state->avec[i].data(), d);
+    state->e[i] = Dot(w0_.Row(0), state->avec[i].data(), d);
+    for (size_t j = 0; j < d; ++j) state->ma[j] += state->e[i] * x[j];
+  }
+
+  // MLP heads and trilinear gate.
+  state->hs.assign(bs_.Row(0), bs_.Row(0) + d);
+  MatVecAdd(ws_, state->ma.data(), state->hs.data());
+  TanhInPlace(state->hs.data(), d);
+
+  state->ht.assign(bt_.Row(0), bt_.Row(0) + d);
+  MatVecAdd(wt_, embeddings_.Row(last), state->ht.data());
+  TanhInPlace(state->ht.data(), d);
+
+  state->g.resize(d);
+  for (size_t j = 0; j < d; ++j) state->g[j] = state->hs[j] * state->ht[j];
+  return true;
+}
+
+void Stamp::Backward(const ForwardState& state, const std::vector<float>& dg,
+                     std::vector<uint32_t>* touched) {
+  const size_t d = config_.embedding_dim;
+  const size_t t = state.prefix.size();
+  const ItemId last = state.prefix.back();
+
+  // Heads.
+  std::vector<float> das(d), dat(d), dma(d, 0.0f), dxt(d, 0.0f);
+  for (size_t j = 0; j < d; ++j) {
+    const float dhs = dg[j] * state.ht[j];
+    const float dht = dg[j] * state.hs[j];
+    das[j] = dhs * (1.0f - state.hs[j] * state.hs[j]);
+    dat[j] = dht * (1.0f - state.ht[j] * state.ht[j]);
+  }
+  AccumulateOuter(ws_, das.data(), state.ma.data());
+  AccumulateOuter(wt_, dat.data(), embeddings_.Row(last));
+  for (size_t j = 0; j < d; ++j) {
+    bs_.GradRow(0)[j] += das[j];
+    bt_.GradRow(0)[j] += dat[j];
+  }
+  MatVecTransposeAdd(ws_, das.data(), dma.data());
+  MatVecTransposeAdd(wt_, dat.data(), dxt.data());
+
+  // Attention and m_a.
+  std::vector<float> dms(d, 0.0f);
+  std::vector<float> dsi(d);
+  std::vector<std::vector<float>> dx(t, std::vector<float>(d, 0.0f));
+  for (size_t i = 0; i < t; ++i) {
+    const float* x = embeddings_.Row(state.prefix[i]);
+    // m_a = sum e_i x_i.
+    float de = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      de += dma[j] * x[j];
+      dx[i][j] += state.e[i] * dma[j];
+    }
+    // e_i = w0 . a_i.
+    for (size_t j = 0; j < d; ++j) {
+      w0_.GradRow(0)[j] += de * state.avec[i][j];
+      dsi[j] = de * w0_.Row(0)[j] * state.avec[i][j] *
+               (1.0f - state.avec[i][j]);  // through sigmoid
+    }
+    AccumulateOuter(w1_, dsi.data(), x);
+    AccumulateOuter(w2_, dsi.data(), embeddings_.Row(last));
+    AccumulateOuter(w3_, dsi.data(), state.ms.data());
+    for (size_t j = 0; j < d; ++j) ba_.GradRow(0)[j] += dsi[j];
+    MatVecTransposeAdd(w1_, dsi.data(), dx[i].data());
+    MatVecTransposeAdd(w2_, dsi.data(), dxt.data());
+    MatVecTransposeAdd(w3_, dsi.data(), dms.data());
+  }
+
+  // m_s = mean of prefix embeddings.
+  for (size_t i = 0; i < t; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      dx[i][j] += dms[j] / static_cast<float>(t);
+    }
+  }
+
+  // Flush embedding gradients (x_t gradient goes to the last item's row).
+  for (size_t i = 0; i < t; ++i) {
+    float* grad = embeddings_.GradRow(state.prefix[i]);
+    for (size_t j = 0; j < d; ++j) grad[j] += dx[i][j];
+    touched->push_back(state.prefix[i]);
+  }
+  float* last_grad = embeddings_.GradRow(last);
+  for (size_t j = 0; j < d; ++j) last_grad[j] += dxt[j];
+}
+
+float Stamp::Train(const Dataset& train) {
+  const size_t d = config_.embedding_dim;
+  double loss_sum = 0.0;
+  size_t loss_count = 0;
+  float final_epoch_loss = 0.0f;
+
+  std::vector<ForwardState> states(config_.batch_size);
+  std::vector<ItemId> targets(config_.batch_size);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    loss_sum = 0.0;
+    loss_count = 0;
+    size_t filled = 0;
+    std::vector<uint32_t> touched;
+
+    auto flush_batch = [&]() {
+      if (filled == 0) return;
+      // In-batch sampled softmax over the union of targets.
+      std::vector<ItemId> samples(targets.begin(),
+                                  targets.begin() + filled);
+      std::sort(samples.begin(), samples.end());
+      samples.erase(std::unique(samples.begin(), samples.end()),
+                    samples.end());
+      std::unordered_map<ItemId, size_t> sample_pos;
+      for (size_t i = 0; i < samples.size(); ++i) sample_pos[samples[i]] = i;
+
+      touched.clear();
+      std::vector<float> logits(samples.size());
+      std::vector<float> dg(d);
+      for (size_t b = 0; b < filled; ++b) {
+        for (size_t i = 0; i < samples.size(); ++i) {
+          logits[i] = Dot(embeddings_.Row(samples[i]), states[b].g.data(), d);
+        }
+        SoftmaxInPlace(logits.data(), logits.size());
+        const size_t target_index = sample_pos[targets[b]];
+        loss_sum += -std::log(std::max(logits[target_index], 1e-12f));
+        ++loss_count;
+
+        std::fill(dg.begin(), dg.end(), 0.0f);
+        for (size_t i = 0; i < samples.size(); ++i) {
+          const float dlogit =
+              logits[i] - (i == target_index ? 1.0f : 0.0f);
+          const float* row = embeddings_.Row(samples[i]);
+          float* grad = embeddings_.GradRow(samples[i]);
+          for (size_t j = 0; j < d; ++j) {
+            dg[j] += dlogit * row[j];
+            grad[j] += dlogit * states[b].g[j];
+          }
+          touched.push_back(samples[i]);
+        }
+        Backward(states[b], dg, &touched);
+      }
+
+      const float lr = config_.learning_rate;
+      w1_.ApplyAdagrad(lr);
+      w2_.ApplyAdagrad(lr);
+      w3_.ApplyAdagrad(lr);
+      ba_.ApplyAdagrad(lr);
+      w0_.ApplyAdagrad(lr);
+      ws_.ApplyAdagrad(lr);
+      wt_.ApplyAdagrad(lr);
+      bs_.ApplyAdagrad(lr);
+      bt_.ApplyAdagrad(lr);
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      embeddings_.ApplyAdagradRows(touched, lr);
+      filled = 0;
+    };
+
+    EvolvingSession prefix;
+    for (const SessionData& session : train.sessions()) {
+      prefix.clear();
+      for (size_t pos = 0; pos + 1 < session.items.size(); ++pos) {
+        prefix.push_back(session.items[pos]);
+        if (!Forward(prefix, &states[filled])) continue;
+        targets[filled] = session.items[pos + 1];
+        if (++filled == config_.batch_size) flush_batch();
+      }
+    }
+    flush_batch();
+    final_epoch_loss =
+        loss_count == 0 ? 0.0f : static_cast<float>(loss_sum / loss_count);
+  }
+  return final_epoch_loss;
+}
+
+std::vector<ScoredItem> Stamp::RecommendNext(const EvolvingSession& session,
+                                             size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+  ForwardState state;
+  if (!Forward(session, &state)) return {};
+  const size_t d = config_.embedding_dim;
+
+  BoundedTopK<ScoredItem, 8, ScoredItemLess> top(how_many);
+  for (ItemId item = 0; item < num_items_; ++item) {
+    top.Offer(ScoredItem{item, Dot(embeddings_.Row(item), state.g.data(), d)});
+  }
+  return top.TakeSortedDescending();
+}
+
+}  // namespace serenade

@@ -1,0 +1,73 @@
+// STAMP (Liu et al., KDD'18) re-implemented from scratch: short-term
+// attention/memory priority model. Attention over the session's item
+// embeddings (queried by the last item and the session mean), two small
+// MLP heads, trilinear composition against candidate item embeddings.
+// Second neural baseline of the paper's quality comparison (Section 5.1.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "baselines/nn.h"
+#include "core/recommender.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct StampConfig {
+  size_t embedding_dim = 48;
+  size_t epochs = 5;
+  size_t batch_size = 32;      ///< (prefix, target) examples per update
+  float learning_rate = 0.05f;
+  float init_range = 0.05f;
+  uint64_t seed = 2;
+  /// Prefix items attended over (the "short-term memory").
+  size_t max_prefix_length = 8;
+};
+
+/// Trainable STAMP model.
+class Stamp : public Recommender {
+ public:
+  Stamp(size_t num_items, StampConfig config);
+
+  /// Trains on every (prefix, next item) pair of every training session.
+  /// Returns the mean training loss of the final epoch.
+  float Train(const Dataset& train);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "stamp"; }
+
+ private:
+  struct ForwardState {
+    std::vector<ItemId> prefix;           // capped, unknown items removed
+    std::vector<float> ms;                // session mean embedding
+    std::vector<std::vector<float>> avec; // per-item attention activations
+    std::vector<float> e;                 // per-item attention scalars
+    std::vector<float> ma;                // attended representation
+    std::vector<float> hs, ht;            // MLP heads (post-tanh)
+    std::vector<float> g;                 // hs ⊙ ht
+  };
+
+  // Builds the capped prefix and runs the full forward pass. Returns
+  // false when no known item remains.
+  bool Forward(const EvolvingSession& session, ForwardState* state) const;
+
+  // Backprop given dL/dg; accumulates all parameter and embedding grads
+  // and records touched embedding rows.
+  void Backward(const ForwardState& state, const std::vector<float>& dg,
+                std::vector<uint32_t>* touched);
+
+  size_t num_items_;
+  StampConfig config_;
+
+  Tensor embeddings_;        // items x d (shared input/candidate)
+  Tensor w1_, w2_, w3_;      // d x d attention projections
+  Tensor ba_;                // 1 x d attention bias
+  Tensor w0_;                // 1 x d attention readout
+  Tensor ws_, wt_;           // d x d MLP heads
+  Tensor bs_, bt_;           // 1 x d
+};
+
+}  // namespace serenade

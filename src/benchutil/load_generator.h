@@ -1,0 +1,60 @@
+// Open-loop HTTP load generator ("we generate a simulated load ... by
+// replaying historical traffic via a load generator application",
+// Section 5.2.2) plus process CPU-usage sampling for the core-usage plot
+// of Figure 3(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "benchutil/workload.h"
+
+namespace serenade {
+
+/// Aggregated measurements for one wall-clock bucket of the run.
+struct LoadBucket {
+  double start_seconds = 0.0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  Histogram latency_micros;
+  /// Process-wide CPU usage during the bucket, in percent of one core
+  /// (e.g. 250 = 2.5 cores busy). Covers servers + client threads when
+  /// they share the process; see the bench output notes.
+  double core_usage_percent = 0.0;
+};
+
+struct LoadGeneratorOptions {
+  /// Parallel keep-alive connections per serving port.
+  size_t connections_per_server = 8;
+  /// Measurement bucket width.
+  double bucket_seconds = 1.0;
+  /// Speed-up factor applied to event due-times (2 = replay twice as fast).
+  double time_compression = 1.0;
+};
+
+struct LoadResult {
+  double bucket_seconds = 1.0;
+  std::vector<LoadBucket> buckets;
+  Histogram total_latency_micros;
+  uint64_t total_requests = 0;
+  uint64_t total_errors = 0;
+  double wall_seconds = 0.0;
+
+  /// Renders the per-bucket table (rps, core%, p75/p90/p99.5 ms).
+  std::string FormatTable() const;
+};
+
+/// Runs the schedule against the given serving ports. Events are routed
+/// by sticky session hash across the ports; each worker connection sends
+/// its events at their scheduled times (open loop: a slow response delays
+/// only that connection's queue, mimicking independent frontends).
+LoadResult RunLoad(const std::vector<LoadEvent>& events,
+                   const std::vector<uint16_t>& server_ports,
+                   const LoadGeneratorOptions& options);
+
+/// Total process CPU time (user + system) in seconds.
+double ProcessCpuSeconds();
+
+}  // namespace serenade

@@ -1,0 +1,112 @@
+#include "benchutil/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace serenade {
+
+RateProfile RateProfile::Constant(double rps) {
+  RateProfile profile;
+  profile.kind_ = Kind::kConstant;
+  profile.a_ = rps;
+  return profile;
+}
+
+RateProfile RateProfile::Ramp(double from_rps, double to_rps) {
+  RateProfile profile;
+  profile.kind_ = Kind::kRamp;
+  profile.a_ = from_rps;
+  profile.b_ = to_rps;
+  return profile;
+}
+
+RateProfile RateProfile::Diurnal(double min_rps, double max_rps,
+                                 double cycles) {
+  RateProfile profile;
+  profile.kind_ = Kind::kDiurnal;
+  profile.a_ = min_rps;
+  profile.b_ = max_rps;
+  profile.cycles_ = cycles;
+  return profile;
+}
+
+double RateProfile::RateAt(double fraction) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kRamp:
+      return a_ + (b_ - a_) * fraction;
+    case Kind::kDiurnal: {
+      // Smooth day curve: deep trough at "night", evening peak, matching
+      // the 200-600 rps oscillation of Figure 3(c).
+      const double phase = fraction * cycles_ * 2.0 * M_PI;
+      const double wave = 0.5 * (1.0 - std::cos(phase));  // 0..1
+      return a_ + (b_ - a_) * (wave * wave * (3 - 2 * wave));  // smoothstep
+    }
+  }
+  return a_;
+}
+
+std::vector<LoadEvent> BuildWorkload(const Dataset& sessions,
+                                     const RateProfile& profile,
+                                     const WorkloadOptions& options) {
+  assert(options.duration_seconds > 0);
+  Rng rng(options.seed);
+  const auto& all_sessions = sessions.sessions();
+  std::vector<LoadEvent> events;
+  if (all_sessions.empty()) return events;
+
+  // Sliding pool of concurrently active visitors. Each emitted request is
+  // the next click of a random pooled visitor, so one visitor's clicks
+  // stay in order and are spread over a realistic time window.
+  struct ActiveVisitor {
+    size_t session_index;
+    size_t position;
+    uint32_t generation;
+  };
+  const size_t pool_size = std::min<size_t>(
+      256, std::max<size_t>(8, all_sessions.size() / 4));
+  std::vector<ActiveVisitor> pool;
+  size_t next_session = 0;
+  uint32_t generation = 0;
+
+  auto refill = [&]() -> ActiveVisitor {
+    if (next_session >= all_sessions.size()) {
+      next_session = 0;
+      ++generation;  // reuse sessions under fresh visitor keys
+    }
+    return ActiveVisitor{next_session++, 0, generation};
+  };
+  for (size_t i = 0; i < pool_size; ++i) pool.push_back(refill());
+
+  // Open-loop schedule: walk time in 1ms steps, accumulating fractional
+  // expected arrivals from the rate profile.
+  const double step_seconds = 0.001;
+  double pending = 0.0;
+  for (double t = 0.0; t < options.duration_seconds; t += step_seconds) {
+    pending += profile.RateAt(t / options.duration_seconds) * step_seconds;
+    while (pending >= 1.0) {
+      pending -= 1.0;
+      ActiveVisitor& visitor = pool[rng.Below(pool.size())];
+      const SessionData& session = all_sessions[visitor.session_index];
+
+      LoadEvent event;
+      event.due_micros = static_cast<uint64_t>(
+          (t + rng.NextDouble() * step_seconds) * 1e6);
+      event.session_key = "v" + std::to_string(visitor.session_index) + "-" +
+                          std::to_string(visitor.generation);
+      event.item = session.items[visitor.position];
+      event.consent = !rng.Bernoulli(options.no_consent_fraction);
+      events.push_back(std::move(event));
+
+      if (++visitor.position >= session.items.size()) {
+        visitor = refill();
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace serenade

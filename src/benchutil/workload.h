@@ -1,0 +1,59 @@
+// Request workload synthesis for the load-test (Figure 3(b)) and A/B
+// replay (Figure 3(c)) benchmarks: turns test sessions into a time-stamped
+// open-loop request schedule following a configurable requests-per-second
+// profile (constant, ramp, or diurnal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// One scheduled request: send at `due_micros` (relative to test start).
+struct LoadEvent {
+  uint64_t due_micros = 0;
+  std::string session_key;
+  ItemId item = kInvalidItem;
+  bool consent = true;
+};
+
+/// Requests-per-second profile sampled per second of test time.
+class RateProfile {
+ public:
+  /// Constant rate.
+  static RateProfile Constant(double rps);
+  /// Linear ramp from `from_rps` to `to_rps` over the duration.
+  static RateProfile Ramp(double from_rps, double to_rps);
+  /// Scaled diurnal curve (Figure 3(c)): oscillates between min and max
+  /// with `cycles` full days compressed into the test duration.
+  static RateProfile Diurnal(double min_rps, double max_rps, double cycles);
+
+  /// Rate at a fraction [0, 1] of the test duration.
+  double RateAt(double fraction) const;
+
+ private:
+  enum class Kind { kConstant, kRamp, kDiurnal };
+  Kind kind_ = Kind::kConstant;
+  double a_ = 0.0, b_ = 0.0, cycles_ = 1.0;
+};
+
+struct WorkloadOptions {
+  double duration_seconds = 30.0;
+  /// Fraction of requests with the consent flag off (depersonalised).
+  double no_consent_fraction = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Builds an open-loop schedule by replaying the given sessions' clicks
+/// (each test session becomes one simulated visitor whose clicks are
+/// spread over the test). Events are ordered by due time; session clicks
+/// preserve their relative order.
+std::vector<LoadEvent> BuildWorkload(const Dataset& sessions,
+                                     const RateProfile& profile,
+                                     const WorkloadOptions& options);
+
+}  // namespace serenade

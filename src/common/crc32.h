@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial) for file-format integrity checks in the
+// index format and the session-store write-ahead log.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace serenade {
+
+/// Computes/extends a CRC-32. Start with crc = 0 for a fresh checksum.
+uint32_t Crc32(const void* data, size_t length, uint32_t crc = 0);
+
+}  // namespace serenade

@@ -1,0 +1,38 @@
+// Hashing utilities: a strong 64-bit mixer for partitioning (the sticky-
+// session router and session-store sharding both hash session identifiers)
+// and FNV-1a for byte strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace serenade {
+
+/// Finalization mixer from MurmurHash3 (fmix64); a high-quality avalanche
+/// function for integer keys.
+inline uint64_t Mix64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+/// FNV-1a over arbitrary bytes; used for string session keys and file
+/// checksums where cryptographic strength is not needed.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Combines two hashes (boost::hash_combine recipe, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace serenade

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace serenade {
+
+Histogram::Histogram() : buckets_(BucketIndex(~0ULL) + 1, 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  // Values below kSubBuckets map 1:1 to the first kSubBuckets buckets;
+  // beyond that, each power of two is split into kSubBuckets linear
+  // sub-buckets (top kSubBucketBits bits after the leading one).
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const uint64_t sub = (value >> shift) - kSubBuckets;  // in [0, kSubBuckets)
+  return static_cast<size_t>(
+      kSubBuckets + static_cast<uint64_t>(msb - kSubBucketBits) * kSubBuckets +
+      sub);
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const size_t i = index - kSubBuckets;
+  const int shift = static_cast<int>(i / kSubBuckets);
+  const uint64_t sub = i % kSubBuckets;
+  const uint64_t low = (kSubBuckets + sub) << shift;
+  const uint64_t width = 1ULL << shift;
+  return low + width / 2;
+}
+
+void Histogram::Record(uint64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketIndex(value)] += count;
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu min=%llu p50=%llu p75=%llu p90=%llu p99=%llu "
+                "p99.5=%llu max=%llu mean=%.1f",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.75)),
+                static_cast<unsigned long long>(Percentile(0.90)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.995)),
+                static_cast<unsigned long long>(max()), Mean());
+  return buf;
+}
+
+}  // namespace serenade

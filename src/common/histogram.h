@@ -1,0 +1,62 @@
+// HDR-style latency histogram: log2 buckets with linear sub-buckets, giving
+// bounded relative error at any magnitude. Used by the load-test and A/B
+// benchmark harnesses to report the latency percentiles the paper plots
+// (p75 / p90 / p99.5 in Figures 3(b) and 3(c)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace serenade {
+
+/// Records non-negative integer values (typically latencies in
+/// microseconds or nanoseconds) and answers percentile queries with a
+/// relative error bounded by 1/kSubBuckets.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation.
+  void Record(uint64_t value);
+
+  /// Records n identical observations.
+  void RecordMany(uint64_t value, uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Number of recorded observations.
+  uint64_t count() const { return count_; }
+
+  /// Smallest / largest recorded value (exact). 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Arithmetic mean of recorded values (from exact running sum).
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1]; approximate within one sub-bucket.
+  uint64_t Percentile(double q) const;
+
+  /// Convenience: p50 / p75 / p90 / p99 / p99.5 / p99.9 summary string.
+  std::string Summary() const;
+
+  /// Resets to empty.
+  void Clear();
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => <1.6% error
+  static constexpr uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace serenade

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace serenade {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = std::strrchr(file, '/');
+  basename = basename != nullptr ? basename + 1 : file;
+  stream_ << "[" << LevelName(level_) << " " << basename << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&tt, &tm_buf);
+  char time_str[32];
+  std::strftime(time_str, sizeof(time_str), "%H:%M:%S", &tm_buf);
+
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "%s %s\n", time_str, stream_.str().c_str());
+}
+
+}  // namespace internal
+
+}  // namespace serenade

@@ -1,0 +1,60 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Intended for the
+// serving layer and offline pipelines, not for hot per-request paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace serenade {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp, level, and
+/// source location) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define SERENADE_LOG(level)                                              \
+  (::serenade::LogLevel::k##level < ::serenade::GetLogLevel())           \
+      ? (void)0                                                          \
+      : ::serenade::internal::LogMessageVoidify() &                      \
+            ::serenade::internal::LogMessage(                            \
+                ::serenade::LogLevel::k##level, __FILE__, __LINE__)
+
+#define LOG_DEBUG SERENADE_LOG(Debug)
+#define LOG_INFO SERENADE_LOG(Info)
+#define LOG_WARNING SERENADE_LOG(Warning)
+#define LOG_ERROR SERENADE_LOG(Error)
+
+}  // namespace serenade

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace serenade {
+
+namespace {
+
+// (exp(t) - 1) / t, numerically stable near t == 0.
+double Expm1OverT(double t) {
+  return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t / 2.0;
+}
+
+// log(1 + t) / t, numerically stable near t == 0.
+double Log1pOverT(double t) {
+  return std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t / 2.0;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (exponent <= 0.0) {
+    throw std::invalid_argument("ZipfDistribution: exponent must be > 0");
+  }
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_elements_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::exp(-exponent_ * std::log(2.0)));
+}
+
+// H(x) = integral of x^-exponent; written via expm1 to stay stable as the
+// exponent approaches 1 (where the closed form degenerates to log(x)).
+double ZipfDistribution::H(double x) const {
+  const double log_x = std::log(x);
+  return Expm1OverT((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  return std::exp(Log1pOverT(t) * x);
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  // Rejection-inversion after Hormann & Derflinger; identical structure to
+  // Apache Commons' RejectionInversionZipfSampler.
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double k_double = static_cast<double>(k);
+    const double h_k = std::exp(-exponent_ * std::log(k_double));
+    if (k_double - x <= s_ || u >= H(k_double + 0.5) - h_k) {
+      return k - 1;  // shift to [0, n)
+    }
+  }
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t column = rng.Below(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace serenade

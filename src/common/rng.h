@@ -1,0 +1,123 @@
+// Deterministic, fast random number generation for workload synthesis and
+// property tests. We avoid std::mt19937 on hot paths in favour of
+// xoshiro256**, seeded via SplitMix64 (the standard seeding recipe).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace serenade {
+
+/// SplitMix64 step; used for seeding and cheap stateless mixing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    for (auto& word : state_) word = SplitMix64(seed);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift reduction (slightly biased for huge bounds; fine for
+  /// workload generation).
+  uint64_t Below(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Approximately normal draw (sum of uniforms is good enough for
+  /// latency/jitter synthesis).
+  double Gaussian(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return mean + stddev * (sum - 6.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Bounded Zipf(s) sampler over {0, ..., n-1} using rejection-inversion
+/// (Hormann & Derflinger), the same approach as Apache Commons' and the
+/// JDK's samplers. O(1) amortised per sample, supports n in the millions.
+class ZipfDistribution {
+ public:
+  /// n: number of elements; exponent: the Zipf skew s (> 0, typically ~1).
+  ZipfDistribution(uint64_t n, double exponent);
+
+  /// Samples a value in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double exponent_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+/// Walker alias table for sampling from an arbitrary discrete
+/// distribution in O(1). Used for popularity-weighted item draws.
+class AliasTable {
+ public:
+  /// weights: non-negative, at least one positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples an index in [0, weights.size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace serenade

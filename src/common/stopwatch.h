@@ -1,0 +1,35 @@
+// Monotonic timing helpers for benchmarks and request instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace serenade {
+
+/// Wall-clock stopwatch over the monotonic steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+  uint64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  uint64_t ElapsedMillis() const { return ElapsedNanos() / 1000000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace serenade

@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a shared queue plus a ParallelFor helper for
+// the offline index-building pipeline and benchmark drivers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace serenade {
+
+/// A simple FIFO thread pool. Tasks are std::function<void()>; use Submit
+/// for a future-returning variant. Destruction drains outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates a pool with num_threads workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a fire-and-forget task.
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto Submit(F&& func) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(func));
+    std::future<R> result = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, count) into roughly equal contiguous chunks and runs
+/// body(begin, end) for each chunk on the pool, blocking until done.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+}  // namespace serenade

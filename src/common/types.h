@@ -1,0 +1,45 @@
+// Core identifier and event types shared by all Serenade modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace serenade {
+
+/// Dense identifier of a catalog item. Items are remapped to a contiguous
+/// [0, num_items) range during dataset loading / index construction.
+using ItemId = uint32_t;
+
+/// Dense identifier of a historical session. The offline index builder
+/// assigns consecutive integers so that per-session metadata (timestamps,
+/// item lists) can live in flat arrays with O(1) random access.
+using SessionId = uint32_t;
+
+/// Seconds since the UNIX epoch (or any monotone integer clock; only the
+/// relative order of timestamps matters to the algorithms).
+using Timestamp = uint64_t;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// Sentinel for "no session".
+inline constexpr SessionId kInvalidSession =
+    std::numeric_limits<SessionId>::max();
+
+/// A single user-item interaction event ("click") as produced by the
+/// shopping frontend and stored in the historical click log.
+struct Click {
+  SessionId session_id = kInvalidSession;
+  ItemId item_id = kInvalidItem;
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const Click&, const Click&) = default;
+};
+
+/// The evolving session held by the serving layer: items in insertion
+/// order (oldest first). Position i has 1-based insertion order i + 1,
+/// matching the paper's omega(s) function.
+using EvolvingSession = std::vector<ItemId>;
+
+}  // namespace serenade

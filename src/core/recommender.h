@@ -1,0 +1,38 @@
+// The public next-item recommendation interface implemented by VMIS-kNN,
+// VS-kNN, the implementation-comparison variants, and all baselines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace serenade {
+
+/// One recommended item with its relevance score (higher is better).
+struct ScoredItem {
+  ItemId item = kInvalidItem;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
+};
+
+/// A session-based recommender: given the evolving session (items in
+/// insertion order, oldest first), predicts the items the user is most
+/// likely to interact with next.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Returns up to `how_many` items ordered by descending score.
+  /// Non-const because some implementations (e.g. the incremental
+  /// differential-dataflow stand-in) maintain per-session state.
+  virtual std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                                size_t how_many) = 0;
+
+  /// Short human-readable identifier used in benchmark output.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace serenade

@@ -1,0 +1,456 @@
+#include "core/variants.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <tuple>
+
+namespace serenade {
+
+namespace {
+
+// Truncates to the most recent max_session_length items.
+std::vector<ItemId> Truncate(const EvolvingSession& session, size_t cap) {
+  const size_t start = session.size() > cap ? session.size() - cap : 0;
+  return std::vector<ItemId>(session.begin() + static_cast<ptrdiff_t>(start),
+                             session.end());
+}
+
+// Last 1-based position per distinct item.
+std::unordered_map<ItemId, uint32_t> MaxPositions(
+    const std::vector<ItemId>& items) {
+  std::unordered_map<ItemId, uint32_t> positions;
+  for (size_t p = 0; p < items.size(); ++p) {
+    positions[items[p]] = static_cast<uint32_t>(p + 1);
+  }
+  return positions;
+}
+
+float IdfFactor(const SessionIndex& index, IdfWeighting idf, ItemId item) {
+  switch (idf) {
+    case IdfWeighting::kNone:
+      return 1.0f;
+    case IdfWeighting::kLog:
+      return static_cast<float>(index.Idf(item));
+    case IdfWeighting::kOnePlusLog:
+      return 1.0f + static_cast<float>(index.Idf(item));
+  }
+  return 1.0f;
+}
+
+// Shared final stage: given the k neighbours, produce item scores the
+// VMIS way (no 1/|s| factor, configurable idf), fully materialised:
+// emit (item, contribution) pairs, sort by item, aggregate, sort by score.
+std::vector<ScoredItem> ScoreMaterialized(
+    const SessionIndex& index, const KnnConfig& config,
+    const std::vector<Neighbor>& neighbors,
+    const std::unordered_map<ItemId, uint32_t>& max_positions, size_t len,
+    size_t how_many) {
+  std::vector<std::pair<ItemId, float>> contributions;
+  for (const Neighbor& neighbor : neighbors) {
+    const auto items = index.ItemsForSession(neighbor.session);
+    uint32_t max_shared = 0;
+    for (ItemId item : items) {
+      auto it = max_positions.find(item);
+      if (it != max_positions.end()) max_shared = std::max(max_shared,
+                                                           it->second);
+    }
+    if (max_shared == 0) continue;
+    const float weight =
+        static_cast<float>(MatchWeight(config.match_weight, max_shared, len)) *
+        neighbor.score;
+    if (weight <= 0.0f) continue;
+    for (ItemId item : items) {
+      contributions.emplace_back(item,
+                                 weight * IdfFactor(index, config.idf, item));
+    }
+  }
+
+  std::sort(contributions.begin(), contributions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<ScoredItem> aggregated;
+  for (size_t i = 0; i < contributions.size();) {
+    const ItemId item = contributions[i].first;
+    float score = 0.0f;
+    while (i < contributions.size() && contributions[i].first == item) {
+      score += contributions[i].second;
+      ++i;
+    }
+    if (config.exclude_session_items &&
+        max_positions.find(item) != max_positions.end()) {
+      continue;
+    }
+    aggregated.push_back(ScoredItem{item, score});
+  }
+
+  std::sort(aggregated.begin(), aggregated.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.item < b.item);
+            });
+  if (aggregated.size() > how_many) aggregated.resize(how_many);
+  return aggregated;
+}
+
+// Recency sample + top-k over a materialised (session, similarity) table.
+std::vector<Neighbor> SampleAndTopK(const SessionIndex& index,
+                                    const KnnConfig& config,
+                                    std::vector<Neighbor> table) {
+  // ORDER BY timestamp DESC LIMIT m (materialised sort).
+  std::sort(table.begin(), table.end(), [](const Neighbor& a,
+                                           const Neighbor& b) {
+    return a.timestamp > b.timestamp ||
+           (a.timestamp == b.timestamp && a.session > b.session);
+  });
+  if (table.size() > config.m) table.resize(config.m);
+
+  // ORDER BY similarity DESC LIMIT k (another materialised sort).
+  std::sort(table.begin(), table.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+              return a.session > b.session;
+            });
+  if (table.size() > config.k) table.resize(config.k);
+  (void)index;
+  return table;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MaterializingVsKnn
+// ---------------------------------------------------------------------------
+
+MaterializingVsKnn::MaterializingVsKnn(const SessionIndex* index,
+                                       KnnConfig config)
+    : index_(index), config_(config) {
+  assert(index_ != nullptr);
+}
+
+std::vector<ScoredItem> MaterializingVsKnn::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  const std::vector<ItemId> items =
+      Truncate(session, config_.max_session_length);
+  if (items.empty() || how_many == 0) return {};
+  const size_t len = items.size();
+  const auto max_positions = MaxPositions(items);
+
+  // Stage 1: materialise the complete join result — every (matching
+  // session, decay weight) pair across the FULL postings of every item.
+  std::vector<std::pair<SessionId, float>> join_result;
+  for (const auto& [item, position] : max_positions) {
+    const auto postings = index_->SessionsForItem(item);
+    const float decay =
+        static_cast<float>(DecayWeight(config_.decay, position, len));
+    for (SessionId candidate : postings) {
+      join_result.emplace_back(candidate, decay);
+    }
+  }
+
+  // Stage 2: hash-aggregate similarities over the full matching set.
+  std::unordered_map<SessionId, float> similarity;
+  similarity.reserve(join_result.size());
+  for (const auto& [candidate, decay] : join_result) {
+    similarity[candidate] += decay;
+  }
+
+  // Stage 3+4: recency sample of size m, then top-k.
+  std::vector<Neighbor> table;
+  table.reserve(similarity.size());
+  for (const auto& [candidate, score] : similarity) {
+    table.push_back(
+        Neighbor{candidate, score, index_->SessionTimestamp(candidate)});
+  }
+  const std::vector<Neighbor> neighbors =
+      SampleAndTopK(*index_, config_, std::move(table));
+
+  return ScoreMaterialized(*index_, config_, neighbors, max_positions, len,
+                           how_many);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalVmisKnn
+// ---------------------------------------------------------------------------
+
+IncrementalVmisKnn::IncrementalVmisKnn(const SessionIndex* index,
+                                       KnnConfig config)
+    : index_(index), config_(config) {
+  assert(index_ != nullptr);
+}
+
+void IncrementalVmisKnn::Reset() {
+  current_items_.clear();
+  arrangement_.clear();
+}
+
+size_t IncrementalVmisKnn::ArrangementBytes() const {
+  size_t bytes = 0;
+  for (const auto& [session, matches] : arrangement_) {
+    (void)session;
+    bytes += sizeof(SessionId) +
+             matches.size() * (sizeof(ItemId) + sizeof(uint32_t) +
+                               2 * sizeof(void*));  // node overhead estimate
+  }
+  return bytes;
+}
+
+void IncrementalVmisKnn::ApplyClick(ItemId item, uint32_t position) {
+  // Only the postings of the new item are touched (the incremental
+  // advantage), but the match is recorded per (candidate, item) so that
+  // later updates — e.g. the same item reappearing at a newer position —
+  // can be applied as differences (the indexed-intermediate cost).
+  for (SessionId candidate : index_->SessionsForItem(item)) {
+    arrangement_[candidate][item] = position;
+  }
+}
+
+std::vector<ScoredItem> IncrementalVmisKnn::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  if (session.empty() || how_many == 0) return {};
+
+  // Incremental path: the new session extends the current one by exactly
+  // one click. Anything else forces a replay from scratch.
+  const bool is_extension =
+      session.size() == current_items_.size() + 1 &&
+      std::equal(current_items_.begin(), current_items_.end(),
+                 session.begin());
+  if (is_extension) {
+    current_items_.push_back(session.back());
+    ApplyClick(session.back(), static_cast<uint32_t>(current_items_.size()));
+  } else {
+    Reset();
+    current_items_.assign(session.begin(), session.end());
+    for (size_t p = 0; p < current_items_.size(); ++p) {
+      ApplyClick(current_items_[p], static_cast<uint32_t>(p + 1));
+    }
+  }
+
+  // Query over the arrangement: derive similarities from the indexed
+  // matches, then recency-sample and top-k as usual.
+  const size_t len = current_items_.size();
+  std::vector<Neighbor> table;
+  table.reserve(arrangement_.size());
+  for (const auto& [candidate, matches] : arrangement_) {
+    float similarity = 0.0f;
+    for (const auto& [item, position] : matches) {
+      (void)item;
+      similarity +=
+          static_cast<float>(DecayWeight(config_.decay, position, len));
+    }
+    table.push_back(
+        Neighbor{candidate, similarity, index_->SessionTimestamp(candidate)});
+  }
+  const std::vector<Neighbor> neighbors =
+      SampleAndTopK(*index_, config_, std::move(table));
+
+  std::unordered_map<ItemId, uint32_t> max_positions;
+  for (size_t p = 0; p < current_items_.size(); ++p) {
+    max_positions[current_items_[p]] = static_cast<uint32_t>(p + 1);
+  }
+  return ScoreMaterialized(*index_, config_, neighbors, max_positions, len,
+                           how_many);
+}
+
+// ---------------------------------------------------------------------------
+// BoxedVmisKnn
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Boxed candidate record, individually heap-allocated like a JVM object.
+struct BoxedCandidate {
+  float score = 0.0f;
+  Timestamp timestamp = 0;
+};
+
+}  // namespace
+
+BoxedVmisKnn::BoxedVmisKnn(const SessionIndex* index, KnnConfig config)
+    : index_(index), config_(config) {
+  assert(index_ != nullptr);
+}
+
+std::vector<Neighbor> BoxedVmisKnn::NeighborSessions(
+    const EvolvingSession& session) {
+  truncated_ = Truncate(session, config_.max_session_length);
+  std::vector<Neighbor> result;
+  if (truncated_.empty()) return result;
+  const size_t len = truncated_.size();
+  const size_t m = config_.m;
+
+  // Node-based structures allocated afresh per query: a red-black tree
+  // keyed by session id for the candidate scores, and an ordered tree
+  // keyed by recency for the eviction order (the TreeMap idiom).
+  std::map<SessionId, std::unique_ptr<BoxedCandidate>> scores;
+  std::map<std::pair<Timestamp, SessionId>, SessionId> by_recency;
+
+  for (size_t reverse = 0; reverse < len; ++reverse) {
+    const size_t position = len - 1 - reverse;
+    const ItemId item = truncated_[position];
+    bool duplicate = false;
+    for (size_t later = position + 1; later < len; ++later) {
+      if (truncated_[later] == item) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+
+    const float decay = static_cast<float>(
+        DecayWeight(config_.decay, position + 1, len));
+    size_t scanned = 0;
+    for (SessionId candidate : index_->SessionsForItem(item)) {
+      if (++scanned > m) break;
+      auto it = scores.find(candidate);
+      if (it != scores.end()) {
+        it->second->score += decay;
+        continue;
+      }
+      const Timestamp candidate_time = index_->SessionTimestamp(candidate);
+      if (scores.size() < m) {
+        auto boxed = std::make_unique<BoxedCandidate>();
+        boxed->score = decay;
+        boxed->timestamp = candidate_time;
+        scores.emplace(candidate, std::move(boxed));
+        by_recency.emplace(std::make_pair(candidate_time, candidate),
+                           candidate);
+        continue;
+      }
+      const auto oldest = by_recency.begin();
+      if (std::make_pair(candidate_time, candidate) > oldest->first) {
+        scores.erase(oldest->second);
+        by_recency.erase(oldest);
+        auto boxed = std::make_unique<BoxedCandidate>();
+        boxed->score = decay;
+        boxed->timestamp = candidate_time;
+        scores.emplace(candidate, std::move(boxed));
+        by_recency.emplace(std::make_pair(candidate_time, candidate),
+                           candidate);
+      } else {
+        break;  // postings sorted by recency: nothing later qualifies
+      }
+    }
+  }
+
+  // Top-k via an ordered tree as well (no flat heap).
+  std::map<std::tuple<float, Timestamp, SessionId>, Neighbor> top_k;
+  for (const auto& [candidate, boxed] : scores) {
+    top_k.emplace(std::make_tuple(boxed->score, boxed->timestamp, candidate),
+                  Neighbor{candidate, boxed->score, boxed->timestamp});
+    if (top_k.size() > config_.k) top_k.erase(top_k.begin());
+  }
+  result.reserve(top_k.size());
+  for (auto it = top_k.rbegin(); it != top_k.rend(); ++it) {
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+std::vector<ScoredItem> BoxedVmisKnn::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  if (how_many == 0) return {};
+  const std::vector<Neighbor> neighbors = NeighborSessions(session);
+  if (neighbors.empty()) return {};
+  const size_t len = truncated_.size();
+  const auto max_positions = MaxPositions(truncated_);
+
+  // Tree-map aggregation for the item scores, too.
+  std::map<ItemId, float> item_scores;
+  for (const Neighbor& neighbor : neighbors) {
+    const auto items = index_->ItemsForSession(neighbor.session);
+    uint32_t max_shared = 0;
+    for (ItemId item : items) {
+      auto it = max_positions.find(item);
+      if (it != max_positions.end()) {
+        max_shared = std::max(max_shared, it->second);
+      }
+    }
+    if (max_shared == 0) continue;
+    const float weight =
+        static_cast<float>(MatchWeight(config_.match_weight, max_shared, len)) *
+        neighbor.score;
+    if (weight <= 0.0f) continue;
+    for (ItemId item : items) {
+      item_scores[item] += weight * IdfFactor(*index_, config_.idf, item);
+    }
+  }
+
+  std::vector<ScoredItem> result;
+  result.reserve(item_scores.size());
+  for (const auto& [item, score] : item_scores) {
+    if (config_.exclude_session_items &&
+        max_positions.find(item) != max_positions.end()) {
+      continue;
+    }
+    result.push_back(ScoredItem{item, score});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              return a.score > b.score ||
+                     (a.score == b.score && a.item < b.item);
+            });
+  if (result.size() > how_many) result.resize(how_many);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JoinAggregateVmisKnn
+// ---------------------------------------------------------------------------
+
+JoinAggregateVmisKnn::JoinAggregateVmisKnn(const SessionIndex* index,
+                                           KnnConfig config)
+    : index_(index), config_(config) {
+  assert(index_ != nullptr);
+}
+
+std::vector<ScoredItem> JoinAggregateVmisKnn::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  const std::vector<ItemId> items =
+      Truncate(session, config_.max_session_length);
+  if (items.empty() || how_many == 0) return {};
+  const size_t len = items.size();
+  const auto max_positions = MaxPositions(items);
+
+  // Subquery 1: SELECT candidate, decay FROM evolving JOIN postings —
+  // the complete join result is materialised before any LIMIT applies,
+  // exactly like the nested-subquery SQL formulation (the recency LIMIT m
+  // only appears two subqueries later, after the aggregation).
+  std::vector<std::pair<SessionId, float>> join_result;
+  for (const auto& [item, position] : max_positions) {
+    auto postings = index_->SessionsForItem(item);
+    const float decay =
+        static_cast<float>(DecayWeight(config_.decay, position, len));
+    for (SessionId candidate : postings) {
+      join_result.emplace_back(candidate, decay);
+    }
+  }
+
+  // Subquery 2: GROUP BY candidate via sort + scan (materialised output).
+  std::sort(join_result.begin(), join_result.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Neighbor> table;
+  for (size_t i = 0; i < join_result.size();) {
+    const SessionId candidate = join_result[i].first;
+    float similarity = 0.0f;
+    while (i < join_result.size() && join_result[i].first == candidate) {
+      similarity += join_result[i].second;
+      ++i;
+    }
+    table.push_back(
+        Neighbor{candidate, similarity, index_->SessionTimestamp(candidate)});
+  }
+
+  // Subqueries 3 + 4: ORDER BY recency LIMIT m, ORDER BY score LIMIT k.
+  const std::vector<Neighbor> neighbors =
+      SampleAndTopK(*index_, config_, std::move(table));
+
+  // Subquery 5: join with session items + final GROUP BY / ORDER BY.
+  return ScoreMaterialized(*index_, config_, neighbors, max_positions, len,
+                           how_many);
+}
+
+}  // namespace serenade

@@ -1,0 +1,129 @@
+// Execution-strategy variants of the VS-kNN/VMIS-kNN computation, used by
+// the implementation-comparison experiment (Figure 3(a), top). The paper
+// compares its Rust implementation against a Python/pandas reference
+// (VS-Py), a Differential Dataflow implementation (VMIS-Diff), a Java
+// implementation (VMIS-Java) and a DuckDB SQL implementation (VMIS-SQL).
+// Those engines are not available here, so each variant below reproduces
+// the *execution strategy* (and therefore the cost structure) of one of
+// them in C++ — see DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/recommender.h"
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+
+namespace serenade {
+
+/// VS-Py stand-in: dataframe-style evaluation. Materialises the complete
+/// join between the evolving session's items and ALL historical postings,
+/// hash-aggregates similarities over the full matching set, and only then
+/// applies the recency sample — the "first materialise, then aggregate"
+/// strategy whose large intermediates make the reference implementation
+/// slow and memory-hungry.
+///
+/// Build the SessionIndex *uncapped* (max_sessions_per_item >= number of
+/// sessions) so the full postings are visible to this variant.
+class MaterializingVsKnn : public Recommender {
+ public:
+  MaterializingVsKnn(const SessionIndex* index, KnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "vs-py(materializing)"; }
+
+ private:
+  const SessionIndex* index_;
+  KnnConfig config_;
+};
+
+/// VMIS-Diff stand-in: incremental evaluation over indexed intermediate
+/// state. For each evolving session it maintains an arrangement
+/// candidate-session -> (item -> matched position); each new click only
+/// touches the postings of the new item, but every intermediate result is
+/// kept indexed so the computation can react to updates — exactly the
+/// overhead the paper observed ("differential dataflow has to index all
+/// intermediate results due to its support for updates").
+///
+/// Requires an uncapped index (like MaterializingVsKnn). Stateful: feed
+/// growing prefixes of the same session to successive RecommendNext calls
+/// to get incremental updates; any other sequence triggers a full replay.
+class IncrementalVmisKnn : public Recommender {
+ public:
+  IncrementalVmisKnn(const SessionIndex* index, KnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "vmis-diff(incremental)"; }
+
+  /// Drops all per-session arrangements.
+  void Reset();
+
+  /// Bytes of indexed intermediate state currently held (for the memory
+  /// comparison in the experiment report).
+  size_t ArrangementBytes() const;
+
+ private:
+  void ApplyClick(ItemId item, uint32_t position);
+
+  const SessionIndex* index_;
+  KnnConfig config_;
+
+  // Current evolving session and its arrangement.
+  std::vector<ItemId> current_items_;
+  std::unordered_map<SessionId, std::unordered_map<ItemId, uint32_t>>
+      arrangement_;
+};
+
+/// VMIS-Java stand-in: the same VMIS-kNN algorithm executed over
+/// node-based, individually-allocated data structures — tree maps instead
+/// of open-addressed hash tables, heap-allocated boxed entries — which
+/// reproduces the dominant costs of a managed-runtime implementation
+/// (pointer chasing, allocation churn, no memory-layout control). A real
+/// garbage collector's pause behaviour cannot be simulated faithfully;
+/// this variant captures the steady-state throughput gap the paper
+/// observed ("the effects of not having full control over the memory
+/// management during the similarity computation").
+class BoxedVmisKnn : public Recommender {
+ public:
+  BoxedVmisKnn(const SessionIndex* index, KnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "vmis-java(boxed)"; }
+
+  /// Neighbour computation (exposed for the equivalence test).
+  std::vector<Neighbor> NeighborSessions(const EvolvingSession& session);
+
+ private:
+  const SessionIndex* index_;
+  KnnConfig config_;
+  std::vector<ItemId> truncated_;
+};
+
+/// VMIS-SQL stand-in: the computation expressed as a pipeline of
+/// relational operators with fully materialised operator outputs — join,
+/// sort-based group-by, order-by + limit, another join and group-by —
+/// mirroring the deeply nested subqueries the paper needed in DuckDB.
+/// Like the SQL engine, it scans the full postings tables (build the
+/// SessionIndex uncapped); the recency LIMIT is applied only after the
+/// aggregation subquery.
+class JoinAggregateVmisKnn : public Recommender {
+ public:
+  JoinAggregateVmisKnn(const SessionIndex* index, KnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+  std::string Name() const override { return "vmis-sql(join-aggregate)"; }
+
+ private:
+  const SessionIndex* index_;
+  KnnConfig config_;
+};
+
+}  // namespace serenade

@@ -1,0 +1,14 @@
+#include "core/vmis_knn.h"
+
+namespace serenade {
+
+KnnConfig NoOptConfig(KnnConfig config) {
+  config.early_stopping = false;
+  config.heap_arity = 2;
+  return config;
+}
+
+// Anchor the common instantiation in one translation unit.
+template class VmisKnnT<SessionIndex>;
+
+}  // namespace serenade

@@ -1,0 +1,341 @@
+// Vector-Multiplication-Indexed-Session-kNN (Algorithm 2 of the paper):
+// index-based nearest-neighbour session recommendation with bounded
+// intermediate state, early stopping, and octonary heaps.
+//
+// The query engine is a template over the index representation so that
+// the same code runs against the flat CSR SessionIndex and the
+// compressed CompressedSessionIndex (the paper's future-work question:
+// "whether we can run our similarity computations on a compressed
+// version of the index"). An index type must provide:
+//   std::span<const SessionId> SessionsForItem(ItemId, std::vector<SessionId>* scratch) const;
+//   std::span<const ItemId>    ItemsForSession(SessionId, std::vector<ItemId>* scratch) const;
+//   Timestamp SessionTimestamp(SessionId) const;
+//   double    Idf(ItemId) const;
+//   size_t    max_sessions_per_item() const;
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dary_heap.h"
+#include "common/types.h"
+#include "core/recommender.h"
+#include "core/session_index.h"
+#include "core/weighting.h"
+
+namespace serenade {
+
+/// Hyperparameters and variant switches for the VS-kNN family.
+struct KnnConfig {
+  /// Sample size m: number of most recent candidate sessions considered
+  /// (bounds both the per-item postings scanned and the candidate set).
+  size_t m = 500;
+  /// Number of nearest neighbour sessions k (k <= m).
+  size_t k = 100;
+  /// Evolving sessions are truncated to their most recent items before
+  /// matching (Section 3: "the number of items in the evolving session,
+  /// which we cap at a maximum value"). 10 aligns with lambda's horizon.
+  size_t max_session_length = 10;
+  DecayType decay = DecayType::kLinear;
+  MatchWeightType match_weight = MatchWeightType::kStepsFromEnd;
+  IdfWeighting idf = IdfWeighting::kLog;
+  /// When true, recommendations never repeat items of the evolving session.
+  bool exclude_session_items = false;
+
+  // --- variant switches (Figure 3(a) bottom / ablations) ---
+  /// Early stopping on sorted per-item postings (Section 3).
+  bool early_stopping = true;
+  /// Heap arity: 8 = octonary (paper default), 2 = binary (no-opt), 4 for
+  /// the ablation sweep.
+  size_t heap_arity = 8;
+};
+
+/// A neighbour session with its similarity score.
+struct Neighbor {
+  SessionId session = kInvalidSession;
+  float score = 0.0f;
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// The paper's "VMIS-kNN-no-opt" variant: binary heaps, no early stopping.
+KnnConfig NoOptConfig(KnnConfig config);
+
+namespace internal {
+
+// Candidate entry of the recency heap b_t: ordered by timestamp (ties by
+// session id, making recency a total order) so the root is the *oldest*
+// candidate — the eviction victim.
+struct RecencyEntry {
+  Timestamp timestamp;
+  SessionId session;
+};
+struct OlderFirst {
+  bool operator()(const RecencyEntry& a, const RecencyEntry& b) const {
+    return a.timestamp < b.timestamp ||
+           (a.timestamp == b.timestamp && a.session < b.session);
+  }
+};
+
+// Ordering for the bounded top-k neighbour heap: a neighbour is "better"
+// when its score is higher, ties broken by recency (Algorithm 2, line 38),
+// then session id (total order for deterministic results).
+struct NeighborLess {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.session < b.session;
+  }
+};
+
+// Ordering for the final item top-N: higher score wins, ties broken by
+// smaller item id for determinism.
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+
+}  // namespace internal
+
+/// VMIS-kNN recommender over an index representation `Index`. Shares an
+/// immutable index (thread-safe for concurrent reads); each VmisKnnT
+/// instance holds per-query scratch buffers and must therefore be used by
+/// one thread at a time — create one instance per serving worker.
+template <typename Index>
+class VmisKnnT : public Recommender {
+ public:
+  /// `index` must outlive the recommender. config.m must not exceed the
+  /// index's max_sessions_per_item (postings beyond it were not retained).
+  VmisKnnT(const Index* index, KnnConfig config)
+      : index_(index), config_(config) {
+    assert(index_ != nullptr);
+    assert(config_.m > 0 && config_.k > 0);
+    assert(config_.k <= config_.m);
+    assert(config_.heap_arity == 2 || config_.heap_arity == 4 ||
+           config_.heap_arity == 8);
+    scores_.reserve(config_.m * 2);
+  }
+
+  std::string Name() const override {
+    if (!config_.early_stopping && config_.heap_arity == 2) {
+      return "vmis-knn-no-opt";
+    }
+    return "vmis-knn";
+  }
+
+  /// The neighbour computation of Algorithm 2 (exposed for tests and the
+  /// index microbenchmark, which measures exactly this function).
+  /// Returns up to k neighbours in descending (score, timestamp) order.
+  std::vector<Neighbor> NeighborSessions(const EvolvingSession& session) {
+    Truncate(session);
+    std::vector<Neighbor> neighbors;
+    if (truncated_.empty()) return neighbors;
+
+    if (config_.early_stopping) {
+      switch (config_.heap_arity) {
+        case 2:
+          NeighborSessionsImpl<2, true>(truncated_, &neighbors);
+          break;
+        case 4:
+          NeighborSessionsImpl<4, true>(truncated_, &neighbors);
+          break;
+        default:
+          NeighborSessionsImpl<8, true>(truncated_, &neighbors);
+          break;
+      }
+    } else {
+      switch (config_.heap_arity) {
+        case 2:
+          NeighborSessionsImpl<2, false>(truncated_, &neighbors);
+          break;
+        case 4:
+          NeighborSessionsImpl<4, false>(truncated_, &neighbors);
+          break;
+        default:
+          NeighborSessionsImpl<8, false>(truncated_, &neighbors);
+          break;
+      }
+    }
+    return neighbors;
+  }
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override {
+    std::vector<ScoredItem> result;
+    if (how_many == 0) return result;
+    const std::vector<Neighbor> neighbors = NeighborSessions(session);
+    if (neighbors.empty()) return result;
+
+    const size_t len = truncated_.size();
+
+    // Last (1-based) occurrence position of each evolving-session item,
+    // for the max(omega(s) ⊙ n) lookup of the scoring pass.
+    max_position_.clear();
+    for (size_t p = 0; p < len; ++p) {
+      max_position_[truncated_[p]] = static_cast<uint32_t>(p + 1);
+    }
+
+    item_scores_.clear();
+    for (const Neighbor& neighbor : neighbors) {
+      const std::span<const ItemId> neighbor_items =
+          index_->ItemsForSession(neighbor.session, &items_scratch_);
+
+      uint32_t max_shared_position = 0;
+      for (const ItemId item : neighbor_items) {
+        auto it = max_position_.find(item);
+        if (it != max_position_.end()) {
+          max_shared_position = std::max(max_shared_position, it->second);
+        }
+      }
+      if (max_shared_position == 0) continue;  // defensive; cannot happen
+
+      const float weight =
+          static_cast<float>(
+              MatchWeight(config_.match_weight, max_shared_position, len)) *
+          neighbor.score;
+      if (weight <= 0.0f) continue;
+
+      for (const ItemId item : neighbor_items) {
+        float idf_factor = 1.0f;
+        switch (config_.idf) {
+          case IdfWeighting::kNone:
+            break;
+          case IdfWeighting::kLog:
+            idf_factor = static_cast<float>(index_->Idf(item));
+            break;
+          case IdfWeighting::kOnePlusLog:
+            idf_factor = 1.0f + static_cast<float>(index_->Idf(item));
+            break;
+        }
+        item_scores_[item] += weight * idf_factor;
+      }
+    }
+
+    BoundedTopK<ScoredItem, 8, internal::ScoredItemLess> top_n(how_many);
+    for (const auto& [item, score] : item_scores_) {
+      if (config_.exclude_session_items &&
+          max_position_.find(item) != max_position_.end()) {
+        continue;
+      }
+      top_n.Offer(ScoredItem{item, score});
+    }
+    return top_n.TakeSortedDescending();
+  }
+
+  const KnnConfig& config() const { return config_; }
+
+ private:
+  template <size_t Arity, bool EarlyStop>
+  void NeighborSessionsImpl(const std::vector<ItemId>& items,
+                            std::vector<Neighbor>* neighbors) {
+    const size_t m = config_.m;
+    const size_t len = items.size();
+
+    scores_.clear();
+    DaryHeap<internal::RecencyEntry, Arity, internal::OlderFirst>
+        recency_heap;  // b_t
+    recency_heap.Reserve(m);
+
+    // Item intersection loop: most recent items first (reverse insertion
+    // order). Duplicate items are only processed at their most recent
+    // (highest-decay) position.
+    for (size_t reverse = 0; reverse < len; ++reverse) {
+      const size_t position = len - 1 - reverse;  // 0-based
+      const ItemId item = items[position];
+
+      // Dedup (hashset d of the paper): with capped session lengths a
+      // linear scan over the already-processed suffix beats hashing.
+      bool duplicate = false;
+      for (size_t later = position + 1; later < len; ++later) {
+        if (items[later] == item) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      const std::span<const SessionId> postings =
+          index_->SessionsForItem(item, &postings_scratch_);
+      const float decay = static_cast<float>(
+          DecayWeight(config_.decay, position + 1, len));  // pi_i
+
+      size_t scanned = 0;
+      for (const SessionId candidate : postings) {
+        if (++scanned > m) break;  // index may retain more than query m
+        auto it = scores_.find(candidate);
+        if (it != scores_.end()) {
+          it->second += decay;
+          continue;
+        }
+        const Timestamp candidate_time =
+            index_->SessionTimestamp(candidate);
+        if (scores_.size() < m) {
+          scores_.emplace(candidate, decay);
+          recency_heap.Push(
+              internal::RecencyEntry{candidate_time, candidate});
+          continue;
+        }
+        const internal::RecencyEntry oldest = recency_heap.Top();
+        // Recency is a total order (timestamp, then session id — ids
+        // ascend with end time): this makes early stopping exact even
+        // when several sessions share a second-resolution timestamp.
+        const bool more_recent =
+            candidate_time > oldest.timestamp ||
+            (candidate_time == oldest.timestamp &&
+             candidate > oldest.session);
+        if (more_recent) {
+          scores_.erase(oldest.session);
+          scores_.emplace(candidate, decay);
+          recency_heap.ReplaceTop(
+              internal::RecencyEntry{candidate_time, candidate});
+        } else if (EarlyStop) {
+          // Postings are sorted by descending recency: every remaining
+          // session is older and cannot displace the current oldest
+          // candidate (Algorithm 2, line 32).
+          break;
+        }
+      }
+    }
+
+    // Top-k similarity loop.
+    BoundedTopK<Neighbor, Arity, internal::NeighborLess> top_k(config_.k);
+    for (const auto& [session, score] : scores_) {
+      top_k.Offer(
+          Neighbor{session, score, index_->SessionTimestamp(session)});
+    }
+    *neighbors = top_k.TakeSortedDescending();
+  }
+
+  /// Truncates the evolving session to the configured cap, most recent
+  /// items kept; result goes to truncated_.
+  void Truncate(const EvolvingSession& session) {
+    truncated_.clear();
+    const size_t start = session.size() > config_.max_session_length
+                             ? session.size() - config_.max_session_length
+                             : 0;
+    truncated_.assign(session.begin() + static_cast<ptrdiff_t>(start),
+                      session.end());
+  }
+
+  const Index* index_;
+  KnnConfig config_;
+
+  // Per-query scratch, reused across calls to avoid allocation churn.
+  std::vector<ItemId> truncated_;
+  std::vector<SessionId> postings_scratch_;
+  std::vector<ItemId> items_scratch_;
+  std::unordered_map<SessionId, float> scores_;        // r
+  std::unordered_map<ItemId, float> item_scores_;      // d
+  std::unordered_map<ItemId, uint32_t> max_position_;  // omega lookup
+};
+
+/// The production instantiation over the flat CSR index.
+using VmisKnn = VmisKnnT<SessionIndex>;
+
+}  // namespace serenade

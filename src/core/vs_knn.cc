@@ -1,0 +1,165 @@
+#include "core/vs_knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/dary_heap.h"
+
+namespace serenade {
+
+namespace {
+
+struct NeighborLess {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.score < b.score ||
+           (a.score == b.score && a.timestamp < b.timestamp);
+  }
+};
+
+struct ScoredItemLess {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    return a.score < b.score || (a.score == b.score && a.item > b.item);
+  }
+};
+
+}  // namespace
+
+VsKnn::VsKnn(const Dataset& train, KnnConfig config) : config_(config) {
+  assert(config_.m > 0 && config_.k > 0);
+  num_sessions_ = train.num_sessions();
+  for (const SessionData& session : train.sessions()) {
+    auto& item_set = items_for_session_[session.id];
+    for (ItemId item : session.items) {
+      if (item_set.insert(item).second) {
+        sessions_for_item_[item].push_back(session.id);
+      }
+    }
+    session_timestamps_[session.id] = session.end_time;
+  }
+  for (const auto& [item, sessions] : sessions_for_item_) {
+    item_idf_[item] = std::log(static_cast<double>(num_sessions_) /
+                               static_cast<double>(sessions.size()));
+  }
+}
+
+void VsKnn::Truncate(const EvolvingSession& session) {
+  truncated_.clear();
+  const size_t start = session.size() > config_.max_session_length
+                           ? session.size() - config_.max_session_length
+                           : 0;
+  truncated_.assign(session.begin() + static_cast<ptrdiff_t>(start),
+                    session.end());
+}
+
+std::vector<Neighbor> VsKnn::NeighborSessions(const EvolvingSession& session) {
+  Truncate(session);
+  std::vector<Neighbor> result;
+  if (truncated_.empty()) return result;
+  const size_t len = truncated_.size();
+
+  // Line 5: all historical sessions sharing at least one item — the full,
+  // materialised matching set (this is the scalability problem).
+  std::unordered_set<SessionId> matching;
+  for (ItemId item : truncated_) {
+    auto it = sessions_for_item_.find(item);
+    if (it == sessions_for_item_.end()) continue;
+    matching.insert(it->second.begin(), it->second.end());
+  }
+  if (matching.empty()) return result;
+
+  // Line 6: recency-based sample of size m.
+  std::vector<SessionId> candidates(matching.begin(), matching.end());
+  if (candidates.size() > config_.m) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<ptrdiff_t>(config_.m),
+                     candidates.end(),
+                     [this](SessionId a, SessionId b) {
+                       const Timestamp ta = session_timestamps_[a];
+                       const Timestamp tb = session_timestamps_[b];
+                       return ta > tb || (ta == tb && a > b);
+                     });
+    candidates.resize(config_.m);
+  }
+
+  // Line 7: similarity pi(omega(s))^T h via per-candidate set lookups.
+  // Only the most recent occurrence of a duplicate item contributes,
+  // matching VMIS-kNN's dedup semantics.
+  max_position_.clear();
+  for (size_t p = 0; p < len; ++p) {
+    max_position_[truncated_[p]] = static_cast<uint32_t>(p + 1);
+  }
+
+  BoundedTopK<Neighbor, 2, NeighborLess> top_k(config_.k);
+  for (SessionId candidate : candidates) {
+    const auto& item_set = items_for_session_[candidate];
+    float similarity = 0.0f;
+    for (const auto& [item, position] : max_position_) {
+      if (item_set.find(item) != item_set.end()) {
+        similarity += static_cast<float>(
+            DecayWeight(config_.decay, position, len));
+      }
+    }
+    if (similarity > 0.0f) {
+      top_k.Offer(
+          Neighbor{candidate, similarity, session_timestamps_[candidate]});
+    }
+  }
+  return top_k.TakeSortedDescending();
+}
+
+std::vector<ScoredItem> VsKnn::RecommendNext(const EvolvingSession& session,
+                                             size_t how_many) {
+  std::vector<ScoredItem> result;
+  if (how_many == 0) return result;
+  const std::vector<Neighbor> neighbors = NeighborSessions(session);
+  if (neighbors.empty()) return result;
+  const size_t len = truncated_.size();
+  const float session_length_factor = 1.0f / static_cast<float>(len);
+
+  std::unordered_map<ItemId, float> item_scores;
+  for (const Neighbor& neighbor : neighbors) {
+    const auto& item_set = items_for_session_[neighbor.session];
+
+    uint32_t max_shared_position = 0;
+    for (const auto& [item, position] : max_position_) {
+      if (item_set.find(item) != item_set.end()) {
+        max_shared_position = std::max(max_shared_position, position);
+      }
+    }
+    if (max_shared_position == 0) continue;
+
+    const float weight =
+        static_cast<float>(
+            MatchWeight(config_.match_weight, max_shared_position, len)) *
+        session_length_factor * neighbor.score;
+    if (weight <= 0.0f) continue;
+
+    for (ItemId item : item_set) {
+      float idf_factor = 1.0f;
+      switch (config_.idf) {
+        case IdfWeighting::kNone:
+          break;
+        case IdfWeighting::kLog:
+          idf_factor = static_cast<float>(item_idf_[item]);
+          break;
+        case IdfWeighting::kOnePlusLog:
+          idf_factor = 1.0f + static_cast<float>(item_idf_[item]);
+          break;
+      }
+      item_scores[item] += weight * idf_factor;
+    }
+  }
+
+  BoundedTopK<ScoredItem, 2, ScoredItemLess> top_n(how_many);
+  for (const auto& [item, score] : item_scores) {
+    if (config_.exclude_session_items &&
+        max_position_.find(item) != max_position_.end()) {
+      continue;
+    }
+    top_n.Offer(ScoredItem{item, score});
+  }
+  return top_n.TakeSortedDescending();
+}
+
+}  // namespace serenade

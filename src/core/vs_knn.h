@@ -1,0 +1,61 @@
+// The original Vector-Session-kNN (Algorithm 1): the paper's baseline
+// implementation that "mimics VS-kNN's similarity computation by holding
+// the historical data in hashmaps, and first identifying the m most recent
+// sessions with at least one shared item before computing the
+// similarities" (Section 5.1.3). Deliberately materialises the full
+// matching session set — this is the comparison point that motivates the
+// VMIS-kNN index.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/recommender.h"
+#include "core/vmis_knn.h"
+#include "core/weighting.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// VS-kNN recommender over hashmap-held historical data. Like VmisKnn,
+/// one instance per thread (scratch buffers are reused across queries).
+class VsKnn : public Recommender {
+ public:
+  /// Builds the hashmap representation from the training sessions.
+  /// Honors the same KnnConfig as VmisKnn; per Algorithm 1 the item
+  /// scores additionally carry the 1/|s| factor and default to the
+  /// (1 + log) IDF variant unless configured otherwise.
+  VsKnn(const Dataset& train, KnnConfig config);
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+
+  std::string Name() const override { return "vs-knn"; }
+
+  /// Neighbour computation (Lines 5-7 of Algorithm 1), exposed for the
+  /// microbenchmark and the VMIS-kNN equivalence tests.
+  std::vector<Neighbor> NeighborSessions(const EvolvingSession& session);
+
+  const KnnConfig& config() const { return config_; }
+
+ private:
+  void Truncate(const EvolvingSession& session);
+
+  KnnConfig config_;
+  size_t num_sessions_ = 0;
+
+  // Historical data in hashmaps, as the paper's baseline prescribes.
+  std::unordered_map<ItemId, std::vector<SessionId>> sessions_for_item_;
+  std::unordered_map<SessionId, std::unordered_set<ItemId>> items_for_session_;
+  std::unordered_map<SessionId, Timestamp> session_timestamps_;
+  std::unordered_map<ItemId, double> item_idf_;
+
+  // Scratch.
+  std::vector<ItemId> truncated_;
+  std::unordered_map<ItemId, uint32_t> max_position_;
+};
+
+}  // namespace serenade

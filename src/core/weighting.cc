@@ -1,0 +1,88 @@
+#include "core/weighting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace serenade {
+
+double DecayWeight(DecayType type, size_t position, size_t session_length) {
+  assert(position >= 1 && position <= session_length);
+  const double pos = static_cast<double>(position);
+  const double len = static_cast<double>(session_length);
+  switch (type) {
+    case DecayType::kSame:
+      return 1.0;
+    case DecayType::kLinear:
+      return pos / len;
+    case DecayType::kQuadratic:
+      return (pos / len) * (pos / len);
+    case DecayType::kHarmonic:
+      return 1.0 / (len - pos + 1.0);
+    case DecayType::kLogarithmic:
+      return 1.0 / std::log2(len - pos + 2.0);
+  }
+  return 1.0;
+}
+
+double MatchWeight(MatchWeightType type, size_t max_shared_position,
+                   size_t session_length) {
+  assert(max_shared_position >= 1 && max_shared_position <= session_length);
+  switch (type) {
+    case MatchWeightType::kConstant:
+      return 1.0;
+    case MatchWeightType::kPaperInsertionOrder: {
+      const double x = static_cast<double>(max_shared_position);
+      return x < 10.0 ? 1.0 - 0.1 * x : 0.0;
+    }
+    case MatchWeightType::kStepsFromEnd: {
+      // step = 1 when the most recent evolving-session item is the match.
+      const double step =
+          static_cast<double>(session_length - max_shared_position + 1);
+      return std::max(0.0, 1.0 - 0.1 * (step - 1.0));
+    }
+  }
+  return 1.0;
+}
+
+const char* DecayTypeName(DecayType type) {
+  switch (type) {
+    case DecayType::kSame:
+      return "same";
+    case DecayType::kLinear:
+      return "linear";
+    case DecayType::kQuadratic:
+      return "quadratic";
+    case DecayType::kHarmonic:
+      return "harmonic";
+    case DecayType::kLogarithmic:
+      return "logarithmic";
+  }
+  return "?";
+}
+
+const char* MatchWeightTypeName(MatchWeightType type) {
+  switch (type) {
+    case MatchWeightType::kConstant:
+      return "constant";
+    case MatchWeightType::kPaperInsertionOrder:
+      return "paper_insertion_order";
+    case MatchWeightType::kStepsFromEnd:
+      return "steps_from_end";
+  }
+  return "?";
+}
+
+const char* IdfWeightingName(IdfWeighting idf) {
+  switch (idf) {
+    case IdfWeighting::kNone:
+      return "none";
+    case IdfWeighting::kLog:
+      return "log";
+    case IdfWeighting::kOnePlusLog:
+      return "one_plus_log";
+  }
+  return "?";
+}
+
+}  // namespace serenade

@@ -1,0 +1,53 @@
+// The decay function pi (position weighting inside the evolving session)
+// and the match-weight function lambda (weighting by the position of the
+// most recent shared item), as defined in Sections 2 and 3 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace serenade {
+
+/// Decay function pi applied to an item's 1-based insertion position
+/// within the evolving session. All variants are non-decreasing in the
+/// position: more recent items weigh more.
+enum class DecayType {
+  kSame,        ///< constant 1 (plain co-occurrence count)
+  kLinear,      ///< pos / len — the paper's running example
+  kQuadratic,   ///< (pos / len)^2
+  kHarmonic,    ///< 1 / (len - pos + 1)
+  kLogarithmic  ///< 1 / log2(len - pos + 2)
+};
+
+/// Match-weight function lambda applied to the most recent shared item
+/// between the evolving session and a neighbour session.
+enum class MatchWeightType {
+  kConstant,            ///< 1 (ignore the match position)
+  kPaperInsertionOrder, ///< 1 - 0.1 * x for insertion time x < 10, else 0
+                        ///< (the paper's literal definition, Section 2)
+  kStepsFromEnd         ///< 1 - 0.1 * step, step = 1 for the most recent
+                        ///< item (the VS-kNN reference implementation's
+                        ///< semantics; equals the paper's on length-<10
+                        ///< coordinates mirrored)
+};
+
+/// IDF factor applied to item scores.
+enum class IdfWeighting {
+  kNone,       ///< no de-emphasis of popular items
+  kLog,        ///< log(|H| / h_i) — VMIS-kNN's simplification (Section 3)
+  kOnePlusLog  ///< 1 + log(|H| / h_i) — the original VS-kNN formulation
+};
+
+/// Evaluates pi for a 1-based position in a session of given length.
+double DecayWeight(DecayType type, size_t position, size_t session_length);
+
+/// Evaluates lambda for the 1-based insertion position of the most recent
+/// shared item in a session of given length.
+double MatchWeight(MatchWeightType type, size_t max_shared_position,
+                   size_t session_length);
+
+const char* DecayTypeName(DecayType type);
+const char* MatchWeightTypeName(MatchWeightType type);
+const char* IdfWeightingName(IdfWeighting idf);
+
+}  // namespace serenade

@@ -1,0 +1,86 @@
+#include "data/click_log.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace serenade {
+
+Dataset Dataset::FromClicks(std::vector<Click> clicks,
+                            size_t min_session_length) {
+  Dataset dataset;
+  if (clicks.empty()) return dataset;
+
+  // Group clicks by their original session id, preserving log order within
+  // each session (stable sort by timestamp happens per session below).
+  std::unordered_map<SessionId, std::vector<Click>> by_session;
+  by_session.reserve(clicks.size() / 4 + 1);
+  for (const Click& click : clicks) {
+    by_session[click.session_id].push_back(click);
+  }
+
+  std::vector<SessionData> sessions;
+  sessions.reserve(by_session.size());
+  for (auto& [original_id, session_clicks] : by_session) {
+    if (session_clicks.size() < min_session_length) continue;
+    std::stable_sort(session_clicks.begin(), session_clicks.end(),
+                     [](const Click& a, const Click& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    SessionData session;
+    session.start_time = session_clicks.front().timestamp;
+    session.end_time = session_clicks.back().timestamp;
+    session.items.reserve(session_clicks.size());
+    for (const Click& click : session_clicks) {
+      session.items.push_back(click.item_id);
+    }
+    sessions.push_back(std::move(session));
+  }
+
+  // Ascending end time; dense ids in that order so that "larger session id"
+  // also means "more recent", matching the index builder's assumptions.
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionData& a, const SessionData& b) {
+              return a.end_time < b.end_time;
+            });
+
+  size_t max_item = 0;
+  dataset.min_timestamp_ = ~Timestamp{0};
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    sessions[i].id = static_cast<SessionId>(i);
+    dataset.num_clicks_ += sessions[i].items.size();
+    dataset.min_timestamp_ =
+        std::min(dataset.min_timestamp_, sessions[i].start_time);
+    dataset.max_timestamp_ =
+        std::max(dataset.max_timestamp_, sessions[i].end_time);
+    for (ItemId item : sessions[i].items) {
+      max_item = std::max(max_item, static_cast<size_t>(item));
+    }
+  }
+  if (sessions.empty()) {
+    dataset.min_timestamp_ = 0;
+  }
+  dataset.num_items_ = sessions.empty() ? 0 : max_item + 1;
+  dataset.sessions_ = std::move(sessions);
+  return dataset;
+}
+
+std::vector<Click> Dataset::ToClicks() const {
+  std::vector<Click> clicks;
+  clicks.reserve(num_clicks_);
+  for (const SessionData& session : sessions_) {
+    // Reconstruct per-click timestamps by linear interpolation between the
+    // session's start and end times (exact per-click times are not kept).
+    const size_t n = session.items.size();
+    for (size_t i = 0; i < n; ++i) {
+      Timestamp ts =
+          n <= 1 ? session.start_time
+                 : session.start_time + (session.end_time -
+                                         session.start_time) *
+                                            i / (n - 1);
+      clicks.push_back(Click{session.id, session.items[i], ts});
+    }
+  }
+  return clicks;
+}
+
+}  // namespace serenade

@@ -1,0 +1,56 @@
+// In-memory click-log dataset: clicks grouped into sessions, with the
+// session/item vocabulary information the algorithms and evaluators need.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace serenade {
+
+/// One historical session: its items in click order and the timestamp of
+/// its most recent click (used for recency-based sampling).
+struct SessionData {
+  SessionId id = kInvalidSession;
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;
+  std::vector<ItemId> items;
+};
+
+/// A set of sessions parsed from a click log. Sessions are stored in
+/// ascending end_time order and re-numbered with consecutive SessionIds,
+/// so per-session metadata can live in flat arrays.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Groups raw clicks by session id, orders clicks within a session by
+  /// timestamp (stable on ties, preserving log order), drops sessions
+  /// shorter than min_session_length, sorts sessions by end time and
+  /// assigns dense ids. Item ids are preserved as-is; num_items is
+  /// max(item_id)+1 over the remaining clicks.
+  static Dataset FromClicks(std::vector<Click> clicks,
+                            size_t min_session_length = 2);
+
+  const std::vector<SessionData>& sessions() const { return sessions_; }
+  size_t num_sessions() const { return sessions_.size(); }
+  size_t num_items() const { return num_items_; }
+  size_t num_clicks() const { return num_clicks_; }
+
+  Timestamp min_timestamp() const { return min_timestamp_; }
+  Timestamp max_timestamp() const { return max_timestamp_; }
+
+  /// Flattens back to a click list (session end-time order).
+  std::vector<Click> ToClicks() const;
+
+ private:
+  std::vector<SessionData> sessions_;
+  size_t num_items_ = 0;
+  size_t num_clicks_ = 0;
+  Timestamp min_timestamp_ = 0;
+  Timestamp max_timestamp_ = 0;
+};
+
+}  // namespace serenade

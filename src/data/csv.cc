@@ -1,0 +1,118 @@
+#include "data/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace serenade {
+
+namespace {
+
+// Splits a line on the detected separator into at most 4 fields.
+int SplitFields(std::string_view line, char sep, std::string_view* fields,
+                int max_fields) {
+  int count = 0;
+  size_t start = 0;
+  while (count < max_fields) {
+    const size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields[count++] = line.substr(start);
+      break;
+    }
+    fields[count++] = line.substr(start, pos - start);
+    start = pos + 1;
+  }
+  return count;
+}
+
+char DetectSeparator(std::string_view line) {
+  for (char c : line) {
+    if (c == ',' || c == '\t' || c == ';') return c;
+  }
+  return ',';
+}
+
+bool ParseUint64(std::string_view field, uint64_t* out) {
+  // Tolerate fractional timestamps ("1433221332.117") by truncating.
+  const size_t dot = field.find('.');
+  if (dot != std::string_view::npos) field = field.substr(0, dot);
+  if (field.empty()) return false;
+  const auto result =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  return result.ec == std::errc() &&
+         result.ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Click>> ParseClicksCsv(const std::string& content) {
+  std::vector<Click> clicks;
+  std::string_view remaining(content);
+  bool first_line = true;
+  char sep = ',';
+  size_t line_number = 0;
+
+  while (!remaining.empty()) {
+    ++line_number;
+    const size_t newline = remaining.find('\n');
+    std::string_view line = remaining.substr(0, newline);
+    remaining = newline == std::string_view::npos
+                    ? std::string_view()
+                    : remaining.substr(newline + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (first_line) {
+      sep = DetectSeparator(line);
+      first_line = false;
+      // Header detection: skip if the first field is not numeric.
+      if (!line.empty() && !std::isdigit(static_cast<unsigned char>(line[0]))) {
+        continue;
+      }
+    }
+
+    std::string_view fields[4];
+    const int num_fields = SplitFields(line, sep, fields, 4);
+    if (num_fields < 3) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected 3 fields");
+    }
+    uint64_t session = 0, item = 0, timestamp = 0;
+    if (!ParseUint64(fields[0], &session) || !ParseUint64(fields[1], &item) ||
+        !ParseUint64(fields[2], &timestamp)) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": non-numeric field");
+    }
+    clicks.push_back(Click{static_cast<SessionId>(session),
+                           static_cast<ItemId>(item), timestamp});
+  }
+  return clicks;
+}
+
+StatusOr<std::vector<Click>> ReadClicksCsv(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on " + path);
+  return ParseClicksCsv(buffer.str());
+}
+
+Status WriteClicksCsv(const std::string& path,
+                      const std::vector<Click>& clicks) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << "session_id,item_id,timestamp\n";
+  for (const Click& click : clicks) {
+    file << click.session_id << ',' << click.item_id << ','
+         << click.timestamp << '\n';
+  }
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace serenade

@@ -1,0 +1,28 @@
+// Reading / writing click logs in the canonical CSV layout used by the
+// public session-rec datasets: one click per line,
+// `session_id<sep>item_id<sep>timestamp`, optional header, comma or tab
+// separated. Lets users drop in retailrocket / rsc15 exports directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace serenade {
+
+/// Parses a click log from a file. Detects a header line (any line whose
+/// first field is non-numeric is skipped once at the start) and accepts
+/// ',', '\t' or ';' as separators. Returns kIoError when the file cannot
+/// be opened and kCorruption for malformed rows.
+StatusOr<std::vector<Click>> ReadClicksCsv(const std::string& path);
+
+/// Parses clicks from an in-memory string (same format as ReadClicksCsv).
+StatusOr<std::vector<Click>> ParseClicksCsv(const std::string& content);
+
+/// Writes clicks as `session_id,item_id,timestamp` with a header line.
+Status WriteClicksCsv(const std::string& path,
+                      const std::vector<Click>& clicks);
+
+}  // namespace serenade

@@ -1,0 +1,63 @@
+#include "data/split.h"
+
+#include <vector>
+
+namespace serenade {
+
+TrainTestSplit SplitLastDays(const Dataset& dataset, size_t test_days) {
+  TrainTestSplit split;
+  if (dataset.num_sessions() == 0) return split;
+
+  const Timestamp cutoff =
+      dataset.max_timestamp() >= test_days * 86400
+          ? dataset.max_timestamp() - test_days * 86400
+          : 0;
+
+  std::vector<Click> train_clicks;
+  std::vector<SessionData> test_candidates;
+  std::vector<bool> seen_in_train(dataset.num_items(), false);
+
+  for (const SessionData& session : dataset.sessions()) {
+    if (session.end_time <= cutoff) {
+      const size_t n = session.items.size();
+      for (size_t i = 0; i < n; ++i) {
+        const Timestamp ts =
+            n <= 1 ? session.start_time
+                   : session.start_time +
+                         (session.end_time - session.start_time) * i / (n - 1);
+        train_clicks.push_back(Click{session.id, session.items[i], ts});
+        seen_in_train[session.items[i]] = true;
+      }
+    } else {
+      test_candidates.push_back(session);
+    }
+  }
+
+  std::vector<Click> test_clicks;
+  for (const SessionData& session : test_candidates) {
+    // Drop items that never occur in training data; no compared method can
+    // predict them, and VS-kNN-family methods cannot even match on them.
+    std::vector<ItemId> filtered;
+    filtered.reserve(session.items.size());
+    for (ItemId item : session.items) {
+      if (item < seen_in_train.size() && seen_in_train[item]) {
+        filtered.push_back(item);
+      }
+    }
+    if (filtered.size() < 2) continue;
+    const size_t n = filtered.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Timestamp ts =
+          n <= 1 ? session.start_time
+                 : session.start_time +
+                       (session.end_time - session.start_time) * i / (n - 1);
+      test_clicks.push_back(Click{session.id, filtered[i], ts});
+    }
+  }
+
+  split.train = Dataset::FromClicks(std::move(train_clicks));
+  split.test = Dataset::FromClicks(std::move(test_clicks));
+  return split;
+}
+
+}  // namespace serenade

@@ -1,0 +1,26 @@
+// Chronological train/test splitting following the paper's evaluation
+// protocol (Section 5.1: "we use the last day as held-out test set").
+#pragma once
+
+#include <cstddef>
+
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// A chronological split: `train` holds the historical sessions the index
+/// is built from; `test` holds the held-out evolving sessions.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Splits off the sessions whose last click falls within the final
+/// `test_days` days of the dataset. Standard session-rec hygiene is
+/// applied to the test set: items never seen in training are removed from
+/// test sessions (a cold-start item cannot be predicted by any of the
+/// compared methods), and test sessions shorter than 2 clicks after
+/// filtering are dropped.
+TrainTestSplit SplitLastDays(const Dataset& dataset, size_t test_days = 1);
+
+}  // namespace serenade

@@ -1,0 +1,64 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace serenade {
+
+namespace {
+
+size_t PercentileOfSorted(const std::vector<size_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+DatasetStats ComputeStats(const std::string& name, const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.clicks = dataset.num_clicks();
+  stats.sessions = dataset.num_sessions();
+
+  std::unordered_set<ItemId> distinct_items;
+  std::vector<size_t> lengths;
+  lengths.reserve(dataset.num_sessions());
+  for (const SessionData& session : dataset.sessions()) {
+    lengths.push_back(session.items.size());
+    distinct_items.insert(session.items.begin(), session.items.end());
+  }
+  stats.items = distinct_items.size();
+
+  if (dataset.num_sessions() > 0) {
+    stats.days = static_cast<size_t>(
+        (dataset.max_timestamp() - dataset.min_timestamp()) / 86400 + 1);
+  }
+
+  std::sort(lengths.begin(), lengths.end());
+  stats.p25 = PercentileOfSorted(lengths, 0.25);
+  stats.p50 = PercentileOfSorted(lengths, 0.50);
+  stats.p75 = PercentileOfSorted(lengths, 0.75);
+  stats.p99 = PercentileOfSorted(lengths, 0.99);
+  return stats;
+}
+
+std::string FormatStatsTable(const std::vector<DatasetStats>& rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %12s %12s %10s %6s %5s %5s %5s %5s\n",
+                "dataset", "clicks", "sessions", "items", "days", "p25",
+                "p50", "p75", "p99");
+  out += line;
+  for (const DatasetStats& s : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %12zu %12zu %10zu %6zu %5zu %5zu %5zu %5zu\n",
+                  s.name.c_str(), s.clicks, s.sessions, s.items, s.days,
+                  s.p25, s.p50, s.p75, s.p99);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace serenade

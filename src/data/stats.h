@@ -1,0 +1,31 @@
+// Dataset statistics in the shape of the paper's Table 1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// Row of Table 1: size counters plus clicks-per-session percentiles.
+struct DatasetStats {
+  std::string name;
+  size_t clicks = 0;
+  size_t sessions = 0;
+  size_t items = 0;        ///< number of *distinct* items that occur
+  size_t days = 0;
+  size_t p25 = 0;
+  size_t p50 = 0;
+  size_t p75 = 0;
+  size_t p99 = 0;
+};
+
+/// Computes Table 1 statistics for a dataset.
+DatasetStats ComputeStats(const std::string& name, const Dataset& dataset);
+
+/// Renders stats rows as an aligned text table (Table 1 layout).
+std::string FormatStatsTable(const std::vector<DatasetStats>& rows);
+
+}  // namespace serenade

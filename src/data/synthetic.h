@@ -1,0 +1,102 @@
+// Synthetic e-commerce clickstream generator: the stand-in for bol.com's
+// proprietary ecom-* datasets and (when the real CSVs are unavailable) the
+// public retailrocket / rsc15 datasets.
+//
+// The generator reproduces the structural properties that matter for
+// session-based kNN recommendation:
+//   * Zipf-distributed item popularity (a few blockbusters, a long tail).
+//   * Latent-interest clusters: each session browses mostly within one
+//     interest (e.g. a product category), so sessions that share items are
+//     genuinely similar and co-visitation carries predictive signal.
+//   * Heavy-tailed session lengths calibrated to Table 1 of the paper
+//     (proprietary profile: p25=2, p50=4, p75=7, p99~39; public profile:
+//     p25=2, p50=2-3, p75=4, p99~19).
+//   * Timestamps spread over a configurable number of days with a diurnal
+//     load curve, so recency-based sampling and "last day held out"
+//     evaluation splits behave like they do on real data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// Parameters of the session-length mixture: length = 2 + Geometric draw,
+/// mixing a "light" browser and a "heavy" browser population.
+struct SessionLengthModel {
+  double heavy_weight = 0.15;  ///< fraction of heavy-browsing sessions
+  double light_p = 0.28;       ///< geometric success prob, light population
+  double heavy_p = 0.07;       ///< geometric success prob, heavy population
+  size_t max_length = 200;     ///< hard cap (the platform bounds sessions)
+};
+
+/// Full generator configuration.
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  size_t num_items = 20000;
+  size_t num_sessions = 50000;
+  size_t num_days = 30;
+  /// Items per latent interest cluster (clusters partition the catalog).
+  size_t cluster_size = 200;
+  /// Zipf exponent of global item popularity.
+  double item_popularity_exponent = 1.05;
+  /// Zipf exponent of cluster popularity (some categories dominate).
+  double cluster_popularity_exponent = 0.8;
+  /// Zipf exponent of within-cluster item choice.
+  double within_cluster_exponent = 1.1;
+  /// Probability that a click leaves the session's current cluster.
+  double cluster_jump_probability = 0.15;
+  /// Probability that a click revisits an earlier item of the session
+  /// (users bouncing back to a product detail page).
+  double revisit_probability = 0.08;
+  /// Interest drift: fraction of the cluster space the popularity ranking
+  /// rotates per day (0 = stationary). Non-zero drift makes recent
+  /// sessions genuinely more predictive than old ones, which is what
+  /// recency-based sampling and index freshness exploit on real data.
+  double cluster_drift_per_day = 0.0;
+  SessionLengthModel length_model;
+};
+
+/// Named profiles matching the datasets of Table 1 (scaled so the largest
+/// ones stay laptop-friendly; the scale factor is reported alongside).
+struct DatasetProfile {
+  const char* name;
+  SyntheticConfig config;
+  /// Scale factor applied relative to the paper's dataset (1 = full size).
+  double scale = 1.0;
+};
+
+/// Profile factory functions. `scale` in (0, 1] shrinks sessions/items
+/// proportionally (item count shrinks with sqrt(scale) to keep density).
+DatasetProfile RetailRocketProfile(double scale = 1.0);
+DatasetProfile Rsc15Profile(double scale = 0.02);
+DatasetProfile Ecom1mProfile(double scale = 1.0);
+DatasetProfile EcomScaledProfile(const char* name, double million_clicks,
+                                 double scale);
+
+/// Generates raw clicks according to the configuration.
+std::vector<Click> GenerateClicks(const SyntheticConfig& config);
+
+/// Convenience: generate and group into a Dataset.
+Dataset GenerateDataset(const SyntheticConfig& config);
+
+/// Per-item catalog attributes consumed by the serving layer's business
+/// rules (Section 4.2: "remove unavailable products and filter for adult
+/// products").
+struct ItemCatalog {
+  std::vector<bool> available;
+  std::vector<bool> adult;
+
+  size_t num_items() const { return available.size(); }
+};
+
+/// Deterministically flags a fraction of the catalog as unavailable /
+/// adult (default 2% / 1%).
+ItemCatalog GenerateCatalog(size_t num_items, uint64_t seed,
+                            double unavailable_fraction = 0.02,
+                            double adult_fraction = 0.01);
+
+}  // namespace serenade

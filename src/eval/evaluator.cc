@@ -1,0 +1,84 @@
+#include "eval/evaluator.h"
+
+#include <map>
+
+#include "common/stopwatch.h"
+
+namespace serenade {
+
+EvalResult EvaluateRecommender(Recommender& recommender, const Dataset& test,
+                               const EvalOptions& options) {
+  EvalResult result;
+  size_t session_count = 0;
+  EvolvingSession evolving;
+  for (const SessionData& session : test.sessions()) {
+    if (options.max_sessions > 0 && session_count >= options.max_sessions) {
+      break;
+    }
+    ++session_count;
+    if (session.items.size() < 2) continue;
+
+    evolving.clear();
+    for (size_t position = 0; position + 1 < session.items.size();
+         ++position) {
+      evolving.push_back(session.items[position]);
+
+      Stopwatch stopwatch;
+      const std::vector<ScoredItem> recommended =
+          recommender.RecommendNext(evolving, options.cutoff);
+      if (options.record_latency) {
+        result.latency_micros.Record(stopwatch.ElapsedMicros());
+      }
+
+      const ItemId next_item = session.items[position + 1];
+      const std::vector<ItemId> remainder(
+          session.items.begin() + static_cast<ptrdiff_t>(position + 1),
+          session.items.end());
+      result.metrics.Add(recommended, next_item, remainder);
+    }
+  }
+  return result;
+}
+
+std::vector<DailyEvalResult> EvaluateRecommenderPerDay(
+    Recommender& recommender, const Dataset& test,
+    const EvalOptions& options) {
+  std::vector<DailyEvalResult> results;
+  if (test.num_sessions() == 0) return results;
+  const Timestamp window_start = test.min_timestamp();
+
+  // Group sessions by their end-time day, preserving chronological order
+  // (the dataset is already sorted by end time).
+  std::map<size_t, DailyEvalResult> by_day;
+  size_t session_count = 0;
+  EvolvingSession evolving;
+  for (const SessionData& session : test.sessions()) {
+    if (options.max_sessions > 0 && session_count >= options.max_sessions) {
+      break;
+    }
+    ++session_count;
+    if (session.items.size() < 2) continue;
+    const size_t day =
+        static_cast<size_t>((session.end_time - window_start) / 86400);
+    DailyEvalResult& daily = by_day[day];
+    daily.day_index = day;
+    ++daily.num_sessions;
+
+    evolving.clear();
+    for (size_t position = 0; position + 1 < session.items.size();
+         ++position) {
+      evolving.push_back(session.items[position]);
+      const std::vector<ScoredItem> recommended =
+          recommender.RecommendNext(evolving, options.cutoff);
+      const std::vector<ItemId> remainder(
+          session.items.begin() + static_cast<ptrdiff_t>(position + 1),
+          session.items.end());
+      daily.metrics.Add(recommended, session.items[position + 1], remainder);
+    }
+  }
+  results.reserve(by_day.size());
+  for (auto& [day, daily] : by_day) results.push_back(std::move(daily));
+  return results;
+}
+
+}  // namespace serenade

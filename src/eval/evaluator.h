@@ -1,0 +1,47 @@
+// The incremental next-item evaluation loop: replays every test session
+// click by click against a recommender and scores each prediction, also
+// recording per-prediction latency (the measurement behind Figure 3(a)).
+#pragma once
+
+#include <cstddef>
+
+#include "common/histogram.h"
+#include "core/recommender.h"
+#include "data/click_log.h"
+#include "eval/metrics.h"
+
+namespace serenade {
+
+/// Evaluation options.
+struct EvalOptions {
+  size_t cutoff = 20;            ///< top-N cutoff (the paper uses @20)
+  size_t max_sessions = 0;       ///< 0 = all test sessions
+  bool record_latency = false;   ///< fill EvalResult::latency_micros
+};
+
+/// Metrics plus (optionally) the latency distribution of RecommendNext.
+struct EvalResult {
+  MetricsAccumulator metrics;
+  Histogram latency_micros;
+};
+
+/// Replays each test session incrementally: after each click (except the
+/// last), asks for `cutoff` recommendations and scores them against the
+/// next item / session remainder.
+EvalResult EvaluateRecommender(Recommender& recommender, const Dataset& test,
+                               const EvalOptions& options);
+
+/// One day's metrics within a multi-day evaluation window.
+struct DailyEvalResult {
+  size_t day_index = 0;           ///< 0 = first day of the test window
+  size_t num_sessions = 0;
+  MetricsAccumulator metrics;
+};
+
+/// Evaluates day by day (days delimited by the session end timestamp) —
+/// the per-day view behind A/B-test style reporting, exposing metric
+/// stability across the window.
+std::vector<DailyEvalResult> EvaluateRecommenderPerDay(
+    Recommender& recommender, const Dataset& test, const EvalOptions& options);
+
+}  // namespace serenade

@@ -1,0 +1,95 @@
+#include "eval/grid_search.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "eval/evaluator.h"
+
+namespace serenade {
+
+std::vector<GridCell> GridSearch(const Dataset& train, const Dataset& test,
+                                 const GridSearchOptions& options) {
+  const size_t num_threads =
+      options.num_threads > 0
+          ? options.num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(num_threads);
+
+  // One index per distinct m (the index's per-item cap must cover m).
+  std::set<size_t> distinct_m(options.m_values.begin(),
+                              options.m_values.end());
+  std::map<size_t, SessionIndex> indexes;
+  for (size_t m : distinct_m) {
+    indexes.emplace(m, SessionIndex::Build(train, m));
+  }
+
+  std::vector<GridCell> cells(options.k_values.size() *
+                              options.m_values.size());
+  for (size_t ki = 0; ki < options.k_values.size(); ++ki) {
+    for (size_t mi = 0; mi < options.m_values.size(); ++mi) {
+      const size_t index = ki * options.m_values.size() + mi;
+      const size_t k = options.k_values[ki];
+      const size_t m = options.m_values[mi];
+      pool.Schedule([&, index, k, m] {
+        KnnConfig config = options.base_config;
+        config.m = m;
+        config.k = std::min(k, m);  // k <= m by definition
+        VmisKnn model(&indexes.at(m), config);
+        EvalOptions eval_options;
+        eval_options.cutoff = options.cutoff;
+        eval_options.max_sessions = options.max_test_sessions;
+        const EvalResult result =
+            EvaluateRecommender(model, test, eval_options);
+        cells[index] =
+            GridCell{k, m, result.metrics.Mrr(), result.metrics.Precision(),
+                     result.metrics.Recall(), result.metrics.Map()};
+      });
+    }
+  }
+  pool.Wait();
+  return cells;
+}
+
+std::string FormatGrid(const std::vector<GridCell>& cells,
+                       const std::string& metric) {
+  if (cells.empty()) return "";
+  std::vector<size_t> k_values, m_values;
+  for (const GridCell& cell : cells) {
+    if (std::find(k_values.begin(), k_values.end(), cell.k) == k_values.end())
+      k_values.push_back(cell.k);
+    if (std::find(m_values.begin(), m_values.end(), cell.m) == m_values.end())
+      m_values.push_back(cell.m);
+  }
+
+  auto metric_of = [&](const GridCell& cell) {
+    if (metric == "precision") return cell.precision;
+    if (metric == "recall") return cell.recall;
+    if (metric == "map") return cell.map;
+    return cell.mrr;
+  };
+
+  std::string out = "k \\ m ";
+  char buf[64];
+  for (size_t m : m_values) {
+    std::snprintf(buf, sizeof(buf), "%8zu", m);
+    out += buf;
+  }
+  out += '\n';
+  for (size_t ki = 0; ki < k_values.size(); ++ki) {
+    std::snprintf(buf, sizeof(buf), "%-6zu", k_values[ki]);
+    out += buf;
+    for (size_t mi = 0; mi < m_values.size(); ++mi) {
+      std::snprintf(buf, sizeof(buf), "%8.4f",
+                    metric_of(cells[ki * m_values.size() + mi]));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace serenade

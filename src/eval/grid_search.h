@@ -1,0 +1,45 @@
+// Exhaustive hyperparameter grid search over (k, m) for VMIS-kNN — the
+// machinery behind the Figure 2 sensitivity heatmaps and the paper's
+// observation that "VMIS-kNN is easy to tune via offline grid search".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// One grid cell result.
+struct GridCell {
+  size_t k = 0;
+  size_t m = 0;
+  double mrr = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double map = 0.0;
+};
+
+struct GridSearchOptions {
+  std::vector<size_t> k_values{50, 100, 500, 1000, 1500};
+  std::vector<size_t> m_values{20, 50, 100, 500, 1000, 2500, 5000, 10000};
+  KnnConfig base_config;         ///< everything but k/m is taken from here
+  size_t cutoff = 20;
+  size_t max_test_sessions = 0;  ///< 0 = all
+  size_t num_threads = 0;        ///< 0 = hardware concurrency
+};
+
+/// Runs the full k x m grid in parallel (one index per distinct m, shared
+/// across the k sweep). Cells are returned in row-major (k-major) order.
+std::vector<GridCell> GridSearch(const Dataset& train, const Dataset& test,
+                                 const GridSearchOptions& options);
+
+/// Renders a heatmap-style text table of one metric ("mrr", "precision",
+/// "recall", "map") with k rows and m columns, mimicking Figure 2.
+std::string FormatGrid(const std::vector<GridCell>& cells,
+                       const std::string& metric);
+
+}  // namespace serenade

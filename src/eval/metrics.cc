@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace serenade {
+
+void MetricsAccumulator::Add(const std::vector<ScoredItem>& recommended,
+                             ItemId next_item,
+                             const std::vector<ItemId>& remainder) {
+  ++num_events_;
+  if (recommended.empty() || remainder.empty()) return;
+
+  const size_t n = recommended.size();
+
+  // MRR / HitRate on the immediate next item.
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (recommended[rank].item == next_item) {
+      mrr_sum_ += 1.0 / static_cast<double>(rank + 1);
+      hit_sum_ += 1.0;
+      break;
+    }
+  }
+
+  // Precision / Recall / MAP on the session remainder (distinct items).
+  std::unordered_set<ItemId> relevant(remainder.begin(), remainder.end());
+  size_t hits = 0;
+  double average_precision = 0.0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (relevant.find(recommended[rank].item) != relevant.end()) {
+      ++hits;
+      average_precision +=
+          static_cast<double>(hits) / static_cast<double>(rank + 1);
+    }
+  }
+  precision_sum_ += static_cast<double>(hits) / static_cast<double>(n);
+  recall_sum_ +=
+      static_cast<double>(hits) / static_cast<double>(relevant.size());
+  if (!relevant.empty()) {
+    average_precision /=
+        static_cast<double>(std::min(relevant.size(), n));
+    map_sum_ += average_precision;
+  }
+}
+
+double MetricsAccumulator::Mrr() const {
+  return num_events_ == 0 ? 0.0 : mrr_sum_ / num_events_;
+}
+double MetricsAccumulator::HitRate() const {
+  return num_events_ == 0 ? 0.0 : hit_sum_ / num_events_;
+}
+double MetricsAccumulator::Precision() const {
+  return num_events_ == 0 ? 0.0 : precision_sum_ / num_events_;
+}
+double MetricsAccumulator::Recall() const {
+  return num_events_ == 0 ? 0.0 : recall_sum_ / num_events_;
+}
+double MetricsAccumulator::Map() const {
+  return num_events_ == 0 ? 0.0 : map_sum_ / num_events_;
+}
+
+void MetricsAccumulator::Merge(const MetricsAccumulator& other) {
+  num_events_ += other.num_events_;
+  mrr_sum_ += other.mrr_sum_;
+  hit_sum_ += other.hit_sum_;
+  precision_sum_ += other.precision_sum_;
+  recall_sum_ += other.recall_sum_;
+  map_sum_ += other.map_sum_;
+}
+
+std::string MetricsAccumulator::Summary(size_t cutoff) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "MRR@%zu=%.4f HR@%zu=%.4f P@%zu=%.4f R@%zu=%.4f MAP@%zu=%.4f "
+                "(events=%zu)",
+                cutoff, Mrr(), cutoff, HitRate(), cutoff, Precision(), cutoff,
+                Recall(), cutoff, Map(), num_events_);
+  return buf;
+}
+
+}  // namespace serenade

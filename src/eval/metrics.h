@@ -1,0 +1,51 @@
+// Offline ranking metrics for session-based recommendation, following the
+// evaluation protocol of the paper (Section 5.1.1) and the session-rec
+// benchmark it replicates: for every prefix of a test session, the model
+// predicts a top-N list; MRR/HitRate judge the immediate next item, while
+// Precision/Recall/MAP judge the remainder of the session.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/recommender.h"
+
+namespace serenade {
+
+/// Accumulates metric sums over prediction events; Finalize() divides by
+/// the event count. All metrics are @N for the cutoff passed at Add time.
+class MetricsAccumulator {
+ public:
+  /// Scores one prediction event.
+  /// `recommended`: model output, best first (already cut to N).
+  /// `next_item`:   the immediate next item of the session.
+  /// `remainder`:   all remaining items of the session (starts with
+  ///                next_item).
+  void Add(const std::vector<ScoredItem>& recommended, ItemId next_item,
+           const std::vector<ItemId>& remainder);
+
+  size_t num_events() const { return num_events_; }
+
+  double Mrr() const;        ///< mean reciprocal rank of the next item
+  double HitRate() const;    ///< fraction of events with the next item in the list
+  double Precision() const;  ///< |recommended ∩ remainder| / N
+  double Recall() const;     ///< |recommended ∩ remainder| / |remainder|
+  double Map() const;        ///< mean average precision over the remainder
+
+  void Merge(const MetricsAccumulator& other);
+
+  /// "MRR@20=0.2860 P@20=0.0722 ..." summary.
+  std::string Summary(size_t cutoff) const;
+
+ private:
+  size_t num_events_ = 0;
+  double mrr_sum_ = 0.0;
+  double hit_sum_ = 0.0;
+  double precision_sum_ = 0.0;
+  double recall_sum_ = 0.0;
+  double map_sum_ = 0.0;
+};
+
+}  // namespace serenade

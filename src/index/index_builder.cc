@@ -1,0 +1,127 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace serenade {
+
+SessionIndex BuildIndexParallel(const Dataset& train,
+                                const IndexBuilderOptions& options) {
+  assert(options.max_sessions_per_item > 0);
+  const size_t num_threads =
+      options.num_threads > 0
+          ? options.num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(num_threads);
+
+  const auto& sessions = train.sessions();
+  const size_t num_sessions = sessions.size();
+  const size_t num_items = train.num_items();
+  const size_t m = options.max_sessions_per_item;
+
+  SessionIndex::Raw raw;
+  raw.max_sessions_per_item = m;
+
+  // ---- Map phase 1 (parallel over sessions): timestamps and per-session
+  // distinct item lists.
+  raw.session_timestamps.resize(num_sessions);
+  std::vector<std::vector<ItemId>> distinct_items(num_sessions);
+  ParallelFor(pool, num_sessions, [&](size_t begin, size_t end) {
+    std::vector<ItemId> scratch;
+    for (size_t s = begin; s < end; ++s) {
+      raw.session_timestamps[s] = sessions[s].end_time;
+      scratch.assign(sessions[s].items.begin(), sessions[s].items.end());
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      distinct_items[s] = scratch;
+    }
+  });
+
+  // Session CSR (prefix sums are cheap; done serially).
+  raw.session_offsets.assign(num_sessions + 1, 0);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    raw.session_offsets[s + 1] =
+        raw.session_offsets[s] + distinct_items[s].size();
+  }
+  raw.session_items.resize(raw.session_offsets.back());
+  ParallelFor(pool, num_sessions, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      std::copy(distinct_items[s].begin(), distinct_items[s].end(),
+                raw.session_items.begin() +
+                    static_cast<ptrdiff_t>(raw.session_offsets[s]));
+    }
+  });
+
+  // ---- Count phase (parallel over sessions, atomic increments): item
+  // document frequencies h_i.
+  std::vector<std::atomic<uint32_t>> item_frequency(num_items);
+  ParallelFor(pool, num_sessions, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      for (ItemId item : distinct_items[s]) {
+        item_frequency[item].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  raw.item_offsets.assign(num_items + 1, 0);
+  for (size_t i = 0; i < num_items; ++i) {
+    raw.item_offsets[i + 1] =
+        raw.item_offsets[i] +
+        std::min<size_t>(item_frequency[i].load(std::memory_order_relaxed),
+                         m);
+  }
+
+  // ---- Shuffle/fill phase: item range partitions; each partition fills
+  // its items' posting lists independently, walking sessions from most
+  // recent to oldest (sessions are in ascending end-time order, so the
+  // reverse walk yields descending-recency lists). One partition per
+  // worker: total work is threads x clicks, fully parallel.
+  const size_t num_partitions =
+      options.num_partitions > 0 ? options.num_partitions : num_threads;
+  const size_t items_per_partition =
+      num_items == 0 ? 1 : (num_items + num_partitions - 1) / num_partitions;
+  raw.session_lists.resize(raw.item_offsets.back());
+  raw.item_idf.resize(num_items);
+
+  ParallelFor(pool, num_partitions, [&](size_t begin, size_t end) {
+    std::vector<uint32_t> filled;
+    for (size_t partition = begin; partition < end; ++partition) {
+      const size_t item_lo = partition * items_per_partition;
+      const size_t item_hi =
+          std::min(num_items, item_lo + items_per_partition);
+      if (item_lo >= item_hi) continue;
+      filled.assign(item_hi - item_lo, 0);
+      for (size_t s = num_sessions; s-- > 0;) {
+        for (ItemId item : distinct_items[s]) {
+          if (item < item_lo || item >= item_hi) continue;
+          const size_t local = item - item_lo;
+          const size_t cap = raw.item_offsets[item + 1] - raw.item_offsets[item];
+          if (filled[local] < cap) {
+            raw.session_lists[raw.item_offsets[item] + filled[local]] =
+                static_cast<SessionId>(s);
+            ++filled[local];
+          }
+        }
+      }
+      for (size_t item = item_lo; item < item_hi; ++item) {
+        const uint32_t freq =
+            item_frequency[item].load(std::memory_order_relaxed);
+        raw.item_idf[item] =
+            freq == 0 ? 0.0f
+                      : static_cast<float>(std::log(
+                            static_cast<double>(num_sessions) / freq));
+      }
+    }
+  });
+
+  return SessionIndex::FromRaw(std::move(raw));
+}
+
+}  // namespace serenade

@@ -1,0 +1,31 @@
+// Data-parallel offline index generation — the stand-in for the paper's
+// Spark/MLLib pipeline (Section 4.2, "Offline index generation"). The
+// dataflow is identical: partition the click log by item, per partition
+// sort each item's sessions by recency and truncate to the m most recent,
+// then concatenate partitions into the CSR index arrays.
+#pragma once
+
+#include <cstddef>
+
+#include "core/session_index.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// Options for the parallel build.
+struct IndexBuilderOptions {
+  /// m: most recent sessions retained per item.
+  size_t max_sessions_per_item = 500;
+  /// Worker threads for the partitioned phases (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Number of item partitions ("shuffle" granularity). 0 = 4x threads.
+  size_t num_partitions = 0;
+};
+
+/// Builds a SessionIndex with a multi-threaded partition/shuffle/reduce
+/// pipeline. Produces bit-identical output to SessionIndex::Build (the
+/// single-threaded reference), which the tests assert.
+SessionIndex BuildIndexParallel(const Dataset& train,
+                                const IndexBuilderOptions& options);
+
+}  // namespace serenade

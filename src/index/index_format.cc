@@ -1,0 +1,293 @@
+#include "index/index_format.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+
+namespace serenade {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'R', 'N', 'I', 'D', 'X', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kNumSections = 6;
+
+// --- varint primitives -----------------------------------------------------
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(const char** cursor, const char* end, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*cursor < end && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(**cursor);
+    ++*cursor;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out->append(buf, 8);
+}
+
+// --- section encoders ------------------------------------------------------
+
+template <typename T>
+std::string EncodeDelta(const std::vector<T>& values) {
+  std::string payload;
+  PutVarint(&payload, values.size());
+  uint64_t previous = 0;
+  for (T v : values) {
+    PutVarint(&payload, static_cast<uint64_t>(v) - previous);
+    previous = static_cast<uint64_t>(v);
+  }
+  return payload;
+}
+
+template <typename T>
+std::string EncodePlain(const std::vector<T>& values) {
+  std::string payload;
+  PutVarint(&payload, values.size());
+  for (T v : values) PutVarint(&payload, static_cast<uint64_t>(v));
+  return payload;
+}
+
+std::string EncodeTimestamps(const std::vector<Timestamp>& values) {
+  std::string payload;
+  PutVarint(&payload, values.size());
+  Timestamp min_value = ~Timestamp{0};
+  for (Timestamp v : values) min_value = std::min(min_value, v);
+  if (values.empty()) min_value = 0;
+  PutVarint(&payload, min_value);
+  for (Timestamp v : values) PutVarint(&payload, v - min_value);
+  return payload;
+}
+
+std::string EncodeFloats(const std::vector<float>& values) {
+  std::string payload;
+  PutVarint(&payload, values.size());
+  payload.append(reinterpret_cast<const char*>(values.data()),
+                 values.size() * sizeof(float));
+  return payload;
+}
+
+// --- section decoders ------------------------------------------------------
+
+template <typename T>
+Status DecodeDelta(const char* data, size_t size, std::vector<T>* out) {
+  const char* cursor = data;
+  const char* end = data + size;
+  uint64_t count = 0;
+  if (!GetVarint(&cursor, end, &count)) return Status::Corruption("count");
+  out->clear();
+  out->reserve(count);
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(&cursor, end, &delta)) return Status::Corruption("delta");
+    previous += delta;
+    out->push_back(static_cast<T>(previous));
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status DecodePlain(const char* data, size_t size, std::vector<T>* out) {
+  const char* cursor = data;
+  const char* end = data + size;
+  uint64_t count = 0;
+  if (!GetVarint(&cursor, end, &count)) return Status::Corruption("count");
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t value = 0;
+    if (!GetVarint(&cursor, end, &value)) return Status::Corruption("value");
+    out->push_back(static_cast<T>(value));
+  }
+  return Status::Ok();
+}
+
+Status DecodeTimestamps(const char* data, size_t size,
+                        std::vector<Timestamp>* out) {
+  const char* cursor = data;
+  const char* end = data + size;
+  uint64_t count = 0, min_value = 0;
+  if (!GetVarint(&cursor, end, &count) || !GetVarint(&cursor, end, &min_value)) {
+    return Status::Corruption("timestamp header");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint(&cursor, end, &delta)) {
+      return Status::Corruption("timestamp delta");
+    }
+    out->push_back(static_cast<Timestamp>(min_value + delta));
+  }
+  return Status::Ok();
+}
+
+Status DecodeFloats(const char* data, size_t size, std::vector<float>* out) {
+  const char* cursor = data;
+  const char* end = data + size;
+  uint64_t count = 0;
+  if (!GetVarint(&cursor, end, &count)) return Status::Corruption("count");
+  if (static_cast<uint64_t>(end - cursor) < count * sizeof(float)) {
+    return Status::Corruption("float payload truncated");
+  }
+  out->resize(count);
+  std::memcpy(out->data(), cursor, count * sizeof(float));
+  return Status::Ok();
+}
+
+void AppendSection(std::string* out, const std::string& payload) {
+  PutFixed64(out, payload.size());
+  out->append(payload);
+  PutFixed32(out, Crc32(payload.data(), payload.size()));
+}
+
+Status ReadSection(const char** cursor, const char* end,
+                   const char** payload, size_t* payload_size) {
+  if (end - *cursor < 8) return Status::Corruption("section length");
+  uint64_t size = 0;
+  std::memcpy(&size, *cursor, 8);
+  *cursor += 8;
+  if (static_cast<uint64_t>(end - *cursor) < size + 4) {
+    return Status::Corruption("section payload truncated");
+  }
+  *payload = *cursor;
+  *payload_size = static_cast<size_t>(size);
+  *cursor += size;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, *cursor, 4);
+  *cursor += 4;
+  if (Crc32(*payload, *payload_size) != stored_crc) {
+    return Status::Corruption("section CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeIndex(const SessionIndex& index) {
+  const SessionIndex::Raw raw = index.ToRaw();
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, kVersion);
+  PutFixed64(&out, raw.max_sessions_per_item);
+  AppendSection(&out, EncodeDelta(raw.item_offsets));
+  AppendSection(&out, EncodePlain(raw.session_lists));
+  AppendSection(&out, EncodeTimestamps(raw.session_timestamps));
+  AppendSection(&out, EncodeDelta(raw.session_offsets));
+  AppendSection(&out, EncodePlain(raw.session_items));
+  AppendSection(&out, EncodeFloats(raw.item_idf));
+  return out;
+}
+
+StatusOr<SessionIndex> DeserializeIndex(const std::string& bytes) {
+  const char* cursor = bytes.data();
+  const char* end = bytes.data() + bytes.size();
+  if (end - cursor < static_cast<ptrdiff_t>(sizeof(kMagic) + 4 + 8)) {
+    return Status::Corruption("index file too short");
+  }
+  if (std::memcmp(cursor, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  cursor += sizeof(kMagic);
+  uint32_t version = 0;
+  std::memcpy(&version, cursor, 4);
+  cursor += 4;
+  if (version != kVersion) {
+    return Status::Corruption("unsupported index version " +
+                              std::to_string(version));
+  }
+  SessionIndex::Raw raw;
+  std::memcpy(&raw.max_sessions_per_item, cursor, 8);
+  cursor += 8;
+
+  const char* payloads[kNumSections];
+  size_t payload_sizes[kNumSections];
+  for (size_t i = 0; i < kNumSections; ++i) {
+    SERENADE_RETURN_IF_ERROR(
+        ReadSection(&cursor, end, &payloads[i], &payload_sizes[i]));
+  }
+
+  SERENADE_RETURN_IF_ERROR(
+      DecodeDelta(payloads[0], payload_sizes[0], &raw.item_offsets));
+  SERENADE_RETURN_IF_ERROR(
+      DecodePlain(payloads[1], payload_sizes[1], &raw.session_lists));
+  SERENADE_RETURN_IF_ERROR(DecodeTimestamps(payloads[2], payload_sizes[2],
+                                            &raw.session_timestamps));
+  SERENADE_RETURN_IF_ERROR(
+      DecodeDelta(payloads[3], payload_sizes[3], &raw.session_offsets));
+  SERENADE_RETURN_IF_ERROR(
+      DecodePlain(payloads[4], payload_sizes[4], &raw.session_items));
+  SERENADE_RETURN_IF_ERROR(
+      DecodeFloats(payloads[5], payload_sizes[5], &raw.item_idf));
+
+  // Structural validation so a logically-corrupt (but CRC-clean) file
+  // cannot crash the query path.
+  if (raw.item_offsets.empty() || raw.session_offsets.empty()) {
+    return Status::Corruption("missing offset arrays");
+  }
+  if (raw.item_offsets.back() != raw.session_lists.size()) {
+    return Status::Corruption("item offsets inconsistent with postings");
+  }
+  if (raw.session_offsets.back() != raw.session_items.size()) {
+    return Status::Corruption("session offsets inconsistent with items");
+  }
+  if (raw.session_offsets.size() != raw.session_timestamps.size() + 1) {
+    return Status::Corruption("session count mismatch");
+  }
+  if (raw.item_offsets.size() != raw.item_idf.size() + 1) {
+    return Status::Corruption("item count mismatch");
+  }
+  const size_t num_sessions = raw.session_timestamps.size();
+  for (SessionId s : raw.session_lists) {
+    if (s >= num_sessions) return Status::Corruption("session id out of range");
+  }
+  return SessionIndex::FromRaw(std::move(raw));
+}
+
+Status WriteIndexFile(const std::string& path, const SessionIndex& index) {
+  const std::string bytes = SerializeIndex(index);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<SessionIndex> ReadIndexFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on " + path);
+  return DeserializeIndex(buffer.str());
+}
+
+}  // namespace serenade

@@ -1,0 +1,38 @@
+// Compact binary on-disk format for the session similarity index — the
+// stand-in for the paper's Avro index files written by the Spark job and
+// ingested by the serving component. The format is compressed with
+// varint/delta coding (the paper: "a compressed representation of our
+// index") and every section carries a CRC-32 so a corrupted replica is
+// rejected at load time rather than serving garbage.
+//
+// Layout:
+//   header:  magic "SRNIDX1\0" | u32 version | u64 m | 6 section lengths
+//   sections (each varint-coded payload followed by u32 CRC of payload):
+//     1 item_offsets        (delta + varint; monotone non-decreasing)
+//     2 session_lists       (varint)
+//     3 session_timestamps  (delta vs min + varint, preceded by min)
+//     4 session_offsets     (delta + varint)
+//     5 session_items       (varint)
+//     6 item_idf            (raw float32 little-endian)
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/session_index.h"
+
+namespace serenade {
+
+/// Serializes the index to `path`, replacing any existing file.
+Status WriteIndexFile(const std::string& path, const SessionIndex& index);
+
+/// Loads an index previously written by WriteIndexFile. Returns
+/// kCorruption for truncated files, bad magic/version or CRC mismatches.
+StatusOr<SessionIndex> ReadIndexFile(const std::string& path);
+
+/// In-memory variants (used by tests and by the replication path of the
+/// serving layer, which ships index bytes to each serving machine).
+std::string SerializeIndex(const SessionIndex& index);
+StatusOr<SessionIndex> DeserializeIndex(const std::string& bytes);
+
+}  // namespace serenade

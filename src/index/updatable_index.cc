@@ -1,0 +1,94 @@
+#include "index/updatable_index.h"
+
+#include <algorithm>
+
+#include "core/vmis_knn.h"
+
+namespace serenade {
+
+UpdatableSessionIndex::UpdatableSessionIndex(SessionIndex base)
+    : base_(std::move(base)), num_items_(base_.num_items()) {
+  for (SessionId s = 0; s < base_.num_sessions(); ++s) {
+    max_timestamp_ = std::max(max_timestamp_, base_.SessionTimestamp(s));
+  }
+}
+
+SessionId UpdatableSessionIndex::Ingest(const std::vector<ItemId>& items,
+                                        Timestamp end_time) {
+  const SessionId id =
+      static_cast<SessionId>(base_.num_sessions() + overlay_items_.size());
+  // Clamp regressions so recency stays a total order (ids ascend with
+  // ingest order, so equal timestamps still order correctly).
+  max_timestamp_ = std::max(max_timestamp_, end_time);
+
+  std::vector<ItemId> distinct = items;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (ItemId item : distinct) {
+    overlay_postings_[item].push_back(id);
+    ++overlay_frequency_[item];
+    num_items_ = std::max(num_items_, static_cast<size_t>(item) + 1);
+  }
+  overlay_items_.push_back(std::move(distinct));
+  overlay_timestamps_.push_back(max_timestamp_);
+  return id;
+}
+
+std::span<const SessionId> UpdatableSessionIndex::SessionsForItem(
+    ItemId item, std::vector<SessionId>* scratch) const {
+  const auto overlay = overlay_postings_.find(item);
+  const std::span<const SessionId> base_postings =
+      base_.SessionsForItem(item);
+  if (overlay == overlay_postings_.end()) return base_postings;
+
+  const size_t m = base_.max_sessions_per_item();
+  scratch->clear();
+  // Overlay sessions, newest first.
+  for (auto it = overlay->second.rbegin();
+       it != overlay->second.rend() && scratch->size() < m; ++it) {
+    scratch->push_back(*it);
+  }
+  for (SessionId candidate : base_postings) {
+    if (scratch->size() >= m) break;
+    scratch->push_back(candidate);
+  }
+  return {scratch->data(), scratch->size()};
+}
+
+std::span<const ItemId> UpdatableSessionIndex::ItemsForSession(
+    SessionId session, std::vector<ItemId>* scratch) const {
+  (void)scratch;
+  if (session < base_.num_sessions()) return base_.ItemsForSession(session);
+  const auto& items = overlay_items_[session - base_.num_sessions()];
+  return {items.data(), items.size()};
+}
+
+double UpdatableSessionIndex::Idf(ItemId item) const {
+  const double total = static_cast<double>(num_sessions());
+  const auto overlay = overlay_frequency_.find(item);
+  const uint32_t delta =
+      overlay == overlay_frequency_.end() ? 0 : overlay->second;
+
+  if (item < base_.num_items()) {
+    // Recover the base frequency from the stored base IDF:
+    // idf = log(N_base / h)  =>  h = N_base / exp(idf). An idf of 0 is
+    // ambiguous ("in every session" vs "never seen"); empty base postings
+    // disambiguate exactly.
+    const double base_frequency =
+        base_.SessionsForItem(item).empty()
+            ? 0.0
+            : std::round(static_cast<double>(base_.num_sessions()) /
+                         std::exp(base_.Idf(item)));
+    const double frequency = base_frequency + delta;
+    if (frequency <= 0.0) return 0.0;
+    return std::log(total / frequency);
+  }
+  if (delta == 0) return 0.0;
+  return std::log(total / delta);
+}
+
+// Anchor the updatable-index query-engine instantiation.
+template class VmisKnnT<UpdatableSessionIndex>;
+
+}  // namespace serenade

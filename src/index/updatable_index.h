@@ -1,0 +1,94 @@
+// Incrementally maintainable session index — the paper's second
+// future-work direction ("whether we can incrementally maintain the index
+// with a system such as Differential Dataflow", Section 7), and the
+// answer to its cold-start caveat: the daily batch job means "Serenade
+// will only see sessions for new items on the platform with a delay of
+// one day".
+//
+// Design: an immutable base SessionIndex (the nightly batch artifact)
+// plus a mutable overlay holding the sessions ingested since. Ingested
+// sessions are by construction more recent than every base session, so a
+// posting list is simply overlay-postings (newest first) followed by base
+// postings, truncated to m — recency order is preserved and VMIS-kNN's
+// early stopping stays exact. IDF is maintained from live frequency
+// counts. Periodically the nightly batch job replaces the base and the
+// overlay resets.
+//
+// Satisfies the same query concept as SessionIndex (see vmis_knn.h), so
+// VmisKnnT<UpdatableSessionIndex> runs Algorithm 2 unmodified.
+//
+// Thread-compatibility: Ingest() must be externally synchronised with
+// queries (the production pattern is a snapshot swap per serving worker;
+// the serving layer here queries single-threaded per worker instance).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/session_index.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// SessionIndex + in-memory delta for freshly observed sessions.
+class UpdatableSessionIndex {
+ public:
+  /// Takes ownership of the nightly base index.
+  explicit UpdatableSessionIndex(SessionIndex base);
+
+  /// Ingests one finished session (its items, in click order, and its end
+  /// timestamp). The timestamp must be >= every base/ingested timestamp
+  /// (violations are clamped to the current maximum to keep recency
+  /// order). Returns the id assigned to the new session.
+  SessionId Ingest(const std::vector<ItemId>& items, Timestamp end_time);
+
+  /// Sessions ingested since the base was built.
+  size_t overlay_sessions() const { return overlay_items_.size(); }
+
+  size_t num_sessions() const {
+    return base_.num_sessions() + overlay_items_.size();
+  }
+  size_t num_items() const { return num_items_; }
+  size_t max_sessions_per_item() const {
+    return base_.max_sessions_per_item();
+  }
+
+  // --- query concept ---------------------------------------------------
+
+  /// Overlay postings (newest first) followed by base postings, truncated
+  /// to the index's m; decoded into `scratch` only when the overlay
+  /// contributes (pure-base items return the base span directly).
+  std::span<const SessionId> SessionsForItem(
+      ItemId item, std::vector<SessionId>* scratch) const;
+
+  std::span<const ItemId> ItemsForSession(SessionId session,
+                                          std::vector<ItemId>* scratch) const;
+
+  Timestamp SessionTimestamp(SessionId session) const {
+    return session < base_.num_sessions()
+               ? base_.SessionTimestamp(session)
+               : overlay_timestamps_[session - base_.num_sessions()];
+  }
+
+  /// Live IDF: log(total sessions / live frequency). For items whose
+  /// frequency changed since the base build the value tracks the overlay;
+  /// untouched items keep the base value rescaled to the grown corpus.
+  double Idf(ItemId item) const;
+
+ private:
+  SessionIndex base_;
+  size_t num_items_;
+
+  // Overlay: per item, ingested sessions in ascending ingest order
+  // (i.e. ascending recency; read back-to-front at query time).
+  std::unordered_map<ItemId, std::vector<SessionId>> overlay_postings_;
+  std::vector<std::vector<ItemId>> overlay_items_;  // distinct, sorted
+  std::vector<Timestamp> overlay_timestamps_;
+  std::unordered_map<ItemId, uint32_t> overlay_frequency_;
+  Timestamp max_timestamp_ = 0;
+};
+
+}  // namespace serenade

@@ -1,0 +1,22 @@
+#include "serving/business_rules.h"
+
+namespace serenade {
+
+std::vector<ScoredItem> ApplyBusinessRules(const std::vector<ScoredItem>& raw,
+                                           const ItemCatalog& catalog,
+                                           const BusinessRulesConfig& config) {
+  std::vector<ScoredItem> filtered;
+  filtered.reserve(std::min(raw.size(), config.max_items));
+  for (const ScoredItem& candidate : raw) {
+    if (filtered.size() >= config.max_items) break;
+    if (candidate.item >= catalog.num_items()) continue;
+    if (config.filter_unavailable && !catalog.available[candidate.item]) {
+      continue;
+    }
+    if (config.filter_adult && catalog.adult[candidate.item]) continue;
+    filtered.push_back(candidate);
+  }
+  return filtered;
+}
+
+}  // namespace serenade

@@ -1,0 +1,27 @@
+// Post-prediction business rules (Section 4.2): "We additionally apply
+// business rules to the recommendations to remove unavailable products
+// and to filter for adult products."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+
+struct BusinessRulesConfig {
+  bool filter_unavailable = true;
+  bool filter_adult = true;
+  /// Number of items the shop frontend renders (the paper: 21).
+  size_t max_items = 21;
+};
+
+/// Applies the configured filters and truncates to max_items, preserving
+/// score order. Items outside the catalog are dropped defensively.
+std::vector<ScoredItem> ApplyBusinessRules(const std::vector<ScoredItem>& raw,
+                                           const ItemCatalog& catalog,
+                                           const BusinessRulesConfig& config);
+
+}  // namespace serenade

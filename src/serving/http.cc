@@ -1,0 +1,429 @@
+#include "serving/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace serenade {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+enum class ReadResult { kOk, kClosed, kTimeout };
+
+// Reads until the terminator appears in the buffer, the peer closes, or
+// the socket's receive timeout elapses (so server threads can re-check
+// their stop flag while a keep-alive connection idles).
+ReadResult ReadUntil(int fd, std::string* buffer, const char* terminator) {
+  char chunk[4096];
+  while (buffer->find(terminator) == std::string::npos) {
+    if (buffer->size() > kMaxHeaderBytes) return ReadResult::kClosed;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadResult::kClosed;
+    if (n < 0) {
+      return (errno == EAGAIN || errno == EWOULDBLOCK) ? ReadResult::kTimeout
+                                                       : ReadResult::kClosed;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return ReadResult::kOk;
+}
+
+bool ReadExact(int fd, std::string* buffer, size_t total) {
+  char chunk[4096];
+  while (buffer->size() < total) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void ParseQuery(const std::string& query,
+                std::map<std::string, std::string>* out) {
+  size_t start = 0;
+  while (start < query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      (*out)[UrlDecode(pair)] = "";
+    } else {
+      (*out)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+    start = end + 1;
+  }
+}
+
+// Parses one request from `buffer` (which holds at least the full header
+// block). Returns bytes consumed, or 0 on malformed input. May read more
+// from fd for the body.
+size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
+                    bool* keep_alive) {
+  const size_t header_end = buffer->find("\r\n\r\n");
+  if (header_end == std::string::npos) return 0;
+  const std::string head = buffer->substr(0, header_end);
+
+  // Request line.
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return 0;
+  request->method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return 0;
+
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request->path = UrlDecode(target);
+  } else {
+    request->path = UrlDecode(target.substr(0, question));
+    ParseQuery(target.substr(question + 1), &request->query);
+  }
+
+  // Headers.
+  size_t cursor = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (cursor < head.size()) {
+    size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(cursor, eol - cursor);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = ToLower(line.substr(0, colon));
+      size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      request->headers[name] = line.substr(value_start);
+    }
+    cursor = eol + 2;
+  }
+
+  *keep_alive = version == "HTTP/1.1";
+  auto connection = request->headers.find("connection");
+  if (connection != request->headers.end()) {
+    const std::string value = ToLower(connection->second);
+    if (value == "close") *keep_alive = false;
+    if (value == "keep-alive") *keep_alive = true;
+  }
+
+  // Body.
+  size_t body_length = 0;
+  auto content_length = request->headers.find("content-length");
+  if (content_length != request->headers.end()) {
+    body_length = static_cast<size_t>(std::strtoull(
+        content_length->second.c_str(), nullptr, 10));
+    if (body_length > kMaxBodyBytes) return 0;
+  }
+  const size_t total = header_end + 4 + body_length;
+  if (buffer->size() < total && !ReadExact(fd, buffer, total)) return 0;
+  request->body = buffer->substr(header_end + 4, body_length);
+  return total;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::Param(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+HttpResponse HttpResponse::Json(std::string body) {
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":\"" + message + "\"}";
+  return response;
+}
+
+// --- server ------------------------------------------------------------------
+
+HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind() failed for port " + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  socklen_t length = sizeof(address);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    // Bounded read timeout so connection threads exit on Stop().
+    timeval timeout{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void HttpServer::ConnectionLoop(int fd) {
+  std::string buffer;
+  while (!stopping_.load()) {
+    const ReadResult read = ReadUntil(fd, &buffer, "\r\n\r\n");
+    if (read == ReadResult::kTimeout) continue;  // idle keep-alive
+    if (read == ReadResult::kClosed) break;
+    HttpRequest request;
+    bool keep_alive = false;
+    const size_t consumed = ParseRequest(fd, &buffer, &request, &keep_alive);
+    if (consumed == 0) {
+      WriteAll(fd, SerializeResponse(
+                       HttpResponse::Error(400, "malformed request"), false));
+      break;
+    }
+    buffer.erase(0, consumed);
+
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      LOG_ERROR << "handler threw: " << e.what();
+      response = HttpResponse::Error(500, "internal error");
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteAll(fd, SerializeResponse(response, keep_alive))) break;
+    if (!keep_alive) break;
+  }
+  ::close(fd);
+}
+
+// --- client ------------------------------------------------------------------
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    Close();
+    return Status::Unavailable("connect() failed to port " +
+                               std::to_string(port));
+  }
+  port_ = port;
+  return Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  if (!WriteAll(fd_, request_text)) return Status::IoError("send failed");
+
+  std::string buffer;
+  if (ReadUntil(fd_, &buffer, "\r\n\r\n") != ReadResult::kOk) {
+    return Status::IoError("connection closed while reading headers");
+  }
+  const size_t header_end = buffer.find("\r\n\r\n");
+  const std::string head = buffer.substr(0, header_end);
+
+  HttpResponse response;
+  const size_t status_start = head.find(' ');
+  if (status_start == std::string::npos || head.compare(0, 5, "HTTP/") != 0) {
+    return Status::Corruption("bad status line");
+  }
+  response.status = std::atoi(head.c_str() + status_start + 1);
+
+  size_t body_length = 0;
+  const std::string lower_head = ToLower(head);
+  const size_t cl = lower_head.find("content-length:");
+  if (cl != std::string::npos) {
+    body_length = static_cast<size_t>(
+        std::strtoull(head.c_str() + cl + 15, nullptr, 10));
+  }
+  const size_t ct = lower_head.find("content-type:");
+  if (ct != std::string::npos) {
+    size_t value_start = ct + 13;
+    while (value_start < head.size() && head[value_start] == ' ') {
+      ++value_start;
+    }
+    size_t value_end = head.find("\r\n", value_start);
+    if (value_end == std::string::npos) value_end = head.size();
+    response.content_type = head.substr(value_start, value_end - value_start);
+  }
+  const size_t total = header_end + 4 + body_length;
+  if (buffer.size() < total && !ReadExact(fd_, &buffer, total)) {
+    return Status::IoError("connection closed while reading body");
+  }
+  response.body = buffer.substr(header_end + 4, body_length);
+  return response;
+}
+
+StatusOr<HttpResponse> HttpClient::Get(const std::string& path_and_query) {
+  const std::string request_text = "GET " + path_and_query +
+                                   " HTTP/1.1\r\nHost: localhost\r\n"
+                                   "Connection: keep-alive\r\n\r\n";
+  auto response = RoundTrip(request_text);
+  if (!response.ok() && fd_ >= 0) {
+    // Stale keep-alive connection: reconnect once and retry.
+    SERENADE_RETURN_IF_ERROR(Connect(port_));
+    return RoundTrip(request_text);
+  }
+  return response;
+}
+
+StatusOr<HttpResponse> HttpClient::Post(const std::string& path_and_query,
+                                        const std::string& body) {
+  const std::string request_text =
+      "POST " + path_and_query +
+      " HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: keep-alive\r\n\r\n" + body;
+  auto response = RoundTrip(request_text);
+  if (!response.ok() && fd_ >= 0) {
+    SERENADE_RETURN_IF_ERROR(Connect(port_));
+    return RoundTrip(request_text);
+  }
+  return response;
+}
+
+}  // namespace serenade

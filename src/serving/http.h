@@ -1,0 +1,116 @@
+// Minimal HTTP/1.1 server and client over POSIX sockets — the stand-in
+// for the Actix web framework the paper's Rust implementation uses. The
+// server supports keep-alive connections, GET/POST with Content-Length
+// bodies, query-string parsing, and a pluggable handler; the client
+// supports keep-alive request pipelining for the load generator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serenade {
+
+/// A parsed HTTP request.
+struct HttpRequest {
+  std::string method;                           // "GET", "POST", ...
+  std::string path;                             // "/recommend"
+  std::map<std::string, std::string> query;     // decoded query params
+  std::map<std::string, std::string> headers;   // lower-cased names
+  std::string body;
+
+  /// Query parameter lookup with default.
+  std::string Param(const std::string& key,
+                    const std::string& fallback = "") const;
+};
+
+/// A response to serialise.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(std::string body);
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+/// Request handler; invoked concurrently from connection threads.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Blocking-IO HTTP server: one acceptor thread plus one thread per live
+/// connection (bounded by max_connections). Suitable for the benchmark
+/// workloads in this repository (tens of persistent connections).
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds to 127.0.0.1:port (port 0 = ephemeral) and starts serving.
+  Status Start(uint16_t port = 0);
+
+  /// Stops accepting, closes the listener, and joins connection threads.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+/// Blocking HTTP/1.1 client with keep-alive: one instance per connection.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+
+  /// Sends a GET and reads the full response. Reconnects once on a stale
+  /// keep-alive connection.
+  StatusOr<HttpResponse> Get(const std::string& path_and_query);
+
+  /// Sends a POST with the given body (Content-Type: application/json).
+  StatusOr<HttpResponse> Post(const std::string& path_and_query,
+                              const std::string& body);
+
+  void Close();
+
+ private:
+  StatusOr<HttpResponse> RoundTrip(const std::string& request_text);
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Percent-decodes a URL component ("%2C" -> ",", "+" -> " ").
+std::string UrlDecode(const std::string& text);
+
+}  // namespace serenade

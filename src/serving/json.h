@@ -1,0 +1,80 @@
+// Minimal JSON support for the REST serving layer: a writer with correct
+// string escaping, and a small recursive-descent parser (objects, arrays,
+// strings, numbers, booleans, null) used by the load generator and tests
+// to decode responses. Not a general-purpose library — no unicode escapes
+// beyond \uXXXX pass-through, numbers parsed as doubles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serenade {
+
+/// A parsed JSON value (immutable after parse).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> values);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document. Trailing garbage is an error.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Incremental writer producing compact JSON.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& Value(const std::string& value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(const std::string& value);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace serenade

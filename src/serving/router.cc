@@ -1,0 +1,18 @@
+#include "serving/router.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace serenade {
+
+StickySessionRouter::StickySessionRouter(size_t num_servers)
+    : num_servers_(num_servers) {
+  assert(num_servers > 0);
+}
+
+size_t StickySessionRouter::ServerFor(const std::string& session_key) const {
+  return Mix64(Fnv1a(session_key)) % num_servers_;
+}
+
+}  // namespace serenade

@@ -1,0 +1,27 @@
+// Sticky-session routing — the stand-in for Kubernetes session affinity
+// via istio sidecars (Section 4.2). All requests of one session must land
+// on the machine that owns that session's evolving state, so routing is a
+// pure hash of the session key: deterministic, state-free, and identical
+// on every frontend.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace serenade {
+
+/// Maps session keys to serving-machine indices.
+class StickySessionRouter {
+ public:
+  explicit StickySessionRouter(size_t num_servers);
+
+  /// The server that owns this session. Stable across calls.
+  size_t ServerFor(const std::string& session_key) const;
+
+  size_t num_servers() const { return num_servers_; }
+
+ private:
+  size_t num_servers_;
+};
+
+}  // namespace serenade

@@ -1,0 +1,178 @@
+#include "serving/server.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "serving/json.h"
+
+namespace serenade {
+
+SerenadeServer::SerenadeServer(std::unique_ptr<SerenadeService> service,
+                               ServerConfig config)
+    : service_(std::move(service)), config_(config) {}
+
+SerenadeServer::~SerenadeServer() { Stop(); }
+
+Status SerenadeServer::Start() {
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+  SERENADE_RETURN_IF_ERROR(http_->Start(config_.port));
+  if (config_.janitor_interval_ms > 0) {
+    stopping_.store(false);
+    janitor_ = std::thread([this] {
+      while (!stopping_.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.janitor_interval_ms));
+        if (stopping_.load()) break;
+        service_->SweepExpiredSessions();
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+void SerenadeServer::Stop() {
+  stopping_.store(true);
+  if (janitor_.joinable()) janitor_.join();
+  if (http_) http_->Stop();
+}
+
+HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return HttpResponse::Error(405, "only GET is supported");
+  }
+  if (request.path == "/recommend") {
+    Stopwatch stopwatch;
+    HttpResponse response = HandleRecommend(request);
+    {
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      recommend_latency_micros_.Record(stopwatch.ElapsedMicros());
+    }
+    return response;
+  }
+  if (request.path == "/healthz") {
+    return HttpResponse::Json("{\"status\":\"ok\"}");
+  }
+  if (request.path == "/stats") return HandleStats();
+  if (request.path == "/metrics") return HandleMetrics();
+  return HttpResponse::Error(404, "unknown path");
+}
+
+HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request) {
+  const std::string session_key = request.Param("session_id");
+  const std::string item_text = request.Param("item_id");
+  if (session_key.empty() || item_text.empty()) {
+    return HttpResponse::Error(400, "session_id and item_id are required");
+  }
+  uint32_t item = 0;
+  const auto parsed = std::from_chars(
+      item_text.data(), item_text.data() + item_text.size(), item);
+  if (parsed.ec != std::errc() ||
+      parsed.ptr != item_text.data() + item_text.size()) {
+    return HttpResponse::Error(400, "item_id must be an unsigned integer");
+  }
+  const bool consent = request.Param("consent", "true") != "false";
+
+  auto result = service_->HandleUpdateAndRecommend(
+      RecommendRequest{session_key, item, consent});
+  if (!result.ok()) {
+    return HttpResponse::Error(
+        result.status().code() == StatusCode::kInvalidArgument ? 400 : 500,
+        result.status().message());
+  }
+
+  JsonWriter writer;
+  writer.BeginObject().Key("items").BeginArray();
+  for (const ScoredItem& rec : *result) {
+    writer.Value(static_cast<uint64_t>(rec.item));
+  }
+  writer.EndArray().Key("scores").BeginArray();
+  for (const ScoredItem& rec : *result) {
+    writer.Value(static_cast<double>(rec.score));
+  }
+  writer.EndArray().EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+HttpResponse SerenadeServer::HandleMetrics() {
+  const SessionStoreStats stats = service_->StoreStats();
+  Histogram latency;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latency = recommend_latency_micros_;
+  }
+
+  std::string body;
+  char line[160];
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
+                  name, name, static_cast<unsigned long long>(value));
+    body += line;
+  };
+  auto gauge = [&](const char* name, const char* help, uint64_t value) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s gauge\n%s %llu\n", name, help,
+                  name, name, static_cast<unsigned long long>(value));
+    body += line;
+  };
+  counter("serenade_requests_total", "HTTP requests served",
+          http_->requests_served());
+  counter("serenade_store_reads_total", "session store reads", stats.reads);
+  counter("serenade_store_writes_total", "session store writes",
+          stats.writes);
+  counter("serenade_store_expirations_total", "sessions expired by TTL",
+          stats.expirations);
+  gauge("serenade_live_sessions", "evolving sessions currently stored",
+        stats.live_entries);
+  gauge("serenade_index_sessions", "historical sessions in the index",
+        service_->index().num_sessions());
+
+  body +=
+      "# HELP serenade_recommend_latency_microseconds /recommend handling "
+      "latency\n# TYPE serenade_recommend_latency_microseconds summary\n";
+  for (double quantile : {0.5, 0.75, 0.9, 0.99, 0.995}) {
+    std::snprintf(line, sizeof(line),
+                  "serenade_recommend_latency_microseconds{quantile=\"%g\"} "
+                  "%llu\n",
+                  quantile,
+                  static_cast<unsigned long long>(
+                      latency.Percentile(quantile)));
+    body += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "serenade_recommend_latency_microseconds_count %llu\n",
+                static_cast<unsigned long long>(latency.count()));
+  body += line;
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse SerenadeServer::HandleStats() {
+  const SessionStoreStats stats = service_->StoreStats();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("requests_served")
+      .Value(http_->requests_served())
+      .Key("store_reads")
+      .Value(stats.reads)
+      .Key("store_writes")
+      .Value(stats.writes)
+      .Key("store_expirations")
+      .Value(stats.expirations)
+      .Key("live_sessions")
+      .Value(stats.live_entries)
+      .Key("index_sessions")
+      .Value(static_cast<uint64_t>(service_->index().num_sessions()))
+      .Key("index_items")
+      .Value(static_cast<uint64_t>(service_->index().num_items()))
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+}  // namespace serenade

@@ -1,0 +1,62 @@
+// The REST face of a Serenade serving machine: binds a SerenadeService to
+// an HttpServer and runs the background TTL janitor. Routes:
+//   GET /recommend?session_id=<key>&item_id=<id>[&consent=true|false]
+//       -> {"items":[...],"scores":[...]}
+//   GET /healthz  -> {"status":"ok"}
+//   GET /stats    -> request / session-store counters (JSON)
+//   GET /metrics  -> the same counters plus request-latency quantiles in
+//                    Prometheus text exposition format (what the paper's
+//                    Kubernetes deployment scrapes for its dashboards)
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/histogram.h"
+#include "serving/http.h"
+#include "serving/service.h"
+
+namespace serenade {
+
+struct ServerConfig {
+  uint16_t port = 0;  ///< 0 = pick an ephemeral port
+  /// Background eviction interval for expired sessions (0 = disabled).
+  uint64_t janitor_interval_ms = 0;
+};
+
+/// One serving machine (a "Serenade pod" in Figure 1).
+class SerenadeServer {
+ public:
+  SerenadeServer(std::unique_ptr<SerenadeService> service,
+                 ServerConfig config);
+  ~SerenadeServer();
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_ ? http_->port() : 0; }
+  SerenadeService& service() { return *service_; }
+  uint64_t requests_served() const {
+    return http_ ? http_->requests_served() : 0;
+  }
+
+ private:
+  HttpResponse Handle(const HttpRequest& request);
+  HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
+
+  std::unique_ptr<SerenadeService> service_;
+  ServerConfig config_;
+  std::unique_ptr<HttpServer> http_;
+  std::atomic<bool> stopping_{false};
+  std::thread janitor_;
+
+  // Server-side latency of /recommend handling, for /metrics.
+  mutable std::mutex latency_mutex_;
+  Histogram recommend_latency_micros_;
+};
+
+}  // namespace serenade

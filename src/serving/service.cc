@@ -1,0 +1,125 @@
+#include "serving/service.h"
+
+#include <charconv>
+
+namespace serenade {
+
+std::string EncodeSession(const EvolvingSession& session) {
+  std::string out;
+  for (size_t i = 0; i < session.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(session[i]);
+  }
+  return out;
+}
+
+EvolvingSession DecodeSession(const std::string& encoded) {
+  EvolvingSession session;
+  size_t start = 0;
+  while (start < encoded.size()) {
+    size_t end = encoded.find(',', start);
+    if (end == std::string::npos) end = encoded.size();
+    uint32_t item = 0;
+    const auto result = std::from_chars(encoded.data() + start,
+                                        encoded.data() + end, item);
+    if (result.ec == std::errc() && result.ptr == encoded.data() + end) {
+      session.push_back(item);
+    }
+    start = end + 1;
+  }
+  return session;
+}
+
+SerenadeService::SerenadeService(std::shared_ptr<const SessionIndex> index,
+                                 ItemCatalog catalog, ServiceConfig config)
+    : index_(std::move(index)),
+      catalog_(std::move(catalog)),
+      config_(config) {}
+
+StatusOr<std::unique_ptr<SerenadeService>> SerenadeService::Create(
+    std::shared_ptr<const SessionIndex> index, ItemCatalog catalog,
+    ServiceConfig config) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("index must not be null");
+  }
+  if (config.knn.m > index->max_sessions_per_item()) {
+    return Status::InvalidArgument(
+        "knn.m exceeds the index's max_sessions_per_item; rebuild the index "
+        "with a larger m");
+  }
+  auto service = std::unique_ptr<SerenadeService>(
+      new SerenadeService(std::move(index), std::move(catalog), config));
+  auto store = SessionStore::Open(config.store);
+  if (!store.ok()) return store.status();
+  service->store_ = std::move(store).value();
+  return service;
+}
+
+std::unique_ptr<VmisKnn> SerenadeService::AcquireRecommender() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!recommender_pool_.empty()) {
+      auto recommender = std::move(recommender_pool_.back());
+      recommender_pool_.pop_back();
+      return recommender;
+    }
+  }
+  return std::make_unique<VmisKnn>(index_.get(), config_.knn);
+}
+
+void SerenadeService::ReleaseRecommender(
+    std::unique_ptr<VmisKnn> recommender) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  recommender_pool_.push_back(std::move(recommender));
+}
+
+StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
+    const RecommendRequest& request) {
+  if (request.item == kInvalidItem) {
+    return Status::InvalidArgument("missing item id");
+  }
+  if (request.session_key.empty()) {
+    return Status::InvalidArgument("missing session key");
+  }
+
+  // Step 2 (Figure 1): update the evolving session with a machine-local
+  // read-modify-write.
+  EvolvingSession evolving;
+  const Status update_status = store_->Update(
+      request.session_key, [&](const std::string& current) {
+        evolving = DecodeSession(current);
+        evolving.push_back(request.item);
+        if (evolving.size() > config_.max_stored_session_length) {
+          evolving.erase(evolving.begin(),
+                         evolving.end() -
+                             static_cast<ptrdiff_t>(
+                                 config_.max_stored_session_length));
+        }
+        return EncodeSession(evolving);
+      });
+  SERENADE_RETURN_IF_ERROR(update_status);
+
+  // Depersonalisation (Section 4.2): without consent, only the currently
+  // displayed item feeds the prediction.
+  if (!request.consent) {
+    evolving.assign(1, request.item);
+  }
+
+  // Step 3: VMIS-kNN prediction against the replicated index. Fetch more
+  // than the UI needs so the business-rule filters have spare candidates.
+  auto recommender = AcquireRecommender();
+  const std::vector<ScoredItem> raw = recommender->RecommendNext(
+      evolving, config_.rules.max_items * 2 + 8);
+  ReleaseRecommender(std::move(recommender));
+
+  return ApplyBusinessRules(raw, catalog_, config_.rules);
+}
+
+StatusOr<EvolvingSession> SerenadeService::GetSession(
+    const std::string& session_key) {
+  auto value = store_->Get(session_key);
+  if (!value.ok()) return value.status();
+  return DecodeSession(*value);
+}
+
+}  // namespace serenade

@@ -1,0 +1,91 @@
+// The Serenade recommendation service: maintains evolving user sessions
+// in the colocated session store, computes next-item recommendations with
+// VMIS-kNN against the replicated session index, and applies business
+// rules — steps 2 and 3 of Figure 1.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/synthetic.h"
+#include "serving/business_rules.h"
+#include "store/session_store.h"
+
+namespace serenade {
+
+struct ServiceConfig {
+  KnnConfig knn;
+  BusinessRulesConfig rules;
+  SessionStoreOptions store;
+  /// Stored evolving sessions are truncated to this many recent items
+  /// (predictions only use KnnConfig::max_session_length of them anyway).
+  size_t max_stored_session_length = 100;
+};
+
+/// One update-and-recommend request from the shop frontend. The frontend
+/// calls this whenever the user opens a product detail page.
+struct RecommendRequest {
+  std::string session_key;   ///< opaque session identifier (cookie)
+  ItemId item = kInvalidItem;  ///< the item the user just interacted with
+  /// Consent flag: when false, the paper's depersonalisation applies —
+  /// only the currently displayed item is used (Section 4.2).
+  bool consent = true;
+};
+
+/// Thread-safe service facade. One instance per serving machine; safe for
+/// concurrent HandleUpdateAndRecommend calls (VMIS-kNN scratch state is
+/// pooled per-thread internally).
+class SerenadeService {
+ public:
+  /// `index` is the replicated read-only session similarity index.
+  static StatusOr<std::unique_ptr<SerenadeService>> Create(
+      std::shared_ptr<const SessionIndex> index, ItemCatalog catalog,
+      ServiceConfig config);
+
+  /// Appends the clicked item to the evolving session (machine-local
+  /// write), predicts the next items (machine-local reads only) and
+  /// applies the business rules. Returns at most rules.max_items items.
+  StatusOr<std::vector<ScoredItem>> HandleUpdateAndRecommend(
+      const RecommendRequest& request);
+
+  /// Reads the stored evolving session (diagnostics / tests).
+  StatusOr<EvolvingSession> GetSession(const std::string& session_key);
+
+  SessionStoreStats StoreStats() const { return store_->Stats(); }
+  const SessionIndex& index() const { return *index_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Evicts expired sessions (called by a background janitor thread in
+  /// the server wrapper).
+  size_t SweepExpiredSessions() { return store_->SweepExpired(); }
+
+ private:
+  SerenadeService(std::shared_ptr<const SessionIndex> index,
+                  ItemCatalog catalog, ServiceConfig config);
+
+  // Borrow/return pattern for per-thread recommender scratch state.
+  std::unique_ptr<VmisKnn> AcquireRecommender();
+  void ReleaseRecommender(std::unique_ptr<VmisKnn> recommender);
+
+  std::shared_ptr<const SessionIndex> index_;
+  ItemCatalog catalog_;
+  ServiceConfig config_;
+  std::unique_ptr<SessionStore> store_;
+
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<VmisKnn>> recommender_pool_;
+};
+
+/// Encodes an evolving session as a comma-separated item id string (the
+/// session-store value format; human-readable for debugging).
+std::string EncodeSession(const EvolvingSession& session);
+
+/// Decodes the store value format; malformed tokens are skipped.
+EvolvingSession DecodeSession(const std::string& encoded);
+
+}  // namespace serenade

@@ -1,0 +1,187 @@
+#include "store/session_store.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace serenade {
+
+uint64_t SystemClockSeconds() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+SessionStore::SessionStore(SessionStoreOptions options)
+    : options_(std::move(options)), shards_(options_.num_shards) {}
+
+SessionStore::~SessionStore() {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (wal_.is_open()) wal_.Sync();
+}
+
+StatusOr<std::unique_ptr<SessionStore>> SessionStore::Open(
+    SessionStoreOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be > 0");
+  }
+  auto store = std::unique_ptr<SessionStore>(new SessionStore(options));
+
+  if (!options.wal_path.empty()) {
+    // Recover existing state (a missing file is a fresh store).
+    const uint64_t now = store->options_.clock();
+    auto replayed = ReplayWal(options.wal_path, [&](const WalRecord& record) {
+      Shard& shard = store->ShardFor(record.key);
+      if (record.type == WalRecordType::kDelete) {
+        shard.table.erase(record.key);
+      } else {
+        shard.table[record.key] = Entry{record.value, record.timestamp};
+      }
+    });
+    if (!replayed.ok() &&
+        replayed.status().code() != StatusCode::kIoError) {
+      return replayed.status();  // corruption: refuse to open silently
+    }
+    // Drop entries that expired while the store was down.
+    for (Shard& shard : store->shards_) {
+      std::erase_if(shard.table, [&](const auto& kv) {
+        return store->IsExpired(kv.second, now);
+      });
+    }
+    SERENADE_RETURN_IF_ERROR(store->wal_.Open(options.wal_path));
+  }
+  return store;
+}
+
+SessionStore::Shard& SessionStore::ShardFor(const std::string& key) {
+  return shards_[Fnv1a(key) % shards_.size()];
+}
+
+bool SessionStore::IsExpired(const Entry& entry, uint64_t now) const {
+  return now > entry.last_access &&
+         now - entry.last_access > options_.ttl_seconds;
+}
+
+Status SessionStore::LogWrite(WalRecordType type, const std::string& key,
+                              const std::string& value, uint64_t now) {
+  if (options_.wal_path.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  WalRecord record{type, key, value, now};
+  SERENADE_RETURN_IF_ERROR(wal_.Append(record));
+  if (options_.sync_every_write) return wal_.Sync();
+  return Status::Ok();
+}
+
+Status SessionStore::Put(const std::string& key, const std::string& value) {
+  const uint64_t now = options_.clock();
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.table[key] = Entry{value, now};
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return LogWrite(WalRecordType::kPut, key, value, now);
+}
+
+StatusOr<std::string> SessionStore::Get(const std::string& key) {
+  const uint64_t now = options_.clock();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) {
+    read_misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound(key);
+  }
+  if (IsExpired(it->second, now)) {
+    shard.table.erase(it);
+    read_misses_.fetch_add(1, std::memory_order_relaxed);
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound(key + " (expired)");
+  }
+  it->second.last_access = now;  // touch: active sessions stay alive
+  return it->second.value;
+}
+
+Status SessionStore::Delete(const std::string& key) {
+  const uint64_t now = options_.clock();
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.table.erase(key);
+  }
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return LogWrite(WalRecordType::kDelete, key, "", now);
+}
+
+Status SessionStore::Update(
+    const std::string& key,
+    const std::function<std::string(const std::string&)>& mutator) {
+  const uint64_t now = options_.clock();
+  std::string new_value;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.table.find(key);
+    const bool live = it != shard.table.end() && !IsExpired(it->second, now);
+    new_value = mutator(live ? it->second.value : std::string());
+    shard.table[key] = Entry{new_value, now};
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return LogWrite(WalRecordType::kPut, key, new_value, now);
+}
+
+size_t SessionStore::SweepExpired() {
+  const uint64_t now = options_.clock();
+  size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    evicted += std::erase_if(shard.table, [&](const auto& kv) {
+      return IsExpired(kv.second, now);
+    });
+  }
+  expirations_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+Status SessionStore::Compact() {
+  if (options_.wal_path.empty()) return Status::Ok();
+  const uint64_t now = options_.clock();
+  std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+  SERENADE_RETURN_IF_ERROR(wal_.Open(options_.wal_path + ".tmp",
+                                     /*truncate=*/true));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.table) {
+      if (IsExpired(entry, now)) continue;
+      SERENADE_RETURN_IF_ERROR(wal_.Append(
+          WalRecord{WalRecordType::kPut, key, entry.value,
+                    entry.last_access}));
+    }
+  }
+  SERENADE_RETURN_IF_ERROR(wal_.Sync());
+  wal_.Close();
+  if (std::rename((options_.wal_path + ".tmp").c_str(),
+                  options_.wal_path.c_str()) != 0) {
+    return Status::IoError("compaction rename failed");
+  }
+  return wal_.Open(options_.wal_path);
+}
+
+SessionStoreStats SessionStore::Stats() const {
+  SessionStoreStats stats;
+  stats.reads = reads_.load(std::memory_order_relaxed);
+  stats.read_misses = read_misses_.load(std::memory_order_relaxed);
+  stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
+  stats.expirations = expirations_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.live_entries += shard.table.size();
+  }
+  return stats;
+}
+
+}  // namespace serenade

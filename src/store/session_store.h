@@ -1,0 +1,121 @@
+// Embedded key-value store for evolving sessions — the stand-in for the
+// RocksDB instance the paper colocates with each serving machine
+// (Section 4.2). Matches the paper's usage pattern: machine-local point
+// reads/writes at microsecond latency, and automatic removal of session
+// state "after 30 minutes of inactivity".
+//
+// Architecture: hash-sharded in-memory tables (per-shard mutex, so
+// concurrent requests for different sessions never contend), an optional
+// write-ahead log for durability with crash recovery, lazy TTL expiry on
+// read plus an explicit sweep for background eviction, and a compaction
+// that rewrites the log with only the live entries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/wal.h"
+
+namespace serenade {
+
+/// Injectable time source (seconds); tests use a manual clock.
+using ClockFn = std::function<uint64_t()>;
+
+/// Wall-clock seconds.
+uint64_t SystemClockSeconds();
+
+struct SessionStoreOptions {
+  /// Entries untouched for this long are expired (paper: 30 minutes).
+  uint64_t ttl_seconds = 30 * 60;
+  /// Number of hash shards (power of two recommended).
+  size_t num_shards = 16;
+  /// WAL file path; empty = volatile in-memory store.
+  std::string wal_path;
+  /// fflush the WAL after every write (slower, more durable).
+  bool sync_every_write = false;
+  /// Time source override for tests.
+  ClockFn clock = SystemClockSeconds;
+};
+
+/// Counters exposed for monitoring and the store microbenchmark.
+struct SessionStoreStats {
+  uint64_t reads = 0;
+  uint64_t read_misses = 0;
+  uint64_t writes = 0;
+  uint64_t deletes = 0;
+  uint64_t expirations = 0;
+  uint64_t live_entries = 0;
+};
+
+/// Thread-safe TTL key-value store.
+class SessionStore {
+ public:
+  /// Creates the store; if options.wal_path exists, recovers state from it
+  /// (expired entries are dropped during recovery).
+  static StatusOr<std::unique_ptr<SessionStore>> Open(
+      SessionStoreOptions options);
+
+  ~SessionStore();
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  /// Inserts or replaces a value and refreshes its TTL.
+  Status Put(const std::string& key, const std::string& value);
+
+  /// Reads a value; refreshes its TTL (an active session stays alive).
+  /// kNotFound for missing or expired keys.
+  StatusOr<std::string> Get(const std::string& key);
+
+  /// Removes a key (idempotent).
+  Status Delete(const std::string& key);
+
+  /// Read-modify-write under the shard lock: the mutator receives the
+  /// current value ("" if absent) and returns the new value. Used by the
+  /// serving layer to append a click to the evolving session atomically.
+  Status Update(const std::string& key,
+                const std::function<std::string(const std::string&)>& mutator);
+
+  /// Drops all expired entries; returns how many were evicted.
+  size_t SweepExpired();
+
+  /// Rewrites the WAL with only the live entries (no-op when volatile).
+  Status Compact();
+
+  SessionStoreStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t last_access = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> table;
+  };
+
+  explicit SessionStore(SessionStoreOptions options);
+
+  Shard& ShardFor(const std::string& key);
+  bool IsExpired(const Entry& entry, uint64_t now) const;
+  Status LogWrite(WalRecordType type, const std::string& key,
+                  const std::string& value, uint64_t now);
+
+  SessionStoreOptions options_;
+  std::vector<Shard> shards_;
+
+  std::mutex wal_mutex_;
+  WalWriter wal_;
+
+  mutable std::atomic<uint64_t> reads_{0}, read_misses_{0}, writes_{0},
+      deletes_{0}, expirations_{0};
+};
+
+}  // namespace serenade

@@ -1,0 +1,110 @@
+#include "store/wal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace serenade {
+
+namespace {
+constexpr size_t kHeaderSize = 1 + 4 + 4 + 8;  // type, key_len, value_len, ts
+
+void EncodeRecord(const WalRecord& record, std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(record.type));
+  const uint32_t key_len = static_cast<uint32_t>(record.key.size());
+  const uint32_t value_len = static_cast<uint32_t>(record.value.size());
+  out->append(reinterpret_cast<const char*>(&key_len), 4);
+  out->append(reinterpret_cast<const char*>(&value_len), 4);
+  out->append(reinterpret_cast<const char*>(&record.timestamp), 8);
+  out->append(record.key);
+  out->append(record.value);
+  const uint32_t crc = Crc32(out->data(), out->size());
+  out->append(reinterpret_cast<const char*>(&crc), 4);
+}
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, bool truncate) {
+  Close();
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL at " + path);
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  std::string encoded;
+  EncodeRecord(record, &encoded);
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file_) !=
+      encoded.size()) {
+    return Status::IoError("WAL append failed");
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::Ok();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+StatusOr<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(const WalRecord&)>& cb) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open WAL at " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+
+  uint64_t replayed = 0;
+  size_t cursor = 0;
+  while (cursor < bytes.size()) {
+    if (bytes.size() - cursor < kHeaderSize + 4) break;  // torn tail
+    const char* base = bytes.data() + cursor;
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(base[0]);
+    uint32_t key_len = 0, value_len = 0;
+    std::memcpy(&key_len, base + 1, 4);
+    std::memcpy(&value_len, base + 5, 4);
+    std::memcpy(&record.timestamp, base + 9, 8);
+    const size_t total =
+        kHeaderSize + static_cast<size_t>(key_len) + value_len + 4;
+    if (bytes.size() - cursor < total) break;  // torn tail
+
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, base + total - 4, 4);
+    if (Crc32(base, total - 4) != stored_crc) {
+      if (cursor + total >= bytes.size()) break;  // corrupt final record
+      return Status::Corruption("WAL record CRC mismatch at offset " +
+                                std::to_string(cursor));
+    }
+    if (record.type != WalRecordType::kPut &&
+        record.type != WalRecordType::kDelete) {
+      return Status::Corruption("unknown WAL record type");
+    }
+    record.key.assign(base + kHeaderSize, key_len);
+    record.value.assign(base + kHeaderSize + key_len, value_len);
+    cb(record);
+    ++replayed;
+    cursor += total;
+  }
+  return replayed;
+}
+
+}  // namespace serenade

@@ -1,0 +1,54 @@
+// Append-only write-ahead log for the session store. Record layout:
+//   u8 type | u32 key_len | u32 value_len | u64 timestamp | key | value |
+//   u32 crc32(everything before the crc)
+// Replay stops cleanly at the first truncated/corrupt record (a torn tail
+// from a crash loses at most the final writes, never earlier ones).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace serenade {
+
+enum class WalRecordType : uint8_t { kPut = 1, kDelete = 2 };
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPut;
+  std::string key;
+  std::string value;    // empty for deletes
+  uint64_t timestamp = 0;
+};
+
+/// Sequential writer. Not thread-safe; the store serialises access.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  /// Opens (creating or appending to) the log at `path`.
+  Status Open(const std::string& path, bool truncate = false);
+
+  /// Appends one record. Buffered; call Sync() to flush to the OS.
+  Status Append(const WalRecord& record);
+
+  /// Flushes buffered writes.
+  Status Sync();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Replays a log file, invoking the callback per intact record in order.
+/// Returns the number of records replayed; a trailing partial record is
+/// ignored (normal after a crash), but corruption in the middle of the
+/// file yields kCorruption.
+StatusOr<uint64_t> ReplayWal(const std::string& path,
+                             const std::function<void(const WalRecord&)>& cb);
+
+}  // namespace serenade

@@ -1,0 +1,155 @@
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "benchutil/load_generator.h"
+#include "benchutil/workload.h"
+#include "data/synthetic.h"
+#include "serving/server.h"
+
+namespace serenade {
+namespace {
+
+Dataset SmallSessions() {
+  SyntheticConfig config;
+  config.seed = 303;
+  config.num_items = 100;
+  config.num_sessions = 200;
+  config.num_days = 2;
+  return GenerateDataset(config);
+}
+
+TEST(RateProfileTest, Shapes) {
+  EXPECT_DOUBLE_EQ(RateProfile::Constant(100).RateAt(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(RateProfile::Constant(100).RateAt(1.0), 100.0);
+
+  const RateProfile ramp = RateProfile::Ramp(100, 300);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(1.0), 300.0);
+
+  const RateProfile diurnal = RateProfile::Diurnal(200, 600, 1.0);
+  EXPECT_NEAR(diurnal.RateAt(0.0), 200.0, 1.0);   // trough
+  EXPECT_NEAR(diurnal.RateAt(0.5), 600.0, 1.0);   // peak
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    EXPECT_GE(diurnal.RateAt(f), 199.0);
+    EXPECT_LE(diurnal.RateAt(f), 601.0);
+  }
+}
+
+TEST(WorkloadTest, EventCountTracksRate) {
+  WorkloadOptions options;
+  options.duration_seconds = 10.0;
+  const auto events =
+      BuildWorkload(SmallSessions(), RateProfile::Constant(200), options);
+  EXPECT_NEAR(static_cast<double>(events.size()), 2000.0, 30.0);
+}
+
+TEST(WorkloadTest, EventsAreTimeOrderedAndInRange) {
+  WorkloadOptions options;
+  options.duration_seconds = 5.0;
+  const auto events =
+      BuildWorkload(SmallSessions(), RateProfile::Ramp(50, 400), options);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].due_micros, events[i - 1].due_micros);
+  }
+  EXPECT_LE(events.back().due_micros, 5100000u);
+}
+
+TEST(WorkloadTest, SessionClicksStayOrdered) {
+  Dataset sessions = SmallSessions();
+  WorkloadOptions options;
+  options.duration_seconds = 20.0;
+  const auto events =
+      BuildWorkload(sessions, RateProfile::Constant(100), options);
+
+  // Per visitor key, the emitted items must be a prefix of some session's
+  // click sequence, in order.
+  std::unordered_map<std::string, std::vector<ItemId>> per_visitor;
+  for (const LoadEvent& event : events) {
+    per_visitor[event.session_key].push_back(event.item);
+  }
+  size_t checked = 0;
+  for (const auto& [key, items] : per_visitor) {
+    const size_t dash = key.find('-');
+    const size_t session_index = std::stoul(key.substr(1, dash - 1));
+    const auto& original = sessions.sessions()[session_index].items;
+    ASSERT_LE(items.size(), original.size()) << key;
+    for (size_t i = 0; i < items.size(); ++i) {
+      ASSERT_EQ(items[i], original[i]) << key << " position " << i;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(WorkloadTest, ConsentFractionRespected) {
+  WorkloadOptions options;
+  options.duration_seconds = 20.0;
+  options.no_consent_fraction = 0.25;
+  const auto events =
+      BuildWorkload(SmallSessions(), RateProfile::Constant(200), options);
+  size_t without_consent = 0;
+  for (const LoadEvent& event : events) {
+    if (!event.consent) ++without_consent;
+  }
+  EXPECT_NEAR(static_cast<double>(without_consent) / events.size(), 0.25,
+              0.03);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadOptions options;
+  options.duration_seconds = 3.0;
+  const auto a =
+      BuildWorkload(SmallSessions(), RateProfile::Constant(100), options);
+  const auto b =
+      BuildWorkload(SmallSessions(), RateProfile::Constant(100), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].session_key, b[i].session_key);
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].due_micros, b[i].due_micros);
+  }
+}
+
+TEST(LoadGeneratorTest, EndToEndAgainstRealServer) {
+  // Small but real: one serving machine, ~150 requests over 1.5 seconds.
+  Dataset train = SmallSessions();
+  auto index = std::make_shared<SessionIndex>(SessionIndex::Build(train, 100));
+  ServiceConfig config;
+  config.knn.m = 100;
+  config.knn.k = 50;
+  auto service = SerenadeService::Create(
+      index, GenerateCatalog(train.num_items(), 1), config);
+  ASSERT_TRUE(service.ok());
+  SerenadeServer server(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  WorkloadOptions workload_options;
+  workload_options.duration_seconds = 1.5;
+  const auto events =
+      BuildWorkload(train, RateProfile::Constant(100), workload_options);
+
+  LoadGeneratorOptions load_options;
+  load_options.connections_per_server = 4;
+  load_options.bucket_seconds = 0.5;
+  const LoadResult result = RunLoad(events, {server.port()}, load_options);
+
+  EXPECT_EQ(result.total_requests, events.size());
+  EXPECT_EQ(result.total_errors, 0u);
+  EXPECT_GT(result.total_latency_micros.count(), 0u);
+  EXPECT_FALSE(result.buckets.empty());
+  EXPECT_FALSE(result.FormatTable().empty());
+  server.Stop();
+}
+
+TEST(LoadGeneratorTest, ProcessCpuSecondsMonotone) {
+  const double before = ProcessCpuSeconds();
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
+  EXPECT_GE(ProcessCpuSeconds(), before);
+}
+
+}  // namespace
+}  // namespace serenade

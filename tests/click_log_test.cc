@@ -1,0 +1,153 @@
+#include "data/click_log.h"
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/split.h"
+
+namespace serenade {
+namespace {
+
+std::vector<Click> ToyClicks() {
+  // Session 100 clicks items 1,2,4 at t=10..30; session 200 clicks 2,4 at
+  // t=40..50; session 300 has a single click (filtered by default).
+  return {
+      {100, 1, 10}, {100, 2, 20}, {100, 4, 30},
+      {200, 2, 40}, {200, 4, 50},
+      {300, 3, 60},
+  };
+}
+
+TEST(DatasetTest, GroupsAndFiltersSessions) {
+  Dataset dataset = Dataset::FromClicks(ToyClicks());
+  EXPECT_EQ(dataset.num_sessions(), 2u);  // session 300 dropped (length 1)
+  EXPECT_EQ(dataset.num_clicks(), 5u);
+  EXPECT_EQ(dataset.num_items(), 5u);  // max item id 4 -> vocabulary size 5
+}
+
+TEST(DatasetTest, SessionsSortedByEndTimeWithDenseIds) {
+  Dataset dataset = Dataset::FromClicks(ToyClicks());
+  const auto& sessions = dataset.sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].id, 0u);
+  EXPECT_EQ(sessions[1].id, 1u);
+  EXPECT_LE(sessions[0].end_time, sessions[1].end_time);
+  EXPECT_EQ(sessions[0].items, (std::vector<ItemId>{1, 2, 4}));
+  EXPECT_EQ(sessions[1].items, (std::vector<ItemId>{2, 4}));
+}
+
+TEST(DatasetTest, ClicksSortedWithinSession) {
+  std::vector<Click> shuffled = {
+      {7, 3, 30}, {7, 1, 10}, {7, 2, 20},
+  };
+  Dataset dataset = Dataset::FromClicks(shuffled, 2);
+  ASSERT_EQ(dataset.num_sessions(), 1u);
+  EXPECT_EQ(dataset.sessions()[0].items, (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(DatasetTest, MinMaxTimestamps) {
+  Dataset dataset = Dataset::FromClicks(ToyClicks());
+  EXPECT_EQ(dataset.min_timestamp(), 10u);
+  EXPECT_EQ(dataset.max_timestamp(), 50u);
+}
+
+TEST(DatasetTest, EmptyInput) {
+  Dataset dataset = Dataset::FromClicks({});
+  EXPECT_EQ(dataset.num_sessions(), 0u);
+  EXPECT_EQ(dataset.num_items(), 0u);
+  EXPECT_TRUE(dataset.ToClicks().empty());
+}
+
+TEST(DatasetTest, MinSessionLengthOne) {
+  Dataset dataset = Dataset::FromClicks(ToyClicks(), 1);
+  EXPECT_EQ(dataset.num_sessions(), 3u);
+}
+
+TEST(CsvTest, ParseRoundTrip) {
+  Dataset dataset = Dataset::FromClicks(ToyClicks());
+  const std::string path = testing::TempDir() + "/clicks.csv";
+  ASSERT_TRUE(WriteClicksCsv(path, dataset.ToClicks()).ok());
+  auto parsed = ReadClicksCsv(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Dataset reparsed = Dataset::FromClicks(std::move(parsed).value());
+  EXPECT_EQ(reparsed.num_sessions(), dataset.num_sessions());
+  EXPECT_EQ(reparsed.num_clicks(), dataset.num_clicks());
+  for (size_t i = 0; i < dataset.num_sessions(); ++i) {
+    EXPECT_EQ(reparsed.sessions()[i].items, dataset.sessions()[i].items);
+  }
+}
+
+TEST(CsvTest, ParsesTabSeparatedWithHeader) {
+  auto parsed = ParseClicksCsv("SessionId\tItemId\tTime\n1\t2\t3\n4\t5\t6\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (Click{1, 2, 3}));
+  EXPECT_EQ((*parsed)[1], (Click{4, 5, 6}));
+}
+
+TEST(CsvTest, ParsesFractionalTimestamps) {
+  auto parsed = ParseClicksCsv("1,2,1433221332.117\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].timestamp, 1433221332u);
+}
+
+TEST(CsvTest, RejectsMalformedRow) {
+  EXPECT_EQ(ParseClicksCsv("1,2\n").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(ParseClicksCsv("1,x,3\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadClicksCsv("/nonexistent/path.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, EmptyContentYieldsNoClicks) {
+  auto parsed = ParseClicksCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SplitTest, LastDayHeldOut) {
+  // Two "old" sessions and one session on the final day.
+  std::vector<Click> clicks = {
+      {1, 10, 1000},          {1, 11, 1100},
+      {2, 10, 2000},          {2, 12, 2100},
+      {3, 10, 1000 + 200000}, {3, 11, 1100 + 200000},  // ~2.3 days later
+  };
+  Dataset dataset = Dataset::FromClicks(clicks);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  EXPECT_EQ(split.train.num_sessions(), 2u);
+  EXPECT_EQ(split.test.num_sessions(), 1u);
+}
+
+TEST(SplitTest, TestItemsUnseenInTrainAreDropped) {
+  std::vector<Click> clicks = {
+      {1, 10, 1000},   {1, 11, 1100},
+      // Test session contains item 99 never seen in training.
+      {3, 10, 300000}, {3, 99, 300100}, {3, 11, 300200},
+  };
+  Dataset dataset = Dataset::FromClicks(clicks);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  ASSERT_EQ(split.test.num_sessions(), 1u);
+  EXPECT_EQ(split.test.sessions()[0].items, (std::vector<ItemId>{10, 11}));
+}
+
+TEST(SplitTest, TestSessionTooShortAfterFilteringIsDropped) {
+  std::vector<Click> clicks = {
+      {1, 10, 1000},   {1, 11, 1100},
+      {3, 99, 300000}, {3, 98, 300100},  // both unseen in train
+  };
+  Dataset dataset = Dataset::FromClicks(clicks);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  EXPECT_EQ(split.test.num_sessions(), 0u);
+}
+
+TEST(SplitTest, EmptyDataset) {
+  TrainTestSplit split = SplitLastDays(Dataset(), 1);
+  EXPECT_EQ(split.train.num_sessions(), 0u);
+  EXPECT_EQ(split.test.num_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace serenade

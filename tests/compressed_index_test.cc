@@ -1,0 +1,116 @@
+#include "core/compressed_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/vmis_knn.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+Dataset MakeData(uint64_t seed = 71) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_items = 500;
+  config.num_sessions = 4000;
+  config.num_days = 7;
+  return GenerateDataset(config);
+}
+
+TEST(CompressedIndexTest, DecodesIdenticalContent) {
+  Dataset dataset = MakeData();
+  SessionIndex flat = SessionIndex::Build(dataset, 100);
+  CompressedSessionIndex compressed = CompressedSessionIndex::FromIndex(flat);
+
+  ASSERT_EQ(compressed.num_items(), flat.num_items());
+  ASSERT_EQ(compressed.num_sessions(), flat.num_sessions());
+  ASSERT_EQ(compressed.max_sessions_per_item(), flat.max_sessions_per_item());
+
+  std::vector<SessionId> postings_scratch;
+  std::vector<ItemId> items_scratch;
+  for (ItemId item = 0; item < flat.num_items(); ++item) {
+    const auto expected = flat.SessionsForItem(item);
+    const auto actual = compressed.SessionsForItem(item, &postings_scratch);
+    ASSERT_EQ(std::vector<SessionId>(actual.begin(), actual.end()),
+              std::vector<SessionId>(expected.begin(), expected.end()))
+        << "item " << item;
+    ASSERT_FLOAT_EQ(compressed.Idf(item), flat.Idf(item));
+  }
+  for (SessionId s = 0; s < flat.num_sessions(); ++s) {
+    const auto expected = flat.ItemsForSession(s);
+    const auto actual = compressed.ItemsForSession(s, &items_scratch);
+    ASSERT_EQ(std::vector<ItemId>(actual.begin(), actual.end()),
+              std::vector<ItemId>(expected.begin(), expected.end()))
+        << "session " << s;
+    ASSERT_EQ(compressed.SessionTimestamp(s), flat.SessionTimestamp(s));
+  }
+}
+
+TEST(CompressedIndexTest, CompressesMeaningfully) {
+  Dataset dataset = MakeData(72);
+  SessionIndex flat = SessionIndex::Build(dataset, 500);
+  CompressedSessionIndex compressed = CompressedSessionIndex::FromIndex(flat);
+  EXPECT_LT(compressed.MemoryBytes(), flat.MemoryBytes());
+}
+
+TEST(CompressedIndexTest, EmptyIndex) {
+  SessionIndex flat = SessionIndex::Build(Dataset(), 10);
+  CompressedSessionIndex compressed = CompressedSessionIndex::FromIndex(flat);
+  EXPECT_EQ(compressed.num_items(), 0u);
+  EXPECT_EQ(compressed.num_sessions(), 0u);
+  std::vector<SessionId> scratch;
+  EXPECT_TRUE(compressed.SessionsForItem(0, &scratch).empty());
+}
+
+TEST(CompressedIndexTest, UnknownIdsAreEmpty) {
+  Dataset dataset = MakeData(73);
+  CompressedSessionIndex compressed =
+      CompressedSessionIndex::FromIndex(SessionIndex::Build(dataset, 50));
+  std::vector<SessionId> postings_scratch;
+  EXPECT_TRUE(compressed.SessionsForItem(999999, &postings_scratch).empty());
+  EXPECT_DOUBLE_EQ(compressed.Idf(999999), 0.0);
+}
+
+// The headline property for the future-work experiment: Algorithm 2 over
+// the compressed index returns exactly what it returns over the flat one.
+class CompressedEquivalenceTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(CompressedEquivalenceTest, QueriesMatchFlatIndex) {
+  const size_t m = GetParam();
+  Dataset dataset = MakeData(74);
+  SessionIndex flat = SessionIndex::Build(dataset, m);
+  CompressedSessionIndex compressed = CompressedSessionIndex::FromIndex(flat);
+
+  KnnConfig config;
+  config.m = m;
+  config.k = std::min<size_t>(100, m);
+  VmisKnn flat_model(&flat, config);
+  VmisKnnT<CompressedSessionIndex> compressed_model(&compressed, config);
+
+  SyntheticConfig query_config;
+  query_config.seed = 75;
+  query_config.num_items = 500;
+  query_config.num_sessions = 50;
+  query_config.num_days = 1;
+  Dataset queries = GenerateDataset(query_config);
+
+  for (const SessionData& query : queries.sessions()) {
+    EvolvingSession evolving;
+    for (ItemId item : query.items) {
+      evolving.push_back(item);
+      const auto a = flat_model.RecommendNext(evolving, 21);
+      const auto b = compressed_model.RecommendNext(evolving, 21);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].item, b[i].item) << "rank " << i;
+        ASSERT_FLOAT_EQ(a[i].score, b[i].score);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousM, CompressedEquivalenceTest,
+                         testing::Values(5, 50, 500));
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,151 @@
+#include "common/dary_heap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace serenade {
+namespace {
+
+TEST(DaryHeapTest, EmptyHeap) {
+  DaryHeap<int> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TEST(DaryHeapTest, PushPopOrdered) {
+  DaryHeap<int> heap;
+  for (int v : {5, 3, 8, 1, 9, 2}) heap.Push(v);
+  EXPECT_EQ(heap.size(), 6u);
+  std::vector<int> drained;
+  while (!heap.empty()) drained.push_back(heap.Pop());
+  EXPECT_EQ(drained, (std::vector<int>{1, 2, 3, 5, 8, 9}));
+}
+
+TEST(DaryHeapTest, MaxHeapViaGreater) {
+  DaryHeap<int, 8, std::greater<int>> heap;
+  for (int v : {5, 3, 8, 1}) heap.Push(v);
+  EXPECT_EQ(heap.Top(), 8);
+  EXPECT_EQ(heap.Pop(), 8);
+  EXPECT_EQ(heap.Top(), 5);
+}
+
+TEST(DaryHeapTest, ReplaceTopEqualsPopPush) {
+  DaryHeap<int> a, b;
+  for (int v : {4, 7, 2, 9, 5}) {
+    a.Push(v);
+    b.Push(v);
+  }
+  a.ReplaceTop(6);
+  b.Pop();
+  b.Push(6);
+  while (!a.empty()) {
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.Pop(), b.Pop());
+  }
+}
+
+TEST(DaryHeapTest, ClearKeepsReuse) {
+  DaryHeap<int> heap;
+  heap.Push(1);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  heap.Push(2);
+  EXPECT_EQ(heap.Top(), 2);
+}
+
+// Property: any arity drains in sorted order on random input.
+template <size_t Arity>
+void RandomDrainProperty(uint64_t seed) {
+  Rng rng(seed);
+  DaryHeap<uint64_t, Arity> heap;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Below(500);  // force duplicates
+    values.push_back(v);
+    heap.Push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (uint64_t expected : values) {
+    ASSERT_EQ(heap.Pop(), expected);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DaryHeapProperty, Binary) { RandomDrainProperty<2>(1); }
+TEST(DaryHeapProperty, Quaternary) { RandomDrainProperty<4>(2); }
+TEST(DaryHeapProperty, Octonary) { RandomDrainProperty<8>(3); }
+
+// Property: interleaved Push / Pop / ReplaceTop matches a sorted-vector
+// model implementation.
+TEST(DaryHeapProperty, MatchesModelUnderMixedOps) {
+  Rng rng(99);
+  DaryHeap<uint64_t> heap;
+  std::vector<uint64_t> model;  // kept sorted ascending
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng.Below(3));
+    if (op == 0 || heap.empty()) {
+      const uint64_t v = rng.Below(1000);
+      heap.Push(v);
+      model.insert(std::lower_bound(model.begin(), model.end(), v), v);
+    } else if (op == 1) {
+      ASSERT_EQ(heap.Pop(), model.front());
+      model.erase(model.begin());
+    } else {
+      const uint64_t v = rng.Below(1000);
+      heap.ReplaceTop(v);
+      model.erase(model.begin());
+      model.insert(std::lower_bound(model.begin(), model.end(), v), v);
+    }
+    if (!model.empty()) {
+      ASSERT_EQ(heap.Top(), model.front());
+    }
+    ASSERT_EQ(heap.size(), model.size());
+  }
+}
+
+TEST(BoundedTopKTest, KeepsLargest) {
+  BoundedTopK<int> top(3);
+  for (int v : {5, 1, 9, 3, 7, 2, 8}) top.Offer(v);
+  EXPECT_TRUE(top.full());
+  EXPECT_EQ(top.TakeSortedDescending(), (std::vector<int>{9, 8, 7}));
+}
+
+TEST(BoundedTopKTest, FewerThanK) {
+  BoundedTopK<int> top(10);
+  top.Offer(2);
+  top.Offer(5);
+  EXPECT_FALSE(top.full());
+  EXPECT_EQ(top.TakeSortedDescending(), (std::vector<int>{5, 2}));
+}
+
+TEST(BoundedTopKTest, OfferReportsKept) {
+  BoundedTopK<int> top(2);
+  EXPECT_TRUE(top.Offer(1));
+  EXPECT_TRUE(top.Offer(2));
+  EXPECT_FALSE(top.Offer(0));  // weaker than both
+  EXPECT_TRUE(top.Offer(3));   // displaces 1
+  EXPECT_EQ(top.TakeSortedDescending(), (std::vector<int>{3, 2}));
+}
+
+TEST(BoundedTopKProperty, MatchesFullSort) {
+  Rng rng(7);
+  for (size_t k : {1u, 2u, 5u, 32u, 100u}) {
+    BoundedTopK<uint64_t> top(k);
+    std::vector<uint64_t> all;
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t v = rng.Below(10000);
+      all.push_back(v);
+      top.Offer(v);
+    }
+    std::sort(all.begin(), all.end(), std::greater<>());
+    all.resize(std::min<size_t>(k, all.size()));
+    EXPECT_EQ(top.TakeSortedDescending(), all) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace serenade

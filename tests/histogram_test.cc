@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace serenade {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.Percentile(0.5), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 63u);
+  // Values below 64 land in exact unit buckets.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 32.0, 1.0);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = 1 + rng.Below(1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.75, 0.9, 0.99, 0.995}) {
+    const uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const uint64_t approx = h.Percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Below(10000);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Percentile(q), combined.Percentile(q));
+  }
+}
+
+TEST(HistogramTest, RecordManyEqualsLoop) {
+  Histogram a, b;
+  a.RecordMany(17, 5);
+  for (int i = 0; i < 5; ++i) b.Record(17);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(~0ULL);
+  h.Record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GE(h.Percentile(1.0), 1ULL << 62);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  Histogram h;
+  h.Record(10);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+  EXPECT_NE(summary.find("p90="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serenade

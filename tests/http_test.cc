@@ -1,0 +1,169 @@
+#include "serving/http.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace serenade {
+namespace {
+
+HttpResponse EchoHandler(const HttpRequest& request) {
+  HttpResponse response;
+  response.body = request.method + " " + request.path + " q=" +
+                  request.Param("q", "<none>") + " body=" + request.body;
+  response.content_type = "text/plain";
+  return response;
+}
+
+class HttpTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(EchoHandler);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+  void TearDown() override { server_->Stop(); }
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpTest, SimpleGet) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto response = client.Get("/hello?q=world");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "GET /hello q=world body=");
+}
+
+TEST_F(HttpTest, UrlDecoding) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto response = client.Get("/path?q=a%2Cb+c");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "GET /path q=a,b c body=");
+}
+
+TEST_F(HttpTest, KeepAliveReusesConnection) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  for (int i = 0; i < 50; ++i) {
+    auto response = client.Get("/r?q=" + std::to_string(i));
+    ASSERT_TRUE(response.ok()) << "request " << i;
+    EXPECT_EQ(response->body, "GET /r q=" + std::to_string(i) + " body=");
+  }
+  EXPECT_EQ(server_->requests_served(), 50u);
+}
+
+TEST_F(HttpTest, ConcurrentClients) {
+  constexpr int kClients = 8, kRequests = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      HttpClient client;
+      if (!client.Connect(server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        auto response = client.Get("/c?q=" + std::to_string(c * 1000 + i));
+        if (!response.ok() ||
+            response->body !=
+                "GET /c q=" + std::to_string(c * 1000 + i) + " body=") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->requests_served(),
+            static_cast<uint64_t>(kClients * kRequests));
+}
+
+TEST_F(HttpTest, MultipleSequentialConnections) {
+  for (int i = 0; i < 5; ++i) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect(server_->port()).ok());
+    auto response = client.Get("/seq");
+    ASSERT_TRUE(response.ok());
+    client.Close();
+  }
+}
+
+TEST_F(HttpTest, PostBodyRoundTrip) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto response = client.Post("/submit?q=1", "{\"payload\":42}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "POST /submit q=1 body={\"payload\":42}");
+}
+
+TEST_F(HttpTest, PostEmptyBody) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto response = client.Post("/submit", "");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "POST /submit q=<none> body=");
+}
+
+TEST_F(HttpTest, InterleavedGetAndPostOnOneConnection) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto get = client.Get("/g");
+    ASSERT_TRUE(get.ok());
+    auto post = client.Post("/p", "b" + std::to_string(i));
+    ASSERT_TRUE(post.ok());
+    EXPECT_EQ(post->body, "POST /p q=<none> body=b" + std::to_string(i));
+  }
+}
+
+TEST(UrlDecodeTest, Basics) {
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2F%3f"), "/?");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz");  // invalid escapes pass through
+  EXPECT_EQ(UrlDecode("%"), "%");            // trailing percent
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start(0).ok());
+  const uint16_t first_port = server.port();
+  EXPECT_GT(first_port, 0);
+  server.Stop();
+  server.Stop();  // no crash
+}
+
+TEST(HttpServerTest, HandlerExceptionYields500) {
+  HttpServer server([](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/explode");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 500);
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestRejected) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start(0).ok());
+  // Raw socket speaking garbage.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  // The client API only sends valid requests, so craft a malformed one by
+  // using Get with a path that yields a bad request line (embedded space).
+  auto response = client.Get("/a b");  // "GET /a b HTTP/1.1" -> 3+ spaces
+  // Server either parses leniently (rfind splits off version) or rejects;
+  // in both cases it must respond rather than hang.
+  ASSERT_TRUE(response.ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serenade

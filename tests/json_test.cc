@@ -1,0 +1,104 @@
+#include "serving/json.h"
+
+#include <gtest/gtest.h>
+
+namespace serenade {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("name")
+      .Value("serenade")
+      .Key("count")
+      .Value(static_cast<int64_t>(42))
+      .Key("ratio")
+      .Value(0.5)
+      .Key("ok")
+      .Value(true)
+      .Key("missing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\"name\":\"serenade\",\"count\":42,\"ratio\":0.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArrays) {
+  JsonWriter writer;
+  writer.BeginObject().Key("items").BeginArray();
+  for (int i = 0; i < 3; ++i) writer.Value(static_cast<int64_t>(i));
+  writer.EndArray().EndObject();
+  EXPECT_EQ(writer.str(), "{\"items\":[0,1,2]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter writer;
+  writer.Value(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(writer.str(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->AsBool(), true);
+  EXPECT_EQ(ParseJson("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("3.25")->AsNumber(), 3.25);
+  EXPECT_EQ(ParseJson("-17")->AsInt(), -17);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      R"({"items":[1,2,3],"meta":{"ok":true,"name":"x"},"empty":[]})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* items = doc->Find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->AsArray().size(), 3u);
+  EXPECT_EQ(items->AsArray()[1].AsInt(), 2);
+  const JsonValue* meta = doc->Find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_TRUE(meta->Find("ok")->AsBool());
+  EXPECT_EQ(meta->Find("name")->AsString(), "x");
+  EXPECT_TRUE(doc->Find("empty")->AsArray().empty());
+  EXPECT_EQ(doc->Find("nope"), nullptr);
+}
+
+TEST(JsonParserTest, ParsesEscapes) {
+  auto doc = ParseJson(R"("line\nbreak Aé")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak A\xc3\xa9");
+}
+
+TEST(JsonParserTest, WhitespaceTolerant) {
+  auto doc = ParseJson("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonParserTest, RejectsMalformed) {
+  for (const char* bad :
+       {"{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1 2]", "{'a':1}", ""}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonRoundTrip, WriterOutputReparses) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("items")
+      .BeginArray()
+      .Value(static_cast<uint64_t>(10))
+      .Value(static_cast<uint64_t>(20))
+      .EndArray()
+      .Key("label")
+      .Value("a\"b")
+      .EndObject();
+  auto doc = ParseJson(writer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("items")->AsArray()[0].AsInt(), 10);
+  EXPECT_EQ(doc->Find("label")->AsString(), "a\"b");
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,234 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/grid_search.h"
+
+namespace serenade {
+namespace {
+
+std::vector<ScoredItem> Recs(std::initializer_list<ItemId> items) {
+  std::vector<ScoredItem> result;
+  float score = static_cast<float>(items.size());
+  for (ItemId item : items) result.push_back({item, score--});
+  return result;
+}
+
+TEST(MetricsTest, MrrUsesRankOfNextItem) {
+  MetricsAccumulator acc;
+  acc.Add(Recs({7, 8, 9}), /*next_item=*/9, /*remainder=*/{9});
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(acc.HitRate(), 1.0);
+}
+
+TEST(MetricsTest, MissedNextItemScoresZero) {
+  MetricsAccumulator acc;
+  acc.Add(Recs({7, 8, 9}), 4, {4});
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.HitRate(), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAndRecall) {
+  MetricsAccumulator acc;
+  // 4 recommendations, remainder {8, 9, 50}: hits = {8, 9} -> P = 2/4,
+  // R = 2/3.
+  acc.Add(Recs({7, 8, 9, 10}), 8, {8, 9, 50});
+  EXPECT_DOUBLE_EQ(acc.Precision(), 0.5);
+  EXPECT_NEAR(acc.Recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MapHandComputed) {
+  MetricsAccumulator acc;
+  // Hits at ranks 2 and 4 of 4; |relevant| = 3.
+  // AP = (1/2 + 2/4) / min(3, 4) = 1/3.
+  acc.Add(Recs({7, 8, 9, 10}), 8, {8, 10, 50});
+  EXPECT_NEAR(acc.Map(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, AveragesOverEvents) {
+  MetricsAccumulator acc;
+  acc.Add(Recs({1}), 1, {1});  // MRR 1
+  acc.Add(Recs({2}), 3, {3});  // MRR 0
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.5);
+  EXPECT_EQ(acc.num_events(), 2u);
+}
+
+TEST(MetricsTest, MergeEqualsCombined) {
+  MetricsAccumulator a, b, combined;
+  a.Add(Recs({1, 2}), 2, {2, 3});
+  b.Add(Recs({5, 6}), 5, {5});
+  combined.Add(Recs({1, 2}), 2, {2, 3});
+  combined.Add(Recs({5, 6}), 5, {5});
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Mrr(), combined.Mrr());
+  EXPECT_DOUBLE_EQ(a.Precision(), combined.Precision());
+  EXPECT_EQ(a.num_events(), combined.num_events());
+}
+
+TEST(MetricsTest, DuplicateRemainderCountsOnce) {
+  MetricsAccumulator acc;
+  // remainder has item 8 twice -> relevant set {8}; recall denominator 1.
+  acc.Add(Recs({8, 9}), 8, {8, 8});
+  EXPECT_DOUBLE_EQ(acc.Recall(), 1.0);
+}
+
+TEST(MetricsTest, EmptyRecommendationsCountAsEvent) {
+  MetricsAccumulator acc;
+  acc.Add({}, 1, {1});
+  EXPECT_EQ(acc.num_events(), 1u);
+  EXPECT_DOUBLE_EQ(acc.Mrr(), 0.0);
+}
+
+TEST(MetricsTest, SummaryMentionsCutoff) {
+  MetricsAccumulator acc;
+  acc.Add(Recs({1}), 1, {1});
+  EXPECT_NE(acc.Summary(20).find("MRR@20"), std::string::npos);
+}
+
+// --- Evaluator integration --------------------------------------------------
+
+// A recommender that always predicts the fixed list it was given.
+class FixedRecommender : public Recommender {
+ public:
+  explicit FixedRecommender(std::vector<ScoredItem> recs)
+      : recs_(std::move(recs)) {}
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession&,
+                                        size_t how_many) override {
+    std::vector<ScoredItem> out = recs_;
+    if (out.size() > how_many) out.resize(how_many);
+    return out;
+  }
+  std::string Name() const override { return "fixed"; }
+
+ private:
+  std::vector<ScoredItem> recs_;
+};
+
+TEST(EvaluatorTest, CountsOneEventPerNonFinalClick) {
+  // Sessions of length 3 and 2 -> 2 + 1 = 3 prediction events.
+  std::vector<Click> clicks = {
+      {1, 10, 100}, {1, 11, 200}, {1, 12, 300},
+      {2, 10, 400}, {2, 11, 500},
+  };
+  Dataset test = Dataset::FromClicks(clicks);
+  FixedRecommender model(Recs({10, 11, 12}));
+  EvalOptions options;
+  const EvalResult result = EvaluateRecommender(model, test, options);
+  EXPECT_EQ(result.metrics.num_events(), 3u);
+  EXPECT_GT(result.metrics.Mrr(), 0.0);
+}
+
+TEST(EvaluatorTest, MaxSessionsLimits) {
+  std::vector<Click> clicks;
+  for (SessionId s = 0; s < 10; ++s) {
+    clicks.push_back({s, 1, 100 * s + 1});
+    clicks.push_back({s, 2, 100 * s + 2});
+  }
+  Dataset test = Dataset::FromClicks(clicks);
+  FixedRecommender model(Recs({1, 2}));
+  EvalOptions options;
+  options.max_sessions = 4;
+  const EvalResult result = EvaluateRecommender(model, test, options);
+  EXPECT_EQ(result.metrics.num_events(), 4u);  // one event per 2-click session
+}
+
+TEST(EvaluatorTest, RecordsLatencyWhenAsked) {
+  std::vector<Click> clicks = {{1, 10, 100}, {1, 11, 200}};
+  Dataset test = Dataset::FromClicks(clicks);
+  FixedRecommender model(Recs({10}));
+  EvalOptions options;
+  options.record_latency = true;
+  const EvalResult result = EvaluateRecommender(model, test, options);
+  EXPECT_EQ(result.latency_micros.count(), 1u);
+}
+
+TEST(EvaluatorTest, PerfectRecommenderOnDeterministicData) {
+  // Sessions alternate 1 -> 2 -> 1 -> 2; predicting the alternation gives
+  // MRR 1.
+  std::vector<Click> clicks;
+  for (SessionId s = 0; s < 5; ++s) {
+    clicks.push_back({s, 1, 1000 * s + 1});
+    clicks.push_back({s, 2, 1000 * s + 2});
+  }
+  Dataset test = Dataset::FromClicks(clicks);
+
+  class Alternator : public Recommender {
+   public:
+    std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                          size_t) override {
+      return {{session.back() == 1 ? ItemId{2} : ItemId{1}, 1.0f}};
+    }
+    std::string Name() const override { return "alternator"; }
+  } model;
+
+  const EvalResult result =
+      EvaluateRecommender(model, test, EvalOptions{});
+  EXPECT_DOUBLE_EQ(result.metrics.Mrr(), 1.0);
+  EXPECT_DOUBLE_EQ(result.metrics.HitRate(), 1.0);
+}
+
+TEST(EvaluatorTest, PerDayBreakdownPartitionsEvents) {
+  // Two sessions on day 0, one on day 2.
+  std::vector<Click> clicks = {
+      {1, 10, 100},          {1, 11, 200},
+      {2, 10, 5000},         {2, 11, 5100},
+      {3, 10, 100 + 200000}, {3, 11, 200 + 200000},
+  };
+  Dataset test = Dataset::FromClicks(clicks);
+  FixedRecommender model(Recs({10, 11}));
+  const auto days = EvaluateRecommenderPerDay(model, test, EvalOptions{});
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0].day_index, 0u);
+  EXPECT_EQ(days[0].num_sessions, 2u);
+  EXPECT_EQ(days[0].metrics.num_events(), 2u);
+  EXPECT_EQ(days[1].day_index, 2u);
+  EXPECT_EQ(days[1].num_sessions, 1u);
+
+  // Per-day metrics merge back to the aggregate evaluation.
+  MetricsAccumulator merged;
+  for (const auto& day : days) merged.Merge(day.metrics);
+  const EvalResult total = EvaluateRecommender(model, test, EvalOptions{});
+  EXPECT_EQ(merged.num_events(), total.metrics.num_events());
+  EXPECT_DOUBLE_EQ(merged.Mrr(), total.metrics.Mrr());
+}
+
+TEST(EvaluatorTest, PerDayEmptyDataset) {
+  FixedRecommender model(Recs({1}));
+  EXPECT_TRUE(EvaluateRecommenderPerDay(model, Dataset(), EvalOptions{})
+                  .empty());
+}
+
+// --- Grid search smoke test -------------------------------------------------
+
+TEST(GridSearchTest, ProducesAllCellsAndFindsSignal) {
+  SyntheticConfig config;
+  config.seed = 808;
+  config.num_items = 300;
+  config.num_sessions = 4000;
+  config.num_days = 6;
+  Dataset dataset = GenerateDataset(config);
+  TrainTestSplit split = SplitLastDays(dataset, 1);
+  ASSERT_GT(split.test.num_sessions(), 20u);
+
+  GridSearchOptions options;
+  options.k_values = {10, 50};
+  options.m_values = {50, 250};
+  options.max_test_sessions = 150;
+  options.num_threads = 2;
+  const auto cells = GridSearch(split.train, split.test, options);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const GridCell& cell : cells) {
+    EXPECT_GT(cell.mrr, 0.0) << "k=" << cell.k << " m=" << cell.m;
+    EXPECT_LE(cell.mrr, 1.0);
+  }
+  const std::string table = FormatGrid(cells, "mrr");
+  EXPECT_NE(table.find("k \\ m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "baselines/narm.h"
+#include "baselines/rules.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+// --- NARM -------------------------------------------------------------------
+
+Dataset DeterministicPairs() {
+  // Item 2i is always followed by 2i+1 (two interleaved transition types
+  // so in-batch softmax sees negatives).
+  std::vector<Click> clicks;
+  SessionId session = 0;
+  for (int repeat = 0; repeat < 120; ++repeat) {
+    for (ItemId pair = 0; pair < 6; ++pair) {
+      clicks.push_back({session, 2 * pair, 1000u + session * 10u});
+      clicks.push_back({session, 2 * pair + 1, 1000u + session * 10u + 5u});
+      ++session;
+    }
+  }
+  return Dataset::FromClicks(clicks);
+}
+
+TEST(NarmTest, LossDecreasesAndLearnsDeterministicTransitions) {
+  Dataset train = DeterministicPairs();
+  NarmConfig config;
+  config.embedding_dim = 16;
+  config.hidden_dim = 16;
+  config.epochs = 1;
+  config.seed = 5;
+
+  Narm one_epoch(12, config);
+  const float loss_after_one = one_epoch.Train(train);
+
+  config.epochs = 8;
+  Narm many_epochs(12, config);
+  const float loss_after_many = many_epochs.Train(train);
+  EXPECT_LT(loss_after_many, loss_after_one);
+
+  size_t correct = 0;
+  for (ItemId pair = 0; pair < 6; ++pair) {
+    const auto recs = many_epochs.RecommendNext({2 * pair}, 1);
+    ASSERT_FALSE(recs.empty());
+    if (recs[0].item == 2 * pair + 1) ++correct;
+  }
+  EXPECT_GE(correct, 5u);
+}
+
+TEST(NarmTest, DeterministicForSeed) {
+  Dataset train = DeterministicPairs();
+  NarmConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  config.epochs = 2;
+  Narm a(12, config), b(12, config);
+  a.Train(train);
+  b.Train(train);
+  const auto ra = a.RecommendNext({0, 1, 2}, 5);
+  const auto rb = b.RecommendNext({0, 1, 2}, 5);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].item, rb[i].item);
+    EXPECT_FLOAT_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+TEST(NarmTest, HandlesUnknownItemsAndEmptySession) {
+  NarmConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  Narm model(10, config);
+  EXPECT_TRUE(model.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(model.RecommendNext({999}, 5).empty());
+  EXPECT_LE(model.RecommendNext({999, 2}, 5).size(), 5u);
+}
+
+// --- AR / SR ------------------------------------------------------------------
+
+Dataset RuleToyData() {
+  // Sessions: [1,2,3], [1,3], [2,1].
+  std::vector<Click> clicks = {
+      {1, 1, 10}, {1, 2, 20}, {1, 3, 30},
+      {2, 1, 40}, {2, 3, 50},
+      {3, 2, 60}, {3, 1, 70},
+  };
+  return Dataset::FromClicks(clicks);
+}
+
+TEST(AssociationRulesTest, CountsUnorderedCoOccurrence) {
+  AssociationRules model(RuleToyData(), RulesConfig{});
+  // Item 1 co-occurs with 2 (sessions 1 and 3) and 3 (sessions 1 and 2).
+  const auto& rules = model.RulesFor(1);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_FLOAT_EQ(rules[0].score, 2.0f);
+  EXPECT_FLOAT_EQ(rules[1].score, 2.0f);
+}
+
+TEST(AssociationRulesTest, SymmetricWeights) {
+  AssociationRules model(RuleToyData(), RulesConfig{});
+  auto weight_of = [&](ItemId a, ItemId b) -> float {
+    for (const ScoredItem& rule : model.RulesFor(a)) {
+      if (rule.item == b) return rule.score;
+    }
+    return -1.0f;
+  };
+  EXPECT_FLOAT_EQ(weight_of(1, 2), weight_of(2, 1));
+  EXPECT_FLOAT_EQ(weight_of(1, 3), weight_of(3, 1));
+}
+
+TEST(SequentialRulesTest, ForwardOnlyAndDiscounted) {
+  SequentialRules model(RuleToyData(), RulesConfig{});
+  // 1 -> 2 occurs once at distance 1 (weight 1); 1 -> 3 at distance 2
+  // (weight 0.5) plus distance 1 in session 2 (weight 1) = 1.5.
+  const auto& rules = model.RulesFor(1);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].item, 3u);
+  EXPECT_FLOAT_EQ(rules[0].score, 1.5f);
+  EXPECT_EQ(rules[1].item, 2u);
+  EXPECT_FLOAT_EQ(rules[1].score, 1.0f);
+
+  // 3 is never followed by anything.
+  EXPECT_TRUE(model.RulesFor(3).empty());
+}
+
+TEST(SequentialRulesTest, MaxDistanceRespected) {
+  std::vector<Click> clicks;
+  for (ItemId i = 0; i < 15; ++i) clicks.push_back({1, i, 10u + i});
+  clicks.push_back({2, 0, 100});
+  clicks.push_back({2, 1, 110});
+  RulesConfig config;
+  config.max_distance = 3;
+  SequentialRules model(Dataset::FromClicks(clicks), config);
+  for (const ScoredItem& rule : model.RulesFor(0)) {
+    EXPECT_LE(rule.item, 3u);  // nothing farther than 3 steps ahead
+  }
+}
+
+TEST(RulesTest, RecommendUsesLastItemOnly) {
+  SequentialRules model(RuleToyData(), RulesConfig{});
+  const auto from_last = model.RecommendNext({3, 1}, 5);
+  const auto direct = model.RecommendNext({1}, 5);
+  ASSERT_EQ(from_last.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(from_last[i].item, direct[i].item);
+  }
+}
+
+TEST(RulesTest, EmptyAndUnknown) {
+  AssociationRules ar(RuleToyData(), RulesConfig{});
+  SequentialRules sr(RuleToyData(), RulesConfig{});
+  EXPECT_TRUE(ar.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(sr.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(ar.RecommendNext({12345}, 5).empty());
+  EXPECT_TRUE(sr.RecommendNext({12345}, 5).empty());
+}
+
+TEST(RulesTest, RulesPerItemCapRespected) {
+  SyntheticConfig config;
+  config.seed = 55;
+  config.num_items = 200;
+  config.num_sessions = 2000;
+  config.num_days = 3;
+  Dataset dataset = GenerateDataset(config);
+  RulesConfig rules_config;
+  rules_config.rules_per_item = 5;
+  AssociationRules ar(dataset, rules_config);
+  SequentialRules sr(dataset, rules_config);
+  for (ItemId item = 0; item < 200; ++item) {
+    EXPECT_LE(ar.RulesFor(item).size(), 5u);
+    EXPECT_LE(sr.RulesFor(item).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,228 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/gru4rec.h"
+#include "baselines/nn.h"
+#include "baselines/stamp.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace serenade {
+namespace {
+
+// --- nn primitives ----------------------------------------------------------
+
+TEST(NnTest, MatVecHandComputed) {
+  Tensor w(2, 3);
+  float* r0 = w.Row(0);
+  r0[0] = 1;
+  r0[1] = 2;
+  r0[2] = 3;
+  float* r1 = w.Row(1);
+  r1[0] = 4;
+  r1[1] = 5;
+  r1[2] = 6;
+  const float x[3] = {1, 0, -1};
+  float out[2];
+  MatVec(w, x, out);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);
+  EXPECT_FLOAT_EQ(out[1], -2.0f);
+}
+
+TEST(NnTest, TransposeIsAdjoint) {
+  // <W x, y> == <x, W^T y> for random W, x, y.
+  Rng rng(5);
+  Tensor w(4, 3);
+  w.InitUniform(rng, 1.0f);
+  float x[3], y[4], wx[4], wty[3] = {0, 0, 0};
+  for (float& v : x) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (float& v : y) v = static_cast<float>(rng.Uniform(-1, 1));
+  MatVec(w, x, wx);
+  MatVecTransposeAdd(w, y, wty);
+  EXPECT_NEAR(Dot(wx, y, 4), Dot(x, wty, 3), 1e-5);
+}
+
+TEST(NnTest, SoftmaxSumsToOne) {
+  float logits[4] = {1.0f, 2.0f, 3.0f, 1000.0f};  // test overflow safety
+  SoftmaxInPlace(logits, 4);
+  float sum = 0;
+  for (float p : logits) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(logits[3], 0.99f);
+}
+
+TEST(NnTest, AdagradDecreasesQuadratic) {
+  // Minimise f(w) = (w - 3)^2 with manual gradients.
+  Tensor w(1, 1);
+  w.Row(0)[0] = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    w.GradRow(0)[0] = 2.0f * (w.Row(0)[0] - 3.0f);
+    w.ApplyAdagrad(0.5f);
+  }
+  EXPECT_NEAR(w.Row(0)[0], 3.0f, 0.1f);
+}
+
+TEST(NnTest, SparseRowUpdateTouchesOnlyGivenRows) {
+  Tensor w(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    w.GradRow(r)[0] = 1.0f;
+  }
+  w.ApplyAdagradRows({1}, 0.1f);
+  EXPECT_FLOAT_EQ(w.Row(0)[0], 0.0f);   // untouched value
+  EXPECT_LT(w.Row(1)[0], 0.0f);         // moved against gradient
+  EXPECT_FLOAT_EQ(w.Row(2)[0], 0.0f);
+}
+
+// --- GRU4Rec ----------------------------------------------------------------
+
+Dataset DeterministicPairs() {
+  // Strongly deterministic structure: item 2i is always followed by 2i+1.
+  std::vector<Click> clicks;
+  SessionId session = 0;
+  for (int repeat = 0; repeat < 120; ++repeat) {
+    for (ItemId pair = 0; pair < 6; ++pair) {
+      clicks.push_back({session, 2 * pair, 1000u + session * 10u});
+      clicks.push_back({session, 2 * pair + 1, 1000u + session * 10u + 5u});
+      ++session;
+    }
+  }
+  return Dataset::FromClicks(clicks);
+}
+
+TEST(Gru4RecTest, LossDecreasesAndLearnsDeterministicTransitions) {
+  Dataset train = DeterministicPairs();
+  Gru4RecConfig config;
+  config.embedding_dim = 16;
+  config.hidden_dim = 16;
+  config.epochs = 1;
+  config.seed = 7;
+
+  Gru4Rec one_epoch(12, config);
+  const float loss_after_one = one_epoch.Train(train);
+
+  config.epochs = 8;
+  Gru4Rec many_epochs(12, config);
+  const float loss_after_many = many_epochs.Train(train);
+  EXPECT_LT(loss_after_many, loss_after_one);
+
+  // After training, the model must rank the deterministic successor first.
+  size_t correct = 0;
+  for (ItemId pair = 0; pair < 6; ++pair) {
+    const auto recs = many_epochs.RecommendNext({2 * pair}, 1);
+    ASSERT_FALSE(recs.empty());
+    if (recs[0].item == 2 * pair + 1) ++correct;
+  }
+  EXPECT_GE(correct, 5u);
+}
+
+TEST(Gru4RecTest, DeterministicForSeed) {
+  Dataset train = DeterministicPairs();
+  Gru4RecConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  config.epochs = 2;
+  Gru4Rec a(12, config), b(12, config);
+  a.Train(train);
+  b.Train(train);
+  const auto ra = a.RecommendNext({0, 1, 2}, 5);
+  const auto rb = b.RecommendNext({0, 1, 2}, 5);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].item, rb[i].item);
+    EXPECT_FLOAT_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+TEST(Gru4RecTest, HandlesUnknownItemsAndEmptySession) {
+  Gru4RecConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 8;
+  Gru4Rec model(10, config);
+  EXPECT_TRUE(model.RecommendNext({}, 5).empty());
+  // Unknown items are skipped, not crashed on.
+  const auto recs = model.RecommendNext({999, 3}, 5);
+  EXPECT_LE(recs.size(), 5u);
+}
+
+// --- STAMP ------------------------------------------------------------------
+
+TEST(StampTest, LossDecreasesAndLearnsDeterministicTransitions) {
+  Dataset train = DeterministicPairs();
+  StampConfig config;
+  config.embedding_dim = 16;
+  config.epochs = 1;
+  config.seed = 9;
+
+  Stamp one_epoch(12, config);
+  const float loss_after_one = one_epoch.Train(train);
+
+  config.epochs = 10;
+  Stamp many_epochs(12, config);
+  const float loss_after_many = many_epochs.Train(train);
+  EXPECT_LT(loss_after_many, loss_after_one);
+
+  size_t correct = 0;
+  for (ItemId pair = 0; pair < 6; ++pair) {
+    const auto recs = many_epochs.RecommendNext({2 * pair}, 1);
+    ASSERT_FALSE(recs.empty());
+    if (recs[0].item == 2 * pair + 1) ++correct;
+  }
+  EXPECT_GE(correct, 5u);
+}
+
+TEST(StampTest, DeterministicForSeed) {
+  Dataset train = DeterministicPairs();
+  StampConfig config;
+  config.embedding_dim = 8;
+  config.epochs = 2;
+  Stamp a(12, config), b(12, config);
+  a.Train(train);
+  b.Train(train);
+  const auto ra = a.RecommendNext({2, 3}, 5);
+  const auto rb = b.RecommendNext({2, 3}, 5);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i].item, rb[i].item);
+}
+
+TEST(StampTest, HandlesUnknownItemsAndEmptySession) {
+  StampConfig config;
+  config.embedding_dim = 8;
+  Stamp model(10, config);
+  EXPECT_TRUE(model.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(model.RecommendNext({999}, 5).empty());  // nothing known
+  EXPECT_LE(model.RecommendNext({999, 2}, 5).size(), 5u);
+}
+
+// STAMP gradient check: numerical vs analytical gradient of the loss wrt
+// one embedding entry, via finite differences on the public API. We
+// verify indirectly: a single training step on one example must reduce
+// that example's loss (descent direction test).
+TEST(StampTest, SingleBatchStepDescendsLoss) {
+  // Two deterministic transitions (0 -> 1 and 2 -> 3) so the in-batch
+  // sampled softmax sees real negatives.
+  std::vector<Click> clicks;
+  for (SessionId s = 0; s < 40; ++s) {
+    const ItemId first = (s % 2 == 0) ? 0u : 2u;
+    clicks.push_back({s, first, 100u + s * 10u});
+    clicks.push_back({s, first + 1, 105u + s * 10u});
+  }
+  Dataset train = Dataset::FromClicks(clicks);
+  StampConfig config;
+  config.embedding_dim = 8;
+  config.epochs = 1;
+  config.learning_rate = 0.01f;
+  Stamp first(4, config);
+  const float loss1 = first.Train(train);
+  config.epochs = 4;
+  Stamp fourth(4, config);
+  const float loss4 = fourth.Train(train);
+  EXPECT_LT(loss4, loss1);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace serenade {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformMeanIsCenter) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(ZipfTest, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(100, 1.1);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+// The ratio P(rank 0) / P(rank 1) for Zipf(s) is 2^s.
+TEST(ZipfTest, FrequencyRatioMatchesExponent) {
+  const double exponent = 1.0;
+  ZipfDistribution zipf(1000, exponent);
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, std::pow(2.0, exponent), 0.25);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  ZipfDistribution zipf(50, 1.2);
+  Rng rng(23);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t r = 1; r < 10; ++r) {
+    EXPECT_GT(counts[0], counts[r]) << "rank " << r;
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, (i + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleElement) {
+  AliasTable table({42.0});
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,129 @@
+// Failure-injection / fuzz-style robustness tests: every parser in the
+// system (JSON, CSV click logs, the binary index format, the WAL) must
+// reject arbitrary garbage with an error status — never crash, hang, or
+// return success on corrupt input.
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "index/index_format.h"
+#include "serving/http.h"
+#include "serving/json.h"
+#include "store/wal.h"
+
+namespace serenade {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t length) {
+  std::string bytes(length, '\0');
+  for (char& c : bytes) c = static_cast<char>(rng.Below(256));
+  return bytes;
+}
+
+std::string RandomPrintable(Rng& rng, size_t length) {
+  static const char kAlphabet[] =
+      "{}[]\",:0123456789.eE+-truefalsenull \t\n";
+  std::string text(length, '\0');
+  for (char& c : text) c = kAlphabet[rng.Below(sizeof(kAlphabet) - 1)];
+  return text;
+}
+
+TEST(RobustnessTest, JsonParserSurvivesGarbage) {
+  Rng rng(101);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = i % 2 == 0
+                                  ? RandomBytes(rng, rng.Below(200))
+                                  : RandomPrintable(rng, rng.Below(200));
+    // Must return (ok or error) without crashing; value is unused.
+    (void)ParseJson(input);
+  }
+}
+
+TEST(RobustnessTest, JsonParserLimitsNestingDepth) {
+  // Recursive-descent parsers stack-overflow on pathological depth; the
+  // parser caps nesting at 256 and rejects deeper documents cleanly.
+  auto nested = [](int depth) {
+    std::string text;
+    for (int i = 0; i < depth; ++i) text += "[";
+    for (int i = 0; i < depth; ++i) text += "]";
+    return text;
+  };
+  EXPECT_TRUE(ParseJson(nested(200)).ok());
+  EXPECT_FALSE(ParseJson(nested(300)).ok());
+  std::string unbalanced;
+  for (int i = 0; i < 100000; ++i) unbalanced += "[";
+  EXPECT_FALSE(ParseJson(unbalanced).ok());
+}
+
+TEST(RobustnessTest, CsvParserSurvivesGarbage) {
+  Rng rng(102);
+  for (int i = 0; i < 2000; ++i) {
+    (void)ParseClicksCsv(RandomBytes(rng, rng.Below(300)));
+  }
+}
+
+TEST(RobustnessTest, IndexDeserializerSurvivesGarbage) {
+  Rng rng(103);
+  for (int i = 0; i < 1000; ++i) {
+    const auto result = DeserializeIndex(RandomBytes(rng, rng.Below(400)));
+    EXPECT_FALSE(result.ok());  // random bytes are never a valid index
+  }
+}
+
+TEST(RobustnessTest, IndexDeserializerSurvivesMutatedValidFile) {
+  // Start from a valid serialized index and mutate single bytes at many
+  // positions: must either fail cleanly or (for don't-care bytes) produce
+  // a structurally valid index — never crash.
+  std::vector<Click> clicks;
+  for (SessionId s = 0; s < 50; ++s) {
+    clicks.push_back({s, static_cast<ItemId>(s % 7), 100u + s});
+    clicks.push_back({s, static_cast<ItemId>((s + 1) % 7), 101u + s});
+  }
+  const SessionIndex index =
+      SessionIndex::Build(Dataset::FromClicks(clicks), 20);
+  const std::string valid = SerializeIndex(index);
+
+  Rng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = valid;
+    const size_t position = rng.Below(mutated.size());
+    mutated[position] = static_cast<char>(rng.Below(256));
+    const auto result = DeserializeIndex(mutated);
+    if (result.ok()) {
+      // Mutation hit a redundant byte AND still passed CRC (essentially
+      // impossible) or hit nothing structural; touch the result to make
+      // sure it is usable.
+      (void)result->num_postings();
+    }
+  }
+}
+
+TEST(RobustnessTest, WalReplaySurvivesGarbageFiles) {
+  Rng rng(105);
+  const std::string path = testing::TempDir() + "/garbage.wal";
+  for (int i = 0; i < 200; ++i) {
+    {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      const std::string bytes = RandomBytes(rng, rng.Below(500));
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    size_t replayed = 0;
+    (void)ReplayWal(path, [&](const WalRecord&) { ++replayed; });
+    // Garbage may parse as zero or a few torn records; never crash.
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(RobustnessTest, UrlDecodeSurvivesGarbage) {
+  Rng rng(106);
+  for (int i = 0; i < 2000; ++i) {
+    (void)UrlDecode(RandomBytes(rng, rng.Below(100)));
+  }
+}
+
+}  // namespace
+}  // namespace serenade

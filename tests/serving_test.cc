@@ -1,0 +1,352 @@
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "serving/business_rules.h"
+#include "serving/json.h"
+#include "serving/router.h"
+#include "serving/server.h"
+#include "serving/service.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+// --- business rules ---------------------------------------------------------
+
+ItemCatalog SmallCatalog() {
+  ItemCatalog catalog;
+  catalog.available = {true, false, true, true, true};
+  catalog.adult = {false, false, true, false, false};
+  return catalog;
+}
+
+std::vector<ScoredItem> Candidates() {
+  return {{0, 5.0f}, {1, 4.0f}, {2, 3.0f}, {3, 2.0f}, {4, 1.0f}, {99, 0.5f}};
+}
+
+TEST(BusinessRulesTest, FiltersUnavailableAndAdult) {
+  const auto filtered =
+      ApplyBusinessRules(Candidates(), SmallCatalog(), BusinessRulesConfig{});
+  std::set<ItemId> items;
+  for (const ScoredItem& item : filtered) items.insert(item.item);
+  EXPECT_EQ(items, (std::set<ItemId>{0, 3, 4}));
+}
+
+TEST(BusinessRulesTest, OutOfCatalogDropped) {
+  const auto filtered =
+      ApplyBusinessRules(Candidates(), SmallCatalog(), BusinessRulesConfig{});
+  for (const ScoredItem& item : filtered) EXPECT_LT(item.item, 5u);
+}
+
+TEST(BusinessRulesTest, RespectsMaxItemsAndOrder) {
+  BusinessRulesConfig config;
+  config.max_items = 2;
+  const auto filtered =
+      ApplyBusinessRules(Candidates(), SmallCatalog(), config);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].item, 0u);
+  EXPECT_EQ(filtered[1].item, 3u);
+}
+
+TEST(BusinessRulesTest, FiltersCanBeDisabled) {
+  BusinessRulesConfig config;
+  config.filter_unavailable = false;
+  config.filter_adult = false;
+  const auto filtered =
+      ApplyBusinessRules(Candidates(), SmallCatalog(), config);
+  ASSERT_EQ(filtered.size(), 5u);  // only the out-of-catalog item dropped
+}
+
+// --- session codec ----------------------------------------------------------
+
+TEST(SessionCodecTest, RoundTrip) {
+  const EvolvingSession session = {1, 22, 333, 4444};
+  EXPECT_EQ(DecodeSession(EncodeSession(session)), session);
+  EXPECT_EQ(EncodeSession({}), "");
+  EXPECT_TRUE(DecodeSession("").empty());
+}
+
+TEST(SessionCodecTest, MalformedTokensSkipped) {
+  EXPECT_EQ(DecodeSession("1,x,3"), (EvolvingSession{1, 3}));
+  EXPECT_EQ(DecodeSession(",,5"), (EvolvingSession{5}));
+}
+
+// --- router -----------------------------------------------------------------
+
+TEST(RouterTest, StableAssignment) {
+  StickySessionRouter router(4);
+  for (const std::string key : {"user-a", "user-b", "x"}) {
+    const size_t first = router.ServerFor(key);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(router.ServerFor(key), first);
+    EXPECT_LT(first, 4u);
+  }
+}
+
+TEST(RouterTest, ReasonablyBalanced) {
+  StickySessionRouter router(4);
+  std::vector<size_t> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[router.ServerFor("session-" + std::to_string(i))];
+  }
+  for (size_t count : counts) {
+    EXPECT_GT(count, 9000u);
+    EXPECT_LT(count, 11000u);
+  }
+}
+
+// --- service ----------------------------------------------------------------
+
+class ServiceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig data_config;
+    data_config.seed = 99;
+    data_config.num_items = 300;
+    data_config.num_sessions = 3000;
+    data_config.num_days = 5;
+    train_ = GenerateDataset(data_config);
+    index_ = std::make_shared<SessionIndex>(SessionIndex::Build(train_, 500));
+    catalog_ = GenerateCatalog(train_.num_items(), 5);
+
+    ServiceConfig config;
+    config.knn.m = 500;
+    config.knn.k = 100;
+    auto service = SerenadeService::Create(index_, catalog_, config);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+  }
+
+  Dataset train_;
+  std::shared_ptr<SessionIndex> index_;
+  ItemCatalog catalog_;
+  std::unique_ptr<SerenadeService> service_;
+};
+
+TEST_F(ServiceTest, UpdateAccumulatesSessionState) {
+  for (ItemId item : {5u, 6u, 7u}) {
+    auto result = service_->HandleUpdateAndRecommend(
+        RecommendRequest{"visitor-1", item, true});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto session = service_->GetSession("visitor-1");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(*session, (EvolvingSession{5, 6, 7}));
+}
+
+TEST_F(ServiceTest, RecommendationsRespectBusinessRules) {
+  auto result = service_->HandleUpdateAndRecommend(
+      RecommendRequest{"visitor-2", 1, true});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->size(), 21u);
+  for (const ScoredItem& item : *result) {
+    ASSERT_LT(item.item, catalog_.num_items());
+    EXPECT_TRUE(catalog_.available[item.item]);
+    EXPECT_FALSE(catalog_.adult[item.item]);
+  }
+}
+
+TEST_F(ServiceTest, DepersonalisedUsesOnlyCurrentItem) {
+  // Build up history, then issue a no-consent request for a fresh item;
+  // the result must equal a fresh session seeing only that item.
+  for (ItemId item : {10u, 11u, 12u}) {
+    ASSERT_TRUE(service_
+                    ->HandleUpdateAndRecommend(
+                        RecommendRequest{"consenting", item, true})
+                    .ok());
+  }
+  auto depersonalised = service_->HandleUpdateAndRecommend(
+      RecommendRequest{"consenting", 42, false});
+  auto fresh = service_->HandleUpdateAndRecommend(
+      RecommendRequest{"brand-new-visitor", 42, true});
+  ASSERT_TRUE(depersonalised.ok());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(depersonalised->size(), fresh->size());
+  for (size_t i = 0; i < fresh->size(); ++i) {
+    EXPECT_EQ((*depersonalised)[i].item, (*fresh)[i].item);
+  }
+}
+
+TEST_F(ServiceTest, InvalidRequestsRejected) {
+  EXPECT_FALSE(
+      service_->HandleUpdateAndRecommend(RecommendRequest{"", 1, true}).ok());
+  EXPECT_FALSE(service_
+                   ->HandleUpdateAndRecommend(
+                       RecommendRequest{"x", kInvalidItem, true})
+                   .ok());
+}
+
+TEST_F(ServiceTest, RejectsMLargerThanIndex) {
+  ServiceConfig config;
+  config.knn.m = 10000;  // index built with 500
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  EXPECT_FALSE(service.ok());
+}
+
+TEST_F(ServiceTest, StoredSessionLengthCapped) {
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  config.max_stored_session_length = 5;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(service.ok());
+  for (ItemId item = 0; item < 20; ++item) {
+    ASSERT_TRUE((*service)
+                    ->HandleUpdateAndRecommend(
+                        RecommendRequest{"chatty", item, true})
+                    .ok());
+  }
+  auto session = (*service)->GetSession("chatty");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(*session, (EvolvingSession{15, 16, 17, 18, 19}));
+}
+
+TEST_F(ServiceTest, SessionsSurviveServiceRestartWithWal) {
+  // The paper deliberately accepts session loss on pod failure; the store
+  // nevertheless supports WAL durability, which this test exercises
+  // through the service facade (restart -> evolving session intact).
+  const std::string wal_path = testing::TempDir() + "/service_sessions.wal";
+  std::filesystem::remove(wal_path);
+
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  config.store.wal_path = wal_path;
+  {
+    auto service = SerenadeService::Create(index_, catalog_, config);
+    ASSERT_TRUE(service.ok());
+    for (ItemId item : {8u, 9u, 10u}) {
+      ASSERT_TRUE((*service)
+                      ->HandleUpdateAndRecommend(
+                          RecommendRequest{"durable", item, true})
+                      .ok());
+    }
+  }  // service (and store) destroyed: flushes the WAL
+
+  auto restarted = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  auto session = (*restarted)->GetSession("durable");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(*session, (EvolvingSession{8, 9, 10}));
+
+  // The restored session keeps evolving seamlessly.
+  ASSERT_TRUE((*restarted)
+                  ->HandleUpdateAndRecommend(
+                      RecommendRequest{"durable", 11, true})
+                  .ok());
+  EXPECT_EQ(*(*restarted)->GetSession("durable"),
+            (EvolvingSession{8, 9, 10, 11}));
+  std::filesystem::remove(wal_path);
+}
+
+// --- end-to-end over HTTP ----------------------------------------------------
+
+TEST_F(ServiceTest, EndToEndOverHttp) {
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(service.ok());
+  SerenadeServer server(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  // Health check.
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  // Three clicks in one session; responses must be valid JSON with <= 21
+  // items and matching scores arrays.
+  for (ItemId item : {3u, 4u, 5u}) {
+    auto response = client.Get("/recommend?session_id=web-1&item_id=" +
+                               std::to_string(item));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto doc = ParseJson(response->body);
+    ASSERT_TRUE(doc.ok()) << response->body;
+    const JsonValue* items = doc->Find("items");
+    const JsonValue* scores = doc->Find("scores");
+    ASSERT_NE(items, nullptr);
+    ASSERT_NE(scores, nullptr);
+    EXPECT_LE(items->AsArray().size(), 21u);
+    EXPECT_EQ(items->AsArray().size(), scores->AsArray().size());
+  }
+
+  // The server kept session state across requests.
+  EXPECT_EQ(server.service().GetSession("web-1")->size(), 3u);
+
+  // Bad requests.
+  EXPECT_EQ(client.Get("/recommend")->status, 400);
+  EXPECT_EQ(client.Get("/recommend?session_id=x&item_id=abc")->status, 400);
+  EXPECT_EQ(client.Get("/nope")->status, 404);
+
+  // Stats endpoint reports traffic.
+  auto stats = client.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  auto stats_doc = ParseJson(stats->body);
+  ASSERT_TRUE(stats_doc.ok());
+  EXPECT_GE(stats_doc->Find("requests_served")->AsInt(), 7);
+
+  server.Stop();
+}
+
+TEST_F(ServiceTest, MetricsEndpointExposesPrometheusFormat) {
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(service.ok());
+  SerenadeServer server(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Get("/recommend?session_id=m&item_id=3").ok());
+  }
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("text/plain"), std::string::npos);
+  // Prometheus exposition basics: TYPE lines, counters and the latency
+  // summary with quantile labels.
+  EXPECT_NE(metrics->body.find("# TYPE serenade_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("serenade_store_writes_total 5"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("serenade_live_sessions 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "serenade_recommend_latency_microseconds{quantile=\"0.9\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "serenade_recommend_latency_microseconds_count 5"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServiceTest, ConsentFlagOverHttp) {
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(service.ok());
+  SerenadeServer server(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response =
+      client.Get("/recommend?session_id=p&item_id=7&consent=false");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serenade

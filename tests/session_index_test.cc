@@ -1,0 +1,156 @@
+#include "core/session_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+// Sessions (by end time): s0={1,2,4} ends t=30, s1={2,4} ends t=50,
+// s2={2,3} ends t=70.
+Dataset ToyDataset() {
+  std::vector<Click> clicks = {
+      {100, 1, 10}, {100, 2, 20}, {100, 4, 30},
+      {200, 2, 40}, {200, 4, 50},
+      {300, 2, 60}, {300, 3, 70},
+  };
+  return Dataset::FromClicks(clicks);
+}
+
+TEST(SessionIndexTest, PostingsAreMostRecentFirst) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 10);
+  const auto postings = index.SessionsForItem(2);
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], 2u);  // ends at 70
+  EXPECT_EQ(postings[1], 1u);  // ends at 50
+  EXPECT_EQ(postings[2], 0u);  // ends at 30
+}
+
+TEST(SessionIndexTest, PostingsTruncatedToM) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 2);
+  const auto postings = index.SessionsForItem(2);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 2u);
+  EXPECT_EQ(postings[1], 1u);
+}
+
+TEST(SessionIndexTest, TimestampsAndItems) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 10);
+  EXPECT_EQ(index.SessionTimestamp(0), 30u);
+  EXPECT_EQ(index.SessionTimestamp(1), 50u);
+  EXPECT_EQ(index.SessionTimestamp(2), 70u);
+  const auto items = index.ItemsForSession(0);
+  EXPECT_EQ(std::vector<ItemId>(items.begin(), items.end()),
+            (std::vector<ItemId>{1, 2, 4}));
+}
+
+TEST(SessionIndexTest, UnknownItemHasEmptyPostings) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 10);
+  EXPECT_TRUE(index.SessionsForItem(999).empty());
+  EXPECT_TRUE(index.SessionsForItem(0).empty());  // item 0 never clicked
+}
+
+TEST(SessionIndexTest, IdfUsesFullFrequency) {
+  // Even with m=1 (postings truncated), IDF must count all 3 sessions
+  // containing item 2.
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 1);
+  EXPECT_NEAR(index.Idf(2), std::log(3.0 / 3.0), 1e-6);
+  EXPECT_NEAR(index.Idf(4), std::log(3.0 / 2.0), 1e-6);
+  EXPECT_NEAR(index.Idf(1), std::log(3.0 / 1.0), 1e-6);
+}
+
+TEST(SessionIndexTest, DuplicateClicksCountOnce) {
+  std::vector<Click> clicks = {
+      {1, 5, 10}, {1, 5, 20}, {1, 6, 30},  // item 5 twice in one session
+      {2, 5, 40}, {2, 6, 50},
+  };
+  SessionIndex index = SessionIndex::Build(Dataset::FromClicks(clicks), 10);
+  EXPECT_EQ(index.SessionsForItem(5).size(), 2u);
+  const auto items = index.ItemsForSession(0);
+  EXPECT_EQ(items.size(), 2u);  // distinct items only
+  EXPECT_NEAR(index.Idf(5), std::log(2.0 / 2.0), 1e-6);
+}
+
+TEST(SessionIndexTest, SpaceIsBoundedByItemsTimesM) {
+  SyntheticConfig config;
+  config.seed = 9;
+  config.num_items = 500;
+  config.num_sessions = 5000;
+  config.num_days = 5;
+  Dataset dataset = GenerateDataset(config);
+  for (size_t m : {5u, 20u}) {
+    SessionIndex index = SessionIndex::Build(dataset, m);
+    EXPECT_LE(index.num_postings(), dataset.num_items() * m);
+    for (ItemId item = 0; item < dataset.num_items(); ++item) {
+      EXPECT_LE(index.SessionsForItem(item).size(), m);
+    }
+  }
+}
+
+TEST(SessionIndexTest, RawRoundTrip) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 10);
+  SessionIndex copy = SessionIndex::FromRaw(index.ToRaw());
+  EXPECT_EQ(copy.num_sessions(), index.num_sessions());
+  EXPECT_EQ(copy.num_items(), index.num_items());
+  EXPECT_EQ(copy.num_postings(), index.num_postings());
+  for (ItemId item = 0; item < index.num_items(); ++item) {
+    const auto a = index.SessionsForItem(item);
+    const auto b = copy.SessionsForItem(item);
+    EXPECT_EQ(std::vector<SessionId>(a.begin(), a.end()),
+              std::vector<SessionId>(b.begin(), b.end()));
+  }
+}
+
+TEST(SessionIndexTest, MemoryBytesNonZero) {
+  SessionIndex index = SessionIndex::Build(ToyDataset(), 10);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+// Property sweep: for random datasets and several m values, every posting
+// list is sorted by strictly non-increasing timestamp and contains
+// exactly the most recent sessions for the item.
+class SessionIndexPropertyTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(SessionIndexPropertyTest, PostingsAreExactlyMostRecent) {
+  const size_t m = GetParam();
+  SyntheticConfig config;
+  config.seed = 31;
+  config.num_items = 300;
+  config.num_sessions = 2000;
+  config.num_days = 7;
+  Dataset dataset = GenerateDataset(config);
+  SessionIndex index = SessionIndex::Build(dataset, m);
+
+  // Reference: all sessions per item, most recent first.
+  std::vector<std::vector<SessionId>> reference(dataset.num_items());
+  for (size_t s = dataset.num_sessions(); s-- > 0;) {
+    std::vector<ItemId> distinct = dataset.sessions()[s].items;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (ItemId item : distinct) {
+      reference[item].push_back(static_cast<SessionId>(s));
+    }
+  }
+  for (ItemId item = 0; item < dataset.num_items(); ++item) {
+    auto expected = reference[item];
+    if (expected.size() > m) expected.resize(m);
+    const auto actual_span = index.SessionsForItem(item);
+    const std::vector<SessionId> actual(actual_span.begin(),
+                                        actual_span.end());
+    ASSERT_EQ(actual, expected) << "item " << item << " m=" << m;
+    for (size_t i = 1; i < actual.size(); ++i) {
+      EXPECT_GE(index.SessionTimestamp(actual[i - 1]),
+                index.SessionTimestamp(actual[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousM, SessionIndexPropertyTest,
+                         testing::Values(1, 3, 10, 100, 10000));
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,354 @@
+#include "store/session_store.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "store/wal.h"
+
+namespace serenade {
+namespace {
+
+// A controllable clock shared with the store under test (atomic so tests
+// may advance time from a different thread than the store's callers).
+struct ManualClock {
+  std::atomic<uint64_t> now{1000};
+  ClockFn Fn() {
+    return [this] { return now.load(); };
+  }
+};
+
+std::string TempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+SessionStoreOptions VolatileOptions(ManualClock& clock) {
+  SessionStoreOptions options;
+  options.clock = clock.Fn();
+  return options;
+}
+
+TEST(SessionStoreTest, PutGetRoundTrip) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("session-1", "1,2,3").ok());
+  auto value = (*store)->Get("session-1");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "1,2,3");
+}
+
+TEST(SessionStoreTest, MissingKeyIsNotFound) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Get("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionStoreTest, DeleteRemoves) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_FALSE((*store)->Get("k").ok());
+  // Idempotent.
+  EXPECT_TRUE((*store)->Delete("k").ok());
+}
+
+TEST(SessionStoreTest, TtlExpiresInactiveSessions) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("idle", "x").ok());
+  clock.now += 101;
+  EXPECT_EQ((*store)->Get("idle").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionStoreTest, GetRefreshesTtl) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("active", "x").ok());
+  for (int i = 0; i < 5; ++i) {
+    clock.now += 90;  // always touched before expiry
+    ASSERT_TRUE((*store)->Get("active").ok()) << "iteration " << i;
+  }
+}
+
+TEST(SessionStoreTest, SweepEvictsOnlyExpired) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("old", "x").ok());
+  clock.now += 60;
+  ASSERT_TRUE((*store)->Put("fresh", "y").ok());
+  clock.now += 60;  // "old" is now 120s idle, "fresh" 60s
+  EXPECT_EQ((*store)->SweepExpired(), 1u);
+  EXPECT_FALSE((*store)->Get("old").ok());
+  EXPECT_TRUE((*store)->Get("fresh").ok());
+}
+
+TEST(SessionStoreTest, UpdateAppendsAtomically) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Update("s",
+                             [&](const std::string& current) {
+                               return current + (current.empty() ? "" : ",") +
+                                      std::to_string(i);
+                             })
+                    .ok());
+  }
+  auto value = (*store)->Get("s");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "0,1,2");
+}
+
+TEST(SessionStoreTest, StatsAreCounted) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  (void)(*store)->Put("a", "1");
+  (void)(*store)->Get("a");
+  (void)(*store)->Get("missing");
+  (void)(*store)->Delete("a");
+  const SessionStoreStats stats = (*store)->Stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.read_misses, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.live_entries, 0u);
+}
+
+TEST(SessionStoreTest, ConcurrentUpdatesAreAtomic) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  constexpr int kThreads = 8, kIncrements = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        (void)(*store)->Update("counter", [](const std::string& current) {
+          const int value = current.empty() ? 0 : std::stoi(current);
+          return std::to_string(value + 1);
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto value = (*store)->Get("counter");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(std::stoi(*value), kThreads * kIncrements);
+}
+
+TEST(SessionStoreTest, ConcurrentMixedOpsWithSweeperDoNotRace) {
+  // Readers, writers, deleters and a TTL sweeper hammer overlapping keys;
+  // the invariant under test is freedom from crashes/deadlocks plus
+  // consistent final bookkeeping (runs under the sanitizers in CI-style
+  // builds).
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 5;
+  options.num_shards = 4;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ticks{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 23);
+        switch (i % 4) {
+          case 0:
+            (void)(*store)->Put(key, "v");
+            break;
+          case 1:
+            (void)(*store)->Get(key);
+            break;
+          case 2:
+            (void)(*store)->Update(
+                key, [](const std::string& v) { return v + "x"; });
+            break;
+          default:
+            (void)(*store)->Delete(key);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      clock.now += 1;  // advance time so TTL expiry actually triggers
+      (void)(*store)->SweepExpired();
+      ticks.fetch_add(1);
+    }
+  });
+  for (size_t t = 0; t + 1 < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  const SessionStoreStats stats = (*store)->Stats();
+  EXPECT_EQ(stats.writes, 4u * 2000u);  // 4 threads x (1000 puts + 1000 updates)
+  EXPECT_EQ(stats.reads, 4u * 1000u);
+  EXPECT_LE(stats.live_entries, 23u);
+}
+
+// --- durability -------------------------------------------------------------
+
+TEST(SessionStoreTest, RecoversFromWal) {
+  const std::string path = TempPath("recover.wal");
+  ManualClock clock;
+  {
+    SessionStoreOptions options = VolatileOptions(clock);
+    options.wal_path = path;
+    auto store = SessionStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+    ASSERT_TRUE((*store)->Delete("a").ok());
+  }
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.wal_path = path;
+  auto reopened = SessionStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE((*reopened)->Get("a").ok());
+  auto b = (*reopened)->Get("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "2");
+}
+
+TEST(SessionStoreTest, RecoveryDropsEntriesExpiredWhileDown) {
+  const std::string path = TempPath("expire.wal");
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.wal_path = path;
+  options.ttl_seconds = 100;
+  {
+    auto store = SessionStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("s", "v").ok());
+  }
+  clock.now += 1000;  // store was "down" past the TTL
+  auto reopened = SessionStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE((*reopened)->Get("s").ok());
+}
+
+TEST(SessionStoreTest, TornWalTailIsTolerated) {
+  const std::string path = TempPath("torn.wal");
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.wal_path = path;
+  {
+    auto store = SessionStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+  }
+  // Simulate a crash mid-write: chop bytes off the tail.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+
+  auto reopened = SessionStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->Get("a").ok());   // first record intact
+  EXPECT_FALSE((*reopened)->Get("b").ok());  // torn record dropped
+}
+
+TEST(SessionStoreTest, CompactionShrinksWalAndPreservesState) {
+  const std::string path = TempPath("compact.wal");
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.wal_path = path;
+  options.sync_every_write = true;  // make file sizes observable
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("key", "value-" + std::to_string(i)).ok());
+  }
+  const auto before = std::filesystem::file_size(path);
+  ASSERT_TRUE((*store)->Compact().ok());
+  const auto after = std::filesystem::file_size(path);
+  EXPECT_LT(after, before / 10);
+
+  // State survives compaction and a reopen.
+  store->reset();
+  auto reopened = SessionStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  auto value = (*reopened)->Get("key");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "value-99");
+}
+
+TEST(WalTest, ReplayEmptyMissingFile) {
+  auto result = ReplayWal("/nonexistent/file.wal", [](const WalRecord&) {});
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(WalTest, ReplayInOrder) {
+  const std::string path = TempPath("order.wal");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer
+                    .Append(WalRecord{WalRecordType::kPut,
+                                      "k" + std::to_string(i),
+                                      "v" + std::to_string(i),
+                                      static_cast<uint64_t>(i)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  int next = 0;
+  auto replayed = ReplayWal(path, [&](const WalRecord& record) {
+    EXPECT_EQ(record.key, "k" + std::to_string(next));
+    EXPECT_EQ(record.value, "v" + std::to_string(next));
+    EXPECT_EQ(record.timestamp, static_cast<uint64_t>(next));
+    ++next;
+  });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 10u);
+}
+
+TEST(WalTest, MidFileCorruptionIsReported) {
+  const std::string path = TempPath("midcorrupt.wal");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        writer.Append(WalRecord{WalRecordType::kPut, "key", "value", 1}).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  writer.Close();
+
+  // Flip a byte inside the second record's payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] ^= 0x20;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  auto result = ReplayWal(path, [](const WalRecord&) {});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/hash.h"
+
+namespace serenade {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kIoError, StatusCode::kCorruption,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::IoError("disk gone"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("hello"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+Status FailingHelper() { return Status::Corruption("inner"); }
+Status PropagatingHelper() {
+  SERENADE_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagatingHelper().code(), StatusCode::kCorruption);
+}
+
+// --- crc32 / hash sanity, colocated with the other tiny-common tests ---
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char data[] = "hello world, this is a checksum test";
+  const uint32_t one_shot = Crc32(data, sizeof(data) - 1);
+  uint32_t incremental = Crc32(data, 10);
+  incremental = Crc32(data + 10, sizeof(data) - 1 - 10, incremental);
+  EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t a = Mix64(0x1234);
+  const uint64_t b = Mix64(0x1235);
+  const int differing = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing, 16);
+  EXPECT_LT(differing, 48);
+}
+
+TEST(HashTest, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(Fnv1a("session-1"), Fnv1a("session-2"));
+  EXPECT_EQ(Fnv1a("same"), Fnv1a("same"));
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,171 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+
+namespace serenade {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.seed = 7;
+  config.num_items = 2000;
+  config.num_sessions = 8000;
+  config.num_days = 10;
+  config.cluster_size = 50;
+  return config;
+}
+
+TEST(SyntheticTest, Deterministic) {
+  const auto a = GenerateClicks(SmallConfig());
+  const auto b = GenerateClicks(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig other = SmallConfig();
+  other.seed = 8;
+  const auto a = GenerateClicks(SmallConfig());
+  const auto b = GenerateClicks(other);
+  EXPECT_FALSE(a.size() == b.size() &&
+               std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(SyntheticTest, RespectsConfiguredCounts) {
+  const auto clicks = GenerateClicks(SmallConfig());
+  Dataset dataset = Dataset::FromClicks(clicks, 1);
+  EXPECT_EQ(dataset.num_sessions(), 8000u);
+  for (const Click& click : clicks) {
+    EXPECT_LT(click.item_id, 2000u);
+  }
+}
+
+TEST(SyntheticTest, SessionLengthPercentilesMatchProprietaryProfile) {
+  SyntheticConfig config = SmallConfig();
+  config.num_sessions = 50000;
+  const DatasetStats stats =
+      ComputeStats("test", Dataset::FromClicks(GenerateClicks(config), 1));
+  // Table 1 proprietary profile: p25=2, p50=4, p75=6-7, p99~28-39.
+  EXPECT_EQ(stats.p25, 2u);
+  EXPECT_GE(stats.p50, 3u);
+  EXPECT_LE(stats.p50, 4u);
+  EXPECT_GE(stats.p75, 5u);
+  EXPECT_LE(stats.p75, 8u);
+  EXPECT_GE(stats.p99, 25u);
+  EXPECT_LE(stats.p99, 50u);
+}
+
+TEST(SyntheticTest, PublicProfileHasShorterTail) {
+  DatasetProfile profile = RetailRocketProfile(1.0);
+  profile.config.num_sessions = 50000;
+  const DatasetStats stats = ComputeStats(
+      "rr", Dataset::FromClicks(GenerateClicks(profile.config), 1));
+  EXPECT_LE(stats.p50, 3u);
+  EXPECT_LE(stats.p75, 5u);
+  EXPECT_GE(stats.p99, 14u);
+  EXPECT_LE(stats.p99, 26u);
+}
+
+TEST(SyntheticTest, TimestampsSpanConfiguredDays) {
+  const auto clicks = GenerateClicks(SmallConfig());
+  Timestamp min_ts = ~Timestamp{0}, max_ts = 0;
+  for (const Click& click : clicks) {
+    min_ts = std::min(min_ts, click.timestamp);
+    max_ts = std::max(max_ts, click.timestamp);
+  }
+  const uint64_t span_days = (max_ts - min_ts) / 86400 + 1;
+  EXPECT_GE(span_days, 8u);
+  EXPECT_LE(span_days, 11u);
+}
+
+TEST(SyntheticTest, PopularityIsSkewed) {
+  const auto clicks = GenerateClicks(SmallConfig());
+  std::unordered_map<ItemId, size_t> counts;
+  for (const Click& click : clicks) ++counts[click.item_id];
+  std::vector<size_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [item, count] : counts) sorted.push_back(count);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  // Top 1% of items should attract far more than 1% of clicks.
+  const size_t top = sorted.size() / 100 + 1;
+  size_t top_clicks = 0;
+  for (size_t i = 0; i < top; ++i) top_clicks += sorted[i];
+  EXPECT_GT(static_cast<double>(top_clicks) / clicks.size(), 0.05);
+}
+
+TEST(SyntheticTest, ClusterStructureCreatesCoVisitationSignal) {
+  // Sessions sharing one item should be far more likely to share a second
+  // item than random pairs — the property kNN exploits.
+  SyntheticConfig config = SmallConfig();
+  config.num_sessions = 4000;
+  Dataset dataset = GenerateDataset(config);
+
+  std::unordered_map<ItemId, std::vector<SessionId>> postings;
+  for (const SessionData& session : dataset.sessions()) {
+    std::vector<ItemId> distinct = session.items;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (ItemId item : distinct) postings[item].push_back(session.id);
+  }
+
+  size_t sharing_pairs = 0, overlap_two = 0;
+  for (const auto& [item, sessions] : postings) {
+    if (sessions.size() < 2) continue;
+    for (size_t i = 0; i + 1 < std::min<size_t>(sessions.size(), 10); ++i) {
+      const auto& a = dataset.sessions()[sessions[i]].items;
+      const auto& b = dataset.sessions()[sessions[i + 1]].items;
+      ++sharing_pairs;
+      size_t shared = 0;
+      for (ItemId x : a) {
+        if (std::find(b.begin(), b.end(), x) != b.end()) ++shared;
+        if (shared >= 2) break;
+      }
+      if (shared >= 2) ++overlap_two;
+    }
+  }
+  ASSERT_GT(sharing_pairs, 100u);
+  EXPECT_GT(static_cast<double>(overlap_two) / sharing_pairs, 0.10);
+}
+
+TEST(CatalogTest, FlagsApproximatelyConfiguredFractions) {
+  const ItemCatalog catalog = GenerateCatalog(100000, 3, 0.02, 0.01);
+  size_t unavailable = 0, adult = 0;
+  for (size_t i = 0; i < catalog.num_items(); ++i) {
+    if (!catalog.available[i]) ++unavailable;
+    if (catalog.adult[i]) ++adult;
+  }
+  EXPECT_NEAR(static_cast<double>(unavailable) / 100000, 0.02, 0.005);
+  EXPECT_NEAR(static_cast<double>(adult) / 100000, 0.01, 0.005);
+}
+
+TEST(CatalogTest, Deterministic) {
+  const ItemCatalog a = GenerateCatalog(1000, 5);
+  const ItemCatalog b = GenerateCatalog(1000, 5);
+  EXPECT_EQ(a.available, b.available);
+  EXPECT_EQ(a.adult, b.adult);
+}
+
+TEST(StatsTest, TableFormatting) {
+  Dataset dataset = GenerateDataset(SmallConfig());
+  const DatasetStats stats = ComputeStats("small", dataset);
+  const std::string table = FormatStatsTable({stats});
+  EXPECT_NE(table.find("small"), std::string::npos);
+  EXPECT_NE(table.find("clicks"), std::string::npos);
+}
+
+TEST(StatsTest, CountsDistinctItemsNotVocabulary) {
+  // Items 5 and 7 only -> 2 distinct items even though max id is 7.
+  std::vector<Click> clicks = {{1, 5, 10}, {1, 7, 20}, {2, 5, 30}, {2, 7, 40}};
+  const DatasetStats stats =
+      ComputeStats("toy", Dataset::FromClicks(clicks));
+  EXPECT_EQ(stats.items, 2u);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,190 @@
+#include "index/updatable_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/vmis_knn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+Dataset MakeData(uint64_t seed = 81, size_t sessions = 3000) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_items = 400;
+  config.num_sessions = sessions;
+  config.num_days = 6;
+  return GenerateDataset(config);
+}
+
+TEST(UpdatableIndexTest, FreshIndexEqualsBase) {
+  Dataset dataset = MakeData();
+  SessionIndex base = SessionIndex::Build(dataset, 100);
+  const size_t base_sessions = base.num_sessions();
+  UpdatableSessionIndex updatable(SessionIndex::Build(dataset, 100));
+  EXPECT_EQ(updatable.num_sessions(), base_sessions);
+  EXPECT_EQ(updatable.overlay_sessions(), 0u);
+
+  std::vector<SessionId> scratch;
+  for (ItemId item = 0; item < base.num_items(); ++item) {
+    const auto expected = base.SessionsForItem(item);
+    const auto actual = updatable.SessionsForItem(item, &scratch);
+    ASSERT_EQ(std::vector<SessionId>(actual.begin(), actual.end()),
+              std::vector<SessionId>(expected.begin(), expected.end()));
+    // Base idf is stored as float32; recovery is accurate to ~1e-6.
+    ASSERT_NEAR(updatable.Idf(item), base.Idf(item), 1e-5);
+  }
+}
+
+TEST(UpdatableIndexTest, IngestedSessionsAreMostRecent) {
+  Dataset dataset = MakeData();
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 100));
+  const Timestamp late = dataset.max_timestamp() + 1000;
+  const SessionId id1 = index.Ingest({7, 8, 9}, late);
+  const SessionId id2 = index.Ingest({7, 10}, late + 50);
+
+  std::vector<SessionId> scratch;
+  const auto postings = index.SessionsForItem(7, &scratch);
+  ASSERT_GE(postings.size(), 2u);
+  EXPECT_EQ(postings[0], id2);  // newest first
+  EXPECT_EQ(postings[1], id1);
+  EXPECT_EQ(index.SessionTimestamp(id2), late + 50);
+  EXPECT_EQ(index.overlay_sessions(), 2u);
+}
+
+TEST(UpdatableIndexTest, ItemsForIngestedSessionAreDistinctSorted) {
+  Dataset dataset = MakeData();
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 100));
+  const SessionId id =
+      index.Ingest({9, 7, 9, 8}, dataset.max_timestamp() + 10);
+  std::vector<ItemId> scratch;
+  const auto items = index.ItemsForSession(id, &scratch);
+  EXPECT_EQ(std::vector<ItemId>(items.begin(), items.end()),
+            (std::vector<ItemId>{7, 8, 9}));
+}
+
+TEST(UpdatableIndexTest, NewItemsExtendTheCatalog) {
+  Dataset dataset = MakeData();
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 100));
+  const size_t old_items = index.num_items();
+  const ItemId brand_new = static_cast<ItemId>(old_items + 5);
+  const SessionId id =
+      index.Ingest({brand_new, 3}, dataset.max_timestamp() + 10);
+
+  EXPECT_EQ(index.num_items(), static_cast<size_t>(brand_new) + 1);
+  std::vector<SessionId> scratch;
+  const auto postings = index.SessionsForItem(brand_new, &scratch);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0], id);
+  // New item in 1 of N sessions -> large idf.
+  EXPECT_NEAR(index.Idf(brand_new),
+              std::log(static_cast<double>(index.num_sessions())), 1e-6);
+}
+
+TEST(UpdatableIndexTest, PostingsStayCappedAtM) {
+  Dataset dataset = MakeData();
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 5));
+  for (int i = 0; i < 20; ++i) {
+    index.Ingest({3, static_cast<ItemId>(100 + i)},
+                 dataset.max_timestamp() + 10 + i);
+  }
+  std::vector<SessionId> scratch;
+  EXPECT_EQ(index.SessionsForItem(3, &scratch).size(), 5u);
+}
+
+TEST(UpdatableIndexTest, OutOfOrderTimestampClamped) {
+  Dataset dataset = MakeData();
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 100));
+  const SessionId id = index.Ingest({5}, /*end_time=*/0);  // before base!
+  EXPECT_GE(index.SessionTimestamp(id), dataset.max_timestamp());
+}
+
+TEST(UpdatableIndexTest, IdfTracksGrowingFrequencies) {
+  Dataset dataset = MakeData();
+  SessionIndex base = SessionIndex::Build(dataset, 100);
+  UpdatableSessionIndex index(SessionIndex::Build(dataset, 100));
+
+  // Pick an item with mid-range frequency and flood it.
+  ItemId item = 0;
+  for (ItemId i = 0; i < base.num_items(); ++i) {
+    if (base.SessionsForItem(i).size() >= 5) {
+      item = i;
+      break;
+    }
+  }
+  const double idf_before = index.Idf(item);
+  for (int i = 0; i < 500; ++i) {
+    index.Ingest({item, static_cast<ItemId>(200 + (i % 17))},
+                 dataset.max_timestamp() + 10 + i);
+  }
+  // Item got much more frequent -> idf must drop.
+  EXPECT_LT(index.Idf(item), idf_before);
+}
+
+// The incremental-maintenance equivalence property: ingesting day N+1's
+// sessions into an index built from days 1..N yields exactly the same
+// query results as a full batch rebuild over days 1..N+1 (with m large
+// enough that truncation cannot differ, and idf compared approximately).
+TEST(UpdatableIndexTest, IncrementalMatchesFullRebuild) {
+  Dataset full = MakeData(91, 4000);
+  TrainTestSplit split = SplitLastDays(full, 1);
+
+  UpdatableSessionIndex incremental(
+      SessionIndex::Build(split.train, 100000));
+  for (const SessionData& session : split.test.sessions()) {
+    incremental.Ingest(session.items, session.end_time);
+  }
+
+  // Full rebuild over train + test sessions. Note: ids differ between the
+  // two indexes, so we compare neighbour *scores* and recommended items.
+  std::vector<Click> all_clicks;
+  for (const Dataset* part : {&split.train, &split.test}) {
+    for (const SessionData& session : part->sessions()) {
+      const size_t n = session.items.size();
+      for (size_t i = 0; i < n; ++i) {
+        const Timestamp ts =
+            n <= 1 ? session.start_time
+                   : session.start_time +
+                         (session.end_time - session.start_time) * i / (n - 1);
+        // Re-key sessions uniquely across parts.
+        const SessionId key = static_cast<SessionId>(
+            part == &split.train ? session.id
+                                 : session.id + split.train.num_sessions());
+        all_clicks.push_back(Click{key, session.items[i], ts});
+      }
+    }
+  }
+  Dataset rebuilt_data = Dataset::FromClicks(all_clicks);
+  SessionIndex rebuilt = SessionIndex::Build(rebuilt_data, 100000);
+
+  KnnConfig config;
+  config.m = 100000;
+  config.k = 20;
+  VmisKnnT<UpdatableSessionIndex> incremental_model(&incremental, config);
+  VmisKnn rebuilt_model(&rebuilt, config);
+
+  SyntheticConfig query_config;
+  query_config.seed = 92;
+  query_config.num_items = 400;
+  query_config.num_sessions = 30;
+  query_config.num_days = 1;
+  Dataset queries = GenerateDataset(query_config);
+
+  for (const SessionData& query : queries.sessions()) {
+    const auto a = incremental_model.RecommendNext(query.items, 10);
+    const auto b = rebuilt_model.RecommendNext(query.items, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].item, b[i].item) << "rank " << i;
+      // idf recovery is float-derived: allow small relative slack.
+      ASSERT_NEAR(a[i].score, b[i].score,
+                  1e-3 * (1.0 + std::abs(b[i].score)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace serenade

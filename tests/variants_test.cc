@@ -1,0 +1,206 @@
+#include "core/variants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/vmis_knn.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+Dataset MakeData(uint64_t seed = 222) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_items = 300;
+  config.num_sessions = 2000;
+  config.num_days = 5;
+  config.cluster_size = 40;
+  return GenerateDataset(config);
+}
+
+Dataset MakeQueries() {
+  SyntheticConfig config;
+  config.seed = 223;
+  config.num_items = 300;
+  config.num_sessions = 40;
+  config.num_days = 1;
+  config.cluster_size = 40;
+  return GenerateDataset(config);
+}
+
+// Compares two recommendation lists as item -> score maps. Items present
+// in both must score (almost) identically; an item present in only one
+// list must be a boundary tie — its score within epsilon of the weakest
+// returned score (float summation order differs between the execution
+// strategies, so exact rank order at ties is not guaranteed).
+void ExpectSameRecommendations(Recommender& a, Recommender& b,
+                               const EvolvingSession& session,
+                               size_t how_many) {
+  const auto ra = a.RecommendNext(session, how_many);
+  const auto rb = b.RecommendNext(session, how_many);
+  ASSERT_EQ(ra.size(), rb.size()) << a.Name() << " vs " << b.Name();
+  if (ra.empty()) return;
+  const float boundary =
+      std::min(ra.back().score, rb.back().score) - 1e-3f;
+
+  std::map<ItemId, float> map_a, map_b;
+  for (const ScoredItem& s : ra) map_a[s.item] = s.score;
+  for (const ScoredItem& s : rb) map_b[s.item] = s.score;
+  for (const auto& [item, score] : map_a) {
+    auto it = map_b.find(item);
+    if (it != map_b.end()) {
+      ASSERT_NEAR(score, it->second, 1e-3 * (1.0 + std::abs(score)))
+          << a.Name() << " vs " << b.Name() << " item " << item;
+    } else {
+      ASSERT_LE(score, boundary + 2e-3f)
+          << a.Name() << " vs " << b.Name() << " item " << item
+          << " missing from " << b.Name() << " but scored well";
+    }
+  }
+  for (const auto& [item, score] : map_b) {
+    if (map_a.find(item) == map_a.end()) {
+      ASSERT_LE(score, boundary + 2e-3f)
+          << a.Name() << " vs " << b.Name() << " item " << item
+          << " missing from " << a.Name() << " but scored well";
+    }
+  }
+}
+
+// All execution strategies must agree with the reference VMIS-kNN when m
+// is large enough that recency eviction / sampling cannot kick in (the
+// strategies differ in *when* they sample, which only matters under
+// contention for the m slots).
+TEST(VariantsTest, AllVariantsMatchVmisWithoutEviction) {
+  Dataset train = MakeData();
+  KnnConfig config;
+  config.m = 1000000;
+  config.k = 25;
+  SessionIndex index = SessionIndex::Build(train, train.num_sessions());
+
+  VmisKnn vmis(&index, config);
+  MaterializingVsKnn materializing(&index, config);
+  JoinAggregateVmisKnn join_aggregate(&index, config);
+  IncrementalVmisKnn incremental(&index, config);
+
+  Dataset queries = MakeQueries();
+  for (const SessionData& query : queries.sessions()) {
+    EvolvingSession evolving;
+    for (ItemId item : query.items) {
+      evolving.push_back(item);
+      if (evolving.size() > config.max_session_length) continue;
+      ExpectSameRecommendations(vmis, materializing, evolving, 20);
+      ExpectSameRecommendations(vmis, join_aggregate, evolving, 20);
+      ExpectSameRecommendations(vmis, incremental, evolving, 20);
+    }
+  }
+}
+
+TEST(VariantsTest, JoinAggregateMatchesVmisWithCappedM) {
+  // JoinAggregate consumes the same capped postings as VMIS-kNN; with a
+  // small k but large m the aggregation semantics still agree as long as
+  // the candidate set fits in m.
+  Dataset train = MakeData(333);
+  KnnConfig config;
+  config.m = 100000;
+  config.k = 10;
+  SessionIndex index = SessionIndex::Build(train, train.num_sessions());
+  VmisKnn vmis(&index, config);
+  JoinAggregateVmisKnn join_aggregate(&index, config);
+  Dataset queries = MakeQueries();
+  for (const SessionData& query : queries.sessions()) {
+    if (query.items.size() > config.max_session_length) continue;
+    ExpectSameRecommendations(vmis, join_aggregate, query.items, 21);
+  }
+}
+
+TEST(VariantsTest, IncrementalExtensionMatchesReplay) {
+  Dataset train = MakeData(444);
+  KnnConfig config;
+  config.m = 1000000;
+  config.k = 15;
+  SessionIndex index = SessionIndex::Build(train, train.num_sessions());
+
+  IncrementalVmisKnn grown(&index, config);
+  Dataset queries = MakeQueries();
+  ASSERT_FALSE(queries.sessions().empty());
+  const auto& items = queries.sessions()[0].items;
+
+  // Feed prefixes incrementally...
+  EvolvingSession evolving;
+  std::vector<ScoredItem> incremental_result;
+  for (ItemId item : items) {
+    evolving.push_back(item);
+    incremental_result = grown.RecommendNext(evolving, 20);
+  }
+  // ...and compare against a cold replay of the full session.
+  IncrementalVmisKnn fresh(&index, config);
+  const auto replay_result = fresh.RecommendNext(evolving, 20);
+  ASSERT_EQ(incremental_result.size(), replay_result.size());
+  for (size_t i = 0; i < replay_result.size(); ++i) {
+    EXPECT_EQ(incremental_result[i].item, replay_result[i].item);
+    EXPECT_NEAR(incremental_result[i].score, replay_result[i].score, 1e-4);
+  }
+}
+
+TEST(VariantsTest, IncrementalArrangementGrows) {
+  Dataset train = MakeData(555);
+  KnnConfig config;
+  config.m = 1000000;
+  config.k = 15;
+  SessionIndex index = SessionIndex::Build(train, train.num_sessions());
+  IncrementalVmisKnn model(&index, config);
+  EXPECT_EQ(model.ArrangementBytes(), 0u);
+  model.RecommendNext({0, 1}, 20);
+  const size_t after_two = model.ArrangementBytes();
+  EXPECT_GT(after_two, 0u);
+  model.RecommendNext({0, 1, 2}, 20);
+  EXPECT_GE(model.ArrangementBytes(), after_two);
+  model.Reset();
+  EXPECT_EQ(model.ArrangementBytes(), 0u);
+}
+
+// The boxed (managed-runtime stand-in) variant runs the *identical*
+// algorithm, so it must match VMIS-kNN exactly — including in eviction
+// regimes — not just without eviction.
+TEST(VariantsTest, BoxedMatchesVmisExactlyUnderEviction) {
+  Dataset train = MakeData(777);
+  for (size_t m : {7u, 50u, 500u}) {
+    KnnConfig config;
+    config.m = m;
+    config.k = std::min<size_t>(20, m);
+    SessionIndex index = SessionIndex::Build(train, m);
+    VmisKnn vmis(&index, config);
+    BoxedVmisKnn boxed(&index, config);
+
+    Dataset queries = MakeQueries();
+    for (const SessionData& query : queries.sessions()) {
+      const auto a = vmis.NeighborSessions(query.items);
+      const auto b = boxed.NeighborSessions(query.items);
+      ASSERT_EQ(a.size(), b.size()) << "m=" << m;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].session, b[i].session) << "m=" << m << " rank " << i;
+        ASSERT_NEAR(a[i].score, b[i].score, 1e-5);
+      }
+      ExpectSameRecommendations(vmis, boxed, query.items, 20);
+    }
+  }
+}
+
+TEST(VariantsTest, EmptySessionHandled) {
+  Dataset train = MakeData(666);
+  KnnConfig config;
+  SessionIndex index = SessionIndex::Build(train, 500);
+  MaterializingVsKnn materializing(&index, config);
+  JoinAggregateVmisKnn join_aggregate(&index, config);
+  IncrementalVmisKnn incremental(&index, config);
+  EXPECT_TRUE(materializing.RecommendNext({}, 20).empty());
+  EXPECT_TRUE(join_aggregate.RecommendNext({}, 20).empty());
+  EXPECT_TRUE(incremental.RecommendNext({}, 20).empty());
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,168 @@
+// Brute-force reference model for VMIS-kNN's specified semantics,
+// checked against the optimised implementation in regimes where the
+// candidate budget m is tight and eviction churns constantly.
+//
+// The specification (provable from Algorithm 2's eviction monotonicity —
+// the recency minimum of the candidate set only ever grows, so a session
+// once rejected/evicted can never re-enter):
+//   1. For every distinct item i of the (truncated) evolving session,
+//      postings_i = the min(m, h_i) most recent sessions containing i.
+//   2. The candidate set C = the m most recent sessions of U postings_i
+//      (recency = (timestamp, session id), a total order).
+//   3. r_j = sum of pi_i over the items i with j in postings_i, for j in C.
+//   4. Neighbours = top-k of C by (r_j, recency).
+//   5. d_item = sum over neighbours containing the item of
+//      lambda(max shared position) * r_j * idf(item).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session_index.h"
+#include "core/vmis_knn.h"
+#include "data/synthetic.h"
+
+namespace serenade {
+namespace {
+
+struct ReferenceModel {
+  const Dataset* train;
+  KnnConfig config;
+
+  // Recency total order: newer first.
+  static bool Newer(const std::pair<Timestamp, SessionId>& a,
+                    const std::pair<Timestamp, SessionId>& b) {
+    return a > b;
+  }
+
+  std::vector<Neighbor> Neighbors(const EvolvingSession& session) const {
+    // Truncate.
+    const size_t start = session.size() > config.max_session_length
+                             ? session.size() - config.max_session_length
+                             : 0;
+    std::vector<ItemId> items(session.begin() + static_cast<ptrdiff_t>(start),
+                              session.end());
+    const size_t len = items.size();
+    if (len == 0) return {};
+
+    // Last positions of distinct items.
+    std::map<ItemId, size_t> last_position;  // 1-based
+    for (size_t p = 0; p < len; ++p) last_position[items[p]] = p + 1;
+
+    // Per-item postings: min(m, h_i) most recent sessions, brute force.
+    std::map<ItemId, std::vector<SessionId>> postings;
+    for (const auto& [item, position] : last_position) {
+      (void)position;
+      std::vector<std::pair<std::pair<Timestamp, SessionId>, SessionId>> all;
+      for (const SessionData& historical : train->sessions()) {
+        if (std::find(historical.items.begin(), historical.items.end(),
+                      item) != historical.items.end()) {
+          all.push_back({{historical.end_time, historical.id},
+                         historical.id});
+        }
+      }
+      std::sort(all.begin(), all.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      if (all.size() > config.m) all.resize(config.m);
+      for (const auto& entry : all) postings[item].push_back(entry.second);
+    }
+
+    // Candidate set: m most recent of the union.
+    std::set<SessionId> union_sessions;
+    for (const auto& [item, sessions] : postings) {
+      union_sessions.insert(sessions.begin(), sessions.end());
+    }
+    std::vector<std::pair<std::pair<Timestamp, SessionId>, SessionId>> ranked;
+    for (SessionId s : union_sessions) {
+      ranked.push_back(
+          {{train->sessions()[s].end_time, s}, s});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (ranked.size() > config.m) ranked.resize(config.m);
+
+    // Scores.
+    std::vector<Neighbor> candidates;
+    for (const auto& entry : ranked) {
+      const SessionId j = entry.second;
+      float score = 0.0f;
+      for (const auto& [item, sessions] : postings) {
+        if (std::find(sessions.begin(), sessions.end(), j) !=
+            sessions.end()) {
+          score += static_cast<float>(
+              DecayWeight(config.decay, last_position.at(item), len));
+        }
+      }
+      if (score > 0.0f) {
+        candidates.push_back(
+            Neighbor{j, score, train->sessions()[j].end_time});
+      }
+    }
+
+    // Top-k by (score, timestamp, id).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+                return a.session > b.session;
+              });
+    if (candidates.size() > config.k) candidates.resize(config.k);
+    return candidates;
+  }
+};
+
+class VmisReferenceTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(VmisReferenceTest, OptimisedMatchesBruteForce) {
+  const auto [m, k] = GetParam();
+
+  SyntheticConfig config;
+  config.seed = 1000 + m * 10 + k;
+  config.num_items = 120;   // few items + many sessions => heavy eviction
+  config.num_sessions = 1500;
+  config.num_days = 4;
+  config.cluster_size = 30;
+  Dataset train = GenerateDataset(config);
+
+  KnnConfig knn_config;
+  knn_config.m = m;
+  knn_config.k = k;
+
+  SessionIndex index = SessionIndex::Build(train, m);
+  VmisKnn optimised(&index, knn_config);
+  ReferenceModel reference{&train, knn_config};
+
+  SyntheticConfig query_config = config;
+  query_config.seed = 2000 + m;
+  query_config.num_sessions = 25;
+  Dataset queries = GenerateDataset(query_config);
+
+  for (const SessionData& query : queries.sessions()) {
+    const auto actual = optimised.NeighborSessions(query.items);
+    const auto expected = reference.Neighbors(query.items);
+    ASSERT_EQ(actual.size(), expected.size()) << "query " << query.id;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].session, expected[i].session)
+          << "query " << query.id << " rank " << i;
+      ASSERT_NEAR(actual[i].score, expected[i].score, 1e-4);
+      ASSERT_EQ(actual[i].timestamp, expected[i].timestamp);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TightBudgets, VmisReferenceTest,
+    testing::Values(std::make_tuple(3, 3), std::make_tuple(10, 5),
+                    std::make_tuple(25, 10), std::make_tuple(100, 50),
+                    std::make_tuple(400, 100)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace serenade

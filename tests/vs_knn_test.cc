@@ -1,0 +1,109 @@
+#include "core/vs_knn.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace serenade {
+namespace {
+
+// Sessions (by end time): s0={1,2,4} t=30, s1={2,4} t=50, s2={2,3} t=70.
+Dataset ToyDataset() {
+  std::vector<Click> clicks = {
+      {100, 1, 10}, {100, 2, 20}, {100, 4, 30},
+      {200, 2, 40}, {200, 4, 50},
+      {300, 2, 60}, {300, 3, 70},
+  };
+  return Dataset::FromClicks(clicks);
+}
+
+KnnConfig ToyConfig() {
+  KnnConfig config;
+  config.m = 10;
+  config.k = 10;
+  return config;
+}
+
+TEST(VsKnnTest, PaperToyExampleSimilarity) {
+  VsKnn model(ToyDataset(), ToyConfig());
+  const auto neighbors = model.NeighborSessions({1, 2, 4});
+  ASSERT_EQ(neighbors.size(), 3u);
+  auto score_of = [&](SessionId id) {
+    for (const Neighbor& n : neighbors) {
+      if (n.session == id) return n.score;
+    }
+    ADD_FAILURE() << "session " << id << " missing";
+    return -1.0f;
+  };
+  // Similarity with {2,4} is 2/3 + 3/3 = 5/3 (the paper's toy example).
+  EXPECT_NEAR(score_of(1), 5.0f / 3.0f, 1e-5);
+  EXPECT_NEAR(score_of(0), 2.0f, 1e-5);        // {1,2,4}: 1/3+2/3+3/3
+  EXPECT_NEAR(score_of(2), 2.0f / 3.0f, 1e-5); // {2,3}: item 2 only
+}
+
+TEST(VsKnnTest, RecencySampleKeepsMostRecent) {
+  KnnConfig config = ToyConfig();
+  config.m = 2;  // only the two most recent matching sessions survive
+  VsKnn model(ToyDataset(), config);
+  const auto neighbors = model.NeighborSessions({2});
+  std::set<SessionId> ids;
+  for (const Neighbor& n : neighbors) ids.insert(n.session);
+  EXPECT_EQ(ids, (std::set<SessionId>{1, 2}));  // t=50 and t=70
+}
+
+TEST(VsKnnTest, KLimitsNeighborCount) {
+  KnnConfig config = ToyConfig();
+  config.k = 1;
+  VsKnn model(ToyDataset(), config);
+  EXPECT_EQ(model.NeighborSessions({1, 2, 4}).size(), 1u);
+}
+
+TEST(VsKnnTest, ScoringUsesSessionLengthFactorAndOnePlusLogIdf) {
+  // Single neighbour makes the item scores fully hand-computable.
+  // History: one session {7, 8} at t=20.
+  std::vector<Click> clicks = {{1, 7, 10}, {1, 8, 20}};
+  KnnConfig config = ToyConfig();
+  config.idf = IdfWeighting::kOnePlusLog;
+  VsKnn model(Dataset::FromClicks(clicks), config);
+
+  // Evolving session [7]: similarity = 1 (position 1 of 1, linear decay);
+  // lambda(steps-from-end, pos 1 of 1) = 1; 1/|s| = 1.
+  // idf = log(1/1) = 0 -> factor 1 + 0 = 1. Scores: d_7 = d_8 = 1.
+  const auto recs = model.RecommendNext({7}, 10);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_NEAR(recs[0].score, 1.0f, 1e-5);
+  EXPECT_NEAR(recs[1].score, 1.0f, 1e-5);
+}
+
+TEST(VsKnnTest, EmptyAndUnknownSessions) {
+  VsKnn model(ToyDataset(), ToyConfig());
+  EXPECT_TRUE(model.NeighborSessions({}).empty());
+  EXPECT_TRUE(model.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(model.RecommendNext({777}, 5).empty());
+}
+
+TEST(VsKnnTest, ExcludeSessionItems) {
+  KnnConfig config = ToyConfig();
+  config.exclude_session_items = true;
+  VsKnn model(ToyDataset(), config);
+  for (const ScoredItem& rec : model.RecommendNext({2, 4}, 10)) {
+    EXPECT_NE(rec.item, 2u);
+    EXPECT_NE(rec.item, 4u);
+  }
+}
+
+TEST(VsKnnTest, DuplicateEvolvingItemsCountOnce) {
+  VsKnn model(ToyDataset(), ToyConfig());
+  const auto once = model.NeighborSessions({2});
+  const auto thrice = model.NeighborSessions({2, 2, 2});
+  ASSERT_EQ(once.size(), thrice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].session, thrice[i].session);
+    // [2,2,2]: only the most recent occurrence contributes, decay 3/3 = 1,
+    // same as [2] with decay 1/1.
+    EXPECT_NEAR(once[i].score, thrice[i].score, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace serenade

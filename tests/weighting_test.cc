@@ -1,0 +1,92 @@
+#include "core/weighting.h"
+
+#include <gtest/gtest.h>
+
+namespace serenade {
+namespace {
+
+// The paper's toy example (Section 2): evolving session s = [1, 2, 4] with
+// omega = [1, 2, 3], linear decay pi(pos) = pos / |s|; historical session
+// h = {2, 4}. The decayed dot product is 2/3 + 3/3 = 5/3, and the match
+// weight is lambda(3) = 0.7.
+TEST(WeightingTest, PaperToyExampleDecay) {
+  EXPECT_DOUBLE_EQ(DecayWeight(DecayType::kLinear, 1, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DecayWeight(DecayType::kLinear, 2, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(DecayWeight(DecayType::kLinear, 3, 3), 1.0);
+  const double similarity = DecayWeight(DecayType::kLinear, 2, 3) +
+                            DecayWeight(DecayType::kLinear, 3, 3);
+  EXPECT_DOUBLE_EQ(similarity, 5.0 / 3.0);
+}
+
+TEST(WeightingTest, PaperToyExampleMatchWeight) {
+  EXPECT_DOUBLE_EQ(
+      MatchWeight(MatchWeightType::kPaperInsertionOrder, 3, 3), 0.7);
+}
+
+TEST(WeightingTest, PaperMatchWeightZeroBeyondHorizon) {
+  EXPECT_DOUBLE_EQ(
+      MatchWeight(MatchWeightType::kPaperInsertionOrder, 10, 12), 0.0);
+  EXPECT_DOUBLE_EQ(
+      MatchWeight(MatchWeightType::kPaperInsertionOrder, 9, 12), 0.1);
+}
+
+TEST(WeightingTest, StepsFromEndIsOneForMostRecent) {
+  // Most recent item shared -> step 1 -> full weight.
+  EXPECT_DOUBLE_EQ(MatchWeight(MatchWeightType::kStepsFromEnd, 5, 5), 1.0);
+  // One step back -> 0.9, two -> 0.8.
+  EXPECT_DOUBLE_EQ(MatchWeight(MatchWeightType::kStepsFromEnd, 4, 5), 0.9);
+  EXPECT_DOUBLE_EQ(MatchWeight(MatchWeightType::kStepsFromEnd, 3, 5), 0.8);
+}
+
+TEST(WeightingTest, StepsFromEndClampsToZero) {
+  EXPECT_DOUBLE_EQ(MatchWeight(MatchWeightType::kStepsFromEnd, 1, 30), 0.0);
+}
+
+TEST(WeightingTest, ConstantWeights) {
+  EXPECT_DOUBLE_EQ(DecayWeight(DecayType::kSame, 1, 9), 1.0);
+  EXPECT_DOUBLE_EQ(DecayWeight(DecayType::kSame, 9, 9), 1.0);
+  EXPECT_DOUBLE_EQ(MatchWeight(MatchWeightType::kConstant, 1, 9), 1.0);
+}
+
+struct DecayCase {
+  DecayType type;
+};
+
+class DecayMonotonicityTest : public testing::TestWithParam<DecayCase> {};
+
+// Property: every decay variant is non-decreasing in position (recent
+// items never weigh less) and strictly positive.
+TEST_P(DecayMonotonicityTest, NonDecreasingInPosition) {
+  const DecayType type = GetParam().type;
+  for (size_t len : {1u, 2u, 5u, 10u, 50u}) {
+    double previous = 0.0;
+    for (size_t pos = 1; pos <= len; ++pos) {
+      const double w = DecayWeight(type, pos, len);
+      EXPECT_GT(w, 0.0) << DecayTypeName(type) << " pos=" << pos;
+      EXPECT_GE(w, previous) << DecayTypeName(type) << " pos=" << pos
+                             << " len=" << len;
+      previous = w;
+    }
+    EXPECT_LE(previous, 1.0 + 1e-9) << DecayTypeName(type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecays, DecayMonotonicityTest,
+    testing::Values(DecayCase{DecayType::kSame}, DecayCase{DecayType::kLinear},
+                    DecayCase{DecayType::kQuadratic},
+                    DecayCase{DecayType::kHarmonic},
+                    DecayCase{DecayType::kLogarithmic}),
+    [](const testing::TestParamInfo<DecayCase>& info) {
+      return DecayTypeName(info.param.type);
+    });
+
+TEST(WeightingTest, NamesAreStable) {
+  EXPECT_STREQ(DecayTypeName(DecayType::kLinear), "linear");
+  EXPECT_STREQ(MatchWeightTypeName(MatchWeightType::kStepsFromEnd),
+               "steps_from_end");
+  EXPECT_STREQ(IdfWeightingName(IdfWeighting::kLog), "log");
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,94 @@
+// CLI: one Serenade serving pod.
+//
+//   serenade_server --index session.index [--port 8080] [--m 500]
+//       [--k 100] [--ttl 1800] [--max-items 21] [--wal sessions.wal]
+//
+// Loads the binary index produced by serenade_build_index and serves:
+//   GET /recommend?session_id=<key>&item_id=<id>[&consent=false]
+//   GET /healthz
+//   GET /stats
+// Runs until SIGINT/SIGTERM.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "data/synthetic.h"
+#include "flags.h"
+#include "index/index_format.h"
+#include "serving/server.h"
+
+using namespace serenade;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  const std::string index_path = flags.GetString("index");
+  if (index_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: serenade_server --index session.index [--port P] "
+                 "[--m M] [--k K] [--ttl SECONDS] [--wal FILE]\n");
+    return 2;
+  }
+
+  auto loaded = ReadIndexFile(index_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load index: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto index = std::make_shared<SessionIndex>(std::move(loaded).value());
+  std::printf("loaded index: %zu sessions, %zu items, %zu postings\n",
+              index->num_sessions(), index->num_items(),
+              index->num_postings());
+
+  ServiceConfig service_config;
+  service_config.knn.m =
+      std::min<size_t>(flags.GetInt("m", 500), index->max_sessions_per_item());
+  service_config.knn.k =
+      std::min<size_t>(flags.GetInt("k", 100), service_config.knn.m);
+  service_config.rules.max_items = flags.GetInt("max-items", 21);
+  // "Other customers also viewed" slots usually hide already-seen items.
+  service_config.knn.exclude_session_items =
+      flags.GetBool("exclude-seen", false);
+  service_config.store.ttl_seconds = flags.GetInt("ttl", 1800);
+  service_config.store.wal_path = flags.GetString("wal");
+
+  // Without a catalog feed every item is available and non-adult.
+  ItemCatalog catalog;
+  catalog.available.assign(index->num_items(), true);
+  catalog.adult.assign(index->num_items(), false);
+
+  auto service = SerenadeService::Create(index, catalog, service_config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  ServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
+  server_config.janitor_interval_ms = 5000;
+  SerenadeServer server(std::move(service).value(), server_config);
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus)\n",
+              server.port(), service_config.knn.m, service_config.knn.k,
+              static_cast<unsigned long long>(
+                  service_config.store.ttl_seconds));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("shutting down after %llu requests\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
