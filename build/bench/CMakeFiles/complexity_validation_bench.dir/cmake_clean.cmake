@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_validation_bench.dir/complexity_validation_bench.cc.o"
+  "CMakeFiles/complexity_validation_bench.dir/complexity_validation_bench.cc.o.d"
+  "complexity_validation_bench"
+  "complexity_validation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_validation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

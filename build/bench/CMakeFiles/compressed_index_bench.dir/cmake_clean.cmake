@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_index_bench.dir/compressed_index_bench.cc.o"
+  "CMakeFiles/compressed_index_bench.dir/compressed_index_bench.cc.o.d"
+  "compressed_index_bench"
+  "compressed_index_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_index_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_impl_comparison.dir/fig3a_impl_comparison.cc.o"
+  "CMakeFiles/fig3a_impl_comparison.dir/fig3a_impl_comparison.cc.o.d"
+  "fig3a_impl_comparison"
+  "fig3a_impl_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_impl_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

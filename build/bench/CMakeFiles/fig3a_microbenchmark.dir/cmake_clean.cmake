@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_microbenchmark.dir/fig3a_microbenchmark.cc.o"
+  "CMakeFiles/fig3a_microbenchmark.dir/fig3a_microbenchmark.cc.o.d"
+  "fig3a_microbenchmark"
+  "fig3a_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

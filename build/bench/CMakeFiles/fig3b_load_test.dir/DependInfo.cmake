@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3b_load_test.cc" "bench/CMakeFiles/fig3b_load_test.dir/fig3b_load_test.cc.o" "gcc" "bench/CMakeFiles/fig3b_load_test.dir/fig3b_load_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/serenade_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/serenade_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/serenade_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_load_test.dir/fig3b_load_test.cc.o"
+  "CMakeFiles/fig3b_load_test.dir/fig3b_load_test.cc.o.d"
+  "fig3b_load_test"
+  "fig3b_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_ab_test.dir/fig3c_ab_test.cc.o"
+  "CMakeFiles/fig3c_ab_test.dir/fig3c_ab_test.cc.o.d"
+  "fig3c_ab_test"
+  "fig3c_ab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_ab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_build_bench.dir/index_build_bench.cc.o"
+  "CMakeFiles/index_build_bench.dir/index_build_bench.cc.o.d"
+  "index_build_bench"
+  "index_build_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_build_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

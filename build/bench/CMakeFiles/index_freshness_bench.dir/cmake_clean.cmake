@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_freshness_bench.dir/index_freshness_bench.cc.o"
+  "CMakeFiles/index_freshness_bench.dir/index_freshness_bench.cc.o.d"
+  "index_freshness_bench"
+  "index_freshness_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_freshness_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

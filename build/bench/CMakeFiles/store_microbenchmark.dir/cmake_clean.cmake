@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_microbenchmark.dir/store_microbenchmark.cc.o"
+  "CMakeFiles/store_microbenchmark.dir/store_microbenchmark.cc.o.d"
+  "store_microbenchmark"
+  "store_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

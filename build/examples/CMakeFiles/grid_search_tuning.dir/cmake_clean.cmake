@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_search_tuning.dir/grid_search_tuning.cc.o"
+  "CMakeFiles/grid_search_tuning.dir/grid_search_tuning.cc.o.d"
+  "grid_search_tuning"
+  "grid_search_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_search_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_and_compressed.dir/incremental_and_compressed.cc.o"
+  "CMakeFiles/incremental_and_compressed.dir/incremental_and_compressed.cc.o.d"
+  "incremental_and_compressed"
+  "incremental_and_compressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_and_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/offline_evaluation.cc" "examples/CMakeFiles/offline_evaluation.dir/offline_evaluation.cc.o" "gcc" "examples/CMakeFiles/offline_evaluation.dir/offline_evaluation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/serenade_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/serenade_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_evaluation.dir/offline_evaluation.cc.o"
+  "CMakeFiles/offline_evaluation.dir/offline_evaluation.cc.o.d"
+  "offline_evaluation"
+  "offline_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

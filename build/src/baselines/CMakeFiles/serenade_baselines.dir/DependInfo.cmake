@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gru4rec.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/gru4rec.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/gru4rec.cc.o.d"
+  "/root/repo/src/baselines/item_knn.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/item_knn.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/item_knn.cc.o.d"
+  "/root/repo/src/baselines/narm.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/narm.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/narm.cc.o.d"
+  "/root/repo/src/baselines/nn.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/nn.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/nn.cc.o.d"
+  "/root/repo/src/baselines/popularity.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/popularity.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/popularity.cc.o.d"
+  "/root/repo/src/baselines/rules.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/rules.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/rules.cc.o.d"
+  "/root/repo/src/baselines/stamp.cc" "src/baselines/CMakeFiles/serenade_baselines.dir/stamp.cc.o" "gcc" "src/baselines/CMakeFiles/serenade_baselines.dir/stamp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_baselines.dir/gru4rec.cc.o"
+  "CMakeFiles/serenade_baselines.dir/gru4rec.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/item_knn.cc.o"
+  "CMakeFiles/serenade_baselines.dir/item_knn.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/narm.cc.o"
+  "CMakeFiles/serenade_baselines.dir/narm.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/nn.cc.o"
+  "CMakeFiles/serenade_baselines.dir/nn.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/popularity.cc.o"
+  "CMakeFiles/serenade_baselines.dir/popularity.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/rules.cc.o"
+  "CMakeFiles/serenade_baselines.dir/rules.cc.o.d"
+  "CMakeFiles/serenade_baselines.dir/stamp.cc.o"
+  "CMakeFiles/serenade_baselines.dir/stamp.cc.o.d"
+  "libserenade_baselines.a"
+  "libserenade_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_benchutil.dir/load_generator.cc.o"
+  "CMakeFiles/serenade_benchutil.dir/load_generator.cc.o.d"
+  "CMakeFiles/serenade_benchutil.dir/workload.cc.o"
+  "CMakeFiles/serenade_benchutil.dir/workload.cc.o.d"
+  "libserenade_benchutil.a"
+  "libserenade_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

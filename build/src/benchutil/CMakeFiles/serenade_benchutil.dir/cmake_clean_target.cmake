@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libserenade_benchutil.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_common.dir/crc32.cc.o"
+  "CMakeFiles/serenade_common.dir/crc32.cc.o.d"
+  "CMakeFiles/serenade_common.dir/histogram.cc.o"
+  "CMakeFiles/serenade_common.dir/histogram.cc.o.d"
+  "CMakeFiles/serenade_common.dir/logging.cc.o"
+  "CMakeFiles/serenade_common.dir/logging.cc.o.d"
+  "CMakeFiles/serenade_common.dir/rng.cc.o"
+  "CMakeFiles/serenade_common.dir/rng.cc.o.d"
+  "CMakeFiles/serenade_common.dir/status.cc.o"
+  "CMakeFiles/serenade_common.dir/status.cc.o.d"
+  "CMakeFiles/serenade_common.dir/thread_pool.cc.o"
+  "CMakeFiles/serenade_common.dir/thread_pool.cc.o.d"
+  "libserenade_common.a"
+  "libserenade_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compressed_index.cc" "src/core/CMakeFiles/serenade_core.dir/compressed_index.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/compressed_index.cc.o.d"
+  "/root/repo/src/core/session_index.cc" "src/core/CMakeFiles/serenade_core.dir/session_index.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/session_index.cc.o.d"
+  "/root/repo/src/core/variants.cc" "src/core/CMakeFiles/serenade_core.dir/variants.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/variants.cc.o.d"
+  "/root/repo/src/core/vmis_knn.cc" "src/core/CMakeFiles/serenade_core.dir/vmis_knn.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/vmis_knn.cc.o.d"
+  "/root/repo/src/core/vs_knn.cc" "src/core/CMakeFiles/serenade_core.dir/vs_knn.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/vs_knn.cc.o.d"
+  "/root/repo/src/core/weighting.cc" "src/core/CMakeFiles/serenade_core.dir/weighting.cc.o" "gcc" "src/core/CMakeFiles/serenade_core.dir/weighting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

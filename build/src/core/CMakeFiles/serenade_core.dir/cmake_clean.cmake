@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_core.dir/compressed_index.cc.o"
+  "CMakeFiles/serenade_core.dir/compressed_index.cc.o.d"
+  "CMakeFiles/serenade_core.dir/session_index.cc.o"
+  "CMakeFiles/serenade_core.dir/session_index.cc.o.d"
+  "CMakeFiles/serenade_core.dir/variants.cc.o"
+  "CMakeFiles/serenade_core.dir/variants.cc.o.d"
+  "CMakeFiles/serenade_core.dir/vmis_knn.cc.o"
+  "CMakeFiles/serenade_core.dir/vmis_knn.cc.o.d"
+  "CMakeFiles/serenade_core.dir/vs_knn.cc.o"
+  "CMakeFiles/serenade_core.dir/vs_knn.cc.o.d"
+  "CMakeFiles/serenade_core.dir/weighting.cc.o"
+  "CMakeFiles/serenade_core.dir/weighting.cc.o.d"
+  "libserenade_core.a"
+  "libserenade_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

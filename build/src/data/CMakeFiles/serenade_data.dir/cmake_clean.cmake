@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_data.dir/click_log.cc.o"
+  "CMakeFiles/serenade_data.dir/click_log.cc.o.d"
+  "CMakeFiles/serenade_data.dir/csv.cc.o"
+  "CMakeFiles/serenade_data.dir/csv.cc.o.d"
+  "CMakeFiles/serenade_data.dir/split.cc.o"
+  "CMakeFiles/serenade_data.dir/split.cc.o.d"
+  "CMakeFiles/serenade_data.dir/stats.cc.o"
+  "CMakeFiles/serenade_data.dir/stats.cc.o.d"
+  "CMakeFiles/serenade_data.dir/synthetic.cc.o"
+  "CMakeFiles/serenade_data.dir/synthetic.cc.o.d"
+  "libserenade_data.a"
+  "libserenade_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

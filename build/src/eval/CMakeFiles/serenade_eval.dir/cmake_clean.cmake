@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_eval.dir/evaluator.cc.o"
+  "CMakeFiles/serenade_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/serenade_eval.dir/grid_search.cc.o"
+  "CMakeFiles/serenade_eval.dir/grid_search.cc.o.d"
+  "CMakeFiles/serenade_eval.dir/metrics.cc.o"
+  "CMakeFiles/serenade_eval.dir/metrics.cc.o.d"
+  "libserenade_eval.a"
+  "libserenade_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_builder.cc" "src/index/CMakeFiles/serenade_index.dir/index_builder.cc.o" "gcc" "src/index/CMakeFiles/serenade_index.dir/index_builder.cc.o.d"
+  "/root/repo/src/index/index_format.cc" "src/index/CMakeFiles/serenade_index.dir/index_format.cc.o" "gcc" "src/index/CMakeFiles/serenade_index.dir/index_format.cc.o.d"
+  "/root/repo/src/index/updatable_index.cc" "src/index/CMakeFiles/serenade_index.dir/updatable_index.cc.o" "gcc" "src/index/CMakeFiles/serenade_index.dir/updatable_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

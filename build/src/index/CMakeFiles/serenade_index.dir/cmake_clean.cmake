@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_index.dir/index_builder.cc.o"
+  "CMakeFiles/serenade_index.dir/index_builder.cc.o.d"
+  "CMakeFiles/serenade_index.dir/index_format.cc.o"
+  "CMakeFiles/serenade_index.dir/index_format.cc.o.d"
+  "CMakeFiles/serenade_index.dir/updatable_index.cc.o"
+  "CMakeFiles/serenade_index.dir/updatable_index.cc.o.d"
+  "libserenade_index.a"
+  "libserenade_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

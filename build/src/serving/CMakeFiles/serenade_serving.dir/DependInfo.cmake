@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/business_rules.cc" "src/serving/CMakeFiles/serenade_serving.dir/business_rules.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/business_rules.cc.o.d"
+  "/root/repo/src/serving/http.cc" "src/serving/CMakeFiles/serenade_serving.dir/http.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/http.cc.o.d"
+  "/root/repo/src/serving/json.cc" "src/serving/CMakeFiles/serenade_serving.dir/json.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/json.cc.o.d"
+  "/root/repo/src/serving/router.cc" "src/serving/CMakeFiles/serenade_serving.dir/router.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/router.cc.o.d"
+  "/root/repo/src/serving/server.cc" "src/serving/CMakeFiles/serenade_serving.dir/server.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/server.cc.o.d"
+  "/root/repo/src/serving/service.cc" "src/serving/CMakeFiles/serenade_serving.dir/service.cc.o" "gcc" "src/serving/CMakeFiles/serenade_serving.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/serenade_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_serving.dir/business_rules.cc.o"
+  "CMakeFiles/serenade_serving.dir/business_rules.cc.o.d"
+  "CMakeFiles/serenade_serving.dir/http.cc.o"
+  "CMakeFiles/serenade_serving.dir/http.cc.o.d"
+  "CMakeFiles/serenade_serving.dir/json.cc.o"
+  "CMakeFiles/serenade_serving.dir/json.cc.o.d"
+  "CMakeFiles/serenade_serving.dir/router.cc.o"
+  "CMakeFiles/serenade_serving.dir/router.cc.o.d"
+  "CMakeFiles/serenade_serving.dir/server.cc.o"
+  "CMakeFiles/serenade_serving.dir/server.cc.o.d"
+  "CMakeFiles/serenade_serving.dir/service.cc.o"
+  "CMakeFiles/serenade_serving.dir/service.cc.o.d"
+  "libserenade_serving.a"
+  "libserenade_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

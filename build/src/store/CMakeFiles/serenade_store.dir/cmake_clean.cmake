@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_store.dir/session_store.cc.o"
+  "CMakeFiles/serenade_store.dir/session_store.cc.o.d"
+  "CMakeFiles/serenade_store.dir/wal.cc.o"
+  "CMakeFiles/serenade_store.dir/wal.cc.o.d"
+  "libserenade_store.a"
+  "libserenade_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_log_test.dir/click_log_test.cc.o"
+  "CMakeFiles/click_log_test.dir/click_log_test.cc.o.d"
+  "click_log_test"
+  "click_log_test.pdb"
+  "click_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

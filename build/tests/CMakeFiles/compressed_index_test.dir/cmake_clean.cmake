@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_index_test.dir/compressed_index_test.cc.o"
+  "CMakeFiles/compressed_index_test.dir/compressed_index_test.cc.o.d"
+  "compressed_index_test"
+  "compressed_index_test.pdb"
+  "compressed_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

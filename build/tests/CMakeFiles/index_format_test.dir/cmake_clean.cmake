@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_format_test.dir/index_format_test.cc.o"
+  "CMakeFiles/index_format_test.dir/index_format_test.cc.o.d"
+  "index_format_test"
+  "index_format_test.pdb"
+  "index_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narm_rules_test.dir/narm_rules_test.cc.o"
+  "CMakeFiles/narm_rules_test.dir/narm_rules_test.cc.o.d"
+  "narm_rules_test"
+  "narm_rules_test.pdb"
+  "narm_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narm_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

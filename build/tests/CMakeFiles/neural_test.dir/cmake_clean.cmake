@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_test.dir/neural_test.cc.o"
+  "CMakeFiles/neural_test.dir/neural_test.cc.o.d"
+  "neural_test"
+  "neural_test.pdb"
+  "neural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

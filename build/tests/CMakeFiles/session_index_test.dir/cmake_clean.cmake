@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_index_test.dir/session_index_test.cc.o"
+  "CMakeFiles/session_index_test.dir/session_index_test.cc.o.d"
+  "session_index_test"
+  "session_index_test.pdb"
+  "session_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

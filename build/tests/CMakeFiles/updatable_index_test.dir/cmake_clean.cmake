@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updatable_index_test.dir/updatable_index_test.cc.o"
+  "CMakeFiles/updatable_index_test.dir/updatable_index_test.cc.o.d"
+  "updatable_index_test"
+  "updatable_index_test.pdb"
+  "updatable_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updatable_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

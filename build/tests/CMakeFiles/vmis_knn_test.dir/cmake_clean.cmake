@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmis_knn_test.dir/vmis_knn_test.cc.o"
+  "CMakeFiles/vmis_knn_test.dir/vmis_knn_test.cc.o.d"
+  "vmis_knn_test"
+  "vmis_knn_test.pdb"
+  "vmis_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmis_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmis_reference_test.dir/vmis_reference_test.cc.o"
+  "CMakeFiles/vmis_reference_test.dir/vmis_reference_test.cc.o.d"
+  "vmis_reference_test"
+  "vmis_reference_test.pdb"
+  "vmis_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmis_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

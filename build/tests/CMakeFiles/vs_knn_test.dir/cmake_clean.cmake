@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_knn_test.dir/vs_knn_test.cc.o"
+  "CMakeFiles/vs_knn_test.dir/vs_knn_test.cc.o.d"
+  "vs_knn_test"
+  "vs_knn_test.pdb"
+  "vs_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_build_index.dir/serenade_build_index.cc.o"
+  "CMakeFiles/serenade_build_index.dir/serenade_build_index.cc.o.d"
+  "serenade_build_index"
+  "serenade_build_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_build_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

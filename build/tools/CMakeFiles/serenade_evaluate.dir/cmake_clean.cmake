@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_evaluate.dir/serenade_evaluate.cc.o"
+  "CMakeFiles/serenade_evaluate.dir/serenade_evaluate.cc.o.d"
+  "serenade_evaluate"
+  "serenade_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_loadtest.dir/serenade_loadtest.cc.o"
+  "CMakeFiles/serenade_loadtest.dir/serenade_loadtest.cc.o.d"
+  "serenade_loadtest"
+  "serenade_loadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_loadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for serenade_loadtest.
+# This may be replaced when dependencies are built.

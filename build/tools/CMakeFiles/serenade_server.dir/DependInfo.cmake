@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/serenade_server.cc" "tools/CMakeFiles/serenade_server.dir/serenade_server.cc.o" "gcc" "tools/CMakeFiles/serenade_server.dir/serenade_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serving/CMakeFiles/serenade_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/serenade_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/serenade_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/serenade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/serenade_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/serenade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

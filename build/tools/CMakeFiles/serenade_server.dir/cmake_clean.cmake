@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serenade_server.dir/serenade_server.cc.o"
+  "CMakeFiles/serenade_server.dir/serenade_server.cc.o.d"
+  "serenade_server"
+  "serenade_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serenade_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
