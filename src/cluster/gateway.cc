@@ -1,0 +1,526 @@
+#include "cluster/gateway.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/types.h"
+#include "serving/json.h"
+
+namespace serenade {
+
+namespace {
+
+// Equal-jitter exponential backoff: half deterministic, half uniform, so
+// retry storms from concurrent request threads spread out in time.
+uint64_t BackoffWithJitterMs(uint64_t base_ms, uint32_t retry_number) {
+  constexpr uint64_t kMaxBackoffMs = 200;
+  thread_local Rng rng(Mix64(static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()))));
+  uint64_t delay = base_ms << std::min<uint32_t>(retry_number, 6);
+  delay = std::min(delay, kMaxBackoffMs);
+  if (delay == 0) return 0;
+  return delay / 2 + rng.Below(delay / 2 + 1);
+}
+
+}  // namespace
+
+std::string UrlEncodeComponent(const std::string& text) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
+                               GatewayConfig config,
+                               std::unique_ptr<Recommender> fallback)
+    : config_(config),
+      fallback_(std::move(fallback)),
+      ring_(config.virtual_nodes) {
+  backends_.reserve(backends.size());
+  for (BackendEndpoint& endpoint : backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->endpoint = endpoint;
+    ring_.AddNode(endpoint.name);
+    backends_.push_back(std::move(backend));
+  }
+  std::vector<BackendEndpoint> endpoints;
+  endpoints.reserve(backends.size());
+  for (const auto& backend : backends_) endpoints.push_back(backend->endpoint);
+  health_ = std::make_unique<HealthChecker>(std::move(endpoints),
+                                            config_.health);
+}
+
+ClusterGateway::~ClusterGateway() { Stop(); }
+
+Status ClusterGateway::Start() {
+  if (backends_.empty() && fallback_ == nullptr) {
+    return Status::InvalidArgument(
+        "gateway needs at least one backend or a fallback recommender");
+  }
+  // Seed the health view before taking traffic so a dead pod configured
+  // at startup is never routed to.
+  health_->ProbeAllOnce();
+  health_->Start();
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+  Status started = http_->Start(config_.port);
+  if (!started.ok()) health_->Stop();
+  return started;
+}
+
+void ClusterGateway::Stop() {
+  if (http_) http_->Stop();
+  // Hedge losers hold references into our backend pools; wait them out
+  // (each is bounded by forward_timeout_ms).
+  while (inflight_hedges_.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (health_) health_->Stop();
+}
+
+ClusterGateway::Backend* ClusterGateway::FindBackend(const std::string& name) {
+  for (const auto& backend : backends_) {
+    if (backend->endpoint.name == name) return backend.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<HttpClient> ClusterGateway::AcquireClient(Backend& backend,
+                                                          Status* status) {
+  {
+    std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    if (!backend.pool.empty()) {
+      auto client = std::move(backend.pool.back());
+      backend.pool.pop_back();
+      return client;
+    }
+  }
+  HttpClientOptions options;
+  options.connect_timeout_ms = config_.forward_timeout_ms;
+  options.io_timeout_ms = config_.forward_timeout_ms;
+  auto client = std::make_unique<HttpClient>(options);
+  *status = client->Connect(backend.endpoint.port);
+  if (!status->ok()) return nullptr;
+  return client;
+}
+
+void ClusterGateway::ReleaseClient(Backend& backend,
+                                   std::unique_ptr<HttpClient> client,
+                                   bool reusable) {
+  if (!reusable) return;  // drop broken connections on the floor
+  std::lock_guard<std::mutex> lock(backend.pool_mutex);
+  if (backend.pool.size() < config_.max_pooled_clients) {
+    backend.pool.push_back(std::move(client));
+  }
+}
+
+ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
+    Backend& backend, const std::string& target) {
+  AttemptResult result;
+  backend.requests.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch stopwatch;
+
+  Status connect_status = Status::Ok();
+  auto client = AcquireClient(backend, &connect_status);
+  if (client == nullptr) {
+    forward_latency_micros_.Record(stopwatch.ElapsedMicros());
+    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    health_->ReportResult(backend.endpoint.name, false);
+    result.error = std::move(connect_status);
+    return result;
+  }
+
+  auto response = client->Get(target);
+  forward_latency_micros_.Record(stopwatch.ElapsedMicros());
+  const bool transport_ok = response.ok();
+  // Any parsed HTTP response proves the pod is alive; 5xx bodies are
+  // handler bugs, not fleet-membership signals.
+  health_->ReportResult(backend.endpoint.name, transport_ok);
+  ReleaseClient(backend, std::move(client), transport_ok);
+
+  if (!transport_ok) {
+    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    result.error = response.status();
+    return result;
+  }
+  if (response->status >= 500) {
+    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    result.error = Status::Internal("backend " + backend.endpoint.name +
+                                    " returned " +
+                                    std::to_string(response->status));
+    return result;
+  }
+  result.ok = true;
+  result.response = std::move(response).value();
+  return result;
+}
+
+ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
+    Backend& primary, Backend* secondary, const std::string& target) {
+  if (config_.hedge_delay_ms == 0 || secondary == nullptr) {
+    return ForwardOnce(primary, target);
+  }
+
+  struct SharedState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int outstanding = 0;
+    bool have_winner = false;
+    bool winner_was_hedge = false;
+    AttemptResult winner;
+    AttemptResult last_failure;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  auto launch = [this, state, &target](Backend* backend, bool is_hedge) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->outstanding;
+    }
+    inflight_hedges_.fetch_add(1);
+    // Detached: the winner's caller returns immediately, the loser keeps
+    // running (bounded by forward_timeout_ms); Stop() drains via
+    // inflight_hedges_. `target` is copied into the thread.
+    std::thread([this, state, backend, is_hedge,
+                 target_copy = target]() mutable {
+      AttemptResult result = ForwardOnce(*backend, target_copy);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->outstanding;
+        if (result.ok && !state->have_winner) {
+          state->have_winner = true;
+          state->winner_was_hedge = is_hedge;
+          state->winner = std::move(result);
+        } else if (!result.ok) {
+          state->last_failure = std::move(result);
+        }
+      }
+      state->cv.notify_all();
+      inflight_hedges_.fetch_sub(1);
+    }).detach();
+  };
+
+  launch(&primary, /*is_hedge=*/false);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool primary_done = state->cv.wait_for(
+      lock, std::chrono::milliseconds(config_.hedge_delay_ms),
+      [&] { return state->have_winner || state->outstanding == 0; });
+  if (!primary_done) {
+    lock.unlock();
+    hedges_.fetch_add(1, std::memory_order_relaxed);
+    launch(secondary, /*is_hedge=*/true);
+    lock.lock();
+  }
+  state->cv.wait(lock,
+                 [&] { return state->have_winner || state->outstanding == 0; });
+  if (state->have_winner) {
+    if (state->winner_was_hedge) {
+      hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::move(state->winner);
+  }
+  return std::move(state->last_failure);
+}
+
+HttpResponse ClusterGateway::Handle(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return HttpResponse::Error(405, "only GET is supported");
+  }
+  if (request.path == "/recommend") return HandleRecommend(request);
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/stats") return HandleStats();
+  if (request.path == "/metrics") return HandleMetrics();
+  return HttpResponse::Error(404, "unknown path");
+}
+
+HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
+  const std::string session_key = request.Param("session_id");
+  if (session_key.empty()) {
+    return HttpResponse::Error(400, "session_id is required");
+  }
+
+  // Re-encode the query for forwarding (it arrived percent-decoded).
+  std::string target = request.path;
+  char separator = '?';
+  for (const auto& [key, value] : request.query) {
+    target += separator;
+    target += UrlEncodeComponent(key);
+    target += '=';
+    target += UrlEncodeComponent(value);
+    separator = '&';
+  }
+
+  // Ring order per session key: owner first, then deterministic failover
+  // successors; unhealthy pods are skipped, which keeps a session sticky
+  // to one pod while the fleet is stable and re-homes only the ejected
+  // pod's sessions during an outage.
+  const std::vector<std::string> replicas =
+      ring_.ReplicasFor(session_key, backends_.size());
+  std::vector<Backend*> candidates;
+  candidates.reserve(replicas.size());
+  for (const std::string& name : replicas) {
+    if (!health_->IsHealthy(name)) continue;
+    if (Backend* backend = FindBackend(name)) candidates.push_back(backend);
+  }
+
+  AttemptResult last;
+  size_t next_candidate = 0;
+  uint32_t attempts = 0;
+  while (next_candidate < candidates.size() &&
+         attempts < config_.max_attempts) {
+    if (attempts > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t delay =
+          BackoffWithJitterMs(config_.retry_backoff_ms, attempts - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    Backend* primary = candidates[next_candidate];
+    Backend* secondary = (attempts == 0 && next_candidate + 1 < candidates.size())
+                             ? candidates[next_candidate + 1]
+                             : nullptr;
+    const bool hedged = config_.hedge_delay_ms > 0 && secondary != nullptr;
+    last = hedged ? ForwardMaybeHedged(*primary, secondary, target)
+                  : ForwardOnce(*primary, target);
+    if (last.ok) {
+      forwarded_ok_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(last.response);
+    }
+    // A hedged round consumed the primary and its successor.
+    next_candidate += hedged ? 2 : 1;
+    attempts += hedged ? 2 : 1;
+  }
+
+  if (fallback_ != nullptr) return ServeDegraded(request);
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  return HttpResponse::Error(
+      503, candidates.empty() ? "no healthy backend"
+                              : "all forwarding attempts failed: " +
+                                    last.error.ToString());
+}
+
+HttpResponse ClusterGateway::ServeDegraded(const HttpRequest& request) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+
+  EvolvingSession session;
+  uint32_t item = 0;
+  const std::string item_text = request.Param("item_id");
+  const auto parsed = std::from_chars(
+      item_text.data(), item_text.data() + item_text.size(), item);
+  if (parsed.ec == std::errc() &&
+      parsed.ptr == item_text.data() + item_text.size()) {
+    session.push_back(item);
+  }
+
+  std::vector<ScoredItem> items;
+  {
+    std::lock_guard<std::mutex> lock(fallback_mutex_);
+    items = fallback_->RecommendNext(session, config_.fallback_items);
+  }
+
+  JsonWriter writer;
+  writer.BeginObject().Key("items").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<uint64_t>(rec.item));
+  }
+  writer.EndArray().Key("scores").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<double>(rec.score));
+  }
+  writer.EndArray().Key("degraded").Value(true).EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+HttpResponse ClusterGateway::HandleHealthz() {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("status")
+      .Value("ok")
+      .Key("backends")
+      .Value(static_cast<uint64_t>(health_->NumBackends()))
+      .Key("healthy_backends")
+      .Value(static_cast<uint64_t>(health_->NumHealthy()))
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+GatewayCounters ClusterGateway::counters() const {
+  GatewayCounters counters;
+  counters.forwarded_ok = forwarded_ok_.load(std::memory_order_relaxed);
+  counters.degraded = degraded_.load(std::memory_order_relaxed);
+  counters.failed = failed_.load(std::memory_order_relaxed);
+  counters.retries = retries_.load(std::memory_order_relaxed);
+  counters.hedges = hedges_.load(std::memory_order_relaxed);
+  counters.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::vector<BackendCounters> ClusterGateway::backend_counters() const {
+  std::vector<BackendCounters> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    BackendCounters counters;
+    counters.name = backend->endpoint.name;
+    counters.requests = backend->requests.load(std::memory_order_relaxed);
+    counters.errors = backend->errors.load(std::memory_order_relaxed);
+    out.push_back(std::move(counters));
+  }
+  return out;
+}
+
+HttpResponse ClusterGateway::HandleStats() {
+  const GatewayCounters totals = this->counters();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("requests_served")
+      .Value(requests_served())
+      .Key("forwarded_ok")
+      .Value(totals.forwarded_ok)
+      .Key("degraded")
+      .Value(totals.degraded)
+      .Key("failed")
+      .Value(totals.failed)
+      .Key("retries")
+      .Value(totals.retries)
+      .Key("hedges")
+      .Value(totals.hedges)
+      .Key("hedge_wins")
+      .Value(totals.hedge_wins)
+      .Key("healthy_backends")
+      .Value(static_cast<uint64_t>(health_->NumHealthy()))
+      .Key("backends")
+      .BeginArray();
+  const std::vector<BackendHealth> health = health_->Snapshot();
+  for (const auto& backend : backends_) {
+    const std::string& name = backend->endpoint.name;
+    bool healthy = false;
+    uint64_t ejections = 0;
+    for (const BackendHealth& entry : health) {
+      if (entry.name == name) {
+        healthy = entry.healthy;
+        ejections = entry.ejections_total;
+        break;
+      }
+    }
+    writer.BeginObject()
+        .Key("name")
+        .Value(name)
+        .Key("healthy")
+        .Value(healthy)
+        .Key("requests")
+        .Value(backend->requests.load(std::memory_order_relaxed))
+        .Key("errors")
+        .Value(backend->errors.load(std::memory_order_relaxed))
+        .Key("ejections")
+        .Value(ejections)
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+HttpResponse ClusterGateway::HandleMetrics() {
+  const GatewayCounters totals = this->counters();
+  const Histogram latency = forward_latency_micros_.Merged();
+
+  std::string body;
+  char line[256];
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
+                  name, name, static_cast<unsigned long long>(value));
+    body += line;
+  };
+  counter("gateway_requests_total", "requests accepted by the gateway",
+          requests_served());
+  counter("gateway_forwarded_ok_total", "requests answered by a backend",
+          totals.forwarded_ok);
+  counter("gateway_degraded_responses_total",
+          "requests served by the popularity fallback", totals.degraded);
+  counter("gateway_failed_requests_total",
+          "requests that exhausted all attempts", totals.failed);
+  counter("gateway_retries_total", "retry attempts against ring successors",
+          totals.retries);
+  counter("gateway_hedges_total", "hedged second requests launched",
+          totals.hedges);
+  counter("gateway_hedge_wins_total", "hedges that beat the primary",
+          totals.hedge_wins);
+
+  body +=
+      "# HELP gateway_backend_requests_total forwarding attempts per "
+      "backend\n# TYPE gateway_backend_requests_total counter\n";
+  for (const auto& backend : backends_) {
+    std::snprintf(line, sizeof(line),
+                  "gateway_backend_requests_total{backend=\"%s\"} %llu\n",
+                  backend->endpoint.name.c_str(),
+                  static_cast<unsigned long long>(
+                      backend->requests.load(std::memory_order_relaxed)));
+    body += line;
+  }
+  body +=
+      "# HELP gateway_backend_errors_total failed forwarding attempts per "
+      "backend\n# TYPE gateway_backend_errors_total counter\n";
+  for (const auto& backend : backends_) {
+    std::snprintf(line, sizeof(line),
+                  "gateway_backend_errors_total{backend=\"%s\"} %llu\n",
+                  backend->endpoint.name.c_str(),
+                  static_cast<unsigned long long>(
+                      backend->errors.load(std::memory_order_relaxed)));
+    body += line;
+  }
+  body +=
+      "# HELP gateway_backend_healthy whether the backend is routable\n"
+      "# TYPE gateway_backend_healthy gauge\n";
+  for (const BackendHealth& entry : health_->Snapshot()) {
+    std::snprintf(line, sizeof(line),
+                  "gateway_backend_healthy{backend=\"%s\"} %d\n",
+                  entry.name.c_str(), entry.healthy ? 1 : 0);
+    body += line;
+  }
+
+  body +=
+      "# HELP gateway_forward_latency_microseconds per-attempt forwarding "
+      "latency\n# TYPE gateway_forward_latency_microseconds summary\n";
+  for (double quantile : {0.5, 0.75, 0.9, 0.99, 0.995}) {
+    std::snprintf(
+        line, sizeof(line),
+        "gateway_forward_latency_microseconds{quantile=\"%g\"} %llu\n",
+        quantile,
+        static_cast<unsigned long long>(latency.Percentile(quantile)));
+    body += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "gateway_forward_latency_microseconds_count %llu\n",
+                static_cast<unsigned long long>(latency.count()));
+  body += line;
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace serenade

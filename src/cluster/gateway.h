@@ -1,0 +1,154 @@
+// ClusterGateway: the fleet-routing front door of Figure 1. An HTTP
+// server that owns a set of Serenade pod endpoints and routes /recommend
+// by session key over a consistent-hash ring (sticky sessions), with
+// active health checking, bounded retries with exponential backoff and
+// jitter against the next ring replica, optional hedged second requests
+// for tail latency, and graceful degradation to an in-process popularity
+// recommender when the whole fleet is down — the client sees
+// {"degraded":true}, never a 5xx.
+//
+// Routes:
+//   GET /recommend?session_id=<key>&item_id=<id>[...]  -> forwarded
+//   GET /healthz  -> gateway liveness + healthy-backend count
+//   GET /stats    -> aggregate + per-backend counters (JSON)
+//   GET /metrics  -> the same in Prometheus text exposition format
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/health.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "core/recommender.h"
+#include "serving/http.h"
+
+namespace serenade {
+
+struct GatewayConfig {
+  uint16_t port = 0;  ///< 0 = ephemeral
+  /// Virtual nodes per backend on the placement ring.
+  size_t virtual_nodes = 128;
+  /// Per-attempt connect + read deadline when forwarding.
+  uint64_t forward_timeout_ms = 1000;
+  /// Total forwarding attempts per request across ring replicas.
+  uint32_t max_attempts = 3;
+  /// Base backoff before retry n is backoff * 2^(n-1) plus jitter.
+  uint64_t retry_backoff_ms = 2;
+  /// Hedge a second request against the next replica when the primary
+  /// has not answered within this delay (0 = hedging disabled).
+  uint64_t hedge_delay_ms = 0;
+  /// Items served by the degraded-mode fallback recommender.
+  size_t fallback_items = 21;
+  /// Idle keep-alive connections retained per backend.
+  size_t max_pooled_clients = 8;
+  HealthCheckerConfig health;
+};
+
+/// Aggregate gateway counters (monotonic).
+struct GatewayCounters {
+  uint64_t forwarded_ok = 0;       ///< requests answered by a backend
+  uint64_t degraded = 0;           ///< requests served by the fallback
+  uint64_t failed = 0;             ///< requests that returned an error
+  uint64_t retries = 0;            ///< extra attempts after the first
+  uint64_t hedges = 0;             ///< hedged second requests launched
+  uint64_t hedge_wins = 0;         ///< hedges that beat the primary
+};
+
+/// Per-backend forwarding counters (monotonic).
+struct BackendCounters {
+  std::string name;
+  uint64_t requests = 0;  ///< forwarding attempts sent
+  uint64_t errors = 0;    ///< attempts that failed (error status or 5xx)
+};
+
+class ClusterGateway {
+ public:
+  /// `fallback` powers degraded-mode serving; when null, an all-backends-
+  /// down request returns 503 instead.
+  ClusterGateway(std::vector<BackendEndpoint> backends, GatewayConfig config,
+                 std::unique_ptr<Recommender> fallback = nullptr);
+  ~ClusterGateway();
+
+  ClusterGateway(const ClusterGateway&) = delete;
+  ClusterGateway& operator=(const ClusterGateway&) = delete;
+
+  /// Probes the fleet once, then starts the front door and the health
+  /// checker.
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_ ? http_->port() : 0; }
+  HealthChecker& health() { return *health_; }
+  const HashRing& ring() const { return ring_; }
+  uint64_t requests_served() const {
+    return http_ ? http_->requests_served() : 0;
+  }
+  GatewayCounters counters() const;
+  std::vector<BackendCounters> backend_counters() const;
+
+ private:
+  struct Backend {
+    BackendEndpoint endpoint;
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    // Idle keep-alive connections to this backend.
+    std::mutex pool_mutex;
+    std::vector<std::unique_ptr<HttpClient>> pool;
+  };
+
+  // Outcome of one forwarding attempt.
+  struct AttemptResult {
+    bool ok = false;
+    HttpResponse response;
+    Status error;
+  };
+
+  HttpResponse Handle(const HttpRequest& request);
+  HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
+
+  Backend* FindBackend(const std::string& name);
+  AttemptResult ForwardOnce(Backend& backend, const std::string& target);
+  /// Primary attempt, optionally racing a hedged attempt on `secondary`.
+  AttemptResult ForwardMaybeHedged(Backend& primary, Backend* secondary,
+                                   const std::string& target);
+  HttpResponse ServeDegraded(const HttpRequest& request);
+
+  std::unique_ptr<HttpClient> AcquireClient(Backend& backend, Status* status);
+  void ReleaseClient(Backend& backend, std::unique_ptr<HttpClient> client,
+                     bool reusable);
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  GatewayConfig config_;
+  std::unique_ptr<Recommender> fallback_;
+  std::mutex fallback_mutex_;
+  HashRing ring_;
+  std::unique_ptr<HealthChecker> health_;
+  std::unique_ptr<HttpServer> http_;
+
+  ShardedHistogram forward_latency_micros_;
+  std::atomic<uint64_t> forwarded_ok_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  // Detached hedge-loser threads still in flight; Stop() waits for zero
+  // so they never outlive the state they touch.
+  std::atomic<int> inflight_hedges_{0};
+};
+
+/// Percent-encodes a URL query component (inverse of UrlDecode for the
+/// characters that matter in query strings).
+std::string UrlEncodeComponent(const std::string& text);
+
+}  // namespace serenade

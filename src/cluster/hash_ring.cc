@@ -1,0 +1,82 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace serenade {
+
+HashRing::HashRing(size_t virtual_nodes_per_node)
+    : virtual_nodes_per_node_(virtual_nodes_per_node == 0
+                                  ? 1
+                                  : virtual_nodes_per_node) {}
+
+void HashRing::AddNode(const std::string& node) {
+  if (Contains(node)) return;
+  nodes_.insert(std::upper_bound(nodes_.begin(), nodes_.end(), node), node);
+  Rebuild();
+}
+
+void HashRing::RemoveNode(const std::string& node) {
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  Rebuild();
+}
+
+bool HashRing::Contains(const std::string& node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+void HashRing::Rebuild() {
+  ring_.clear();
+  ring_.reserve(nodes_.size() * virtual_nodes_per_node_);
+  for (uint32_t index = 0; index < nodes_.size(); ++index) {
+    const uint64_t node_hash = Fnv1a(nodes_[index]);
+    for (size_t replica = 0; replica < virtual_nodes_per_node_; ++replica) {
+      // Each virtual node gets its own well-mixed point; the points of a
+      // node depend only on its name, so membership changes leave the
+      // surviving nodes' points untouched.
+      ring_.push_back(
+          Point{Mix64(HashCombine(node_hash, replica)), index});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.node_index < b.node_index);
+  });
+}
+
+const std::string& HashRing::NodeFor(std::string_view key) const {
+  assert(!ring_.empty() && "NodeFor on an empty ring");
+  const uint64_t point = Mix64(Fnv1a(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return nodes_[it->node_index];
+}
+
+std::vector<std::string> HashRing::ReplicasFor(std::string_view key,
+                                               size_t max_nodes) const {
+  std::vector<std::string> replicas;
+  if (ring_.empty() || max_nodes == 0) return replicas;
+  const size_t want = std::min(max_nodes, nodes_.size());
+  const uint64_t point = Mix64(Fnv1a(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  std::vector<bool> taken(nodes_.size(), false);
+  for (size_t step = 0; step < ring_.size() && replicas.size() < want;
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!taken[it->node_index]) {
+      taken[it->node_index] = true;
+      replicas.push_back(nodes_[it->node_index]);
+    }
+    ++it;
+  }
+  return replicas;
+}
+
+}  // namespace serenade

@@ -1,0 +1,137 @@
+#include "cluster/health.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "serving/http.h"
+
+namespace serenade {
+
+HealthChecker::HealthChecker(std::vector<BackendEndpoint> backends,
+                             HealthCheckerConfig config)
+    : backends_(std::move(backends)), config_(config) {
+  states_.reserve(backends_.size());
+  for (const BackendEndpoint& endpoint : backends_) {
+    auto state = std::make_unique<State>();
+    state->endpoint = endpoint;
+    states_.push_back(std::move(state));
+  }
+}
+
+HealthChecker::~HealthChecker() { Stop(); }
+
+void HealthChecker::Start() {
+  if (!stopping_.load()) return;  // already running
+  stopping_.store(false);
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+void HealthChecker::Stop() {
+  if (stopping_.exchange(true)) {
+    if (prober_.joinable()) prober_.join();
+    return;
+  }
+  wakeup_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+void HealthChecker::ProbeLoop() {
+  while (!stopping_.load()) {
+    ProbeAllOnce();
+    std::unique_lock<std::mutex> lock(wakeup_mutex_);
+    wakeup_.wait_for(lock,
+                     std::chrono::milliseconds(config_.probe_interval_ms),
+                     [this] { return stopping_.load(); });
+  }
+}
+
+void HealthChecker::ProbeAllOnce() {
+  for (auto& state : states_) {
+    const bool success = ProbeBackend(state->endpoint);
+    ApplyResult(*state, success, /*from_probe=*/true);
+  }
+}
+
+bool HealthChecker::ProbeBackend(const BackendEndpoint& endpoint) const {
+  HttpClientOptions options;
+  options.connect_timeout_ms = config_.probe_timeout_ms;
+  options.io_timeout_ms = config_.probe_timeout_ms;
+  HttpClient client(options);
+  if (!client.Connect(endpoint.port).ok()) return false;
+  auto response = client.Get("/healthz");
+  return response.ok() && response->status == 200;
+}
+
+void HealthChecker::ApplyResult(State& state, bool success, bool from_probe) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (from_probe) {
+    ++state.probes_total;
+    if (!success) ++state.probe_failures_total;
+  }
+  if (success) {
+    state.consecutive_failures = 0;
+    if (!state.healthy &&
+        ++state.consecutive_successes >= config_.successes_to_readmit) {
+      state.healthy = true;
+      state.consecutive_successes = 0;
+      LOG_INFO << "backend " << state.endpoint.name << " readmitted";
+    }
+  } else {
+    state.consecutive_successes = 0;
+    if (state.healthy &&
+        ++state.consecutive_failures >= config_.failures_to_eject) {
+      state.healthy = false;
+      state.consecutive_failures = 0;
+      ++state.ejections_total;
+      LOG_WARNING << "backend " << state.endpoint.name << " ejected";
+    }
+  }
+}
+
+HealthChecker::State* HealthChecker::FindState(const std::string& name) const {
+  for (const auto& state : states_) {
+    if (state->endpoint.name == name) return state.get();
+  }
+  return nullptr;
+}
+
+bool HealthChecker::IsHealthy(const std::string& name) const {
+  const State* state = FindState(name);
+  if (state == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->healthy;
+}
+
+size_t HealthChecker::NumHealthy() const {
+  size_t healthy = 0;
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->healthy) ++healthy;
+  }
+  return healthy;
+}
+
+std::vector<BackendHealth> HealthChecker::Snapshot() const {
+  std::vector<BackendHealth> snapshot;
+  snapshot.reserve(states_.size());
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    BackendHealth health;
+    health.name = state->endpoint.name;
+    health.healthy = state->healthy;
+    health.consecutive_failures = state->consecutive_failures;
+    health.consecutive_successes = state->consecutive_successes;
+    health.probes_total = state->probes_total;
+    health.probe_failures_total = state->probe_failures_total;
+    health.ejections_total = state->ejections_total;
+    snapshot.push_back(std::move(health));
+  }
+  return snapshot;
+}
+
+void HealthChecker::ReportResult(const std::string& name, bool success) {
+  State* state = FindState(name);
+  if (state != nullptr) ApplyResult(*state, success, /*from_probe=*/false);
+}
+
+}  // namespace serenade

@@ -1,0 +1,112 @@
+// Active backend health checking for the cluster gateway: a background
+// thread probes each pod's /healthz on a fixed interval and maintains an
+// ejection/readmission state machine per backend (the in-process stand-in
+// for Kubernetes liveness probes plus istio outlier detection in the
+// paper's Figure 1 deployment).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace serenade {
+
+/// One routable serving pod.
+struct BackendEndpoint {
+  std::string name;  ///< stable identity used in the ring and metrics
+  uint16_t port = 0; ///< 127.0.0.1 port of the pod's HTTP server
+};
+
+struct HealthCheckerConfig {
+  uint64_t probe_interval_ms = 250;  ///< delay between probe rounds
+  uint64_t probe_timeout_ms = 500;   ///< connect + read deadline per probe
+  /// Consecutive probe failures before a healthy backend is ejected.
+  uint32_t failures_to_eject = 2;
+  /// Consecutive probe successes before an ejected backend is readmitted.
+  uint32_t successes_to_readmit = 2;
+};
+
+/// Point-in-time health view of one backend.
+struct BackendHealth {
+  std::string name;
+  bool healthy = true;
+  uint32_t consecutive_failures = 0;
+  uint32_t consecutive_successes = 0;
+  uint64_t probes_total = 0;
+  uint64_t probe_failures_total = 0;
+  uint64_t ejections_total = 0;
+};
+
+/// Thread-safe health registry + prober. Backends start healthy (the
+/// gateway must be able to route before the first probe round lands).
+class HealthChecker {
+ public:
+  HealthChecker(std::vector<BackendEndpoint> backends,
+                HealthCheckerConfig config);
+  ~HealthChecker();
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  /// Starts the background probe loop (idempotent).
+  void Start();
+
+  /// Stops and joins the probe loop.
+  void Stop();
+
+  /// Probes every backend once, synchronously. Used by tests and by the
+  /// gateway at startup so routing decisions never wait a full interval
+  /// for the first health signal.
+  void ProbeAllOnce();
+
+  /// Whether the named backend is currently routable. Unknown names are
+  /// unhealthy.
+  bool IsHealthy(const std::string& name) const;
+
+  size_t NumHealthy() const;
+  size_t NumBackends() const { return backends_.size(); }
+
+  std::vector<BackendHealth> Snapshot() const;
+
+  /// Reports a forwarding outcome observed on the data path. Passive
+  /// signals feed the same ejection counters as active probes, so a
+  /// backend that dies between probe rounds is ejected by the very
+  /// traffic it fails.
+  void ReportResult(const std::string& name, bool success);
+
+ private:
+  struct State {
+    BackendEndpoint endpoint;
+    mutable std::mutex mutex;
+    bool healthy = true;
+    uint32_t consecutive_failures = 0;
+    uint32_t consecutive_successes = 0;
+    uint64_t probes_total = 0;
+    uint64_t probe_failures_total = 0;
+    uint64_t ejections_total = 0;
+  };
+
+  void ProbeLoop();
+  bool ProbeBackend(const BackendEndpoint& endpoint) const;
+  void ApplyResult(State& state, bool success, bool from_probe);
+  State* FindState(const std::string& name) const;
+
+  std::vector<BackendEndpoint> backends_;
+  HealthCheckerConfig config_;
+  // States are stable in memory (vector of unique_ptr) so callers can be
+  // handed references that survive concurrent Snapshot calls.
+  std::vector<std::unique_ptr<State>> states_;
+  std::atomic<bool> stopping_{true};
+  std::thread prober_;
+  std::mutex wakeup_mutex_;
+  std::condition_variable wakeup_;
+};
+
+}  // namespace serenade

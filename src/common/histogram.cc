@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <thread>
+
+#include "common/hash.h"
 
 namespace serenade {
 
@@ -91,6 +94,37 @@ std::string Histogram::Summary() const {
                 static_cast<unsigned long long>(Percentile(0.995)),
                 static_cast<unsigned long long>(max()), Mean());
   return buf;
+}
+
+ShardedHistogram::ShardedHistogram(size_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      shards_(new Shard[num_shards_]) {}
+
+ShardedHistogram::Shard& ShardedHistogram::ShardForThisThread() {
+  const size_t id = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[Mix64(static_cast<uint64_t>(id)) % num_shards_];
+}
+
+void ShardedHistogram::Record(uint64_t value) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histogram.Record(value);
+}
+
+Histogram ShardedHistogram::Merged() const {
+  Histogram merged;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    merged.Merge(shards_[i].histogram);
+  }
+  return merged;
+}
+
+void ShardedHistogram::Clear() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    shards_[i].histogram.Clear();
+  }
 }
 
 }  // namespace serenade

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,36 @@ class Histogram {
   uint64_t min_ = ~0ULL;
   uint64_t max_ = 0;
   double sum_ = 0.0;
+};
+
+/// A histogram sharded across cache-line-separated locks so that many
+/// recording threads (HTTP connection threads, gateway forwarders) do not
+/// serialise on one mutex. Threads are spread over the shards by a hash
+/// of their thread id; Merged() folds all shards into one Histogram for
+/// scraping, which is rare relative to recording.
+class ShardedHistogram {
+ public:
+  explicit ShardedHistogram(size_t num_shards = 16);
+
+  /// Records one observation into the calling thread's shard.
+  void Record(uint64_t value);
+
+  /// Locks each shard in turn and returns the merged view.
+  Histogram Merged() const;
+
+  /// Resets every shard to empty.
+  void Clear();
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    Histogram histogram;
+  };
+
+  Shard& ShardForThisThread();
+
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace serenade

@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code.
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

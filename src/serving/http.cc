@@ -1,8 +1,10 @@
 #include "serving/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -40,14 +42,18 @@ ReadResult ReadUntil(int fd, std::string* buffer, const char* terminator) {
   return ReadResult::kOk;
 }
 
-bool ReadExact(int fd, std::string* buffer, size_t total) {
+ReadResult ReadExact(int fd, std::string* buffer, size_t total) {
   char chunk[4096];
   while (buffer->size() < total) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
+    if (n == 0) return ReadResult::kClosed;
+    if (n < 0) {
+      return (errno == EAGAIN || errno == EWOULDBLOCK) ? ReadResult::kTimeout
+                                                       : ReadResult::kClosed;
+    }
     buffer->append(chunk, static_cast<size_t>(n));
   }
-  return true;
+  return ReadResult::kOk;
 }
 
 bool WriteAll(int fd, const std::string& data) {
@@ -159,7 +165,10 @@ size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
     if (body_length > kMaxBodyBytes) return 0;
   }
   const size_t total = header_end + 4 + body_length;
-  if (buffer->size() < total && !ReadExact(fd, buffer, total)) return 0;
+  if (buffer->size() < total &&
+      ReadExact(fd, buffer, total) != ReadResult::kOk) {
+    return 0;
+  }
   request->body = buffer->substr(header_end + 4, body_length);
   return total;
 }
@@ -337,11 +346,52 @@ Status HttpClient::Connect(uint16_t port) {
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
+
+  if (options_.connect_timeout_ms > 0) {
+    // Non-blocking connect bounded by poll(), so an unresponsive peer
+    // (e.g. a SYN-dropping backend) cannot stall the caller.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                             sizeof(address));
+    if (rc != 0) {
+      if (errno != EINPROGRESS) {
+        Close();
+        return Status::Unavailable("connect() failed to port " +
+                                   std::to_string(port));
+      }
+      pollfd pending{fd_, POLLOUT, 0};
+      const int ready =
+          ::poll(&pending, 1, static_cast<int>(options_.connect_timeout_ms));
+      if (ready == 0) {
+        Close();
+        return Status::DeadlineExceeded("connect timed out to port " +
+                                        std::to_string(port));
+      }
+      int error = 0;
+      socklen_t length = sizeof(error);
+      if (ready < 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &length) != 0 ||
+          error != 0) {
+        Close();
+        return Status::Unavailable("connect() failed to port " +
+                                   std::to_string(port));
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                       sizeof(address)) != 0) {
     Close();
     return Status::Unavailable("connect() failed to port " +
                                std::to_string(port));
+  }
+
+  if (options_.io_timeout_ms > 0) {
+    timeval timeout{
+        static_cast<time_t>(options_.io_timeout_ms / 1000),
+        static_cast<suseconds_t>((options_.io_timeout_ms % 1000) * 1000)};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
   }
   port_ = port;
   return Status::Ok();
@@ -356,11 +406,21 @@ void HttpClient::Close() {
 
 StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   if (fd_ < 0) return Status::Unavailable("not connected");
-  if (!WriteAll(fd_, request_text)) return Status::IoError("send failed");
+  if (!WriteAll(fd_, request_text)) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("send timed out");
+    }
+    return Status::IoError("send failed");
+  }
 
   std::string buffer;
-  if (ReadUntil(fd_, &buffer, "\r\n\r\n") != ReadResult::kOk) {
-    return Status::IoError("connection closed while reading headers");
+  switch (ReadUntil(fd_, &buffer, "\r\n\r\n")) {
+    case ReadResult::kOk:
+      break;
+    case ReadResult::kTimeout:
+      return Status::DeadlineExceeded("read timed out waiting for headers");
+    case ReadResult::kClosed:
+      return Status::IoError("connection closed while reading headers");
   }
   const size_t header_end = buffer.find("\r\n\r\n");
   const std::string head = buffer.substr(0, header_end);
@@ -378,6 +438,11 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   if (cl != std::string::npos) {
     body_length = static_cast<size_t>(
         std::strtoull(head.c_str() + cl + 15, nullptr, 10));
+    if (body_length > kMaxBodyBytes) {
+      return Status::Corruption("response body of " +
+                                std::to_string(body_length) +
+                                " bytes exceeds the client limit");
+    }
   }
   const size_t ct = lower_head.find("content-type:");
   if (ct != std::string::npos) {
@@ -390,8 +455,15 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
     response.content_type = head.substr(value_start, value_end - value_start);
   }
   const size_t total = header_end + 4 + body_length;
-  if (buffer.size() < total && !ReadExact(fd_, &buffer, total)) {
-    return Status::IoError("connection closed while reading body");
+  if (buffer.size() < total) {
+    switch (ReadExact(fd_, &buffer, total)) {
+      case ReadResult::kOk:
+        break;
+      case ReadResult::kTimeout:
+        return Status::DeadlineExceeded("read timed out mid-body");
+      case ReadResult::kClosed:
+        return Status::IoError("connection closed while reading body");
+    }
   }
   response.body = buffer.substr(header_end + 4, body_length);
   return response;
@@ -402,7 +474,8 @@ StatusOr<HttpResponse> HttpClient::Get(const std::string& path_and_query) {
                                    " HTTP/1.1\r\nHost: localhost\r\n"
                                    "Connection: keep-alive\r\n\r\n";
   auto response = RoundTrip(request_text);
-  if (!response.ok() && fd_ >= 0) {
+  if (!response.ok() && fd_ >= 0 &&
+      response.status().code() != StatusCode::kDeadlineExceeded) {
     // Stale keep-alive connection: reconnect once and retry.
     SERENADE_RETURN_IF_ERROR(Connect(port_));
     return RoundTrip(request_text);
@@ -419,7 +492,8 @@ StatusOr<HttpResponse> HttpClient::Post(const std::string& path_and_query,
       "Content-Length: " + std::to_string(body.size()) +
       "\r\nConnection: keep-alive\r\n\r\n" + body;
   auto response = RoundTrip(request_text);
-  if (!response.ok() && fd_ >= 0) {
+  if (!response.ok() && fd_ >= 0 &&
+      response.status().code() != StatusCode::kDeadlineExceeded) {
     SERENADE_RETURN_IF_ERROR(Connect(port_));
     return RoundTrip(request_text);
   }

@@ -81,20 +81,31 @@ class HttpServer {
   std::atomic<uint64_t> requests_served_{0};
 };
 
+/// Deadlines for HttpClient operations; 0 means "wait forever" (the
+/// historical behaviour, still used by trusted in-process tests).
+struct HttpClientOptions {
+  uint64_t connect_timeout_ms = 0;  ///< non-blocking connect deadline
+  uint64_t io_timeout_ms = 0;       ///< per-recv/send deadline (SO_*TIMEO)
+};
+
 /// Blocking HTTP/1.1 client with keep-alive: one instance per connection.
+/// With deadlines configured, a stalled peer surfaces as a distinct
+/// kDeadlineExceeded status instead of blocking the caller forever.
 class HttpClient {
  public:
   HttpClient() = default;
+  explicit HttpClient(HttpClientOptions options) : options_(options) {}
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Connects to 127.0.0.1:port.
+  /// Connects to 127.0.0.1:port. Honours connect_timeout_ms.
   Status Connect(uint16_t port);
 
   /// Sends a GET and reads the full response. Reconnects once on a stale
-  /// keep-alive connection.
+  /// keep-alive connection (but never retries after a timeout: the peer
+  /// is slow, not stale, and a retry would double the wait).
   StatusOr<HttpResponse> Get(const std::string& path_and_query);
 
   /// Sends a POST with the given body (Content-Type: application/json).
@@ -103,9 +114,12 @@ class HttpClient {
 
   void Close();
 
+  const HttpClientOptions& options() const { return options_; }
+
  private:
   StatusOr<HttpResponse> RoundTrip(const std::string& request_text);
 
+  HttpClientOptions options_;
   int fd_ = -1;
   uint16_t port_ = 0;
 };

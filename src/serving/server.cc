@@ -46,10 +46,7 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
   if (request.path == "/recommend") {
     Stopwatch stopwatch;
     HttpResponse response = HandleRecommend(request);
-    {
-      std::lock_guard<std::mutex> lock(latency_mutex_);
-      recommend_latency_micros_.Record(stopwatch.ElapsedMicros());
-    }
+    recommend_latency_micros_.Record(stopwatch.ElapsedMicros());
     return response;
   }
   if (request.path == "/healthz") {
@@ -98,11 +95,7 @@ HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request) {
 
 HttpResponse SerenadeServer::HandleMetrics() {
   const SessionStoreStats stats = service_->StoreStats();
-  Histogram latency;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    latency = recommend_latency_micros_;
-  }
+  const Histogram latency = recommend_latency_micros_.Merged();
 
   std::string body;
   char line[160];

@@ -11,7 +11,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/histogram.h"
@@ -54,9 +53,10 @@ class SerenadeServer {
   std::atomic<bool> stopping_{false};
   std::thread janitor_;
 
-  // Server-side latency of /recommend handling, for /metrics.
-  mutable std::mutex latency_mutex_;
-  Histogram recommend_latency_micros_;
+  // Server-side latency of /recommend handling, for /metrics. Sharded so
+  // concurrent connection threads don't serialise on one lock; merged on
+  // scrape.
+  ShardedHistogram recommend_latency_micros_;
 };
 
 }  // namespace serenade

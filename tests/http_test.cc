@@ -1,6 +1,12 @@
 #include "serving/http.h"
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -148,6 +154,156 @@ TEST(HttpServerTest, HandlerExceptionYields500) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status, 500);
   server.Stop();
+}
+
+// --- client failure paths ---------------------------------------------------
+
+// A raw TCP listener that feeds each accepted connection to a scripted
+// session — for serving deliberately broken HTTP that HttpServer would
+// never produce.
+class RawServer {
+ public:
+  explicit RawServer(std::function<void(int fd)> session)
+      : session_(std::move(session)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (listen_fd_ < 0 ||
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      std::abort();  // test infrastructure failure, not a test outcome
+    }
+    socklen_t length = sizeof(address);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+    port_ = ntohs(address.sin_port);
+    acceptor_ = std::thread([this] {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed
+        session_(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~RawServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  std::function<void(int)> session_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+};
+
+// Reads until the request's blank line so the peer is not reset before it
+// finishes sending.
+void DrainRequest(int fd) {
+  std::string seen;
+  char c;
+  while (seen.find("\r\n\r\n") == std::string::npos &&
+         ::recv(fd, &c, 1, 0) == 1) {
+    seen.push_back(c);
+  }
+}
+
+TEST(HttpClientFailureTest, ConnectionRefused) {
+  // Grab an ephemeral port, then close the listener so nothing is there.
+  uint16_t dead_port = 0;
+  {
+    HttpServer server(EchoHandler);
+    ASSERT_TRUE(server.Start(0).ok());
+    dead_port = server.port();
+    server.Stop();
+  }
+  HttpClient client(HttpClientOptions{.connect_timeout_ms = 500});
+  const Status status = client.Connect(dead_port);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(HttpClientFailureTest, ReadTimeoutSurfacesAsDeadlineExceeded) {
+  RawServer server([](int fd) {
+    DrainRequest(fd);
+    // Never answer; the client's SO_RCVTIMEO must fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+  HttpClient client(
+      HttpClientOptions{.connect_timeout_ms = 500, .io_timeout_ms = 50});
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/slow");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HttpClientFailureTest, MidBodyConnectionReset) {
+  RawServer server([](int fd) {
+    DrainRequest(fd);
+    const char kPartial[] =
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+        "Content-Length: 1000\r\n\r\nonly-a-few-bytes";
+    ::send(fd, kPartial, sizeof(kPartial) - 1, MSG_NOSIGNAL);
+    // close() without the remaining 984 bytes: mid-body reset.
+  });
+  HttpClient client(
+      HttpClientOptions{.connect_timeout_ms = 500, .io_timeout_ms = 500});
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/truncated");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientFailureTest, TruncatedHeaders) {
+  RawServer server([](int fd) {
+    DrainRequest(fd);
+    const char kHalfHeader[] = "HTTP/1.1 200 OK\r\nContent-Le";
+    ::send(fd, kHalfHeader, sizeof(kHalfHeader) - 1, MSG_NOSIGNAL);
+  });
+  HttpClient client(
+      HttpClientOptions{.connect_timeout_ms = 500, .io_timeout_ms = 500});
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/half");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientFailureTest, OversizedResponseRejected) {
+  RawServer server([](int fd) {
+    DrainRequest(fd);
+    const char kHuge[] =
+        "HTTP/1.1 200 OK\r\nContent-Length: 104857600\r\n\r\n";
+    ::send(fd, kHuge, sizeof(kHuge) - 1, MSG_NOSIGNAL);
+  });
+  HttpClient client(
+      HttpClientOptions{.connect_timeout_ms = 500, .io_timeout_ms = 500});
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/huge");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCorruption);
+}
+
+TEST(HttpClientFailureTest, GarbageStatusLine) {
+  RawServer server([](int fd) {
+    DrainRequest(fd);
+    const char kGarbage[] = "NONSENSE NOISE\r\n\r\n";
+    ::send(fd, kGarbage, sizeof(kGarbage) - 1, MSG_NOSIGNAL);
+  });
+  HttpClient client(
+      HttpClientOptions{.connect_timeout_ms = 500, .io_timeout_ms = 500});
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto response = client.Get("/garbage");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCorruption);
 }
 
 TEST(HttpServerTest, MalformedRequestRejected) {
