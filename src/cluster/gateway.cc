@@ -418,10 +418,12 @@ HttpResponse ClusterGateway::HandleStats() {
     const std::string& name = backend->endpoint.name;
     bool healthy = false;
     uint64_t ejections = 0;
+    uint64_t index_version = 0;
     for (const BackendHealth& entry : health) {
       if (entry.name == name) {
         healthy = entry.healthy;
         ejections = entry.ejections_total;
+        index_version = entry.index_version;
         break;
       }
     }
@@ -430,6 +432,8 @@ HttpResponse ClusterGateway::HandleStats() {
         .Value(name)
         .Key("healthy")
         .Value(healthy)
+        .Key("index_version")
+        .Value(index_version)
         .Key("requests")
         .Value(backend->requests.load(std::memory_order_relaxed))
         .Key("errors")
@@ -494,10 +498,22 @@ HttpResponse ClusterGateway::HandleMetrics() {
   body +=
       "# HELP gateway_backend_healthy whether the backend is routable\n"
       "# TYPE gateway_backend_healthy gauge\n";
-  for (const BackendHealth& entry : health_->Snapshot()) {
+  const std::vector<BackendHealth> health_snapshot = health_->Snapshot();
+  for (const BackendHealth& entry : health_snapshot) {
     std::snprintf(line, sizeof(line),
                   "gateway_backend_healthy{backend=\"%s\"} %d\n",
                   entry.name.c_str(), entry.healthy ? 1 : 0);
+    body += line;
+  }
+  body +=
+      "# HELP gateway_backend_index_version index snapshot version last "
+      "reported by the backend\n"
+      "# TYPE gateway_backend_index_version gauge\n";
+  for (const BackendHealth& entry : health_snapshot) {
+    std::snprintf(line, sizeof(line),
+                  "gateway_backend_index_version{backend=\"%s\"} %llu\n",
+                  entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.index_version));
     body += line;
   }
 

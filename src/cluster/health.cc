@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "serving/http.h"
+#include "serving/json.h"
 
 namespace serenade {
 
@@ -47,26 +48,43 @@ void HealthChecker::ProbeLoop() {
 
 void HealthChecker::ProbeAllOnce() {
   for (auto& state : states_) {
-    const bool success = ProbeBackend(state->endpoint);
-    ApplyResult(*state, success, /*from_probe=*/true);
+    const ProbeOutcome outcome = ProbeBackend(state->endpoint);
+    ApplyResult(*state, outcome.ok, /*from_probe=*/true,
+                outcome.index_version);
   }
 }
 
-bool HealthChecker::ProbeBackend(const BackendEndpoint& endpoint) const {
+HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(
+    const BackendEndpoint& endpoint) const {
+  ProbeOutcome outcome;
   HttpClientOptions options;
   options.connect_timeout_ms = config_.probe_timeout_ms;
   options.io_timeout_ms = config_.probe_timeout_ms;
   HttpClient client(options);
-  if (!client.Connect(endpoint.port).ok()) return false;
+  if (!client.Connect(endpoint.port).ok()) return outcome;
   auto response = client.Get("/healthz");
-  return response.ok() && response->status == 200;
+  if (!response.ok() || response->status != 200) return outcome;
+  outcome.ok = true;
+  // Pods report their published index snapshot version in /healthz; pick
+  // it up so the gateway can observe a mid-rollout mixed-version fleet.
+  // Older pods (or non-Serenade backends) simply don't carry the field.
+  if (auto doc = ParseJson(response->body); doc.ok()) {
+    if (const JsonValue* version = doc->Find("index_version")) {
+      outcome.index_version = static_cast<uint64_t>(version->AsInt());
+    }
+  }
+  return outcome;
 }
 
-void HealthChecker::ApplyResult(State& state, bool success, bool from_probe) {
+void HealthChecker::ApplyResult(State& state, bool success, bool from_probe,
+                                uint64_t index_version) {
   std::lock_guard<std::mutex> lock(state.mutex);
   if (from_probe) {
     ++state.probes_total;
     if (!success) ++state.probe_failures_total;
+  }
+  if (success && index_version != 0) {
+    state.index_version = index_version;
   }
   if (success) {
     state.consecutive_failures = 0;
@@ -124,9 +142,17 @@ std::vector<BackendHealth> HealthChecker::Snapshot() const {
     health.probes_total = state->probes_total;
     health.probe_failures_total = state->probe_failures_total;
     health.ejections_total = state->ejections_total;
+    health.index_version = state->index_version;
     snapshot.push_back(std::move(health));
   }
   return snapshot;
+}
+
+uint64_t HealthChecker::IndexVersion(const std::string& name) const {
+  const State* state = FindState(name);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->index_version;
 }
 
 void HealthChecker::ReportResult(const std::string& name, bool success) {

@@ -42,6 +42,11 @@ struct BackendHealth {
   uint64_t probes_total = 0;
   uint64_t probe_failures_total = 0;
   uint64_t ejections_total = 0;
+  /// Index snapshot version the pod reported on its last successful
+  /// /healthz probe (0 = not yet observed). During a rolling index swap
+  /// the fleet serves mixed versions; this makes the rollout observable
+  /// from the gateway's /stats and /metrics.
+  uint64_t index_version = 0;
 };
 
 /// Thread-safe health registry + prober. Backends start healthy (the
@@ -73,6 +78,9 @@ class HealthChecker {
   size_t NumHealthy() const;
   size_t NumBackends() const { return backends_.size(); }
 
+  /// Last index version reported by the named backend (0 = unknown).
+  uint64_t IndexVersion(const std::string& name) const;
+
   std::vector<BackendHealth> Snapshot() const;
 
   /// Reports a forwarding outcome observed on the data path. Passive
@@ -91,11 +99,19 @@ class HealthChecker {
     uint64_t probes_total = 0;
     uint64_t probe_failures_total = 0;
     uint64_t ejections_total = 0;
+    uint64_t index_version = 0;
+  };
+
+  // Result of one active /healthz probe.
+  struct ProbeOutcome {
+    bool ok = false;
+    uint64_t index_version = 0;  ///< 0 when absent from the response
   };
 
   void ProbeLoop();
-  bool ProbeBackend(const BackendEndpoint& endpoint) const;
-  void ApplyResult(State& state, bool success, bool from_probe);
+  ProbeOutcome ProbeBackend(const BackendEndpoint& endpoint) const;
+  void ApplyResult(State& state, bool success, bool from_probe,
+                   uint64_t index_version = 0);
   State* FindState(const std::string& name) const;
 
   std::vector<BackendEndpoint> backends_;

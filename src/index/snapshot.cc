@@ -1,0 +1,270 @@
+#include "index/snapshot.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "index/index_format.h"
+
+namespace serenade {
+
+namespace {
+
+constexpr char kManifestMagic[] = "serenade-index-manifest v1";
+
+Status ParseUint64(const std::string& text, uint64_t* out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return Status::Corruption("manifest: bad integer '" + text + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ManifestPathFor(const std::string& index_path) {
+  return index_path + ".manifest";
+}
+
+Status WriteManifestFile(const std::string& path,
+                         const IndexManifest& manifest) {
+  std::ostringstream out;
+  out << kManifestMagic << "\n"
+      << "version=" << manifest.version << "\n"
+      << "build_id=" << manifest.build_id << "\n"
+      << "built_unix=" << manifest.built_unix << "\n"
+      << "source=" << manifest.source << "\n"
+      << "m=" << manifest.max_sessions_per_item << "\n"
+      << "num_sessions=" << manifest.num_sessions << "\n"
+      << "num_items=" << manifest.num_items << "\n"
+      << "num_postings=" << manifest.num_postings << "\n"
+      << "index_bytes=" << manifest.index_bytes << "\n"
+      << "index_crc32=" << manifest.index_crc32 << "\n";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << out.str();
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<IndexManifest> ReadManifestFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("no manifest at " + path);
+  std::string line;
+  if (!std::getline(file, line) || line != kManifestMagic) {
+    return Status::Corruption("manifest: bad magic in " + path);
+  }
+  IndexManifest manifest;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::Corruption("manifest: malformed line '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "build_id") {
+      manifest.build_id = value;
+    } else if (key == "source") {
+      manifest.source = value;
+    } else if (key == "version") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.version));
+    } else if (key == "built_unix") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.built_unix));
+    } else if (key == "m") {
+      SERENADE_RETURN_IF_ERROR(
+          ParseUint64(value, &manifest.max_sessions_per_item));
+    } else if (key == "num_sessions") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.num_sessions));
+    } else if (key == "num_items") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.num_items));
+    } else if (key == "num_postings") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.num_postings));
+    } else if (key == "index_bytes") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.index_bytes));
+    } else if (key == "index_crc32") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &number));
+      manifest.index_crc32 = static_cast<uint32_t>(number);
+    }
+    // Unknown keys are skipped so future pipelines can add fields.
+  }
+  return manifest;
+}
+
+StatusOr<IndexManifest> WriteIndexWithManifest(const std::string& path,
+                                               const SessionIndex& index,
+                                               IndexManifest manifest) {
+  const std::string bytes = SerializeIndex(index);
+  manifest.max_sessions_per_item = index.max_sessions_per_item();
+  manifest.num_sessions = index.num_sessions();
+  manifest.num_items = index.num_items();
+  manifest.num_postings = index.num_postings();
+  manifest.index_bytes = bytes.size();
+  manifest.index_crc32 = Crc32(bytes.data(), bytes.size());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+
+  SERENADE_RETURN_IF_ERROR(WriteManifestFile(ManifestPathFor(path), manifest));
+  return manifest;
+}
+
+Status ValidateIndexForKnn(const SessionIndex& index, size_t knn_m) {
+  if (knn_m > index.max_sessions_per_item()) {
+    return Status::InvalidArgument(
+        "knn.m exceeds the index's max_sessions_per_item; rebuild the index "
+        "with a larger m");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<const IndexSnapshot>> IndexManager::LoadSnapshot(
+    const std::string& path, size_t knn_m) const {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on " + path);
+  const std::string bytes = buffer.str();
+
+  IndexManifest manifest;
+  auto sidecar = ReadManifestFile(ManifestPathFor(path));
+  if (sidecar.ok()) {
+    manifest = std::move(sidecar).value();
+    // The sidecar pins the exact artifact it was stamped for; a mismatch
+    // means a torn rollout (index replaced, manifest not, or vice versa).
+    if (manifest.index_bytes != 0 && manifest.index_bytes != bytes.size()) {
+      return Status::Corruption("manifest/index size mismatch for " + path);
+    }
+    if (manifest.index_bytes != 0 &&
+        manifest.index_crc32 != Crc32(bytes.data(), bytes.size())) {
+      return Status::Corruption("manifest/index CRC mismatch for " + path);
+    }
+  } else if (sidecar.status().code() != StatusCode::kNotFound) {
+    return sidecar.status();
+  }
+
+  // Section CRCs + structural validation happen inside the deserializer.
+  auto index = DeserializeIndex(bytes);
+  if (!index.ok()) return index.status();
+  auto shared = std::make_shared<const SessionIndex>(std::move(index).value());
+
+  SERENADE_RETURN_IF_ERROR(ValidateIndexForKnn(*shared, knn_m));
+
+  manifest.max_sessions_per_item = shared->max_sessions_per_item();
+  manifest.num_sessions = shared->num_sessions();
+  manifest.num_items = shared->num_items();
+  manifest.num_postings = shared->num_postings();
+  if (manifest.source.empty()) manifest.source = path;
+  return std::make_shared<const IndexSnapshot>(std::move(shared),
+                                               std::move(manifest));
+}
+
+StatusOr<std::shared_ptr<IndexManager>> IndexManager::CreateFromFile(
+    const std::string& path) {
+  auto manager = std::shared_ptr<IndexManager>(new IndexManager());
+  auto snapshot = manager->LoadSnapshot(path, /*knn_m=*/0);
+  if (!snapshot.ok()) return snapshot.status();
+  auto loaded = std::move(snapshot).value();
+  if (loaded->version() == 0) {
+    // Unversioned artifact (no sidecar): boot as version 1.
+    IndexManifest manifest = loaded->manifest();
+    manifest.version = 1;
+    loaded = std::make_shared<const IndexSnapshot>(loaded->index_ptr(),
+                                                   std::move(manifest));
+  }
+  manager->current_.store(loaded, std::memory_order_release);
+  manager->source_path_ = path;
+  return manager;
+}
+
+std::shared_ptr<IndexManager> IndexManager::CreateFromIndex(
+    std::shared_ptr<const SessionIndex> index, uint64_t version) {
+  auto manager = std::shared_ptr<IndexManager>(new IndexManager());
+  IndexManifest manifest;
+  manifest.version = version == 0 ? 1 : version;
+  manifest.source = "in-memory";
+  manifest.max_sessions_per_item = index->max_sessions_per_item();
+  manifest.num_sessions = index->num_sessions();
+  manifest.num_items = index->num_items();
+  manifest.num_postings = index->num_postings();
+  manager->current_.store(std::make_shared<const IndexSnapshot>(
+                              std::move(index), std::move(manifest)),
+                          std::memory_order_release);
+  return manager;
+}
+
+Status IndexManager::RequireKnnCompatibility(size_t knn_m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SERENADE_RETURN_IF_ERROR(ValidateIndexForKnn(Current()->index(), knn_m));
+  required_knn_m_ = std::max(required_knn_m_, knn_m);
+  return Status::Ok();
+}
+
+Status IndexManager::ReloadFromFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string target = path.empty() ? source_path_ : path;
+  if (target.empty()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "no reload path given and the current snapshot is not file-backed");
+  }
+  auto snapshot = LoadSnapshot(target, required_knn_m_);
+  if (!snapshot.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return snapshot.status();
+  }
+  auto loaded = std::move(snapshot).value();
+  if (loaded->version() == 0 || loaded->version() == current_version()) {
+    // Unversioned artifact, or a pipeline that reuses version numbers:
+    // force a visible version bump so the fleet can observe the rollout.
+    IndexManifest manifest = loaded->manifest();
+    manifest.version = current_version() + 1;
+    loaded = std::make_shared<const IndexSnapshot>(loaded->index_ptr(),
+                                                   std::move(manifest));
+  }
+  current_.store(std::move(loaded), std::memory_order_release);
+  source_path_ = target;
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status IndexManager::Publish(std::shared_ptr<const SessionIndex> index,
+                             IndexManifest manifest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index == nullptr) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("cannot publish a null index");
+  }
+  if (Status valid = ValidateIndexForKnn(*index, required_knn_m_);
+      !valid.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+  if (manifest.version == 0) manifest.version = current_version() + 1;
+  if (manifest.source.empty()) manifest.source = "in-memory";
+  manifest.max_sessions_per_item = index->max_sessions_per_item();
+  manifest.num_sessions = index->num_sessions();
+  manifest.num_items = index->num_items();
+  manifest.num_postings = index->num_postings();
+  current_.store(std::make_shared<const IndexSnapshot>(std::move(index),
+                                                       std::move(manifest)),
+                 std::memory_order_release);
+  source_path_.clear();
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+std::string IndexManager::source_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return source_path_.empty() ? Current()->manifest().source : source_path_;
+}
+
+}  // namespace serenade

@@ -1,0 +1,163 @@
+// Versioned index snapshots and zero-downtime hot swap — the serving-side
+// half of the paper's nightly index rollout (Figure 1: the Spark job
+// regenerates the VMIS-kNN index and distributes it to every serving
+// pod). A pod must pick up a fresh index without restarting or dropping
+// traffic, so index consumption is structured RCU-style:
+//
+//   * IndexSnapshot — an immutable (index, version, provenance) triple.
+//     Readers pin a snapshot with a shared_ptr for the duration of one
+//     request; the snapshot (and the index it holds) is freed only when
+//     the last pin drops, never under a live reader.
+//   * IndexManager — loads index artifacts, validates them (section CRCs
+//     via the deserializer, whole-file CRC against the manifest, and the
+//     serving configuration's knn.m compatibility), and publishes the
+//     winner through an atomic handle. Publication is a single atomic
+//     pointer store: concurrent readers see either the old or the new
+//     snapshot, never a torn state. A failed load/validation leaves the
+//     current snapshot untouched.
+//   * IndexManifest — the sidecar stamped next to the artifact by
+//     serenade_build_index (the stand-in for the batch job's rollout
+//     metadata): version, build id, corpus counts, and a CRC-32 of the
+//     artifact bytes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/session_index.h"
+
+namespace serenade {
+
+/// Rollout metadata for one index artifact. Stamped as a `<path>.manifest`
+/// sidecar (plain `key=value` lines, human-readable and dependency-free).
+struct IndexManifest {
+  uint64_t version = 0;        ///< rollout version (monotone per pipeline)
+  std::string build_id;        ///< free-form build identifier
+  uint64_t built_unix = 0;     ///< build wall-clock (seconds since epoch)
+  std::string source;          ///< training-data provenance
+  uint64_t max_sessions_per_item = 0;  ///< the index's m
+  uint64_t num_sessions = 0;
+  uint64_t num_items = 0;
+  uint64_t num_postings = 0;
+  uint64_t index_bytes = 0;    ///< artifact size (0 = unknown)
+  uint32_t index_crc32 = 0;    ///< CRC-32 of the artifact bytes (with bytes)
+};
+
+/// `<index path>.manifest`.
+std::string ManifestPathFor(const std::string& index_path);
+
+/// Serializes/parses the sidecar format. ReadManifestFile returns
+/// kNotFound when no sidecar exists (callers treat that as "unversioned
+/// artifact", not an error).
+Status WriteManifestFile(const std::string& path,
+                         const IndexManifest& manifest);
+StatusOr<IndexManifest> ReadManifestFile(const std::string& path);
+
+/// Writes the artifact and its manifest sidecar in one step, filling the
+/// manifest's corpus counts, size, and CRC from the serialized bytes.
+/// `manifest.version`, `build_id`, and `source` are taken from the caller.
+StatusOr<IndexManifest> WriteIndexWithManifest(const std::string& path,
+                                               const SessionIndex& index,
+                                               IndexManifest manifest);
+
+/// The shared knn.m-vs-index compatibility check: a serving configuration
+/// that samples m candidate sessions per item needs an index that retained
+/// at least that many. Used by SerenadeService::Create *and* by every
+/// IndexManager reload so a bad nightly artifact is rejected before it is
+/// published (identical error text on both paths, by construction).
+Status ValidateIndexForKnn(const SessionIndex& index, size_t knn_m);
+
+/// One immutable published index version. Request handlers pin it for the
+/// request lifetime; pooled per-thread recommenders pin it for as long as
+/// their scratch state points into the index.
+class IndexSnapshot {
+ public:
+  IndexSnapshot(std::shared_ptr<const SessionIndex> index,
+                IndexManifest manifest)
+      : index_(std::move(index)), manifest_(std::move(manifest)) {}
+
+  const SessionIndex& index() const { return *index_; }
+  std::shared_ptr<const SessionIndex> index_ptr() const { return index_; }
+  const IndexManifest& manifest() const { return manifest_; }
+  uint64_t version() const { return manifest_.version; }
+
+ private:
+  std::shared_ptr<const SessionIndex> index_;
+  IndexManifest manifest_;
+};
+
+/// Loads, validates, and atomically publishes index snapshots. Readers
+/// call Current() (wait-free pin); writers serialize on an internal mutex
+/// and swap the handle only after the replacement fully validated.
+class IndexManager {
+ public:
+  /// Boots a manager from an on-disk artifact (manifest sidecar honoured
+  /// when present). The initial snapshot is validated like any reload.
+  static StatusOr<std::shared_ptr<IndexManager>> CreateFromFile(
+      const std::string& path);
+
+  /// Boots a manager from an in-memory index (tests, benches, and the
+  /// single-index compatibility path of SerenadeService::Create). The
+  /// snapshot gets version `version` and source "in-memory" unless a
+  /// manifest is supplied.
+  static std::shared_ptr<IndexManager> CreateFromIndex(
+      std::shared_ptr<const SessionIndex> index, uint64_t version = 1);
+
+  /// Pins the currently published snapshot. Never null after construction.
+  std::shared_ptr<const IndexSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  uint64_t current_version() const { return Current()->version(); }
+
+  /// Registers a serving configuration's m with the manager: validates the
+  /// current snapshot now and guards every future reload against it.
+  /// Multiple services may register; the largest m wins.
+  Status RequireKnnCompatibility(size_t knn_m);
+
+  /// Loads `path` (or the last loaded path when empty), validates it, and
+  /// publishes it as the new current snapshot. On any failure the current
+  /// snapshot stays published and the error is returned. Thread-safe.
+  Status ReloadFromFile(const std::string& path = "");
+
+  /// Validates and publishes an in-memory index (the incremental-overlay
+  /// promotion path and tests). A manifest version of 0 is auto-assigned
+  /// `current version + 1`.
+  Status Publish(std::shared_ptr<const SessionIndex> index,
+                 IndexManifest manifest);
+
+  /// Successful publications since construction (the boot load is not
+  /// counted; /metrics exposes this as serenade_index_reloads_total).
+  uint64_t reloads_total() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
+  /// Failed reload/publish attempts (bad path, corruption, incompatible m).
+  uint64_t reload_failures_total() const {
+    return reload_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// The artifact path backing the current snapshot ("" for in-memory).
+  std::string source_path() const;
+
+ private:
+  IndexManager() = default;
+
+  // Loads + validates without publishing; shared by boot and reload.
+  StatusOr<std::shared_ptr<const IndexSnapshot>> LoadSnapshot(
+      const std::string& path, size_t knn_m) const;
+
+  std::atomic<std::shared_ptr<const IndexSnapshot>> current_;
+
+  mutable std::mutex mutex_;  // serialises writers; guards fields below
+  std::string source_path_;
+  size_t required_knn_m_ = 0;
+
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+};
+
+}  // namespace serenade

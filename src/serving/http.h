@@ -72,7 +72,9 @@ class HttpServer {
   void ConnectionLoop(int fd);
 
   HttpHandler handler_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates the fd concurrently with AcceptLoop()'s
+  // accept() on it.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;

@@ -40,6 +40,12 @@ void SerenadeServer::Stop() {
 }
 
 HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
+  if (request.path == "/admin/reload") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "reload requires POST");
+    }
+    return HandleAdminReload(request);
+  }
   if (request.method != "GET") {
     return HttpResponse::Error(405, "only GET is supported");
   }
@@ -50,7 +56,14 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
     return response;
   }
   if (request.path == "/healthz") {
-    return HttpResponse::Json("{\"status\":\"ok\"}");
+    JsonWriter writer;
+    writer.BeginObject()
+        .Key("status")
+        .Value("ok")
+        .Key("index_version")
+        .Value(service_->index_manager().current_version())
+        .EndObject();
+    return HttpResponse::Json(writer.str());
   }
   if (request.path == "/stats") return HandleStats();
   if (request.path == "/metrics") return HandleMetrics();
@@ -93,12 +106,52 @@ HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request) {
   return HttpResponse::Json(writer.str());
 }
 
+HttpResponse SerenadeServer::HandleAdminReload(const HttpRequest& request) {
+  const std::string path = request.Param("path");
+  const Status reloaded = service_->ReloadIndex(path);
+  if (!reloaded.ok()) {
+    // The previous snapshot stays published; tell the operator why the
+    // rollout was rejected.
+    int status = 500;
+    switch (reloaded.code()) {
+      case StatusCode::kInvalidArgument:
+        status = 400;
+        break;
+      case StatusCode::kNotFound:
+      case StatusCode::kIoError:
+        status = 404;
+        break;
+      case StatusCode::kCorruption:
+        status = 409;
+        break;
+      default:
+        break;
+    }
+    return HttpResponse::Error(status, reloaded.ToString());
+  }
+  const auto snapshot = service_->CurrentSnapshot();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("status")
+      .Value("ok")
+      .Key("index_version")
+      .Value(snapshot->version())
+      .Key("index_source")
+      .Value(snapshot->manifest().source)
+      .Key("index_sessions")
+      .Value(static_cast<uint64_t>(snapshot->index().num_sessions()))
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
 HttpResponse SerenadeServer::HandleMetrics() {
   const SessionStoreStats stats = service_->StoreStats();
   const Histogram latency = recommend_latency_micros_.Merged();
+  const auto snapshot = service_->CurrentSnapshot();
+  IndexManager& manager = service_->index_manager();
 
   std::string body;
-  char line[160];
+  char line[256];
   auto counter = [&](const char* name, const char* help, uint64_t value) {
     std::snprintf(line, sizeof(line),
                   "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
@@ -121,7 +174,15 @@ HttpResponse SerenadeServer::HandleMetrics() {
   gauge("serenade_live_sessions", "evolving sessions currently stored",
         stats.live_entries);
   gauge("serenade_index_sessions", "historical sessions in the index",
-        service_->index().num_sessions());
+        snapshot->index().num_sessions());
+  gauge("serenade_index_version", "published index snapshot version",
+        snapshot->version());
+  counter("serenade_index_reloads_total", "successful index hot swaps",
+          manager.reloads_total());
+  counter("serenade_index_reload_failures_total",
+          "rejected index reload attempts", manager.reload_failures_total());
+  gauge("serenade_recommender_pool_size", "idle pooled recommenders",
+        service_->PooledRecommenders());
 
   body +=
       "# HELP serenade_recommend_latency_microseconds /recommend handling "
@@ -148,6 +209,8 @@ HttpResponse SerenadeServer::HandleMetrics() {
 
 HttpResponse SerenadeServer::HandleStats() {
   const SessionStoreStats stats = service_->StoreStats();
+  const auto snapshot = service_->CurrentSnapshot();
+  IndexManager& manager = service_->index_manager();
   JsonWriter writer;
   writer.BeginObject()
       .Key("requests_served")
@@ -160,10 +223,22 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(stats.expirations)
       .Key("live_sessions")
       .Value(stats.live_entries)
+      .Key("index_version")
+      .Value(snapshot->version())
+      .Key("index_source")
+      .Value(snapshot->manifest().source)
+      .Key("index_build_id")
+      .Value(snapshot->manifest().build_id)
+      .Key("index_reloads")
+      .Value(manager.reloads_total())
+      .Key("index_reload_failures")
+      .Value(manager.reload_failures_total())
       .Key("index_sessions")
-      .Value(static_cast<uint64_t>(service_->index().num_sessions()))
+      .Value(static_cast<uint64_t>(snapshot->index().num_sessions()))
       .Key("index_items")
-      .Value(static_cast<uint64_t>(service_->index().num_items()))
+      .Value(static_cast<uint64_t>(snapshot->index().num_items()))
+      .Key("recommender_pool_size")
+      .Value(static_cast<uint64_t>(service_->PooledRecommenders()))
       .EndObject();
   return HttpResponse::Json(writer.str());
 }

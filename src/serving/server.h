@@ -1,12 +1,16 @@
 // The REST face of a Serenade serving machine: binds a SerenadeService to
 // an HttpServer and runs the background TTL janitor. Routes:
-//   GET /recommend?session_id=<key>&item_id=<id>[&consent=true|false]
-//       -> {"items":[...],"scores":[...]}
-//   GET /healthz  -> {"status":"ok"}
-//   GET /stats    -> request / session-store counters (JSON)
-//   GET /metrics  -> the same counters plus request-latency quantiles in
-//                    Prometheus text exposition format (what the paper's
-//                    Kubernetes deployment scrapes for its dashboards)
+//   GET  /recommend?session_id=<key>&item_id=<id>[&consent=true|false]
+//        -> {"items":[...],"scores":[...]}
+//   GET  /healthz  -> {"status":"ok","index_version":N}
+//   GET  /stats    -> request / session-store / index-snapshot counters
+//   GET  /metrics  -> the same counters plus request-latency quantiles in
+//                     Prometheus text exposition format (what the paper's
+//                     Kubernetes deployment scrapes for its dashboards)
+//   POST /admin/reload[?path=<index file>]
+//        -> hot-swaps the serving index to a newly built artifact with
+//           zero downtime; "" path re-reads the current source. Responds
+//           with the published version on success.
 #pragma once
 
 #include <atomic>
@@ -44,6 +48,7 @@ class SerenadeServer {
  private:
   HttpResponse Handle(const HttpRequest& request);
   HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleAdminReload(const HttpRequest& request);
   HttpResponse HandleStats();
   HttpResponse HandleMetrics();
 

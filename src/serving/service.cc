@@ -1,6 +1,8 @@
 #include "serving/service.h"
 
+#include <algorithm>
 #include <charconv>
+#include <iterator>
 
 namespace serenade {
 
@@ -30,11 +32,29 @@ EvolvingSession DecodeSession(const std::string& encoded) {
   return session;
 }
 
-SerenadeService::SerenadeService(std::shared_ptr<const SessionIndex> index,
+SerenadeService::SerenadeService(std::shared_ptr<IndexManager> manager,
                                  ItemCatalog catalog, ServiceConfig config)
-    : index_(std::move(index)),
+    : manager_(std::move(manager)),
       catalog_(std::move(catalog)),
       config_(config) {}
+
+StatusOr<std::unique_ptr<SerenadeService>> SerenadeService::Create(
+    std::shared_ptr<IndexManager> manager, ItemCatalog catalog,
+    ServiceConfig config) {
+  if (manager == nullptr) {
+    return Status::InvalidArgument("index manager must not be null");
+  }
+  // Validates the boot snapshot and guards every future reload (same
+  // InvalidArgument as a direct ValidateIndexForKnn failure).
+  SERENADE_RETURN_IF_ERROR(
+      manager->RequireKnnCompatibility(config.knn.m));
+  auto service = std::unique_ptr<SerenadeService>(
+      new SerenadeService(std::move(manager), std::move(catalog), config));
+  auto store = SessionStore::Open(config.store);
+  if (!store.ok()) return store.status();
+  service->store_ = std::move(store).value();
+  return service;
+}
 
 StatusOr<std::unique_ptr<SerenadeService>> SerenadeService::Create(
     std::shared_ptr<const SessionIndex> index, ItemCatalog catalog,
@@ -42,35 +62,74 @@ StatusOr<std::unique_ptr<SerenadeService>> SerenadeService::Create(
   if (index == nullptr) {
     return Status::InvalidArgument("index must not be null");
   }
-  if (config.knn.m > index->max_sessions_per_item()) {
-    return Status::InvalidArgument(
-        "knn.m exceeds the index's max_sessions_per_item; rebuild the index "
-        "with a larger m");
-  }
-  auto service = std::unique_ptr<SerenadeService>(
-      new SerenadeService(std::move(index), std::move(catalog), config));
-  auto store = SessionStore::Open(config.store);
-  if (!store.ok()) return store.status();
-  service->store_ = std::move(store).value();
-  return service;
+  return Create(IndexManager::CreateFromIndex(std::move(index)),
+                std::move(catalog), config);
 }
 
-std::unique_ptr<VmisKnn> SerenadeService::AcquireRecommender() {
+Status SerenadeService::ReloadIndex(const std::string& path) {
+  SERENADE_RETURN_IF_ERROR(manager_->ReloadFromFile(path));
+  PruneStaleRecommenders(manager_->current_version());
+  return Status::Ok();
+}
+
+SerenadeService::PooledRecommender SerenadeService::AcquireRecommender(
+    const std::shared_ptr<const IndexSnapshot>& snapshot) {
+  const uint64_t version = snapshot->version();
+  std::vector<PooledRecommender> stale;
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
-    if (!recommender_pool_.empty()) {
-      auto recommender = std::move(recommender_pool_.back());
+    while (!recommender_pool_.empty()) {
+      PooledRecommender entry = std::move(recommender_pool_.back());
       recommender_pool_.pop_back();
-      return recommender;
+      if (entry.version == version) return entry;
+      // Built against a retired snapshot: destroy outside the lock.
+      stale.push_back(std::move(entry));
     }
   }
-  return std::make_unique<VmisKnn>(index_.get(), config_.knn);
+  stale.clear();
+  PooledRecommender fresh;
+  fresh.version = version;
+  fresh.snapshot = snapshot;
+  fresh.recommender =
+      std::make_unique<VmisKnn>(&snapshot->index(), config_.knn);
+  return fresh;
 }
 
-void SerenadeService::ReleaseRecommender(
-    std::unique_ptr<VmisKnn> recommender) {
+void SerenadeService::ReleaseRecommender(PooledRecommender entry) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    // Only pool scratch matching the live snapshot, and only up to the
+    // configured cap — a burst of concurrent requests must not grow the
+    // pool without bound, and a swapped-out index must not be pinned by
+    // idle scratch.
+    if (entry.version == manager_->current_version() &&
+        recommender_pool_.size() < config_.max_pooled_recommenders) {
+      recommender_pool_.push_back(std::move(entry));
+      return;
+    }
+  }
+  // Dropped: entry (and its snapshot pin) destructs here, outside the lock.
+}
+
+void SerenadeService::PruneStaleRecommenders(uint64_t version) {
+  std::vector<PooledRecommender> stale;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto keep_end = std::remove_if(
+        recommender_pool_.begin(), recommender_pool_.end(),
+        [version](const PooledRecommender& entry) {
+          return entry.version != version;
+        });
+    stale.assign(std::make_move_iterator(keep_end),
+                 std::make_move_iterator(recommender_pool_.end()));
+    recommender_pool_.erase(keep_end, recommender_pool_.end());
+  }
+  // Retired snapshots release here, outside the lock.
+}
+
+size_t SerenadeService::PooledRecommenders() const {
   std::lock_guard<std::mutex> lock(pool_mutex_);
-  recommender_pool_.push_back(std::move(recommender));
+  return recommender_pool_.size();
 }
 
 StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
@@ -105,12 +164,15 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
     evolving.assign(1, request.item);
   }
 
-  // Step 3: VMIS-kNN prediction against the replicated index. Fetch more
-  // than the UI needs so the business-rule filters have spare candidates.
-  auto recommender = AcquireRecommender();
-  const std::vector<ScoredItem> raw = recommender->RecommendNext(
+  // Step 3: VMIS-kNN prediction against the pinned index snapshot. The pin
+  // outlives the scoring pass, so a concurrent hot swap can never free the
+  // index under us. Fetch more than the UI needs so the business-rule
+  // filters have spare candidates.
+  const std::shared_ptr<const IndexSnapshot> snapshot = manager_->Current();
+  PooledRecommender entry = AcquireRecommender(snapshot);
+  const std::vector<ScoredItem> raw = entry.recommender->RecommendNext(
       evolving, config_.rules.max_items * 2 + 8);
-  ReleaseRecommender(std::move(recommender));
+  ReleaseRecommender(std::move(entry));
 
   return ApplyBusinessRules(raw, catalog_, config_.rules);
 }

@@ -2,6 +2,13 @@
 // in the colocated session store, computes next-item recommendations with
 // VMIS-kNN against the replicated session index, and applies business
 // rules — steps 2 and 3 of Figure 1.
+//
+// Index consumption is snapshot-based (see index/snapshot.h): every
+// request pins the currently published IndexSnapshot, and the per-thread
+// recommender scratch pool is version-tagged so a hot swap lazily rebuilds
+// scratch state against the new index — a stale pooled recommender can
+// never score against a freed index, and an old snapshot retires only
+// when the last in-flight request (or pooled recommender) releases it.
 #pragma once
 
 #include <memory>
@@ -13,6 +20,7 @@
 #include "core/session_index.h"
 #include "core/vmis_knn.h"
 #include "data/synthetic.h"
+#include "index/snapshot.h"
 #include "serving/business_rules.h"
 #include "store/session_store.h"
 
@@ -25,6 +33,10 @@ struct ServiceConfig {
   /// Stored evolving sessions are truncated to this many recent items
   /// (predictions only use KnnConfig::max_session_length of them anyway).
   size_t max_stored_session_length = 100;
+  /// Upper bound on idle per-thread recommender scratch instances kept for
+  /// reuse; excess releases are dropped so a concurrency burst cannot grow
+  /// the pool without limit.
+  size_t max_pooled_recommenders = 64;
 };
 
 /// One update-and-recommend request from the shop frontend. The frontend
@@ -39,10 +51,18 @@ struct RecommendRequest {
 
 /// Thread-safe service facade. One instance per serving machine; safe for
 /// concurrent HandleUpdateAndRecommend calls (VMIS-kNN scratch state is
-/// pooled per-thread internally).
+/// pooled per-thread internally) including concurrent index reloads.
 class SerenadeService {
  public:
-  /// `index` is the replicated read-only session similarity index.
+  /// `manager` owns the replicated read-only session index and its hot-swap
+  /// lifecycle; the service registers its knn.m requirement with it so
+  /// reloads of an incompatible index are rejected before publication.
+  static StatusOr<std::unique_ptr<SerenadeService>> Create(
+      std::shared_ptr<IndexManager> manager, ItemCatalog catalog,
+      ServiceConfig config);
+
+  /// Convenience for a fixed index (tests, benches, offline tools): wraps
+  /// it in a single-snapshot IndexManager.
   static StatusOr<std::unique_ptr<SerenadeService>> Create(
       std::shared_ptr<const SessionIndex> index, ItemCatalog catalog,
       ServiceConfig config);
@@ -56,29 +76,57 @@ class SerenadeService {
   /// Reads the stored evolving session (diagnostics / tests).
   StatusOr<EvolvingSession> GetSession(const std::string& session_key);
 
+  /// Hot-swaps to the index at `path` ("" = re-read the current source).
+  /// In-flight requests keep serving from their pinned snapshot; new
+  /// requests see the new index as soon as this returns Ok.
+  Status ReloadIndex(const std::string& path = "");
+
   SessionStoreStats StoreStats() const { return store_->Stats(); }
-  const SessionIndex& index() const { return *index_; }
+
+  /// Pins the current index snapshot (version + index + provenance).
+  std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const {
+    return manager_->Current();
+  }
+  IndexManager& index_manager() { return *manager_; }
   const ServiceConfig& config() const { return config_; }
+
+  /// Idle pooled recommenders (diagnostics / stats).
+  size_t PooledRecommenders() const;
 
   /// Evicts expired sessions (called by a background janitor thread in
   /// the server wrapper).
   size_t SweepExpiredSessions() { return store_->SweepExpired(); }
 
  private:
-  SerenadeService(std::shared_ptr<const SessionIndex> index,
-                  ItemCatalog catalog, ServiceConfig config);
+  // One pooled scratch recommender, tagged with the snapshot it was built
+  // against. The pinned snapshot keeps the raw index pointer inside the
+  // VmisKnn valid for exactly as long as the entry lives.
+  struct PooledRecommender {
+    uint64_t version = 0;
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    std::unique_ptr<VmisKnn> recommender;
+  };
 
-  // Borrow/return pattern for per-thread recommender scratch state.
-  std::unique_ptr<VmisKnn> AcquireRecommender();
-  void ReleaseRecommender(std::unique_ptr<VmisKnn> recommender);
+  SerenadeService(std::shared_ptr<IndexManager> manager, ItemCatalog catalog,
+                  ServiceConfig config);
 
-  std::shared_ptr<const SessionIndex> index_;
+  // Borrow/return pattern for per-thread recommender scratch state. The
+  // returned entry always matches `snapshot`'s version.
+  PooledRecommender AcquireRecommender(
+      const std::shared_ptr<const IndexSnapshot>& snapshot);
+  void ReleaseRecommender(PooledRecommender entry);
+
+  // Drops pooled entries built against snapshots older than `version` so
+  // a retired index is not kept alive by an idle pool.
+  void PruneStaleRecommenders(uint64_t version);
+
+  std::shared_ptr<IndexManager> manager_;
   ItemCatalog catalog_;
   ServiceConfig config_;
   std::unique_ptr<SessionStore> store_;
 
-  std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<VmisKnn>> recommender_pool_;
+  mutable std::mutex pool_mutex_;
+  std::vector<PooledRecommender> recommender_pool_;
 };
 
 /// Encodes an evolving session as a comma-separated item id string (the

@@ -14,6 +14,7 @@
 #include "cluster/health.h"
 #include "core/session_index.h"
 #include "data/synthetic.h"
+#include "index/snapshot.h"
 #include "serving/json.h"
 #include "serving/server.h"
 
@@ -510,6 +511,49 @@ TEST(GatewayEndToEndTest, RealPodsKeepSessionStateThroughGateway) {
     }
   }
   EXPECT_EQ(pods_with_session, 1u);
+
+  // The startup probe round already captured each pod's index version, so
+  // the gateway's /stats reports it per backend.
+  auto stats = client.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  auto stats_doc = ParseJson(stats->body);
+  ASSERT_TRUE(stats_doc.ok()) << stats->body;
+  for (const JsonValue& backend : stats_doc->Find("backends")->AsArray()) {
+    EXPECT_EQ(backend.Find("index_version")->AsInt(), 1)
+        << backend.Find("name")->AsString();
+  }
+
+  // Hot-swap one pod to a new snapshot: after the next probe round the
+  // gateway observes a mixed-version fleet (a rolling rollout mid-flight).
+  ASSERT_TRUE(pods[0]
+                  ->service()
+                  .index_manager()
+                  .Publish(std::make_shared<const SessionIndex>(
+                               SessionIndex::Build(train, 500)),
+                           IndexManifest{})
+                  .ok());
+  gateway.health().ProbeAllOnce();
+  stats = client.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  stats_doc = ParseJson(stats->body);
+  ASSERT_TRUE(stats_doc.ok()) << stats->body;
+  size_t on_v2 = 0;
+  for (const JsonValue& backend : stats_doc->Find("backends")->AsArray()) {
+    const int64_t version = backend.Find("index_version")->AsInt();
+    if (backend.Find("name")->AsString() == "pod-0") {
+      EXPECT_EQ(version, 2);
+      ++on_v2;
+    } else {
+      EXPECT_EQ(version, 1);
+    }
+  }
+  EXPECT_EQ(on_v2, 1u);
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find(
+                "gateway_backend_index_version{backend=\"pod-0\"} 2"),
+            std::string::npos)
+      << metrics->body;
 
   gateway.Stop();
   for (auto& pod : pods) pod->Stop();

@@ -1,0 +1,238 @@
+// Versioned index snapshots: manifest sidecar round trips, IndexManager
+// load/validate/publish semantics, RCU pin lifetimes, and the shared
+// knn.m compatibility validation that guards both service construction
+// and hot-swap reloads.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "index/index_format.h"
+#include "index/snapshot.h"
+
+namespace serenade {
+namespace {
+
+SessionIndex BuildIndex(uint64_t seed, size_t m = 100) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_items = 150;
+  config.num_sessions = 800;
+  config.num_days = 3;
+  return SessionIndex::Build(GenerateDataset(config), m);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IndexManifestTest, SidecarRoundTrip) {
+  IndexManifest manifest;
+  manifest.version = 42;
+  manifest.build_id = "nightly-2026-08-06";
+  manifest.built_unix = 1780000000;
+  manifest.source = "clicks-2026-08-05.csv";
+  manifest.max_sessions_per_item = 500;
+  manifest.num_sessions = 123;
+  manifest.num_items = 45;
+  manifest.num_postings = 678;
+  manifest.index_bytes = 9012;
+  manifest.index_crc32 = 0xDEADBEEF;
+
+  const std::string path = TempPath("roundtrip.manifest");
+  ASSERT_TRUE(WriteManifestFile(path, manifest).ok());
+  auto read = ReadManifestFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->version, 42u);
+  EXPECT_EQ(read->build_id, "nightly-2026-08-06");
+  EXPECT_EQ(read->built_unix, 1780000000u);
+  EXPECT_EQ(read->source, "clicks-2026-08-05.csv");
+  EXPECT_EQ(read->max_sessions_per_item, 500u);
+  EXPECT_EQ(read->num_sessions, 123u);
+  EXPECT_EQ(read->num_items, 45u);
+  EXPECT_EQ(read->num_postings, 678u);
+  EXPECT_EQ(read->index_bytes, 9012u);
+  EXPECT_EQ(read->index_crc32, 0xDEADBEEFu);
+  std::filesystem::remove(path);
+}
+
+TEST(IndexManifestTest, MissingSidecarIsNotFound) {
+  auto read = ReadManifestFile(TempPath("does-not-exist.manifest"));
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IndexManifestTest, WriteIndexWithManifestStampsArtifactFacts) {
+  const SessionIndex index = BuildIndex(1);
+  const std::string path = TempPath("stamped.index");
+  IndexManifest manifest;
+  manifest.version = 7;
+  manifest.build_id = "b7";
+  manifest.source = "synthetic";
+  auto written = WriteIndexWithManifest(path, index, manifest);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written->num_sessions, index.num_sessions());
+  EXPECT_EQ(written->num_items, index.num_items());
+  EXPECT_EQ(written->num_postings, index.num_postings());
+  EXPECT_EQ(written->max_sessions_per_item, index.max_sessions_per_item());
+  EXPECT_GT(written->index_bytes, 0u);
+
+  // The artifact itself must stay loadable by the plain reader.
+  auto loaded = ReadIndexFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_sessions(), index.num_sessions());
+
+  // And the sidecar matches what WriteIndexWithManifest returned.
+  auto sidecar = ReadManifestFile(ManifestPathFor(path));
+  ASSERT_TRUE(sidecar.ok());
+  EXPECT_EQ(sidecar->version, 7u);
+  EXPECT_EQ(sidecar->index_bytes, written->index_bytes);
+  EXPECT_EQ(sidecar->index_crc32, written->index_crc32);
+  std::filesystem::remove(path);
+  std::filesystem::remove(ManifestPathFor(path));
+}
+
+TEST(IndexManagerTest, BootsFromFileWithManifestVersion) {
+  const std::string path = TempPath("boot.index");
+  IndexManifest manifest;
+  manifest.version = 12;
+  manifest.build_id = "boot-build";
+  ASSERT_TRUE(WriteIndexWithManifest(path, BuildIndex(2), manifest).ok());
+
+  auto manager = IndexManager::CreateFromFile(path);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_EQ((*manager)->current_version(), 12u);
+  EXPECT_EQ((*manager)->Current()->manifest().build_id, "boot-build");
+  EXPECT_EQ((*manager)->source_path(), path);
+  EXPECT_EQ((*manager)->reloads_total(), 0u);
+  std::filesystem::remove(path);
+  std::filesystem::remove(ManifestPathFor(path));
+}
+
+TEST(IndexManagerTest, BootsFromUnversionedArtifactAsVersionOne) {
+  const std::string path = TempPath("unversioned.index");
+  ASSERT_TRUE(WriteIndexFile(path, BuildIndex(3)).ok());
+  auto manager = IndexManager::CreateFromFile(path);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_EQ((*manager)->current_version(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(IndexManagerTest, ReloadPublishesNewVersionAndOldPinSurvives) {
+  const std::string path_a = TempPath("swap_a.index");
+  const std::string path_b = TempPath("swap_b.index");
+  IndexManifest manifest_a;
+  manifest_a.version = 1;
+  IndexManifest manifest_b;
+  manifest_b.version = 2;
+  const SessionIndex index_a = BuildIndex(4);
+  ASSERT_TRUE(WriteIndexWithManifest(path_a, index_a, manifest_a).ok());
+  ASSERT_TRUE(WriteIndexWithManifest(path_b, BuildIndex(5), manifest_b).ok());
+
+  auto manager = IndexManager::CreateFromFile(path_a);
+  ASSERT_TRUE(manager.ok());
+  auto pinned = (*manager)->Current();
+  EXPECT_EQ(pinned->version(), 1u);
+
+  ASSERT_TRUE((*manager)->ReloadFromFile(path_b).ok());
+  EXPECT_EQ((*manager)->current_version(), 2u);
+  EXPECT_EQ((*manager)->reloads_total(), 1u);
+  EXPECT_EQ((*manager)->source_path(), path_b);
+
+  // The pre-swap pin still reads the old index (RCU semantics): its data
+  // is untouched by the swap and retires only when the pin drops.
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(pinned->index().num_sessions(), index_a.num_sessions());
+  EXPECT_GT(pinned->index().SessionsForItem(0).size() +
+                pinned->index().num_postings(),
+            0u);
+
+  // Empty path re-reads the current source and force-bumps the version so
+  // the rollout stays observable.
+  ASSERT_TRUE((*manager)->ReloadFromFile().ok());
+  EXPECT_EQ((*manager)->current_version(), 3u);
+
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(ManifestPathFor(path_a));
+  std::filesystem::remove(path_b);
+  std::filesystem::remove(ManifestPathFor(path_b));
+}
+
+TEST(IndexManagerTest, FailedReloadKeepsCurrentSnapshot) {
+  auto manager = IndexManager::CreateFromIndex(
+      std::make_shared<const SessionIndex>(BuildIndex(6)), 5);
+  EXPECT_EQ(manager->current_version(), 5u);
+
+  // Nonexistent path.
+  EXPECT_EQ(manager->ReloadFromFile(TempPath("nope.index")).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(manager->current_version(), 5u);
+  EXPECT_EQ(manager->reload_failures_total(), 1u);
+
+  // Corrupt artifact: truncate a valid file.
+  const std::string path = TempPath("corrupt.index");
+  ASSERT_TRUE(WriteIndexFile(path, BuildIndex(7)).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(manager->ReloadFromFile(path).code(), StatusCode::kCorruption);
+  EXPECT_EQ(manager->current_version(), 5u);
+  EXPECT_EQ(manager->reload_failures_total(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(IndexManagerTest, TornRolloutDetectedByManifestCrc) {
+  // Stamp a manifest for index A, then overwrite the artifact with index B
+  // without restamping — the load must refuse the mismatched pair.
+  const std::string path = TempPath("torn.index");
+  ASSERT_TRUE(
+      WriteIndexWithManifest(path, BuildIndex(8), IndexManifest{}).ok());
+  ASSERT_TRUE(WriteIndexFile(path, BuildIndex(9)).ok());
+
+  auto manager = IndexManager::CreateFromFile(path);
+  EXPECT_EQ(manager.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+  std::filesystem::remove(ManifestPathFor(path));
+}
+
+TEST(IndexManagerTest, KnnCompatibilityGuardsBootAndReload) {
+  const SessionIndex small = BuildIndex(10, /*m=*/50);
+  auto manager = IndexManager::CreateFromIndex(
+      std::make_shared<const SessionIndex>(BuildIndex(10, /*m=*/500)));
+
+  // Registering a requirement the current snapshot satisfies succeeds …
+  ASSERT_TRUE(manager->RequireKnnCompatibility(200).ok());
+
+  // … and from then on an incompatible artifact cannot be published.
+  const Status rejected = manager->Publish(
+      std::make_shared<const SessionIndex>(small), IndexManifest{});
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rejected.message(), ValidateIndexForKnn(small, 200).message());
+  EXPECT_EQ(manager->reload_failures_total(), 1u);
+
+  // Registering an unsatisfiable requirement fails with the same message.
+  const Status too_big = manager->RequireKnnCompatibility(10000);
+  EXPECT_EQ(too_big.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(too_big.message(),
+            ValidateIndexForKnn(manager->Current()->index(), 10000).message());
+}
+
+TEST(IndexManagerTest, PublishAutoAssignsNextVersion) {
+  auto manager = IndexManager::CreateFromIndex(
+      std::make_shared<const SessionIndex>(BuildIndex(11)), 3);
+  ASSERT_TRUE(manager
+                  ->Publish(std::make_shared<const SessionIndex>(BuildIndex(12)),
+                            IndexManifest{})
+                  .ok());
+  EXPECT_EQ(manager->current_version(), 4u);
+  EXPECT_EQ(manager->Current()->manifest().source, "in-memory");
+  EXPECT_EQ(manager->reloads_total(), 1u);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -73,6 +73,35 @@ TEST(SessionCodecTest, MalformedTokensSkipped) {
   EXPECT_EQ(DecodeSession(",,5"), (EvolvingSession{5}));
 }
 
+TEST(SessionCodecTest, EmptyAndSeparatorOnlyInputs) {
+  EXPECT_TRUE(DecodeSession("").empty());
+  EXPECT_TRUE(DecodeSession(",").empty());
+  EXPECT_TRUE(DecodeSession(",,,").empty());
+}
+
+TEST(SessionCodecTest, StrayCommasAroundValidTokens) {
+  EXPECT_EQ(DecodeSession("7,"), (EvolvingSession{7}));    // trailing
+  EXPECT_EQ(DecodeSession(",7"), (EvolvingSession{7}));    // leading
+  EXPECT_EQ(DecodeSession("7,,8"), (EvolvingSession{7, 8}));  // double
+}
+
+TEST(SessionCodecTest, OverflowTokenDropped) {
+  // 99999999999 exceeds uint32_t; it must be skipped, not wrapped, so a
+  // corrupt store entry cannot alias a real item id.
+  EXPECT_TRUE(DecodeSession("99999999999").empty());
+  EXPECT_EQ(DecodeSession("1,99999999999,2"), (EvolvingSession{1, 2}));
+  EXPECT_EQ(DecodeSession("4294967295"),
+            (EvolvingSession{4294967295u}));  // uint32_t max still fits
+}
+
+TEST(SessionCodecTest, MaxLengthStoredSessionRoundTrips) {
+  EvolvingSession session(ServiceConfig{}.max_stored_session_length);
+  for (size_t i = 0; i < session.size(); ++i) {
+    session[i] = static_cast<ItemId>(i * 2654435761u);  // spread digits
+  }
+  EXPECT_EQ(DecodeSession(EncodeSession(session)), session);
+}
+
 // --- router -----------------------------------------------------------------
 
 TEST(RouterTest, StableAssignment) {

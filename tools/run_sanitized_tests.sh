@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
-#   tools/run_sanitized_tests.sh [address|thread] [ctest args...]
+#   tools/run_sanitized_tests.sh [address|thread|both] [ctest args...]
 #
 # Configures a dedicated build tree (build-asan/ or build-tsan/) so the
-# regular build/ stays untouched, then runs ctest. Extra arguments are
-# forwarded to ctest, e.g.:
+# regular build/ stays untouched, then runs ctest. `both` runs the suite
+# under ASan+UBSan and then again under TSan — the mode CI uses for the
+# index hot-swap tests, which must be clean under both runtimes. Extra
+# arguments are forwarded to ctest, e.g.:
 #
 #   tools/run_sanitized_tests.sh thread -R cluster_gateway
+#   tools/run_sanitized_tests.sh both -R index_swap
 set -euo pipefail
 
 SANITIZER="${1:-address}"
 shift || true
 
 case "$SANITIZER" in
-  address) BUILD_DIR=build-asan ;;
-  thread)  BUILD_DIR=build-tsan ;;
+  address|thread) SANITIZERS=("$SANITIZER") ;;
+  both)           SANITIZERS=(address thread) ;;
   *)
-    echo "usage: $0 [address|thread] [ctest args...]" >&2
+    echo "usage: $0 [address|thread|both] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -25,15 +28,22 @@ esac
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSERENADE_SANITIZE="$SANITIZER"
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-
 # Abort on the first sanitizer report so failures are loud in CI.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-cd "$BUILD_DIR"
-ctest --output-on-failure -j "$(nproc)" "$@"
+for SAN in "${SANITIZERS[@]}"; do
+  case "$SAN" in
+    address) BUILD_DIR=build-asan ;;
+    thread)  BUILD_DIR=build-tsan ;;
+  esac
+
+  echo "=== sanitizer: $SAN (build tree: $BUILD_DIR) ==="
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSERENADE_SANITIZE="$SAN"
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" "$@")
+done

@@ -1,13 +1,18 @@
 // CLI: offline index generation (the nightly batch job of Figure 1).
 //
 //   serenade_build_index --clicks clicks.csv --output session.index
-//       [--m 500] [--threads 0] [--synthetic-sessions N] [--seed S]
+//       [--m 500] [--threads 0] [--version N] [--build-id ID]
+//       [--synthetic-sessions N] [--seed S]
 //
 // Reads a click log CSV (session_id,item_id,timestamp), builds the
-// session similarity index with the data-parallel builder and writes the
-// compressed binary index file the serving tool loads. When no --clicks
-// file is given, generates a synthetic dataset instead (useful for demos).
+// session similarity index with the data-parallel builder, and writes the
+// compressed binary index file plus a `<output>.manifest` sidecar
+// stamping the rollout version, build id, corpus counts, and artifact
+// CRC. Serving pods honour the manifest on load and on POST /admin/reload
+// hot swaps. When no --clicks file is given, generates a synthetic
+// dataset instead (useful for demos).
 #include <cstdio>
+#include <ctime>
 
 #include "common/stopwatch.h"
 #include "data/csv.h"
@@ -15,7 +20,7 @@
 #include "data/synthetic.h"
 #include "flags.h"
 #include "index/index_builder.h"
-#include "index/index_format.h"
+#include "index/snapshot.h"
 
 using namespace serenade;
 
@@ -57,10 +62,30 @@ int main(int argc, char** argv) {
               build_timer.ElapsedSeconds(), index.num_postings(),
               static_cast<double>(index.MemoryBytes()) / 1e6);
 
-  if (Status status = WriteIndexFile(output_path, index); !status.ok()) {
-    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+  // Stamp the rollout manifest. Default version is the build wall-clock,
+  // which is monotone across nightly runs; an explicit --version lets a
+  // pipeline number its rollouts.
+  const uint64_t now = static_cast<uint64_t>(std::time(nullptr));
+  IndexManifest manifest;
+  manifest.version = flags.GetInt("version", now);
+  manifest.build_id =
+      flags.GetString("build-id", "build-" + std::to_string(now));
+  manifest.built_unix = now;
+  manifest.source = clicks_path.empty() ? "synthetic" : clicks_path;
+
+  auto written = WriteIndexWithManifest(output_path, index, manifest);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 written.status().ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s\n", output_path.c_str());
+  std::printf(
+      "wrote %s (%llu bytes, crc32 %08x)\n"
+      "wrote %s (version %llu, build id %s)\n",
+      output_path.c_str(),
+      static_cast<unsigned long long>(written->index_bytes),
+      written->index_crc32, ManifestPathFor(output_path).c_str(),
+      static_cast<unsigned long long>(written->version),
+      written->build_id.c_str());
   return 0;
 }

@@ -3,10 +3,13 @@
 //   serenade_server --index session.index [--port 8080] [--m 500]
 //       [--k 100] [--ttl 1800] [--max-items 21] [--wal sessions.wal]
 //
-// Loads the binary index produced by serenade_build_index and serves:
-//   GET /recommend?session_id=<key>&item_id=<id>[&consent=false]
-//   GET /healthz
-//   GET /stats
+// Loads the binary index produced by serenade_build_index (honouring its
+// `.manifest` sidecar) and serves:
+//   GET  /recommend?session_id=<key>&item_id=<id>[&consent=false]
+//   GET  /healthz   (reports the published index version)
+//   GET  /stats
+//   GET  /metrics
+//   POST /admin/reload[?path=other.index]   (zero-downtime index hot swap)
 // Runs until SIGINT/SIGTERM.
 #include <atomic>
 #include <csignal>
@@ -15,7 +18,7 @@
 
 #include "data/synthetic.h"
 #include "flags.h"
-#include "index/index_format.h"
+#include "index/snapshot.h"
 #include "serving/server.h"
 
 using namespace serenade;
@@ -35,20 +38,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto loaded = ReadIndexFile(index_path);
-  if (!loaded.ok()) {
+  auto manager = IndexManager::CreateFromFile(index_path);
+  if (!manager.ok()) {
     std::fprintf(stderr, "failed to load index: %s\n",
-                 loaded.status().ToString().c_str());
+                 manager.status().ToString().c_str());
     return 1;
   }
-  auto index = std::make_shared<SessionIndex>(std::move(loaded).value());
-  std::printf("loaded index: %zu sessions, %zu items, %zu postings\n",
-              index->num_sessions(), index->num_items(),
-              index->num_postings());
+  const auto boot = (*manager)->Current();
+  std::printf(
+      "loaded index version %llu (%s): %zu sessions, %zu items, %zu "
+      "postings\n",
+      static_cast<unsigned long long>(boot->version()),
+      boot->manifest().build_id.empty() ? "no manifest"
+                                        : boot->manifest().build_id.c_str(),
+      boot->index().num_sessions(), boot->index().num_items(),
+      boot->index().num_postings());
 
   ServiceConfig service_config;
-  service_config.knn.m =
-      std::min<size_t>(flags.GetInt("m", 500), index->max_sessions_per_item());
+  service_config.knn.m = std::min<size_t>(
+      flags.GetInt("m", 500), boot->index().max_sessions_per_item());
   service_config.knn.k =
       std::min<size_t>(flags.GetInt("k", 100), service_config.knn.m);
   service_config.rules.max_items = flags.GetInt("max-items", 21);
@@ -60,10 +68,12 @@ int main(int argc, char** argv) {
 
   // Without a catalog feed every item is available and non-adult.
   ItemCatalog catalog;
-  catalog.available.assign(index->num_items(), true);
-  catalog.adult.assign(index->num_items(), false);
+  catalog.available.assign(boot->index().num_items(), true);
+  catalog.adult.assign(boot->index().num_items(), false);
 
-  auto service = SerenadeService::Create(index, catalog, service_config);
+  auto service =
+      SerenadeService::Create(std::move(manager).value(), catalog,
+                              service_config);
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
     return 1;
@@ -77,10 +87,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus)\n",
-              server.port(), service_config.knn.m, service_config.knn.k,
-              static_cast<unsigned long long>(
-                  service_config.store.ttl_seconds));
+  std::printf(
+      "serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus); hot swap with "
+      "curl -X POST 'http://127.0.0.1:%u/admin/reload'\n",
+      server.port(), service_config.knn.m, service_config.knn.k,
+      static_cast<unsigned long long>(service_config.store.ttl_seconds),
+      server.port());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
