@@ -5,12 +5,17 @@
 //   * the measured values from this machine.
 //
 // Dataset sizes are scaled to laptop budgets; set SERENADE_BENCH_SCALE
-// (default 1.0) to grow or shrink every dataset proportionally.
+// (default 1.0) to grow or shrink every dataset proportionally. CI smoke
+// runs additionally set SERENADE_BENCH_SECONDS (shorter measured phases)
+// and SERENADE_BENCH_JSON (machine-readable results uploaded as a build
+// artifact).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace serenade::bench {
 
@@ -21,6 +26,60 @@ inline double ScaleFromEnv() {
   const double scale = std::atof(env);
   return scale > 0.0 ? scale : 1.0;
 }
+
+/// Measured-phase duration override (SERENADE_BENCH_SECONDS); benches
+/// pass their full-run default.
+inline double SecondsFromEnv(double fallback) {
+  const char* env = std::getenv("SERENADE_BENCH_SECONDS");
+  if (env == nullptr) return fallback;
+  const double seconds = std::atof(env);
+  return seconds > 0.0 ? seconds : fallback;
+}
+
+/// Where to write machine-readable results ("" = don't). Used by the CI
+/// bench-smoke job; google-benchmark binaries use --benchmark_out
+/// instead.
+inline std::string JsonPathFromEnv() {
+  const char* env = std::getenv("SERENADE_BENCH_JSON");
+  return env == nullptr ? "" : env;
+}
+
+/// Collects flat name/value metrics and writes them as one JSON object:
+///   {"benchmark":"index_swap","metrics":{"steady_p99_us":123.0,...}}
+/// Tiny on purpose — CI plots and regression checks only need key/value.
+class JsonResultWriter {
+ public:
+  explicit JsonResultWriter(std::string benchmark_name)
+      : benchmark_name_(std::move(benchmark_name)) {}
+
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the collected metrics; returns false (after a perror) on IO
+  /// failure. No-op returning true when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::perror(("bench json: " + path).c_str());
+      return false;
+    }
+    std::fprintf(file, "{\"benchmark\":\"%s\",\"metrics\":{",
+                 benchmark_name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(file, "%s\"%s\":%.6g", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(file, "}}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::string benchmark_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void PrintHeader(const char* experiment, const char* paper_ref,
                         const char* description) {

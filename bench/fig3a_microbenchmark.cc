@@ -8,10 +8,12 @@
 // is a further 6-12% faster than VMIS-kNN-no-opt.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 
 #include "core/session_index.h"
@@ -33,20 +35,27 @@ struct BenchState {
   static BenchState& Get() {
     static BenchState* state = [] {
       auto* s = new BenchState();
+      // SERENADE_BENCH_SCALE shrinks this to smoke-test size in CI and
+      // grows it for full runs (1.0 = ecom-1m-like shape, laptop scale).
+      const double scale = bench::ScaleFromEnv();
       SyntheticConfig config;
       config.seed = 0xeca1;
-      config.num_items = 5000;
-      config.num_sessions = 30000;  // ecom-1m-like shape, laptop scale
+      config.num_items =
+          std::max<size_t>(100, static_cast<size_t>(5000 * scale));
+      config.num_sessions =
+          std::max<size_t>(1000, static_cast<size_t>(30000 * scale));
       config.num_days = 14;
       Dataset dataset = GenerateDataset(config);
       TrainTestSplit split = SplitLastDays(dataset, 1);
       s->train = std::move(split.train);
 
+      const size_t max_queries =
+          std::max<size_t>(50, static_cast<size_t>(400 * scale));
       // Query stream: growing prefixes of test sessions ("we randomly
       // pick the number of items for each session").
       Rng rng(77);
       for (const SessionData& session : split.test.sessions()) {
-        if (s->queries.size() >= 400) break;
+        if (s->queries.size() >= max_queries) break;
         const size_t length = 1 + rng.Below(session.items.size());
         s->queries.emplace_back(session.items.begin(),
                                 session.items.begin() + length);

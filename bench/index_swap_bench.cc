@@ -7,6 +7,7 @@
 // The RCU snapshot design predicts phase B's p99 stays within noise of
 // phase A (the swap is a pointer store; in-flight requests keep their
 // pinned snapshot), and zero requests may fail during rollouts.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -178,14 +179,15 @@ int main() {
   SerenadeServer server(std::move(service).value(), ServerConfig{});
   if (!server.Start().ok()) return 1;
 
-  const double phase_seconds = 10.0;
+  // CI smoke runs shrink the measured phases via SERENADE_BENCH_SECONDS.
+  const double phase_seconds = bench::SecondsFromEnv(10.0);
   const size_t threads = 6;
-  std::printf("\npod on port %u; %zu closed-loop connections, %.0fs per "
+  std::printf("\npod on port %u; %zu closed-loop connections, %.1fs per "
               "phase\n", server.port(), threads, phase_seconds);
 
   // Warmup fills the recommender pool and the session store.
-  RunPhase(server.port(), 2.0, threads, data_config.num_items, path_a,
-           path_b, 0);
+  RunPhase(server.port(), std::min(2.0, phase_seconds), threads,
+           data_config.num_items, path_a, path_b, 0);
 
   bench::PrintSection("measured");
   const PhaseResult steady = RunPhase(server.port(), phase_seconds, threads,
@@ -211,6 +213,22 @@ int main() {
       (swapping.failures == 0 && ratio < 1.5) ? "REPRODUCED"
                                               : "see numbers above");
 
+  // Machine-readable results for the CI bench-smoke artifact.
+  bench::JsonResultWriter json("index_swap");
+  json.Add("phase_seconds", phase_seconds);
+  json.Add("steady_requests", static_cast<double>(steady.requests));
+  json.Add("steady_p50_us",
+           static_cast<double>(steady.latency_micros.Percentile(0.50)));
+  json.Add("steady_p99_us", steady_p99);
+  json.Add("swapping_requests", static_cast<double>(swapping.requests));
+  json.Add("swapping_p50_us",
+           static_cast<double>(swapping.latency_micros.Percentile(0.50)));
+  json.Add("swapping_p99_us", swap_p99);
+  json.Add("swaps", static_cast<double>(swapping.swaps));
+  json.Add("failures", static_cast<double>(swapping.failures));
+  json.Add("p99_ratio", ratio);
+  const bool json_ok = json.WriteTo(bench::JsonPathFromEnv());
+
   std::filesystem::remove_all(dir);
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -4,7 +4,6 @@
 #include <charconv>
 #include <chrono>
 #include <condition_variable>
-#include <cstdio>
 #include <thread>
 
 #include "common/hash.h"
@@ -13,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/types.h"
 #include "serving/json.h"
+#include "serving/server.h"
 
 namespace serenade {
 
@@ -29,6 +29,13 @@ uint64_t BackoffWithJitterMs(uint64_t base_ms, uint32_t retry_number) {
   if (delay == 0) return 0;
   return delay / 2 + rng.Below(delay / 2 + 1);
 }
+
+// Gateway-side stages exported as gateway_stage_duration_microseconds.
+constexpr TraceStage kGatewayStages[] = {
+    TraceStage::kParse,
+    TraceStage::kForward,
+    TraceStage::kSerialize,
+};
 
 }  // namespace
 
@@ -56,11 +63,19 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
                                std::unique_ptr<Recommender> fallback)
     : config_(config),
       fallback_(std::move(fallback)),
-      ring_(config.virtual_nodes) {
+      ring_(config.virtual_nodes),
+      slow_logger_(config.trace) {
+  RegisterMetrics();
   backends_.reserve(backends.size());
   for (BackendEndpoint& endpoint : backends) {
     auto backend = std::make_unique<Backend>();
     backend->endpoint = endpoint;
+    backend->requests = &registry_.AddCounter(
+        "gateway_backend_requests_total",
+        "forwarding attempts per backend", "backend", endpoint.name);
+    backend->errors = &registry_.AddCounter(
+        "gateway_backend_errors_total",
+        "failed forwarding attempts per backend", "backend", endpoint.name);
     ring_.AddNode(endpoint.name);
     backends_.push_back(std::move(backend));
   }
@@ -69,9 +84,70 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
   for (const auto& backend : backends_) endpoints.push_back(backend->endpoint);
   health_ = std::make_unique<HealthChecker>(std::move(endpoints),
                                             config_.health);
+
+  // Health-derived gauges pull from the checker at scrape time, so a
+  // scrape always sees the current ejection state, never a cached copy.
+  registry_.AddCallback(
+      "gateway_backend_healthy", "whether the backend is routable",
+      MetricType::kGauge, "backend", [this]() -> std::vector<MetricSample> {
+        std::vector<MetricSample> samples;
+        for (const BackendHealth& entry : health_->Snapshot()) {
+          samples.push_back({entry.name, entry.healthy ? 1u : 0u});
+        }
+        return samples;
+      });
+  registry_.AddCallback(
+      "gateway_backend_index_version",
+      "index snapshot version last reported by the backend",
+      MetricType::kGauge, "backend", [this]() -> std::vector<MetricSample> {
+        std::vector<MetricSample> samples;
+        for (const BackendHealth& entry : health_->Snapshot()) {
+          samples.push_back({entry.name, entry.index_version});
+        }
+        return samples;
+      });
 }
 
 ClusterGateway::~ClusterGateway() { Stop(); }
+
+void ClusterGateway::RegisterMetrics() {
+  registry_.AddCallback(
+      "gateway_requests_total", "requests accepted by the gateway",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", requests_served()}};
+      });
+  forwarded_ok_ = &registry_.AddCounter("gateway_forwarded_ok_total",
+                                        "requests answered by a backend");
+  degraded_ = &registry_.AddCounter(
+      "gateway_degraded_responses_total",
+      "requests served by the popularity fallback");
+  failed_ = &registry_.AddCounter("gateway_failed_requests_total",
+                                  "requests that exhausted all attempts");
+  retries_ = &registry_.AddCounter("gateway_retries_total",
+                                   "retry attempts against ring successors");
+  hedges_ = &registry_.AddCounter("gateway_hedges_total",
+                                  "hedged second requests launched");
+  hedge_wins_ = &registry_.AddCounter("gateway_hedge_wins_total",
+                                      "hedges that beat the primary");
+  registry_.AddCallback(
+      "gateway_slow_requests_total",
+      "requests over the slow-request threshold", MetricType::kCounter, "",
+      [this]() -> std::vector<MetricSample> {
+        return {{"", slow_logger_.slow_requests_seen()}};
+      });
+  forward_latency_micros_ = &registry_.AddHistogram(
+      "gateway_forward_latency_microseconds",
+      "per-attempt forwarding latency");
+  request_latency_micros_ = &registry_.AddHistogram(
+      "gateway_request_latency_microseconds",
+      "end-to-end /recommend handling latency at the gateway");
+  for (TraceStage stage : kGatewayStages) {
+    stage_micros_[static_cast<size_t>(stage)] = &registry_.AddHistogram(
+        "gateway_stage_duration_microseconds",
+        "per-request latency attributed to one gateway stage", "stage",
+        TraceStageName(stage));
+  }
+}
 
 Status ClusterGateway::Start() {
   if (backends_.empty() && fallback_ == nullptr) {
@@ -136,23 +212,24 @@ void ClusterGateway::ReleaseClient(Backend& backend,
 }
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
-    Backend& backend, const std::string& target) {
+    Backend& backend, const std::string& target,
+    const std::map<std::string, std::string>& headers) {
   AttemptResult result;
-  backend.requests.fetch_add(1, std::memory_order_relaxed);
+  backend.requests->Increment();
   Stopwatch stopwatch;
 
   Status connect_status = Status::Ok();
   auto client = AcquireClient(backend, &connect_status);
   if (client == nullptr) {
-    forward_latency_micros_.Record(stopwatch.ElapsedMicros());
-    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    forward_latency_micros_->Record(stopwatch.ElapsedMicros());
+    backend.errors->Increment();
     health_->ReportResult(backend.endpoint.name, false);
     result.error = std::move(connect_status);
     return result;
   }
 
-  auto response = client->Get(target);
-  forward_latency_micros_.Record(stopwatch.ElapsedMicros());
+  auto response = client->Get(target, headers);
+  forward_latency_micros_->Record(stopwatch.ElapsedMicros());
   const bool transport_ok = response.ok();
   // Any parsed HTTP response proves the pod is alive; 5xx bodies are
   // handler bugs, not fleet-membership signals.
@@ -160,12 +237,12 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
   ReleaseClient(backend, std::move(client), transport_ok);
 
   if (!transport_ok) {
-    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    backend.errors->Increment();
     result.error = response.status();
     return result;
   }
   if (response->status >= 500) {
-    backend.errors.fetch_add(1, std::memory_order_relaxed);
+    backend.errors->Increment();
     result.error = Status::Internal("backend " + backend.endpoint.name +
                                     " returned " +
                                     std::to_string(response->status));
@@ -177,9 +254,10 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
 }
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
-    Backend& primary, Backend* secondary, const std::string& target) {
+    Backend& primary, Backend* secondary, const std::string& target,
+    const std::map<std::string, std::string>& headers) {
   if (config_.hedge_delay_ms == 0 || secondary == nullptr) {
-    return ForwardOnce(primary, target);
+    return ForwardOnce(primary, target, headers);
   }
 
   struct SharedState {
@@ -193,7 +271,8 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
   };
   auto state = std::make_shared<SharedState>();
 
-  auto launch = [this, state, &target](Backend* backend, bool is_hedge) {
+  auto launch = [this, state, &target, &headers](Backend* backend,
+                                                 bool is_hedge) {
     {
       std::lock_guard<std::mutex> lock(state->mutex);
       ++state->outstanding;
@@ -201,10 +280,11 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
     inflight_hedges_.fetch_add(1);
     // Detached: the winner's caller returns immediately, the loser keeps
     // running (bounded by forward_timeout_ms); Stop() drains via
-    // inflight_hedges_. `target` is copied into the thread.
-    std::thread([this, state, backend, is_hedge,
-                 target_copy = target]() mutable {
-      AttemptResult result = ForwardOnce(*backend, target_copy);
+    // inflight_hedges_. `target` and `headers` are copied into the
+    // thread.
+    std::thread([this, state, backend, is_hedge, target_copy = target,
+                 headers_copy = headers]() mutable {
+      AttemptResult result = ForwardOnce(*backend, target_copy, headers_copy);
       {
         std::lock_guard<std::mutex> lock(state->mutex);
         --state->outstanding;
@@ -229,7 +309,7 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
       [&] { return state->have_winner || state->outstanding == 0; });
   if (!primary_done) {
     lock.unlock();
-    hedges_.fetch_add(1, std::memory_order_relaxed);
+    hedges_->Increment();
     launch(secondary, /*is_hedge=*/true);
     lock.lock();
   }
@@ -237,7 +317,7 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
                  [&] { return state->have_winner || state->outstanding == 0; });
   if (state->have_winner) {
     if (state->winner_was_hedge) {
-      hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+      hedge_wins_->Increment();
     }
     return std::move(state->winner);
   }
@@ -248,14 +328,39 @@ HttpResponse ClusterGateway::Handle(const HttpRequest& request) {
   if (request.method != "GET") {
     return HttpResponse::Error(405, "only GET is supported");
   }
-  if (request.path == "/recommend") return HandleRecommend(request);
+  if (request.path == "/recommend") {
+    // Adopt a caller-supplied trace id (e.g. an edge proxy), else mint
+    // one; either way the same id follows the request into the fleet.
+    const std::string inbound = request.Header(kTraceIdHeader);
+    Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
+    trace.Record(TraceStage::kParse, request.parse_micros);
+
+    HttpResponse response = HandleRecommend(request, &trace);
+    // The backend echo arrives lower-cased (header names are folded on
+    // parse); drop it so the response carries the id exactly once.
+    response.headers.erase("x-serenade-trace-id");
+    response.headers[kTraceIdHeader] = trace.id();
+
+    request_latency_micros_->Record(trace.TotalMicros());
+    for (TraceStage stage : kGatewayStages) {
+      if (trace.StageCount(stage) == 0) continue;
+      stage_micros_[static_cast<size_t>(stage)]->Record(
+          trace.StageMicros(stage));
+    }
+    slow_logger_.MaybeLog(trace, "gateway", request.path, response.status);
+    return response;
+  }
   if (request.path == "/healthz") return HandleHealthz();
   if (request.path == "/stats") return HandleStats();
-  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/metrics") {
+    return HttpResponse::Text(registry_.RenderPrometheus(),
+                              MetricsRegistry::ContentType());
+  }
   return HttpResponse::Error(404, "unknown path");
 }
 
-HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
+HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request,
+                                             Trace* trace) {
   const std::string session_key = request.Param("session_id");
   if (session_key.empty()) {
     return HttpResponse::Error(400, "session_id is required");
@@ -272,6 +377,11 @@ HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
     separator = '&';
   }
 
+  // Trace-context propagation: the backend adopts this id and echoes it,
+  // so the pod's slow-request logs join with ours.
+  const std::map<std::string, std::string> forward_headers = {
+      {kTraceIdHeader, trace->id()}};
+
   // Ring order per session key: owner first, then deterministic failover
   // successors; unhealthy pods are skipped, which keeps a session sticky
   // to one pod while the fleet is stable and re-homes only the ejected
@@ -285,13 +395,14 @@ HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
     if (Backend* backend = FindBackend(name)) candidates.push_back(backend);
   }
 
+  Span forward_span(trace, TraceStage::kForward);
   AttemptResult last;
   size_t next_candidate = 0;
   uint32_t attempts = 0;
   while (next_candidate < candidates.size() &&
          attempts < config_.max_attempts) {
     if (attempts > 0) {
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      retries_->Increment();
       const uint64_t delay =
           BackoffWithJitterMs(config_.retry_backoff_ms, attempts - 1);
       if (delay > 0) {
@@ -303,19 +414,23 @@ HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
                              ? candidates[next_candidate + 1]
                              : nullptr;
     const bool hedged = config_.hedge_delay_ms > 0 && secondary != nullptr;
-    last = hedged ? ForwardMaybeHedged(*primary, secondary, target)
-                  : ForwardOnce(*primary, target);
+    last = hedged
+               ? ForwardMaybeHedged(*primary, secondary, target,
+                                    forward_headers)
+               : ForwardOnce(*primary, target, forward_headers);
     if (last.ok) {
-      forwarded_ok_.fetch_add(1, std::memory_order_relaxed);
+      forward_span.End();
+      forwarded_ok_->Increment();
       return std::move(last.response);
     }
     // A hedged round consumed the primary and its successor.
     next_candidate += hedged ? 2 : 1;
     attempts += hedged ? 2 : 1;
   }
+  forward_span.End();
 
   if (fallback_ != nullptr) return ServeDegraded(request);
-  failed_.fetch_add(1, std::memory_order_relaxed);
+  failed_->Increment();
   return HttpResponse::Error(
       503, candidates.empty() ? "no healthy backend"
                               : "all forwarding attempts failed: " +
@@ -323,7 +438,7 @@ HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request) {
 }
 
 HttpResponse ClusterGateway::ServeDegraded(const HttpRequest& request) {
-  degraded_.fetch_add(1, std::memory_order_relaxed);
+  degraded_->Increment();
 
   EvolvingSession session;
   uint32_t item = 0;
@@ -369,12 +484,12 @@ HttpResponse ClusterGateway::HandleHealthz() {
 
 GatewayCounters ClusterGateway::counters() const {
   GatewayCounters counters;
-  counters.forwarded_ok = forwarded_ok_.load(std::memory_order_relaxed);
-  counters.degraded = degraded_.load(std::memory_order_relaxed);
-  counters.failed = failed_.load(std::memory_order_relaxed);
-  counters.retries = retries_.load(std::memory_order_relaxed);
-  counters.hedges = hedges_.load(std::memory_order_relaxed);
-  counters.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  counters.forwarded_ok = forwarded_ok_->value();
+  counters.degraded = degraded_->value();
+  counters.failed = failed_->value();
+  counters.retries = retries_->value();
+  counters.hedges = hedges_->value();
+  counters.hedge_wins = hedge_wins_->value();
   return counters;
 }
 
@@ -384,8 +499,8 @@ std::vector<BackendCounters> ClusterGateway::backend_counters() const {
   for (const auto& backend : backends_) {
     BackendCounters counters;
     counters.name = backend->endpoint.name;
-    counters.requests = backend->requests.load(std::memory_order_relaxed);
-    counters.errors = backend->errors.load(std::memory_order_relaxed);
+    counters.requests = backend->requests->value();
+    counters.errors = backend->errors->value();
     out.push_back(std::move(counters));
   }
   return out;
@@ -409,6 +524,8 @@ HttpResponse ClusterGateway::HandleStats() {
       .Value(totals.hedges)
       .Key("hedge_wins")
       .Value(totals.hedge_wins)
+      .Key("slow_requests")
+      .Value(slow_logger_.slow_requests_seen())
       .Key("healthy_backends")
       .Value(static_cast<uint64_t>(health_->NumHealthy()))
       .Key("backends")
@@ -435,108 +552,15 @@ HttpResponse ClusterGateway::HandleStats() {
         .Key("index_version")
         .Value(index_version)
         .Key("requests")
-        .Value(backend->requests.load(std::memory_order_relaxed))
+        .Value(backend->requests->value())
         .Key("errors")
-        .Value(backend->errors.load(std::memory_order_relaxed))
+        .Value(backend->errors->value())
         .Key("ejections")
         .Value(ejections)
         .EndObject();
   }
   writer.EndArray().EndObject();
   return HttpResponse::Json(writer.str());
-}
-
-HttpResponse ClusterGateway::HandleMetrics() {
-  const GatewayCounters totals = this->counters();
-  const Histogram latency = forward_latency_micros_.Merged();
-
-  std::string body;
-  char line[256];
-  auto counter = [&](const char* name, const char* help, uint64_t value) {
-    std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
-                  name, name, static_cast<unsigned long long>(value));
-    body += line;
-  };
-  counter("gateway_requests_total", "requests accepted by the gateway",
-          requests_served());
-  counter("gateway_forwarded_ok_total", "requests answered by a backend",
-          totals.forwarded_ok);
-  counter("gateway_degraded_responses_total",
-          "requests served by the popularity fallback", totals.degraded);
-  counter("gateway_failed_requests_total",
-          "requests that exhausted all attempts", totals.failed);
-  counter("gateway_retries_total", "retry attempts against ring successors",
-          totals.retries);
-  counter("gateway_hedges_total", "hedged second requests launched",
-          totals.hedges);
-  counter("gateway_hedge_wins_total", "hedges that beat the primary",
-          totals.hedge_wins);
-
-  body +=
-      "# HELP gateway_backend_requests_total forwarding attempts per "
-      "backend\n# TYPE gateway_backend_requests_total counter\n";
-  for (const auto& backend : backends_) {
-    std::snprintf(line, sizeof(line),
-                  "gateway_backend_requests_total{backend=\"%s\"} %llu\n",
-                  backend->endpoint.name.c_str(),
-                  static_cast<unsigned long long>(
-                      backend->requests.load(std::memory_order_relaxed)));
-    body += line;
-  }
-  body +=
-      "# HELP gateway_backend_errors_total failed forwarding attempts per "
-      "backend\n# TYPE gateway_backend_errors_total counter\n";
-  for (const auto& backend : backends_) {
-    std::snprintf(line, sizeof(line),
-                  "gateway_backend_errors_total{backend=\"%s\"} %llu\n",
-                  backend->endpoint.name.c_str(),
-                  static_cast<unsigned long long>(
-                      backend->errors.load(std::memory_order_relaxed)));
-    body += line;
-  }
-  body +=
-      "# HELP gateway_backend_healthy whether the backend is routable\n"
-      "# TYPE gateway_backend_healthy gauge\n";
-  const std::vector<BackendHealth> health_snapshot = health_->Snapshot();
-  for (const BackendHealth& entry : health_snapshot) {
-    std::snprintf(line, sizeof(line),
-                  "gateway_backend_healthy{backend=\"%s\"} %d\n",
-                  entry.name.c_str(), entry.healthy ? 1 : 0);
-    body += line;
-  }
-  body +=
-      "# HELP gateway_backend_index_version index snapshot version last "
-      "reported by the backend\n"
-      "# TYPE gateway_backend_index_version gauge\n";
-  for (const BackendHealth& entry : health_snapshot) {
-    std::snprintf(line, sizeof(line),
-                  "gateway_backend_index_version{backend=\"%s\"} %llu\n",
-                  entry.name.c_str(),
-                  static_cast<unsigned long long>(entry.index_version));
-    body += line;
-  }
-
-  body +=
-      "# HELP gateway_forward_latency_microseconds per-attempt forwarding "
-      "latency\n# TYPE gateway_forward_latency_microseconds summary\n";
-  for (double quantile : {0.5, 0.75, 0.9, 0.99, 0.995}) {
-    std::snprintf(
-        line, sizeof(line),
-        "gateway_forward_latency_microseconds{quantile=\"%g\"} %llu\n",
-        quantile,
-        static_cast<unsigned long long>(latency.Percentile(quantile)));
-    body += line;
-  }
-  std::snprintf(line, sizeof(line),
-                "gateway_forward_latency_microseconds_count %llu\n",
-                static_cast<unsigned long long>(latency.count()));
-  body += line;
-
-  HttpResponse response;
-  response.content_type = "text/plain; version=0.0.4";
-  response.body = std::move(body);
-  return response;
 }
 
 }  // namespace serenade

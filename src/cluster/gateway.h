@@ -7,11 +7,18 @@
 // recommender when the whole fleet is down — the client sees
 // {"degraded":true}, never a 5xx.
 //
+// Observability: every /recommend request carries a Trace; the gateway
+// stamps its id onto proxied requests as X-Serenade-Trace-Id, backends
+// adopt and echo it, and both tiers emit sampled structured slow-request
+// log lines keyed by the same id — a fleet-level p99 outlier can be
+// followed gateway -> pod -> stage. All gateway metrics live in one
+// MetricsRegistry (src/obs), which renders /metrics.
+//
 // Routes:
 //   GET /recommend?session_id=<key>&item_id=<id>[...]  -> forwarded
 //   GET /healthz  -> gateway liveness + healthy-backend count
 //   GET /stats    -> aggregate + per-backend counters (JSON)
-//   GET /metrics  -> the same in Prometheus text exposition format
+//   GET /metrics  -> Prometheus text exposition from the MetricsRegistry
 #pragma once
 
 #include <atomic>
@@ -24,9 +31,10 @@
 
 #include "cluster/hash_ring.h"
 #include "cluster/health.h"
-#include "common/histogram.h"
 #include "common/status.h"
 #include "core/recommender.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/http.h"
 
 namespace serenade {
@@ -49,6 +57,8 @@ struct GatewayConfig {
   /// Idle keep-alive connections retained per backend.
   size_t max_pooled_clients = 8;
   HealthCheckerConfig health;
+  /// Slow-request logging policy (threshold 0 = disabled).
+  TraceConfig trace;
 };
 
 /// Aggregate gateway counters (monotonic).
@@ -93,11 +103,15 @@ class ClusterGateway {
   GatewayCounters counters() const;
   std::vector<BackendCounters> backend_counters() const;
 
+  /// The gateway's metric registry (handed to tests and collectors).
+  MetricsRegistry& metrics() { return registry_; }
+
  private:
   struct Backend {
     BackendEndpoint endpoint;
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> errors{0};
+    // Registry-owned forwarding counters (exported with backend=<name>).
+    MetricCounter* requests = nullptr;
+    MetricCounter* errors = nullptr;
     // Idle keep-alive connections to this backend.
     std::mutex pool_mutex;
     std::vector<std::unique_ptr<HttpClient>> pool;
@@ -110,17 +124,21 @@ class ClusterGateway {
     Status error;
   };
 
+  void RegisterMetrics();
+
   HttpResponse Handle(const HttpRequest& request);
-  HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleRecommend(const HttpRequest& request, Trace* trace);
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
-  HttpResponse HandleMetrics();
 
   Backend* FindBackend(const std::string& name);
-  AttemptResult ForwardOnce(Backend& backend, const std::string& target);
+  /// One forwarding attempt; `headers` carry the trace-context header.
+  AttemptResult ForwardOnce(Backend& backend, const std::string& target,
+                            const std::map<std::string, std::string>& headers);
   /// Primary attempt, optionally racing a hedged attempt on `secondary`.
-  AttemptResult ForwardMaybeHedged(Backend& primary, Backend* secondary,
-                                   const std::string& target);
+  AttemptResult ForwardMaybeHedged(
+      Backend& primary, Backend* secondary, const std::string& target,
+      const std::map<std::string, std::string>& headers);
   HttpResponse ServeDegraded(const HttpRequest& request);
 
   std::unique_ptr<HttpClient> AcquireClient(Backend& backend, Status* status);
@@ -135,13 +153,19 @@ class ClusterGateway {
   std::unique_ptr<HealthChecker> health_;
   std::unique_ptr<HttpServer> http_;
 
-  ShardedHistogram forward_latency_micros_;
-  std::atomic<uint64_t> forwarded_ok_{0};
-  std::atomic<uint64_t> degraded_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> hedges_{0};
-  std::atomic<uint64_t> hedge_wins_{0};
+  // Shared metrics substrate: /metrics is rendered from this registry.
+  MetricsRegistry registry_;
+  MetricCounter* forwarded_ok_ = nullptr;
+  MetricCounter* degraded_ = nullptr;
+  MetricCounter* failed_ = nullptr;
+  MetricCounter* retries_ = nullptr;
+  MetricCounter* hedges_ = nullptr;
+  MetricCounter* hedge_wins_ = nullptr;
+  MetricHistogram* forward_latency_micros_ = nullptr;
+  MetricHistogram* request_latency_micros_ = nullptr;
+  MetricHistogram* stage_micros_[kNumTraceStages] = {};
+  SlowRequestLogger slow_logger_;
+
   // Detached hedge-loser threads still in flight; Stop() waits for zero
   // so they never outlive the state they touch.
   std::atomic<int> inflight_hedges_{0};

@@ -12,6 +12,7 @@ namespace serenade {
 namespace {
 std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 std::mutex g_log_mutex;
+LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,6 +35,11 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = std::move(sink);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -53,7 +59,11 @@ LogMessage::~LogMessage() {
   std::strftime(time_str, sizeof(time_str), "%H:%M:%S", &tm_buf);
 
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s %s\n", time_str, stream_.str().c_str());
+  if (g_log_sink) {
+    g_log_sink(level_, stream_.str());
+  } else {
+    std::fprintf(stderr, "%s %s\n", time_str, stream_.str().c_str());
+  }
 }
 
 }  // namespace internal

@@ -2,6 +2,7 @@
 // serving layer and offline pipelines, not for hot per-request paths.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,14 @@ void SetLogLevel(LogLevel level);
 
 /// Returns the global minimum level.
 LogLevel GetLogLevel();
+
+/// Receives each formatted log line (without trailing newline) instead of
+/// stderr. Used by tests to assert on emitted lines (e.g. that a
+/// backend's slow-request log carries the gateway's trace id).
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Installs a sink ({} restores stderr output). Thread-safe.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

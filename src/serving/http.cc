@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace serenade {
 
@@ -173,12 +174,23 @@ size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
   return total;
 }
 
+// Response headers the server owns; application-set duplicates (e.g. a
+// proxied backend's parsed Content-Length) are dropped.
+bool IsManagedHeader(const std::string& lower_name) {
+  return lower_name == "content-type" || lower_name == "content-length" ||
+         lower_name == "connection";
+}
+
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusText(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.headers) {
+    if (IsManagedHeader(ToLower(name))) continue;
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += response.body;
   return out;
@@ -219,8 +231,38 @@ std::string HttpRequest::Param(const std::string& key,
   return it == query.end() ? fallback : it->second;
 }
 
+// Server-parsed maps hold lower-cased names, application-set maps may
+// hold canonical casing; a case-insensitive scan serves both (header
+// maps are tiny).
+static std::string FindHeader(
+    const std::map<std::string, std::string>& headers,
+                       const std::string& name, const std::string& fallback) {
+  const std::string lower = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (ToLower(key) == lower) return value;
+  }
+  return fallback;
+}
+
+std::string HttpRequest::Header(const std::string& name,
+                                const std::string& fallback) const {
+  return FindHeader(headers, name, fallback);
+}
+
+std::string HttpResponse::Header(const std::string& name,
+                                 const std::string& fallback) const {
+  return FindHeader(headers, name, fallback);
+}
+
 HttpResponse HttpResponse::Json(std::string body) {
   HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Text(std::string body, std::string content_type) {
+  HttpResponse response;
+  response.content_type = std::move(content_type);
   response.body = std::move(body);
   return response;
 }
@@ -310,7 +352,9 @@ void HttpServer::ConnectionLoop(int fd) {
     if (read == ReadResult::kClosed) break;
     HttpRequest request;
     bool keep_alive = false;
+    Stopwatch parse_watch;
     const size_t consumed = ParseRequest(fd, &buffer, &request, &keep_alive);
+    request.parse_micros = parse_watch.ElapsedMicros();
     if (consumed == 0) {
       WriteAll(fd, SerializeResponse(
                        HttpResponse::Error(400, "malformed request"), false));
@@ -432,27 +476,40 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   }
   response.status = std::atoi(head.c_str() + status_start + 1);
 
+  // Parse every response header (lower-cased names) so callers can read
+  // application headers such as the echoed X-Serenade-Trace-Id.
+  size_t cursor = head.find("\r\n");
+  cursor = cursor == std::string::npos ? head.size() : cursor + 2;
+  while (cursor < head.size()) {
+    size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(cursor, eol - cursor);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = ToLower(line.substr(0, colon));
+      size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      response.headers[name] = line.substr(value_start);
+    }
+    cursor = eol + 2;
+  }
+
   size_t body_length = 0;
-  const std::string lower_head = ToLower(head);
-  const size_t cl = lower_head.find("content-length:");
-  if (cl != std::string::npos) {
+  auto content_length = response.headers.find("content-length");
+  if (content_length != response.headers.end()) {
     body_length = static_cast<size_t>(
-        std::strtoull(head.c_str() + cl + 15, nullptr, 10));
+        std::strtoull(content_length->second.c_str(), nullptr, 10));
     if (body_length > kMaxBodyBytes) {
       return Status::Corruption("response body of " +
                                 std::to_string(body_length) +
                                 " bytes exceeds the client limit");
     }
   }
-  const size_t ct = lower_head.find("content-type:");
-  if (ct != std::string::npos) {
-    size_t value_start = ct + 13;
-    while (value_start < head.size() && head[value_start] == ' ') {
-      ++value_start;
-    }
-    size_t value_end = head.find("\r\n", value_start);
-    if (value_end == std::string::npos) value_end = head.size();
-    response.content_type = head.substr(value_start, value_end - value_start);
+  auto content_type = response.headers.find("content-type");
+  if (content_type != response.headers.end()) {
+    response.content_type = content_type->second;
   }
   const size_t total = header_end + 4 + body_length;
   if (buffer.size() < total) {
@@ -469,10 +526,16 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   return response;
 }
 
-StatusOr<HttpResponse> HttpClient::Get(const std::string& path_and_query) {
-  const std::string request_text = "GET " + path_and_query +
-                                   " HTTP/1.1\r\nHost: localhost\r\n"
-                                   "Connection: keep-alive\r\n\r\n";
+StatusOr<HttpResponse> HttpClient::Get(
+    const std::string& path_and_query,
+    const std::map<std::string, std::string>& extra_headers) {
+  std::string request_text = "GET " + path_and_query +
+                             " HTTP/1.1\r\nHost: localhost\r\n"
+                             "Connection: keep-alive\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request_text += name + ": " + value + "\r\n";
+  }
+  request_text += "\r\n";
   auto response = RoundTrip(request_text);
   if (!response.ok() && fd_ >= 0 &&
       response.status().code() != StatusCode::kDeadlineExceeded) {

@@ -24,19 +24,35 @@ struct HttpRequest {
   std::map<std::string, std::string> query;     // decoded query params
   std::map<std::string, std::string> headers;   // lower-cased names
   std::string body;
+  /// Time the server spent reading + parsing this request off the wire
+  /// (the `parse` stage of a request trace).
+  uint64_t parse_micros = 0;
 
   /// Query parameter lookup with default.
   std::string Param(const std::string& key,
                     const std::string& fallback = "") const;
+
+  /// Header lookup (name is matched lower-cased) with default.
+  std::string Header(const std::string& name,
+                     const std::string& fallback = "") const;
 };
 
 /// A response to serialise.
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers (e.g. X-Serenade-Trace-Id). Content-Type,
+  /// Content-Length, and Connection are managed by the server and are
+  /// skipped here if present.
+  std::map<std::string, std::string> headers;
   std::string body;
 
+  /// Header lookup (name is matched lower-cased) with default.
+  std::string Header(const std::string& name,
+                     const std::string& fallback = "") const;
+
   static HttpResponse Json(std::string body);
+  static HttpResponse Text(std::string body, std::string content_type);
   static HttpResponse Error(int status, const std::string& message);
 };
 
@@ -108,7 +124,11 @@ class HttpClient {
   /// Sends a GET and reads the full response. Reconnects once on a stale
   /// keep-alive connection (but never retries after a timeout: the peer
   /// is slow, not stale, and a retry would double the wait).
-  StatusOr<HttpResponse> Get(const std::string& path_and_query);
+  /// `extra_headers` are appended verbatim to the request (used by the
+  /// gateway to stamp X-Serenade-Trace-Id on proxied requests).
+  StatusOr<HttpResponse> Get(
+      const std::string& path_and_query,
+      const std::map<std::string, std::string>& extra_headers = {});
 
   /// Sends a POST with the given body (Content-Type: application/json).
   StatusOr<HttpResponse> Post(const std::string& path_and_query,

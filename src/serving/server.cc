@@ -2,18 +2,103 @@
 
 #include <charconv>
 #include <chrono>
-#include <cstdio>
 
-#include "common/stopwatch.h"
 #include "serving/json.h"
 
 namespace serenade {
 
+namespace {
+
+// Pod-side stages exported as serenade_stage_duration_microseconds
+// labels. kForward is gateway-only and deliberately absent.
+constexpr TraceStage kPodStages[] = {
+    TraceStage::kParse,       TraceStage::kStoreGet,
+    TraceStage::kStorePut,    TraceStage::kSnapshotPin,
+    TraceStage::kKnnRetrieve, TraceStage::kRank,
+    TraceStage::kSerialize,
+};
+
+}  // namespace
+
 SerenadeServer::SerenadeServer(std::unique_ptr<SerenadeService> service,
                                ServerConfig config)
-    : service_(std::move(service)), config_(config) {}
+    : service_(std::move(service)),
+      config_(config),
+      slow_logger_(config.trace) {
+  RegisterMetrics();
+}
 
 SerenadeServer::~SerenadeServer() { Stop(); }
+
+void SerenadeServer::RegisterMetrics() {
+  registry_.AddCallback(
+      "serenade_requests_total", "HTTP requests served", MetricType::kCounter,
+      "", [this]() -> std::vector<MetricSample> {
+        return {{"", requests_served()}};
+      });
+  registry_.AddCallback(
+      "serenade_store_reads_total", "session store reads",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->StoreStats().reads}};
+      });
+  registry_.AddCallback(
+      "serenade_store_writes_total", "session store writes",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->StoreStats().writes}};
+      });
+  registry_.AddCallback(
+      "serenade_store_expirations_total", "sessions expired by TTL",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->StoreStats().expirations}};
+      });
+  registry_.AddCallback(
+      "serenade_live_sessions", "evolving sessions currently stored",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->StoreStats().live_entries}};
+      });
+  registry_.AddCallback(
+      "serenade_index_sessions", "historical sessions in the index",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->CurrentSnapshot()->index().num_sessions()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_version", "published index snapshot version",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->CurrentSnapshot()->version()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_reloads_total", "successful index hot swaps",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->index_manager().reloads_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_reload_failures_total",
+      "rejected index reload attempts", MetricType::kCounter, "",
+      [this]() -> std::vector<MetricSample> {
+        return {{"", service_->index_manager().reload_failures_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_recommender_pool_size", "idle pooled recommenders",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->PooledRecommenders()}};
+      });
+  registry_.AddCallback(
+      "serenade_slow_requests_total",
+      "requests over the slow-request threshold", MetricType::kCounter, "",
+      [this]() -> std::vector<MetricSample> {
+        return {{"", slow_logger_.slow_requests_seen()}};
+      });
+
+  recommend_latency_micros_ = &registry_.AddHistogram(
+      "serenade_recommend_latency_microseconds",
+      "/recommend handling latency");
+  for (TraceStage stage : kPodStages) {
+    stage_micros_[static_cast<size_t>(stage)] = &registry_.AddHistogram(
+        "serenade_stage_duration_microseconds",
+        "per-request latency attributed to one serving stage", "stage",
+        TraceStageName(stage));
+  }
+}
 
 Status SerenadeServer::Start() {
   http_ = std::make_unique<HttpServer>(
@@ -39,6 +124,14 @@ void SerenadeServer::Stop() {
   if (http_) http_->Stop();
 }
 
+void SerenadeServer::RecordStageMetrics(const Trace& trace) {
+  for (TraceStage stage : kPodStages) {
+    if (trace.StageCount(stage) == 0) continue;
+    stage_micros_[static_cast<size_t>(stage)]->Record(
+        trace.StageMicros(stage));
+  }
+}
+
 HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
   if (request.path == "/admin/reload") {
     if (request.method != "POST") {
@@ -50,9 +143,17 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
     return HttpResponse::Error(405, "only GET is supported");
   }
   if (request.path == "/recommend") {
-    Stopwatch stopwatch;
-    HttpResponse response = HandleRecommend(request);
-    recommend_latency_micros_.Record(stopwatch.ElapsedMicros());
+    // Adopt the gateway's trace id when one arrived; mint one otherwise.
+    const std::string inbound = request.Header(kTraceIdHeader);
+    Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
+    trace.Record(TraceStage::kParse, request.parse_micros);
+
+    HttpResponse response = HandleRecommend(request, &trace);
+    response.headers[kTraceIdHeader] = trace.id();
+
+    recommend_latency_micros_->Record(trace.TotalMicros());
+    RecordStageMetrics(trace);
+    slow_logger_.MaybeLog(trace, "pod", request.path, response.status);
     return response;
   }
   if (request.path == "/healthz") {
@@ -66,11 +167,15 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
     return HttpResponse::Json(writer.str());
   }
   if (request.path == "/stats") return HandleStats();
-  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/metrics") {
+    return HttpResponse::Text(registry_.RenderPrometheus(),
+                              MetricsRegistry::ContentType());
+  }
   return HttpResponse::Error(404, "unknown path");
 }
 
-HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request) {
+HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request,
+                                             Trace* trace) {
   const std::string session_key = request.Param("session_id");
   const std::string item_text = request.Param("item_id");
   if (session_key.empty() || item_text.empty()) {
@@ -86,13 +191,14 @@ HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request) {
   const bool consent = request.Param("consent", "true") != "false";
 
   auto result = service_->HandleUpdateAndRecommend(
-      RecommendRequest{session_key, item, consent});
+      RecommendRequest{session_key, item, consent}, trace);
   if (!result.ok()) {
     return HttpResponse::Error(
         result.status().code() == StatusCode::kInvalidArgument ? 400 : 500,
         result.status().message());
   }
 
+  Span serialize_span(trace, TraceStage::kSerialize);
   JsonWriter writer;
   writer.BeginObject().Key("items").BeginArray();
   for (const ScoredItem& rec : *result) {
@@ -144,69 +250,6 @@ HttpResponse SerenadeServer::HandleAdminReload(const HttpRequest& request) {
   return HttpResponse::Json(writer.str());
 }
 
-HttpResponse SerenadeServer::HandleMetrics() {
-  const SessionStoreStats stats = service_->StoreStats();
-  const Histogram latency = recommend_latency_micros_.Merged();
-  const auto snapshot = service_->CurrentSnapshot();
-  IndexManager& manager = service_->index_manager();
-
-  std::string body;
-  char line[256];
-  auto counter = [&](const char* name, const char* help, uint64_t value) {
-    std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
-                  name, name, static_cast<unsigned long long>(value));
-    body += line;
-  };
-  auto gauge = [&](const char* name, const char* help, uint64_t value) {
-    std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s gauge\n%s %llu\n", name, help,
-                  name, name, static_cast<unsigned long long>(value));
-    body += line;
-  };
-  counter("serenade_requests_total", "HTTP requests served",
-          http_->requests_served());
-  counter("serenade_store_reads_total", "session store reads", stats.reads);
-  counter("serenade_store_writes_total", "session store writes",
-          stats.writes);
-  counter("serenade_store_expirations_total", "sessions expired by TTL",
-          stats.expirations);
-  gauge("serenade_live_sessions", "evolving sessions currently stored",
-        stats.live_entries);
-  gauge("serenade_index_sessions", "historical sessions in the index",
-        snapshot->index().num_sessions());
-  gauge("serenade_index_version", "published index snapshot version",
-        snapshot->version());
-  counter("serenade_index_reloads_total", "successful index hot swaps",
-          manager.reloads_total());
-  counter("serenade_index_reload_failures_total",
-          "rejected index reload attempts", manager.reload_failures_total());
-  gauge("serenade_recommender_pool_size", "idle pooled recommenders",
-        service_->PooledRecommenders());
-
-  body +=
-      "# HELP serenade_recommend_latency_microseconds /recommend handling "
-      "latency\n# TYPE serenade_recommend_latency_microseconds summary\n";
-  for (double quantile : {0.5, 0.75, 0.9, 0.99, 0.995}) {
-    std::snprintf(line, sizeof(line),
-                  "serenade_recommend_latency_microseconds{quantile=\"%g\"} "
-                  "%llu\n",
-                  quantile,
-                  static_cast<unsigned long long>(
-                      latency.Percentile(quantile)));
-    body += line;
-  }
-  std::snprintf(line, sizeof(line),
-                "serenade_recommend_latency_microseconds_count %llu\n",
-                static_cast<unsigned long long>(latency.count()));
-  body += line;
-
-  HttpResponse response;
-  response.content_type = "text/plain; version=0.0.4";
-  response.body = std::move(body);
-  return response;
-}
-
 HttpResponse SerenadeServer::HandleStats() {
   const SessionStoreStats stats = service_->StoreStats();
   const auto snapshot = service_->CurrentSnapshot();
@@ -214,7 +257,7 @@ HttpResponse SerenadeServer::HandleStats() {
   JsonWriter writer;
   writer.BeginObject()
       .Key("requests_served")
-      .Value(http_->requests_served())
+      .Value(requests_served())
       .Key("store_reads")
       .Value(stats.reads)
       .Key("store_writes")
@@ -239,6 +282,8 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(static_cast<uint64_t>(snapshot->index().num_items()))
       .Key("recommender_pool_size")
       .Value(static_cast<uint64_t>(service_->PooledRecommenders()))
+      .Key("slow_requests")
+      .Value(slow_logger_.slow_requests_seen())
       .EndObject();
   return HttpResponse::Json(writer.str());
 }

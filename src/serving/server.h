@@ -4,29 +4,44 @@
 //        -> {"items":[...],"scores":[...]}
 //   GET  /healthz  -> {"status":"ok","index_version":N}
 //   GET  /stats    -> request / session-store / index-snapshot counters
-//   GET  /metrics  -> the same counters plus request-latency quantiles in
-//                     Prometheus text exposition format (what the paper's
-//                     Kubernetes deployment scrapes for its dashboards)
+//   GET  /metrics  -> Prometheus text exposition rendered by the shared
+//                     MetricsRegistry (src/obs): the same counters plus
+//                     request-latency quantiles and per-stage latency
+//                     histograms (what the paper's Kubernetes deployment
+//                     scrapes for its dashboards)
 //   POST /admin/reload[?path=<index file>]
 //        -> hot-swaps the serving index to a newly built artifact with
 //           zero downtime; "" path re-reads the current source. Responds
 //           with the published version on success.
+//
+// Observability: every /recommend request carries a Trace (adopting an
+// inbound X-Serenade-Trace-Id, e.g. from the cluster gateway, or minting
+// one), whose id is echoed on the response. Per-stage timings feed the
+// serenade_stage_duration_microseconds{stage=...} histograms, and
+// requests slower than ServerConfig::trace.slow_request_micros emit a
+// sampled structured log line keyed by the trace id.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <thread>
 
-#include "common/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/http.h"
 #include "serving/service.h"
 
 namespace serenade {
 
+/// Trace-context header stamped by the gateway and echoed by pods.
+inline constexpr char kTraceIdHeader[] = "X-Serenade-Trace-Id";
+
 struct ServerConfig {
   uint16_t port = 0;  ///< 0 = pick an ephemeral port
   /// Background eviction interval for expired sessions (0 = disabled).
   uint64_t janitor_interval_ms = 0;
+  /// Slow-request logging policy (threshold 0 = disabled).
+  TraceConfig trace;
 };
 
 /// One serving machine (a "Serenade pod" in Figure 1).
@@ -45,12 +60,19 @@ class SerenadeServer {
     return http_ ? http_->requests_served() : 0;
   }
 
+  /// The pod's metric registry (handed to tests and future collectors).
+  MetricsRegistry& metrics() { return registry_; }
+
  private:
+  void RegisterMetrics();
+
   HttpResponse Handle(const HttpRequest& request);
-  HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleRecommend(const HttpRequest& request, Trace* trace);
   HttpResponse HandleAdminReload(const HttpRequest& request);
   HttpResponse HandleStats();
-  HttpResponse HandleMetrics();
+
+  /// Folds a finished request trace into the per-stage histograms.
+  void RecordStageMetrics(const Trace& trace);
 
   std::unique_ptr<SerenadeService> service_;
   ServerConfig config_;
@@ -58,10 +80,11 @@ class SerenadeServer {
   std::atomic<bool> stopping_{false};
   std::thread janitor_;
 
-  // Server-side latency of /recommend handling, for /metrics. Sharded so
-  // concurrent connection threads don't serialise on one lock; merged on
-  // scrape.
-  ShardedHistogram recommend_latency_micros_;
+  // Shared metrics substrate: /metrics is rendered from this registry.
+  MetricsRegistry registry_;
+  MetricHistogram* recommend_latency_micros_ = nullptr;
+  MetricHistogram* stage_micros_[kNumTraceStages] = {};
+  SlowRequestLogger slow_logger_;
 };
 
 }  // namespace serenade

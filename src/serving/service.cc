@@ -133,7 +133,7 @@ size_t SerenadeService::PooledRecommenders() const {
 }
 
 StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
-    const RecommendRequest& request) {
+    const RecommendRequest& request, Trace* trace) {
   if (request.item == kInvalidItem) {
     return Status::InvalidArgument("missing item id");
   }
@@ -142,10 +142,11 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
   }
 
   // Step 2 (Figure 1): update the evolving session with a machine-local
-  // read-modify-write.
+  // read-modify-write (the store records it as the store_put span).
   EvolvingSession evolving;
   const Status update_status = store_->Update(
-      request.session_key, [&](const std::string& current) {
+      request.session_key,
+      [&](const std::string& current) {
         evolving = DecodeSession(current);
         evolving.push_back(request.item);
         if (evolving.size() > config_.max_stored_session_length) {
@@ -155,7 +156,8 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
                                  config_.max_stored_session_length));
         }
         return EncodeSession(evolving);
-      });
+      },
+      trace);
   SERENADE_RETURN_IF_ERROR(update_status);
 
   // Depersonalisation (Section 4.2): without consent, only the currently
@@ -168,12 +170,18 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
   // outlives the scoring pass, so a concurrent hot swap can never free the
   // index under us. Fetch more than the UI needs so the business-rule
   // filters have spare candidates.
+  Span pin_span(trace, TraceStage::kSnapshotPin);
   const std::shared_ptr<const IndexSnapshot> snapshot = manager_->Current();
   PooledRecommender entry = AcquireRecommender(snapshot);
+  pin_span.End();
+
+  Span knn_span(trace, TraceStage::kKnnRetrieve);
   const std::vector<ScoredItem> raw = entry.recommender->RecommendNext(
       evolving, config_.rules.max_items * 2 + 8);
+  knn_span.End();
   ReleaseRecommender(std::move(entry));
 
+  Span rank_span(trace, TraceStage::kRank);
   return ApplyBusinessRules(raw, catalog_, config_.rules);
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "core/session_index.h"
+#include "obs/trace.h"
 #include "core/vmis_knn.h"
 #include "data/synthetic.h"
 #include "index/snapshot.h"
@@ -70,8 +71,10 @@ class SerenadeService {
   /// Appends the clicked item to the evolving session (machine-local
   /// write), predicts the next items (machine-local reads only) and
   /// applies the business rules. Returns at most rules.max_items items.
+  /// A non-null `trace` receives store_put / snapshot_pin / knn_retrieve
+  /// / rank stage spans.
   StatusOr<std::vector<ScoredItem>> HandleUpdateAndRecommend(
-      const RecommendRequest& request);
+      const RecommendRequest& request, Trace* trace = nullptr);
 
   /// Reads the stored evolving session (diagnostics / tests).
   StatusOr<EvolvingSession> GetSession(const std::string& session_key);

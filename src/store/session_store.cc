@@ -85,7 +85,9 @@ Status SessionStore::Put(const std::string& key, const std::string& value) {
   return LogWrite(WalRecordType::kPut, key, value, now);
 }
 
-StatusOr<std::string> SessionStore::Get(const std::string& key) {
+StatusOr<std::string> SessionStore::Get(const std::string& key,
+                                        Trace* trace) {
+  Span span(trace, TraceStage::kStoreGet);
   const uint64_t now = options_.clock();
   reads_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
@@ -118,7 +120,9 @@ Status SessionStore::Delete(const std::string& key) {
 
 Status SessionStore::Update(
     const std::string& key,
-    const std::function<std::string(const std::string&)>& mutator) {
+    const std::function<std::string(const std::string&)>& mutator,
+    Trace* trace) {
+  Span span(trace, TraceStage::kStorePut);
   const uint64_t now = options_.clock();
   std::string new_value;
   Shard& shard = ShardFor(key);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "store/wal.h"
 
 namespace serenade {
@@ -71,8 +72,9 @@ class SessionStore {
   Status Put(const std::string& key, const std::string& value);
 
   /// Reads a value; refreshes its TTL (an active session stays alive).
-  /// kNotFound for missing or expired keys.
-  StatusOr<std::string> Get(const std::string& key);
+  /// kNotFound for missing or expired keys. A non-null `trace` records
+  /// the lookup as a store_get span.
+  StatusOr<std::string> Get(const std::string& key, Trace* trace = nullptr);
 
   /// Removes a key (idempotent).
   Status Delete(const std::string& key);
@@ -80,8 +82,11 @@ class SessionStore {
   /// Read-modify-write under the shard lock: the mutator receives the
   /// current value ("" if absent) and returns the new value. Used by the
   /// serving layer to append a click to the evolving session atomically.
+  /// A non-null `trace` records the whole operation (including the WAL
+  /// append) as a store_put span.
   Status Update(const std::string& key,
-                const std::function<std::string(const std::string&)>& mutator);
+                const std::function<std::string(const std::string&)>& mutator,
+                Trace* trace = nullptr);
 
   /// Drops all expired entries; returns how many were evicted.
   size_t SweepExpired();

@@ -12,9 +12,11 @@
 #include "cluster/gateway.h"
 #include "cluster/hash_ring.h"
 #include "cluster/health.h"
+#include "common/logging.h"
 #include "core/session_index.h"
 #include "data/synthetic.h"
 #include "index/snapshot.h"
+#include "obs/trace.h"
 #include "serving/json.h"
 #include "serving/server.h"
 
@@ -557,6 +559,111 @@ TEST(GatewayEndToEndTest, RealPodsKeepSessionStateThroughGateway) {
 
   gateway.Stop();
   for (auto& pod : pods) pod->Stop();
+}
+
+// --- trace-context propagation ----------------------------------------------
+
+// A request traced through the gateway carries ONE id: the gateway mints
+// it, stamps it on the proxied request, the pod adopts it, and both
+// tiers' slow-request log lines plus the client-visible response header
+// agree on it.
+TEST(GatewayTracePropagationTest, GatewayAndPodShareOneTraceId) {
+  SyntheticConfig data_config;
+  data_config.seed = 11;
+  data_config.num_items = 100;
+  data_config.num_sessions = 1000;
+  const Dataset train = GenerateDataset(data_config);
+  auto index = std::make_shared<SessionIndex>(SessionIndex::Build(train, 500));
+  ItemCatalog catalog;
+  catalog.available.assign(index->num_items(), true);
+  catalog.adult.assign(index->num_items(), false);
+
+  // Capture every log line the process emits (gateway + pod tiers).
+  std::mutex log_mutex;
+  std::vector<std::string> log_lines;
+  SetLogSink([&](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    log_lines.push_back(line);
+  });
+
+  ServiceConfig service_config;
+  service_config.knn.m = std::min<size_t>(500, index->max_sessions_per_item());
+  service_config.knn.k = std::min<size_t>(100, service_config.knn.m);
+  auto service = SerenadeService::Create(index, catalog, service_config);
+  ASSERT_TRUE(service.ok());
+  ServerConfig pod_config;
+  pod_config.trace.slow_request_micros = 1;  // every request is "slow"
+  SerenadeServer pod(std::move(service).value(), pod_config);
+  ASSERT_TRUE(pod.Start().ok());
+
+  GatewayConfig gateway_config;
+  gateway_config.retry_backoff_ms = 1;
+  gateway_config.trace.slow_request_micros = 1;
+  ClusterGateway gateway({BackendEndpoint{"pod-0", pod.port()}},
+                         gateway_config, nullptr);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(gateway.port()).ok());
+  auto response = client.Get("/recommend?session_id=traced&item_id=3");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200) << response->body;
+
+  // The gateway-minted id reaches the client on the response.
+  const std::string trace_id = response->Header("X-Serenade-Trace-Id");
+  ASSERT_TRUE(IsValidTraceId(trace_id)) << "'" << trace_id << "'";
+
+  // Both tiers logged a slow-request line keyed by the SAME id.
+  SetLogSink({});
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    lines = log_lines;
+  }
+  bool pod_logged = false, gateway_logged = false;
+  for (const std::string& line : lines) {
+    if (line.find("trace_id=" + trace_id) == std::string::npos) continue;
+    if (line.find("tier=pod") != std::string::npos) pod_logged = true;
+    if (line.find("tier=gateway") != std::string::npos) gateway_logged = true;
+  }
+  EXPECT_TRUE(pod_logged) << "no pod slow-request line with the gateway's id";
+  EXPECT_TRUE(gateway_logged) << "no gateway slow-request line";
+
+  // A caller-supplied id (e.g. an edge proxy) is adopted, not replaced.
+  auto traced = client.Get("/recommend?session_id=traced&item_id=4",
+                           {{"X-Serenade-Trace-Id", "feedc0de12345678"}});
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(traced->Header("X-Serenade-Trace-Id"), "feedc0de12345678");
+
+  // A malformed inbound id is replaced with a freshly minted one.
+  auto malformed = client.Get("/recommend?session_id=traced&item_id=5",
+                              {{"X-Serenade-Trace-Id", "not hex!"}});
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_TRUE(IsValidTraceId(malformed->Header("X-Serenade-Trace-Id")));
+  EXPECT_NE(malformed->Header("X-Serenade-Trace-Id"), "not hex!");
+
+  // Stage timings crossed the tiers: the gateway attributes forwarding
+  // time, the pod attributes knn time; both surface on /metrics.
+  auto gateway_metrics = client.Get("/metrics");
+  ASSERT_TRUE(gateway_metrics.ok());
+  EXPECT_NE(gateway_metrics->body.find(
+                "gateway_stage_duration_microseconds{stage=\"forward\""),
+            std::string::npos)
+      << gateway_metrics->body;
+  EXPECT_NE(gateway_metrics->body.find("gateway_slow_requests_total"),
+            std::string::npos);
+
+  HttpClient pod_client;
+  ASSERT_TRUE(pod_client.Connect(pod.port()).ok());
+  auto pod_metrics = pod_client.Get("/metrics");
+  ASSERT_TRUE(pod_metrics.ok());
+  EXPECT_NE(pod_metrics->body.find(
+                "serenade_stage_duration_microseconds{stage=\"knn_retrieve\""),
+            std::string::npos)
+      << pod_metrics->body;
+
+  gateway.Stop();
+  pod.Stop();
 }
 
 }  // namespace

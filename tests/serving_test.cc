@@ -356,6 +356,48 @@ TEST_F(ServiceTest, MetricsEndpointExposesPrometheusFormat) {
   EXPECT_NE(metrics->body.find(
                 "serenade_recommend_latency_microseconds_count 5"),
             std::string::npos);
+  // Per-stage latency attribution: every pod stage that ran surfaces as
+  // a labeled member of the stage-duration family.
+  EXPECT_NE(metrics->body.find("# TYPE serenade_stage_duration_microseconds "
+                               "summary"),
+            std::string::npos);
+  for (const char* stage :
+       {"parse", "store_put", "snapshot_pin", "knn_retrieve", "rank",
+        "serialize"}) {
+    EXPECT_NE(
+        metrics->body.find("serenade_stage_duration_microseconds_count{stage"
+                           "=\"" +
+                           std::string(stage) + "\"} 5"),
+        std::string::npos)
+        << "missing stage " << stage << " in:\n"
+        << metrics->body;
+  }
+  server.Stop();
+}
+
+TEST_F(ServiceTest, RecommendEchoesTraceId) {
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(index_, catalog_, config);
+  ASSERT_TRUE(service.ok());
+  SerenadeServer server(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  // No inbound id: the pod mints one and echoes it.
+  auto minted = client.Get("/recommend?session_id=t&item_id=3");
+  ASSERT_TRUE(minted.ok());
+  EXPECT_TRUE(IsValidTraceId(minted->Header("X-Serenade-Trace-Id")))
+      << "'" << minted->Header("X-Serenade-Trace-Id") << "'";
+
+  // Inbound id (as stamped by the gateway): adopted verbatim.
+  auto adopted = client.Get("/recommend?session_id=t&item_id=4",
+                            {{"X-Serenade-Trace-Id", "abad1dea00000001"}});
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted->Header("X-Serenade-Trace-Id"), "abad1dea00000001");
   server.Stop();
 }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Verify (or fix) clang-format compliance for the first-party sources.
+#
+#   tools/check_format.sh          # check, exit 1 with a diff summary
+#   tools/check_format.sh --fix    # rewrite files in place
+#
+# Requires clang-format >= 14 (the CI runner has it). When the binary is
+# missing locally the check is skipped with a warning — CI remains the
+# enforcement point — unless SERENADE_FORMAT_STRICT=1 (set in CI) makes
+# a missing binary an error.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  if [ "${SERENADE_FORMAT_STRICT:-0}" = "1" ]; then
+    echo "error: $CLANG_FORMAT not found and SERENADE_FORMAT_STRICT=1" >&2
+    exit 1
+  fi
+  echo "warning: $CLANG_FORMAT not found; skipping format check" >&2
+  exit 0
+fi
+
+MODE="${1:-check}"
+mapfile -t FILES < <(find src tests tools bench examples \
+  -name '*.cc' -o -name '*.h' | sort)
+
+if [ "$MODE" = "--fix" ]; then
+  "$CLANG_FORMAT" -i "${FILES[@]}"
+  echo "formatted ${#FILES[@]} files"
+  exit 0
+fi
+
+FAILED=0
+for FILE in "${FILES[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$FILE" > /dev/null 2>&1; then
+    echo "needs formatting: $FILE" >&2
+    FAILED=1
+  fi
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "format check: ${#FILES[@]} files clean"

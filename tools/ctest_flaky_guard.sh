@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run ctest with a retry-on-failure policy AND treat any retry as a
+# build-breaking flake.
+#
+#   tools/ctest_flaky_guard.sh <build-dir> [ctest args...]
+#
+# `ctest --repeat until-pass:2` reruns each failed test once, so a flaky
+# test "passes" the suite — which is exactly how flakes rot in. This
+# wrapper keeps the retry (one bad scheduling roll must not block a
+# merge diagnosis) but then greps the log: if any test needed the second
+# attempt, it prints the offenders and fails the job anyway, so flakes
+# land as red CI with a name attached instead of silent noise.
+set -uo pipefail
+
+BUILD_DIR="${1:?usage: $0 <build-dir> [ctest args...]}"
+shift || true
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+(cd "$BUILD_DIR" && ctest --output-on-failure --repeat until-pass:2 "$@") \
+  2>&1 | tee "$LOG"
+CTEST_EXIT="${PIPESTATUS[0]}"
+
+if [ "$CTEST_EXIT" -ne 0 ]; then
+  echo "ctest failed outright (exit $CTEST_EXIT)" >&2
+  exit "$CTEST_EXIT"
+fi
+
+# A test that failed its first attempt leaves a ***Failed/***Timeout line
+# in the log even when the repeat pass rescued the suite.
+FLAKY="$(grep -E '\*\*\*(Failed|Timeout)' "$LOG" || true)"
+if [ -n "$FLAKY" ]; then
+  echo "" >&2
+  echo "FLAKY TESTS DETECTED: the suite only passed on retry." >&2
+  echo "Offending first-attempt failures:" >&2
+  echo "$FLAKY" >&2
+  echo "Fix the flake; retries are a diagnostic, not a green light." >&2
+  exit 1
+fi
+
+echo "flaky guard: all tests passed on the first attempt"

@@ -9,8 +9,14 @@
 # index hot-swap tests, which must be clean under both runtimes. Extra
 # arguments are forwarded to ctest, e.g.:
 #
-#   tools/run_sanitized_tests.sh thread -R cluster_gateway
-#   tools/run_sanitized_tests.sh both -R index_swap
+#   tools/run_sanitized_tests.sh thread -R Gateway
+#   tools/run_sanitized_tests.sh both -R IndexSwap
+#
+# The -R pattern matches gtest suite names (ctest -N lists them); an
+# empty match is an error (--no-tests=error), not a silent pass.
+#
+# SERENADE_CMAKE_ARGS adds extra configure flags (CI passes
+# -DSERENADE_WERROR=ON and the ccache launcher through it).
 set -euo pipefail
 
 SANITIZER="${1:-address}"
@@ -40,10 +46,12 @@ for SAN in "${SANITIZERS[@]}"; do
   esac
 
   echo "=== sanitizer: $SAN (build tree: $BUILD_DIR) ==="
+  # shellcheck disable=SC2086  # SERENADE_CMAKE_ARGS is a flag list
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DSERENADE_SANITIZE="$SAN"
+    -DSERENADE_SANITIZE="$SAN" \
+    ${SERENADE_CMAKE_ARGS:-}
   cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" "$@")
+  (cd "$BUILD_DIR" && ctest --output-on-failure --no-tests=error -j "$(nproc)" "$@")
 done

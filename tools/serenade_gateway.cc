@@ -11,9 +11,11 @@
 //       [--forward-timeout 1000] [--max-attempts 3] [--hedge-delay 0]
 //       [--probe-interval 250] [--no-fallback]
 //       [--items 5000] [--sessions 20000]
+//       [--slow-request-us 0] [--slow-sample-every 1]
 //
 // Serves /recommend (forwarded by session_id), /healthz, /stats,
 // /metrics until SIGINT/SIGTERM.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -71,6 +73,13 @@ int main(int argc, char** argv) {
   data_config.num_sessions = flags.GetInt("sessions", 20000);
   const Dataset train = GenerateDataset(data_config);
 
+  // Shared slow-request policy: both the gateway and any spawned pods log
+  // requests over the threshold, joined by the propagated trace id.
+  TraceConfig trace_config;
+  trace_config.slow_request_micros = flags.GetInt("slow-request-us", 0);
+  trace_config.sample_every_n =
+      std::max<uint64_t>(1, flags.GetInt("slow-sample-every", 1));
+
   std::vector<std::unique_ptr<SerenadeServer>> pods;
   std::vector<BackendEndpoint> backends;
 
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
       }
       ServerConfig server_config;
       server_config.janitor_interval_ms = 5000;
+      server_config.trace = trace_config;
       auto pod = std::make_unique<SerenadeServer>(std::move(service).value(),
                                                   server_config);
       if (Status status = pod->Start(); !status.ok()) {
@@ -116,6 +126,7 @@ int main(int argc, char** argv) {
   config.max_attempts = static_cast<uint32_t>(flags.GetInt("max-attempts", 3));
   config.hedge_delay_ms = flags.GetInt("hedge-delay", 0);
   config.health.probe_interval_ms = flags.GetInt("probe-interval", 250);
+  config.trace = trace_config;
 
   std::unique_ptr<Recommender> fallback;
   if (!flags.GetBool("no-fallback", false)) {

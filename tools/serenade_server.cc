@@ -2,6 +2,7 @@
 //
 //   serenade_server --index session.index [--port 8080] [--m 500]
 //       [--k 100] [--ttl 1800] [--max-items 21] [--wal sessions.wal]
+//       [--slow-request-us 0] [--slow-sample-every 1]
 //
 // Loads the binary index produced by serenade_build_index (honouring its
 // `.manifest` sidecar) and serves:
@@ -11,6 +12,7 @@
 //   GET  /metrics
 //   POST /admin/reload[?path=other.index]   (zero-downtime index hot swap)
 // Runs until SIGINT/SIGTERM.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -82,6 +84,11 @@ int main(int argc, char** argv) {
   ServerConfig server_config;
   server_config.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
   server_config.janitor_interval_ms = 5000;
+  // Requests slower than this emit a structured slow_request log line
+  // keyed by trace id (0 = disabled); sampling caps the log volume.
+  server_config.trace.slow_request_micros = flags.GetInt("slow-request-us", 0);
+  server_config.trace.sample_every_n =
+      std::max<uint64_t>(1, flags.GetInt("slow-sample-every", 1));
   SerenadeServer server(std::move(service).value(), server_config);
   if (Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
