@@ -66,6 +66,7 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
       ring_(config.virtual_nodes),
       slow_logger_(config.trace) {
   RegisterMetrics();
+  BuildRoutes();
   backends_.reserve(backends.size());
   for (BackendEndpoint& endpoint : backends) {
     auto backend = std::make_unique<Backend>();
@@ -129,6 +130,12 @@ void ClusterGateway::RegisterMetrics() {
                                   "hedged second requests launched");
   hedge_wins_ = &registry_.AddCounter("gateway_hedge_wins_total",
                                       "hedges that beat the primary");
+  registry_.AddCallback(
+      "serenade_http_deprecated_requests_total",
+      "requests served via deprecated unversioned path aliases",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", router_.deprecated_requests()}};
+      });
   registry_.AddCallback(
       "gateway_slow_requests_total",
       "requests over the slow-request threshold", MetricType::kCounter, "",
@@ -213,7 +220,8 @@ void ClusterGateway::ReleaseClient(Backend& backend,
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
     Backend& backend, const std::string& target,
-    const std::map<std::string, std::string>& headers) {
+    const std::map<std::string, std::string>& headers,
+    const std::string* post_body) {
   AttemptResult result;
   backend.requests->Increment();
   Stopwatch stopwatch;
@@ -228,7 +236,9 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
     return result;
   }
 
-  auto response = client->Get(target, headers);
+  auto response = post_body != nullptr
+                      ? client->Post(target, *post_body, headers)
+                      : client->Get(target, headers);
   forward_latency_micros_->Record(stopwatch.ElapsedMicros());
   const bool transport_ok = response.ok();
   // Any parsed HTTP response proves the pod is alive; 5xx bodies are
@@ -255,9 +265,10 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
     Backend& primary, Backend* secondary, const std::string& target,
-    const std::map<std::string, std::string>& headers) {
+    const std::map<std::string, std::string>& headers,
+    const std::string* post_body) {
   if (config_.hedge_delay_ms == 0 || secondary == nullptr) {
-    return ForwardOnce(primary, target, headers);
+    return ForwardOnce(primary, target, headers, post_body);
   }
 
   struct SharedState {
@@ -271,8 +282,8 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
   };
   auto state = std::make_shared<SharedState>();
 
-  auto launch = [this, state, &target, &headers](Backend* backend,
-                                                 bool is_hedge) {
+  auto launch = [this, state, &target, &headers, post_body](Backend* backend,
+                                                            bool is_hedge) {
     {
       std::lock_guard<std::mutex> lock(state->mutex);
       ++state->outstanding;
@@ -280,11 +291,16 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
     inflight_hedges_.fetch_add(1);
     // Detached: the winner's caller returns immediately, the loser keeps
     // running (bounded by forward_timeout_ms); Stop() drains via
-    // inflight_hedges_. `target` and `headers` are copied into the
-    // thread.
+    // inflight_hedges_. `target`, `headers`, and the body are copied
+    // into the thread.
     std::thread([this, state, backend, is_hedge, target_copy = target,
-                 headers_copy = headers]() mutable {
-      AttemptResult result = ForwardOnce(*backend, target_copy, headers_copy);
+                 headers_copy = headers,
+                 body_copy = post_body == nullptr
+                     ? std::string()
+                     : *post_body,
+                 has_body = post_body != nullptr]() mutable {
+      AttemptResult result = ForwardOnce(*backend, target_copy, headers_copy,
+                                         has_body ? &body_copy : nullptr);
       {
         std::lock_guard<std::mutex> lock(state->mutex);
         --state->outstanding;
@@ -324,23 +340,57 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
   return std::move(state->last_failure);
 }
 
+void ClusterGateway::BuildRoutes() {
+  router_.Handle("GET", "/v1/recommend",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendGet(request, trace);
+                 });
+  router_.Handle("POST", "/v1/recommend",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendPost(request, trace);
+                 });
+  router_.Handle("POST", "/v1/recommend:batch",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendBatch(request, trace);
+                 });
+  router_.Handle("GET", "/v1/healthz",
+                 [this](const HttpRequest&, Trace*) { return HandleHealthz(); });
+  router_.Handle("GET", "/v1/stats",
+                 [this](const HttpRequest&, Trace*) { return HandleStats(); });
+  router_.Handle("GET", "/v1/metrics",
+                 [this](const HttpRequest&, Trace*) {
+                   return HttpResponse::Text(registry_.RenderPrometheus(),
+                                             MetricsRegistry::ContentType());
+                 });
+
+  // Pre-/v1 paths: same handlers (byte-identical bodies), marked
+  // deprecated on the way out. The forwarded target preserves the path
+  // the client used, so legacy traffic stays legacy on the pod hop too.
+  router_.Alias("/recommend", "/v1/recommend");
+  router_.Alias("/healthz", "/v1/healthz");
+  router_.Alias("/stats", "/v1/stats");
+  router_.Alias("/metrics", "/v1/metrics");
+}
+
 HttpResponse ClusterGateway::Handle(const HttpRequest& request) {
-  if (request.method != "GET") {
-    return HttpResponse::Error(405, "only GET is supported");
-  }
-  if (request.path == "/recommend") {
-    // Adopt a caller-supplied trace id (e.g. an edge proxy), else mint
-    // one; either way the same id follows the request into the fleet.
-    const std::string inbound = request.Header(kTraceIdHeader);
-    Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
-    trace.Record(TraceStage::kParse, request.parse_micros);
+  // Adopt a caller-supplied trace id (e.g. an edge proxy), else mint
+  // one; either way the same id follows the request into the fleet.
+  const std::string inbound = request.Header(kTraceIdHeader);
+  Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
+  trace.Record(TraceStage::kParse, request.parse_micros);
 
-    HttpResponse response = HandleRecommend(request, &trace);
-    // The backend echo arrives lower-cased (header names are folded on
-    // parse); drop it so the response carries the id exactly once.
-    response.headers.erase("x-serenade-trace-id");
-    response.headers[kTraceIdHeader] = trace.id();
+  HttpResponse response = router_.Dispatch(request, &trace);
+  // The backend echoes arrive lower-cased (header names are folded on
+  // parse); drop them so the response carries each header exactly once
+  // (the router re-adds Deprecation for legacy paths).
+  response.headers.erase("x-serenade-trace-id");
+  response.headers.erase("deprecation");
+  response.headers[kTraceIdHeader] = trace.id();
 
+  // Request-level latency metrics cover the recommend routes only, so
+  // metrics scrapes and health probes don't dilute the histograms.
+  const std::string& canonical = router_.CanonicalPath(request.path);
+  if (canonical == "/v1/recommend" || canonical == "/v1/recommend:batch") {
     request_latency_micros_->Record(trace.TotalMicros());
     for (TraceStage stage : kGatewayStages) {
       if (trace.StageCount(stage) == 0) continue;
@@ -348,22 +398,64 @@ HttpResponse ClusterGateway::Handle(const HttpRequest& request) {
           trace.StageMicros(stage));
     }
     slow_logger_.MaybeLog(trace, "gateway", request.path, response.status);
-    return response;
   }
-  if (request.path == "/healthz") return HandleHealthz();
-  if (request.path == "/stats") return HandleStats();
-  if (request.path == "/metrics") {
-    return HttpResponse::Text(registry_.RenderPrometheus(),
-                              MetricsRegistry::ContentType());
-  }
-  return HttpResponse::Error(404, "unknown path");
+  return response;
 }
 
-HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request,
-                                             Trace* trace) {
+ClusterGateway::AttemptResult ClusterGateway::ForwardWithFailover(
+    const std::string& session_key, const std::string& target,
+    const std::map<std::string, std::string>& headers,
+    const std::string* post_body, Trace* trace) {
+  // Ring order per session key: owner first, then deterministic failover
+  // successors; unhealthy pods are skipped, which keeps a session sticky
+  // to one pod while the fleet is stable and re-homes only the ejected
+  // pod's sessions during an outage.
+  const std::vector<std::string> replicas =
+      ring_.ReplicasFor(session_key, backends_.size());
+  std::vector<Backend*> candidates;
+  candidates.reserve(replicas.size());
+  for (const std::string& name : replicas) {
+    if (!health_->IsHealthy(name)) continue;
+    if (Backend* backend = FindBackend(name)) candidates.push_back(backend);
+  }
+
+  Span forward_span(trace, TraceStage::kForward);
+  AttemptResult last;
+  last.error = Status::Unavailable("no healthy backend");
+  size_t next_candidate = 0;
+  uint32_t attempts = 0;
+  while (next_candidate < candidates.size() &&
+         attempts < config_.max_attempts) {
+    if (attempts > 0) {
+      retries_->Increment();
+      const uint64_t delay =
+          BackoffWithJitterMs(config_.retry_backoff_ms, attempts - 1);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    Backend* primary = candidates[next_candidate];
+    Backend* secondary =
+        (attempts == 0 && next_candidate + 1 < candidates.size())
+            ? candidates[next_candidate + 1]
+            : nullptr;
+    const bool hedged = config_.hedge_delay_ms > 0 && secondary != nullptr;
+    last = hedged ? ForwardMaybeHedged(*primary, secondary, target, headers,
+                                       post_body)
+                  : ForwardOnce(*primary, target, headers, post_body);
+    if (last.ok) return last;
+    // A hedged round consumed the primary and its successor.
+    next_candidate += hedged ? 2 : 1;
+    attempts += hedged ? 2 : 1;
+  }
+  return last;
+}
+
+HttpResponse ClusterGateway::HandleRecommendGet(const HttpRequest& request,
+                                                Trace* trace) {
   const std::string session_key = request.Param("session_id");
   if (session_key.empty()) {
-    return HttpResponse::Error(400, "session_id is required");
+    return ApiError(400, "session_id is required", trace->id());
   }
 
   // Re-encode the query for forwarding (it arrived percent-decoded).
@@ -381,81 +473,188 @@ HttpResponse ClusterGateway::HandleRecommend(const HttpRequest& request,
   // so the pod's slow-request logs join with ours.
   const std::map<std::string, std::string> forward_headers = {
       {kTraceIdHeader, trace->id()}};
-
-  // Ring order per session key: owner first, then deterministic failover
-  // successors; unhealthy pods are skipped, which keeps a session sticky
-  // to one pod while the fleet is stable and re-homes only the ejected
-  // pod's sessions during an outage.
-  const std::vector<std::string> replicas =
-      ring_.ReplicasFor(session_key, backends_.size());
-  std::vector<Backend*> candidates;
-  candidates.reserve(replicas.size());
-  for (const std::string& name : replicas) {
-    if (!health_->IsHealthy(name)) continue;
-    if (Backend* backend = FindBackend(name)) candidates.push_back(backend);
+  AttemptResult last = ForwardWithFailover(session_key, target,
+                                           forward_headers, nullptr, trace);
+  if (last.ok) {
+    forwarded_ok_->Increment();
+    return std::move(last.response);
   }
-
-  Span forward_span(trace, TraceStage::kForward);
-  AttemptResult last;
-  size_t next_candidate = 0;
-  uint32_t attempts = 0;
-  while (next_candidate < candidates.size() &&
-         attempts < config_.max_attempts) {
-    if (attempts > 0) {
-      retries_->Increment();
-      const uint64_t delay =
-          BackoffWithJitterMs(config_.retry_backoff_ms, attempts - 1);
-      if (delay > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-      }
-    }
-    Backend* primary = candidates[next_candidate];
-    Backend* secondary = (attempts == 0 && next_candidate + 1 < candidates.size())
-                             ? candidates[next_candidate + 1]
-                             : nullptr;
-    const bool hedged = config_.hedge_delay_ms > 0 && secondary != nullptr;
-    last = hedged
-               ? ForwardMaybeHedged(*primary, secondary, target,
-                                    forward_headers)
-               : ForwardOnce(*primary, target, forward_headers);
-    if (last.ok) {
-      forward_span.End();
-      forwarded_ok_->Increment();
-      return std::move(last.response);
-    }
-    // A hedged round consumed the primary and its successor.
-    next_candidate += hedged ? 2 : 1;
-    attempts += hedged ? 2 : 1;
-  }
-  forward_span.End();
-
-  if (fallback_ != nullptr) return ServeDegraded(request);
+  if (fallback_ != nullptr) return ServeDegraded(request.Param("item_id"));
   failed_->Increment();
-  return HttpResponse::Error(
-      503, candidates.empty() ? "no healthy backend"
-                              : "all forwarding attempts failed: " +
-                                    last.error.ToString());
+  return ApiError(503, last.error.ToString(), trace->id());
 }
 
-HttpResponse ClusterGateway::ServeDegraded(const HttpRequest& request) {
-  degraded_->Increment();
+HttpResponse ClusterGateway::HandleRecommendPost(const HttpRequest& request,
+                                                 Trace* trace) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  const JsonValue* session = doc->Find("session_id");
+  if (session == nullptr || session->type() != JsonValue::Type::kString ||
+      session->AsString().empty()) {
+    return ApiError(400, "session_id is required", trace->id());
+  }
 
+  const std::map<std::string, std::string> forward_headers = {
+      {kTraceIdHeader, trace->id()}};
+  AttemptResult last =
+      ForwardWithFailover(session->AsString(), request.path, forward_headers,
+                          &request.body, trace);
+  if (last.ok) {
+    forwarded_ok_->Increment();
+    return std::move(last.response);
+  }
+  if (fallback_ != nullptr) {
+    std::string item_text;
+    if (const JsonValue* item = doc->Find("item_id");
+        item != nullptr && item->type() == JsonValue::Type::kNumber) {
+      item_text = std::to_string(item->AsInt());
+    }
+    return ServeDegraded(item_text);
+  }
+  failed_->Increment();
+  return ApiError(503, last.error.ToString(), trace->id());
+}
+
+HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
+                                                  Trace* trace) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  const JsonValue* entries = doc->Find("requests");
+  if (entries == nullptr || entries->type() != JsonValue::Type::kArray) {
+    return ApiError(400, "body must carry a \"requests\" array", trace->id());
+  }
+  const std::vector<JsonValue>& slots = entries->AsArray();
+  if (slots.size() > config_.max_batch_items) {
+    return ApiError(413,
+                    "batch of " + std::to_string(slots.size()) +
+                        " exceeds the limit of " +
+                        std::to_string(config_.max_batch_items),
+                    trace->id());
+  }
+
+  auto error_entry = [&](int status, const std::string& message) {
+    JsonWriter writer;
+    writer.BeginObject().Key("error").BeginObject();
+    writer.Key("code").Value(ApiErrorCode(status));
+    writer.Key("message").Value(message);
+    writer.Key("trace_id").Value(trace->id());
+    writer.EndObject().EndObject();
+    return writer.str();
+  };
+  auto item_text_of = [](const JsonValue& slot) {
+    const JsonValue* item = slot.Find("item_id");
+    return item != nullptr && item->type() == JsonValue::Type::kNumber
+               ? std::to_string(item->AsInt())
+               : std::string();
+  };
+
+  // Scatter: group slots by their session key's ring owner. Slots whose
+  // key can't be read get a per-slot error — they never fail siblings.
+  struct Group {
+    std::string session_key;    // routes the sub-batch
+    std::vector<size_t> slots;  // positions in the client batch
+  };
+  std::map<std::string, Group> groups;  // backend name (or "") -> group
+  std::vector<std::string> merged(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const JsonValue* session = slots[i].Find("session_id");
+    if (session == nullptr || session->type() != JsonValue::Type::kString ||
+        session->AsString().empty()) {
+      merged[i] = error_entry(400, "session_id is required");
+      continue;
+    }
+    // First healthy replica = the pod this key's micro-batches land on.
+    std::string owner;
+    for (const std::string& name :
+         ring_.ReplicasFor(session->AsString(), backends_.size())) {
+      if (health_->IsHealthy(name)) {
+        owner = name;
+        break;
+      }
+    }
+    Group& group = groups[owner];
+    if (group.slots.empty()) group.session_key = session->AsString();
+    group.slots.push_back(i);
+  }
+
+  // Forward each sub-batch (the "" group has no healthy owner and skips
+  // straight to fallback), then gather into the slot order.
+  const std::map<std::string, std::string> forward_headers = {
+      {kTraceIdHeader, trace->id()}};
+  for (auto& [owner, group] : groups) {
+    AttemptResult last;
+    if (!owner.empty()) {
+      // Re-serialising parsed slots (rather than slicing raw text) keeps
+      // the forwarded sub-batch canonical JSON whatever the client sent.
+      std::string sub = "{\"requests\":[";
+      for (size_t j = 0; j < group.slots.size(); ++j) {
+        if (j > 0) sub += ',';
+        sub += SerializeJson(slots[group.slots[j]]);
+      }
+      sub += "]}";
+      last = ForwardWithFailover(group.session_key, request.path,
+                                 forward_headers, &sub, trace);
+    }
+    if (last.ok) {
+      auto sub_doc = ParseJson(last.response.body);
+      const JsonValue* results =
+          sub_doc.ok() ? sub_doc->Find("results") : nullptr;
+      if (results != nullptr &&
+          results->type() == JsonValue::Type::kArray &&
+          results->AsArray().size() == group.slots.size()) {
+        forwarded_ok_->Increment();
+        for (size_t j = 0; j < group.slots.size(); ++j) {
+          merged[group.slots[j]] = SerializeJson(results->AsArray()[j]);
+        }
+        continue;
+      }
+      last.ok = false;
+      last.error = Status::Internal("backend returned a malformed batch");
+    }
+    // The sub-batch failed: its slots degrade (or error) individually.
+    for (size_t slot : group.slots) {
+      if (fallback_ != nullptr) {
+        merged[slot] = DegradedEntryJson(item_text_of(slots[slot]));
+      } else {
+        merged[slot] = error_entry(503, last.error.ToString());
+      }
+    }
+    if (fallback_ == nullptr) failed_->Increment();
+  }
+
+  Span serialize_span(trace, TraceStage::kSerialize);
+  std::string body = "{\"results\":[";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0) body += ',';
+    body += merged[i];
+  }
+  body += "]}";
+  return HttpResponse::Json(std::move(body));
+}
+
+std::vector<ScoredItem> ClusterGateway::FallbackItems(
+    const std::string& item_text) {
   EvolvingSession session;
   uint32_t item = 0;
-  const std::string item_text = request.Param("item_id");
   const auto parsed = std::from_chars(
       item_text.data(), item_text.data() + item_text.size(), item);
   if (parsed.ec == std::errc() &&
       parsed.ptr == item_text.data() + item_text.size()) {
     session.push_back(item);
   }
+  std::lock_guard<std::mutex> lock(fallback_mutex_);
+  return fallback_->RecommendNext(session, config_.fallback_items);
+}
 
-  std::vector<ScoredItem> items;
-  {
-    std::lock_guard<std::mutex> lock(fallback_mutex_);
-    items = fallback_->RecommendNext(session, config_.fallback_items);
-  }
-
+HttpResponse ClusterGateway::ServeDegraded(const std::string& item_text) {
+  degraded_->Increment();
+  const std::vector<ScoredItem> items = FallbackItems(item_text);
   JsonWriter writer;
   writer.BeginObject().Key("items").BeginArray();
   for (const ScoredItem& rec : items) {
@@ -467,6 +666,22 @@ HttpResponse ClusterGateway::ServeDegraded(const HttpRequest& request) {
   }
   writer.EndArray().Key("degraded").Value(true).EndObject();
   return HttpResponse::Json(writer.str());
+}
+
+std::string ClusterGateway::DegradedEntryJson(const std::string& item_text) {
+  degraded_->Increment();
+  const std::vector<ScoredItem> items = FallbackItems(item_text);
+  JsonWriter writer;
+  writer.BeginObject().Key("items").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<uint64_t>(rec.item));
+  }
+  writer.EndArray().Key("scores").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<double>(rec.score));
+  }
+  writer.EndArray().Key("degraded").Value(true).EndObject();
+  return writer.str();
 }
 
 HttpResponse ClusterGateway::HandleHealthz() {

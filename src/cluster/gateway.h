@@ -14,11 +14,18 @@
 // followed gateway -> pod -> stage. All gateway metrics live in one
 // MetricsRegistry (src/obs), which renders /metrics.
 //
-// Routes:
-//   GET /recommend?session_id=<key>&item_id=<id>[...]  -> forwarded
-//   GET /healthz  -> gateway liveness + healthy-backend count
-//   GET /stats    -> aggregate + per-backend counters (JSON)
-//   GET /metrics  -> Prometheus text exposition from the MetricsRegistry
+// Routes (versioned /v1 API; unversioned paths remain as deprecated
+// aliases stamping `Deprecation: true`, see API.md):
+//   GET  /v1/recommend?session_id=<key>&item_id=<id>[...] -> forwarded
+//   POST /v1/recommend        body {"session_id":...}     -> forwarded
+//   POST /v1/recommend:batch  body {"requests":[...]}
+//        -> scatter-gathered: slots are grouped by their session key's
+//           ring owner, forwarded as per-backend sub-batches, and merged
+//           back in request order; a failed sub-batch degrades or errors
+//           only its own slots
+//   GET  /v1/healthz  -> gateway liveness + healthy-backend count
+//   GET  /v1/stats    -> aggregate + per-backend counters (JSON)
+//   GET  /v1/metrics  -> Prometheus text exposition (MetricsRegistry)
 #pragma once
 
 #include <atomic>
@@ -56,6 +63,8 @@ struct GatewayConfig {
   size_t fallback_items = 21;
   /// Idle keep-alive connections retained per backend.
   size_t max_pooled_clients = 8;
+  /// Largest accepted /v1/recommend:batch request (413 beyond).
+  size_t max_batch_items = 128;
   HealthCheckerConfig health;
   /// Slow-request logging policy (threshold 0 = disabled).
   TraceConfig trace;
@@ -125,21 +134,42 @@ class ClusterGateway {
   };
 
   void RegisterMetrics();
+  void BuildRoutes();
 
   HttpResponse Handle(const HttpRequest& request);
-  HttpResponse HandleRecommend(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRecommendGet(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRecommendPost(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRecommendBatch(const HttpRequest& request, Trace* trace);
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
 
   Backend* FindBackend(const std::string& name);
-  /// One forwarding attempt; `headers` carry the trace-context header.
+  /// One forwarding attempt; `headers` carry the trace-context header. A
+  /// non-null `post_body` forwards a POST instead of a GET.
   AttemptResult ForwardOnce(Backend& backend, const std::string& target,
-                            const std::map<std::string, std::string>& headers);
+                            const std::map<std::string, std::string>& headers,
+                            const std::string* post_body);
   /// Primary attempt, optionally racing a hedged attempt on `secondary`.
   AttemptResult ForwardMaybeHedged(
       Backend& primary, Backend* secondary, const std::string& target,
-      const std::map<std::string, std::string>& headers);
-  HttpResponse ServeDegraded(const HttpRequest& request);
+      const std::map<std::string, std::string>& headers,
+      const std::string* post_body);
+  /// The full routing policy for one session key: ring-ordered healthy
+  /// candidates, bounded retries with backoff, optional hedging. Records
+  /// the forward span on `trace`; error carries "no healthy backend" when
+  /// the candidate list was empty.
+  AttemptResult ForwardWithFailover(
+      const std::string& session_key, const std::string& target,
+      const std::map<std::string, std::string>& headers,
+      const std::string* post_body, Trace* trace);
+
+  /// Fallback recommendations seeded with the (possibly empty) clicked
+  /// item; `item_text` is its decimal form.
+  std::vector<ScoredItem> FallbackItems(const std::string& item_text);
+  HttpResponse ServeDegraded(const std::string& item_text);
+  /// One degraded batch-slot entry ({"items":..,"scores":..,
+  /// "degraded":true}); counts into the degraded metric.
+  std::string DegradedEntryJson(const std::string& item_text);
 
   std::unique_ptr<HttpClient> AcquireClient(Backend& backend, Status* status);
   void ReleaseClient(Backend& backend, std::unique_ptr<HttpClient> client,
@@ -151,6 +181,7 @@ class ClusterGateway {
   std::mutex fallback_mutex_;
   HashRing ring_;
   std::unique_ptr<HealthChecker> health_;
+  Router router_;
   std::unique_ptr<HttpServer> http_;
 
   // Shared metrics substrate: /metrics is rendered from this registry.

@@ -62,10 +62,10 @@ HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(
   options.io_timeout_ms = config_.probe_timeout_ms;
   HttpClient client(options);
   if (!client.Connect(endpoint.port).ok()) return outcome;
-  auto response = client.Get("/healthz");
+  auto response = client.Get("/v1/healthz");
   if (!response.ok() || response->status != 200) return outcome;
   outcome.ok = true;
-  // Pods report their published index snapshot version in /healthz; pick
+  // Pods report their published index snapshot version in /v1/healthz; pick
   // it up so the gateway can observe a mid-rollout mixed-version fleet.
   // Older pods (or non-Serenade backends) simply don't carry the field.
   if (auto doc = ParseJson(response->body); doc.ok()) {

@@ -12,13 +12,13 @@
 //   Timestamp SessionTimestamp(SessionId) const;
 //   double    Idf(ItemId) const;
 //   size_t    max_sessions_per_item() const;
+//   size_t    num_items() const;
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/dary_heap.h"
@@ -119,7 +119,6 @@ class VmisKnnT : public Recommender {
     assert(config_.k <= config_.m);
     assert(config_.heap_arity == 2 || config_.heap_arity == 4 ||
            config_.heap_arity == 8);
-    scores_.reserve(config_.m * 2);
   }
 
   std::string Name() const override {
@@ -136,6 +135,7 @@ class VmisKnnT : public Recommender {
     Truncate(session);
     std::vector<Neighbor> neighbors;
     if (truncated_.empty()) return neighbors;
+    BumpEpoch();  // one epoch per query; RecommendNext reuses it
 
     if (config_.early_stopping) {
       switch (config_.heap_arity) {
@@ -174,23 +174,36 @@ class VmisKnnT : public Recommender {
 
     const size_t len = truncated_.size();
 
+    // The scoring pass touches every item of every neighbour session —
+    // the hottest loop of the whole query. Epoch-stamped dense arrays
+    // replace the hash maps here (see BumpEpoch, called by
+    // NeighborSessions above): a lookup is one indexed load plus a stamp
+    // compare, and "clearing" between queries is a single epoch
+    // increment.
+
     // Last (1-based) occurrence position of each evolving-session item,
-    // for the max(omega(s) ⊙ n) lookup of the scoring pass.
-    max_position_.clear();
+    // for the max(omega(s) ⊙ n) lookup of the scoring pass. Items absent
+    // from the index can never match a neighbour item, so they are
+    // skipped rather than stored.
+    const size_t num_items = item_epoch_.size();
     for (size_t p = 0; p < len; ++p) {
-      max_position_[truncated_[p]] = static_cast<uint32_t>(p + 1);
+      const ItemId item = truncated_[p];
+      if (item < num_items) {
+        position_epoch_[item] = epoch_;
+        max_position_[item] = static_cast<uint32_t>(p + 1);
+      }
     }
 
-    item_scores_.clear();
+    touched_items_.clear();
     for (const Neighbor& neighbor : neighbors) {
       const std::span<const ItemId> neighbor_items =
           index_->ItemsForSession(neighbor.session, &items_scratch_);
 
       uint32_t max_shared_position = 0;
       for (const ItemId item : neighbor_items) {
-        auto it = max_position_.find(item);
-        if (it != max_position_.end()) {
-          max_shared_position = std::max(max_shared_position, it->second);
+        if (position_epoch_[item] == epoch_) {
+          max_shared_position = std::max(max_shared_position,
+                                         max_position_[item]);
         }
       }
       if (max_shared_position == 0) continue;  // defensive; cannot happen
@@ -213,17 +226,21 @@ class VmisKnnT : public Recommender {
             idf_factor = 1.0f + static_cast<float>(index_->Idf(item));
             break;
         }
+        if (item_epoch_[item] != epoch_) {
+          item_epoch_[item] = epoch_;
+          item_scores_[item] = 0.0f;
+          touched_items_.push_back(item);
+        }
         item_scores_[item] += weight * idf_factor;
       }
     }
 
     BoundedTopK<ScoredItem, 8, internal::ScoredItemLess> top_n(how_many);
-    for (const auto& [item, score] : item_scores_) {
-      if (config_.exclude_session_items &&
-          max_position_.find(item) != max_position_.end()) {
+    for (const ItemId item : touched_items_) {
+      if (config_.exclude_session_items && position_epoch_[item] == epoch_) {
         continue;
       }
-      top_n.Offer(ScoredItem{item, score});
+      top_n.Offer(ScoredItem{item, item_scores_[item]});
     }
     return top_n.TakeSortedDescending();
   }
@@ -237,7 +254,11 @@ class VmisKnnT : public Recommender {
     const size_t m = config_.m;
     const size_t len = items.size();
 
-    scores_.clear();
+    // Candidate scores live in the epoch-stamped dense array (indexed by
+    // session id): membership is `stamp == epoch_`, eviction stamps 0, and
+    // touched_sessions_ remembers which ids to visit in the top-k loop.
+    touched_sessions_.clear();
+    size_t live = 0;
     DaryHeap<internal::RecencyEntry, Arity, internal::OlderFirst>
         recency_heap;  // b_t
     recency_heap.Reserve(m);
@@ -268,15 +289,17 @@ class VmisKnnT : public Recommender {
       size_t scanned = 0;
       for (const SessionId candidate : postings) {
         if (++scanned > m) break;  // index may retain more than query m
-        auto it = scores_.find(candidate);
-        if (it != scores_.end()) {
-          it->second += decay;
+        if (session_epoch_[candidate] == epoch_) {
+          session_scores_[candidate] += decay;
           continue;
         }
         const Timestamp candidate_time =
             index_->SessionTimestamp(candidate);
-        if (scores_.size() < m) {
-          scores_.emplace(candidate, decay);
+        if (live < m) {
+          session_epoch_[candidate] = epoch_;
+          session_scores_[candidate] = decay;
+          touched_sessions_.push_back(candidate);
+          ++live;
           recency_heap.Push(
               internal::RecencyEntry{candidate_time, candidate});
           continue;
@@ -290,8 +313,10 @@ class VmisKnnT : public Recommender {
             (candidate_time == oldest.timestamp &&
              candidate > oldest.session);
         if (more_recent) {
-          scores_.erase(oldest.session);
-          scores_.emplace(candidate, decay);
+          session_epoch_[oldest.session] = 0;  // evict
+          session_epoch_[candidate] = epoch_;
+          session_scores_[candidate] = decay;
+          touched_sessions_.push_back(candidate);
           recency_heap.ReplaceTop(
               internal::RecencyEntry{candidate_time, candidate});
         } else if (EarlyStop) {
@@ -303,11 +328,13 @@ class VmisKnnT : public Recommender {
       }
     }
 
-    // Top-k similarity loop.
+    // Top-k similarity loop. Evicted candidates stay in the touched list
+    // with a dead stamp and are skipped here.
     BoundedTopK<Neighbor, Arity, internal::NeighborLess> top_k(config_.k);
-    for (const auto& [session, score] : scores_) {
-      top_k.Offer(
-          Neighbor{session, score, index_->SessionTimestamp(session)});
+    for (const SessionId session : touched_sessions_) {
+      if (session_epoch_[session] != epoch_) continue;
+      top_k.Offer(Neighbor{session, session_scores_[session],
+                           index_->SessionTimestamp(session)});
     }
     *neighbors = top_k.TakeSortedDescending();
   }
@@ -323,6 +350,32 @@ class VmisKnnT : public Recommender {
                       session.end());
   }
 
+  /// Grows the dense scoring arrays to the index's item and session
+  /// universes and starts a new query epoch. Stamp 0 means "never
+  /// touched" (or evicted), so epoch_ skips 0: on uint32 wrap-around the
+  /// stamps are zeroed and the epoch restarts at 1, preventing a stale
+  /// stamp from ever aliasing a live one.
+  void BumpEpoch() {
+    const size_t num_items = index_->num_items();
+    if (item_epoch_.size() < num_items) {
+      item_scores_.resize(num_items, 0.0f);
+      item_epoch_.resize(num_items, 0);
+      max_position_.resize(num_items, 0);
+      position_epoch_.resize(num_items, 0);
+    }
+    const size_t num_sessions = index_->num_sessions();
+    if (session_epoch_.size() < num_sessions) {
+      session_scores_.resize(num_sessions, 0.0f);
+      session_epoch_.resize(num_sessions, 0);
+    }
+    if (++epoch_ == 0) {
+      std::fill(item_epoch_.begin(), item_epoch_.end(), 0u);
+      std::fill(position_epoch_.begin(), position_epoch_.end(), 0u);
+      std::fill(session_epoch_.begin(), session_epoch_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
   const Index* index_;
   KnnConfig config_;
 
@@ -330,9 +383,23 @@ class VmisKnnT : public Recommender {
   std::vector<ItemId> truncated_;
   std::vector<SessionId> postings_scratch_;
   std::vector<ItemId> items_scratch_;
-  std::unordered_map<SessionId, float> scores_;        // r
-  std::unordered_map<ItemId, float> item_scores_;      // d
-  std::unordered_map<ItemId, uint32_t> max_position_;  // omega lookup
+
+  // Epoch-stamped dense scoring state (see BumpEpoch): an entry is live
+  // only when its stamp equals epoch_, so per-query clearing is one
+  // increment instead of a hash-map clear. The price is O(|I| + |H|)
+  // memory per recommender instance (16 bytes/item + 8 bytes/session), a
+  // deliberate serving-side trade against the paper's purely m-bounded
+  // per-query state — clustered lookups in the query hot loops become
+  // single indexed loads.
+  std::vector<float> session_scores_;    // r
+  std::vector<uint32_t> session_epoch_;
+  std::vector<SessionId> touched_sessions_;
+  std::vector<float> item_scores_;       // d
+  std::vector<uint32_t> item_epoch_;
+  std::vector<uint32_t> max_position_;   // omega lookup
+  std::vector<uint32_t> position_epoch_;
+  std::vector<ItemId> touched_items_;
+  uint32_t epoch_ = 0;
 };
 
 /// The production instantiation over the flat CSR index.

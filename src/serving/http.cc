@@ -15,13 +15,13 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "serving/json.h"
 
 namespace serenade {
 
 namespace {
 
 constexpr size_t kMaxHeaderBytes = 64 * 1024;
-constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
 
 enum class ReadResult { kOk, kClosed, kTimeout };
 
@@ -79,8 +79,11 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -104,9 +107,10 @@ void ParseQuery(const std::string& query,
 
 // Parses one request from `buffer` (which holds at least the full header
 // block). Returns bytes consumed, or 0 on malformed input. May read more
-// from fd for the body.
+// from fd for the body. A declared body over kMaxBodyBytes sets
+// `*oversized` (distinguishing 413 from a plain 400) without reading it.
 size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
-                    bool* keep_alive) {
+                    bool* keep_alive, bool* oversized) {
   const size_t header_end = buffer->find("\r\n\r\n");
   if (header_end == std::string::npos) return 0;
   const std::string head = buffer->substr(0, header_end);
@@ -163,7 +167,10 @@ size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
   if (content_length != request->headers.end()) {
     body_length = static_cast<size_t>(std::strtoull(
         content_length->second.c_str(), nullptr, 10));
-    if (body_length > kMaxBodyBytes) return 0;
+    if (body_length > kMaxBodyBytes) {
+      *oversized = true;
+      return 0;
+    }
   }
   const size_t total = header_end + 4 + body_length;
   if (buffer->size() < total &&
@@ -274,6 +281,96 @@ HttpResponse HttpResponse::Error(int status, const std::string& message) {
   return response;
 }
 
+const char* ApiErrorCode(int status) {
+  switch (status) {
+    case 400: return "bad_request";
+    case 404: return "not_found";
+    case 405: return "method_not_allowed";
+    case 409: return "conflict";
+    case 413: return "payload_too_large";
+    case 503: return "unavailable";
+    case 504: return "deadline_exceeded";
+    default: return "internal";
+  }
+}
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError: return 404;
+    case StatusCode::kCorruption: return 409;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default: return 500;
+  }
+}
+
+HttpResponse ApiError(int status, const std::string& message,
+                      const std::string& trace_id) {
+  JsonWriter writer;
+  writer.BeginObject().Key("error").BeginObject();
+  writer.Key("code").Value(ApiErrorCode(status));
+  writer.Key("message").Value(message);
+  if (!trace_id.empty()) writer.Key("trace_id").Value(trace_id);
+  writer.EndObject().EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.str();
+  return response;
+}
+
+// --- router ------------------------------------------------------------------
+
+void Router::Handle(std::string method, std::string path, Handler handler) {
+  routes_[std::move(path)][std::move(method)] = std::move(handler);
+}
+
+void Router::Alias(std::string legacy_path, std::string canonical_path) {
+  aliases_[std::move(legacy_path)] = std::move(canonical_path);
+}
+
+const std::string& Router::CanonicalPath(const std::string& path) const {
+  auto it = aliases_.find(path);
+  return it == aliases_.end() ? path : it->second;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request,
+                              Trace* trace) const {
+  bool deprecated = false;
+  const std::string* path = &request.path;
+  if (auto alias = aliases_.find(request.path); alias != aliases_.end()) {
+    path = &alias->second;
+    deprecated = true;
+  }
+  const std::string trace_id = trace == nullptr ? "" : trace->id();
+
+  auto route = routes_.find(*path);
+  if (route == routes_.end()) {
+    return ApiError(404, "unknown path: " + request.path, trace_id);
+  }
+  auto method = route->second.find(request.method);
+  if (method == route->second.end()) {
+    HttpResponse response =
+        ApiError(405, "method " + request.method + " not allowed for " +
+                          request.path, trace_id);
+    std::string allow;
+    for (const auto& [name, handler] : route->second) {
+      if (!allow.empty()) allow += ", ";
+      allow += name;
+    }
+    response.headers["Allow"] = allow;
+    return response;
+  }
+
+  HttpResponse response = method->second(request, trace);
+  if (deprecated) {
+    deprecated_requests_.fetch_add(1, std::memory_order_relaxed);
+    response.headers["Deprecation"] = "true";
+  }
+  return response;
+}
+
 // --- server ------------------------------------------------------------------
 
 HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
@@ -352,12 +449,21 @@ void HttpServer::ConnectionLoop(int fd) {
     if (read == ReadResult::kClosed) break;
     HttpRequest request;
     bool keep_alive = false;
+    bool oversized = false;
     Stopwatch parse_watch;
-    const size_t consumed = ParseRequest(fd, &buffer, &request, &keep_alive);
+    const size_t consumed =
+        ParseRequest(fd, &buffer, &request, &keep_alive, &oversized);
     request.parse_micros = parse_watch.ElapsedMicros();
     if (consumed == 0) {
+      // The unread body makes the connection unusable either way; answer
+      // and close.
       WriteAll(fd, SerializeResponse(
-                       HttpResponse::Error(400, "malformed request"), false));
+                       oversized
+                           ? ApiError(413, "request body exceeds the " +
+                                               std::to_string(kMaxBodyBytes) +
+                                               "-byte limit")
+                           : ApiError(400, "malformed request"),
+                       false));
       break;
     }
     buffer.erase(0, consumed);
@@ -546,14 +652,19 @@ StatusOr<HttpResponse> HttpClient::Get(
   return response;
 }
 
-StatusOr<HttpResponse> HttpClient::Post(const std::string& path_and_query,
-                                        const std::string& body) {
-  const std::string request_text =
+StatusOr<HttpResponse> HttpClient::Post(
+    const std::string& path_and_query, const std::string& body,
+    const std::map<std::string, std::string>& extra_headers) {
+  std::string request_text =
       "POST " + path_and_query +
       " HTTP/1.1\r\nHost: localhost\r\n"
       "Content-Type: application/json\r\n"
       "Content-Length: " + std::to_string(body.size()) +
-      "\r\nConnection: keep-alive\r\n\r\n" + body;
+      "\r\nConnection: keep-alive\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request_text += name + ": " + value + "\r\n";
+  }
+  request_text += "\r\n" + body;
   auto response = RoundTrip(request_text);
   if (!response.ok() && fd_ >= 0 &&
       response.status().code() != StatusCode::kDeadlineExceeded) {

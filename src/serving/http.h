@@ -14,8 +14,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace serenade {
+
+/// Largest accepted request body; beyond it the server replies 413 with
+/// the API error envelope and closes the connection.
+inline constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
 
 /// A parsed HTTP request.
 struct HttpRequest {
@@ -58,6 +63,68 @@ struct HttpResponse {
 
 /// Request handler; invoked concurrently from connection threads.
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Builds the unified API error envelope shared by both serving tiers:
+///   {"error":{"code":"not_found","message":"...","trace_id":"..."}}
+/// `code` is derived from the HTTP status; the message is JSON-escaped.
+/// An empty trace id omits the field (offline tools, malformed requests
+/// rejected before a trace exists).
+HttpResponse ApiError(int status, const std::string& message,
+                      const std::string& trace_id = "");
+
+/// The stable machine-readable code string for an HTTP error status
+/// ("bad_request", "not_found", "method_not_allowed", "payload_too_large",
+/// "conflict", "unavailable", "internal").
+const char* ApiErrorCode(int status);
+
+/// Maps a Status code onto the HTTP status the API surfaces for it
+/// (kInvalidArgument=400, kNotFound/kIoError=404, kCorruption=409,
+/// kUnavailable=503, kDeadlineExceeded=504, anything else 500).
+int HttpStatusForStatus(const Status& status);
+
+/// Method+path dispatch table shared by the pod server and the cluster
+/// gateway (the /v1 API surface). Routes are registered once at startup
+/// (Handle/Alias are not thread-safe) and dispatched concurrently from
+/// connection threads. Dispatch returns:
+///   * the handler's response for a registered method+path,
+///   * 405 with an `Allow` header when the path exists but the method
+///     does not,
+///   * 404 for unknown paths,
+/// both errors as the unified JSON envelope. Legacy paths registered via
+/// Alias() run the canonical path's handler unchanged, then stamp a
+/// `Deprecation: true` header and bump the deprecated-request counter —
+/// alias responses stay byte-identical to the canonical route's.
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&, Trace*)>;
+
+  /// Registers `handler` for `method` (upper-case) on `path`.
+  void Handle(std::string method, std::string path, Handler handler);
+
+  /// Registers `legacy_path` as a deprecated alias of `canonical_path`
+  /// for every method registered on the canonical path (call after the
+  /// canonical registrations).
+  void Alias(std::string legacy_path, std::string canonical_path);
+
+  /// Dispatches one request; `trace` is forwarded to the handler (may be
+  /// null).
+  HttpResponse Dispatch(const HttpRequest& request, Trace* trace) const;
+
+  /// Resolves an alias to its canonical path (identity for canonical or
+  /// unknown paths) — used by callers that key per-route metrics.
+  const std::string& CanonicalPath(const std::string& path) const;
+
+  /// Requests served through a deprecated alias (the
+  /// serenade_http_deprecated_requests_total metric source).
+  uint64_t deprecated_requests() const {
+    return deprecated_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, Handler>> routes_;
+  std::map<std::string, std::string> aliases_;
+  mutable std::atomic<uint64_t> deprecated_requests_{0};
+};
 
 /// Blocking-IO HTTP server: one acceptor thread plus one thread per live
 /// connection (bounded by max_connections). Suitable for the benchmark
@@ -131,8 +198,10 @@ class HttpClient {
       const std::map<std::string, std::string>& extra_headers = {});
 
   /// Sends a POST with the given body (Content-Type: application/json).
-  StatusOr<HttpResponse> Post(const std::string& path_and_query,
-                              const std::string& body);
+  /// `extra_headers` as in Get().
+  StatusOr<HttpResponse> Post(
+      const std::string& path_and_query, const std::string& body,
+      const std::map<std::string, std::string>& extra_headers = {});
 
   void Close();
 

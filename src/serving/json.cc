@@ -349,9 +349,18 @@ JsonWriter& JsonWriter::Value(const char* value) {
 }
 JsonWriter& JsonWriter::Value(double value) {
   MaybeComma();
+  // to_chars is specified to match printf "%.6g" output (minus locale),
+  // and skips the locale machinery — scores dominate response bytes, so
+  // this is on the serving hot path.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", value);
-  out_ += buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::general, 6);
+  if (ec == std::errc()) {
+    out_.append(buf, end);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ += buf;
+  }
   need_comma_ = true;
   return *this;
 }
@@ -378,6 +387,56 @@ JsonWriter& JsonWriter::Null() {
   out_ += "null";
   need_comma_ = true;
   return *this;
+}
+
+namespace {
+
+void WriteValue(const JsonValue& value, JsonWriter& writer) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      writer.Null();
+      break;
+    case JsonValue::Type::kBool:
+      writer.Value(value.AsBool());
+      break;
+    case JsonValue::Type::kNumber: {
+      // Integral values round-trip through the integer path: %.6g would
+      // truncate ids above six significant digits.
+      const double number = value.AsNumber();
+      if (number == std::floor(number) && std::abs(number) < 9.0e18) {
+        writer.Value(static_cast<int64_t>(number));
+      } else {
+        writer.Value(number);
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      writer.Value(value.AsString());
+      break;
+    case JsonValue::Type::kArray:
+      writer.BeginArray();
+      for (const JsonValue& element : value.AsArray()) {
+        WriteValue(element, writer);
+      }
+      writer.EndArray();
+      break;
+    case JsonValue::Type::kObject:
+      writer.BeginObject();
+      for (const auto& [key, member] : value.AsObject()) {
+        writer.Key(key);
+        WriteValue(member, writer);
+      }
+      writer.EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SerializeJson(const JsonValue& value) {
+  JsonWriter writer;
+  WriteValue(value, writer);
+  return writer.str();
 }
 
 }  // namespace serenade

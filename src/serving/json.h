@@ -28,6 +28,7 @@ class JsonValue {
   int64_t AsInt() const { return static_cast<int64_t>(number_); }
   const std::string& AsString() const { return string_; }
   const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
 
   /// Object member lookup; returns nullptr when absent or not an object.
   const JsonValue* Find(const std::string& key) const;
@@ -50,6 +51,11 @@ class JsonValue {
 
 /// Parses a complete JSON document. Trailing garbage is an error.
 StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Serialises a parsed value back to compact JSON (numbers as doubles,
+/// object keys sorted) — used by the gateway to splice backend sub-batch
+/// results into one merged response.
+std::string SerializeJson(const JsonValue& value);
 
 /// Incremental writer producing compact JSON.
 class JsonWriter {

@@ -15,8 +15,50 @@ constexpr TraceStage kPodStages[] = {
     TraceStage::kParse,       TraceStage::kStoreGet,
     TraceStage::kStorePut,    TraceStage::kSnapshotPin,
     TraceStage::kKnnRetrieve, TraceStage::kRank,
-    TraceStage::kSerialize,
+    TraceStage::kSerialize,   TraceStage::kQueueWait,
 };
+
+// {"items":[...],"scores":[...]} — the single-recommend success body and
+// the per-slot success entry of a batch response.
+void WriteRecommendation(const std::vector<ScoredItem>& items,
+                         JsonWriter& writer) {
+  writer.BeginObject().Key("items").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<uint64_t>(rec.item));
+  }
+  writer.EndArray().Key("scores").BeginArray();
+  for (const ScoredItem& rec : items) {
+    writer.Value(static_cast<double>(rec.score));
+  }
+  writer.EndArray().EndObject();
+}
+
+// Decodes one JSON recommend request ({"session_id","item_id","consent"})
+// — the POST /v1/recommend body and each /v1/recommend:batch entry.
+StatusOr<RecommendRequest> ParseRecommendEntry(const JsonValue& entry) {
+  if (entry.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  RecommendRequest request;
+  const JsonValue* session = entry.Find("session_id");
+  if (session == nullptr || session->type() != JsonValue::Type::kString ||
+      session->AsString().empty()) {
+    return Status::InvalidArgument("session_id is required");
+  }
+  request.session_key = session->AsString();
+  const JsonValue* item = entry.Find("item_id");
+  if (item == nullptr || item->type() != JsonValue::Type::kNumber ||
+      item->AsNumber() < 0 || item->AsNumber() > 4294967295.0 ||
+      item->AsNumber() != static_cast<double>(item->AsInt())) {
+    return Status::InvalidArgument("item_id must be an unsigned integer");
+  }
+  request.item = static_cast<ItemId>(item->AsInt());
+  if (const JsonValue* consent = entry.Find("consent");
+      consent != nullptr && consent->type() == JsonValue::Type::kBool) {
+    request.consent = consent->AsBool();
+  }
+  return request;
+}
 
 }  // namespace
 
@@ -25,7 +67,10 @@ SerenadeServer::SerenadeServer(std::unique_ptr<SerenadeService> service,
     : service_(std::move(service)),
       config_(config),
       slow_logger_(config.trace) {
+  executor_ = std::make_unique<BatchExecutor>(service_.get(), config_.batch,
+                                              &registry_);
   RegisterMetrics();
+  BuildRoutes();
 }
 
 SerenadeServer::~SerenadeServer() { Stop(); }
@@ -35,6 +80,12 @@ void SerenadeServer::RegisterMetrics() {
       "serenade_requests_total", "HTTP requests served", MetricType::kCounter,
       "", [this]() -> std::vector<MetricSample> {
         return {{"", requests_served()}};
+      });
+  registry_.AddCallback(
+      "serenade_http_deprecated_requests_total",
+      "requests served via deprecated unversioned path aliases",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", router_.deprecated_requests()}};
       });
   registry_.AddCallback(
       "serenade_store_reads_total", "session store reads",
@@ -100,7 +151,44 @@ void SerenadeServer::RegisterMetrics() {
   }
 }
 
+void SerenadeServer::BuildRoutes() {
+  router_.Handle("GET", "/v1/recommend",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendGet(request, trace);
+                 });
+  router_.Handle("POST", "/v1/recommend",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendPost(request, trace);
+                 });
+  router_.Handle("POST", "/v1/recommend:batch",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleRecommendBatch(request, trace);
+                 });
+  router_.Handle("GET", "/v1/healthz",
+                 [this](const HttpRequest&, Trace*) { return HandleHealthz(); });
+  router_.Handle("GET", "/v1/stats",
+                 [this](const HttpRequest&, Trace*) { return HandleStats(); });
+  router_.Handle("GET", "/v1/metrics",
+                 [this](const HttpRequest&, Trace*) {
+                   return HttpResponse::Text(registry_.RenderPrometheus(),
+                                             MetricsRegistry::ContentType());
+                 });
+  router_.Handle("POST", "/v1/admin/reload",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleAdminReload(request, trace);
+                 });
+
+  // Pre-/v1 paths: same handlers (byte-identical bodies), marked
+  // deprecated on the way out.
+  router_.Alias("/recommend", "/v1/recommend");
+  router_.Alias("/healthz", "/v1/healthz");
+  router_.Alias("/stats", "/v1/stats");
+  router_.Alias("/metrics", "/v1/metrics");
+  router_.Alias("/admin/reload", "/v1/admin/reload");
+}
+
 Status SerenadeServer::Start() {
+  SERENADE_RETURN_IF_ERROR(executor_->Start());
   http_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return Handle(request); });
   SERENADE_RETURN_IF_ERROR(http_->Start(config_.port));
@@ -122,6 +210,8 @@ void SerenadeServer::Stop() {
   stopping_.store(true);
   if (janitor_.joinable()) janitor_.join();
   if (http_) http_->Stop();
+  // After the listener: accepted requests drain through the executor.
+  if (executor_) executor_->Stop();
 }
 
 void SerenadeServer::RecordStageMetrics(const Trace& trace) {
@@ -133,107 +223,152 @@ void SerenadeServer::RecordStageMetrics(const Trace& trace) {
 }
 
 HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
-  if (request.path == "/admin/reload") {
-    if (request.method != "POST") {
-      return HttpResponse::Error(405, "reload requires POST");
-    }
-    return HandleAdminReload(request);
-  }
-  if (request.method != "GET") {
-    return HttpResponse::Error(405, "only GET is supported");
-  }
-  if (request.path == "/recommend") {
-    // Adopt the gateway's trace id when one arrived; mint one otherwise.
-    const std::string inbound = request.Header(kTraceIdHeader);
-    Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
-    trace.Record(TraceStage::kParse, request.parse_micros);
+  // Adopt the gateway's trace id when one arrived; mint one otherwise.
+  const std::string inbound = request.Header(kTraceIdHeader);
+  Trace trace = IsValidTraceId(inbound) ? Trace(inbound) : Trace();
+  trace.Record(TraceStage::kParse, request.parse_micros);
 
-    HttpResponse response = HandleRecommend(request, &trace);
-    response.headers[kTraceIdHeader] = trace.id();
+  HttpResponse response = router_.Dispatch(request, &trace);
+  response.headers[kTraceIdHeader] = trace.id();
 
+  // Request-level latency metrics cover the recommend routes only, so
+  // metrics scrapes and health probes don't dilute the histograms.
+  const std::string& canonical = router_.CanonicalPath(request.path);
+  if (canonical == "/v1/recommend" || canonical == "/v1/recommend:batch") {
     recommend_latency_micros_->Record(trace.TotalMicros());
     RecordStageMetrics(trace);
     slow_logger_.MaybeLog(trace, "pod", request.path, response.status);
-    return response;
   }
-  if (request.path == "/healthz") {
-    JsonWriter writer;
-    writer.BeginObject()
-        .Key("status")
-        .Value("ok")
-        .Key("index_version")
-        .Value(service_->index_manager().current_version())
-        .EndObject();
-    return HttpResponse::Json(writer.str());
-  }
-  if (request.path == "/stats") return HandleStats();
-  if (request.path == "/metrics") {
-    return HttpResponse::Text(registry_.RenderPrometheus(),
-                              MetricsRegistry::ContentType());
-  }
-  return HttpResponse::Error(404, "unknown path");
+  return response;
 }
 
-HttpResponse SerenadeServer::HandleRecommend(const HttpRequest& request,
-                                             Trace* trace) {
+HttpResponse SerenadeServer::RunRecommend(const RecommendRequest& request,
+                                          Trace* trace) {
+  auto result = executor_->Execute(request, trace);
+  if (!result.ok()) {
+    return ApiError(HttpStatusForStatus(result.status()),
+                    result.status().message(), trace->id());
+  }
+  Span serialize_span(trace, TraceStage::kSerialize);
+  JsonWriter writer;
+  WriteRecommendation(*result, writer);
+  return HttpResponse::Json(writer.str());
+}
+
+HttpResponse SerenadeServer::HandleRecommendGet(const HttpRequest& request,
+                                                Trace* trace) {
   const std::string session_key = request.Param("session_id");
   const std::string item_text = request.Param("item_id");
   if (session_key.empty() || item_text.empty()) {
-    return HttpResponse::Error(400, "session_id and item_id are required");
+    return ApiError(400, "session_id and item_id are required", trace->id());
   }
   uint32_t item = 0;
   const auto parsed = std::from_chars(
       item_text.data(), item_text.data() + item_text.size(), item);
   if (parsed.ec != std::errc() ||
       parsed.ptr != item_text.data() + item_text.size()) {
-    return HttpResponse::Error(400, "item_id must be an unsigned integer");
+    return ApiError(400, "item_id must be an unsigned integer", trace->id());
   }
   const bool consent = request.Param("consent", "true") != "false";
+  return RunRecommend(RecommendRequest{session_key, item, consent}, trace);
+}
 
-  auto result = service_->HandleUpdateAndRecommend(
-      RecommendRequest{session_key, item, consent}, trace);
-  if (!result.ok()) {
-    return HttpResponse::Error(
-        result.status().code() == StatusCode::kInvalidArgument ? 400 : 500,
-        result.status().message());
+HttpResponse SerenadeServer::HandleRecommendPost(const HttpRequest& request,
+                                                 Trace* trace) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  auto parsed = ParseRecommendEntry(*doc);
+  if (!parsed.ok()) {
+    return ApiError(400, parsed.status().message(), trace->id());
+  }
+  return RunRecommend(*parsed, trace);
+}
+
+HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
+                                                  Trace* trace) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  const JsonValue* entries = doc->Find("requests");
+  if (entries == nullptr || entries->type() != JsonValue::Type::kArray) {
+    return ApiError(400, "body must carry a \"requests\" array", trace->id());
+  }
+  const std::vector<JsonValue>& slots = entries->AsArray();
+  if (slots.size() > config_.max_batch_items) {
+    return ApiError(413,
+                    "batch of " + std::to_string(slots.size()) +
+                        " exceeds the limit of " +
+                        std::to_string(config_.max_batch_items),
+                    trace->id());
+  }
+
+  // Partial-failure semantics: a slot that fails to parse gets an error
+  // entry; the remaining slots still execute as one batch.
+  std::vector<BatchExecutor::Result> results(
+      slots.size(), Status::Internal("batch slot not filled"));
+  std::vector<RecommendRequest> requests;
+  std::vector<size_t> request_slots;
+  requests.reserve(slots.size());
+  request_slots.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    auto parsed = ParseRecommendEntry(slots[i]);
+    if (!parsed.ok()) {
+      results[i] = parsed.status();
+      continue;
+    }
+    requests.push_back(std::move(parsed).value());
+    request_slots.push_back(i);
+  }
+  std::vector<BatchExecutor::Result> executed =
+      executor_->ExecuteBatch(requests);
+  for (size_t j = 0; j < executed.size(); ++j) {
+    results[request_slots[j]] = std::move(executed[j]);
   }
 
   Span serialize_span(trace, TraceStage::kSerialize);
   JsonWriter writer;
-  writer.BeginObject().Key("items").BeginArray();
-  for (const ScoredItem& rec : *result) {
-    writer.Value(static_cast<uint64_t>(rec.item));
-  }
-  writer.EndArray().Key("scores").BeginArray();
-  for (const ScoredItem& rec : *result) {
-    writer.Value(static_cast<double>(rec.score));
+  writer.BeginObject().Key("results").BeginArray();
+  for (const BatchExecutor::Result& result : results) {
+    if (result.ok()) {
+      WriteRecommendation(*result, writer);
+    } else {
+      writer.BeginObject().Key("error").BeginObject();
+      writer.Key("code").Value(
+          ApiErrorCode(HttpStatusForStatus(result.status())));
+      writer.Key("message").Value(result.status().message());
+      writer.Key("trace_id").Value(trace->id());
+      writer.EndObject().EndObject();
+    }
   }
   writer.EndArray().EndObject();
   return HttpResponse::Json(writer.str());
 }
 
-HttpResponse SerenadeServer::HandleAdminReload(const HttpRequest& request) {
+HttpResponse SerenadeServer::HandleHealthz() {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("status")
+      .Value("ok")
+      .Key("index_version")
+      .Value(service_->index_manager().current_version())
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+HttpResponse SerenadeServer::HandleAdminReload(const HttpRequest& request,
+                                               Trace* trace) {
   const std::string path = request.Param("path");
   const Status reloaded = service_->ReloadIndex(path);
   if (!reloaded.ok()) {
     // The previous snapshot stays published; tell the operator why the
     // rollout was rejected.
-    int status = 500;
-    switch (reloaded.code()) {
-      case StatusCode::kInvalidArgument:
-        status = 400;
-        break;
-      case StatusCode::kNotFound:
-      case StatusCode::kIoError:
-        status = 404;
-        break;
-      case StatusCode::kCorruption:
-        status = 409;
-        break;
-      default:
-        break;
-    }
-    return HttpResponse::Error(status, reloaded.ToString());
+    return ApiError(HttpStatusForStatus(reloaded), reloaded.ToString(),
+                    trace->id());
   }
   const auto snapshot = service_->CurrentSnapshot();
   JsonWriter writer;
@@ -282,6 +417,12 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(static_cast<uint64_t>(snapshot->index().num_items()))
       .Key("recommender_pool_size")
       .Value(static_cast<uint64_t>(service_->PooledRecommenders()))
+      .Key("batches_executed")
+      .Value(executor_->batches_executed())
+      .Key("batched_requests")
+      .Value(executor_->requests_executed())
+      .Key("batch_rejected")
+      .Value(executor_->requests_rejected())
       .Key("slow_requests")
       .Value(slow_logger_.slow_requests_seen())
       .EndObject();

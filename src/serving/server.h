@@ -1,25 +1,35 @@
 // The REST face of a Serenade serving machine: binds a SerenadeService to
-// an HttpServer and runs the background TTL janitor. Routes:
-//   GET  /recommend?session_id=<key>&item_id=<id>[&consent=true|false]
+// an HttpServer (through the micro-batching BatchExecutor) and runs the
+// background TTL janitor. The API is versioned under /v1:
+//   GET  /v1/recommend?session_id=<key>&item_id=<id>[&consent=true|false]
 //        -> {"items":[...],"scores":[...]}
-//   GET  /healthz  -> {"status":"ok","index_version":N}
-//   GET  /stats    -> request / session-store / index-snapshot counters
-//   GET  /metrics  -> Prometheus text exposition rendered by the shared
-//                     MetricsRegistry (src/obs): the same counters plus
-//                     request-latency quantiles and per-stage latency
-//                     histograms (what the paper's Kubernetes deployment
-//                     scrapes for its dashboards)
-//   POST /admin/reload[?path=<index file>]
-//        -> hot-swaps the serving index to a newly built artifact with
-//           zero downtime; "" path re-reads the current source. Responds
-//           with the published version on success.
+//   POST /v1/recommend   body {"session_id":"k","item_id":N[,"consent":b]}
+//        -> same response; single requests from JSON-speaking clients
+//   POST /v1/recommend:batch   body {"requests":[<single bodies>...]}
+//        -> {"results":[{"items":..,"scores":..} | {"error":{...}}, ...]}
+//        order-preserving; one bad item never fails its siblings
+//   GET  /v1/healthz  -> {"status":"ok","index_version":N}
+//   GET  /v1/stats    -> request / session-store / index-snapshot counters
+//   GET  /v1/metrics  -> Prometheus text exposition rendered by the shared
+//                        MetricsRegistry (src/obs), including batch
+//                        occupancy, queue wait, and coalescing factor
+//   POST /v1/admin/reload[?path=<index file>]
+//        -> hot-swaps the serving index with zero downtime
 //
-// Observability: every /recommend request carries a Trace (adopting an
-// inbound X-Serenade-Trace-Id, e.g. from the cluster gateway, or minting
-// one), whose id is echoed on the response. Per-stage timings feed the
-// serenade_stage_duration_microseconds{stage=...} histograms, and
-// requests slower than ServerConfig::trace.slow_request_micros emit a
-// sampled structured log line keyed by the trace id.
+// Legacy unversioned paths (/recommend, /healthz, /stats, /metrics,
+// /admin/reload) remain as aliases that serve byte-identical responses
+// but stamp `Deprecation: true` and count into
+// serenade_http_deprecated_requests_total. Unknown paths get a 404 and
+// wrong methods a 405 (with Allow), both as the unified error envelope
+// {"error":{"code":...,"message":...,"trace_id":...}} (see API.md).
+//
+// Observability: every request carries a Trace (adopting an inbound
+// X-Serenade-Trace-Id, e.g. from the cluster gateway, or minting one),
+// whose id is echoed on the response. Per-stage timings of recommend
+// requests feed the serenade_stage_duration_microseconds{stage=...}
+// histograms, and requests slower than
+// ServerConfig::trace.slow_request_micros emit a sampled structured log
+// line keyed by the trace id.
 #pragma once
 
 #include <atomic>
@@ -28,6 +38,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/batch_executor.h"
 #include "serving/http.h"
 #include "serving/service.h"
 
@@ -40,6 +51,12 @@ struct ServerConfig {
   uint16_t port = 0;  ///< 0 = pick an ephemeral port
   /// Background eviction interval for expired sessions (0 = disabled).
   uint64_t janitor_interval_ms = 0;
+  /// Micro-batching knobs; the default (max_batch_size = 1) is a
+  /// pass-through identical to the pre-batching request path.
+  BatchExecutorConfig batch;
+  /// Largest accepted client-side batch (/v1/recommend:batch); larger
+  /// requests are rejected with 413.
+  size_t max_batch_items = 128;
   /// Slow-request logging policy (threshold 0 = disabled).
   TraceConfig trace;
 };
@@ -56,6 +73,7 @@ class SerenadeServer {
 
   uint16_t port() const { return http_ ? http_->port() : 0; }
   SerenadeService& service() { return *service_; }
+  BatchExecutor& executor() { return *executor_; }
   uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
   }
@@ -65,17 +83,27 @@ class SerenadeServer {
 
  private:
   void RegisterMetrics();
+  void BuildRoutes();
 
   HttpResponse Handle(const HttpRequest& request);
-  HttpResponse HandleRecommend(const HttpRequest& request, Trace* trace);
-  HttpResponse HandleAdminReload(const HttpRequest& request);
+  HttpResponse HandleRecommendGet(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRecommendPost(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRecommendBatch(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleAdminReload(const HttpRequest& request, Trace* trace);
   HttpResponse HandleStats();
+
+  /// Runs one parsed request through the executor and serialises the
+  /// result (shared by the GET and POST single-recommend routes).
+  HttpResponse RunRecommend(const RecommendRequest& request, Trace* trace);
 
   /// Folds a finished request trace into the per-stage histograms.
   void RecordStageMetrics(const Trace& trace);
 
   std::unique_ptr<SerenadeService> service_;
   ServerConfig config_;
+  std::unique_ptr<BatchExecutor> executor_;
+  Router router_;
   std::unique_ptr<HttpServer> http_;
   std::atomic<bool> stopping_{false};
   std::thread janitor_;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <iterator>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stopwatch.h"
 
 namespace serenade {
 
@@ -183,6 +187,121 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
 
   Span rank_span(trace, TraceStage::kRank);
   return ApplyBusinessRules(raw, catalog_, config_.rules);
+}
+
+std::vector<StatusOr<std::vector<ScoredItem>>>
+SerenadeService::HandleUpdateAndRecommendBatch(
+    const std::vector<RecommendRequest>& requests,
+    const std::vector<Trace*>& traces) {
+  std::vector<StatusOr<std::vector<ScoredItem>>> results(
+      requests.size(), Status::Internal("batch slot not filled"));
+  if (requests.empty()) return results;
+  auto trace_for = [&](size_t i) -> Trace* {
+    return i < traces.size() ? traces[i] : nullptr;
+  };
+
+  // Validate every slot first; only valid slots join the batched IO.
+  std::vector<size_t> valid;
+  valid.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].item == kInvalidItem) {
+      results[i] = Status::InvalidArgument("missing item id");
+    } else if (requests[i].session_key.empty()) {
+      results[i] = Status::InvalidArgument("missing session key");
+    } else {
+      valid.push_back(i);
+    }
+  }
+  if (valid.empty()) return results;
+
+  // Step 2 (Figure 1), batched: one MultiGet for the distinct session
+  // keys, the appends applied in batch order (so duplicate keys chain),
+  // one MultiPut writing each key's final state.
+  std::vector<std::string> keys;
+  std::unordered_map<std::string, size_t> key_slot;  // key -> index in keys
+  for (size_t i : valid) {
+    if (key_slot.emplace(requests[i].session_key, keys.size()).second) {
+      keys.push_back(requests[i].session_key);
+    }
+  }
+  std::vector<std::string> stored;
+  std::vector<bool> found;
+  {
+    Stopwatch watch;
+    store_->MultiGet(keys, &stored, &found);
+    const uint64_t micros = watch.ElapsedMicros();
+    for (size_t i : valid) {
+      if (Trace* trace = trace_for(i)) {
+        trace->Record(TraceStage::kStoreGet, micros);
+      }
+    }
+  }
+
+  std::vector<EvolvingSession> sessions(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (found[k]) sessions[k] = DecodeSession(stored[k]);
+  }
+  // `predict[i]` is the session as of request i's click — later clicks on
+  // the same key in this batch must not leak into it.
+  std::vector<EvolvingSession> predict(requests.size());
+  for (size_t i : valid) {
+    EvolvingSession& evolving = sessions[key_slot[requests[i].session_key]];
+    evolving.push_back(requests[i].item);
+    if (evolving.size() > config_.max_stored_session_length) {
+      evolving.erase(evolving.begin(),
+                     evolving.end() - static_cast<ptrdiff_t>(
+                                          config_.max_stored_session_length));
+    }
+    // Depersonalisation (Section 4.2): without consent, only the
+    // currently displayed item feeds the prediction.
+    predict[i] = requests[i].consent
+                     ? evolving
+                     : EvolvingSession{requests[i].item};
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    entries.emplace_back(keys[k], EncodeSession(sessions[k]));
+  }
+  {
+    Stopwatch watch;
+    const Status put_status = store_->MultiPut(entries);
+    const uint64_t micros = watch.ElapsedMicros();
+    for (size_t i : valid) {
+      if (Trace* trace = trace_for(i)) {
+        trace->Record(TraceStage::kStorePut, micros);
+      }
+    }
+    if (!put_status.ok()) {
+      for (size_t i : valid) results[i] = put_status;
+      return results;
+    }
+  }
+
+  // Step 3, batched: one snapshot pin and one pooled recommender serve
+  // every item — the scoring loop itself is the only per-item work left.
+  Stopwatch pin_watch;
+  const std::shared_ptr<const IndexSnapshot> snapshot = manager_->Current();
+  PooledRecommender entry = AcquireRecommender(snapshot);
+  const uint64_t pin_micros = pin_watch.ElapsedMicros();
+  for (size_t i : valid) {
+    if (Trace* trace = trace_for(i)) {
+      trace->Record(TraceStage::kSnapshotPin, pin_micros);
+    }
+  }
+
+  for (size_t i : valid) {
+    Trace* trace = trace_for(i);
+    Span knn_span(trace, TraceStage::kKnnRetrieve);
+    const std::vector<ScoredItem> raw = entry.recommender->RecommendNext(
+        predict[i], config_.rules.max_items * 2 + 8);
+    knn_span.End();
+    Span rank_span(trace, TraceStage::kRank);
+    results[i] = ApplyBusinessRules(raw, catalog_, config_.rules);
+  }
+  ReleaseRecommender(std::move(entry));
+  return results;
 }
 
 StatusOr<EvolvingSession> SerenadeService::GetSession(

@@ -137,6 +137,79 @@ Status SessionStore::Update(
   return LogWrite(WalRecordType::kPut, key, new_value, now);
 }
 
+void SessionStore::MultiGet(const std::vector<std::string>& keys,
+                            std::vector<std::string>* values,
+                            std::vector<bool>* found, Trace* trace) {
+  Span span(trace, TraceStage::kStoreGet);
+  const uint64_t now = options_.clock();
+  values->assign(keys.size(), std::string());
+  found->assign(keys.size(), false);
+  reads_.fetch_add(keys.size(), std::memory_order_relaxed);
+
+  // Group key positions by shard so each shard mutex is locked once.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[Fnv1a(keys[i]) % shards_.size()].push_back(i);
+  }
+
+  uint64_t misses = 0, expired = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (size_t i : by_shard[s]) {
+      auto it = shard.table.find(keys[i]);
+      if (it == shard.table.end()) {
+        ++misses;
+        continue;
+      }
+      if (IsExpired(it->second, now)) {
+        shard.table.erase(it);
+        ++misses;
+        ++expired;
+        continue;
+      }
+      it->second.last_access = now;  // touch: active sessions stay alive
+      (*values)[i] = it->second.value;
+      (*found)[i] = true;
+    }
+  }
+  read_misses_.fetch_add(misses, std::memory_order_relaxed);
+  expirations_.fetch_add(expired, std::memory_order_relaxed);
+}
+
+Status SessionStore::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    Trace* trace) {
+  Span span(trace, TraceStage::kStorePut);
+  const uint64_t now = options_.clock();
+
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    by_shard[Fnv1a(entries[i].first) % shards_.size()].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Positions are in batch order, so a later duplicate key overwrites
+    // an earlier one exactly as sequential Puts would.
+    for (size_t i : by_shard[s]) {
+      shard.table[entries[i].first] = Entry{entries[i].second, now};
+    }
+  }
+  writes_.fetch_add(entries.size(), std::memory_order_relaxed);
+
+  if (options_.wal_path.empty() || entries.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  for (const auto& [key, value] : entries) {
+    SERENADE_RETURN_IF_ERROR(
+        wal_.Append(WalRecord{WalRecordType::kPut, key, value, now}));
+  }
+  if (options_.sync_every_write) return wal_.Sync();
+  return Status::Ok();
+}
+
 size_t SessionStore::SweepExpired() {
   const uint64_t now = options_.clock();
   size_t evicted = 0;

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -87,6 +88,25 @@ class SessionStore {
   Status Update(const std::string& key,
                 const std::function<std::string(const std::string&)>& mutator,
                 Trace* trace = nullptr);
+
+  /// Batched point reads for the micro-batch executor: fills
+  /// `(*values)[i]` / `(*found)[i]` for `keys[i]`, grouping keys by shard
+  /// so each shard lock is taken once per batch instead of once per key.
+  /// Found entries get their TTL refreshed exactly like Get(); missing or
+  /// expired keys yield found=false with an empty value (not a Status —
+  /// an absent session is a normal new-visitor case on this path). A
+  /// non-null `trace` records one store_get span for the whole batch.
+  void MultiGet(const std::vector<std::string>& keys,
+                std::vector<std::string>* values, std::vector<bool>* found,
+                Trace* trace = nullptr);
+
+  /// Batched upserts: one shard-lock acquisition per distinct shard and
+  /// one WAL-lock acquisition (plus at most one sync) for the whole
+  /// batch. Later duplicates of a key win, matching sequential Put order.
+  /// A non-null `trace` records one store_put span for the whole batch.
+  Status MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& entries,
+      Trace* trace = nullptr);
 
   /// Drops all expired entries; returns how many were evicted.
   size_t SweepExpired();

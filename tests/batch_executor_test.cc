@@ -1,0 +1,213 @@
+// BatchExecutor: the micro-batching layer between the HTTP routes and
+// SerenadeService. The contracts under test:
+//   * batch-size-1 is an exact pass-through of the serial request path,
+//   * batched execution returns the same recommendations as serial,
+//   * duplicate session keys in one batch apply their clicks in order
+//     (session-key worker affinity),
+//   * one invalid slot never fails its siblings (per-slot StatusOr),
+//   * a stopped or overflowing executor sheds load with kUnavailable.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "serving/batch_executor.h"
+#include "serving/service.h"
+
+namespace serenade {
+namespace {
+
+class BatchExecutorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig data_config;
+    data_config.seed = 77;
+    data_config.num_items = 300;
+    data_config.num_sessions = 3000;
+    data_config.num_days = 5;
+    train_ = GenerateDataset(data_config);
+    index_ = std::make_shared<SessionIndex>(SessionIndex::Build(train_, 500));
+    catalog_ = GenerateCatalog(train_.num_items(), 5);
+  }
+
+  std::unique_ptr<SerenadeService> MakeService() {
+    ServiceConfig config;
+    config.knn.m = 500;
+    config.knn.k = 100;
+    auto service = SerenadeService::Create(index_, catalog_, config);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service).value();
+  }
+
+  Dataset train_;
+  std::shared_ptr<SessionIndex> index_;
+  ItemCatalog catalog_;
+};
+
+std::vector<ItemId> Items(const std::vector<ScoredItem>& scored) {
+  std::vector<ItemId> items;
+  items.reserve(scored.size());
+  for (const ScoredItem& item : scored) items.push_back(item.item);
+  return items;
+}
+
+TEST_F(BatchExecutorTest, PassthroughMatchesSerialPath) {
+  // Two identical services over the same index: one driven through a
+  // pass-through executor, one called directly. Same clicks, same answers.
+  auto batched_service = MakeService();
+  auto serial_service = MakeService();
+  BatchExecutor executor(batched_service.get(), BatchExecutorConfig{});
+  ASSERT_TRUE(executor.passthrough());
+  ASSERT_TRUE(executor.Start().ok());
+
+  for (ItemId item : {3u, 4u, 5u, 17u}) {
+    const RecommendRequest request{"visitor", item, true};
+    auto via_executor = executor.Execute(request);
+    auto direct = serial_service->HandleUpdateAndRecommend(request);
+    ASSERT_TRUE(via_executor.ok()) << via_executor.status().ToString();
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(Items(*via_executor), Items(*direct));
+  }
+  // Pass-through never touches the batch counters.
+  EXPECT_EQ(executor.batches_executed(), 0u);
+}
+
+TEST_F(BatchExecutorTest, BatchedResultsMatchSerialResults) {
+  auto batched_service = MakeService();
+  auto serial_service = MakeService();
+  std::vector<RecommendRequest> requests;
+  for (ItemId item = 1; item <= 24; ++item) {
+    requests.push_back({"shopper-" + std::to_string(item % 7), item, true});
+  }
+
+  auto batched = batched_service->HandleUpdateAndRecommendBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto serial = serial_service->HandleUpdateAndRecommend(requests[i]);
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(Items(batched[i].value()), Items(*serial)) << "slot " << i;
+  }
+}
+
+TEST_F(BatchExecutorTest, DuplicateKeysInOneBatchApplyInOrder) {
+  auto service = MakeService();
+  std::vector<RecommendRequest> requests;
+  for (ItemId item : {10u, 11u, 12u, 13u}) {
+    requests.push_back({"same-visitor", item, true});
+  }
+  auto results = service->HandleUpdateAndRecommendBatch(requests);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  auto session = service->GetSession("same-visitor");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(*session, (EvolvingSession{10, 11, 12, 13}));
+}
+
+TEST_F(BatchExecutorTest, OneBadSlotNeverFailsSiblings) {
+  auto service = MakeService();
+  std::vector<RecommendRequest> requests = {
+      {"ok-1", 5, true},
+      {"", 6, true},                 // missing session key
+      {"ok-2", kInvalidItem, true},  // missing item
+      {"ok-3", 7, true},
+  };
+  auto results = service->HandleUpdateAndRecommendBatch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[3].ok());
+  // The valid slots still updated their sessions.
+  EXPECT_EQ(*service->GetSession("ok-1"), (EvolvingSession{5}));
+  EXPECT_EQ(*service->GetSession("ok-3"), (EvolvingSession{7}));
+}
+
+TEST_F(BatchExecutorTest, ConcurrentRequestsCoalesceIntoBatches) {
+  auto service = MakeService();
+  BatchExecutorConfig config;
+  config.max_batch_size = 8;
+  config.max_delay_us = 3000;
+  config.num_workers = 2;
+  BatchExecutor executor(service.get(), config);
+  ASSERT_FALSE(executor.passthrough());
+  ASSERT_TRUE(executor.Start().ok());
+
+  constexpr size_t kThreads = 16;
+  constexpr size_t kPerThread = 8;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const RecommendRequest request{
+            "load-" + std::to_string(t),
+            static_cast<ItemId>(1 + (t * kPerThread + i) % 200), true};
+        if (!executor.Execute(request).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  executor.Stop();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(executor.requests_executed(), kThreads * kPerThread);
+  // Under concurrent load at least some requests must have shared a
+  // batch; the exact factor is timing-dependent.
+  EXPECT_LT(executor.batches_executed(), executor.requests_executed());
+  // Worker affinity kept each session's clicks ordered.
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto session = service->GetSession("load-" + std::to_string(t));
+    ASSERT_TRUE(session.ok());
+    EXPECT_EQ(session->size(), kPerThread);
+  }
+}
+
+TEST_F(BatchExecutorTest, NotStartedAndStoppedShedWithUnavailable) {
+  auto service = MakeService();
+  BatchExecutorConfig config;
+  config.max_batch_size = 4;
+  BatchExecutor executor(service.get(), config);
+
+  // Batch mode before Start(): requests are shed, not deadlocked.
+  auto early = executor.Execute({"early", 3, true});
+  EXPECT_EQ(early.status().code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(executor.Start().ok());
+  EXPECT_TRUE(executor.Execute({"mid", 3, true}).ok());
+  executor.Stop();
+  auto late = executor.Execute({"late", 3, true});
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BatchExecutorTest, ExecuteBatchPreservesSlotOrder) {
+  auto service = MakeService();
+  BatchExecutorConfig config;
+  config.max_batch_size = 4;
+  config.max_delay_us = 500;
+  config.num_workers = 3;
+  BatchExecutor executor(service.get(), config);
+  ASSERT_TRUE(executor.Start().ok());
+
+  std::vector<RecommendRequest> requests;
+  for (ItemId item = 1; item <= 12; ++item) {
+    requests.push_back({"batch-" + std::to_string(item % 5), item, true});
+  }
+  requests[4].session_key.clear();  // one poisoned slot
+
+  auto results = executor.ExecuteBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 4) {
+      EXPECT_EQ(results[i].status().code(), StatusCode::kInvalidArgument);
+    } else {
+      EXPECT_TRUE(results[i].ok()) << "slot " << i << ": "
+                                   << results[i].status().ToString();
+    }
+  }
+  executor.Stop();
+}
+
+}  // namespace
+}  // namespace serenade

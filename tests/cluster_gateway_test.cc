@@ -99,7 +99,7 @@ TEST(HashRingTest, RemovalRemapsOnlyTheRemovedNodesKeys) {
 HttpHandler PodHandler(const std::string& pod_name,
                        std::atomic<uint64_t>* recommends) {
   return [pod_name, recommends](const HttpRequest& request) -> HttpResponse {
-    if (request.path == "/healthz") {
+    if (request.path == "/healthz" || request.path == "/v1/healthz") {
       return HttpResponse::Json("{\"status\":\"ok\"}");
     }
     if (request.path == "/recommend") {
@@ -408,7 +408,7 @@ TEST_F(GatewayTest, HedgedRequestBeatsSlowPrimary) {
   // pod-slow stalls /recommend for 300ms; the other pods answer fast.
   std::atomic<uint64_t> slow_hits{0};
   auto slow_handler = [&](const HttpRequest& request) -> HttpResponse {
-    if (request.path == "/healthz") {
+    if (request.path == "/healthz" || request.path == "/v1/healthz") {
       return HttpResponse::Json("{\"status\":\"ok\"}");
     }
     slow_hits.fetch_add(1);
@@ -664,6 +664,202 @@ TEST(GatewayTracePropagationTest, GatewayAndPodShareOneTraceId) {
 
   gateway.Stop();
   pod.Stop();
+}
+
+// --- versioned /v1 API + batch scatter-gather --------------------------------
+
+// Real pods behind the gateway: the /v1 surface end to end, including the
+// batch endpoint's scatter-gather by ring owner.
+class GatewayV1Test : public testing::Test {
+ protected:
+  void StartFleet(size_t num_pods) {
+    SyntheticConfig data_config;
+    data_config.seed = 21;
+    data_config.num_items = 200;
+    data_config.num_sessions = 2000;
+    train_ = GenerateDataset(data_config);
+    index_ =
+        std::make_shared<SessionIndex>(SessionIndex::Build(train_, 500));
+    ItemCatalog catalog;
+    catalog.available.assign(index_->num_items(), true);
+    catalog.adult.assign(index_->num_items(), false);
+
+    for (size_t i = 0; i < num_pods; ++i) {
+      ServiceConfig service_config;
+      service_config.knn.m =
+          std::min<size_t>(500, index_->max_sessions_per_item());
+      service_config.knn.k = std::min<size_t>(100, service_config.knn.m);
+      auto service = SerenadeService::Create(index_, catalog, service_config);
+      ASSERT_TRUE(service.ok());
+      pods_.push_back(std::make_unique<SerenadeServer>(
+          std::move(service).value(), ServerConfig{}));
+      ASSERT_TRUE(pods_.back()->Start().ok());
+      backends_.push_back(
+          BackendEndpoint{"pod-" + std::to_string(i), pods_.back()->port()});
+    }
+    GatewayConfig config;
+    config.retry_backoff_ms = 1;
+    gateway_ = std::make_unique<ClusterGateway>(
+        backends_, config, std::make_unique<PopularityRecommender>(train_));
+    ASSERT_TRUE(gateway_->Start().ok());
+    ASSERT_TRUE(client_.Connect(gateway_->port()).ok());
+  }
+
+  void TearDown() override {
+    if (gateway_) gateway_->Stop();
+    for (auto& pod : pods_) pod->Stop();
+  }
+
+  Dataset train_;
+  std::shared_ptr<SessionIndex> index_;
+  std::vector<std::unique_ptr<SerenadeServer>> pods_;
+  std::vector<BackendEndpoint> backends_;
+  std::unique_ptr<ClusterGateway> gateway_;
+  HttpClient client_;
+};
+
+TEST_F(GatewayV1Test, BatchScatterGathersAcrossTheFleet) {
+  StartFleet(3);
+  // Six slots over three sessions, interleaved: each session's two clicks
+  // must apply in batch order on that session's owner pod, and the merged
+  // response must preserve the client's slot order.
+  const std::string body =
+      "{\"requests\":["
+      "{\"session_id\":\"alpha\",\"item_id\":3},"
+      "{\"session_id\":\"beta\",\"item_id\":4},"
+      "{\"session_id\":\"gamma\",\"item_id\":5},"
+      "{\"session_id\":\"alpha\",\"item_id\":6},"
+      "{\"session_id\":\"beta\",\"item_id\":7},"
+      "{\"session_id\":\"gamma\",\"item_id\":8}"
+      "]}";
+  auto response = client_.Post("/v1/recommend:batch", body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->AsArray().size(), 6u);
+  for (const JsonValue& slot : results->AsArray()) {
+    ASSERT_NE(slot.Find("items"), nullptr) << response->body;
+    EXPECT_EQ(slot.Find("items")->AsArray().size(),
+              slot.Find("scores")->AsArray().size());
+  }
+
+  // Each session landed (whole) on its ring owner, clicks in order.
+  const std::map<std::string, EvolvingSession> expected = {
+      {"alpha", {3, 6}}, {"beta", {4, 7}}, {"gamma", {5, 8}}};
+  for (const auto& [key, want] : expected) {
+    const std::string owner = gateway_->ring().NodeFor(key);
+    size_t pods_with_session = 0;
+    for (size_t i = 0; i < pods_.size(); ++i) {
+      auto session = pods_[i]->service().GetSession(key);
+      if (!session.ok()) continue;
+      ++pods_with_session;
+      EXPECT_EQ(backends_[i].name, owner);
+      EXPECT_EQ(*session, want);
+    }
+    EXPECT_EQ(pods_with_session, 1u) << key;
+  }
+}
+
+TEST_F(GatewayV1Test, PostRecommendForwardsBySessionKey) {
+  StartFleet(3);
+  auto response = client_.Post(
+      "/v1/recommend", "{\"session_id\":\"poster\",\"item_id\":9}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->Find("items"), nullptr);
+
+  // Body without a session key is rejected at the gateway, not forwarded.
+  auto missing = client_.Post("/v1/recommend", "{\"item_id\":9}");
+  EXPECT_EQ(missing->status, 400);
+  EXPECT_NE(missing->body.find("\"code\":\"bad_request\""),
+            std::string::npos);
+}
+
+TEST_F(GatewayV1Test, LegacyAliasStampsDeprecationAndCounts) {
+  StartFleet(1);
+  auto legacy = client_.Get("/recommend?session_id=old&item_id=3");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->status, 200);
+  EXPECT_EQ(legacy->Header("Deprecation"), "true");
+
+  auto v1 = client_.Get("/v1/recommend?session_id=new&item_id=3");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->status, 200);
+  EXPECT_EQ(v1->Header("Deprecation"), "");
+  // Same session history -> byte-identical success body across the alias.
+  EXPECT_EQ(legacy->body, v1->body);
+
+  auto metrics = client_.Get("/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(
+      metrics->body.find("serenade_http_deprecated_requests_total 1"),
+      std::string::npos)
+      << metrics->body;
+
+  // Wrong method on a known path: 405 with Allow.
+  auto wrong = client_.Post("/v1/healthz", "{}");
+  EXPECT_EQ(wrong->status, 405);
+  EXPECT_EQ(wrong->Header("Allow"), "GET");
+}
+
+TEST_F(GatewayV1Test, OversizedBatchRejectedBeforeForwarding) {
+  StartFleet(1);
+  std::string body = "{\"requests\":[";
+  for (int i = 0; i < 200; ++i) {  // default max_batch_items = 128
+    if (i > 0) body += ',';
+    body += "{\"session_id\":\"s" + std::to_string(i) + "\",\"item_id\":1}";
+  }
+  body += "]}";
+  auto response = client_.Post("/v1/recommend:batch", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 413);
+  EXPECT_NE(response->body.find("\"code\":\"payload_too_large\""),
+            std::string::npos);
+}
+
+TEST(GatewayV1DegradedTest, DeadFleetServesDegradedBatchEntries) {
+  // A gateway whose only backend never existed: every batch slot must
+  // come back as a degraded fallback entry, never a 5xx.
+  SyntheticConfig data_config;
+  data_config.num_items = 50;
+  data_config.num_sessions = 500;
+  const Dataset train = GenerateDataset(data_config);
+
+  GatewayConfig config;
+  config.max_attempts = 1;
+  config.retry_backoff_ms = 1;
+  config.forward_timeout_ms = 100;
+  config.health.probe_interval_ms = 30;
+  config.health.probe_timeout_ms = 50;
+  config.health.failures_to_eject = 1;
+  ClusterGateway gateway({BackendEndpoint{"ghost", 1}}, config,
+                         std::make_unique<PopularityRecommender>(train));
+  ASSERT_TRUE(gateway.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(gateway.port()).ok());
+  auto response = client.Post(
+      "/v1/recommend:batch",
+      "{\"requests\":[{\"session_id\":\"a\",\"item_id\":1},"
+      "{\"session_id\":\"b\",\"item_id\":2}]}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  const auto& slots = doc->Find("results")->AsArray();
+  ASSERT_EQ(slots.size(), 2u);
+  for (const JsonValue& slot : slots) {
+    ASSERT_NE(slot.Find("degraded"), nullptr) << response->body;
+    EXPECT_TRUE(slot.Find("degraded")->AsBool());
+    EXPECT_FALSE(slot.Find("items")->AsArray().empty());
+  }
+  EXPECT_GE(gateway.counters().degraded, 2u);
+  gateway.Stop();
 }
 
 }  // namespace

@@ -321,5 +321,136 @@ TEST(HttpServerTest, MalformedRequestRejected) {
   server.Stop();
 }
 
+// --- router + error envelope -------------------------------------------------
+
+// Router is non-movable (it owns an atomic counter), so tests populate a
+// local instance in place.
+void SetupTestRouter(Router& router) {
+  router.Handle("GET", "/v1/thing", [](const HttpRequest&, Trace*) {
+    return HttpResponse::Json("{\"ok\":true}");
+  });
+  router.Handle("POST", "/v1/thing", [](const HttpRequest& request, Trace*) {
+    return HttpResponse::Json("{\"echo\":\"" + request.body + "\"}");
+  });
+  router.Alias("/thing", "/v1/thing");
+}
+
+HttpRequest MakeRequest(const std::string& method, const std::string& path) {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  return request;
+}
+
+TEST(RouterDispatchTest, DispatchesByMethodAndPath) {
+  Router router;
+  SetupTestRouter(router);
+  Trace trace;
+  auto get = router.Dispatch(MakeRequest("GET", "/v1/thing"), &trace);
+  EXPECT_EQ(get.status, 200);
+  EXPECT_EQ(get.body, "{\"ok\":true}");
+  EXPECT_EQ(get.headers.count("Deprecation"), 0u);
+
+  HttpRequest post = MakeRequest("POST", "/v1/thing");
+  post.body = "hi";
+  EXPECT_EQ(router.Dispatch(post, &trace).body, "{\"echo\":\"hi\"}");
+}
+
+TEST(RouterDispatchTest, UnknownPathIs404Envelope) {
+  Router router;
+  SetupTestRouter(router);
+  Trace trace("feedc0de00000001");
+  auto response = router.Dispatch(MakeRequest("GET", "/nope"), &trace);
+  EXPECT_EQ(response.status, 404);
+  // The unified envelope: {"error":{"code","message","trace_id"}}.
+  EXPECT_NE(response.body.find("\"error\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"code\":\"not_found\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"trace_id\":\"feedc0de00000001\""),
+            std::string::npos);
+}
+
+TEST(RouterDispatchTest, WrongMethodIs405WithAllow) {
+  Router router;
+  SetupTestRouter(router);
+  Trace trace;
+  auto response = router.Dispatch(MakeRequest("DELETE", "/v1/thing"), &trace);
+  EXPECT_EQ(response.status, 405);
+  EXPECT_NE(response.body.find("\"code\":\"method_not_allowed\""),
+            std::string::npos);
+  // The Allow header lists every registered method for the path.
+  EXPECT_EQ(response.headers.at("Allow"), "GET, POST");
+}
+
+TEST(RouterDispatchTest, AliasServesSameBodyPlusDeprecationHeader) {
+  Router router;
+  SetupTestRouter(router);
+  Trace trace;
+  auto canonical = router.Dispatch(MakeRequest("GET", "/v1/thing"), &trace);
+  auto legacy = router.Dispatch(MakeRequest("GET", "/thing"), &trace);
+  EXPECT_EQ(legacy.body, canonical.body);
+  EXPECT_EQ(legacy.status, canonical.status);
+  EXPECT_EQ(legacy.headers.at("Deprecation"), "true");
+  EXPECT_EQ(router.deprecated_requests(), 1u);
+  EXPECT_EQ(router.CanonicalPath("/thing"), "/v1/thing");
+  EXPECT_EQ(router.CanonicalPath("/v1/thing"), "/v1/thing");
+}
+
+TEST(ApiErrorTest, EnvelopeShape) {
+  auto with_trace = ApiError(413, "too big", "abad1dea00000001");
+  EXPECT_EQ(with_trace.status, 413);
+  EXPECT_EQ(with_trace.body,
+            "{\"error\":{\"code\":\"payload_too_large\",\"message\":"
+            "\"too big\",\"trace_id\":\"abad1dea00000001\"}}");
+  // Without a trace id the field is omitted, not empty.
+  auto without = ApiError(400, "bad \"quoted\" input");
+  EXPECT_EQ(without.body,
+            "{\"error\":{\"code\":\"bad_request\",\"message\":"
+            "\"bad \\\"quoted\\\" input\"}}");
+}
+
+TEST(ApiErrorTest, StatusMapping) {
+  EXPECT_EQ(HttpStatusForStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusForStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusForStatus(Status::Unavailable("x")), 503);
+  EXPECT_EQ(HttpStatusForStatus(Status::DeadlineExceeded("x")), 504);
+  EXPECT_EQ(HttpStatusForStatus(Status::Internal("x")), 500);
+}
+
+TEST(HttpServerTest, OversizedBodyGets413Envelope) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // The server rejects on the declared Content-Length without draining
+  // the body (and then closes), so a well-behaved HttpClient mid-upload
+  // would see a reset — speak raw TCP and send only the headers.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  const std::string request =
+      "POST /echo HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+      std::to_string(kMaxBodyBytes + 1) + "\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"code\":\"payload_too_large\""),
+            std::string::npos)
+      << response;
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace serenade

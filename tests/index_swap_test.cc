@@ -219,5 +219,117 @@ TEST(IndexSwapTest, AdminReloadUnderLoadIsZeroDowntime) {
   std::filesystem::remove(ManifestPathFor(path_b));
 }
 
+// The micro-batched request path holds exactly one snapshot pin per batch
+// instead of one per request; hot swaps under batched load must stay
+// zero-downtime all the same, and batch slots may never mix snapshots
+// mid-batch (the pin is taken once and shared).
+TEST(IndexSwapTest, BatchedTrafficSurvivesHotSwaps) {
+  const Dataset train_a = MakeDataset(41);
+  const Dataset train_b = MakeDataset(42);
+  const std::string path_a = TempPath("batched_a.index");
+  const std::string path_b = TempPath("batched_b.index");
+  ASSERT_TRUE(WriteIndexWithManifest(path_a,
+                                     SessionIndex::Build(train_a, 500),
+                                     IndexManifest{})
+                  .ok());
+  ASSERT_TRUE(WriteIndexWithManifest(path_b,
+                                     SessionIndex::Build(train_b, 500),
+                                     IndexManifest{})
+                  .ok());
+
+  auto manager = IndexManager::CreateFromFile(path_a);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  ServiceConfig config;
+  config.knn.m = 500;
+  config.knn.k = 100;
+  auto service = SerenadeService::Create(
+      std::move(manager).value(), GenerateCatalog(train_a.num_items(), 5),
+      config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  ServerConfig server_config;
+  server_config.batch.max_batch_size = 8;
+  server_config.batch.max_delay_us = 1000;
+  server_config.batch.num_workers = 2;
+  SerenadeServer server(std::move(service).value(), server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect(server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Alternate single requests and client-side batches so both
+        // executor entry points run concurrently with the swaps.
+        if (i % 2 == 0) {
+          auto response = client.Get(
+              "/v1/recommend?session_id=single-" + std::to_string(t) +
+              "&item_id=" + std::to_string((t * 13 + i) % 200));
+          if (!response.ok() || response->status != 200) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          requests.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::string body = "{\"requests\":[";
+          for (int j = 0; j < 4; ++j) {
+            if (j > 0) body += ',';
+            body += "{\"session_id\":\"batch-" + std::to_string(t) +
+                    "\",\"item_id\":" +
+                    std::to_string(1 + (t * 29 + i + j) % 200) + "}";
+          }
+          body += "]}";
+          auto response = client.Post("/v1/recommend:batch", body);
+          if (!response.ok() || response->status != 200) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            auto doc = ParseJson(response->body);
+            if (!doc.ok()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              for (const JsonValue& slot : doc->Find("results")->AsArray()) {
+                if (slot.Find("items") == nullptr) {
+                  failures.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            }
+          }
+          requests.fetch_add(4, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+
+  HttpClient admin;
+  ASSERT_TRUE(admin.Connect(server.port()).ok());
+  for (int swap = 0; swap < 6; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::string& target = (swap % 2 == 0) ? path_b : path_a;
+    auto response = admin.Post("/v1/admin/reload?path=" + target, "");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << response->body;
+  }
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(requests.load(), 100u);
+  EXPECT_GT(server.executor().batches_executed(), 0u);
+
+  server.Stop();
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(ManifestPathFor(path_a));
+  std::filesystem::remove(path_b);
+  std::filesystem::remove(ManifestPathFor(path_b));
+}
+
 }  // namespace
 }  // namespace serenade

@@ -1,5 +1,7 @@
+#include <atomic>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -417,6 +419,191 @@ TEST_F(ServiceTest, ConsentFlagOverHttp) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status, 200);
   server.Stop();
+}
+
+// --- versioned /v1 API -------------------------------------------------------
+
+class V1ApiTest : public ServiceTest {
+ protected:
+  void StartServer(ServerConfig server_config = {}) {
+    ServiceConfig config;
+    config.knn.m = 500;
+    config.knn.k = 100;
+    auto service = SerenadeService::Create(index_, catalog_, config);
+    ASSERT_TRUE(service.ok());
+    server_ = std::make_unique<SerenadeServer>(std::move(service).value(),
+                                               server_config);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect(server_->port()).ok());
+  }
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<SerenadeServer> server_;
+  HttpClient client_;
+};
+
+TEST_F(V1ApiTest, LegacyAliasIsByteIdenticalPlusDeprecationHeader) {
+  StartServer();
+  // Two sessions with identical histories: the /v1 and legacy paths must
+  // produce byte-identical success bodies, differing only in the
+  // Deprecation response header.
+  auto v1 = client_.Get("/v1/recommend?session_id=a&item_id=7");
+  auto legacy = client_.Get("/recommend?session_id=b&item_id=7");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(v1->status, 200);
+  EXPECT_EQ(legacy->status, 200);
+  EXPECT_EQ(legacy->body, v1->body);
+  EXPECT_EQ(legacy->Header("Deprecation"), "true");
+  EXPECT_EQ(v1->Header("Deprecation"), "");
+
+  // The same holds for healthz / stats shape and the other aliases.
+  EXPECT_EQ(client_.Get("/v1/healthz")->Header("Deprecation"), "");
+  EXPECT_EQ(client_.Get("/healthz")->Header("Deprecation"), "true");
+
+  // Deprecated traffic is counted (2 legacy requests so far).
+  auto metrics = client_.Get("/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(
+      metrics->body.find("serenade_http_deprecated_requests_total 2"),
+      std::string::npos)
+      << metrics->body;
+}
+
+TEST_F(V1ApiTest, PostRecommendMatchesGet) {
+  StartServer();
+  auto get = client_.Get("/v1/recommend?session_id=g&item_id=9");
+  auto post = client_.Post("/v1/recommend",
+                           "{\"session_id\":\"p\",\"item_id\":9}");
+  ASSERT_TRUE(get.ok());
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 200);
+  EXPECT_EQ(post->body, get->body);
+}
+
+TEST_F(V1ApiTest, ErrorEnvelopeShapes) {
+  StartServer();
+  // 400: missing parameter on the GET form.
+  auto missing = client_.Get("/v1/recommend?item_id=3");
+  EXPECT_EQ(missing->status, 400);
+  EXPECT_NE(missing->body.find("\"code\":\"bad_request\""),
+            std::string::npos);
+  // Every envelope from a routed request carries the echoed trace id.
+  auto doc = ParseJson(missing->body);
+  ASSERT_TRUE(doc.ok()) << missing->body;
+  const JsonValue* error = doc->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("trace_id")->AsString(),
+            missing->Header("X-Serenade-Trace-Id"));
+
+  // 400: malformed JSON body.
+  auto garbage = client_.Post("/v1/recommend", "{not json");
+  EXPECT_EQ(garbage->status, 400);
+  EXPECT_NE(garbage->body.find("\"error\""), std::string::npos);
+
+  // 404: unknown route.
+  auto unknown = client_.Get("/v2/recommend");
+  EXPECT_EQ(unknown->status, 404);
+  EXPECT_NE(unknown->body.find("\"code\":\"not_found\""), std::string::npos);
+
+  // 405: wrong method, with Allow.
+  auto wrong = client_.Post("/v1/healthz", "{}");
+  EXPECT_EQ(wrong->status, 405);
+  EXPECT_EQ(wrong->Header("Allow"), "GET");
+}
+
+TEST_F(V1ApiTest, BatchEndpointPreservesOrderAndIsolatesFailures) {
+  StartServer();
+  const std::string body =
+      "{\"requests\":["
+      "{\"session_id\":\"b1\",\"item_id\":3},"
+      "{\"item_id\":4},"  // missing session_id -> per-slot error
+      "{\"session_id\":\"b2\",\"item_id\":\"x\"},"  // bad item -> error
+      "{\"session_id\":\"b3\",\"item_id\":5}"
+      "]}";
+  auto response = client_.Post("/v1/recommend:batch", body);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->AsArray().size(), 4u);
+
+  const auto& slots = results->AsArray();
+  EXPECT_NE(slots[0].Find("items"), nullptr);
+  ASSERT_NE(slots[1].Find("error"), nullptr);
+  EXPECT_EQ(slots[1].Find("error")->Find("code")->AsString(), "bad_request");
+  ASSERT_NE(slots[2].Find("error"), nullptr);
+  EXPECT_NE(slots[3].Find("items"), nullptr);
+
+  // The good slots updated their sessions; the bad ones created none.
+  EXPECT_TRUE(server_->service().GetSession("b1").ok());
+  EXPECT_TRUE(server_->service().GetSession("b3").ok());
+  EXPECT_FALSE(server_->service().GetSession("b2").ok());
+}
+
+TEST_F(V1ApiTest, OversizedBatchGets413) {
+  ServerConfig server_config;
+  server_config.max_batch_items = 2;
+  StartServer(server_config);
+  const std::string body =
+      "{\"requests\":["
+      "{\"session_id\":\"a\",\"item_id\":1},"
+      "{\"session_id\":\"b\",\"item_id\":2},"
+      "{\"session_id\":\"c\",\"item_id\":3}"
+      "]}";
+  auto response = client_.Post("/v1/recommend:batch", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 413);
+  EXPECT_NE(response->body.find("\"code\":\"payload_too_large\""),
+            std::string::npos);
+}
+
+TEST_F(V1ApiTest, MicroBatchingServerServesConcurrentLoad) {
+  ServerConfig server_config;
+  server_config.batch.max_batch_size = 8;
+  server_config.batch.max_delay_us = 2000;
+  server_config.batch.num_workers = 2;
+  StartServer(server_config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10;
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect(server_->port()).ok()) {
+        errors.fetch_add(kPerThread);
+        return;
+      }
+      for (size_t i = 0; i < kPerThread; ++i) {
+        auto response =
+            client.Get("/v1/recommend?session_id=load-" + std::to_string(t) +
+                       "&item_id=" + std::to_string(1 + (i % 50)));
+        if (!response.ok() || response->status != 200) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(server_->executor().requests_executed(), kThreads * kPerThread);
+
+  // Batch-path metrics surfaced on /v1/metrics.
+  auto metrics = client_.Get("/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  for (const char* family :
+       {"serenade_batches_total", "serenade_batch_requests_total",
+        "serenade_batch_coalescing_factor_x100",
+        "serenade_batch_queue_wait_microseconds"}) {
+    EXPECT_NE(metrics->body.find(family), std::string::npos)
+        << "missing " << family;
+  }
+  // queue_wait joined the per-stage latency families.
+  EXPECT_NE(metrics->body.find("stage=\"queue_wait\""), std::string::npos);
 }
 
 }  // namespace

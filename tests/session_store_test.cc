@@ -61,6 +61,74 @@ TEST(SessionStoreTest, DeleteRemoves) {
   EXPECT_TRUE((*store)->Delete("k").ok());
 }
 
+TEST(SessionStoreTest, MultiGetMixesHitsAndMisses) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+
+  std::vector<std::string> values;
+  std::vector<bool> found;
+  (*store)->MultiGet({"a", "ghost", "b", "a"}, &values, &found);
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(found, (std::vector<bool>{true, false, true, true}));
+  EXPECT_EQ(values[0], "1");
+  EXPECT_EQ(values[2], "2");
+  EXPECT_EQ(values[3], "1");  // duplicate keys each get the value
+}
+
+TEST(SessionStoreTest, MultiGetHonoursTtlAndRefreshesIt) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("fresh", "f").ok());
+  clock.now += 60;
+  ASSERT_TRUE((*store)->Put("stale", "s").ok());
+  clock.now += 60;  // "fresh" is now 120s old, "stale" 60s
+
+  std::vector<std::string> values;
+  std::vector<bool> found;
+  (*store)->MultiGet({"fresh", "stale"}, &values, &found);
+  EXPECT_EQ(found, (std::vector<bool>{false, true}));
+
+  // The batch read refreshed "stale"'s TTL like a single Get would.
+  clock.now += 60;
+  EXPECT_TRUE((*store)->Get("stale").ok());
+}
+
+TEST(SessionStoreTest, MultiPutWritesAllAndLastDuplicateWins) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)
+                  ->MultiPut({{"x", "1"}, {"y", "2"}, {"x", "1,5"}})
+                  .ok());
+  EXPECT_EQ(*(*store)->Get("x"), "1,5");  // batch order: later wins
+  EXPECT_EQ(*(*store)->Get("y"), "2");
+  EXPECT_EQ((*store)->Stats().writes, 3u);
+}
+
+TEST(SessionStoreTest, MultiPutIsWalDurable) {
+  const std::string path = TempPath("multiput.wal");
+  ManualClock clock;
+  {
+    SessionStoreOptions options = VolatileOptions(clock);
+    options.wal_path = path;
+    auto store = SessionStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->MultiPut({{"m1", "7"}, {"m2", "8,9"}}).ok());
+  }
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.wal_path = path;
+  auto reopened = SessionStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(*(*reopened)->Get("m1"), "7");
+  EXPECT_EQ(*(*reopened)->Get("m2"), "8,9");
+}
+
 TEST(SessionStoreTest, TtlExpiresInactiveSessions) {
   ManualClock clock;
   SessionStoreOptions options = VolatileOptions(clock);

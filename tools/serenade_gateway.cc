@@ -9,12 +9,15 @@
 //
 //   serenade_gateway [--pods 3 | --backends 8081,8082] [--port 8080]
 //       [--forward-timeout 1000] [--max-attempts 3] [--hedge-delay 0]
-//       [--probe-interval 250] [--no-fallback]
+//       [--probe-interval 250] [--no-fallback] [--max-batch-items 128]
 //       [--items 5000] [--sessions 20000]
 //       [--slow-request-us 0] [--slow-sample-every 1]
 //
-// Serves /recommend (forwarded by session_id), /healthz, /stats,
-// /metrics until SIGINT/SIGTERM.
+// Serves the versioned /v1 API (see API.md): GET/POST /v1/recommend
+// (forwarded by session_id), POST /v1/recommend:batch (scatter-gathered
+// by each slot's ring owner), /v1/healthz, /v1/stats, /v1/metrics.
+// Unversioned paths remain as deprecated aliases. Runs until
+// SIGINT/SIGTERM.
 #include <algorithm>
 #include <atomic>
 #include <csignal>
@@ -126,6 +129,8 @@ int main(int argc, char** argv) {
   config.max_attempts = static_cast<uint32_t>(flags.GetInt("max-attempts", 3));
   config.hedge_delay_ms = flags.GetInt("hedge-delay", 0);
   config.health.probe_interval_ms = flags.GetInt("probe-interval", 250);
+  config.max_batch_items =
+      std::max<uint64_t>(1, flags.GetInt("max-batch-items", 128));
   config.trace = trace_config;
 
   std::unique_ptr<Recommender> fallback;

@@ -3,14 +3,25 @@
 //   serenade_server --index session.index [--port 8080] [--m 500]
 //       [--k 100] [--ttl 1800] [--max-items 21] [--wal sessions.wal]
 //       [--slow-request-us 0] [--slow-sample-every 1]
+//       [--batch-max-size 1] [--batch-max-delay-us 0] [--batch-workers 2]
+//       [--max-batch-items 128]
 //
 // Loads the binary index produced by serenade_build_index (honouring its
-// `.manifest` sidecar) and serves:
-//   GET  /recommend?session_id=<key>&item_id=<id>[&consent=false]
-//   GET  /healthz   (reports the published index version)
-//   GET  /stats
-//   GET  /metrics
-//   POST /admin/reload[?path=other.index]   (zero-downtime index hot swap)
+// `.manifest` sidecar) and serves the versioned /v1 API (see API.md):
+//   GET  /v1/recommend?session_id=<key>&item_id=<id>[&consent=false]
+//   POST /v1/recommend          (JSON body form of the same request)
+//   POST /v1/recommend:batch    (order-preserving client-side batches)
+//   GET  /v1/healthz            (reports the published index version)
+//   GET  /v1/stats
+//   GET  /v1/metrics
+//   POST /v1/admin/reload[?path=other.index]  (zero-downtime index swap)
+// The unversioned paths still answer (byte-identical) but are stamped
+// `Deprecation: true`.
+//
+// --batch-max-size > 1 turns on the micro-batching executor: concurrent
+// requests coalesce (waiting up to --batch-max-delay-us for a full batch)
+// into one session-store round trip and one snapshot pin per batch. The
+// default of 1 is an exact pass-through of the serial request path.
 // Runs until SIGINT/SIGTERM.
 #include <algorithm>
 #include <atomic>
@@ -89,17 +100,24 @@ int main(int argc, char** argv) {
   server_config.trace.slow_request_micros = flags.GetInt("slow-request-us", 0);
   server_config.trace.sample_every_n =
       std::max<uint64_t>(1, flags.GetInt("slow-sample-every", 1));
+  server_config.batch.max_batch_size =
+      std::max<uint64_t>(1, flags.GetInt("batch-max-size", 1));
+  server_config.batch.max_delay_us = flags.GetInt("batch-max-delay-us", 0);
+  server_config.batch.num_workers =
+      std::max<uint64_t>(1, flags.GetInt("batch-workers", 2));
+  server_config.max_batch_items =
+      std::max<uint64_t>(1, flags.GetInt("max-batch-items", 128));
   SerenadeServer server(std::move(service).value(), server_config);
   if (Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
     return 1;
   }
   std::printf(
-      "serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus); hot swap with "
-      "curl -X POST 'http://127.0.0.1:%u/admin/reload'\n",
+      "serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus, batch=%zu); hot "
+      "swap with curl -X POST 'http://127.0.0.1:%u/v1/admin/reload'\n",
       server.port(), service_config.knn.m, service_config.knn.k,
       static_cast<unsigned long long>(service_config.store.ttl_seconds),
-      server.port());
+      server_config.batch.max_batch_size, server.port());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
