@@ -64,14 +64,19 @@ HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(
   if (!client.Connect(endpoint.port).ok()) return outcome;
   auto response = client.Get("/v1/healthz");
   if (!response.ok() || response->status != 200) return outcome;
+  // A 200 status line alone is not health: a dying pod (or a middlebox)
+  // can deliver the headers and then cut the body short. Only a complete,
+  // parseable health document that itself says "ok" counts.
+  auto doc = ParseJson(response->body);
+  if (!doc.ok()) return outcome;
+  const JsonValue* status = doc->Find("status");
+  if (status == nullptr || status->AsString() != "ok") return outcome;
   outcome.ok = true;
   // Pods report their published index snapshot version in /v1/healthz; pick
   // it up so the gateway can observe a mid-rollout mixed-version fleet.
   // Older pods (or non-Serenade backends) simply don't carry the field.
-  if (auto doc = ParseJson(response->body); doc.ok()) {
-    if (const JsonValue* version = doc->Find("index_version")) {
-      outcome.index_version = static_cast<uint64_t>(version->AsInt());
-    }
+  if (const JsonValue* version = doc->Find("index_version")) {
+    outcome.index_version = static_cast<uint64_t>(version->AsInt());
   }
   return outcome;
 }

@@ -45,6 +45,12 @@ struct KnnConfig {
   IdfWeighting idf = IdfWeighting::kLog;
   /// When true, recommendations never repeat items of the evolving session.
   bool exclude_session_items = false;
+  /// Algorithm 1 scales VS-kNN item scores by 1/|s| (session-length
+  /// normalisation). The factor is a positive per-query constant, so
+  /// ranks never change; switching it off makes VS-kNN scores
+  /// bit-comparable with VMIS-kNN, which the differential fuzzer relies
+  /// on. VMIS-kNN ignores this flag.
+  bool vs_length_norm = true;
 
   // --- variant switches (Figure 3(a) bottom / ablations) ---
   /// Early stopping on sorted per-item postings (Section 3).

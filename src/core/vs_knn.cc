@@ -3,37 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/dary_heap.h"
 
 namespace serenade {
 
-namespace {
-
-struct NeighborLess {
-  bool operator()(const Neighbor& a, const Neighbor& b) const {
-    return a.score < b.score ||
-           (a.score == b.score && a.timestamp < b.timestamp);
-  }
-};
-
-struct ScoredItemLess {
-  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
-    return a.score < b.score || (a.score == b.score && a.item > b.item);
-  }
-};
-
-}  // namespace
-
 VsKnn::VsKnn(const Dataset& train, KnnConfig config) : config_(config) {
   assert(config_.m > 0 && config_.k > 0);
   num_sessions_ = train.num_sessions();
   for (const SessionData& session : train.sessions()) {
-    auto& item_set = items_for_session_[session.id];
-    for (ItemId item : session.items) {
-      if (item_set.insert(item).second) {
-        sessions_for_item_[item].push_back(session.id);
-      }
+    auto& item_list = items_for_session_[session.id];
+    item_list.assign(session.items.begin(), session.items.end());
+    std::sort(item_list.begin(), item_list.end());
+    item_list.erase(std::unique(item_list.begin(), item_list.end()),
+                    item_list.end());
+    for (ItemId item : item_list) {
+      sessions_for_item_[item].push_back(session.id);
     }
     session_timestamps_[session.id] = session.end_time;
   }
@@ -52,6 +38,10 @@ void VsKnn::Truncate(const EvolvingSession& session) {
                     session.end());
 }
 
+bool VsKnn::Contains(const std::vector<ItemId>& items, ItemId item) {
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
 std::vector<Neighbor> VsKnn::NeighborSessions(const EvolvingSession& session) {
   Truncate(session);
   std::vector<Neighbor> result;
@@ -68,7 +58,8 @@ std::vector<Neighbor> VsKnn::NeighborSessions(const EvolvingSession& session) {
   }
   if (matching.empty()) return result;
 
-  // Line 6: recency-based sample of size m.
+  // Line 6: recency-based sample of size m. Recency ties break on the
+  // higher session id — the same total order VMIS-kNN's eviction uses.
   std::vector<SessionId> candidates(matching.begin(), matching.end());
   if (candidates.size() > config_.m) {
     std::nth_element(candidates.begin(),
@@ -82,20 +73,35 @@ std::vector<Neighbor> VsKnn::NeighborSessions(const EvolvingSession& session) {
     candidates.resize(config_.m);
   }
 
-  // Line 7: similarity pi(omega(s))^T h via per-candidate set lookups.
-  // Only the most recent occurrence of a duplicate item contributes,
-  // matching VMIS-kNN's dedup semantics.
+  // Duplicate evolving-session items contribute only at their most
+  // recent position, and similarity terms accumulate most-recent-first —
+  // the traversal order of VMIS-kNN's intersection loop, so the float
+  // sums agree bit-for-bit.
+  dedup_recent_first_.clear();
   max_position_.clear();
-  for (size_t p = 0; p < len; ++p) {
-    max_position_[truncated_[p]] = static_cast<uint32_t>(p + 1);
+  for (size_t reverse = 0; reverse < len; ++reverse) {
+    const size_t position = len - 1 - reverse;  // 0-based
+    const ItemId item = truncated_[position];
+    bool duplicate = false;
+    for (size_t later = position + 1; later < len; ++later) {
+      if (truncated_[later] == item) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    dedup_recent_first_.emplace_back(item,
+                                     static_cast<uint32_t>(position + 1));
+    max_position_[item] = static_cast<uint32_t>(position + 1);
   }
 
-  BoundedTopK<Neighbor, 2, NeighborLess> top_k(config_.k);
+  // Line 7: similarity pi(omega(s))^T h via per-candidate lookups.
+  BoundedTopK<Neighbor, 2, internal::NeighborLess> top_k(config_.k);
   for (SessionId candidate : candidates) {
-    const auto& item_set = items_for_session_[candidate];
+    const std::vector<ItemId>& item_list = items_for_session_[candidate];
     float similarity = 0.0f;
-    for (const auto& [item, position] : max_position_) {
-      if (item_set.find(item) != item_set.end()) {
+    for (const auto& [item, position] : dedup_recent_first_) {
+      if (Contains(item_list, item)) {
         similarity += static_cast<float>(
             DecayWeight(config_.decay, position, len));
       }
@@ -119,23 +125,27 @@ std::vector<ScoredItem> VsKnn::RecommendNext(const EvolvingSession& session,
 
   std::unordered_map<ItemId, float> item_scores;
   for (const Neighbor& neighbor : neighbors) {
-    const auto& item_set = items_for_session_[neighbor.session];
+    const std::vector<ItemId>& item_list = items_for_session_[neighbor.session];
 
     uint32_t max_shared_position = 0;
-    for (const auto& [item, position] : max_position_) {
-      if (item_set.find(item) != item_set.end()) {
-        max_shared_position = std::max(max_shared_position, position);
+    for (ItemId item : item_list) {
+      auto it = max_position_.find(item);
+      if (it != max_position_.end()) {
+        max_shared_position = std::max(max_shared_position, it->second);
       }
     }
     if (max_shared_position == 0) continue;
 
-    const float weight =
-        static_cast<float>(
-            MatchWeight(config_.match_weight, max_shared_position, len)) *
-        session_length_factor * neighbor.score;
+    // Without length normalisation the product chain is exactly
+    // VMIS-kNN's (match weight times neighbour score).
+    const float match = static_cast<float>(
+        MatchWeight(config_.match_weight, max_shared_position, len));
+    const float weight = config_.vs_length_norm
+                             ? match * session_length_factor * neighbor.score
+                             : match * neighbor.score;
     if (weight <= 0.0f) continue;
 
-    for (ItemId item : item_set) {
+    for (ItemId item : item_list) {
       float idf_factor = 1.0f;
       switch (config_.idf) {
         case IdfWeighting::kNone:
@@ -151,7 +161,7 @@ std::vector<ScoredItem> VsKnn::RecommendNext(const EvolvingSession& session,
     }
   }
 
-  BoundedTopK<ScoredItem, 2, ScoredItemLess> top_n(how_many);
+  BoundedTopK<ScoredItem, 2, internal::ScoredItemLess> top_n(how_many);
   for (const auto& [item, score] : item_scores) {
     if (config_.exclude_session_items &&
         max_position_.find(item) != max_position_.end()) {

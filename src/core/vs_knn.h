@@ -5,11 +5,18 @@
 // similarities" (Section 5.1.3). Deliberately materialises the full
 // matching session set — this is the comparison point that motivates the
 // VMIS-kNN index.
+//
+// Tie-breaking, duplicate handling, and float accumulation order are
+// aligned with VMIS-kNN, so on a dataset with dense ascending-end-time
+// session ids (the Dataset::FromClicks shape) the two engines agree
+// bit-for-bit on neighbours and — with config.vs_length_norm = false —
+// on item scores too. The differential fuzzer holds them to exactly
+// that.
 #pragma once
 
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -26,8 +33,8 @@ class VsKnn : public Recommender {
  public:
   /// Builds the hashmap representation from the training sessions.
   /// Honors the same KnnConfig as VmisKnn; per Algorithm 1 the item
-  /// scores additionally carry the 1/|s| factor and default to the
-  /// (1 + log) IDF variant unless configured otherwise.
+  /// scores additionally carry the 1/|s| factor unless
+  /// config.vs_length_norm is switched off.
   VsKnn(const Dataset& train, KnnConfig config);
 
   std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
@@ -44,17 +51,25 @@ class VsKnn : public Recommender {
  private:
   void Truncate(const EvolvingSession& session);
 
+  /// True when `session` (a sorted distinct item list) contains `item`.
+  static bool Contains(const std::vector<ItemId>& items, ItemId item);
+
   KnnConfig config_;
   size_t num_sessions_ = 0;
 
   // Historical data in hashmaps, as the paper's baseline prescribes.
+  // Per-session items are sorted distinct vectors — the same shape (and
+  // iteration order) as SessionIndex::ItemsForSession.
   std::unordered_map<ItemId, std::vector<SessionId>> sessions_for_item_;
-  std::unordered_map<SessionId, std::unordered_set<ItemId>> items_for_session_;
+  std::unordered_map<SessionId, std::vector<ItemId>> items_for_session_;
   std::unordered_map<SessionId, Timestamp> session_timestamps_;
   std::unordered_map<ItemId, double> item_idf_;
 
   // Scratch.
   std::vector<ItemId> truncated_;
+  // Deduplicated truncated items, most recent first, with their 1-based
+  // position — the exact traversal order of VMIS-kNN's intersection loop.
+  std::vector<std::pair<ItemId, uint32_t>> dedup_recent_first_;
   std::unordered_map<ItemId, uint32_t> max_position_;
 };
 

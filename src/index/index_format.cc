@@ -158,7 +158,9 @@ Status DecodeFloats(const char* data, size_t size, std::vector<float>* out) {
     return Status::Corruption("float payload truncated");
   }
   out->resize(count);
-  std::memcpy(out->data(), cursor, count * sizeof(float));
+  if (count > 0) {  // memcpy with a null dst is UB even for zero bytes
+    std::memcpy(out->data(), cursor, count * sizeof(float));
+  }
   return Status::Ok();
 }
 

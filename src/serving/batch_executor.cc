@@ -3,13 +3,28 @@
 #include <chrono>
 
 #include "common/hash.h"
+#include "testing/fault_injection.h"
 
 namespace serenade {
 
+void RealBatchClock::WaitFor(std::condition_variable& cv,
+                             std::unique_lock<std::mutex>& lock,
+                             uint64_t micros,
+                             const std::function<bool()>& pred) {
+  cv.wait_for(lock, std::chrono::microseconds(micros), pred);
+}
+
+RealBatchClock* RealBatchClock::Instance() {
+  static RealBatchClock instance;
+  return &instance;
+}
+
 BatchExecutor::BatchExecutor(SerenadeService* service,
                              BatchExecutorConfig config,
-                             MetricsRegistry* registry)
-    : service_(service), config_(config) {
+                             MetricsRegistry* registry, BatchClock* clock)
+    : service_(service),
+      config_(config),
+      clock_(clock != nullptr ? clock : RealBatchClock::Instance()) {
   if (registry == nullptr) return;
   registry->AddCallback(
       "serenade_batches_total", "micro-batches executed",
@@ -76,6 +91,10 @@ StatusOr<std::future<BatchExecutor::Result>> BatchExecutor::SubmitAsync(
   if (workers_.empty()) {
     return Status::Unavailable("batch executor not started");
   }
+  SERENADE_FAULT_POINT(FaultSite::kBatchQueueFull, {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected: batch queue full (overloaded)");
+  });
   auto op = std::make_unique<PendingOp>();
   op->request = request;
   op->trace = trace;
@@ -113,8 +132,8 @@ void BatchExecutor::WorkerLoop(Worker& worker) {
       if (config_.max_delay_us > 0 &&
           worker.queue.size() < config_.max_batch_size &&
           !stopping_.load(std::memory_order_relaxed)) {
-        worker.cv.wait_for(
-            lock, std::chrono::microseconds(config_.max_delay_us), [&] {
+        clock_->WaitFor(
+            worker.cv, lock, config_.max_delay_us, [&] {
               return stopping_.load(std::memory_order_relaxed) ||
                      worker.queue.size() >= config_.max_batch_size;
             });

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,34 @@ struct BatchExecutorConfig {
   size_t max_queue_per_worker = 1024;
 };
 
+/// The executor's only timing dependence: how a worker waits out the
+/// coalescing window after the first request of a batch arrives. The
+/// default implementation waits on the wall clock; tests substitute a
+/// virtual clock (testing/virtual_clock.h) and advance time explicitly,
+/// so batch-composition assertions stop depending on scheduler luck.
+class BatchClock {
+ public:
+  virtual ~BatchClock() = default;
+
+  /// Blocks on `cv` (guarded by `lock`) until `pred()` holds or `micros`
+  /// of clock time elapses. Like std::condition_variable::wait_for, the
+  /// predicate is evaluated only with the lock held.
+  virtual void WaitFor(std::condition_variable& cv,
+                       std::unique_lock<std::mutex>& lock, uint64_t micros,
+                       const std::function<bool()>& pred) = 0;
+};
+
+/// Wall-clock BatchClock: a plain wait_for on the condition variable.
+class RealBatchClock : public BatchClock {
+ public:
+  void WaitFor(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lock, uint64_t micros,
+               const std::function<bool()>& pred) override;
+
+  /// Shared process-wide instance (stateless).
+  static RealBatchClock* Instance();
+};
+
 /// Thread-safe executor facade in front of a SerenadeService. Callers
 /// block on Execute()/ExecuteBatch() until their slot's result is ready;
 /// worker threads own the actual service calls.
@@ -60,9 +89,12 @@ class BatchExecutor {
 
   /// `service` must outlive the executor. A non-null `registry` receives
   /// the batching metrics (occupancy + queue-wait histograms, batch /
-  /// request / rejection counters, coalescing-factor gauge).
+  /// request / rejection counters, coalescing-factor gauge). A non-null
+  /// `clock` (which must outlive the executor) replaces the wall clock
+  /// for the coalescing window — test-only.
   BatchExecutor(SerenadeService* service, BatchExecutorConfig config,
-                MetricsRegistry* registry = nullptr);
+                MetricsRegistry* registry = nullptr,
+                BatchClock* clock = nullptr);
   ~BatchExecutor();
 
   BatchExecutor(const BatchExecutor&) = delete;
@@ -130,6 +162,7 @@ class BatchExecutor {
 
   SerenadeService* service_;
   BatchExecutorConfig config_;
+  BatchClock* clock_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{true};  // Start() arms the queues
 

@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "serving/json.h"
+#include "testing/fault_injection.h"
 
 namespace serenade {
 
@@ -488,6 +489,10 @@ HttpClient::~HttpClient() { Close(); }
 
 Status HttpClient::Connect(uint16_t port) {
   Close();
+  SERENADE_FAULT_POINT(FaultSite::kHttpConnect, {
+    return Status::Unavailable("injected: connect refused by port " +
+                               std::to_string(port));
+  });
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::IoError("socket() failed");
   const int enable = 1;
@@ -556,6 +561,9 @@ void HttpClient::Close() {
 
 StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   if (fd_ < 0) return Status::Unavailable("not connected");
+  SERENADE_FAULT_DELAY(FaultSite::kHttpLatency);
+  SERENADE_FAULT_POINT(FaultSite::kHttpSend,
+                       { return Status::IoError("injected: send failed"); });
   if (!WriteAll(fd_, request_text)) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Status::DeadlineExceeded("send timed out");
@@ -564,6 +572,9 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
   }
 
   std::string buffer;
+  SERENADE_FAULT_POINT(FaultSite::kHttpRecv, {
+    return Status::IoError("injected: connection reset mid-response");
+  });
   switch (ReadUntil(fd_, &buffer, "\r\n\r\n")) {
     case ReadResult::kOk:
       break;
@@ -629,6 +640,13 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(const std::string& request_text) {
     }
   }
   response.body = buffer.substr(header_end + 4, body_length);
+  // Models a middlebox or crashing peer that delivered the status line
+  // and headers but cut the body short: status stays 200, body shrinks
+  // to a strict prefix. Callers must not trust status alone.
+  SERENADE_FAULT_POINT(FaultSite::kHttpTruncateBody, {
+    response.body.resize(
+        static_cast<size_t>(serenade_fi->RandBelow(response.body.size())));
+  });
   return response;
 }
 

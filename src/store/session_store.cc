@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "common/hash.h"
+#include "testing/fault_injection.h"
 
 namespace serenade {
 
@@ -32,17 +34,36 @@ StatusOr<std::unique_ptr<SessionStore>> SessionStore::Open(
   if (!options.wal_path.empty()) {
     // Recover existing state (a missing file is a fresh store).
     const uint64_t now = store->options_.clock();
-    auto replayed = ReplayWal(options.wal_path, [&](const WalRecord& record) {
-      Shard& shard = store->ShardFor(record.key);
-      if (record.type == WalRecordType::kDelete) {
-        shard.table.erase(record.key);
-      } else {
-        shard.table[record.key] = Entry{record.value, record.timestamp};
-      }
-    });
+    uint64_t valid_bytes = 0;
+    auto replayed = ReplayWal(
+        options.wal_path,
+        [&](const WalRecord& record) {
+          Shard& shard = store->ShardFor(record.key);
+          if (record.type == WalRecordType::kDelete) {
+            shard.table.erase(record.key);
+          } else {
+            shard.table[record.key] = Entry{record.value, record.timestamp};
+          }
+        },
+        &valid_bytes);
     if (!replayed.ok() &&
         replayed.status().code() != StatusCode::kIoError) {
       return replayed.status();  // corruption: refuse to open silently
+    }
+    if (replayed.ok()) {
+      // Chop any torn tail before reopening for append. Without this, a
+      // post-crash write would land after the garbage bytes and the next
+      // replay would stop at the tear — silently losing every write
+      // acknowledged after recovery.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(options.wal_path, ec);
+      if (!ec && size > valid_bytes) {
+        std::filesystem::resize_file(options.wal_path, valid_bytes, ec);
+        if (ec) {
+          return Status::IoError("cannot truncate torn WAL tail at " +
+                                 options.wal_path + ": " + ec.message());
+        }
+      }
     }
     // Drop entries that expired while the store was down.
     for (Shard& shard : store->shards_) {
@@ -182,6 +203,11 @@ Status SessionStore::MultiPut(
     const std::vector<std::pair<std::string, std::string>>& entries,
     Trace* trace) {
   Span span(trace, TraceStage::kStorePut);
+  // Fails before any shard mutates, so a rejected batch is all-or-nothing
+  // from the caller's view: no ack, no visible writes.
+  SERENADE_FAULT_POINT(FaultSite::kStoreMultiPut, {
+    return Status::IoError("injected: batched write rejected");
+  });
   const uint64_t now = options_.clock();
 
   std::vector<std::vector<size_t>> by_shard(shards_.size());

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "testing/fault_injection.h"
 
 namespace serenade {
 
@@ -43,6 +44,20 @@ Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("WAL not open");
   std::string encoded;
   EncodeRecord(record, &encoded);
+  SERENADE_FAULT_POINT(FaultSite::kWalAppendFail, {
+    return Status::IoError("injected: WAL append failed, nothing written");
+  });
+  // A torn write lands a strict prefix of the record on disk and then
+  // fails — the crash shape replay's torn-tail handling must absorb.
+  SERENADE_FAULT_POINT(FaultSite::kWalTornWrite, {
+    const size_t torn =
+        static_cast<size_t>(serenade_fi->RandBelow(encoded.size()));
+    std::fwrite(encoded.data(), 1, torn, file_);
+    std::fflush(file_);
+    return Status::IoError("injected: torn WAL write (" +
+                           std::to_string(torn) + " of " +
+                           std::to_string(encoded.size()) + " bytes)");
+  });
   if (std::fwrite(encoded.data(), 1, encoded.size(), file_) !=
       encoded.size()) {
     return Status::IoError("WAL append failed");
@@ -52,6 +67,8 @@ Status WalWriter::Append(const WalRecord& record) {
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  SERENADE_FAULT_POINT(FaultSite::kWalSyncFail,
+                       { return Status::IoError("injected: WAL flush failed"); });
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
   return Status::Ok();
 }
@@ -65,12 +82,20 @@ void WalWriter::Close() {
 
 StatusOr<uint64_t> ReplayWal(
     const std::string& path,
-    const std::function<void(const WalRecord&)>& cb) {
+    const std::function<void(const WalRecord&)>& cb,
+    uint64_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open WAL at " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  const std::string bytes = buffer.str();
+  std::string bytes = buffer.str();
+  // Models the filesystem handing back fewer bytes than the file holds
+  // (a short read); replay must degrade exactly like a torn tail.
+  SERENADE_FAULT_POINT(FaultSite::kWalReplayShortRead, {
+    bytes.resize(
+        static_cast<size_t>(serenade_fi->RandBelow(bytes.size() + 1)));
+  });
 
   uint64_t replayed = 0;
   size_t cursor = 0;
@@ -103,6 +128,7 @@ StatusOr<uint64_t> ReplayWal(
     cb(record);
     ++replayed;
     cursor += total;
+    if (valid_bytes != nullptr) *valid_bytes = cursor;
   }
   return replayed;
 }

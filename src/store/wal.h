@@ -48,7 +48,13 @@ class WalWriter {
 /// Returns the number of records replayed; a trailing partial record is
 /// ignored (normal after a crash), but corruption in the middle of the
 /// file yields kCorruption.
+///
+/// When `valid_bytes` is non-null it receives the byte offset of the end
+/// of the last intact record (0 for an empty or fully-torn log) — the
+/// length the file must be truncated to before appending again, so new
+/// records never land after garbage tail bytes.
 StatusOr<uint64_t> ReplayWal(const std::string& path,
-                             const std::function<void(const WalRecord&)>& cb);
+                             const std::function<void(const WalRecord&)>& cb,
+                             uint64_t* valid_bytes = nullptr);
 
 }  // namespace serenade

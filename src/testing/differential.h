@@ -1,0 +1,109 @@
+// Differential kernel fuzzing: generate random click histories and
+// evolving sessions from a seed, run the same query through every
+// engine of the VS-kNN family — VS-kNN over hashmaps, VMIS-kNN, the
+// no-opt VMIS variant (binary heaps, no early stopping), and the full
+// batched /v1 service path — and demand bit-identical scores and ranks.
+// A divergence is shrunk to a minimal reproducer (fewest historical
+// sessions, shortest query) before being reported, together with the
+// seed that regenerates it.
+//
+// Bit-identity (not tolerance) is the contract: all engines truncate,
+// deduplicate, tie-break, and accumulate floats in the same order (see
+// vs_knn.h). VS-kNN runs with vs_length_norm = false, removing
+// Algorithm 1's rank-neutral 1/|s| scale so even raw scores match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/vmis_knn.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+/// Shape of one randomly generated differential case. Defaults are small
+/// on purpose: tiny item vocabularies force heavy session overlap, small
+/// m forces candidate eviction, and short postings exercise the early
+/// stopping boundary — the regions where the engines can disagree.
+struct DiffSpec {
+  size_t min_sessions = 20;
+  size_t max_sessions = 200;
+  size_t min_items = 5;
+  size_t max_items = 60;
+  size_t max_history_length = 8;
+  size_t num_queries = 12;
+  size_t max_query_length = 12;
+  /// Query hyperparameters are drawn per case: m in [1, m_max], k in
+  /// [1, m], plus random decay / match-weight / IDF variants.
+  size_t m_max = 40;
+  size_t top_n = 21;
+  /// Route every query through the batched service path too (slower;
+  /// the kernel-only comparison already runs thousands of cases).
+  bool include_service = true;
+};
+
+/// One generated case: a click history (dense ascending-end-time ids,
+/// the shape SessionIndex::Build requires) plus evolving-session queries
+/// and the per-case engine configuration.
+struct DiffCase {
+  Dataset train;
+  std::vector<EvolvingSession> queries;
+  KnnConfig knn;
+  size_t top_n = 21;
+};
+
+/// A disagreement between two engines on one query.
+struct DiffDivergence {
+  std::string engine_a;
+  std::string engine_b;
+  size_t query_index = 0;
+  std::string detail;  // first differing rank, items, score bits
+};
+
+/// Deterministically generates a case from `rng` (drawing the session
+/// count, vocabulary, clicks, queries, and KnnConfig).
+DiffCase GenerateDiffCase(const DiffSpec& spec, Rng* rng);
+
+/// Runs every engine over every query of `c`. Returns the first
+/// divergence, or nullopt when all engines agree bit-for-bit.
+/// `include_service` additionally routes each query through
+/// SerenadeService::HandleUpdateAndRecommendBatch (one batch per query,
+/// chained slots on one session key).
+///
+/// `mutate` is the harness self-check: when true, the no-opt engine's
+/// scores are deliberately perturbed before comparison, and the harness
+/// MUST report a divergence — proving the oracle can actually fail.
+std::optional<DiffDivergence> CheckDiffCase(const DiffCase& c,
+                                            bool include_service,
+                                            bool mutate = false);
+
+/// Shrinks a failing case to a locally minimal reproducer: drops
+/// non-failing queries, then historical sessions (chunks, then
+/// singletons), then query items, re-checking after each removal.
+/// Returns the minimal case (CheckDiffCase on it still fails).
+DiffCase ShrinkDiffCase(const DiffCase& c, bool include_service);
+
+/// Human-readable reproducer: the full minimal case (history, query,
+/// config) plus `seed`, printable by a failing test or the fuzz tool.
+std::string FormatReproducer(const DiffCase& c, uint64_t seed,
+                             const DiffDivergence& divergence);
+
+/// Coverage counters for one fuzz run (the CI smoke asserts volume).
+struct DiffFuzzStats {
+  uint64_t cases = 0;
+  uint64_t sessions = 0;  // historical + evolving sessions generated
+  uint64_t queries = 0;
+};
+
+/// Runs `cases` seeded iterations (seed, seed+1, ...): generate, check,
+/// shrink on failure. Returns nullopt when every case agrees; otherwise
+/// the formatted minimal reproducer of the first failure.
+std::optional<std::string> RunDiffFuzz(const DiffSpec& spec, uint64_t seed,
+                                       size_t cases,
+                                       DiffFuzzStats* stats = nullptr);
+
+}  // namespace serenade

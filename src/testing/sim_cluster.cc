@@ -1,0 +1,104 @@
+#include "testing/sim_cluster.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "data/synthetic.h"
+#include "serving/service.h"
+
+namespace serenade {
+
+StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
+    SimClusterConfig config) {
+  if (config.num_pods == 0) {
+    return Status::InvalidArgument("num_pods must be > 0");
+  }
+  auto cluster = std::unique_ptr<SimCluster>(new SimCluster());
+  cluster->config_ = std::move(config);
+  cluster->index_ = std::make_shared<const SessionIndex>(SessionIndex::Build(
+      cluster->config_.train, cluster->config_.knn.m));
+
+  cluster->pods_.resize(cluster->config_.num_pods);
+  std::vector<BackendEndpoint> endpoints;
+  for (size_t i = 0; i < cluster->pods_.size(); ++i) {
+    Pod& pod = cluster->pods_[i];
+    pod.name = "pod-" + std::to_string(i);
+    if (!cluster->config_.work_dir.empty()) {
+      pod.wal_path =
+          cluster->config_.work_dir + "/pod" + std::to_string(i) + ".wal";
+    }
+    SERENADE_RETURN_IF_ERROR(cluster->StartPod(pod, /*port=*/0));
+    endpoints.push_back(BackendEndpoint{pod.name, pod.port});
+  }
+
+  GatewayConfig gateway_config = cluster->config_.gateway;
+  cluster->gateway_ = std::make_unique<ClusterGateway>(
+      std::move(endpoints), gateway_config, /*fallback=*/nullptr);
+  SERENADE_RETURN_IF_ERROR(cluster->gateway_->Start());
+  return cluster;
+}
+
+SimCluster::~SimCluster() {
+  if (gateway_ != nullptr) gateway_->Stop();
+  for (Pod& pod : pods_) {
+    if (pod.server != nullptr) pod.server->Stop();
+  }
+}
+
+Status SimCluster::StartPod(Pod& pod, uint16_t port) {
+  // Full catalog: the torture harness asserts store/index invariants,
+  // not merchandising rules.
+  ItemCatalog catalog;
+  catalog.available.assign(config_.train.num_items(), true);
+  catalog.adult.assign(config_.train.num_items(), false);
+
+  ServiceConfig service_config;
+  service_config.knn = config_.knn;
+  service_config.rules.filter_unavailable = false;
+  service_config.rules.filter_adult = false;
+  service_config.rules.max_items = config_.max_items;
+  service_config.store = config_.store;
+  service_config.store.wal_path = pod.wal_path;
+
+  auto service =
+      SerenadeService::Create(index_, catalog, service_config);
+  SERENADE_RETURN_IF_ERROR(service.status());
+
+  ServerConfig server_config;
+  server_config.port = port;
+  server_config.batch = config_.batch;
+  pod.server = std::make_unique<SerenadeServer>(std::move(service).value(),
+                                                server_config);
+  SERENADE_RETURN_IF_ERROR(pod.server->Start());
+  pod.port = pod.server->port();
+  return Status::Ok();
+}
+
+void SimCluster::KillPod(size_t i) {
+  Pod& pod = pods_[i];
+  if (pod.server == nullptr) return;
+  pod.server->Stop();
+  pod.server.reset();  // destroys the service; the store syncs its WAL
+}
+
+Status SimCluster::RestartPod(size_t i) {
+  Pod& pod = pods_[i];
+  if (pod.server != nullptr) return Status::AlreadyExists(pod.name);
+  // Rebind the original port (SO_REUSEADDR): the gateway's endpoint set
+  // is fixed at construction, so recovery must come back where routing
+  // expects it — exactly like a pod rescheduled onto the same service IP.
+  return StartPod(pod, pod.port);
+}
+
+bool SimCluster::AwaitHealthy(size_t min_healthy, uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (health().NumHealthy() < min_healthy) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+}  // namespace serenade

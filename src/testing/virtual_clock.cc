@@ -1,0 +1,47 @@
+#include "testing/virtual_clock.h"
+
+#include <chrono>
+
+namespace serenade {
+
+void VirtualBatchClock::WaitFor(std::condition_variable& cv,
+                                std::unique_lock<std::mutex>& lock,
+                                uint64_t micros,
+                                const std::function<bool()>& pred) {
+  const uint64_t deadline = NowMicros() + micros;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++waiters_;
+  }
+  waiters_cv_.notify_all();
+
+  // cv belongs to the executor worker and is notified by SubmitAsync;
+  // AdvanceMicros has no handle on it, so the deadline is re-checked on
+  // a 1 ms real-time safety net. Composition stays deterministic: the
+  // loop only ever exits on pred() or virtual-deadline expiry.
+  while (!pred() && NowMicros() < deadline) {
+    cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    --waiters_;
+  }
+  waiters_cv_.notify_all();
+}
+
+void VirtualBatchClock::AdvanceMicros(uint64_t micros) {
+  now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+}
+
+int VirtualBatchClock::waiters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return waiters_;
+}
+
+void VirtualBatchClock::AwaitWaiters(int count) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  waiters_cv_.wait(lock, [&] { return waiters_ >= count; });
+}
+
+}  // namespace serenade

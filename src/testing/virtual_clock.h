@@ -1,0 +1,60 @@
+// Virtual time for the BatchExecutor's coalescing window. Replaces
+// "sleep and hope the scheduler cooperated" with an explicit protocol:
+//
+//   VirtualBatchClock clock;
+//   BatchExecutor executor(&service, config, nullptr, &clock);
+//   executor.Start();
+//   ... submit the first request ...
+//   clock.AwaitWaiters(1);            // worker parked in its window
+//   ... submit k more requests ...
+//   clock.AdvanceMicros(delay_us);    // window expires *now*
+//   // -> exactly one batch of k+1 requests, every run, every machine
+//
+// Waiters poll the virtual deadline on a short real-time safety net (so
+// a lost wakeup costs milliseconds, not a hang); the *outcome* — which
+// requests coalesce into which batch — is fully determined by the
+// protocol above, never by wall-clock races.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "serving/batch_executor.h"
+
+namespace serenade {
+
+class VirtualBatchClock : public BatchClock {
+ public:
+  /// BatchClock: waits until `pred()` or `micros` of *virtual* time
+  /// passes (measured from the virtual now at entry).
+  void WaitFor(std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lock, uint64_t micros,
+               const std::function<bool()>& pred) override;
+
+  /// Current virtual time.
+  uint64_t NowMicros() const {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+
+  /// Moves virtual time forward; waiters whose window has expired return
+  /// within one safety-net tick (~1 ms real time).
+  void AdvanceMicros(uint64_t micros);
+
+  /// Number of threads currently parked inside WaitFor.
+  int waiters() const;
+
+  /// Blocks until at least `count` threads are parked inside WaitFor —
+  /// the handshake that makes "the worker is in its coalescing window"
+  /// an observable state instead of a sleep-based guess.
+  void AwaitWaiters(int count);
+
+ private:
+  std::atomic<uint64_t> now_micros_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable waiters_cv_;
+  int waiters_ = 0;
+};
+
+}  // namespace serenade

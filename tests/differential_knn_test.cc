@@ -1,0 +1,116 @@
+// Differential-correctness harness (testing/differential.h): random
+// click histories and evolving sessions, one query through four engines
+// — VS-kNN, VMIS-kNN, the no-opt VMIS variant, and the micro-batched
+// service path — demanding bit-identical scores and ranks.
+//
+// The CI smoke below generates >= 5,000 random sessions under a pinned
+// seed with zero tolerated divergence, and the mutation self-check
+// proves the oracle can actually fail: a deliberately perturbed engine
+// must be caught and reported with its reproducing seed.
+#include <gtest/gtest.h>
+
+#include "testing/differential.h"
+
+namespace serenade {
+namespace {
+
+// Every fuzz entry point in the repository pins this seed: the CI run is
+// a replay, not a lottery. Deeper exploration belongs to
+// tools/serenade_fuzz (SERENADE_FUZZ_SECONDS, --seed).
+constexpr uint64_t kPinnedSeed = 20260806;
+
+TEST(DifferentialKnnTest, GenerateIsDeterministicPerSeed) {
+  DiffSpec spec;
+  Rng rng_a(kPinnedSeed), rng_b(kPinnedSeed);
+  const DiffCase a = GenerateDiffCase(spec, &rng_a);
+  const DiffCase b = GenerateDiffCase(spec, &rng_b);
+  ASSERT_EQ(a.train.num_sessions(), b.train.num_sessions());
+  for (size_t s = 0; s < a.train.num_sessions(); ++s) {
+    EXPECT_EQ(a.train.sessions()[s].items, b.train.sessions()[s].items);
+    EXPECT_EQ(a.train.sessions()[s].end_time, b.train.sessions()[s].end_time);
+  }
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.knn.m, b.knn.m);
+  EXPECT_EQ(a.knn.k, b.knn.k);
+}
+
+TEST(DifferentialKnnTest, FuzzSmokeAgreesOverFiveThousandSessions) {
+  DiffSpec spec;  // defaults include the batched service path
+  DiffFuzzStats stats;
+  const auto reproducer = RunDiffFuzz(spec, kPinnedSeed, 64, &stats);
+  ASSERT_FALSE(reproducer.has_value()) << *reproducer;
+  // The acceptance bar: at least 5,000 random sessions per smoke run.
+  EXPECT_GE(stats.sessions, 5000u) << "cases=" << stats.cases;
+  EXPECT_EQ(stats.cases, 64u);
+  EXPECT_GT(stats.queries, 0u);
+}
+
+TEST(DifferentialKnnTest, KernelOnlyFuzzCoversWiderShapes) {
+  // Without the service in the loop each case is cheap, so push the
+  // generator into larger histories and m values than the smoke run.
+  DiffSpec spec;
+  spec.include_service = false;
+  spec.max_sessions = 400;
+  spec.m_max = 80;
+  spec.num_queries = 16;
+  DiffFuzzStats stats;
+  const auto reproducer =
+      RunDiffFuzz(spec, kPinnedSeed + 1000, 48, &stats);
+  ASSERT_FALSE(reproducer.has_value()) << *reproducer;
+  EXPECT_EQ(stats.cases, 48u);
+}
+
+TEST(DifferentialKnnTest, MutationSelfCheckIsCaught) {
+  // A harness that cannot fail proves nothing. Perturb the no-opt
+  // engine's output and demand the oracle notices — on many seeds, so a
+  // future comparator bug cannot hide behind one lucky case.
+  DiffSpec spec;
+  spec.include_service = false;
+  for (uint64_t seed = kPinnedSeed; seed < kPinnedSeed + 8; ++seed) {
+    Rng rng(seed);
+    const DiffCase c = GenerateDiffCase(spec, &rng);
+    const auto divergence =
+        CheckDiffCase(c, /*include_service=*/false, /*mutate=*/true);
+    ASSERT_TRUE(divergence.has_value()) << "seed " << seed;
+    EXPECT_EQ(divergence->engine_b, "vmis-knn-no-opt");
+
+    // The report regenerates from its seed: it names both engines and
+    // carries the seed, config, and full history.
+    const std::string report = FormatReproducer(c, seed, *divergence);
+    EXPECT_NE(report.find("seed " + std::to_string(seed)), std::string::npos);
+    EXPECT_NE(report.find("vmis-knn-no-opt"), std::string::npos);
+    EXPECT_NE(report.find("config:"), std::string::npos);
+
+    // And the unmutated run of the very same case is clean.
+    EXPECT_FALSE(CheckDiffCase(c, /*include_service=*/false).has_value())
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialKnnTest, ShrinkKeepsOnlyWhatTheFailureNeeds) {
+  // Shrinking needs a genuinely failing case; engines agree on purpose,
+  // so build one from a divergent *configuration*: the oracle compares a
+  // case against itself under CheckDiffCase, but ShrinkDiffCase's
+  // contract is only "the returned case still fails". Drive it through
+  // the mutate path indirectly: a case whose VS-kNN runs length
+  // normalisation diverges from VMIS by construction.
+  DiffSpec spec;
+  spec.include_service = false;
+  Rng rng(kPinnedSeed + 77);
+  DiffCase c = GenerateDiffCase(spec, &rng);
+  c.knn.vs_length_norm = true;  // reintroduce Algorithm 1's 1/|s| scale
+  c.knn.decay = DecayType::kLinear;
+  c.knn.match_weight = MatchWeightType::kConstant;
+  auto divergence = CheckDiffCase(c, /*include_service=*/false);
+  if (!divergence.has_value()) {
+    GTEST_SKIP() << "length normalisation happened to be score-neutral here";
+  }
+  const DiffCase minimal = ShrinkDiffCase(c, /*include_service=*/false);
+  // Minimality: still failing, never larger than the original.
+  EXPECT_TRUE(CheckDiffCase(minimal, false).has_value());
+  EXPECT_LE(minimal.train.num_sessions(), c.train.num_sessions());
+  EXPECT_EQ(minimal.queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace serenade

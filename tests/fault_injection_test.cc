@@ -1,0 +1,182 @@
+// FaultInjector: the deterministic fault oracle every torture test in
+// this repository leans on. The contracts under test:
+//   * decisions replay bit-identically from the seed,
+//   * budgets cap fires, disarm/re-arm resets a site,
+//   * installation is scoped — no injector, no faults, zero behaviour
+//     change for unrelated code,
+//   * the HttpClient hooks actually produce the advertised failures
+//     (refused connects, failed IO absorbed by the keep-alive retry,
+//     truncated-but-200 bodies — the health-prober trap).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/http.h"
+#include "testing/fault_injection.h"
+
+namespace serenade {
+namespace {
+
+std::vector<bool> Decisions(FaultInjector& injector, FaultSite site,
+                            size_t rolls) {
+  std::vector<bool> decisions;
+  decisions.reserve(rolls);
+  for (size_t i = 0; i < rolls; ++i) {
+    decisions.push_back(injector.ShouldFire(site));
+  }
+  return decisions;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalDecisions) {
+  FaultInjector a(42), b(42);
+  a.Arm(FaultSite::kWalTornWrite, 0.37);
+  b.Arm(FaultSite::kWalTornWrite, 0.37);
+  const auto decisions_a = Decisions(a, FaultSite::kWalTornWrite, 500);
+  const auto decisions_b = Decisions(b, FaultSite::kWalTornWrite, 500);
+  EXPECT_EQ(decisions_a, decisions_b);
+  EXPECT_EQ(a.fires(FaultSite::kWalTornWrite),
+            b.fires(FaultSite::kWalTornWrite));
+  // The probability actually bites: neither all-fire nor no-fire.
+  EXPECT_GT(a.fires(FaultSite::kWalTornWrite), 0u);
+  EXPECT_LT(a.fires(FaultSite::kWalTornWrite), 500u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(1), b(2);
+  a.Arm(FaultSite::kHttpRecv, 0.5);
+  b.Arm(FaultSite::kHttpRecv, 0.5);
+  EXPECT_NE(Decisions(a, FaultSite::kHttpRecv, 256),
+            Decisions(b, FaultSite::kHttpRecv, 256));
+}
+
+TEST(FaultInjectorTest, RandBelowReplaysFromSeedToo) {
+  FaultInjector a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.RandBelow(1000), b.RandBelow(1000));
+  }
+  EXPECT_EQ(a.RandBelow(0), 0u);
+  EXPECT_LT(a.RandBelow(3), 3u);
+}
+
+TEST(FaultInjectorTest, BudgetCapsFires) {
+  FaultInjector injector(9);
+  injector.Arm(FaultSite::kWalAppendFail, FaultRule{1.0, 3, 0});
+  size_t fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.ShouldFire(FaultSite::kWalAppendFail)) ++fired;
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(injector.fires(FaultSite::kWalAppendFail), 3u);
+  EXPECT_EQ(injector.rolls(FaultSite::kWalAppendFail), 10u);
+}
+
+TEST(FaultInjectorTest, UnarmedSitesNeverFireAndRearmResetsCounters) {
+  FaultInjector injector(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.ShouldFire(FaultSite::kStoreMultiPut));
+  }
+  injector.Arm(FaultSite::kStoreMultiPut, 1.0);
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kStoreMultiPut));
+  injector.Disarm(FaultSite::kStoreMultiPut);
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kStoreMultiPut));
+  EXPECT_EQ(injector.fires(FaultSite::kStoreMultiPut), 0u);  // reset
+  // Unarmed sites don't count rolls either: a disarmed hook is a no-op.
+  EXPECT_EQ(injector.rolls(FaultSite::kStoreMultiPut), 0u);
+}
+
+TEST(FaultInjectorTest, LatencyMicrosReflectsTheArmedRule) {
+  FaultInjector injector(13);
+  EXPECT_EQ(injector.LatencyMicros(FaultSite::kHttpLatency), 0u);
+  injector.Arm(FaultSite::kHttpLatency, FaultRule{1.0, UINT64_MAX, 1500});
+  EXPECT_EQ(injector.LatencyMicros(FaultSite::kHttpLatency), 1500u);
+}
+
+TEST(FaultInjectorTest, ScopedInstallIsProcessGlobalAndRemovedOnExit) {
+  EXPECT_EQ(FaultInjector::Active(), nullptr);
+  {
+    ScopedFaultInjector scoped(21);
+    EXPECT_EQ(FaultInjector::Active(), &*scoped);
+    EXPECT_EQ(scoped->seed(), 21u);
+  }
+  EXPECT_EQ(FaultInjector::Active(), nullptr);
+}
+
+TEST(FaultInjectorTest, EverySiteHasADistinctName) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    names.emplace_back(FaultSiteName(static_cast<FaultSite>(i)));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+// ---- HttpClient hooks -------------------------------------------------------
+
+class HttpFaultHookTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>([](const HttpRequest&) {
+      return HttpResponse::Json("{\"status\":\"ok\",\"index_version\":3}");
+    });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpFaultHookTest, InjectedConnectFailureRefusesTheConnection) {
+  ScopedFaultInjector injector(31);
+  injector->Arm(FaultSite::kHttpConnect, FaultRule{1.0, 1, 0});
+  HttpClient client;
+  const Status refused = client.Connect(server_->port());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  // Budget exhausted: the next attempt goes through for real.
+  EXPECT_TRUE(client.Connect(server_->port()).ok());
+}
+
+TEST_F(HttpFaultHookTest, SingleSendFaultIsAbsorbedByKeepAliveRetry) {
+  ScopedFaultInjector injector(32);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // One failed send looks exactly like a stale keep-alive connection, so
+  // Get() reconnects and retries — the request still succeeds.
+  injector->Arm(FaultSite::kHttpSend, FaultRule{1.0, 1, 0});
+  auto response = client.Get("/v1/healthz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(injector->fires(FaultSite::kHttpSend), 1u);
+
+  // Faults on both the first try and the retry surface to the caller.
+  injector->Arm(FaultSite::kHttpRecv, FaultRule{1.0, 2, 0});
+  EXPECT_FALSE(client.Get("/v1/healthz").ok());
+}
+
+TEST_F(HttpFaultHookTest, TruncatedBodyKeepsThe200StatusLine) {
+  ScopedFaultInjector injector(33);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto intact = client.Get("/v1/healthz");
+  ASSERT_TRUE(intact.ok());
+
+  injector->Arm(FaultSite::kHttpTruncateBody, 1.0);
+  HttpClient faulty;
+  ASSERT_TRUE(faulty.Connect(server_->port()).ok());
+  auto truncated = faulty.Get("/v1/healthz");
+  ASSERT_TRUE(truncated.ok());
+  // This is the trap the health prober fell into: transport-level success
+  // and a 200 status, but the body is a strict prefix of the document.
+  EXPECT_EQ(truncated->status, 200);
+  EXPECT_LT(truncated->body.size(), intact->body.size());
+  EXPECT_EQ(intact->body.rfind(truncated->body, 0), 0u);
+}
+
+}  // namespace
+}  // namespace serenade

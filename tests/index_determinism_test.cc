@@ -1,0 +1,104 @@
+// Build determinism (satellite of the fault-injection/differential PR):
+// the nightly rollout trusts that rebuilding an index over the same click
+// log yields the same artifact — otherwise CRC-based validation and
+// cross-pod artifact comparison are meaningless. Assert it at three
+// levels: serialized bytes across thread counts, on-disk artifact files
+// across repeated WriteIndexWithManifest calls, and the manifest CRCs.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/snapshot.h"
+
+namespace serenade {
+namespace {
+
+Dataset TrainingSet() {
+  SyntheticConfig config;
+  config.seed = 1234;
+  config.num_items = 400;
+  config.num_sessions = 2500;
+  return GenerateDataset(config);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(IndexDeterminismTest, ParallelBuildIsByteIdenticalAcrossThreadCounts) {
+  const Dataset train = TrainingSet();
+  const SessionIndex reference = SessionIndex::Build(train, 100);
+  const std::string reference_bytes = SerializeIndex(reference);
+  ASSERT_FALSE(reference_bytes.empty());
+
+  for (size_t threads : {1, 2, 4}) {
+    IndexBuilderOptions options;
+    options.max_sessions_per_item = 100;
+    options.num_threads = threads;
+    const SessionIndex parallel = BuildIndexParallel(train, options);
+    EXPECT_EQ(SerializeIndex(parallel), reference_bytes)
+        << "num_threads=" << threads
+        << " diverged from the single-threaded reference";
+  }
+}
+
+TEST(IndexDeterminismTest, RebuildingWritesByteIdenticalArtifacts) {
+  const Dataset train = TrainingSet();
+  const std::string dir = testing::TempDir() + "/index-determinism";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Two full build-and-stamp runs over the same clicks. Provenance
+  // fields (version, build id, source, build time) are pinned — they are
+  // rollout metadata, not a function of the data.
+  IndexManifest stamp;
+  stamp.version = 7;
+  stamp.build_id = "determinism-check";
+  stamp.source = "synthetic-1234";
+  stamp.built_unix = 1700000000;
+
+  std::string paths[2];
+  IndexManifest manifests[2];
+  for (int run = 0; run < 2; ++run) {
+    paths[run] = dir + "/run" + std::to_string(run) + ".idx";
+    IndexBuilderOptions options;
+    options.max_sessions_per_item = 100;
+    options.num_threads = run + 1;  // thread count must not matter either
+    const SessionIndex index = BuildIndexParallel(train, options);
+    auto manifest = WriteIndexWithManifest(paths[run], index, stamp);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    manifests[run] = *manifest;
+  }
+
+  const std::string artifact_a = ReadFileBytes(paths[0]);
+  const std::string artifact_b = ReadFileBytes(paths[1]);
+  ASSERT_FALSE(artifact_a.empty());
+  EXPECT_EQ(artifact_a, artifact_b) << "artifact bytes differ across rebuilds";
+
+  EXPECT_EQ(manifests[0].index_crc32, manifests[1].index_crc32);
+  EXPECT_EQ(manifests[0].index_bytes, manifests[1].index_bytes);
+  EXPECT_EQ(manifests[0].num_postings, manifests[1].num_postings);
+
+  // The manifest sidecars are byte-identical files too (provenance was
+  // pinned, everything else is derived from identical bytes).
+  EXPECT_EQ(ReadFileBytes(ManifestPathFor(paths[0])),
+            ReadFileBytes(ManifestPathFor(paths[1])));
+
+  // And a manifest round-trip matches what the writer reported.
+  auto read_back = ReadManifestFile(ManifestPathFor(paths[0]));
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->index_crc32, manifests[0].index_crc32);
+  EXPECT_EQ(read_back->version, 7u);
+}
+
+}  // namespace
+}  // namespace serenade

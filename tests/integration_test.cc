@@ -1,6 +1,7 @@
 // Full-pipeline integration tests: offline build -> binary index file ->
 // serving over HTTP -> evaluation, plus the incremental-maintenance path
 // serving fresh sessions and the TTL janitor actually evicting state.
+#include <atomic>
 #include <filesystem>
 #include <thread>
 
@@ -108,13 +109,14 @@ TEST(IntegrationTest, JanitorEvictsIdleSessions) {
   Dataset train = GenerateDataset(config);
   auto index = std::make_shared<SessionIndex>(SessionIndex::Build(train, 100));
 
-  // Manual clock so TTL expiry is deterministic.
-  uint64_t now = 1000;
+  // Manual clock so TTL expiry is deterministic (atomic: the janitor
+  // thread reads it while the test advances it).
+  std::atomic<uint64_t> now{1000};
   ServiceConfig service_config;
   service_config.knn.m = 100;
   service_config.knn.k = 50;
   service_config.store.ttl_seconds = 60;
-  service_config.store.clock = [&now] { return now; };
+  service_config.store.clock = [&now] { return now.load(); };
   ItemCatalog catalog;
   catalog.available.assign(train.num_items(), true);
   catalog.adult.assign(train.num_items(), false);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "store/wal.h"
+#include "testing/fault_injection.h"
 
 namespace serenade {
 namespace {
@@ -127,6 +128,92 @@ TEST(SessionStoreTest, MultiPutIsWalDurable) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(*(*reopened)->Get("m1"), "7");
   EXPECT_EQ(*(*reopened)->Get("m2"), "8,9");
+}
+
+TEST(SessionStoreTest, MultiGetExpiredDuplicatesStayDeadWithinTheBatch) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto store = SessionStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("dead", "d").ok());
+  clock.now += 150;  // "dead" expires
+  ASSERT_TRUE((*store)->Put("live", "l").ok());
+
+  // The expired key appears twice in one batch, sandwiching a live one:
+  // both occurrences must miss identically, and the miss itself must not
+  // refresh the corpse back to life for a later read.
+  std::vector<std::string> values;
+  std::vector<bool> found;
+  (*store)->MultiGet({"dead", "live", "dead"}, &values, &found);
+  EXPECT_EQ(found, (std::vector<bool>{false, true, false}));
+  EXPECT_TRUE(values[0].empty());
+  EXPECT_EQ(values[1], "l");
+  EXPECT_TRUE(values[2].empty());
+  EXPECT_EQ((*store)->Get("dead").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionStoreTest, SweepExpiredRacingMultiPutLosesNoFreshWrite) {
+  ManualClock clock;
+  SessionStoreOptions options = VolatileOptions(clock);
+  options.ttl_seconds = 100;
+  auto opened = SessionStore::Open(options);
+  ASSERT_TRUE(opened.ok());
+  SessionStore& store = **opened;
+
+  constexpr size_t kKeys = 16;
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (size_t k = 0; k < kKeys; ++k) {
+    batch.emplace_back("old-" + std::to_string(k), "stamped-1000");
+  }
+  ASSERT_TRUE(store.MultiPut(batch).ok());
+  clock.now = 1200;  // every preloaded entry is now expired
+
+  // The sweeper races batched rewrites of the very keys it wants to
+  // evict. Time is frozen at 1200, so the race has a deterministic
+  // outcome: a sweep may only claim entries still stamped 1000 — any key
+  // a MultiPut has touched is stamped 1200 and untouchable until 1300.
+  std::thread sweeper([&] {
+    for (int i = 0; i < 50; ++i) store.SweepExpired();
+  });
+  std::thread writer([&] {
+    for (int b = 0; b < 50; ++b) {
+      for (auto& entry : batch) entry.second = "batch-" + std::to_string(b);
+      EXPECT_TRUE(store.MultiPut(batch).ok());
+    }
+  });
+  sweeper.join();
+  writer.join();
+
+  for (size_t k = 0; k < kKeys; ++k) {
+    auto value = store.Get("old-" + std::to_string(k));
+    ASSERT_TRUE(value.ok()) << "eviction swallowed a fresh write to old-"
+                            << k << ": " << value.status().ToString();
+    EXPECT_EQ(*value, "batch-49");
+  }
+  EXPECT_EQ(store.SweepExpired(), 0u);
+  EXPECT_EQ(store.Stats().live_entries, kKeys);
+}
+
+TEST(SessionStoreTest, InjectedMultiPutFailureIsAllOrNothing) {
+  ManualClock clock;
+  auto store = SessionStore::Open(VolatileOptions(clock));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("keep", "1").ok());
+
+  ScopedFaultInjector injector(31);
+  injector->Arm(FaultSite::kStoreMultiPut, FaultRule{1.0, 1, 0});
+  const Status rejected =
+      (*store)->MultiPut({{"keep", "2"}, {"fresh", "x"}});
+  EXPECT_EQ(rejected.code(), StatusCode::kIoError);
+  // Rejected means rejected: no half-applied batch.
+  EXPECT_EQ(*(*store)->Get("keep"), "1");
+  EXPECT_EQ((*store)->Get("fresh").status().code(), StatusCode::kNotFound);
+
+  // Budget spent; the same batch goes through whole.
+  ASSERT_TRUE((*store)->MultiPut({{"keep", "2"}, {"fresh", "x"}}).ok());
+  EXPECT_EQ(*(*store)->Get("keep"), "2");
+  EXPECT_EQ(*(*store)->Get("fresh"), "x");
 }
 
 TEST(SessionStoreTest, TtlExpiresInactiveSessions) {

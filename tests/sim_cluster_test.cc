@@ -1,0 +1,279 @@
+// Crash/recovery torture on the simulated cluster (testing/sim_cluster.h):
+// a real ClusterGateway fronting real SerenadeServer pods over loopback,
+// combined with the fault injector. The invariants under attack:
+//   * the gateway keeps answering while a pod is down (failover) and
+//     readmits it after restart,
+//   * a restarted pod recovers every session its WAL acknowledged,
+//   * a torn WAL write (crash mid-fwrite) fails the request and recovery
+//     falls back to the acked prefix,
+//   * sessions that expired before a crash stay dead after it,
+//   * reported index versions never move backwards across a restart,
+//   * the health prober refuses a truncated /v1/healthz body even though
+//     the status line says 200 (regression: it used to trust the status
+//     line alone).
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/health.h"
+#include "data/click_log.h"
+#include "serving/http.h"
+#include "serving/server.h"
+#include "serving/service.h"
+#include "testing/fault_injection.h"
+#include "testing/sim_cluster.h"
+
+namespace serenade {
+namespace {
+
+Dataset SmallTrainingSet() {
+  std::vector<Click> clicks;
+  Timestamp now = 1;
+  for (SessionId s = 0; s < 40; ++s) {
+    for (size_t i = 0; i < 5; ++i) {
+      clicks.push_back(
+          Click{s, static_cast<ItemId>(1 + (s * 3 + i * 7) % 30), now++});
+    }
+  }
+  return Dataset::FromClicks(std::move(clicks), /*min_session_length=*/2);
+}
+
+std::string FreshWorkDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SimClusterConfig TortureConfig(const std::string& work_dir) {
+  SimClusterConfig config;
+  config.num_pods = 2;
+  config.train = SmallTrainingSet();
+  config.knn.m = 50;
+  config.knn.k = 10;
+  config.work_dir = work_dir;
+  config.store.sync_every_write = true;
+  // Micro-batching on, so pod kills land mid-batch-window, not only
+  // between requests.
+  config.batch.max_batch_size = 4;
+  config.batch.max_delay_us = 300;
+  config.batch.num_workers = 2;
+  config.gateway.health.probe_interval_ms = 20;
+  config.gateway.health.probe_timeout_ms = 250;
+  config.gateway.health.failures_to_eject = 2;
+  config.gateway.health.successes_to_readmit = 2;
+  config.gateway.forward_timeout_ms = 1000;
+  return config;
+}
+
+// Polls the cluster's health checker for one backend's state.
+bool AwaitBackendHealth(SimCluster& cluster, const std::string& name,
+                        bool want_healthy, uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (cluster.health().IsHealthy(name) != want_healthy) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+StatusOr<int> SendClick(uint16_t port, const std::string& session,
+                        ItemId item) {
+  HttpClient client;
+  SERENADE_RETURN_IF_ERROR(client.Connect(port));
+  auto response = client.Get("/v1/recommend?session_id=" + session +
+                             "&item_id=" + std::to_string(item));
+  SERENADE_RETURN_IF_ERROR(response.status());
+  return response->status;
+}
+
+TEST(SimClusterTest, GatewayFailsOverAndRestartedPodRecoversItsSessions) {
+  auto cluster =
+      SimCluster::Start(TortureConfig(FreshWorkDir("simcluster-failover")));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  SimCluster& sim = **cluster;
+  ASSERT_TRUE(sim.AwaitHealthy(2, 5000));
+
+  // Phase 1: traffic through the front door; every click must be acked.
+  const std::vector<ItemId> clicks = {3, 4, 5};
+  for (int u = 0; u < 10; ++u) {
+    for (ItemId item : clicks) {
+      auto status = SendClick(sim.gateway().port(),
+                              "user-" + std::to_string(u), item);
+      ASSERT_TRUE(status.ok()) << status.status().ToString();
+      EXPECT_EQ(*status, 200);
+    }
+  }
+
+  // Record which sessions pod 0 owns and what it acked for them.
+  std::map<std::string, EvolvingSession> pod0_sessions;
+  for (int u = 0; u < 10; ++u) {
+    const std::string key = "user-" + std::to_string(u);
+    auto session = sim.pod(0)->service().GetSession(key);
+    if (session.ok()) pod0_sessions[key] = *session;
+  }
+  ASSERT_FALSE(pod0_sessions.empty())
+      << "the ring routed every test session to pod 1; enlarge the user set";
+  const uint64_t version_before = sim.health().IndexVersion(sim.pod_name(0));
+  EXPECT_GT(version_before, 0u);
+
+  // Phase 2: pod 0 goes down; the prober ejects it and the gateway fails
+  // over — the client keeps seeing nothing but 200s.
+  sim.KillPod(0);
+  ASSERT_TRUE(AwaitBackendHealth(sim, sim.pod_name(0), false, 5000));
+  for (int u = 0; u < 10; ++u) {
+    auto status =
+        SendClick(sim.gateway().port(), "user-" + std::to_string(u), 6);
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    EXPECT_EQ(*status, 200);
+  }
+
+  // Phase 3: restart on the original port; readmission plus recovery.
+  ASSERT_TRUE(sim.RestartPod(0).ok());
+  ASSERT_TRUE(AwaitBackendHealth(sim, sim.pod_name(0), true, 5000));
+  for (const auto& [key, expected] : pod0_sessions) {
+    auto recovered = sim.pod(0)->service().GetSession(key);
+    ASSERT_TRUE(recovered.ok())
+        << key << " lost across restart: " << recovered.status().ToString();
+    EXPECT_EQ(*recovered, expected) << key;
+  }
+  // Index versions are monotone across the crash (same artifact here, so
+  // equal; a rollback would trip this).
+  EXPECT_GE(sim.health().IndexVersion(sim.pod_name(0)), version_before);
+
+  // And the restarted pod serves traffic again.
+  auto status = SendClick(sim.pod_port(0), "post-restart", 7);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 200);
+}
+
+TEST(SimClusterTest, TornWalWriteFailsTheClickAndRecoveryKeepsAckedPrefix) {
+  auto cluster =
+      SimCluster::Start(TortureConfig(FreshWorkDir("simcluster-torn")));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  SimCluster& sim = **cluster;
+  ASSERT_TRUE(sim.AwaitHealthy(2, 5000));
+
+  // Five acked clicks straight at pod 0 (bypassing the gateway pins the
+  // session to the pod whose WAL we are about to tear).
+  const std::string key = "crash-session";
+  for (ItemId item = 1; item <= 5; ++item) {
+    auto status = SendClick(sim.pod_port(0), key, item);
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    ASSERT_EQ(*status, 200);
+  }
+
+  // The sixth click dies inside the WAL fwrite: a record prefix lands on
+  // disk and the request must NOT be acknowledged.
+  {
+    ScopedFaultInjector injector(616);
+    injector->Arm(FaultSite::kWalTornWrite, FaultRule{1.0, 1, 0});
+    auto status = SendClick(sim.pod_port(0), key, 6);
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    EXPECT_NE(*status, 200);
+    EXPECT_EQ(injector->fires(FaultSite::kWalTornWrite), 1u);
+  }
+
+  // Crash + restart: replay truncates the torn tail and recovers exactly
+  // the acked prefix — clicks 1..5, never the unacked 6.
+  sim.KillPod(0);
+  ASSERT_TRUE(sim.RestartPod(0).ok());
+  auto recovered = sim.pod(0)->service().GetSession(key);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, (EvolvingSession{1, 2, 3, 4, 5}));
+
+  // The repaired WAL keeps accepting writes (regression for the
+  // append-after-garbage bug).
+  auto status = SendClick(sim.pod_port(0), key, 7);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(*status, 200);
+  auto extended = sim.pod(0)->service().GetSession(key);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(*extended, (EvolvingSession{1, 2, 3, 4, 5, 7}));
+}
+
+TEST(SimClusterTest, ExpiredSessionsStayDeadAcrossPodRestart) {
+  auto clock = std::make_shared<std::atomic<uint64_t>>(1000);
+  SimClusterConfig config =
+      TortureConfig(FreshWorkDir("simcluster-expiry"));
+  config.store.ttl_seconds = 60;
+  config.store.clock = [clock] { return clock->load(); };
+  auto cluster = SimCluster::Start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  SimCluster& sim = **cluster;
+
+  auto status = SendClick(sim.pod_port(0), "old-session", 2);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(*status, 200);
+  clock->fetch_add(120);  // the old session's TTL runs out
+  status = SendClick(sim.pod_port(0), "new-session", 3);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(*status, 200);
+
+  sim.KillPod(0);
+  ASSERT_TRUE(sim.RestartPod(0).ok());
+  // Recovery replays both sessions from the WAL but must drop the one
+  // whose TTL had already expired — a crash is not a resurrection.
+  EXPECT_EQ(sim.pod(0)->service().GetSession("old-session").status().code(),
+            StatusCode::kNotFound);
+  auto fresh = sim.pod(0)->service().GetSession("new-session");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, (EvolvingSession{3}));
+}
+
+// Regression for the health-prober fix: a dying pod (or middlebox) that
+// delivers "200 OK" and then cuts the body short used to be counted as
+// healthy. The prober must demand a complete JSON document that itself
+// says "ok".
+TEST(SimClusterTest, HealthProberRejectsTruncatedHealthzBody) {
+  Dataset train = SmallTrainingSet();
+  auto index =
+      std::make_shared<const SessionIndex>(SessionIndex::Build(train, 50));
+  ItemCatalog catalog;
+  catalog.available.assign(train.num_items(), true);
+  catalog.adult.assign(train.num_items(), false);
+  ServiceConfig service_config;
+  service_config.knn.m = 50;
+  service_config.knn.k = 10;
+  auto service = SerenadeService::Create(index, catalog, service_config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  SerenadeServer pod(std::move(service).value(), ServerConfig{});
+  ASSERT_TRUE(pod.Start().ok());
+
+  HealthCheckerConfig config;
+  config.failures_to_eject = 2;
+  config.successes_to_readmit = 2;
+  HealthChecker checker({BackendEndpoint{"pod", pod.port()}}, config);
+  // No Start(): probes run synchronously so every transition is explicit.
+
+  checker.ProbeAllOnce();
+  ASSERT_TRUE(checker.IsHealthy("pod"));
+  EXPECT_GT(checker.IndexVersion("pod"), 0u);
+
+  {
+    ScopedFaultInjector injector(200);
+    injector->Arm(FaultSite::kHttpTruncateBody, 1.0);
+    // Transport succeeds, the status line says 200, the body is a strict
+    // prefix of the health document. Two such probes must eject the pod.
+    checker.ProbeAllOnce();
+    checker.ProbeAllOnce();
+    EXPECT_FALSE(checker.IsHealthy("pod"));
+  }
+
+  // Intact bodies readmit it.
+  checker.ProbeAllOnce();
+  checker.ProbeAllOnce();
+  EXPECT_TRUE(checker.IsHealthy("pod"));
+  pod.Stop();
+}
+
+}  // namespace
+}  // namespace serenade

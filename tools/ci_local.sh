@@ -68,16 +68,25 @@ sanitized() {
   tools/run_sanitized_tests.sh "$@"
 }
 
+fuzz_smoke() {
+  local dir="$1" seconds="$2"
+  cmake --build "$dir" -j "$JOBS" --target serenade_fuzz &&
+    SERENADE_FUZZ_SECONDS="$seconds" \
+      "$dir/tools/serenade_fuzz" --seed 20260806
+}
+
 if [ "$QUICK" -eq 1 ]; then
   run_stage "build-test (Release)" build_and_test Release build-ci-release
   run_stage "sanitize (address, subset)" sanitized address \
-    -R 'Metrics|Trace|SlowRequest|Gateway|Service|IndexSwap'
+    -R 'Metrics|Trace|SlowRequest|Gateway|Service|IndexSwap|FaultInjector|WalTorture'
+  run_stage "fuzz smoke (5s)" fuzz_smoke build-ci-release 5
   run_stage "bench smoke" bench_smoke build-ci-release
 else
   run_stage "build-test (Debug)" build_and_test Debug build-ci-debug
   run_stage "build-test (Release)" build_and_test Release build-ci-release
   run_stage "sanitize (address)" sanitized address
   run_stage "sanitize (thread)" sanitized thread
+  run_stage "fuzz smoke (30s)" fuzz_smoke build-ci-release 30
   run_stage "bench smoke" bench_smoke build-ci-release
 fi
 run_stage "format check" tools/check_format.sh

@@ -1,0 +1,75 @@
+// serenade_fuzz — time-bounded differential fuzzing of the kNN engine
+// family (testing/differential.h): VS-kNN vs VMIS-kNN vs VMIS-no-opt vs
+// the micro-batched service path, scores and ranks bit-identical.
+//
+//   serenade_fuzz [--seed N] [--seconds N] [--kernel-only]
+//
+// SERENADE_FUZZ_SECONDS overrides the budget (the CI smoke pins 30 s;
+// a nightly-style run sets it to minutes). Every case derives its seed
+// as base_seed + case_index, so a failure reproduces with
+// `serenade_fuzz --seed <printed case seed> --seconds 1` — or directly
+// in a unit test via GenerateDiffCase(spec, Rng(seed)).
+//
+// Exit status: 0 = every case agreed; 1 = divergence (minimal
+// reproducer printed); 2 = bad usage.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "testing/differential.h"
+#include "flags.h"
+
+namespace serenade {
+namespace {
+
+int Run(int argc, char** argv) {
+  const tools::Flags flags(argc, argv);
+  const uint64_t seed = flags.GetInt("seed", 20260806);
+  const bool kernel_only = flags.GetBool("kernel-only", false);
+  uint64_t seconds = flags.GetInt("seconds", 30);
+  if (const char* env = std::getenv("SERENADE_FUZZ_SECONDS")) {
+    seconds = std::strtoull(env, nullptr, 10);
+  }
+  if (seconds == 0) seconds = 1;
+
+  DiffSpec spec;
+  spec.include_service = !kernel_only;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::seconds(seconds);
+  DiffFuzzStats stats;
+  uint64_t next_case = 0;
+  std::cout << "serenade_fuzz: seed=" << seed << " budget=" << seconds
+            << "s service_path=" << (kernel_only ? "off" : "on") << std::endl;
+
+  // Batches keep the deadline check off the per-case hot path while the
+  // per-case seeds stay a pure function of (seed, case index).
+  constexpr uint64_t kBatch = 8;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto reproducer =
+        RunDiffFuzz(spec, seed + next_case, kBatch, &stats);
+    if (reproducer.has_value()) {
+      std::cout << *reproducer;
+      std::cout << "FAIL after " << stats.cases << " cases ("
+                << stats.sessions << " sessions, " << stats.queries
+                << " queries)" << std::endl;
+      return 1;
+    }
+    next_case += kBatch;
+  }
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::cout << "OK: " << stats.cases << " cases, " << stats.sessions
+            << " sessions, " << stats.queries << " queries, zero divergence"
+            << " in " << elapsed << " ms" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace serenade
+
+int main(int argc, char** argv) { return serenade::Run(argc, argv); }
