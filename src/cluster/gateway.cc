@@ -107,6 +107,17 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
         }
         return samples;
       });
+  registry_.AddCallback(
+      "gateway_backend_index_freshness_seconds",
+      "index freshness (age of newest servable click) last reported by "
+      "the backend",
+      MetricType::kGauge, "backend", [this]() -> std::vector<MetricSample> {
+        std::vector<MetricSample> samples;
+        for (const BackendHealth& entry : health_->Snapshot()) {
+          samples.push_back({entry.name, entry.index_freshness_seconds});
+        }
+        return samples;
+      });
 }
 
 ClusterGateway::~ClusterGateway() { Stop(); }

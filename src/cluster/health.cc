@@ -50,7 +50,7 @@ void HealthChecker::ProbeAllOnce() {
   for (auto& state : states_) {
     const ProbeOutcome outcome = ProbeBackend(state->endpoint);
     ApplyResult(*state, outcome.ok, /*from_probe=*/true,
-                outcome.index_version);
+                outcome.index_version, outcome.index_freshness_seconds);
   }
 }
 
@@ -78,11 +78,18 @@ HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(
   if (const JsonValue* version = doc->Find("index_version")) {
     outcome.index_version = static_cast<uint64_t>(version->AsInt());
   }
+  // Freshness-SLO signal (streaming delta pipeline); absent on pods that
+  // predate it or have not applied a delta yet.
+  if (const JsonValue* freshness = doc->Find("index_freshness_seconds")) {
+    outcome.index_freshness_seconds =
+        static_cast<uint64_t>(freshness->AsInt());
+  }
   return outcome;
 }
 
 void HealthChecker::ApplyResult(State& state, bool success, bool from_probe,
-                                uint64_t index_version) {
+                                uint64_t index_version,
+                                uint64_t index_freshness_seconds) {
   std::lock_guard<std::mutex> lock(state.mutex);
   if (from_probe) {
     ++state.probes_total;
@@ -90,6 +97,11 @@ void HealthChecker::ApplyResult(State& state, bool success, bool from_probe,
   }
   if (success && index_version != 0) {
     state.index_version = index_version;
+  }
+  if (success && from_probe) {
+    // 0 is meaningful here (a just-applied delta), so overwrite on every
+    // successful probe rather than treating 0 as "absent".
+    state.index_freshness_seconds = index_freshness_seconds;
   }
   if (success) {
     state.consecutive_failures = 0;
@@ -148,6 +160,7 @@ std::vector<BackendHealth> HealthChecker::Snapshot() const {
     health.probe_failures_total = state->probe_failures_total;
     health.ejections_total = state->ejections_total;
     health.index_version = state->index_version;
+    health.index_freshness_seconds = state->index_freshness_seconds;
     snapshot.push_back(std::move(health));
   }
   return snapshot;

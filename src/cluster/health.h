@@ -47,6 +47,11 @@ struct BackendHealth {
   /// the fleet serves mixed versions; this makes the rollout observable
   /// from the gateway's /stats and /metrics.
   uint64_t index_version = 0;
+  /// Index freshness (seconds since the newest servable click) the pod
+  /// reported on its last successful probe. 0 until the pod applies its
+  /// first streaming delta — the gateway aggregate makes a lagging or
+  /// stalled builder visible fleet-wide.
+  uint64_t index_freshness_seconds = 0;
 };
 
 /// Thread-safe health registry + prober. Backends start healthy (the
@@ -100,18 +105,21 @@ class HealthChecker {
     uint64_t probe_failures_total = 0;
     uint64_t ejections_total = 0;
     uint64_t index_version = 0;
+    uint64_t index_freshness_seconds = 0;
   };
 
   // Result of one active /healthz probe.
   struct ProbeOutcome {
     bool ok = false;
     uint64_t index_version = 0;  ///< 0 when absent from the response
+    uint64_t index_freshness_seconds = 0;  ///< 0 when absent
   };
 
   void ProbeLoop();
   ProbeOutcome ProbeBackend(const BackendEndpoint& endpoint) const;
   void ApplyResult(State& state, bool success, bool from_probe,
-                   uint64_t index_version = 0);
+                   uint64_t index_version = 0,
+                   uint64_t index_freshness_seconds = 0);
   State* FindState(const std::string& name) const;
 
   std::vector<BackendEndpoint> backends_;

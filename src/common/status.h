@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnavailable,
   kInternal,
   kDeadlineExceeded,
+  /// Load shedding: the server is up but refusing work (full queue,
+  /// admission control). Distinct from kUnavailable so clients can back
+  /// off (HTTP 429 + Retry-After) instead of failing over.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code.
@@ -64,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

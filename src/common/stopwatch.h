@@ -6,6 +6,16 @@
 
 namespace serenade {
 
+/// Wall clock, milliseconds since the Unix epoch. The freshness pipeline
+/// stamps click observe times with this; tests and benches pass explicit
+/// times instead so replay stays deterministic.
+inline uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Wall-clock stopwatch over the monotonic steady clock.
 class Stopwatch {
  public:

@@ -54,6 +54,7 @@ SessionIndex SessionIndex::Build(const Dataset& train,
             : static_cast<float>(std::log(static_cast<double>(num_sessions) /
                                           item_frequency[i]));
   }
+  index.item_frequencies_ = item_frequency;
 
   // --- M: item -> m most recent sessions, descending timestamp ---
   // Sessions are numbered in ascending end-time order, so iterating them
@@ -89,7 +90,8 @@ size_t SessionIndex::MemoryBytes() const {
          session_timestamps_.size() * sizeof(Timestamp) +
          session_offsets_.size() * sizeof(uint64_t) +
          session_items_.size() * sizeof(ItemId) +
-         item_idf_.size() * sizeof(float);
+         item_idf_.size() * sizeof(float) +
+         item_frequencies_.size() * sizeof(uint32_t);
 }
 
 SessionIndex SessionIndex::FromRaw(Raw raw) {
@@ -102,6 +104,7 @@ SessionIndex SessionIndex::FromRaw(Raw raw) {
   index.session_offsets_ = std::move(raw.session_offsets);
   index.session_items_ = std::move(raw.session_items);
   index.item_idf_ = std::move(raw.item_idf);
+  index.item_frequencies_ = std::move(raw.item_frequencies);
   return index;
 }
 
@@ -114,6 +117,7 @@ SessionIndex::Raw SessionIndex::ToRaw() const {
   raw.session_offsets = session_offsets_;
   raw.session_items = session_items_;
   raw.item_idf = item_idf_;
+  raw.item_frequencies = item_frequencies_;
   return raw;
 }
 

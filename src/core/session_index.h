@@ -78,6 +78,23 @@ class SessionIndex {
     return item < item_idf_.size() ? item_idf_[item] : 0.0;
   }
 
+  /// h_i: the number of historical sessions containing `item` (exact, not
+  /// capped at m). 0 for unknown items, and 0 for every item when the
+  /// index was loaded from a format-v1 artifact (see has_frequencies()).
+  uint32_t ItemFrequency(ItemId item) const {
+    return item < item_frequencies_.size() ? item_frequencies_[item] : 0;
+  }
+
+  /// Whether exact per-item frequencies are available. Always true for
+  /// freshly built indexes; false only for indexes deserialized from a
+  /// format-v1 artifact, which did not persist the frequency section.
+  /// Delta application (index/index_format.h) requires frequencies: IDF
+  /// after a merge must be recomputed from exact counts to stay
+  /// bit-identical with a full rebuild.
+  bool has_frequencies() const {
+    return num_items() == 0 || !item_frequencies_.empty();
+  }
+
   /// Total number of (item, session) postings retained — the index size
   /// driver (space is O(|I| * m), Section 3).
   size_t num_postings() const { return session_lists_.size(); }
@@ -93,6 +110,8 @@ class SessionIndex {
     std::vector<uint64_t> session_offsets;
     std::vector<ItemId> session_items;
     std::vector<float> item_idf;
+    /// Exact h_i counts (format v2+); empty for v1 artifacts.
+    std::vector<uint32_t> item_frequencies;
     uint64_t max_sessions_per_item = 0;
   };
 
@@ -118,6 +137,10 @@ class SessionIndex {
 
   // idf per item.
   std::vector<float> item_idf_;
+
+  // exact per-item session frequency h_i (empty iff loaded from a v1
+  // artifact; see has_frequencies()).
+  std::vector<uint32_t> item_frequencies_;
 };
 
 }  // namespace serenade

@@ -1,0 +1,160 @@
+#include "freshness/delta_builder.h"
+
+#include <algorithm>
+
+namespace serenade {
+
+DeltaBuilder::DeltaBuilder(DeltaBuilderConfig config)
+    : config_(config), version_(config.base_version) {}
+
+void DeltaBuilder::Ingest(const std::string& session_key, ItemId item,
+                          uint64_t observed_unix_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++clicks_;
+  auto it = open_.find(session_key);
+  if (it == open_.end()) {
+    if (open_.size() >= config_.max_open_sessions) {
+      ++clicks_dropped_;
+      return;
+    }
+    OpenSession session;
+    session.first_ms = observed_unix_ms;
+    session.arrival_seq = arrival_seq_++;
+    it = open_.emplace(session_key, std::move(session)).first;
+  }
+  OpenSession& session = it->second;
+  session.items.push_back(item);
+  // Clamp regressions so a skewed pod clock cannot push a session's idle
+  // horizon backwards.
+  session.last_ms = std::max(session.last_ms, observed_unix_ms);
+  if (session.first_ms == 0) session.first_ms = observed_unix_ms;
+}
+
+size_t DeltaBuilder::SealIdle(uint64_t now_unix_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Collect idle sessions, then seal in (last_ms, first_ms, arrival_seq)
+  // order: hash-map iteration order must never leak into the sealed log,
+  // or delta replay determinism dies.
+  std::vector<std::pair<const std::string*, OpenSession*>> idle;
+  for (auto& [key, session] : open_) {
+    if (session.last_ms + config_.seal_idle_ms <= now_unix_ms) {
+      idle.emplace_back(&key, &session);
+    }
+  }
+  std::sort(idle.begin(), idle.end(), [](const auto& a, const auto& b) {
+    const OpenSession& sa = *a.second;
+    const OpenSession& sb = *b.second;
+    if (sa.last_ms != sb.last_ms) return sa.last_ms < sb.last_ms;
+    if (sa.first_ms != sb.first_ms) return sa.first_ms < sb.first_ms;
+    return sa.arrival_seq < sb.arrival_seq;
+  });
+
+  size_t sealed = 0;
+  for (auto& [key, session] : idle) {
+    std::vector<ItemId> distinct = std::move(session->items);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() < config_.min_session_length) {
+      ++dropped_short_;
+    } else {
+      SealedSession entry;
+      entry.items = std::move(distinct);
+      entry.last_ms = session->last_ms;
+      sealed_.push_back(std::move(entry));
+      ++sealed_total_;
+    }
+    ++sealed;
+    open_.erase(*key);
+  }
+  return sealed;
+}
+
+std::optional<IndexDelta> DeltaBuilder::Compact(uint64_t now_unix_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.session_ttl_ms > 0) {
+    // The sealed log is in seal order and seal order is non-decreasing in
+    // last_ms, so expiry only ever eats the front.
+    while (!sealed_.empty() &&
+           sealed_.front().last_ms + config_.session_ttl_ms <= now_unix_ms) {
+      sealed_.pop_front();
+      ++expired_total_;
+    }
+  }
+  if (sealed_.empty()) return std::nullopt;
+
+  if (sealed_total_ != compacted_sealed_total_ ||
+      expired_total_ != compacted_expired_total_) {
+    // Content changed since the last compaction: new version. Start from
+    // max(version_, base_version) so versions stay monotone even after a
+    // builder restart against the same base.
+    version_ = std::max(version_, config_.base_version) + 1;
+    compacted_sealed_total_ = sealed_total_;
+    compacted_expired_total_ = expired_total_;
+  }
+
+  IndexDelta delta;
+  delta.base_version = config_.base_version;
+  delta.base_crc32 = config_.base_crc32;
+  delta.delta_version = version_;
+  uint64_t watermark = 0;
+  Timestamp end_time = config_.base_max_timestamp;
+  for (const SealedSession& session : sealed_) {
+    DeltaSession out;
+    out.items = session.items;
+    out.end_time = ++end_time;  // dense, strictly above the base horizon
+    out.observed_unix_ms = session.last_ms;
+    watermark = std::max(watermark, session.last_ms);
+    delta.sessions.push_back(std::move(out));
+  }
+  delta.watermark_unix_ms = watermark;
+  watermark_ms_ = watermark;
+  return delta;
+}
+
+uint64_t DeltaBuilder::clicks_ingested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clicks_;
+}
+
+uint64_t DeltaBuilder::clicks_dropped_overflow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clicks_dropped_;
+}
+
+uint64_t DeltaBuilder::sessions_sealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_total_;
+}
+
+uint64_t DeltaBuilder::sessions_dropped_short() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_short_;
+}
+
+uint64_t DeltaBuilder::sessions_expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expired_total_;
+}
+
+size_t DeltaBuilder::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+size_t DeltaBuilder::sealed_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_.size();
+}
+
+uint64_t DeltaBuilder::delta_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+uint64_t DeltaBuilder::watermark_unix_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_ms_;
+}
+
+}  // namespace serenade

@@ -1,0 +1,119 @@
+// Sessionizes the click stream tapped off the serving pods into
+// cumulative, versioned index deltas — the in-memory half of the
+// index-builder role of the streaming freshness pipeline (DESIGN.md §9).
+//
+// Clicks arrive as (session key, item, observe stamp). Open sessions are
+// keyed by session key; an idle gap of seal_idle_ms seals a session,
+// deduplicates + sorts its items, and appends it to the sealed log.
+// Compact() turns the sealed log into one *cumulative* IndexDelta over
+// the configured base snapshot: every compaction re-emits all live
+// sealed sessions, so pods can always apply the newest delta directly
+// over their pinned base, skipping intermediate versions.
+//
+// Determinism contract (pinned by tests): all time is passed in
+// explicitly, idle sessions seal in a deterministic order (last click
+// ms, first click ms, arrival sequence — never hash-map iteration
+// order), and delta end_times are assigned densely at Compact() as
+// base_max_timestamp + position + 1. Replaying the same clicks through
+// two builders yields byte-identical delta artifacts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index_format.h"
+
+namespace serenade {
+
+struct DeltaBuilderConfig {
+  /// Version + artifact CRC of the full snapshot deltas layer over.
+  uint64_t base_version = 1;
+  uint32_t base_crc32 = 0;
+  /// The base index's maximum session timestamp; delta end_times are
+  /// assigned strictly above it.
+  Timestamp base_max_timestamp = 0;
+  /// Sessions with fewer distinct items are dropped at seal time (the
+  /// same rule Dataset::FromClicks applies to training data).
+  size_t min_session_length = 2;
+  /// Idle gap (ms since the session's last click) that seals it.
+  uint64_t seal_idle_ms = 30'000;
+  /// Sealed sessions older than this (vs. their last click) fall out of
+  /// subsequent deltas. 0 = keep until a new base snapshot rolls out.
+  uint64_t session_ttl_ms = 0;
+  /// Open-session cap; clicks for *new* sessions beyond it are dropped
+  /// (and counted) instead of growing without bound.
+  size_t max_open_sessions = 100'000;
+};
+
+class DeltaBuilder {
+ public:
+  explicit DeltaBuilder(DeltaBuilderConfig config);
+
+  /// Folds one click into its open session. Thread-safe.
+  void Ingest(const std::string& session_key, ItemId item,
+              uint64_t observed_unix_ms);
+
+  /// Seals every open session idle for >= seal_idle_ms at `now_unix_ms`,
+  /// in deterministic order. Returns the number sealed (dropped-short
+  /// sessions count as sealed work but are not added to the log).
+  size_t SealIdle(uint64_t now_unix_ms);
+
+  /// Builds the cumulative delta over all live sealed sessions, expiring
+  /// TTL'd ones first. Returns nullopt when nothing is sealed. The delta
+  /// version bumps only when the sealed content changed since the last
+  /// Compact(), so re-compacting an unchanged builder re-emits the same
+  /// version with byte-identical serialization (compaction idempotence).
+  std::optional<IndexDelta> Compact(uint64_t now_unix_ms);
+
+  // --- stats (all thread-safe) ---
+  uint64_t clicks_ingested() const;
+  uint64_t clicks_dropped_overflow() const;
+  uint64_t sessions_sealed() const;
+  uint64_t sessions_dropped_short() const;
+  uint64_t sessions_expired() const;
+  size_t open_sessions() const;
+  size_t sealed_sessions() const;
+  /// The last compacted delta version (base_version until content lands).
+  uint64_t delta_version() const;
+  /// Newest observe stamp across live sealed sessions (0 when none).
+  uint64_t watermark_unix_ms() const;
+  uint64_t base_version() const { return config_.base_version; }
+
+ private:
+  struct OpenSession {
+    std::vector<ItemId> items;  // click order, duplicates kept until seal
+    uint64_t first_ms = 0;
+    uint64_t last_ms = 0;
+    uint64_t arrival_seq = 0;  // tie-break for deterministic seal order
+  };
+  struct SealedSession {
+    std::vector<ItemId> items;  // distinct, ascending
+    uint64_t last_ms = 0;       // observe stamp of the final click
+  };
+
+  const DeltaBuilderConfig config_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, OpenSession> open_;
+  std::deque<SealedSession> sealed_;  // seal order; TTL expires the front
+  uint64_t arrival_seq_ = 0;
+  uint64_t version_ = 0;           // last compacted version
+  uint64_t sealed_total_ = 0;      // monotone: sessions ever sealed
+  uint64_t expired_total_ = 0;     // monotone: sessions ever expired
+  // Signature of the sealed log at the last Compact(); content changed
+  // iff (sealed_total_, expired_total_) moved.
+  uint64_t compacted_sealed_total_ = 0;
+  uint64_t compacted_expired_total_ = 0;
+  uint64_t watermark_ms_ = 0;
+
+  uint64_t clicks_ = 0;
+  uint64_t clicks_dropped_ = 0;
+  uint64_t dropped_short_ = 0;
+};
+
+}  // namespace serenade

@@ -1,0 +1,104 @@
+#include "freshness/delta_fetcher.h"
+
+#include <chrono>
+
+#include "testing/fault_injection.h"
+
+namespace serenade {
+
+DeltaFetcher::DeltaFetcher(DeltaFetcherConfig config, ApplyFn apply)
+    : config_(config),
+      apply_(std::move(apply)),
+      client_(HttpClientOptions{config.io_timeout_ms, config.io_timeout_ms}) {}
+
+DeltaFetcher::~DeltaFetcher() { Stop(); }
+
+Status DeltaFetcher::Start() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (poller_.joinable()) return Status::Ok();
+  stopping_ = false;
+  poller_ = std::thread([this] { PollLoop(); });
+  return Status::Ok();
+}
+
+void DeltaFetcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+}
+
+void DeltaFetcher::PollLoop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(config_.poll_interval_ms),
+                      [&] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    PollOnce();  // failures are counted and retried next round
+    lock.lock();
+  }
+}
+
+Status DeltaFetcher::PollOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  polls_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!connected_) {
+    if (Status connect = client_.Connect(config_.builder_port);
+        !connect.ok()) {
+      fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+      return connect;
+    }
+    connected_ = true;
+  }
+  const uint64_t after = applied_version_.load(std::memory_order_relaxed);
+  auto response =
+      client_.Get("/v1/delta/latest?after=" + std::to_string(after));
+  if (!response.ok()) {
+    fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    client_.Close();
+    connected_ = false;
+    return response.status();
+  }
+  if (response->status == 204) return Status::Ok();  // fleet is current
+  if (response->status != 200) {
+    fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("builder delta endpoint returned HTTP " +
+                               std::to_string(response->status));
+  }
+
+  std::string bytes = std::move(response->body);
+  SERENADE_FAULT_POINT(FaultSite::kDeltaTruncate, {
+    // A torn transfer: the CRC-stamped sections make the deserializer
+    // reject it below instead of applying garbage.
+    bytes.resize(serenade_fi->RandBelow(bytes.size()));
+  });
+  fetched_.fetch_add(1, std::memory_order_relaxed);
+
+  auto delta = DeserializeDelta(bytes);
+  if (!delta.ok()) {
+    fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return delta.status();
+  }
+
+  Status applied = apply_(*delta);
+  if (applied.ok() || applied.code() == StatusCode::kAlreadyExists) {
+    // Applied, or already covered by what the pod serves: either way this
+    // version is done — advance so the next poll asks past it.
+    if (applied.ok()) applied_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t previous = applied_version_.load(std::memory_order_relaxed);
+    while (previous < delta->delta_version &&
+           !applied_version_.compare_exchange_weak(
+               previous, delta->delta_version, std::memory_order_relaxed)) {
+    }
+    return Status::Ok();
+  }
+  apply_failures_.fetch_add(1, std::memory_order_relaxed);
+  return applied;
+}
+
+}  // namespace serenade

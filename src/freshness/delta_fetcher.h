@@ -1,0 +1,99 @@
+// Pod-side delta distribution: polls the index builder for the newest
+// cumulative delta and hands it to an apply callback (in practice
+// SerenadeServer::ApplyDelta, which layers it over the pinned base
+// snapshot under the RCU publication discipline) — the last hop of the
+// streaming freshness pipeline (DESIGN.md §9).
+//
+// Deltas are cumulative, so the fetcher only ever asks for "newer than
+// what I applied" (?after=V) and skipped intermediate versions cost
+// nothing. Corrupt or lineage-mismatched deltas are rejected by the
+// deserializer / apply path; the fetcher counts the failure and retries
+// on the next poll, so a bad artifact can delay freshness but never
+// regress serving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "index/index_format.h"
+#include "serving/http.h"
+
+namespace serenade {
+
+struct DeltaFetcherConfig {
+  uint16_t builder_port = 0;
+  uint64_t poll_interval_ms = 200;
+  uint64_t io_timeout_ms = 1000;
+};
+
+class DeltaFetcher {
+ public:
+  /// Applies one fetched delta; kAlreadyExists means "covered, advance".
+  using ApplyFn = std::function<Status(const IndexDelta&)>;
+
+  DeltaFetcher(DeltaFetcherConfig config, ApplyFn apply);
+  ~DeltaFetcher();
+
+  DeltaFetcher(const DeltaFetcher&) = delete;
+  DeltaFetcher& operator=(const DeltaFetcher&) = delete;
+
+  /// Starts the poll thread. Idempotent.
+  Status Start();
+  void Stop();
+
+  /// One synchronous poll+apply round (deterministic tests drive this
+  /// directly; the poll thread calls the same path). kOk covers both
+  /// "nothing new" (204) and "applied". The kDeltaTruncate fault site
+  /// truncates the fetched bytes before deserialization.
+  Status PollOnce();
+
+  // --- counters ---
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  uint64_t deltas_fetched() const {
+    return fetched_.load(std::memory_order_relaxed);
+  }
+  uint64_t deltas_applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  /// Network / HTTP / corrupt-artifact failures.
+  uint64_t fetch_failures() const {
+    return fetch_failures_.load(std::memory_order_relaxed);
+  }
+  /// Apply callback rejections (lineage mismatch, validation).
+  uint64_t apply_failures() const {
+    return apply_failures_.load(std::memory_order_relaxed);
+  }
+  /// Newest delta version this fetcher has applied (or seen covered).
+  uint64_t applied_version() const {
+    return applied_version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void PollLoop();
+
+  const DeltaFetcherConfig config_;
+  const ApplyFn apply_;
+
+  std::mutex mutex_;  // serialises PollOnce (poll thread vs. tests)
+  HttpClient client_;
+  bool connected_ = false;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread poller_;
+
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> fetched_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> fetch_failures_{0};
+  std::atomic<uint64_t> apply_failures_{0};
+  std::atomic<uint64_t> applied_version_{0};
+};
+
+}  // namespace serenade

@@ -89,6 +89,7 @@ SessionIndex BuildIndexParallel(const Dataset& train,
       num_items == 0 ? 1 : (num_items + num_partitions - 1) / num_partitions;
   raw.session_lists.resize(raw.item_offsets.back());
   raw.item_idf.resize(num_items);
+  raw.item_frequencies.resize(num_items);
 
   ParallelFor(pool, num_partitions, [&](size_t begin, size_t end) {
     std::vector<uint32_t> filled;
@@ -113,6 +114,7 @@ SessionIndex BuildIndexParallel(const Dataset& train,
       for (size_t item = item_lo; item < item_hi; ++item) {
         const uint32_t freq =
             item_frequency[item].load(std::memory_order_relaxed);
+        raw.item_frequencies[item] = freq;
         raw.item_idf[item] =
             freq == 0 ? 0.0f
                       : static_cast<float>(std::log(

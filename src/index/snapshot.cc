@@ -41,7 +41,11 @@ Status WriteManifestFile(const std::string& path,
       << "num_items=" << manifest.num_items << "\n"
       << "num_postings=" << manifest.num_postings << "\n"
       << "index_bytes=" << manifest.index_bytes << "\n"
-      << "index_crc32=" << manifest.index_crc32 << "\n";
+      << "index_crc32=" << manifest.index_crc32 << "\n"
+      << "kind=" << (manifest.kind.empty() ? "full" : manifest.kind) << "\n"
+      << "base_version=" << manifest.base_version << "\n"
+      << "base_crc32=" << manifest.base_crc32 << "\n"
+      << "watermark_unix_ms=" << manifest.watermark_unix_ms << "\n";
   std::ofstream file(path, std::ios::trunc);
   if (!file) return Status::IoError("cannot open " + path + " for writing");
   file << out.str();
@@ -89,6 +93,16 @@ StatusOr<IndexManifest> ReadManifestFile(const std::string& path) {
     } else if (key == "index_crc32") {
       SERENADE_RETURN_IF_ERROR(ParseUint64(value, &number));
       manifest.index_crc32 = static_cast<uint32_t>(number);
+    } else if (key == "kind") {
+      manifest.kind = value.empty() ? "full" : value;
+    } else if (key == "base_version") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.base_version));
+    } else if (key == "base_crc32") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &number));
+      manifest.base_crc32 = static_cast<uint32_t>(number);
+    } else if (key == "watermark_unix_ms") {
+      SERENADE_RETURN_IF_ERROR(
+          ParseUint64(value, &manifest.watermark_unix_ms));
     }
     // Unknown keys are skipped so future pipelines can add fields.
   }
@@ -114,6 +128,25 @@ StatusOr<IndexManifest> WriteIndexWithManifest(const std::string& path,
 
   SERENADE_RETURN_IF_ERROR(WriteManifestFile(ManifestPathFor(path), manifest));
   return manifest;
+}
+
+Status CheckManifestOverwrite(const std::string& index_path,
+                              uint64_t new_version) {
+  auto existing = ReadManifestFile(ManifestPathFor(index_path));
+  if (!existing.ok()) {
+    // No sidecar: nothing versioned to protect.
+    if (existing.status().code() == StatusCode::kNotFound) {
+      return Status::Ok();
+    }
+    return existing.status();
+  }
+  if (existing->version >= new_version) {
+    return Status::AlreadyExists(
+        index_path + " already holds version " +
+        std::to_string(existing->version) + " (>= " +
+        std::to_string(new_version) + "); refusing to overwrite");
+  }
+  return Status::Ok();
 }
 
 Status ValidateIndexForKnn(const SessionIndex& index, size_t knn_m) {
@@ -180,7 +213,7 @@ StatusOr<std::shared_ptr<IndexManager>> IndexManager::CreateFromFile(
     loaded = std::make_shared<const IndexSnapshot>(loaded->index_ptr(),
                                                    std::move(manifest));
   }
-  manager->current_.store(loaded, std::memory_order_release);
+  manager->PublishAsBase(std::move(loaded));
   manager->source_path_ = path;
   return manager;
 }
@@ -195,10 +228,22 @@ std::shared_ptr<IndexManager> IndexManager::CreateFromIndex(
   manifest.num_sessions = index->num_sessions();
   manifest.num_items = index->num_items();
   manifest.num_postings = index->num_postings();
-  manager->current_.store(std::make_shared<const IndexSnapshot>(
-                              std::move(index), std::move(manifest)),
-                          std::memory_order_release);
+  manager->PublishAsBase(std::make_shared<const IndexSnapshot>(
+      std::move(index), std::move(manifest)));
   return manager;
+}
+
+void IndexManager::PublishAsBase(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  base_ = snapshot;
+  base_version_.store(snapshot->version(), std::memory_order_relaxed);
+  applied_delta_version_.store(0, std::memory_order_relaxed);
+  applied_delta_sessions_ = 0;
+  // A full snapshot supersedes any delta overlay; the freshness clock
+  // restarts from the new base (its watermark when stamped, else unknown).
+  freshness_watermark_ms_.store(snapshot->manifest().watermark_unix_ms,
+                                std::memory_order_relaxed);
+  current_.store(std::move(snapshot), std::memory_order_release);
 }
 
 Status IndexManager::RequireKnnCompatibility(size_t knn_m) {
@@ -230,7 +275,7 @@ Status IndexManager::ReloadFromFile(const std::string& path) {
     loaded = std::make_shared<const IndexSnapshot>(loaded->index_ptr(),
                                                    std::move(manifest));
   }
-  current_.store(std::move(loaded), std::memory_order_release);
+  PublishAsBase(std::move(loaded));
   source_path_ = target;
   reloads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
@@ -254,11 +299,95 @@ Status IndexManager::Publish(std::shared_ptr<const SessionIndex> index,
   manifest.num_sessions = index->num_sessions();
   manifest.num_items = index->num_items();
   manifest.num_postings = index->num_postings();
-  current_.store(std::make_shared<const IndexSnapshot>(std::move(index),
-                                                       std::move(manifest)),
-                 std::memory_order_release);
+  PublishAsBase(std::make_shared<const IndexSnapshot>(std::move(index),
+                                                      std::move(manifest)));
   source_path_.clear();
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status IndexManager::ApplyDelta(const IndexDelta& delta,
+                                DeltaApplyInfo* info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (base_ == nullptr) {
+    delta_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("no base snapshot to apply a delta over");
+  }
+  if (delta.base_version != base_->version()) {
+    delta_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "delta lineage mismatch: delta targets base version " +
+        std::to_string(delta.base_version) + " but this pod pins version " +
+        std::to_string(base_->version()));
+  }
+  const uint32_t pinned_crc = base_->manifest().index_crc32;
+  if (delta.base_crc32 != 0 && pinned_crc != 0 &&
+      delta.base_crc32 != pinned_crc) {
+    delta_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Corruption(
+        "delta lineage mismatch: base CRC differs for version " +
+        std::to_string(delta.base_version));
+  }
+  // Cumulative deltas make re-delivery idempotent: at-or-below the applied
+  // version is a no-op, not a failure.
+  const uint64_t applied =
+      applied_delta_version_.load(std::memory_order_relaxed);
+  if (delta.delta_version <= applied) {
+    return Status::AlreadyExists(
+        "delta version " + std::to_string(delta.delta_version) +
+        " already covered (applied " + std::to_string(applied) + ")");
+  }
+
+  auto merged = ApplyDeltaToIndex(base_->index(), delta);
+  if (!merged.ok()) {
+    delta_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return merged.status();
+  }
+  auto shared =
+      std::make_shared<const SessionIndex>(std::move(merged).value());
+  if (Status valid = ValidateIndexForKnn(*shared, required_knn_m_);
+      !valid.ok()) {
+    delta_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return valid;
+  }
+
+  IndexManifest manifest = base_->manifest();
+  manifest.kind = "delta";
+  manifest.version = delta.delta_version;
+  manifest.base_version = delta.base_version;
+  manifest.base_crc32 = delta.base_crc32;
+  manifest.watermark_unix_ms = delta.watermark_unix_ms;
+  manifest.num_sessions = shared->num_sessions();
+  manifest.num_items = shared->num_items();
+  manifest.num_postings = shared->num_postings();
+  // The merged index exists only in memory; no artifact bytes to pin.
+  manifest.index_bytes = 0;
+  manifest.index_crc32 = 0;
+  manifest.source = "delta v" + std::to_string(delta.delta_version) +
+                    " over " + base_->manifest().source;
+
+  if (info != nullptr) {
+    info->version = delta.delta_version;
+    const size_t prev = std::min(applied_delta_sessions_,
+                                 delta.sessions.size());
+    info->sessions_applied = delta.sessions.size() - prev;
+    info->observed_unix_ms.clear();
+    for (size_t s = prev; s < delta.sessions.size(); ++s) {
+      info->observed_unix_ms.push_back(delta.sessions[s].observed_unix_ms);
+    }
+  }
+
+  // Same RCU publication as a full swap: base_ stays pinned, readers see
+  // either the previous snapshot or the merged one, never a torn state.
+  current_.store(std::make_shared<const IndexSnapshot>(std::move(shared),
+                                                       std::move(manifest)),
+                 std::memory_order_release);
+  applied_delta_version_.store(delta.delta_version,
+                               std::memory_order_relaxed);
+  applied_delta_sessions_ = delta.sessions.size();
+  freshness_watermark_ms_.store(delta.watermark_unix_ms,
+                                std::memory_order_relaxed);
+  deltas_applied_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 

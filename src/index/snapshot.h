@@ -25,11 +25,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/session_index.h"
 
 namespace serenade {
+
+struct IndexDelta;  // index/index_format.h
 
 /// Rollout metadata for one index artifact. Stamped as a `<path>.manifest`
 /// sidecar (plain `key=value` lines, human-readable and dependency-free).
@@ -44,6 +47,13 @@ struct IndexManifest {
   uint64_t num_postings = 0;
   uint64_t index_bytes = 0;    ///< artifact size (0 = unknown)
   uint32_t index_crc32 = 0;    ///< CRC-32 of the artifact bytes (with bytes)
+
+  // Freshness-pipeline lineage (kind "delta" snapshots only; older readers
+  // skip these keys).
+  std::string kind = "full";       ///< "full" | "delta"
+  uint64_t base_version = 0;       ///< full snapshot a delta layers over
+  uint32_t base_crc32 = 0;         ///< that snapshot's artifact CRC
+  uint64_t watermark_unix_ms = 0;  ///< newest click covered (freshness SLO)
 };
 
 /// `<index path>.manifest`.
@@ -62,6 +72,15 @@ StatusOr<IndexManifest> ReadManifestFile(const std::string& path);
 StatusOr<IndexManifest> WriteIndexWithManifest(const std::string& path,
                                                const SessionIndex& index,
                                                IndexManifest manifest);
+
+/// Guards in-place rollouts against version regressions: returns kOk when
+/// `index_path` has no manifest sidecar (nothing to clobber, or an
+/// unversioned artifact), kAlreadyExists when the sidecar's version is >=
+/// `new_version` (the caller is about to overwrite a same-or-newer
+/// rollout), and passes through read errors otherwise. Used by
+/// serenade_build_index before writing (override with --force).
+Status CheckManifestOverwrite(const std::string& index_path,
+                              uint64_t new_version);
 
 /// The shared knn.m-vs-index compatibility check: a serving configuration
 /// that samples m candidate sessions per item needs an index that retained
@@ -129,6 +148,27 @@ class IndexManager {
   Status Publish(std::shared_ptr<const SessionIndex> index,
                  IndexManifest manifest);
 
+  /// What a successful ApplyDelta changed — fed into the click->servable
+  /// freshness histogram by the serving layer.
+  struct DeltaApplyInfo {
+    uint64_t version = 0;          ///< the delta version now servable
+    size_t sessions_applied = 0;   ///< sessions new vs. the previous delta
+    /// Observe stamps of exactly those newly applied sessions.
+    std::vector<uint64_t> observed_unix_ms;
+  };
+
+  /// Merges a cumulative delta over the pinned *base* snapshot (the last
+  /// full snapshot, not the current delta overlay — deltas are cumulative,
+  /// so intermediate versions can be skipped) and publishes the result
+  /// with the same RCU discipline as a full swap. Rejections leave the
+  /// current snapshot untouched and count in delta_rejects_total():
+  ///   * lineage mismatch — the delta names a different base version, or a
+  ///     different base CRC (both sides nonzero);
+  ///   * structural failure — ApplyDeltaToIndex or knn validation failed.
+  /// A delta at or below the already-applied version returns
+  /// kAlreadyExists without counting as a reject (idempotent re-delivery).
+  Status ApplyDelta(const IndexDelta& delta, DeltaApplyInfo* info = nullptr);
+
   /// Successful publications since construction (the boot load is not
   /// counted; /metrics exposes this as serenade_index_reloads_total).
   uint64_t reloads_total() const {
@@ -143,6 +183,34 @@ class IndexManager {
   /// The artifact path backing the current snapshot ("" for in-memory).
   std::string source_path() const;
 
+  /// Deltas successfully applied (over the lifetime, across base swaps).
+  uint64_t deltas_applied_total() const {
+    return deltas_applied_.load(std::memory_order_relaxed);
+  }
+
+  /// Deltas rejected (lineage mismatch, corruption, validation failure).
+  uint64_t delta_rejects_total() const {
+    return delta_rejects_.load(std::memory_order_relaxed);
+  }
+
+  /// The newest delta version applied over the current base (0 = none; a
+  /// full reload/publish resets it).
+  uint64_t applied_delta_version() const {
+    return applied_delta_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Version of the pinned base snapshot deltas must name.
+  uint64_t base_version() const {
+    return base_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Newest click observe stamp (ms since epoch) covered by the published
+  /// index (0 until a delta lands). now - watermark is the pod's
+  /// freshness-SLO gauge.
+  uint64_t freshness_watermark_unix_ms() const {
+    return freshness_watermark_ms_.load(std::memory_order_relaxed);
+  }
+
  private:
   IndexManager() = default;
 
@@ -150,14 +218,27 @@ class IndexManager {
   StatusOr<std::shared_ptr<const IndexSnapshot>> LoadSnapshot(
       const std::string& path, size_t knn_m) const;
 
+  // Installs `snapshot` as both the current snapshot and the delta base,
+  // resetting per-base delta state. Caller holds mutex_.
+  void PublishAsBase(std::shared_ptr<const IndexSnapshot> snapshot);
+
   std::atomic<std::shared_ptr<const IndexSnapshot>> current_;
 
   mutable std::mutex mutex_;  // serialises writers; guards fields below
   std::string source_path_;
   size_t required_knn_m_ = 0;
+  // The last *full* snapshot: the merge base for cumulative deltas. Stays
+  // pinned while delta overlays are published over it.
+  std::shared_ptr<const IndexSnapshot> base_;
+  size_t applied_delta_sessions_ = 0;  // sessions in the last applied delta
 
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> delta_rejects_{0};
+  std::atomic<uint64_t> applied_delta_version_{0};
+  std::atomic<uint64_t> base_version_{0};
+  std::atomic<uint64_t> freshness_watermark_ms_{0};
 };
 
 }  // namespace serenade

@@ -71,15 +71,17 @@ double UpdatableSessionIndex::Idf(ItemId item) const {
       overlay == overlay_frequency_.end() ? 0 : overlay->second;
 
   if (item < base_.num_items()) {
-    // Recover the base frequency from the stored base IDF:
-    // idf = log(N_base / h)  =>  h = N_base / exp(idf). An idf of 0 is
-    // ambiguous ("in every session" vs "never seen"); empty base postings
-    // disambiguate exactly.
+    // Exact h_i when the base carries frequencies (format v2+); otherwise
+    // recover it from the stored base IDF: idf = log(N_base / h) =>
+    // h = N_base / exp(idf). An idf of 0 is ambiguous ("in every session"
+    // vs "never seen"); empty base postings disambiguate exactly.
     const double base_frequency =
-        base_.SessionsForItem(item).empty()
-            ? 0.0
-            : std::round(static_cast<double>(base_.num_sessions()) /
-                         std::exp(base_.Idf(item)));
+        base_.has_frequencies()
+            ? static_cast<double>(base_.ItemFrequency(item))
+            : (base_.SessionsForItem(item).empty()
+                   ? 0.0
+                   : std::round(static_cast<double>(base_.num_sessions()) /
+                                std::exp(base_.Idf(item))));
     const double frequency = base_frequency + delta;
     if (frequency <= 0.0) return 0.0;
     return std::log(total / frequency);

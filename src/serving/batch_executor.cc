@@ -93,7 +93,8 @@ StatusOr<std::future<BatchExecutor::Result>> BatchExecutor::SubmitAsync(
   }
   SERENADE_FAULT_POINT(FaultSite::kBatchQueueFull, {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Unavailable("injected: batch queue full (overloaded)");
+    return Status::ResourceExhausted(
+        "injected: batch queue full (overloaded)");
   });
   auto op = std::make_unique<PendingOp>();
   op->request = request;
@@ -108,8 +109,10 @@ StatusOr<std::future<BatchExecutor::Result>> BatchExecutor::SubmitAsync(
       return Status::Unavailable("batch executor is stopped");
     }
     if (worker.queue.size() >= config_.max_queue_per_worker) {
+      // Load shedding, not an outage: kResourceExhausted surfaces as HTTP
+      // 429 + Retry-After so clients (and the click tap) back off.
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Unavailable("batch queue full (overloaded)");
+      return Status::ResourceExhausted("batch queue full (overloaded)");
     }
     worker.queue.push_back(std::move(op));
   }

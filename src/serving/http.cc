@@ -289,6 +289,7 @@ const char* ApiErrorCode(int status) {
     case 405: return "method_not_allowed";
     case 409: return "conflict";
     case 413: return "payload_too_large";
+    case 429: return "too_many_requests";
     case 503: return "unavailable";
     case 504: return "deadline_exceeded";
     default: return "internal";
@@ -301,6 +302,7 @@ int HttpStatusForStatus(const Status& status) {
     case StatusCode::kNotFound:
     case StatusCode::kIoError: return 404;
     case StatusCode::kCorruption: return 409;
+    case StatusCode::kResourceExhausted: return 429;
     case StatusCode::kUnavailable: return 503;
     case StatusCode::kDeadlineExceeded: return 504;
     default: return 500;

@@ -74,12 +74,13 @@ HttpResponse ApiError(int status, const std::string& message,
 
 /// The stable machine-readable code string for an HTTP error status
 /// ("bad_request", "not_found", "method_not_allowed", "payload_too_large",
-/// "conflict", "unavailable", "internal").
+/// "conflict", "too_many_requests", "unavailable", "internal").
 const char* ApiErrorCode(int status);
 
 /// Maps a Status code onto the HTTP status the API surfaces for it
 /// (kInvalidArgument=400, kNotFound/kIoError=404, kCorruption=409,
-/// kUnavailable=503, kDeadlineExceeded=504, anything else 500).
+/// kResourceExhausted=429, kUnavailable=503, kDeadlineExceeded=504,
+/// anything else 500).
 int HttpStatusForStatus(const Status& status);
 
 /// Method+path dispatch table shared by the pod server and the cluster

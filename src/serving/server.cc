@@ -3,11 +3,21 @@
 #include <charconv>
 #include <chrono>
 
+#include "common/stopwatch.h"
+#include "index/index_format.h"
 #include "serving/json.h"
 
 namespace serenade {
 
 namespace {
+
+// Whole seconds between the freshness watermark (the newest click folded
+// into the servable index) and now; 0 until the first delta lands.
+uint64_t FreshnessSeconds(uint64_t watermark_unix_ms) {
+  if (watermark_unix_ms == 0) return 0;
+  const uint64_t now = NowUnixMs();
+  return now > watermark_unix_ms ? (now - watermark_unix_ms) / 1000 : 0;
+}
 
 // Pod-side stages exported as serenade_stage_duration_microseconds
 // labels. kForward is gateway-only and deliberately absent.
@@ -129,6 +139,39 @@ void SerenadeServer::RegisterMetrics() {
         return {{"", service_->index_manager().reload_failures_total()}};
       });
   registry_.AddCallback(
+      "serenade_index_deltas_applied_total",
+      "freshness deltas layered over the base snapshot",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->index_manager().deltas_applied_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_delta_rejects_total",
+      "freshness deltas rejected (lineage or CRC mismatch)",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->index_manager().delta_rejects_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_applied_delta_version",
+      "version of the last applied freshness delta (0 = base only)",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->index_manager().applied_delta_version()}};
+      });
+  registry_.AddCallback(
+      "serenade_index_freshness_seconds",
+      "age of the newest click servable from the index (0 until the "
+      "first delta lands)",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", FreshnessSeconds(
+                         service_->index_manager()
+                             .freshness_watermark_unix_ms())}};
+      });
+  registry_.AddCallback(
+      "serenade_shed_responses_total",
+      "requests shed with 429 + Retry-After under overload",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", shed_responses_.load(std::memory_order_relaxed)}};
+      });
+  registry_.AddCallback(
       "serenade_recommender_pool_size", "idle pooled recommenders",
       MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
         return {{"", service_->PooledRecommenders()}};
@@ -143,6 +186,9 @@ void SerenadeServer::RegisterMetrics() {
   recommend_latency_micros_ = &registry_.AddHistogram(
       "serenade_recommend_latency_microseconds",
       "/recommend handling latency");
+  click_to_servable_ms_ = &registry_.AddHistogram(
+      "serenade_click_to_servable_milliseconds",
+      "end-to-end freshness: click observation to servable overlay");
   for (TraceStage stage : kPodStages) {
     stage_micros_[static_cast<size_t>(stage)] = &registry_.AddHistogram(
         "serenade_stage_duration_microseconds",
@@ -176,6 +222,10 @@ void SerenadeServer::BuildRoutes() {
   router_.Handle("POST", "/v1/admin/reload",
                  [this](const HttpRequest& request, Trace* trace) {
                    return HandleAdminReload(request, trace);
+                 });
+  router_.Handle("POST", "/v1/admin/delta",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleAdminDelta(request, trace);
                  });
 
   // Pre-/v1 paths: same handlers (byte-identical bodies), marked
@@ -231,6 +281,14 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
   HttpResponse response = router_.Dispatch(request, &trace);
   response.headers[kTraceIdHeader] = trace.id();
 
+  // Load-shed contract (S1): every 429 leaving the pod tells clients how
+  // long to back off, and counts into serenade_shed_responses_total.
+  if (response.status == 429) {
+    response.headers["Retry-After"] =
+        std::to_string(config_.retry_after_seconds);
+    shed_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Request-level latency metrics cover the recommend routes only, so
   // metrics scrapes and health probes don't dilute the histograms.
   const std::string& canonical = router_.CanonicalPath(request.path);
@@ -249,6 +307,9 @@ HttpResponse SerenadeServer::RunRecommend(const RecommendRequest& request,
     return ApiError(HttpStatusForStatus(result.status()),
                     result.status().message(), trace->id());
   }
+  // Accepted click: feed the freshness tap (the builder turns it into a
+  // servable overlay delta).
+  if (click_observer_) click_observer_(request.session_key, request.item);
   Span serialize_span(trace, TraceStage::kSerialize);
   JsonWriter writer;
   WriteRecommendation(*result, writer);
@@ -327,6 +388,9 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
   std::vector<BatchExecutor::Result> executed =
       executor_->ExecuteBatch(requests);
   for (size_t j = 0; j < executed.size(); ++j) {
+    if (click_observer_ && executed[j].ok() && j < requests.size()) {
+      click_observer_(requests[j].session_key, requests[j].item);
+    }
     results[request_slots[j]] = std::move(executed[j]);
   }
 
@@ -350,12 +414,58 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
 }
 
 HttpResponse SerenadeServer::HandleHealthz() {
+  IndexManager& manager = service_->index_manager();
   JsonWriter writer;
   writer.BeginObject()
       .Key("status")
       .Value("ok")
       .Key("index_version")
-      .Value(service_->index_manager().current_version())
+      .Value(manager.current_version())
+      .Key("applied_delta_version")
+      .Value(manager.applied_delta_version())
+      .Key("index_freshness_seconds")
+      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()))
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
+Status SerenadeServer::ApplyDelta(const IndexDelta& delta) {
+  IndexManager::DeltaApplyInfo info;
+  const Status applied = service_->ApplyDelta(delta, &info);
+  if (applied.code() == StatusCode::kAlreadyExists) return Status::Ok();
+  SERENADE_RETURN_IF_ERROR(applied);
+  const uint64_t now = NowUnixMs();
+  for (uint64_t observed : info.observed_unix_ms) {
+    click_to_servable_ms_->Record(now > observed ? now - observed : 0);
+  }
+  return Status::Ok();
+}
+
+HttpResponse SerenadeServer::HandleAdminDelta(const HttpRequest& request,
+                                              Trace* trace) {
+  auto delta = DeserializeDelta(request.body);
+  if (!delta.ok()) {
+    return ApiError(HttpStatusForStatus(delta.status()),
+                    delta.status().ToString(), trace->id());
+  }
+  const Status applied = ApplyDelta(*delta);
+  if (!applied.ok()) {
+    // Lineage / CRC mismatches reject without touching the published
+    // snapshot; tell the shipper why.
+    return ApiError(HttpStatusForStatus(applied), applied.ToString(),
+                    trace->id());
+  }
+  IndexManager& manager = service_->index_manager();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("status")
+      .Value("ok")
+      .Key("index_version")
+      .Value(manager.current_version())
+      .Key("applied_delta_version")
+      .Value(manager.applied_delta_version())
+      .Key("base_version")
+      .Value(manager.base_version())
       .EndObject();
   return HttpResponse::Json(writer.str());
 }
@@ -411,6 +521,18 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(manager.reloads_total())
       .Key("index_reload_failures")
       .Value(manager.reload_failures_total())
+      .Key("index_base_version")
+      .Value(manager.base_version())
+      .Key("applied_delta_version")
+      .Value(manager.applied_delta_version())
+      .Key("index_deltas_applied")
+      .Value(manager.deltas_applied_total())
+      .Key("index_delta_rejects")
+      .Value(manager.delta_rejects_total())
+      .Key("index_freshness_seconds")
+      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()))
+      .Key("shed_responses")
+      .Value(shed_responses_.load(std::memory_order_relaxed))
       .Key("index_sessions")
       .Value(static_cast<uint64_t>(snapshot->index().num_sessions()))
       .Key("index_items")

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <thread>
 
@@ -59,6 +60,8 @@ struct ServerConfig {
   size_t max_batch_items = 128;
   /// Slow-request logging policy (threshold 0 = disabled).
   TraceConfig trace;
+  /// Retry-After stamped on every 429 (load-shed) response, seconds.
+  uint64_t retry_after_seconds = 1;
 };
 
 /// One serving machine (a "Serenade pod" in Figure 1).
@@ -81,6 +84,21 @@ class SerenadeServer {
   /// The pod's metric registry (handed to tests and future collectors).
   MetricsRegistry& metrics() { return registry_; }
 
+  /// Click observer for the freshness pipeline: invoked once per
+  /// successfully served recommend request (single and batch slots) with
+  /// the accepted (session key, item). Set before Start(); the observer
+  /// must be cheap and non-blocking (in practice ClickTap::Observe).
+  void set_click_observer(
+      std::function<void(const std::string&, ItemId)> observer) {
+    click_observer_ = std::move(observer);
+  }
+
+  /// Applies a streaming freshness delta over the pod's pinned base
+  /// snapshot (also exposed as POST /v1/admin/delta) and records the
+  /// click->servable latency of the sessions it adds. kAlreadyExists
+  /// passes through (idempotent re-delivery).
+  Status ApplyDelta(const IndexDelta& delta);
+
  private:
   void RegisterMetrics();
   void BuildRoutes();
@@ -91,6 +109,7 @@ class SerenadeServer {
   HttpResponse HandleRecommendBatch(const HttpRequest& request, Trace* trace);
   HttpResponse HandleHealthz();
   HttpResponse HandleAdminReload(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleAdminDelta(const HttpRequest& request, Trace* trace);
   HttpResponse HandleStats();
 
   /// Runs one parsed request through the executor and serialises the
@@ -112,6 +131,13 @@ class SerenadeServer {
   MetricsRegistry registry_;
   MetricHistogram* recommend_latency_micros_ = nullptr;
   MetricHistogram* stage_micros_[kNumTraceStages] = {};
+  /// Click->servable freshness latency, recorded when an applied delta
+  /// carries observe timestamps for its newly sealed sessions.
+  MetricHistogram* click_to_servable_ms_ = nullptr;
+  /// 429 responses that left this pod (load shedding), for the
+  /// serenade_shed_responses_total counter.
+  std::atomic<uint64_t> shed_responses_{0};
+  std::function<void(const std::string&, ItemId)> click_observer_;
   SlowRequestLogger slow_logger_;
 };
 

@@ -76,6 +76,13 @@ Status SerenadeService::ReloadIndex(const std::string& path) {
   return Status::Ok();
 }
 
+Status SerenadeService::ApplyDelta(const IndexDelta& delta,
+                                   IndexManager::DeltaApplyInfo* info) {
+  SERENADE_RETURN_IF_ERROR(manager_->ApplyDelta(delta, info));
+  PruneStaleRecommenders(manager_->current_version());
+  return Status::Ok();
+}
+
 SerenadeService::PooledRecommender SerenadeService::AcquireRecommender(
     const std::shared_ptr<const IndexSnapshot>& snapshot) {
   const uint64_t version = snapshot->version();

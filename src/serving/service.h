@@ -98,6 +98,14 @@ class SerenadeService {
   /// requests see the new index as soon as this returns Ok.
   Status ReloadIndex(const std::string& path = "");
 
+  /// Layers a streaming freshness delta over the pinned base snapshot
+  /// (IndexManager::ApplyDelta) with the same publication discipline as a
+  /// full swap: in-flight requests finish on their pinned snapshot, the
+  /// pool drops entries built against retired overlay versions.
+  /// kAlreadyExists (idempotent re-delivery) leaves everything untouched.
+  Status ApplyDelta(const IndexDelta& delta,
+                    IndexManager::DeltaApplyInfo* info = nullptr);
+
   SessionStoreStats StoreStats() const { return store_->Stats(); }
 
   /// Pins the current index snapshot (version + index + provenance).

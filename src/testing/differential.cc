@@ -1,5 +1,6 @@
 #include "testing/differential.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <sstream>
@@ -7,6 +8,7 @@
 #include "core/session_index.h"
 #include "core/vs_knn.h"
 #include "data/synthetic.h"
+#include "index/index_format.h"
 #include "serving/service.h"
 
 namespace serenade {
@@ -88,6 +90,78 @@ Dataset RebuildDataset(const std::vector<SessionData>& sessions) {
     ++next_id;
   }
   return Dataset::FromClicks(std::move(clicks), /*min_session_length=*/1);
+}
+
+/// Freshness-overlay oracle (DESIGN.md §9): splits the history into a
+/// base (first three quarters) and a cumulative delta (the rest, with
+/// end times re-assigned above the base maximum, the way the index
+/// builder stamps sealed sessions), then checks that ApplyDeltaToIndex
+/// over the base is byte-identical to a full rebuild over the same
+/// sessions — and that VMIS-kNN scores bit-identically on both.
+std::optional<DiffDivergence> CheckOverlayOracle(const DiffCase& c) {
+  const std::vector<SessionData>& sessions = c.train.sessions();
+  if (sessions.size() < 2) return std::nullopt;
+  size_t split = std::max<size_t>(sessions.size() * 3 / 4, 1);
+  if (split == sessions.size()) split = sessions.size() - 1;
+
+  std::vector<SessionData> prefix(sessions.begin(),
+                                  sessions.begin() +
+                                      static_cast<ptrdiff_t>(split));
+  const Dataset base_dataset = RebuildDataset(prefix);
+  const SessionIndex base = SessionIndex::Build(base_dataset, c.knn.m);
+  Timestamp base_max = 0;
+  for (const SessionData& session : prefix) {
+    base_max = std::max(base_max, session.end_time);
+  }
+
+  IndexDelta delta;
+  delta.base_version = 1;
+  delta.base_crc32 = 0;
+  delta.delta_version = 2;
+  std::vector<SessionData> merged_sessions = prefix;
+  for (size_t s = split; s < sessions.size(); ++s) {
+    DeltaSession entry;
+    entry.items = sessions[s].items;
+    std::sort(entry.items.begin(), entry.items.end());
+    entry.items.erase(std::unique(entry.items.begin(), entry.items.end()),
+                      entry.items.end());
+    entry.end_time = base_max + static_cast<Timestamp>(s - split) + 1;
+    entry.observed_unix_ms = 1000 + s;
+    delta.watermark_unix_ms = entry.observed_unix_ms;
+    SessionData rebuilt;
+    rebuilt.id = static_cast<SessionId>(merged_sessions.size());
+    rebuilt.items = entry.items;
+    rebuilt.end_time = entry.end_time;
+    merged_sessions.push_back(std::move(rebuilt));
+    delta.sessions.push_back(std::move(entry));
+  }
+
+  auto merged = ApplyDeltaToIndex(base, delta);
+  if (!merged.ok()) {
+    return DiffDivergence{"full-rebuild", "base+overlay", 0,
+                          "ApplyDeltaToIndex failed: " +
+                              merged.status().ToString()};
+  }
+  const Dataset full_dataset = RebuildDataset(merged_sessions);
+  const SessionIndex full = SessionIndex::Build(full_dataset, c.knn.m);
+  if (SerializeIndex(*merged) != SerializeIndex(full)) {
+    return DiffDivergence{
+        "full-rebuild", "base+overlay", 0,
+        "serialized artifacts differ (base " + std::to_string(split) +
+            " sessions + delta of " + std::to_string(delta.sessions.size()) +
+            ")"};
+  }
+
+  VmisKnn overlay_knn(&*merged, c.knn);
+  VmisKnn full_knn(&full, c.knn);
+  for (size_t qi = 0; qi < c.queries.size(); ++qi) {
+    if (auto diff =
+            CompareRanked(full_knn.RecommendNext(c.queries[qi], c.top_n),
+                          overlay_knn.RecommendNext(c.queries[qi], c.top_n))) {
+      return DiffDivergence{"vmis-knn-full", "vmis-knn-overlay", qi, *diff};
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -183,6 +257,12 @@ std::optional<DiffDivergence> CheckDiffCase(const DiffCase& c,
 
     if (auto diff = CompareRanked(expected, vs.RecommendNext(query, c.top_n))) {
       return DiffDivergence{"vmis-knn", "vs-knn", qi, *diff};
+    }
+
+    if (qi == 0) {
+      // Once per case (it builds three indexes): base + overlay delta
+      // must reproduce the full rebuild bit for bit.
+      if (auto diff = CheckOverlayOracle(c)) return diff;
     }
 
     if (service != nullptr) {

@@ -32,6 +32,12 @@ const char* FaultSiteName(FaultSite site) {
       return "store_multi_put";
     case FaultSite::kBatchQueueFull:
       return "batch_queue_full";
+    case FaultSite::kDeltaTruncate:
+      return "delta_truncate";
+    case FaultSite::kDeltaLineageMismatch:
+      return "delta_lineage_mismatch";
+    case FaultSite::kDeltaPublishCrash:
+      return "delta_publish_crash";
     case FaultSite::kNumSites:
       break;
   }

@@ -23,6 +23,9 @@
 //   kWalReplayShortRead ReplayWal                replay sees a short read
 //   kStoreMultiPut      SessionStore::MultiPut   batched write fails
 //   kBatchQueueFull     BatchExecutor::SubmitAsync  forced load shedding
+//   kDeltaTruncate      DeltaFetcher::PollOnce   delta bytes truncated in flight
+//   kDeltaLineageMismatch  IndexBuilderServer::HandleDeltaLatest  wrong base version served
+//   kDeltaPublishCrash  DeltaBuilder publish     builder dies mid-publish (torn file)
 #pragma once
 
 #include <atomic>
@@ -45,6 +48,9 @@ enum class FaultSite : uint8_t {
   kWalReplayShortRead,
   kStoreMultiPut,
   kBatchQueueFull,
+  kDeltaTruncate,
+  kDeltaLineageMismatch,
+  kDeltaPublishCrash,
   kNumSites,
 };
 

@@ -1,5 +1,6 @@
 #include "testing/sim_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -18,6 +19,26 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
   cluster->config_ = std::move(config);
   cluster->index_ = std::make_shared<const SessionIndex>(SessionIndex::Build(
       cluster->config_.train, cluster->config_.knn.m));
+
+  if (cluster->config_.freshness.enabled) {
+    // Lineage comes from the shared in-memory base the pods boot on:
+    // CreateFromIndex publishes it as version 1 with no artifact CRC.
+    IndexBuilderConfig builder_config;
+    builder_config.builder = cluster->config_.freshness.builder;
+    builder_config.builder.base_version = 1;
+    builder_config.builder.base_crc32 = 0;
+    Timestamp max_time = 0;
+    for (SessionId s = 0;
+         s < static_cast<SessionId>(cluster->index_->num_sessions()); ++s) {
+      max_time = std::max(max_time, cluster->index_->SessionTimestamp(s));
+    }
+    builder_config.builder.base_max_timestamp = max_time;
+    builder_config.compact_interval_ms =
+        cluster->config_.freshness.compact_interval_ms;
+    cluster->builder_ =
+        std::make_unique<IndexBuilderServer>(builder_config);
+    SERENADE_RETURN_IF_ERROR(cluster->builder_->Start());
+  }
 
   cluster->pods_.resize(cluster->config_.num_pods);
   std::vector<BackendEndpoint> endpoints;
@@ -42,8 +63,11 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
 SimCluster::~SimCluster() {
   if (gateway_ != nullptr) gateway_->Stop();
   for (Pod& pod : pods_) {
+    if (pod.fetcher != nullptr) pod.fetcher->Stop();
+    if (pod.tap != nullptr) pod.tap->Stop();
     if (pod.server != nullptr) pod.server->Stop();
   }
+  if (builder_ != nullptr) builder_->Stop();
 }
 
 Status SimCluster::StartPod(Pod& pod, uint16_t port) {
@@ -70,15 +94,47 @@ Status SimCluster::StartPod(Pod& pod, uint16_t port) {
   server_config.batch = config_.batch;
   pod.server = std::make_unique<SerenadeServer>(std::move(service).value(),
                                                 server_config);
+
+  if (config_.freshness.enabled && builder_ != nullptr) {
+    // Tap before Start(): the observer must be in place before the first
+    // request can land.
+    ClickTapConfig tap_config = config_.freshness.tap;
+    tap_config.builder_port = builder_->port();
+    pod.tap = std::make_unique<ClickTap>(tap_config);
+    SERENADE_RETURN_IF_ERROR(pod.tap->Start());
+    ClickTap* tap = pod.tap.get();
+    pod.server->set_click_observer(
+        [tap](const std::string& session_key, ItemId item) {
+          tap->Observe(session_key, item);
+        });
+  }
+
   SERENADE_RETURN_IF_ERROR(pod.server->Start());
   pod.port = pod.server->port();
+
+  if (config_.freshness.enabled && builder_ != nullptr) {
+    DeltaFetcherConfig fetch_config = config_.freshness.fetch;
+    fetch_config.builder_port = builder_->port();
+    SerenadeServer* server = pod.server.get();
+    pod.fetcher = std::make_unique<DeltaFetcher>(
+        fetch_config, [server](const IndexDelta& delta) {
+          return server->ApplyDelta(delta);
+        });
+    SERENADE_RETURN_IF_ERROR(pod.fetcher->Start());
+  }
   return Status::Ok();
 }
 
 void SimCluster::KillPod(size_t i) {
   Pod& pod = pods_[i];
   if (pod.server == nullptr) return;
+  // Freshness plumbing first: the fetcher's apply callback and the tap's
+  // click source both point into the server.
+  if (pod.fetcher != nullptr) pod.fetcher->Stop();
+  if (pod.tap != nullptr) pod.tap->Stop();
   pod.server->Stop();
+  pod.fetcher.reset();
+  pod.tap.reset();
   pod.server.reset();  // destroys the service; the store syncs its WAL
 }
 

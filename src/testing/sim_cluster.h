@@ -20,10 +20,32 @@
 #include "common/status.h"
 #include "core/session_index.h"
 #include "data/click_log.h"
+#include "freshness/builder_server.h"
+#include "freshness/click_tap.h"
+#include "freshness/delta_fetcher.h"
 #include "serving/server.h"
 #include "store/session_store.h"
 
 namespace serenade {
+
+/// Optional streaming-freshness role for the simulated cluster: one
+/// in-process index-builder plus a click tap and delta fetcher per pod,
+/// closing the click -> delta -> overlay loop end to end over loopback
+/// HTTP. The builder's lineage (base version/CRC/max timestamp) is
+/// derived from the shared in-memory index automatically.
+struct SimFreshnessConfig {
+  bool enabled = false;
+  /// Sessionization knobs; base_version / base_crc32 / base_max_timestamp
+  /// are overridden from the shared index at Start().
+  DeltaBuilderConfig builder;
+  /// Builder-side background compaction cadence (0 = tests drive
+  /// builder()->CompactNow() explicitly).
+  uint64_t compact_interval_ms = 0;
+  /// Per-pod tap knobs; builder_port is overridden at Start().
+  ClickTapConfig tap;
+  /// Per-pod fetcher knobs; builder_port is overridden at Start().
+  DeltaFetcherConfig fetch;
+};
 
 struct SimClusterConfig {
   size_t num_pods = 2;
@@ -40,6 +62,8 @@ struct SimClusterConfig {
   /// Gateway knobs; tests usually shorten health.probe_interval_ms.
   GatewayConfig gateway;
   size_t max_items = 21;
+  /// Streaming freshness role (off by default; torture tests opt in).
+  SimFreshnessConfig freshness;
 };
 
 /// Owns the pods and the gateway; Stop order (gateway first) is handled
@@ -77,12 +101,21 @@ class SimCluster {
   /// routable (true) or `timeout_ms` elapses (false).
   bool AwaitHealthy(size_t min_healthy, uint64_t timeout_ms);
 
+  /// The index-builder role; null unless freshness.enabled.
+  IndexBuilderServer* builder() { return builder_.get(); }
+  /// Per-pod freshness plumbing; null while the pod is down or when the
+  /// freshness role is disabled.
+  ClickTap* pod_tap(size_t i) { return pods_[i].tap.get(); }
+  DeltaFetcher* pod_fetcher(size_t i) { return pods_[i].fetcher.get(); }
+
  private:
   struct Pod {
     std::string name;
     std::string wal_path;
     uint16_t port = 0;  ///< assigned on first start, reused on restart
     std::unique_ptr<SerenadeServer> server;
+    std::unique_ptr<ClickTap> tap;
+    std::unique_ptr<DeltaFetcher> fetcher;
   };
 
   SimCluster() = default;
@@ -92,6 +125,7 @@ class SimCluster {
   SimClusterConfig config_;
   std::shared_ptr<const SessionIndex> index_;
   std::vector<Pod> pods_;
+  std::unique_ptr<IndexBuilderServer> builder_;
   std::unique_ptr<ClusterGateway> gateway_;
 };
 

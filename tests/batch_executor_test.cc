@@ -5,7 +5,8 @@
 //   * duplicate session keys in one batch apply their clicks in order
 //     (session-key worker affinity),
 //   * one invalid slot never fails its siblings (per-slot StatusOr),
-//   * a stopped or overflowing executor sheds load with kUnavailable.
+//   * a stopped executor sheds with kUnavailable; an overflowing queue
+//     sheds with kResourceExhausted (HTTP 429 + Retry-After).
 //
 // Batch-composition tests run on a VirtualBatchClock: the coalescing
 // window opens and closes only when the test says so, which turns "the
@@ -300,8 +301,8 @@ TEST_F(BatchExecutorTest, InjectedQueueFullShedsDeterministically) {
   }
   auto results = executor.ExecuteBatch(requests);
   ASSERT_EQ(results.size(), 6u);
-  EXPECT_EQ(results[0].status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(results[1].status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kResourceExhausted);
   for (size_t i = 2; i < results.size(); ++i) {
     EXPECT_TRUE(results[i].ok()) << "slot " << i;
   }

@@ -1,0 +1,456 @@
+// The streaming freshness pipeline end to end (src/freshness, DESIGN.md
+// §9): click tap -> delta builder -> versioned overlay distribution.
+// Invariants under test:
+//   * replaying the same click stream through two builders yields
+//     byte-identical delta artifacts (replay determinism),
+//   * re-compacting an unchanged builder re-emits the same version with
+//     identical bytes (compaction idempotence), and deltas are cumulative
+//     across compactions,
+//   * TTL expiry, min-session-length drops, and the open-session cap
+//     behave as configured and are all counted,
+//   * tap -> builder -> fetcher -> IndexManager closes the loop over real
+//     loopback HTTP, and re-polling after convergence is a no-op,
+//   * published artifacts land in publish_dir with a kind=delta manifest;
+//     a builder crash mid-publish (kDeltaPublishCrash) may tear the file
+//     on disk but never advances the served version, and the next
+//     compaction republishes cleanly,
+//   * under armed delta-distribution faults (kDeltaTruncate,
+//     kDeltaLineageMismatch) no SimCluster pod ever applies a torn or
+//     mismatched overlay — rejections are counted, serving continues on
+//     the base snapshot — and once disarmed the fleet converges to the
+//     published delta version.
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session_index.h"
+#include "data/click_log.h"
+#include "freshness/builder_server.h"
+#include "freshness/click_tap.h"
+#include "freshness/delta_builder.h"
+#include "freshness/delta_fetcher.h"
+#include "index/index_format.h"
+#include "index/snapshot.h"
+#include "serving/http.h"
+#include "testing/fault_injection.h"
+#include "testing/sim_cluster.h"
+
+namespace serenade {
+namespace {
+
+std::string FreshWorkDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Base corpus ending at timestamp 62 (the builder's base_max_timestamp).
+std::vector<Click> BaseClicks() {
+  return {
+      Click{0, 1, 10}, Click{0, 2, 11},  Click{1, 1, 20}, Click{1, 3, 21},
+      Click{2, 1, 30}, Click{2, 4, 31},  Click{3, 2, 40}, Click{3, 5, 41},
+      Click{4, 1, 50}, Click{4, 6, 51},  Click{5, 3, 60}, Click{5, 5, 61},
+      Click{5, 6, 62},
+  };
+}
+
+DeltaBuilderConfig SmallBuilderConfig() {
+  DeltaBuilderConfig config;
+  config.base_version = 1;
+  config.base_crc32 = 0;
+  config.base_max_timestamp = 62;
+  config.min_session_length = 2;
+  config.seal_idle_ms = 100;
+  return config;
+}
+
+// The canonical three-session click stream used across these tests:
+// "a" and "b" survive sealing, "c" collapses to one distinct item and is
+// dropped at the min-session-length gate.
+void IngestCanonicalClicks(DeltaBuilder& builder) {
+  builder.Ingest("a", 1, 1000);
+  builder.Ingest("a", 2, 1010);
+  builder.Ingest("b", 2, 1020);
+  builder.Ingest("b", 3, 1030);
+  builder.Ingest("b", 1, 1040);
+  builder.Ingest("c", 5, 1050);
+  builder.Ingest("c", 5, 1060);  // duplicate item: still 1 distinct
+}
+
+TEST(DeltaBuilderTest, ReplayingTheSameClicksYieldsIdenticalArtifacts) {
+  DeltaBuilder first(SmallBuilderConfig());
+  DeltaBuilder second(SmallBuilderConfig());
+  IngestCanonicalClicks(first);
+  IngestCanonicalClicks(second);
+
+  EXPECT_EQ(first.SealIdle(2000), size_t{3});  // includes the dropped one
+  EXPECT_EQ(second.SealIdle(2000), size_t{3});
+  auto delta_a = first.Compact(2000);
+  auto delta_b = second.Compact(2000);
+  ASSERT_TRUE(delta_a.has_value());
+  ASSERT_TRUE(delta_b.has_value());
+  EXPECT_EQ(SerializeDelta(*delta_a), SerializeDelta(*delta_b));
+
+  // The deterministic seal order is (last click ms, first ms, arrival):
+  // "a" (last 1010) before "b" (last 1040); end_times densely above 62.
+  EXPECT_EQ(delta_a->delta_version, 2u);
+  EXPECT_EQ(delta_a->base_version, 1u);
+  ASSERT_EQ(delta_a->sessions.size(), 2u);
+  EXPECT_EQ(delta_a->sessions[0].items, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(delta_a->sessions[0].end_time, Timestamp{63});
+  EXPECT_EQ(delta_a->sessions[0].observed_unix_ms, 1010u);
+  EXPECT_EQ(delta_a->sessions[1].items, (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(delta_a->sessions[1].end_time, Timestamp{64});
+  EXPECT_EQ(delta_a->sessions[1].observed_unix_ms, 1040u);
+  EXPECT_EQ(delta_a->watermark_unix_ms, 1040u);
+  EXPECT_EQ(first.sessions_dropped_short(), 1u);
+}
+
+TEST(DeltaBuilderTest, CompactionIsIdempotentAndCumulative) {
+  DeltaBuilder builder(SmallBuilderConfig());
+  IngestCanonicalClicks(builder);
+  builder.SealIdle(2000);
+  auto first = builder.Compact(2000);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->delta_version, 2u);
+
+  // Nothing changed: same version, byte-identical bytes — a pod polling
+  // twice must not see a phantom new version.
+  auto again = builder.Compact(3000);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->delta_version, 2u);
+  EXPECT_EQ(SerializeDelta(*again), SerializeDelta(*first));
+
+  // New sessions bump the version; the delta stays cumulative (old
+  // sessions re-emitted with their original end_times).
+  builder.Ingest("d", 7, 5000);
+  builder.Ingest("d", 8, 5010);
+  builder.SealIdle(6000);
+  auto next = builder.Compact(6000);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->delta_version, 3u);
+  ASSERT_EQ(next->sessions.size(), 3u);
+  EXPECT_EQ(next->sessions[0].items, first->sessions[0].items);
+  EXPECT_EQ(next->sessions[0].end_time, Timestamp{63});
+  EXPECT_EQ(next->sessions[2].items, (std::vector<ItemId>{7, 8}));
+  EXPECT_EQ(next->sessions[2].end_time, Timestamp{65});
+  EXPECT_EQ(next->watermark_unix_ms, 5010u);
+}
+
+TEST(DeltaBuilderTest, TtlExpiresOldSessionsOutOfTheCumulativeDelta) {
+  DeltaBuilderConfig config = SmallBuilderConfig();
+  config.session_ttl_ms = 1000;
+  DeltaBuilder builder(config);
+  builder.Ingest("old", 1, 1000);
+  builder.Ingest("old", 2, 1100);
+  builder.Ingest("new", 3, 5000);
+  builder.Ingest("new", 4, 5100);
+  EXPECT_EQ(builder.SealIdle(10000), size_t{2});
+
+  // At now=2200 "old" (last click 1100) is past TTL; "new" is not.
+  auto delta = builder.Compact(2200);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->sessions.size(), 1u);
+  EXPECT_EQ(delta->sessions[0].items, (std::vector<ItemId>{3, 4}));
+  EXPECT_EQ(builder.sessions_expired(), 1u);
+  EXPECT_EQ(delta->watermark_unix_ms, 5100u);
+}
+
+TEST(DeltaBuilderTest, OpenSessionCapDropsAndCountsOverflowClicks) {
+  DeltaBuilderConfig config = SmallBuilderConfig();
+  config.max_open_sessions = 1;
+  DeltaBuilder builder(config);
+  builder.Ingest("keep", 1, 1000);
+  builder.Ingest("overflow", 2, 1010);  // new session beyond the cap
+  builder.Ingest("keep", 3, 1020);      // existing session: still accepted
+  EXPECT_EQ(builder.clicks_ingested(), 3u);  // arrivals, drops included
+  EXPECT_EQ(builder.clicks_dropped_overflow(), 1u);
+  EXPECT_EQ(builder.open_sessions(), size_t{1});
+}
+
+TEST(FreshnessPipelineTest, TapBuilderFetcherClosesTheLoopOverHttp) {
+  auto index = std::make_shared<const SessionIndex>(
+      SessionIndex::Build(Dataset::FromClicks(BaseClicks(), 2), 100));
+  auto manager = IndexManager::CreateFromIndex(index, /*version=*/1);
+
+  IndexBuilderConfig builder_config;
+  builder_config.builder = SmallBuilderConfig();
+  IndexBuilderServer builder(builder_config);
+  ASSERT_TRUE(builder.Start().ok());
+
+  ClickTapConfig tap_config;
+  tap_config.builder_port = builder.port();
+  tap_config.flush_interval_ms = 10'000;  // the test flushes explicitly
+  ClickTap tap(tap_config);
+  ASSERT_TRUE(tap.Start().ok());
+
+  DeltaFetcherConfig fetch_config;
+  fetch_config.builder_port = builder.port();
+  DeltaFetcher fetcher(fetch_config, [&manager](const IndexDelta& delta) {
+    return manager->ApplyDelta(delta);
+  });
+
+  // Two shopper sessions stream through the tap.
+  tap.Observe("u1", 1, 1000);
+  tap.Observe("u1", 2, 1010);
+  tap.Observe("u2", 2, 1020);
+  tap.Observe("u2", 3, 1030);
+  ASSERT_TRUE(tap.FlushNow().ok());
+  EXPECT_EQ(tap.clicks_shipped(), 4u);
+  EXPECT_EQ(builder.builder().clicks_ingested(), 4u);
+
+  auto version = builder.CompactNow(/*now_unix_ms=*/5000);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 2u);
+  EXPECT_EQ(builder.published_watermark_unix_ms(), 1030u);
+
+  // One poll lands the overlay on the pod's manager.
+  ASSERT_TRUE(fetcher.PollOnce().ok());
+  EXPECT_EQ(fetcher.deltas_applied(), 1u);
+  EXPECT_EQ(manager->applied_delta_version(), 2u);
+  EXPECT_EQ(manager->Current()->index().num_sessions(),
+            index->num_sessions() + 2);
+  EXPECT_EQ(manager->freshness_watermark_unix_ms(), 1030u);
+
+  // Converged: the next poll is a 204 no-op, not a re-apply.
+  ASSERT_TRUE(fetcher.PollOnce().ok());
+  EXPECT_EQ(fetcher.deltas_applied(), 1u);
+  EXPECT_EQ(manager->deltas_applied_total(), 1u);
+
+  // More clicks roll a cumulative v3; the fetcher catches up in one poll.
+  tap.Observe("u3", 4, 2000);
+  tap.Observe("u3", 5, 2010);
+  ASSERT_TRUE(tap.FlushNow().ok());
+  version = builder.CompactNow(/*now_unix_ms=*/9000);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 3u);
+  ASSERT_TRUE(fetcher.PollOnce().ok());
+  EXPECT_EQ(manager->applied_delta_version(), 3u);
+  EXPECT_EQ(manager->Current()->index().num_sessions(),
+            index->num_sessions() + 3);
+
+  tap.Stop();
+  builder.Stop();
+}
+
+TEST(FreshnessPipelineTest, PublishDirStampsArtifactsAndSurvivesCrash) {
+  const std::string dir = FreshWorkDir("freshness-publish");
+  IndexBuilderConfig config;
+  config.builder = SmallBuilderConfig();
+  config.publish_dir = dir;
+  IndexBuilderServer builder(config);
+  ASSERT_TRUE(builder.Start().ok());
+
+  builder.builder().Ingest("a", 1, 1000);
+  builder.builder().Ingest("a", 2, 1010);
+  auto version = builder.CompactNow(5000);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  ASSERT_EQ(*version, 2u);
+
+  const std::string v2_path = dir + "/delta-v2.srndelta";
+  auto artifact = ReadDeltaFile(v2_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact->delta_version, 2u);
+  auto manifest = ReadManifestFile(ManifestPathFor(v2_path));
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->kind, "delta");
+  EXPECT_EQ(manifest->version, 2u);
+  EXPECT_EQ(manifest->base_version, 1u);
+  EXPECT_EQ(manifest->watermark_unix_ms, 1010u);
+  EXPECT_NE(manifest->index_crc32, 0u);
+
+  // The builder's own metrics expose the freshness SLO gauge.
+  EXPECT_NE(builder.metrics().RenderPrometheus().find(
+                "serenade_index_freshness_seconds"),
+            std::string::npos);
+
+  // Crash mid-publish: the torn v3 artifact may land on disk, but the
+  // served version never advances past v2.
+  {
+    ScopedFaultInjector fi(0xc0ffee);
+    fi->Arm(FaultSite::kDeltaPublishCrash, FaultRule{1.0, /*budget=*/1, 0});
+    builder.builder().Ingest("b", 3, 6000);
+    builder.builder().Ingest("b", 4, 6010);
+    auto crashed = builder.CompactNow(8000);
+    EXPECT_FALSE(crashed.ok());
+    EXPECT_EQ(builder.published_version(), 2u);
+    EXPECT_EQ(fi->fires(FaultSite::kDeltaPublishCrash), 1u);
+    const std::string v3_path = dir + "/delta-v3.srndelta";
+    if (std::filesystem::exists(v3_path)) {
+      EXPECT_FALSE(ReadDeltaFile(v3_path).ok())
+          << "a torn artifact must never deserialize";
+    }
+
+    // Recovery: the injector budget is spent, so the next compaction
+    // republishes the same delta version with a clean artifact.
+    auto recovered = builder.CompactNow(9000);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(*recovered, 3u);
+    EXPECT_EQ(builder.published_version(), 3u);
+    auto clean = ReadDeltaFile(v3_path);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(clean->sessions.size(), 2u);
+  }
+  builder.Stop();
+}
+
+// --- fleet torture: no pod ever serves a torn or mismatched overlay ----------
+
+SimClusterConfig FreshnessTortureConfig(const std::string& work_dir) {
+  std::vector<Click> clicks;
+  Timestamp now = 1;
+  for (SessionId s = 0; s < 40; ++s) {
+    for (size_t i = 0; i < 5; ++i) {
+      clicks.push_back(
+          Click{s, static_cast<ItemId>(1 + (s * 3 + i * 7) % 30), now++});
+    }
+  }
+  SimClusterConfig config;
+  config.num_pods = 2;
+  config.train = Dataset::FromClicks(std::move(clicks), 2);
+  config.knn.m = 50;
+  config.knn.k = 10;
+  config.work_dir = work_dir;
+  config.gateway.health.probe_interval_ms = 20;
+  config.gateway.health.probe_timeout_ms = 250;
+  config.gateway.forward_timeout_ms = 1000;
+  config.freshness.enabled = true;
+  config.freshness.builder.min_session_length = 2;
+  config.freshness.builder.seal_idle_ms = 50;
+  config.freshness.tap.flush_interval_ms = 10;
+  config.freshness.fetch.poll_interval_ms = 20;
+  return config;
+}
+
+StatusOr<int> SendClick(uint16_t port, const std::string& session,
+                        ItemId item) {
+  HttpClient client;
+  SERENADE_RETURN_IF_ERROR(client.Connect(port));
+  auto response = client.Get("/v1/recommend?session_id=" + session +
+                             "&item_id=" + std::to_string(item));
+  SERENADE_RETURN_IF_ERROR(response.status());
+  return response->status;
+}
+
+TEST(FreshnessTortureTest, NoPodServesTornOrMismatchedOverlays) {
+  ScopedFaultInjector fi(0xfade);
+  auto cluster = SimCluster::Start(
+      FreshnessTortureConfig(FreshWorkDir("freshness-torture")));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  SimCluster& sim = **cluster;
+  ASSERT_TRUE(sim.AwaitHealthy(2, 5000));
+  ASSERT_NE(sim.builder(), nullptr);
+
+  // Traffic through the front door: the pods' click taps feed the builder.
+  for (int u = 0; u < 6; ++u) {
+    for (ItemId item : {3, 4, 5}) {
+      auto status =
+          SendClick(sim.gateway().port(), "shopper-" + std::to_string(u), item);
+      ASSERT_TRUE(status.ok()) << status.status().ToString();
+      ASSERT_EQ(*status, 200);
+    }
+  }
+  for (size_t i = 0; i < sim.num_pods(); ++i) {
+    ASSERT_TRUE(sim.pod_tap(i)->FlushNow().ok());
+  }
+  ASSERT_GE(sim.builder()->builder().clicks_ingested(), 18u);
+
+  // Phase 1: every delta the fleet fetches is torn in flight or served
+  // with mismatched lineage. Nothing may stick.
+  fi->Arm(FaultSite::kDeltaTruncate, 0.5);
+  fi->Arm(FaultSite::kDeltaLineageMismatch, 1.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // > seal idle
+  auto version = sim.builder()->CompactNow();
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  ASSERT_EQ(*version, 2u);
+
+  // Let the poll threads hammer the faulty distribution path.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sim.pod_fetcher(0)->fetch_failures() +
+            sim.pod_fetcher(0)->apply_failures() >=
+        3) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  for (size_t i = 0; i < sim.num_pods(); ++i) {
+    IndexManager& manager = sim.pod(i)->service().index_manager();
+    EXPECT_EQ(manager.applied_delta_version(), 0u)
+        << "pod " << i << " applied a faulted overlay";
+    EXPECT_EQ(manager.current_version(), 1u);
+    EXPECT_EQ(sim.pod_fetcher(i)->deltas_applied(), 0u);
+  }
+  EXPECT_GE(sim.pod_fetcher(0)->fetch_failures() +
+                sim.pod_fetcher(0)->apply_failures(),
+            3u);
+  EXPECT_GT(fi->fires(FaultSite::kDeltaLineageMismatch), 0u);
+
+  // A lineage-mismatched delta handed straight to the apply path (as if a
+  // rogue builder bypassed the fetcher) is rejected and counted, and the
+  // pod keeps serving its base snapshot.
+  {
+    IndexDelta rogue;
+    rogue.base_version = 99;  // nobody pins this base
+    rogue.base_crc32 = 0;
+    rogue.delta_version = 100;
+    rogue.watermark_unix_ms = 1;
+    rogue.sessions.push_back(
+        DeltaSession{{1, 2}, /*end_time=*/100000, /*observed_unix_ms=*/1});
+    EXPECT_EQ(sim.pod(0)->ApplyDelta(rogue).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(sim.pod(0)->service().index_manager().delta_rejects_total(), 1u);
+    EXPECT_EQ(sim.pod(0)->service().index_manager().current_version(), 1u);
+  }
+
+  // The gateway keeps answering off the pinned base the whole time.
+  auto during = SendClick(sim.gateway().port(), "shopper-0", 4);
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  EXPECT_EQ(*during, 200);
+
+  // Phase 2: faults lift; the fleet must converge to the published delta.
+  fi->Disarm(FaultSite::kDeltaTruncate);
+  fi->Disarm(FaultSite::kDeltaLineageMismatch);
+
+  const auto converge_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto converged = [&] {
+    for (size_t i = 0; i < sim.num_pods(); ++i) {
+      if (sim.pod_fetcher(i)->applied_version() != 2) return false;
+    }
+    return true;
+  };
+  while (!converged() &&
+         std::chrono::steady_clock::now() < converge_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(converged()) << "fleet failed to converge after faults lifted";
+
+  const uint64_t watermark = sim.builder()->published_watermark_unix_ms();
+  ASSERT_GT(watermark, 0u);
+  for (size_t i = 0; i < sim.num_pods(); ++i) {
+    IndexManager& manager = sim.pod(i)->service().index_manager();
+    EXPECT_EQ(manager.applied_delta_version(), 2u);
+    EXPECT_EQ(manager.current_version(), 2u);
+    EXPECT_EQ(manager.base_version(), 1u);
+    EXPECT_EQ(manager.freshness_watermark_unix_ms(), watermark);
+    EXPECT_EQ(manager.Current()->manifest().kind, "delta");
+  }
+
+  // And the freshened fleet still answers.
+  auto after = SendClick(sim.gateway().port(), "shopper-1", 5);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(*after, 200);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -2,7 +2,7 @@
 //
 //   serenade_build_index --clicks clicks.csv --output session.index
 //       [--m 500] [--threads 0] [--version N] [--build-id ID]
-//       [--synthetic-sessions N] [--seed S]
+//       [--synthetic-sessions N] [--seed S] [--force]
 //
 // Reads a click log CSV (session_id,item_id,timestamp), builds the
 // session similarity index with the data-parallel builder, and writes the
@@ -11,6 +11,10 @@
 // CRC. Serving pods honour the manifest on load and on POST /admin/reload
 // hot swaps. When no --clicks file is given, generates a synthetic
 // dataset instead (useful for demos).
+//
+// Rollout safety: when the output path already carries a manifest with a
+// version >= the one being written, the tool refuses to clobber it (a
+// stale pipeline run must not regress the fleet); --force overrides.
 #include <cstdio>
 #include <ctime>
 
@@ -73,6 +77,15 @@ int main(int argc, char** argv) {
   manifest.built_unix = now;
   manifest.source = clicks_path.empty() ? "synthetic" : clicks_path;
 
+  if (!flags.GetBool("force", false)) {
+    if (Status guard = CheckManifestOverwrite(output_path, manifest.version);
+        !guard.ok()) {
+      std::fprintf(stderr, "%s\n  pass --force to overwrite anyway\n",
+                   guard.ToString().c_str());
+      return 1;
+    }
+  }
+
   auto written = WriteIndexWithManifest(output_path, index, manifest);
   if (!written.ok()) {
     std::fprintf(stderr, "write failed: %s\n",
@@ -81,10 +94,11 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "wrote %s (%llu bytes, crc32 %08x)\n"
-      "wrote %s (version %llu, build id %s)\n",
+      "wrote %s (kind %s, version %llu, build id %s)\n",
       output_path.c_str(),
       static_cast<unsigned long long>(written->index_bytes),
       written->index_crc32, ManifestPathFor(output_path).c_str(),
+      written->kind.c_str(),
       static_cast<unsigned long long>(written->version),
       written->build_id.c_str());
   return 0;

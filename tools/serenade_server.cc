@@ -5,6 +5,13 @@
 //       [--slow-request-us 0] [--slow-sample-every 1]
 //       [--batch-max-size 1] [--batch-max-delay-us 0] [--batch-workers 2]
 //       [--max-batch-items 128]
+//       [--builder-port 0] [--delta-poll-ms 1000]
+//
+// --builder-port joins the streaming freshness pipeline (DESIGN.md §9):
+// accepted clicks stream to the serenade_index_builder at that port, and
+// a background fetcher polls it for cumulative deltas, layering each
+// over the pinned base snapshot (also reachable directly via POST
+// /v1/admin/delta). 0 = pipeline off.
 //
 // Loads the binary index produced by serenade_build_index (honouring its
 // `.manifest` sidecar) and serves the versioned /v1 API (see API.md):
@@ -31,6 +38,8 @@
 
 #include "data/synthetic.h"
 #include "flags.h"
+#include "freshness/click_tap.h"
+#include "freshness/delta_fetcher.h"
 #include "index/snapshot.h"
 #include "serving/server.h"
 
@@ -108,9 +117,46 @@ int main(int argc, char** argv) {
   server_config.max_batch_items =
       std::max<uint64_t>(1, flags.GetInt("max-batch-items", 128));
   SerenadeServer server(std::move(service).value(), server_config);
+
+  // Optional freshness-pipeline plumbing: tap accepted clicks out to the
+  // index builder, poll it for cumulative deltas, apply them as overlays.
+  const uint16_t builder_port =
+      static_cast<uint16_t>(flags.GetInt("builder-port", 0));
+  std::unique_ptr<ClickTap> tap;
+  std::unique_ptr<DeltaFetcher> fetcher;
+  if (builder_port != 0) {
+    ClickTapConfig tap_config;
+    tap_config.builder_port = builder_port;
+    tap = std::make_unique<ClickTap>(tap_config);
+    if (Status status = tap->Start(); !status.ok()) {
+      std::fprintf(stderr, "click tap: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    server.set_click_observer(
+        [&tap](const std::string& session_key, ItemId item) {
+          tap->Observe(session_key, item);
+        });
+    DeltaFetcherConfig fetch_config;
+    fetch_config.builder_port = builder_port;
+    fetch_config.poll_interval_ms =
+        std::max<uint64_t>(1, flags.GetInt("delta-poll-ms", 1000));
+    fetcher = std::make_unique<DeltaFetcher>(
+        fetch_config,
+        [&server](const IndexDelta& delta) { return server.ApplyDelta(delta); });
+  }
+
   if (Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (fetcher != nullptr) {
+    if (Status status = fetcher->Start(); !status.ok()) {
+      std::fprintf(stderr, "delta fetcher: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("freshness pipeline on: builder at 127.0.0.1:%u\n",
+                builder_port);
   }
   std::printf(
       "serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus, batch=%zu); hot "
@@ -126,6 +172,8 @@ int main(int argc, char** argv) {
   }
   std::printf("shutting down after %llu requests\n",
               static_cast<unsigned long long>(server.requests_served()));
+  if (fetcher != nullptr) fetcher->Stop();
+  if (tap != nullptr) tap->Stop();
   server.Stop();
   return 0;
 }
