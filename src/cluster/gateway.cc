@@ -65,6 +65,11 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
       fallback_(std::move(fallback)),
       ring_(config.virtual_nodes),
       slow_logger_(config.trace) {
+  HttpClientPoolConfig pool_config;
+  pool_config.max_idle_per_endpoint = config_.max_pooled_clients;
+  pool_config.client.connect_timeout_ms = config_.forward_timeout_ms;
+  pool_config.client.io_timeout_ms = config_.forward_timeout_ms;
+  pool_ = std::make_unique<HttpClientPool>(pool_config);
   RegisterMetrics();
   BuildRoutes();
   backends_.reserve(backends.size());
@@ -153,6 +158,55 @@ void ClusterGateway::RegisterMetrics() {
       [this]() -> std::vector<MetricSample> {
         return {{"", slow_logger_.slow_requests_seen()}};
       });
+  // Keep-alive reuse on the gateway→pod hop: a warm fleet should show a
+  // reuse ratio near 1 (each acquire served by a parked connection).
+  registry_.AddCallback(
+      "gateway_client_acquires_total",
+      "pooled-client checkouts for forwarding attempts", MetricType::kCounter,
+      "", [this]() -> std::vector<MetricSample> {
+        return {{"", pool_->acquires_total()}};
+      });
+  registry_.AddCallback(
+      "gateway_client_reuses_total",
+      "checkouts served by a parked keep-alive connection",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", pool_->reuses_total()}};
+      });
+  registry_.AddCallback(
+      "gateway_client_discards_total",
+      "pooled clients dropped (transport error or full shelf)",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", pool_->discards_total()}};
+      });
+  // Front-door reactor counters (same family as the pod's serenade_*).
+  registry_.AddCallback(
+      "gateway_open_connections", "currently open HTTP connections",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().open_connections : 0}};
+      });
+  registry_.AddCallback(
+      "gateway_shed_connections_total",
+      "connections refused with 503 + Retry-After at the connection cap",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().shed : 0}};
+      });
+  registry_.AddCallback(
+      "gateway_reactor_loop_iterations_total", "event-loop wakeups",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().loop_iterations : 0}};
+      });
+  registry_.AddCallback(
+      "gateway_connection_timeouts_total",
+      "connections closed by the timer wheel", MetricType::kCounter, "kind",
+      [this]() -> std::vector<MetricSample> {
+        const HttpServerStats stats =
+            http_ ? http_->stats() : HttpServerStats{};
+        return {{"idle", stats.idle_timeouts},
+                {"deadline", stats.deadline_timeouts}};
+      });
+  reactor_loop_lag_micros_ = &registry_.AddHistogram(
+      "gateway_reactor_loop_lag_microseconds",
+      "time the event loop spent processing one epoll batch");
   forward_latency_micros_ = &registry_.AddHistogram(
       "gateway_forward_latency_microseconds",
       "per-attempt forwarding latency");
@@ -177,7 +231,9 @@ Status ClusterGateway::Start() {
   health_->ProbeAllOnce();
   health_->Start();
   http_ = std::make_unique<HttpServer>(
-      [this](const HttpRequest& request) { return Handle(request); });
+      [this](const HttpRequest& request) { return Handle(request); },
+      config_.http);
+  http_->set_loop_lag_histogram(reactor_loop_lag_micros_);
   Status started = http_->Start(config_.port);
   if (!started.ok()) health_->Stop();
   return started;
@@ -202,31 +258,18 @@ ClusterGateway::Backend* ClusterGateway::FindBackend(const std::string& name) {
 
 std::unique_ptr<HttpClient> ClusterGateway::AcquireClient(Backend& backend,
                                                           Status* status) {
-  {
-    std::lock_guard<std::mutex> lock(backend.pool_mutex);
-    if (!backend.pool.empty()) {
-      auto client = std::move(backend.pool.back());
-      backend.pool.pop_back();
-      return client;
-    }
+  auto client = pool_->Acquire(backend.endpoint.port);
+  if (!client.ok()) {
+    *status = client.status();
+    return nullptr;
   }
-  HttpClientOptions options;
-  options.connect_timeout_ms = config_.forward_timeout_ms;
-  options.io_timeout_ms = config_.forward_timeout_ms;
-  auto client = std::make_unique<HttpClient>(options);
-  *status = client->Connect(backend.endpoint.port);
-  if (!status->ok()) return nullptr;
-  return client;
+  return std::move(client).value();
 }
 
 void ClusterGateway::ReleaseClient(Backend& backend,
                                    std::unique_ptr<HttpClient> client,
                                    bool reusable) {
-  if (!reusable) return;  // drop broken connections on the floor
-  std::lock_guard<std::mutex> lock(backend.pool_mutex);
-  if (backend.pool.size() < config_.max_pooled_clients) {
-    backend.pool.push_back(std::move(client));
-  }
+  pool_->Release(backend.endpoint.port, std::move(client), reusable);
 }
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
@@ -752,6 +795,16 @@ HttpResponse ClusterGateway::HandleStats() {
       .Value(totals.hedge_wins)
       .Key("slow_requests")
       .Value(slow_logger_.slow_requests_seen())
+      .Key("client_acquires")
+      .Value(pool_->acquires_total())
+      .Key("client_reuses")
+      .Value(pool_->reuses_total())
+      .Key("client_reuse_ratio")
+      .Value(pool_->ReuseRatio())
+      .Key("open_connections")
+      .Value(http_ ? http_->stats().open_connections : 0)
+      .Key("shed_connections")
+      .Value(http_ ? http_->stats().shed : 0)
       .Key("healthy_backends")
       .Value(static_cast<uint64_t>(health_->NumHealthy()))
       .Key("backends")
@@ -762,11 +815,15 @@ HttpResponse ClusterGateway::HandleStats() {
     bool healthy = false;
     uint64_t ejections = 0;
     uint64_t index_version = 0;
+    uint64_t probe_connects = 0;
+    uint64_t probe_reuses = 0;
     for (const BackendHealth& entry : health) {
       if (entry.name == name) {
         healthy = entry.healthy;
         ejections = entry.ejections_total;
         index_version = entry.index_version;
+        probe_connects = entry.probe_connects_total;
+        probe_reuses = entry.probe_reuses_total;
         break;
       }
     }
@@ -783,6 +840,10 @@ HttpResponse ClusterGateway::HandleStats() {
         .Value(backend->errors->value())
         .Key("ejections")
         .Value(ejections)
+        .Key("probe_connects")
+        .Value(probe_connects)
+        .Key("probe_reuses")
+        .Value(probe_reuses)
         .EndObject();
   }
   writer.EndArray().EndObject();

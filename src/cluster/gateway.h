@@ -42,6 +42,7 @@
 #include "core/recommender.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/client_pool.h"
 #include "serving/http.h"
 
 namespace serenade {
@@ -68,6 +69,8 @@ struct GatewayConfig {
   HealthCheckerConfig health;
   /// Slow-request logging policy (threshold 0 = disabled).
   TraceConfig trace;
+  /// Front-door reactor tuning (connection cap, timeouts, threads).
+  HttpServerOptions http;
 };
 
 /// Aggregate gateway counters (monotonic).
@@ -121,9 +124,6 @@ class ClusterGateway {
     // Registry-owned forwarding counters (exported with backend=<name>).
     MetricCounter* requests = nullptr;
     MetricCounter* errors = nullptr;
-    // Idle keep-alive connections to this backend.
-    std::mutex pool_mutex;
-    std::vector<std::unique_ptr<HttpClient>> pool;
   };
 
   // Outcome of one forwarding attempt.
@@ -177,6 +177,9 @@ class ClusterGateway {
 
   std::vector<std::unique_ptr<Backend>> backends_;
   GatewayConfig config_;
+  // Keep-alive connections to the pods, keyed by backend port (bounded
+  // per endpoint; close-on-error).
+  std::unique_ptr<HttpClientPool> pool_;
   std::unique_ptr<Recommender> fallback_;
   std::mutex fallback_mutex_;
   HashRing ring_;
@@ -194,6 +197,7 @@ class ClusterGateway {
   MetricCounter* hedge_wins_ = nullptr;
   MetricHistogram* forward_latency_micros_ = nullptr;
   MetricHistogram* request_latency_micros_ = nullptr;
+  MetricHistogram* reactor_loop_lag_micros_ = nullptr;
   MetricHistogram* stage_micros_[kNumTraceStages] = {};
   SlowRequestLogger slow_logger_;
 

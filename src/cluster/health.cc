@@ -47,23 +47,41 @@ void HealthChecker::ProbeLoop() {
 }
 
 void HealthChecker::ProbeAllOnce() {
+  // One probe round at a time: the gateway calls this synchronously at
+  // startup while the prober thread may already be mid-round, and the
+  // persistent probe clients must not see concurrent I/O.
+  std::lock_guard<std::mutex> round_lock(probe_mutex_);
   for (auto& state : states_) {
-    const ProbeOutcome outcome = ProbeBackend(state->endpoint);
+    const ProbeOutcome outcome = ProbeBackend(*state);
     ApplyResult(*state, outcome.ok, /*from_probe=*/true,
                 outcome.index_version, outcome.index_freshness_seconds);
   }
 }
 
-HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(
-    const BackendEndpoint& endpoint) const {
+HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(State& state) {
   ProbeOutcome outcome;
-  HttpClientOptions options;
-  options.connect_timeout_ms = config_.probe_timeout_ms;
-  options.io_timeout_ms = config_.probe_timeout_ms;
-  HttpClient client(options);
-  if (!client.Connect(endpoint.port).ok()) return outcome;
-  auto response = client.Get("/v1/healthz");
-  if (!response.ok() || response->status != 200) return outcome;
+  if (state.probe_client == nullptr) {
+    HttpClientOptions options;
+    options.connect_timeout_ms = config_.probe_timeout_ms;
+    options.io_timeout_ms = config_.probe_timeout_ms;
+    auto client = std::make_unique<HttpClient>(options);
+    if (!client->Connect(state.endpoint.port).ok()) return outcome;
+    state.probe_client = std::move(client);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ++state.probe_connects_total;
+  } else {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ++state.probe_reuses_total;
+  }
+  auto response = state.probe_client->Get("/v1/healthz");
+  if (!response.ok()) {
+    // Transport failure: the connection is gone or desynchronized. Drop
+    // it so the next round dials fresh (close-on-error, like the
+    // forwarding pool).
+    state.probe_client.reset();
+    return outcome;
+  }
+  if (response->status != 200) return outcome;
   // A 200 status line alone is not health: a dying pod (or a middlebox)
   // can deliver the headers and then cut the body short. Only a complete,
   // parseable health document that itself says "ok" counts.
@@ -161,6 +179,8 @@ std::vector<BackendHealth> HealthChecker::Snapshot() const {
     health.ejections_total = state->ejections_total;
     health.index_version = state->index_version;
     health.index_freshness_seconds = state->index_freshness_seconds;
+    health.probe_connects_total = state->probe_connects_total;
+    health.probe_reuses_total = state->probe_reuses_total;
     snapshot.push_back(std::move(health));
   }
   return snapshot;

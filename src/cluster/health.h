@@ -18,6 +18,8 @@
 
 namespace serenade {
 
+class HttpClient;
+
 /// One routable serving pod.
 struct BackendEndpoint {
   std::string name;  ///< stable identity used in the ring and metrics
@@ -52,6 +54,11 @@ struct BackendHealth {
   /// first streaming delta — the gateway aggregate makes a lagging or
   /// stalled builder visible fleet-wide.
   uint64_t index_freshness_seconds = 0;
+  /// Probe-connection churn: probes ride a persistent keep-alive
+  /// connection, so connects should stay near 1 per healthy backend while
+  /// reuses grow with every round.
+  uint64_t probe_connects_total = 0;
+  uint64_t probe_reuses_total = 0;
 };
 
 /// Thread-safe health registry + prober. Backends start healthy (the
@@ -106,6 +113,12 @@ class HealthChecker {
     uint64_t ejections_total = 0;
     uint64_t index_version = 0;
     uint64_t index_freshness_seconds = 0;
+    uint64_t probe_connects_total = 0;
+    uint64_t probe_reuses_total = 0;
+    /// Persistent keep-alive probe connection (guarded by probe_mutex_,
+    /// not this state's mutex: only the serialized probe path touches it).
+    /// Dropped on any transport error; redialed on the next round.
+    std::unique_ptr<HttpClient> probe_client;
   };
 
   // Result of one active /healthz probe.
@@ -116,7 +129,7 @@ class HealthChecker {
   };
 
   void ProbeLoop();
-  ProbeOutcome ProbeBackend(const BackendEndpoint& endpoint) const;
+  ProbeOutcome ProbeBackend(State& state);
   void ApplyResult(State& state, bool success, bool from_probe,
                    uint64_t index_version = 0,
                    uint64_t index_freshness_seconds = 0);
@@ -131,6 +144,10 @@ class HealthChecker {
   std::thread prober_;
   std::mutex wakeup_mutex_;
   std::condition_variable wakeup_;
+  /// Serializes probe rounds: ProbeAllOnce is called from the prober
+  /// thread AND externally (gateway startup, tests), and the persistent
+  /// probe clients are not thread-safe.
+  std::mutex probe_mutex_;
 };
 
 }  // namespace serenade

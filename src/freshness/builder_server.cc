@@ -25,7 +25,8 @@ uint64_t ParseUint(const std::string& text, uint64_t fallback) {
 IndexBuilderServer::IndexBuilderServer(IndexBuilderConfig config)
     : config_(std::move(config)),
       builder_(config_.builder),
-      http_([this](const HttpRequest& request) { return Handle(request); }) {
+      http_([this](const HttpRequest& request) { return Handle(request); },
+            config_.http) {
   BuildRoutes();
   RegisterMetrics();
 }

@@ -45,6 +45,9 @@ struct IndexBuilderConfig {
   /// `<publish_dir>/delta-v<version>.srndelta` plus a kind=delta
   /// manifest sidecar.
   std::string publish_dir;
+  /// Reactor tuning for the builder's HTTP front door (connection cap,
+  /// idle/deadline timeouts, thread counts).
+  HttpServerOptions http;
 };
 
 class IndexBuilderServer {

@@ -5,16 +5,24 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serving/json.h"
 #include "testing/fault_injection.h"
 
@@ -106,15 +114,27 @@ void ParseQuery(const std::string& query,
   }
 }
 
-// Parses one request from `buffer` (which holds at least the full header
-// block). Returns bytes consumed, or 0 on malformed input. May read more
-// from fd for the body. A declared body over kMaxBodyBytes sets
-// `*oversized` (distinguishing 413 from a plain 400) without reading it.
-size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
-                    bool* keep_alive, bool* oversized) {
-  const size_t header_end = buffer->find("\r\n\r\n");
-  if (header_end == std::string::npos) return 0;
-  const std::string head = buffer->substr(0, header_end);
+// Outcome of parsing the header block at the front of a connection's
+// input buffer (no socket IO — the reactor owns all reads).
+enum class ParseHeadResult {
+  kNeedMore,   // no \r\n\r\n yet; keep reading
+  kMalformed,  // unparseable request line / bad version → 400
+  kOversized,  // declared Content-Length over kMaxBodyBytes → 413,
+               // decided from the headers alone (fail fast, the body is
+               // never buffered)
+  kOk,
+};
+
+// Parses one request head from `buffer`. On kOk fills everything except
+// the body and reports the header block size (`*header_bytes`, includes
+// the blank line) and the declared body length so the caller can wait
+// for exactly `*header_bytes + *body_length` buffered bytes.
+ParseHeadResult ParseRequestHead(const std::string& buffer,
+                                 HttpRequest* request, bool* keep_alive,
+                                 size_t* header_bytes, size_t* body_length) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos) return ParseHeadResult::kNeedMore;
+  const std::string head = buffer.substr(0, header_end);
 
   // Request line.
   const size_t line_end = head.find("\r\n");
@@ -122,11 +142,13 @@ size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
       line_end == std::string::npos ? head : head.substr(0, line_end);
   const size_t sp1 = request_line.find(' ');
   const size_t sp2 = request_line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) return 0;
+  if (sp1 == std::string::npos || sp2 == sp1) return ParseHeadResult::kMalformed;
   request->method = request_line.substr(0, sp1);
   std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
   const std::string version = request_line.substr(sp2 + 1);
-  if (version != "HTTP/1.1" && version != "HTTP/1.0") return 0;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return ParseHeadResult::kMalformed;
+  }
 
   const size_t question = target.find('?');
   if (question == std::string::npos) {
@@ -162,24 +184,15 @@ size_t ParseRequest(int fd, std::string* buffer, HttpRequest* request,
     if (value == "keep-alive") *keep_alive = true;
   }
 
-  // Body.
-  size_t body_length = 0;
+  *header_bytes = header_end + 4;
+  *body_length = 0;
   auto content_length = request->headers.find("content-length");
   if (content_length != request->headers.end()) {
-    body_length = static_cast<size_t>(std::strtoull(
-        content_length->second.c_str(), nullptr, 10));
-    if (body_length > kMaxBodyBytes) {
-      *oversized = true;
-      return 0;
-    }
+    *body_length = static_cast<size_t>(
+        std::strtoull(content_length->second.c_str(), nullptr, 10));
+    if (*body_length > kMaxBodyBytes) return ParseHeadResult::kOversized;
   }
-  const size_t total = header_end + 4 + body_length;
-  if (buffer->size() < total &&
-      ReadExact(fd, buffer, total) != ReadResult::kOk) {
-    return 0;
-  }
-  request->body = buffer->substr(header_end + 4, body_length);
-  return total;
+  return ParseHeadResult::kOk;
 }
 
 // Response headers the server owns; application-set duplicates (e.g. a
@@ -375,114 +388,734 @@ HttpResponse Router::Dispatch(const HttpRequest& request,
 }
 
 // --- server ------------------------------------------------------------------
+//
+// Epoll reactor (DESIGN.md §10). Each reactor thread owns an epoll
+// instance, an eventfd wakeup, a hashed timer wheel, and the connection
+// table for the fds it accepted; the listener is shared across reactors
+// via EPOLLEXCLUSIVE. Handlers run on a fixed worker pool and post their
+// responses back to the owning reactor as (fd, connection-id) validated
+// completions, so a connection closed (or recycled) mid-dispatch can
+// never receive another request's response.
 
-HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+namespace detail {
 
-HttpServer::~HttpServer() { Stop(); }
+// Timer wheel granularity: deadlines are rounded to kTickMs, which is
+// far below any meaningful idle/request timeout.
+constexpr uint64_t kTickMs = 20;
+constexpr size_t kWheelSlots = 512;
 
-Status HttpServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket() failed");
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+// epoll_event user-data tags for the two non-connection fds. Real
+// connections carry their Connection* — always a heap address, never 1/2.
+constexpr uint64_t kListenerTag = 1;
+constexpr uint64_t kWakeTag = 2;
 
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("bind() failed for port " + std::to_string(port));
+uint64_t SteadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SteadyUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Monotonic counters shared by every reactor. Owned by HttpServer via
+// shared_ptr so stats() keeps answering after Stop() tears the core down.
+struct ServerCounters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> idle_timeouts{0};
+  std::atomic<uint64_t> deadline_timeouts{0};
+  std::atomic<uint64_t> open{0};
+  std::atomic<uint64_t> loop_iterations{0};
+  std::atomic<uint64_t> requests{0};
+};
+
+enum class ConnState : uint8_t { kReadHeader, kReadBody, kDispatch, kWrite };
+
+// One nonblocking connection. Owned and mutated exclusively by its
+// reactor thread; workers only ever see the (fd, id) pair.
+struct Connection {
+  int fd = -1;
+  uint64_t id = 0;  // generation token validated on dispatch completion
+  ConnState state = ConnState::kReadHeader;
+  std::string in;   // unconsumed inbound bytes
+  std::string out;  // serialized response not yet written
+  size_t out_offset = 0;
+  bool close_after_write = false;
+  bool peer_eof = false;
+  uint32_t epoll_events = EPOLLIN;  // currently armed interest
+
+  HttpRequest request;  // request being assembled
+  bool keep_alive = false;
+  size_t header_bytes = 0;
+  size_t body_length = 0;
+  uint64_t request_start_us = 0;  // first byte of the current request
+
+  // Timer-wheel linkage (one pending deadline per connection).
+  uint64_t deadline_ms = 0;
+  bool deadline_is_idle = true;
+  bool in_wheel = false;
+  size_t wheel_slot = 0;
+  std::list<Connection*>::iterator wheel_it;
+};
+
+class ReactorCore;
+
+class Reactor {
+ public:
+  explicit Reactor(ReactorCore* core) : core_(core) {}
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  Status Init(bool shared_listener);
+  void Run();
+  void Wake();
+  void PostCompletion(uint64_t id, int fd, HttpResponse response);
+
+ private:
+  void HandleTicks(uint64_t now_ms);
+  void HandleAccept();
+  void Admit(int fd);
+  void Shed(int fd);
+  // The Handle*/Continue*/Finish* chain returns false when it closed the
+  // connection (the caller must not touch it again).
+  bool HandleReadable(Connection* c);
+  bool TryParse(Connection* c);
+  void Dispatch(Connection* c);
+  void ApplyCompletions();
+  bool QueueResponse(Connection* c, const HttpResponse& response,
+                     bool keep_alive);
+  bool ContinueWrite(Connection* c);
+  bool FinishResponse(Connection* c);
+  void StartRequestTimer(Connection* c);
+  void Schedule(Connection* c, uint64_t deadline_ms, bool idle);
+  void Unschedule(Connection* c);
+  void ExpireConnection(Connection* c);
+  void CloseConnection(Connection* c);
+  void UpdateInterest(Connection* c, uint32_t events);
+  void CloseIdleConnections();
+  void ForceCloseAll();
+
+  ReactorCore* core_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint64_t next_conn_id_ = 1;
+  uint64_t last_tick_ = 0;
+  uint64_t drain_deadline_ms_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::list<Connection*> wheel_[kWheelSlots];
+
+  std::mutex completions_mutex_;
+  struct Completion {
+    uint64_t id;
+    int fd;
+    HttpResponse response;
+  };
+  std::vector<Completion> completions_;
+};
+
+// Owns the listener, the worker pool, and the reactor threads. Built on
+// Start() and destroyed on Stop(), so a stopped server can be restarted.
+class ReactorCore {
+ public:
+  ReactorCore(const HttpHandler* handler, const HttpServerOptions& options,
+              ServerCounters* counters, MetricHistogram* loop_lag)
+      : handler_(handler),
+        options_(options),
+        counters_(counters),
+        loop_lag_(loop_lag) {}
+  ~ReactorCore() { Shutdown(); }
+
+  Status Start(uint16_t port);
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+  int listen_fd() const { return listen_fd_.load(std::memory_order_acquire); }
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  const HttpHandler* handler_;
+  const HttpServerOptions options_;
+  ServerCounters* counters_;
+  MetricHistogram* loop_lag_;
+  std::unique_ptr<ThreadPool> workers_;
+
+ private:
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<std::thread> threads_;
+};
+
+Reactor::~Reactor() {
+  ForceCloseAll();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status Reactor::Init(bool shared_listener) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Status::IoError("epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Status::IoError("eventfd() failed");
+  epoll_event wake{};
+  wake.events = EPOLLIN;
+  wake.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake) != 0) {
+    return Status::IoError("epoll_ctl(wake) failed");
   }
-  if (::listen(listen_fd_, 128) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("listen() failed");
+  epoll_event listener{};
+  // EPOLLEXCLUSIVE stops the thundering herd when several reactors share
+  // the listener; with one reactor it is pointless (and EPOLL_CTL_MOD on
+  // an exclusive fd is an error), so plain EPOLLIN suffices.
+  listener.events = EPOLLIN | (shared_listener ? EPOLLEXCLUSIVE : 0u);
+  listener.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, core_->listen_fd(), &listener) !=
+      0) {
+    return Status::IoError("epoll_ctl(listener) failed");
   }
-  socklen_t length = sizeof(address);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
-  port_ = ntohs(address.sin_port);
-
-  stopping_.store(false);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
-void HttpServer::Stop() {
-  if (listen_fd_ < 0) return;
-  stopping_.store(true);
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> threads;
+void Reactor::Wake() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::PostCompletion(uint64_t id, int fd, HttpResponse response) {
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads.swap(connection_threads_);
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(Completion{id, fd, std::move(response)});
   }
-  for (auto& thread : threads) {
-    if (thread.joinable()) thread.join();
+  Wake();
+}
+
+void Reactor::Run() {
+  std::vector<epoll_event> events(128);
+  while (true) {
+    const uint64_t now_ms = SteadyMs();
+    HandleTicks(now_ms);
+    ApplyCompletions();
+    if (core_->stopping()) {
+      if (drain_deadline_ms_ == 0) {
+        drain_deadline_ms_ = now_ms + core_->options_.drain_timeout_ms;
+        CloseIdleConnections();
+      }
+      if (conns_.empty() || now_ms >= drain_deadline_ms_) break;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               static_cast<int>(kTickMs));
+    const uint64_t batch_start_us = SteadyUs();
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& event = events[i];
+      if (event.data.u64 == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      if (event.data.u64 == kWakeTag) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      Connection* c = static_cast<Connection*>(event.data.ptr);
+      if (event.events & (EPOLLHUP | EPOLLERR)) {
+        // Both directions are gone; any buffered request could not be
+        // answered anyway.
+        CloseConnection(c);
+        continue;
+      }
+      bool alive = true;
+      if (event.events & EPOLLIN) alive = HandleReadable(c);
+      if (alive && (event.events & EPOLLOUT)) ContinueWrite(c);
+    }
+    ApplyCompletions();
+    core_->counters_->loop_iterations.fetch_add(1, std::memory_order_relaxed);
+    if (n > 0 && core_->loop_lag_ != nullptr) {
+      core_->loop_lag_->Record(SteadyUs() - batch_start_us);
+    }
+  }
+  ForceCloseAll();
+}
+
+void Reactor::HandleTicks(uint64_t now_ms) {
+  const uint64_t tick = now_ms / kTickMs;
+  if (last_tick_ == 0) {
+    last_tick_ = tick;
+    return;
+  }
+  if (tick <= last_tick_) return;
+  uint64_t steps = tick - last_tick_;
+  last_tick_ = tick;
+  // A gap longer than one rotation would revisit slots; one full sweep
+  // already inspects every pending deadline.
+  steps = std::min<uint64_t>(steps, kWheelSlots);
+  for (uint64_t i = 0; i < steps; ++i) {
+    auto& slot = wheel_[(tick - i) % kWheelSlots];
+    for (auto it = slot.begin(); it != slot.end();) {
+      Connection* c = *it;
+      if (c->deadline_ms <= now_ms) {
+        // A deadline further than one rotation out parks in its slot
+        // until a later visit (lazy re-check instead of a rounds field).
+        it = slot.erase(it);
+        c->in_wheel = false;
+        ExpireConnection(c);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+void Reactor::HandleAccept() {
+  while (true) {
+    const int listen_fd = core_->listen_fd();
+    if (listen_fd < 0) return;
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion: there is no fd to answer on, so the
+        // shed is silent; the backlog drains when capacity returns.
+        core_->counters_->shed.fetch_add(1, std::memory_order_relaxed);
+        LOG_WARNING << "accept failed: out of file descriptors";
+      }
+      return;  // EAGAIN, or the listener was closed by Stop()
+    }
+    SERENADE_FAULT_POINT(FaultSite::kHttpAcceptOverload, {
+      // Simulated fd pressure — shed exactly like the connection cap.
+      Shed(fd);
+      continue;
+    });
+    if (core_->counters_->open.load(std::memory_order_relaxed) >=
+            core_->options_.max_connections ||
+        core_->stopping()) {
+      Shed(fd);
       continue;
     }
-    const int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    // Bounded read timeout so connection threads exit on Stop().
-    timeval timeout{1, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    Admit(fd);
   }
 }
 
-void HttpServer::ConnectionLoop(int fd) {
-  std::string buffer;
-  while (!stopping_.load()) {
-    const ReadResult read = ReadUntil(fd, &buffer, "\r\n\r\n");
-    if (read == ReadResult::kTimeout) continue;  // idle keep-alive
-    if (read == ReadResult::kClosed) break;
-    HttpRequest request;
-    bool keep_alive = false;
-    bool oversized = false;
-    Stopwatch parse_watch;
-    const size_t consumed =
-        ParseRequest(fd, &buffer, &request, &keep_alive, &oversized);
-    request.parse_micros = parse_watch.ElapsedMicros();
-    if (consumed == 0) {
-      // The unread body makes the connection unusable either way; answer
-      // and close.
-      WriteAll(fd, SerializeResponse(
-                       oversized
-                           ? ApiError(413, "request body exceeds the " +
-                                               std::to_string(kMaxBodyBytes) +
-                                               "-byte limit")
-                           : ApiError(400, "malformed request"),
-                       false));
+void Reactor::Admit(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  auto owned = std::make_unique<Connection>();
+  Connection* c = owned.get();
+  c->fd = fd;
+  c->id = next_conn_id_++;
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.ptr = c;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    ::close(fd);
+    return;
+  }
+  conns_[fd] = std::move(owned);
+  core_->counters_->open.fetch_add(1, std::memory_order_relaxed);
+  core_->counters_->accepted.fetch_add(1, std::memory_order_relaxed);
+  if (core_->options_.idle_timeout_ms > 0) {
+    Schedule(c, SteadyMs() + core_->options_.idle_timeout_ms, /*idle=*/true);
+  }
+}
+
+void Reactor::Shed(int fd) {
+  core_->counters_->shed.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response = ApiError(503, "connection limit reached");
+  response.headers["Retry-After"] =
+      std::to_string(core_->options_.retry_after_seconds);
+  const std::string bytes = SerializeResponse(response, /*keep_alive=*/false);
+  // Best effort: the envelope is far below a fresh socket's send buffer,
+  // so a single send either takes it whole or the peer is already gone.
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::close(fd);
+}
+
+bool Reactor::HandleReadable(Connection* c) {
+  SERENADE_FAULT_POINT(FaultSite::kHttpServerStallRead, {
+    // Simulated reactor stall: skip this readiness round. Level-triggered
+    // epoll re-reports the buffered bytes on the next iteration.
+    return true;
+  });
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      if (c->state == ConnState::kReadHeader && c->request_start_us == 0) {
+        StartRequestTimer(c);
+      }
+      c->in.append(chunk, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;  // likely drained
+      continue;
+    }
+    if (n == 0) {
+      c->peer_eof = true;
       break;
     }
-    buffer.erase(0, consumed);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(c);
+    return false;
+  }
+  return TryParse(c);
+}
 
+bool Reactor::TryParse(Connection* c) {
+  if (c->state == ConnState::kReadHeader) {
+    const ParseHeadResult result = ParseRequestHead(
+        c->in, &c->request, &c->keep_alive, &c->header_bytes, &c->body_length);
+    switch (result) {
+      case ParseHeadResult::kNeedMore:
+        if (c->in.size() > kMaxHeaderBytes) {
+          return QueueResponse(c, ApiError(400, "malformed request"),
+                               /*keep_alive=*/false);
+        }
+        if (c->peer_eof) {
+          CloseConnection(c);
+          return false;
+        }
+        return true;
+      case ParseHeadResult::kMalformed:
+        return QueueResponse(c, ApiError(400, "malformed request"),
+                             /*keep_alive=*/false);
+      case ParseHeadResult::kOversized:
+        // Fail fast: the declared length alone condemns the request; the
+        // body is never buffered and the connection closes after the 413
+        // (it is unusable with the unread payload in flight).
+        return QueueResponse(
+            c,
+            ApiError(413, "request body exceeds the " +
+                              std::to_string(kMaxBodyBytes) + "-byte limit"),
+            /*keep_alive=*/false);
+      case ParseHeadResult::kOk:
+        c->state = ConnState::kReadBody;
+        break;
+    }
+  }
+  if (c->state == ConnState::kReadBody) {
+    const size_t total = c->header_bytes + c->body_length;
+    if (c->in.size() < total) {
+      if (c->peer_eof) {
+        CloseConnection(c);
+        return false;
+      }
+      return true;
+    }
+    c->request.body = c->in.substr(c->header_bytes, c->body_length);
+    c->in.erase(0, total);
+    Dispatch(c);
+  }
+  return true;
+}
+
+void Reactor::Dispatch(Connection* c) {
+  c->state = ConnState::kDispatch;
+  c->request.parse_micros = SteadyUs() - c->request_start_us;
+  // Drop read interest while the handler runs: level-triggered epoll
+  // would otherwise spin on buffered pipelined bytes. EPOLLHUP/ERR are
+  // still delivered on a zero mask, so a dying peer frees its slot.
+  UpdateInterest(c, 0);
+  if (core_->options_.request_deadline_ms == 0) Unschedule(c);
+  HttpRequest request = std::move(c->request);
+  c->request = HttpRequest{};
+  const uint64_t id = c->id;
+  const int fd = c->fd;
+  core_->workers_->Schedule([this, id, fd, request = std::move(request)] {
     HttpResponse response;
     try {
-      response = handler_(request);
+      response = (*core_->handler_)(request);
     } catch (const std::exception& e) {
       LOG_ERROR << "handler threw: " << e.what();
       response = HttpResponse::Error(500, "internal error");
     }
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteAll(fd, SerializeResponse(response, keep_alive))) break;
-    if (!keep_alive) break;
+    core_->counters_->requests.fetch_add(1, std::memory_order_relaxed);
+    PostCompletion(id, fd, std::move(response));
+  });
+}
+
+void Reactor::ApplyCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
   }
-  ::close(fd);
+  for (Completion& done : batch) {
+    auto it = conns_.find(done.fd);
+    if (it == conns_.end()) continue;
+    Connection* c = it->second.get();
+    // The id check rejects completions for a connection that was closed
+    // mid-dispatch and whose fd the kernel already recycled.
+    if (c->id != done.id || c->state != ConnState::kDispatch) continue;
+    QueueResponse(c, done.response, c->keep_alive);
+  }
+}
+
+bool Reactor::QueueResponse(Connection* c, const HttpResponse& response,
+                            bool keep_alive) {
+  c->out = SerializeResponse(response, keep_alive);
+  c->out_offset = 0;
+  c->close_after_write = !keep_alive;
+  c->state = ConnState::kWrite;
+  // A response in flight must not stall forever on a non-reading peer:
+  // bound the write with the idle timeout unless a request deadline is
+  // already ticking.
+  if (core_->options_.request_deadline_ms == 0 &&
+      core_->options_.idle_timeout_ms > 0) {
+    Schedule(c, SteadyMs() + core_->options_.idle_timeout_ms, /*idle=*/true);
+  }
+  return ContinueWrite(c);
+}
+
+bool Reactor::ContinueWrite(Connection* c) {
+  if (c->state != ConnState::kWrite) return true;
+  SERENADE_FAULT_POINT(FaultSite::kHttpServerCloseMidWrite, {
+    // Crash mid-response: flush a strict prefix, then slam the door.
+    const size_t remaining = c->out.size() - c->out_offset;
+    const size_t prefix =
+        remaining == 0 ? 0
+                       : static_cast<size_t>(serenade_fi->RandBelow(remaining));
+    if (prefix > 0) {
+      [[maybe_unused]] const ssize_t n =
+          ::send(c->fd, c->out.data() + c->out_offset, prefix, MSG_NOSIGNAL);
+    }
+    CloseConnection(c);
+    return false;
+  });
+  while (c->out_offset < c->out.size()) {
+    const ssize_t n = ::send(c->fd, c->out.data() + c->out_offset,
+                             c->out.size() - c->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: resume from out_offset on EPOLLOUT.
+      UpdateInterest(c, EPOLLOUT);
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(c);
+    return false;
+  }
+  return FinishResponse(c);
+}
+
+bool Reactor::FinishResponse(Connection* c) {
+  c->out.clear();
+  c->out.shrink_to_fit();  // a large response must not pin idle memory
+  c->out_offset = 0;
+  if (c->close_after_write || core_->stopping()) {
+    CloseConnection(c);
+    return false;
+  }
+  c->state = ConnState::kReadHeader;
+  c->request_start_us = 0;
+  UpdateInterest(c, EPOLLIN);
+  if (core_->options_.idle_timeout_ms > 0) {
+    Schedule(c, SteadyMs() + core_->options_.idle_timeout_ms, /*idle=*/true);
+  } else {
+    Unschedule(c);
+  }
+  if (!c->in.empty()) {
+    // Pipelined keep-alive: the next request (or part of it) is already
+    // buffered — parse it now instead of waiting for more bytes.
+    StartRequestTimer(c);
+    return TryParse(c);
+  }
+  if (c->peer_eof) {
+    CloseConnection(c);
+    return false;
+  }
+  return true;
+}
+
+void Reactor::StartRequestTimer(Connection* c) {
+  c->request_start_us = SteadyUs();
+  if (core_->options_.request_deadline_ms > 0) {
+    Schedule(c, SteadyMs() + core_->options_.request_deadline_ms,
+             /*idle=*/false);
+  }
+  // With no request deadline the idle deadline set on admission (or the
+  // previous FinishResponse) deliberately keeps ticking un-refreshed, so
+  // a slowloris peer trickling header bytes still expires.
+}
+
+void Reactor::Schedule(Connection* c, uint64_t deadline_ms, bool idle) {
+  Unschedule(c);
+  c->deadline_ms = deadline_ms;
+  c->deadline_is_idle = idle;
+  // Round UP to the next tick boundary: the sweep visits a slot at
+  // now >= tick * kTickMs, so rounding down would visit while the
+  // deadline is still (sub-tick) in the future and re-park the entry for
+  // a full wheel rotation.
+  const size_t slot =
+      static_cast<size_t>(deadline_ms / kTickMs + 1) % kWheelSlots;
+  wheel_[slot].push_front(c);
+  c->wheel_slot = slot;
+  c->wheel_it = wheel_[slot].begin();
+  c->in_wheel = true;
+}
+
+void Reactor::Unschedule(Connection* c) {
+  if (!c->in_wheel) return;
+  wheel_[c->wheel_slot].erase(c->wheel_it);
+  c->in_wheel = false;
+}
+
+void Reactor::ExpireConnection(Connection* c) {
+  auto& counter = c->deadline_is_idle ? core_->counters_->idle_timeouts
+                                      : core_->counters_->deadline_timeouts;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  CloseConnection(c);
+}
+
+void Reactor::CloseConnection(Connection* c) {
+  Unschedule(c);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  // Gauge drops before the peer can observe the FIN, so "saw the close"
+  // implies "no longer counted" for external observers.
+  core_->counters_->open.fetch_sub(1, std::memory_order_relaxed);
+  ::close(c->fd);
+  conns_.erase(c->fd);  // frees c
+}
+
+void Reactor::UpdateInterest(Connection* c, uint32_t events) {
+  if (c->epoll_events == events) return;
+  epoll_event event{};
+  event.events = events;
+  event.data.ptr = c;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &event);
+  c->epoll_events = events;
+}
+
+void Reactor::CloseIdleConnections() {
+  std::vector<Connection*> idle;
+  for (auto& [fd, conn] : conns_) {
+    if (conn->state == ConnState::kReadHeader && conn->request_start_us == 0) {
+      idle.push_back(conn.get());
+    }
+  }
+  for (Connection* c : idle) CloseConnection(c);
+}
+
+void Reactor::ForceCloseAll() {
+  while (!conns_.empty()) CloseConnection(conns_.begin()->second.get());
+}
+
+Status ReactorCore::Start(uint16_t port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("bind() failed for port " + std::to_string(port));
+  }
+  if (::listen(fd, 512) != 0) {
+    ::close(fd);
+    return Status::IoError("listen() failed");
+  }
+  socklen_t length = sizeof(address);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+
+  size_t worker_count = options_.worker_threads;
+  if (worker_count == 0) {
+    worker_count = std::max<size_t>(4, std::thread::hardware_concurrency());
+  }
+  workers_ = std::make_unique<ThreadPool>(worker_count);
+
+  const size_t reactor_count = std::max<size_t>(1, options_.reactor_threads);
+  for (size_t i = 0; i < reactor_count; ++i) {
+    auto reactor = std::make_unique<Reactor>(this);
+    const Status status = reactor->Init(reactor_count > 1);
+    if (!status.ok()) {
+      Shutdown();
+      return status;
+    }
+    reactors_.push_back(std::move(reactor));
+  }
+  for (auto& reactor : reactors_) {
+    threads_.emplace_back([r = reactor.get()] { r->Run(); });
+  }
+  return Status::Ok();
+}
+
+void ReactorCore::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  for (auto& reactor : reactors_) reactor->Wake();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  // The pool drains queued handler tasks; their completions post into
+  // still-live reactor objects (harmless — the loops have exited) and
+  // must happen before the reactors and their eventfds are destroyed.
+  workers_.reset();
+  reactors_.clear();
+}
+
+}  // namespace detail
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)),
+      options_(options),
+      counters_(std::make_shared<detail::ServerCounters>()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  if (core_ != nullptr) return Status::InvalidArgument("server already started");
+  auto core = std::make_unique<detail::ReactorCore>(&handler_, options_,
+                                                    counters_.get(), loop_lag_);
+  SERENADE_RETURN_IF_ERROR(core->Start(port));
+  port_ = core->port();
+  core_ = std::move(core);
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (core_ == nullptr) return;
+  core_->Shutdown();
+  core_.reset();
+}
+
+uint64_t HttpServer::requests_served() const {
+  return counters_->requests.load(std::memory_order_relaxed);
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.accepted = counters_->accepted.load(std::memory_order_relaxed);
+  stats.shed = counters_->shed.load(std::memory_order_relaxed);
+  stats.idle_timeouts =
+      counters_->idle_timeouts.load(std::memory_order_relaxed);
+  stats.deadline_timeouts =
+      counters_->deadline_timeouts.load(std::memory_order_relaxed);
+  stats.open_connections = counters_->open.load(std::memory_order_relaxed);
+  stats.loop_iterations =
+      counters_->loop_iterations.load(std::memory_order_relaxed);
+  stats.requests_served = counters_->requests.load(std::memory_order_relaxed);
+  return stats;
 }
 
 // --- client ------------------------------------------------------------------

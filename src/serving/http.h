@@ -1,14 +1,16 @@
 // Minimal HTTP/1.1 server and client over POSIX sockets — the stand-in
 // for the Actix web framework the paper's Rust implementation uses. The
-// server supports keep-alive connections, GET/POST with Content-Length
-// bodies, query-string parsing, and a pluggable handler; the client
-// supports keep-alive request pipelining for the load generator.
+// server is an epoll reactor with a fixed worker pool: connection count
+// is decoupled from thread count, so thousands of idle keep-alive
+// connections cost file descriptors, not stacks. The client supports
+// keep-alive request pipelining for the load generator.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +19,8 @@
 #include "obs/trace.h"
 
 namespace serenade {
+
+class MetricHistogram;
 
 /// Largest accepted request body; beyond it the server replies 413 with
 /// the API error envelope and closes the connection.
@@ -61,7 +65,8 @@ struct HttpResponse {
   static HttpResponse Error(int status, const std::string& message);
 };
 
-/// Request handler; invoked concurrently from connection threads.
+/// Request handler; invoked concurrently from worker-pool threads (never
+/// on the event loop).
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 /// Builds the unified API error envelope shared by both serving tiers:
@@ -127,12 +132,61 @@ class Router {
   mutable std::atomic<uint64_t> deprecated_requests_{0};
 };
 
-/// Blocking-IO HTTP server: one acceptor thread plus one thread per live
-/// connection (bounded by max_connections). Suitable for the benchmark
-/// workloads in this repository (tens of persistent connections).
+/// Tuning for the reactor server. The defaults suit the in-repo tests
+/// and benchmarks; the serving tools expose each knob as a flag.
+struct HttpServerOptions {
+  /// Open-connection ceiling. At the cap new connections are accepted,
+  /// answered with a 503 envelope carrying `Retry-After`, and closed
+  /// (graceful shed — the client sees a parseable response, not a RST).
+  size_t max_connections = 10000;
+  /// A connection with no in-flight request that stays silent this long
+  /// is closed. Deliberately NOT refreshed per byte once a request has
+  /// started, so slowloris clients trickling one header byte at a time
+  /// still hit it. 0 disables.
+  uint64_t idle_timeout_ms = 60000;
+  /// Wall-clock budget for one request, measured from its first byte
+  /// through body read, dispatch, and response write; on expiry the
+  /// connection is closed (the response can no longer be trusted to
+  /// arrive in time). 0 disables.
+  uint64_t request_deadline_ms = 0;
+  /// Event-loop threads. Each runs its own epoll instance and timer
+  /// wheel; the listener is shared via EPOLLEXCLUSIVE.
+  size_t reactor_threads = 1;
+  /// Handler threads (Router dispatch runs here, never on the event
+  /// loop). 0 = max(4, hardware_concurrency()).
+  size_t worker_threads = 0;
+  /// Retry-After seconds stamped on connection-cap 503 sheds.
+  int retry_after_seconds = 1;
+  /// Stop() grace period for in-flight requests: idle connections close
+  /// immediately, busy ones get this long to finish their response.
+  uint64_t drain_timeout_ms = 5000;
+};
+
+/// Monotonic server counters (a consistent-enough snapshot; each field
+/// is individually atomic).
+struct HttpServerStats {
+  uint64_t accepted = 0;            ///< connections admitted
+  uint64_t shed = 0;                ///< connections refused with 503 (or EMFILE)
+  uint64_t idle_timeouts = 0;       ///< closed by the idle timer
+  uint64_t deadline_timeouts = 0;   ///< closed by the request deadline
+  uint64_t open_connections = 0;    ///< currently open (gauge)
+  uint64_t loop_iterations = 0;     ///< reactor loop wakeups
+  uint64_t requests_served = 0;     ///< handler invocations completed
+};
+
+namespace detail {
+class ReactorCore;
+struct ServerCounters;
+}  // namespace detail
+
+/// Event-driven HTTP server: N reactor threads multiplex nonblocking
+/// connections through per-connection state machines (read-headers →
+/// read-body → dispatch → write-response, with partial-write resume and
+/// pipelined keep-alive), handlers run on a fixed worker pool, and a
+/// hashed timer wheel enforces idle/deadline timeouts. See DESIGN.md §10.
 class HttpServer {
  public:
-  explicit HttpServer(HttpHandler handler);
+  explicit HttpServer(HttpHandler handler, HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -141,30 +195,37 @@ class HttpServer {
   /// Binds to 127.0.0.1:port (port 0 = ephemeral) and starts serving.
   Status Start(uint16_t port = 0);
 
-  /// Stops accepting, closes the listener, and joins connection threads.
+  /// Graceful shutdown: stops accepting, closes idle connections, drains
+  /// in-flight requests (bounded by drain_timeout_ms), joins the reactor
+  /// and worker threads. Idempotent; Start() may be called again after.
   void Stop();
 
   /// The bound port (valid after Start()).
   uint16_t port() const { return port_; }
 
-  uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
+  uint64_t requests_served() const;
+
+  /// Snapshot of the reactor counters (survives Stop()).
+  HttpServerStats stats() const;
+
+  const HttpServerOptions& options() const { return options_; }
+
+  /// Optional event-loop lag histogram (microseconds spent processing one
+  /// epoll batch). Call before Start(); the histogram must outlive the
+  /// server.
+  void set_loop_lag_histogram(MetricHistogram* histogram) {
+    loop_lag_ = histogram;
   }
 
  private:
-  void AcceptLoop();
-  void ConnectionLoop(int fd);
-
   HttpHandler handler_;
-  // Atomic: Stop() invalidates the fd concurrently with AcceptLoop()'s
-  // accept() on it.
-  std::atomic<int> listen_fd_{-1};
+  HttpServerOptions options_;
   uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
-  std::atomic<uint64_t> requests_served_{0};
+  MetricHistogram* loop_lag_ = nullptr;
+  // Counters live outside the core so stats()/requests_served() keep
+  // answering after Stop() tears the reactor down.
+  std::shared_ptr<detail::ServerCounters> counters_;
+  std::unique_ptr<detail::ReactorCore> core_;
 };
 
 /// Deadlines for HttpClient operations; 0 means "wait forever" (the

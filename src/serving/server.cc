@@ -183,6 +183,42 @@ void SerenadeServer::RegisterMetrics() {
         return {{"", slow_logger_.slow_requests_seen()}};
       });
 
+  // Reactor counters: http_ is rebuilt per Start(), so the callbacks read
+  // through the pointer and answer 0 before the first Start().
+  registry_.AddCallback(
+      "serenade_open_connections", "currently open HTTP connections",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().open_connections : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_accepted_connections_total", "HTTP connections admitted",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().accepted : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_shed_connections_total",
+      "connections refused with 503 + Retry-After at the connection cap",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().shed : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_reactor_loop_iterations_total", "event-loop wakeups",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", http_ ? http_->stats().loop_iterations : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_connection_timeouts_total",
+      "connections closed by the timer wheel", MetricType::kCounter, "kind",
+      [this]() -> std::vector<MetricSample> {
+        const HttpServerStats stats =
+            http_ ? http_->stats() : HttpServerStats{};
+        return {{"idle", stats.idle_timeouts},
+                {"deadline", stats.deadline_timeouts}};
+      });
+  reactor_loop_lag_micros_ = &registry_.AddHistogram(
+      "serenade_reactor_loop_lag_microseconds",
+      "time the event loop spent processing one epoll batch");
+
   recommend_latency_micros_ = &registry_.AddHistogram(
       "serenade_recommend_latency_microseconds",
       "/recommend handling latency");
@@ -239,8 +275,13 @@ void SerenadeServer::BuildRoutes() {
 
 Status SerenadeServer::Start() {
   SERENADE_RETURN_IF_ERROR(executor_->Start());
+  HttpServerOptions http_options = config_.http;
+  http_options.retry_after_seconds =
+      static_cast<int>(config_.retry_after_seconds);
   http_ = std::make_unique<HttpServer>(
-      [this](const HttpRequest& request) { return Handle(request); });
+      [this](const HttpRequest& request) { return Handle(request); },
+      http_options);
+  http_->set_loop_lag_histogram(reactor_loop_lag_micros_);
   SERENADE_RETURN_IF_ERROR(http_->Start(config_.port));
   if (config_.janitor_interval_ms > 0) {
     stopping_.store(false);
@@ -533,6 +574,10 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()))
       .Key("shed_responses")
       .Value(shed_responses_.load(std::memory_order_relaxed))
+      .Key("open_connections")
+      .Value(http_ ? http_->stats().open_connections : 0)
+      .Key("shed_connections")
+      .Value(http_ ? http_->stats().shed : 0)
       .Key("index_sessions")
       .Value(static_cast<uint64_t>(snapshot->index().num_sessions()))
       .Key("index_items")

@@ -62,6 +62,10 @@ struct ServerConfig {
   TraceConfig trace;
   /// Retry-After stamped on every 429 (load-shed) response, seconds.
   uint64_t retry_after_seconds = 1;
+  /// Reactor tuning (connection cap, idle/deadline timeouts, thread
+  /// counts); the 503 connection-shed Retry-After mirrors
+  /// retry_after_seconds.
+  HttpServerOptions http;
 };
 
 /// One serving machine (a "Serenade pod" in Figure 1).
@@ -79,6 +83,10 @@ class SerenadeServer {
   BatchExecutor& executor() { return *executor_; }
   uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
+  }
+  /// Reactor counters of the pod's front door (zeros before Start()).
+  HttpServerStats http_stats() const {
+    return http_ ? http_->stats() : HttpServerStats{};
   }
 
   /// The pod's metric registry (handed to tests and future collectors).
@@ -130,6 +138,7 @@ class SerenadeServer {
   // Shared metrics substrate: /metrics is rendered from this registry.
   MetricsRegistry registry_;
   MetricHistogram* recommend_latency_micros_ = nullptr;
+  MetricHistogram* reactor_loop_lag_micros_ = nullptr;
   MetricHistogram* stage_micros_[kNumTraceStages] = {};
   /// Click->servable freshness latency, recorded when an applied delta
   /// carries observe timestamps for its newly sealed sessions.

@@ -38,6 +38,12 @@ const char* FaultSiteName(FaultSite site) {
       return "delta_lineage_mismatch";
     case FaultSite::kDeltaPublishCrash:
       return "delta_publish_crash";
+    case FaultSite::kHttpAcceptOverload:
+      return "http_accept_overload";
+    case FaultSite::kHttpServerStallRead:
+      return "http_server_stall_read";
+    case FaultSite::kHttpServerCloseMidWrite:
+      return "http_server_close_mid_write";
     case FaultSite::kNumSites:
       break;
   }

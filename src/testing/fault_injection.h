@@ -26,6 +26,9 @@
 //   kDeltaTruncate      DeltaFetcher::PollOnce   delta bytes truncated in flight
 //   kDeltaLineageMismatch  IndexBuilderServer::HandleDeltaLatest  wrong base version served
 //   kDeltaPublishCrash  DeltaBuilder publish     builder dies mid-publish (torn file)
+//   kHttpAcceptOverload      Reactor::HandleAccept   admission shed (503) as if at the cap
+//   kHttpServerStallRead     Reactor::HandleReadable readable socket left undrained one pass
+//   kHttpServerCloseMidWrite Reactor::ContinueWrite  response cut short, connection closed
 #pragma once
 
 #include <atomic>
@@ -51,6 +54,9 @@ enum class FaultSite : uint8_t {
   kDeltaTruncate,
   kDeltaLineageMismatch,
   kDeltaPublishCrash,
+  kHttpAcceptOverload,
+  kHttpServerStallRead,
+  kHttpServerCloseMidWrite,
   kNumSites,
 };
 

@@ -449,6 +449,9 @@ TEST(HttpServerTest, OversizedBodyGets413Envelope) {
   EXPECT_NE(response.find("\"code\":\"payload_too_large\""),
             std::string::npos)
       << response;
+  // Fail-fast rejection poisons the framing (the body is never drained),
+  // so the server must refuse to keep the connection alive.
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
   server.Stop();
 }
 

@@ -12,6 +12,9 @@
 //       [--probe-interval 250] [--no-fallback] [--max-batch-items 128]
 //       [--items 5000] [--sessions 20000]
 //       [--slow-request-us 0] [--slow-sample-every 1]
+//       [--max-connections 10000] [--idle-timeout-ms 60000]
+//       [--request-deadline-ms 0] [--reactor-threads 1]
+//       [--worker-threads 0]
 //
 // Serves the versioned /v1 API (see API.md): GET/POST /v1/recommend
 // (forwarded by session_id), POST /v1/recommend:batch (scatter-gathered
@@ -132,6 +135,14 @@ int main(int argc, char** argv) {
   config.max_batch_items =
       std::max<uint64_t>(1, flags.GetInt("max-batch-items", 128));
   config.trace = trace_config;
+  // Reactor front-door tuning (DESIGN.md §10).
+  config.http.max_connections =
+      std::max<uint64_t>(1, flags.GetInt("max-connections", 10000));
+  config.http.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 60000);
+  config.http.request_deadline_ms = flags.GetInt("request-deadline-ms", 0);
+  config.http.reactor_threads =
+      std::max<uint64_t>(1, flags.GetInt("reactor-threads", 1));
+  config.http.worker_threads = flags.GetInt("worker-threads", 0);
 
   std::unique_ptr<Recommender> fallback;
   if (!flags.GetBool("no-fallback", false)) {

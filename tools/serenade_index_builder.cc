@@ -8,6 +8,9 @@
 //       [--seal-idle-ms 30000] [--session-ttl-ms 0]
 //       [--min-session-length 2] [--compact-interval-ms 1000]
 //       [--publish-dir DIR]
+//       [--max-connections 10000] [--idle-timeout-ms 60000]
+//       [--request-deadline-ms 0] [--reactor-threads 1]
+//       [--worker-threads 0]
 //
 // --base-version / --base-crc32 / --base-max-timestamp name the full
 // snapshot the deltas layer over (take them from the
@@ -21,6 +24,7 @@
 //   GET  /v1/delta/latest  newest cumulative delta (?after=V, 204 = none)
 //   GET  /v1/healthz /v1/stats /v1/metrics
 // Runs until SIGINT/SIGTERM.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -52,6 +56,14 @@ int main(int argc, char** argv) {
       flags.GetInt("min-session-length", 2);
   config.compact_interval_ms = flags.GetInt("compact-interval-ms", 1000);
   config.publish_dir = flags.GetString("publish-dir");
+  // Reactor front-door tuning (DESIGN.md §10).
+  config.http.max_connections =
+      std::max<uint64_t>(1, flags.GetInt("max-connections", 10000));
+  config.http.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 60000);
+  config.http.request_deadline_ms = flags.GetInt("request-deadline-ms", 0);
+  config.http.reactor_threads =
+      std::max<uint64_t>(1, flags.GetInt("reactor-threads", 1));
+  config.http.worker_threads = flags.GetInt("worker-threads", 0);
 
   IndexBuilderServer server(config);
   if (Status status = server.Start(); !status.ok()) {

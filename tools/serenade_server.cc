@@ -6,6 +6,9 @@
 //       [--batch-max-size 1] [--batch-max-delay-us 0] [--batch-workers 2]
 //       [--max-batch-items 128]
 //       [--builder-port 0] [--delta-poll-ms 1000]
+//       [--max-connections 10000] [--idle-timeout-ms 60000]
+//       [--request-deadline-ms 0] [--reactor-threads 1]
+//       [--worker-threads 0]
 //
 // --builder-port joins the streaming freshness pipeline (DESIGN.md §9):
 // accepted clicks stream to the serenade_index_builder at that port, and
@@ -116,6 +119,15 @@ int main(int argc, char** argv) {
       std::max<uint64_t>(1, flags.GetInt("batch-workers", 2));
   server_config.max_batch_items =
       std::max<uint64_t>(1, flags.GetInt("max-batch-items", 128));
+  // Reactor front-door tuning (DESIGN.md §10).
+  server_config.http.max_connections =
+      std::max<uint64_t>(1, flags.GetInt("max-connections", 10000));
+  server_config.http.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 60000);
+  server_config.http.request_deadline_ms =
+      flags.GetInt("request-deadline-ms", 0);
+  server_config.http.reactor_threads =
+      std::max<uint64_t>(1, flags.GetInt("reactor-threads", 1));
+  server_config.http.worker_threads = flags.GetInt("worker-threads", 0);
   SerenadeServer server(std::move(service).value(), server_config);
 
   // Optional freshness-pipeline plumbing: tap accepted clicks out to the
