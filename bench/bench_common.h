@@ -44,9 +44,66 @@ inline std::string JsonPathFromEnv() {
   return env == nullptr ? "" : env;
 }
 
+// --- provenance --------------------------------------------------------------
+// Every bench JSON is self-describing: the regression gate refuses to
+// compare a Debug run against a Release baseline, and an uploaded
+// artifact names the commit and CPU that produced it.
+
+/// CMake build type compiled into the binary (bench/CMakeLists.txt).
+inline const char* BuildType() {
+#if defined(SERENADE_BUILD_TYPE)
+  return SERENADE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Commit under test: SERENADE_GIT_SHA (local override) or GITHUB_SHA
+/// (Actions); "unknown" outside CI.
+inline std::string GitSha() {
+  for (const char* var : {"SERENADE_GIT_SHA", "GITHUB_SHA"}) {
+    if (const char* env = std::getenv(var)) {
+      if (env[0] != '\0') return env;
+    }
+  }
+  return "unknown";
+}
+
+/// Vector ISA levels this CPU offers ("+"-joined), independent of what
+/// the build compiled in.
+inline std::string CpuFeatures() {
+  std::string features;
+  const auto add = [&features](const char* name, bool supported) {
+    if (!supported) return;
+    if (!features.empty()) features += "+";
+    features += name;
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  add("sse4.2", __builtin_cpu_supports("sse4.2"));
+  add("avx", __builtin_cpu_supports("avx"));
+  add("avx2", __builtin_cpu_supports("avx2"));
+#elif defined(__aarch64__)
+  add("neon", true);
+#endif
+  return features.empty() ? "baseline" : features;
+}
+
+/// Whether the tree compiled the vector kernels (-DSERENADE_SIMD).
+inline const char* SimdBuild() {
+#if defined(SERENADE_SIMD_ENABLED)
+  return "on";
+#else
+  return "off";
+#endif
+}
+
 /// Collects flat name/value metrics and writes them as one JSON object:
-///   {"benchmark":"index_swap","metrics":{"steady_p99_us":123.0,...}}
-/// Tiny on purpose — CI plots and regression checks only need key/value.
+///   {"benchmark":"index_swap",
+///    "meta":{"git_sha":"...","build_type":"Release",
+///            "cpu_features":"sse4.2+avx+avx2","simd_build":"on"},
+///    "metrics":{"steady_p99_us":123.0,...}}
+/// Tiny on purpose — CI plots and regression checks only need key/value;
+/// the meta block is provenance, never compared numerically.
 class JsonResultWriter {
  public:
   explicit JsonResultWriter(std::string benchmark_name)
@@ -65,8 +122,12 @@ class JsonResultWriter {
       std::perror(("bench json: " + path).c_str());
       return false;
     }
-    std::fprintf(file, "{\"benchmark\":\"%s\",\"metrics\":{",
-                 benchmark_name_.c_str());
+    std::fprintf(file,
+                 "{\"benchmark\":\"%s\",\"meta\":{\"git_sha\":\"%s\","
+                 "\"build_type\":\"%s\",\"cpu_features\":\"%s\","
+                 "\"simd_build\":\"%s\"},\"metrics\":{",
+                 benchmark_name_.c_str(), GitSha().c_str(), BuildType(),
+                 CpuFeatures().c_str(), SimdBuild());
     for (size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(file, "%s\"%s\":%.6g", i == 0 ? "" : ",",
                    metrics_[i].first.c_str(), metrics_[i].second);

@@ -49,6 +49,27 @@ class DaryHeap {
     SiftUp(elements_.size() - 1);
   }
 
+  /// Appends an element WITHOUT restoring the heap property. Only valid
+  /// as part of a bulk build: after a run of PushUnordered calls the heap
+  /// is unusable until Heapify(). VMIS-kNN uses this for the first
+  /// posting list of a query, where every candidate is known to be
+  /// admitted — one Floyd heapify beats n sift-ups.
+  void PushUnordered(T value) { elements_.push_back(std::move(value)); }
+
+  /// Adopts `values` as the backing array WITHOUT restoring the heap
+  /// property — the bulk-build counterpart of PushUnordered for callers
+  /// that accumulated elements in their own vector. Call Heapify() next.
+  void Assign(std::vector<T> values) { elements_ = std::move(values); }
+
+  /// Restores the heap property over the whole array (Floyd's bottom-up
+  /// construction, O(n)). Pairs with PushUnordered.
+  void Heapify() {
+    if (elements_.size() < 2) return;
+    for (size_t index = (elements_.size() - 2) / Arity + 1; index-- > 0;) {
+      SiftDown(index);
+    }
+  }
+
   /// Removes and returns the root in O(d log_d n).
   T Pop() {
     assert(!elements_.empty());

@@ -44,6 +44,15 @@ class CompressedSessionIndex {
   std::span<const SessionId> SessionsForItem(
       ItemId item, std::vector<SessionId>* scratch) const;
 
+  /// Fused query path (DESIGN.md §11): one decode pass over the varint
+  /// arena produces BOTH the session ids and their timestamps, so the
+  /// intersection loop never re-touches the timestamp table per
+  /// candidate. Results live in `scratch` until the next call.
+  PostingsRef PostingsForItem(ItemId item, PostingScratch* scratch) const;
+
+  /// Dense per-item IDF array for the vectorized scoring kernel.
+  const float* IdfData() const { return item_idf_.data(); }
+
   /// Decodes the distinct-item list of `session` into `scratch`.
   std::span<const ItemId> ItemsForSession(SessionId session,
                                           std::vector<ItemId>* scratch) const;

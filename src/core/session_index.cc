@@ -81,12 +81,21 @@ SessionIndex SessionIndex::Build(const Dataset& train,
       }
     }
   }
+  index.DerivePostingTimestamps();
   return index;
+}
+
+void SessionIndex::DerivePostingTimestamps() {
+  posting_timestamps_.resize(session_lists_.size());
+  for (size_t j = 0; j < session_lists_.size(); ++j) {
+    posting_timestamps_[j] = session_timestamps_[session_lists_[j]];
+  }
 }
 
 size_t SessionIndex::MemoryBytes() const {
   return item_offsets_.size() * sizeof(uint64_t) +
          session_lists_.size() * sizeof(SessionId) +
+         posting_timestamps_.size() * sizeof(Timestamp) +
          session_timestamps_.size() * sizeof(Timestamp) +
          session_offsets_.size() * sizeof(uint64_t) +
          session_items_.size() * sizeof(ItemId) +
@@ -105,6 +114,7 @@ SessionIndex SessionIndex::FromRaw(Raw raw) {
   index.session_items_ = std::move(raw.session_items);
   index.item_idf_ = std::move(raw.item_idf);
   index.item_frequencies_ = std::move(raw.item_frequencies);
+  index.DerivePostingTimestamps();
   return index;
 }
 

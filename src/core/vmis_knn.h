@@ -13,16 +13,30 @@
 //   double    Idf(ItemId) const;
 //   size_t    max_sessions_per_item() const;
 //   size_t    num_items() const;
+// and may additionally provide the SoA fast-path concept (DESIGN.md §11)
+// — each detected with `requires` and used when present:
+//   PostingsRef PostingsForItem(ItemId, PostingScratch*) const;  // fused ids+timestamps
+//   const float* IdfData() const;        // dense idf -> vectorized scoring
+//   void PrefetchPostings(ItemId) const; // issued one query item ahead
+//
+// The hot loops dispatch to the SIMD kernels in core/knn_kernels.h;
+// every kernel is bit-identical to its scalar reference, so results are
+// independent of the active SIMD level (the differential oracle checks
+// this, see testing/differential.h).
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/dary_heap.h"
 #include "common/types.h"
+#include "core/knn_kernels.h"
 #include "core/recommender.h"
 #include "core/session_index.h"
 #include "core/weighting.h"
@@ -74,20 +88,6 @@ KnnConfig NoOptConfig(KnnConfig config);
 
 namespace internal {
 
-// Candidate entry of the recency heap b_t: ordered by timestamp (ties by
-// session id, making recency a total order) so the root is the *oldest*
-// candidate — the eviction victim.
-struct RecencyEntry {
-  Timestamp timestamp;
-  SessionId session;
-};
-struct OlderFirst {
-  bool operator()(const RecencyEntry& a, const RecencyEntry& b) const {
-    return a.timestamp < b.timestamp ||
-           (a.timestamp == b.timestamp && a.session < b.session);
-  }
-};
-
 // Ordering for the bounded top-k neighbour heap: a neighbour is "better"
 // when its score is higher, ties broken by recency (Algorithm 2, line 38),
 // then session id (total order for deterministic results).
@@ -106,6 +106,72 @@ struct ScoredItemLess {
     return a.score < b.score || (a.score == b.score && a.item > b.item);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Packed-key orderings for the VMIS hot heaps (DESIGN.md §11). The
+// multi-field comparators above are branchy and dominate the sift-down
+// and final-sort costs; packing each tuple into one unsigned integer
+// turns every comparison into a single machine compare while keeping the
+// EXACT same total order. Score bits may stand in for score values
+// because every achievable score is a finite non-negative float (sums
+// and products of positive decay weights and non-negative idf factors —
+// never -0.0, never NaN), and IEEE bit patterns of such floats order
+// identically to their values; ScoreKeyBits still applies the general
+// monotone sign-flip embedding for defence in depth.
+// ---------------------------------------------------------------------------
+
+/// Monotone embedding of a (non-NaN) float into unsigned 32-bit order.
+inline uint32_t ScoreKeyBits(float score) {
+  uint32_t bits;
+  std::memcpy(&bits, &score, sizeof(bits));
+  return bits ^
+         (static_cast<uint32_t>(static_cast<int32_t>(bits) >> 31) |
+          0x80000000u);
+}
+
+inline float ScoreFromKeyBits(uint32_t bits) {
+  bits ^= (bits & 0x80000000u) ? 0x80000000u : 0xffffffffu;
+  float score;
+  std::memcpy(&score, &bits, sizeof(score));
+  return score;
+}
+
+/// Recency key of the candidate heap b_t: (timestamp << 32) | session.
+/// std::less = OlderFirst — the root is the oldest candidate, ties by
+/// session id (a total order, ids ascend with end time).
+using RecencyKey = unsigned __int128;
+inline RecencyKey MakeRecencyKey(Timestamp timestamp, SessionId session) {
+  return (static_cast<RecencyKey>(timestamp) << 32) | session;
+}
+inline SessionId RecencyKeySession(RecencyKey key) {
+  return static_cast<SessionId>(static_cast<uint32_t>(key));
+}
+
+/// Neighbour key: (score bits << 96) | (timestamp << 32) | session.
+/// std::less = NeighborLess.
+using NeighborKey = unsigned __int128;
+inline NeighborKey MakeNeighborKey(float score, Timestamp timestamp,
+                                   SessionId session) {
+  return (static_cast<NeighborKey>(ScoreKeyBits(score)) << 96) |
+         (static_cast<NeighborKey>(timestamp) << 32) | session;
+}
+inline Neighbor NeighborFromKey(NeighborKey key) {
+  return Neighbor{static_cast<SessionId>(static_cast<uint32_t>(key)),
+                  ScoreFromKeyBits(static_cast<uint32_t>(key >> 96)),
+                  static_cast<Timestamp>(key >> 32)};
+}
+
+/// Item key: (score bits << 32) | ~item. std::less = ScoredItemLess
+/// (score ties are won by the SMALLER item id, hence the complement).
+using ItemKey = uint64_t;
+inline ItemKey MakeItemKey(float score, ItemId item) {
+  return (static_cast<ItemKey>(ScoreKeyBits(score)) << 32) |
+         static_cast<uint32_t>(~item);
+}
+inline ScoredItem ScoredItemFromKey(ItemKey key) {
+  return ScoredItem{~static_cast<ItemId>(static_cast<uint32_t>(key)),
+                    ScoreFromKeyBits(static_cast<uint32_t>(key >> 32))};
+}
 
 }  // namespace internal
 
@@ -181,8 +247,8 @@ class VmisKnnT : public Recommender {
     const size_t len = truncated_.size();
 
     // The scoring pass touches every item of every neighbour session —
-    // the hottest loop of the whole query. Epoch-stamped dense arrays
-    // replace the hash maps here (see BumpEpoch, called by
+    // the hottest loop of the whole query. Epoch-stamped dense slot
+    // arrays replace the hash maps here (see BumpEpoch, called by
     // NeighborSessions above): a lookup is one indexed load plus a stamp
     // compare, and "clearing" between queries is a single epoch
     // increment.
@@ -191,12 +257,12 @@ class VmisKnnT : public Recommender {
     // for the max(omega(s) ⊙ n) lookup of the scoring pass. Items absent
     // from the index can never match a neighbour item, so they are
     // skipped rather than stored.
-    const size_t num_items = item_epoch_.size();
+    const size_t num_items = item_score_slots_.size();
     for (size_t p = 0; p < len; ++p) {
       const ItemId item = truncated_[p];
       if (item < num_items) {
-        position_epoch_[item] = epoch_;
-        max_position_[item] = static_cast<uint32_t>(p + 1);
+        item_position_slots_[item] =
+            simd::ItemPositionSlot{epoch_, static_cast<uint32_t>(p + 1)};
       }
     }
 
@@ -205,13 +271,9 @@ class VmisKnnT : public Recommender {
       const std::span<const ItemId> neighbor_items =
           index_->ItemsForSession(neighbor.session, &items_scratch_);
 
-      uint32_t max_shared_position = 0;
-      for (const ItemId item : neighbor_items) {
-        if (position_epoch_[item] == epoch_) {
-          max_shared_position = std::max(max_shared_position,
-                                         max_position_[item]);
-        }
-      }
+      const uint32_t max_shared_position = simd::MaxSharedPosition(
+          neighbor_items.data(), neighbor_items.size(),
+          item_position_slots_.data(), epoch_);
       if (max_shared_position == 0) continue;  // defensive; cannot happen
 
       const float weight =
@@ -220,35 +282,84 @@ class VmisKnnT : public Recommender {
           neighbor.score;
       if (weight <= 0.0f) continue;
 
-      for (const ItemId item : neighbor_items) {
-        float idf_factor = 1.0f;
-        switch (config_.idf) {
-          case IdfWeighting::kNone:
-            break;
-          case IdfWeighting::kLog:
-            idf_factor = static_cast<float>(index_->Idf(item));
-            break;
-          case IdfWeighting::kOnePlusLog:
-            idf_factor = 1.0f + static_cast<float>(index_->Idf(item));
-            break;
+      // Neighbour item lists are distinct by construction (sorted-unique
+      // at index build) — a precondition of the vectorized kernel, whose
+      // per-block first-touch detection would double-count duplicates.
+      if constexpr (requires { index_->IdfData(); }) {
+        simd::AccumulateItemScores(neighbor_items.data(),
+                                   neighbor_items.size(), weight, config_.idf,
+                                   index_->IdfData(), epoch_,
+                                   item_score_slots_.data(), &touched_items_);
+      } else {
+        // Indexes without a dense float idf array (the updatable overlay
+        // computes IDF live from frequency counts) keep the scalar path.
+        for (const ItemId item : neighbor_items) {
+          float idf_factor = 1.0f;
+          switch (config_.idf) {
+            case IdfWeighting::kNone:
+              break;
+            case IdfWeighting::kLog:
+              idf_factor = static_cast<float>(index_->Idf(item));
+              break;
+            case IdfWeighting::kOnePlusLog:
+              idf_factor = 1.0f + static_cast<float>(index_->Idf(item));
+              break;
+          }
+          simd::ItemScoreSlot& slot = item_score_slots_[item];
+          if (slot.stamp != epoch_) {
+            slot.stamp = epoch_;
+            slot.score = 0.0f;
+            touched_items_.push_back(item);
+          }
+          slot.score += weight * idf_factor;
         }
-        if (item_epoch_[item] != epoch_) {
-          item_epoch_[item] = epoch_;
-          item_scores_[item] = 0.0f;
-          touched_items_.push_back(item);
-        }
-        item_scores_[item] += weight * idf_factor;
       }
     }
 
-    BoundedTopK<ScoredItem, 8, internal::ScoredItemLess> top_n(how_many);
-    for (const ItemId item : touched_items_) {
-      if (config_.exclude_session_items && position_epoch_[item] == epoch_) {
+    // Final top-n over the touched items: fill phase, then the
+    // beats-the-weakest block mask (full ScoredItemLess predicate —
+    // higher score, ties won by smaller item id). Session-item exclusion
+    // is checked per surviving lane; the mask can only over-approve, and
+    // Offer re-checks the threshold.
+    BoundedTopK<internal::ItemKey, 8> top_n(how_many);
+    const ItemId* touched = touched_items_.data();
+    const size_t num_touched = touched_items_.size();
+    size_t next = 0;
+    while (next < num_touched && !top_n.full()) {
+      const ItemId item = touched[next++];
+      if (config_.exclude_session_items &&
+          item_position_slots_[item].stamp == epoch_) {
         continue;
       }
-      top_n.Offer(ScoredItem{item, item_scores_[item]});
+      top_n.Offer(
+          internal::MakeItemKey(item_score_slots_[item].score, item));
     }
-    return top_n.TakeSortedDescending();
+    while (next < num_touched) {
+      const size_t block = std::min(simd::kBlockLanes, num_touched - next);
+      const ScoredItem weakest = internal::ScoredItemFromKey(top_n.Weakest());
+      uint32_t mask =
+          simd::BeatsItemMask(touched + next, block, item_score_slots_.data(),
+                              weakest.score, weakest.item);
+      while (mask != 0) {
+        const ItemId item =
+            touched[next + static_cast<size_t>(std::countr_zero(mask))];
+        mask &= mask - 1;
+        if (config_.exclude_session_items &&
+            item_position_slots_[item].stamp == epoch_) {
+          continue;
+        }
+        top_n.Offer(
+            internal::MakeItemKey(item_score_slots_[item].score, item));
+      }
+      next += block;
+    }
+    const std::vector<internal::ItemKey> sorted_keys =
+        top_n.TakeSortedDescending();
+    result.reserve(sorted_keys.size());
+    for (const internal::ItemKey key : sorted_keys) {
+      result.push_back(internal::ScoredItemFromKey(key));
+    }
+    return result;
   }
 
   const KnnConfig& config() const { return config_; }
@@ -260,14 +371,26 @@ class VmisKnnT : public Recommender {
     const size_t m = config_.m;
     const size_t len = items.size();
 
-    // Candidate scores live in the epoch-stamped dense array (indexed by
-    // session id): membership is `stamp == epoch_`, eviction stamps 0, and
-    // touched_sessions_ remembers which ids to visit in the top-k loop.
+    // Candidate state lives in the epoch-stamped dense slot array
+    // (indexed by session id): membership is `stamp == epoch_`, eviction
+    // stamps 0, and touched_sessions_ remembers which ids to visit in the
+    // top-k loop.
+    //
+    // The recency heap b_t exists to answer one question — "which live
+    // candidate is oldest?" — and that question is only ever asked once
+    // the candidate set is full. So it is not maintained incrementally:
+    // inserts append their packed keys to a plain vector (recency_keys_)
+    // and one Floyd heapify runs at the moment `live` reaches m; queries
+    // whose candidate set never fills skip the ordering work entirely.
+    // Exact, because eviction decisions read only Top(), the unique
+    // minimum under the (timestamp, session) total order, which is
+    // independent of insertion order.
     touched_sessions_.clear();
+    recency_keys_.clear();
+    recency_keys_.reserve(m);
     size_t live = 0;
-    DaryHeap<internal::RecencyEntry, Arity, internal::OlderFirst>
-        recency_heap;  // b_t
-    recency_heap.Reserve(m);
+    bool heap_built = false;
+    DaryHeap<internal::RecencyKey, Arity> recency_heap;
 
     // Item intersection loop: most recent items first (reverse insertion
     // order). Duplicate items are only processed at their most recent
@@ -287,44 +410,114 @@ class VmisKnnT : public Recommender {
       }
       if (duplicate) continue;
 
-      const std::span<const SessionId> postings =
-          index_->SessionsForItem(item, &postings_scratch_);
+      // Hint the next query item's posting arrays into cache while this
+      // item's list is being scanned.
+      if constexpr (requires { index_->PrefetchPostings(item); }) {
+        if (position > 0) index_->PrefetchPostings(items[position - 1]);
+      }
+
+      const PostingsRef postings = GetPostings(item);
       const float decay = static_cast<float>(
           DecayWeight(config_.decay, position + 1, len));  // pi_i
+      const size_t limit =
+          std::min(postings.size, m);  // index may retain more than query m
 
-      size_t scanned = 0;
-      for (const SessionId candidate : postings) {
-        if (++scanned > m) break;  // index may retain more than query m
-        if (session_epoch_[candidate] == epoch_) {
-          session_scores_[candidate] += decay;
+      if (touched_sessions_.empty()) {
+        // First non-empty posting list of the query: every candidate is
+        // new and limit <= m, so all are admitted — a straight-line
+        // stamping loop with no membership checks.
+        for (size_t i = 0; i < limit; ++i) {
+          const SessionId candidate = postings.sessions[i];
+          session_slots_[candidate] =
+              simd::SessionSlot{epoch_, decay, postings.timestamps[i]};
+          touched_sessions_.push_back(candidate);
+          recency_keys_.push_back(
+              internal::MakeRecencyKey(postings.timestamps[i], candidate));
+        }
+        live = limit;
+        if (live == m) {
+          recency_heap.Assign(std::move(recency_keys_));
+          recency_heap.Heapify();
+          heap_built = true;
+        }
+        continue;
+      }
+
+      size_t idx = 0;
+      // Fill regime: while a whole block of inserts could still be
+      // admitted (live + lanes <= m), no eviction can occur inside the
+      // block, so the FillRun kernel decides all lanes with ONE gathered
+      // membership test — eight independent slot loads in flight instead
+      // of the per-candidate load-check-store chain exposing its misses
+      // one at a time.
+      while (idx + simd::kBlockLanes <= limit &&
+             live + simd::kBlockLanes <= m) {
+        const size_t prefetch_end =
+            std::min(idx + 2 * simd::kBlockLanes, limit);
+        for (size_t p = idx + simd::kBlockLanes; p < prefetch_end; ++p) {
+          __builtin_prefetch(&session_slots_[postings.sessions[p]], 1);
+        }
+        live += simd::FillRun(postings.sessions + idx,
+                              postings.timestamps + idx, simd::kBlockLanes,
+                              decay, epoch_, session_slots_.data(),
+                              &touched_sessions_, &recency_keys_);
+        idx += simd::kBlockLanes;
+      }
+      if (live == m && !heap_built) {
+        recency_heap.Assign(std::move(recency_keys_));
+        recency_heap.Heapify();
+        heap_built = true;
+      }
+
+      while (idx < limit) {
+        const SessionId candidate = postings.sessions[idx];
+        if (session_slots_[candidate].stamp == epoch_) {
+          // Bulk-consume the run of candidates that are already members:
+          // the kernel adds `decay` to each and stops at the first
+          // non-member. The inline stamp check above keeps the dominant
+          // insert-heavy case free of the call — the kernel is only
+          // entered when a run has actually started.
+          idx += simd::ConsumeMemberRun(postings.sessions + idx,
+                                        limit - idx, decay,
+                                        session_slots_.data(), epoch_);
           continue;
         }
-        const Timestamp candidate_time =
-            index_->SessionTimestamp(candidate);
+
+        // Pull the slot lines of the next few candidates while this one
+        // is decided — insert-heavy scans miss on most of them.
+        if (idx + 4 < limit) {
+          __builtin_prefetch(&session_slots_[postings.sessions[idx + 4]], 1);
+        }
+
+        const Timestamp candidate_time = postings.timestamps[idx];
+        ++idx;
         if (live < m) {
-          session_epoch_[candidate] = epoch_;
-          session_scores_[candidate] = decay;
+          session_slots_[candidate] =
+              simd::SessionSlot{epoch_, decay, candidate_time};
           touched_sessions_.push_back(candidate);
-          ++live;
-          recency_heap.Push(
-              internal::RecencyEntry{candidate_time, candidate});
+          recency_keys_.push_back(
+              internal::MakeRecencyKey(candidate_time, candidate));
+          if (++live == m) {
+            recency_heap.Assign(std::move(recency_keys_));
+            recency_heap.Heapify();
+            heap_built = true;
+          }
           continue;
         }
-        const internal::RecencyEntry oldest = recency_heap.Top();
         // Recency is a total order (timestamp, then session id — ids
-        // ascend with end time): this makes early stopping exact even
-        // when several sessions share a second-resolution timestamp.
-        const bool more_recent =
-            candidate_time > oldest.timestamp ||
-            (candidate_time == oldest.timestamp &&
-             candidate > oldest.session);
-        if (more_recent) {
-          session_epoch_[oldest.session] = 0;  // evict
-          session_epoch_[candidate] = epoch_;
-          session_scores_[candidate] = decay;
+        // ascend with end time, and the packed key compares both at
+        // once): this makes early stopping exact even when several
+        // sessions share a second-resolution timestamp.
+        const internal::RecencyKey candidate_key =
+            internal::MakeRecencyKey(candidate_time, candidate);
+        const internal::RecencyKey oldest = recency_heap.Top();
+        if (candidate_key > oldest) {
+          session_slots_[internal::RecencyKeySession(oldest)].stamp =
+              0;  // evict
+          session_slots_[candidate] =
+              simd::SessionSlot{epoch_, decay, candidate_time};
           touched_sessions_.push_back(candidate);
-          recency_heap.ReplaceTop(
-              internal::RecencyEntry{candidate_time, candidate});
+          recency_heap.ReplaceTop(candidate_key);
         } else if (EarlyStop) {
           // Postings are sorted by descending recency: every remaining
           // session is older and cannot displace the current oldest
@@ -334,15 +527,74 @@ class VmisKnnT : public Recommender {
       }
     }
 
-    // Top-k similarity loop. Evicted candidates stay in the touched list
-    // with a dead stamp and are skipped here.
-    BoundedTopK<Neighbor, Arity, internal::NeighborLess> top_k(config_.k);
-    for (const SessionId session : touched_sessions_) {
-      if (session_epoch_[session] != epoch_) continue;
-      top_k.Offer(Neighbor{session, session_scores_[session],
-                           index_->SessionTimestamp(session)});
+    // Top-k similarity loop over the touched candidates. Two phases:
+    // while the result heap is filling, every live candidate is offered
+    // (evicted ones keep a dead stamp and are skipped); once it is full,
+    // only candidates that beat the current weakest kept neighbour under
+    // the full (score, timestamp, session) order can change it — the
+    // vectorized mask evaluates exactly that predicate per block, so the
+    // heap is only touched for genuine improvements. The block-start
+    // weakest is conservative: it only rises within a block, and Offer
+    // re-checks. Score and timestamp both come out of the one candidate
+    // slot stamped during the intersection loop — no index gather.
+    BoundedTopK<internal::NeighborKey, Arity> top_k(config_.k);
+    const SessionId* touched = touched_sessions_.data();
+    const size_t num_touched = touched_sessions_.size();
+    size_t next = 0;
+    while (next < num_touched && !top_k.full()) {
+      const SessionId session = touched[next++];
+      const simd::SessionSlot slot = session_slots_[session];
+      if (slot.stamp != epoch_) continue;
+      top_k.Offer(internal::MakeNeighborKey(slot.score, slot.time, session));
     }
-    *neighbors = top_k.TakeSortedDescending();
+    while (next < num_touched) {
+      const size_t block = std::min(simd::kBlockLanes, num_touched - next);
+      const Neighbor weakest = internal::NeighborFromKey(top_k.Weakest());
+      uint32_t mask = simd::BeatsNeighborMask(
+          touched + next, block, session_slots_.data(), epoch_,
+          weakest.score, weakest.timestamp, weakest.session);
+      while (mask != 0) {
+        const SessionId session =
+            touched[next + static_cast<size_t>(std::countr_zero(mask))];
+        mask &= mask - 1;
+        const simd::SessionSlot slot = session_slots_[session];
+        top_k.Offer(
+            internal::MakeNeighborKey(slot.score, slot.time, session));
+      }
+      next += block;
+    }
+    // Packed keys sort descending with one integer compare per step and
+    // unpack losslessly into the result order NeighborLess defines.
+    const std::vector<internal::NeighborKey> sorted_keys =
+        top_k.TakeSortedDescending();
+    neighbors->reserve(sorted_keys.size());
+    for (const internal::NeighborKey key : sorted_keys) {
+      neighbors->push_back(internal::NeighborFromKey(key));
+    }
+
+    // Reclaim the key buffer's capacity if the heap adopted it.
+    if (heap_built) recency_keys_ = recency_heap.TakeElements();
+  }
+
+  /// Fetches `item`'s posting list as parallel (session, timestamp)
+  /// arrays: directly from indexes implementing the SoA concept, or
+  /// assembled into scratch via the legacy per-candidate interface.
+  PostingsRef GetPostings(ItemId item) {
+    if constexpr (requires { index_->PostingsForItem(item,
+                                                    &posting_scratch_); }) {
+      return index_->PostingsForItem(item, &posting_scratch_);
+    } else {
+      const std::span<const SessionId> sessions =
+          index_->SessionsForItem(item, &posting_scratch_.sessions);
+      posting_scratch_.timestamps.clear();
+      posting_scratch_.timestamps.reserve(sessions.size());
+      for (const SessionId session : sessions) {
+        posting_scratch_.timestamps.push_back(
+            index_->SessionTimestamp(session));
+      }
+      return {sessions.data(), posting_scratch_.timestamps.data(),
+              sessions.size()};
+    }
   }
 
   /// Truncates the evolving session to the configured cap, most recent
@@ -356,28 +608,28 @@ class VmisKnnT : public Recommender {
                       session.end());
   }
 
-  /// Grows the dense scoring arrays to the index's item and session
+  /// Grows the dense scoring slot arrays to the index's item and session
   /// universes and starts a new query epoch. Stamp 0 means "never
   /// touched" (or evicted), so epoch_ skips 0: on uint32 wrap-around the
-  /// stamps are zeroed and the epoch restarts at 1, preventing a stale
+  /// slots are reset and the epoch restarts at 1, preventing a stale
   /// stamp from ever aliasing a live one.
   void BumpEpoch() {
     const size_t num_items = index_->num_items();
-    if (item_epoch_.size() < num_items) {
-      item_scores_.resize(num_items, 0.0f);
-      item_epoch_.resize(num_items, 0);
-      max_position_.resize(num_items, 0);
-      position_epoch_.resize(num_items, 0);
+    if (item_score_slots_.size() < num_items) {
+      item_score_slots_.resize(num_items);
+      item_position_slots_.resize(num_items);
     }
     const size_t num_sessions = index_->num_sessions();
-    if (session_epoch_.size() < num_sessions) {
-      session_scores_.resize(num_sessions, 0.0f);
-      session_epoch_.resize(num_sessions, 0);
+    if (session_slots_.size() < num_sessions) {
+      session_slots_.resize(num_sessions);
     }
     if (++epoch_ == 0) {
-      std::fill(item_epoch_.begin(), item_epoch_.end(), 0u);
-      std::fill(position_epoch_.begin(), position_epoch_.end(), 0u);
-      std::fill(session_epoch_.begin(), session_epoch_.end(), 0u);
+      std::fill(item_score_slots_.begin(), item_score_slots_.end(),
+                simd::ItemScoreSlot{});
+      std::fill(item_position_slots_.begin(), item_position_slots_.end(),
+                simd::ItemPositionSlot{});
+      std::fill(session_slots_.begin(), session_slots_.end(),
+                simd::SessionSlot{});
       epoch_ = 1;
     }
   }
@@ -387,23 +639,23 @@ class VmisKnnT : public Recommender {
 
   // Per-query scratch, reused across calls to avoid allocation churn.
   std::vector<ItemId> truncated_;
-  std::vector<SessionId> postings_scratch_;
+  PostingScratch posting_scratch_;
   std::vector<ItemId> items_scratch_;
 
-  // Epoch-stamped dense scoring state (see BumpEpoch): an entry is live
-  // only when its stamp equals epoch_, so per-query clearing is one
-  // increment instead of a hash-map clear. The price is O(|I| + |H|)
-  // memory per recommender instance (16 bytes/item + 8 bytes/session), a
-  // deliberate serving-side trade against the paper's purely m-bounded
-  // per-query state — clustered lookups in the query hot loops become
-  // single indexed loads.
-  std::vector<float> session_scores_;    // r
-  std::vector<uint32_t> session_epoch_;
+  // Epoch-stamped dense scoring state (see BumpEpoch and the slot types
+  // in knn_kernels.h): an entry is live only when its stamp equals
+  // epoch_, so per-query clearing is one increment instead of a hash-map
+  // clear. Stamp, score and cached timestamp share one slot, so a
+  // candidate insert or lookup touches a single cache line and the
+  // vector kernels fetch whole records with 64-bit gathers. The price is
+  // O(|I| + |H|) memory per recommender instance (16 bytes/item + 16
+  // bytes/session), a deliberate serving-side trade against the paper's
+  // purely m-bounded per-query state.
+  std::vector<simd::SessionSlot> session_slots_;           // r + b_t times
   std::vector<SessionId> touched_sessions_;
-  std::vector<float> item_scores_;       // d
-  std::vector<uint32_t> item_epoch_;
-  std::vector<uint32_t> max_position_;   // omega lookup
-  std::vector<uint32_t> position_epoch_;
+  std::vector<internal::RecencyKey> recency_keys_;         // b_t bulk build
+  std::vector<simd::ItemScoreSlot> item_score_slots_;      // d
+  std::vector<simd::ItemPositionSlot> item_position_slots_;  // omega lookup
   std::vector<ItemId> touched_items_;
   uint32_t epoch_ = 0;
 };

@@ -56,6 +56,32 @@ std::span<const SessionId> UpdatableSessionIndex::SessionsForItem(
   return {scratch->data(), scratch->size()};
 }
 
+PostingsRef UpdatableSessionIndex::PostingsForItem(
+    ItemId item, PostingScratch* scratch) const {
+  const auto overlay = overlay_postings_.find(item);
+  if (overlay == overlay_postings_.end()) {
+    return base_.PostingsForItem(item, scratch);
+  }
+
+  const size_t m = base_.max_sessions_per_item();
+  scratch->sessions.clear();
+  scratch->timestamps.clear();
+  for (auto it = overlay->second.rbegin();
+       it != overlay->second.rend() && scratch->sessions.size() < m; ++it) {
+    scratch->sessions.push_back(*it);
+    scratch->timestamps.push_back(
+        overlay_timestamps_[*it - base_.num_sessions()]);
+  }
+  const PostingsRef base_postings = base_.PostingsForItem(item, scratch);
+  for (size_t i = 0;
+       i < base_postings.size && scratch->sessions.size() < m; ++i) {
+    scratch->sessions.push_back(base_postings.sessions[i]);
+    scratch->timestamps.push_back(base_postings.timestamps[i]);
+  }
+  return {scratch->sessions.data(), scratch->timestamps.data(),
+          scratch->sessions.size()};
+}
+
 std::span<const ItemId> UpdatableSessionIndex::ItemsForSession(
     SessionId session, std::vector<ItemId>* scratch) const {
   (void)scratch;

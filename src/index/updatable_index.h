@@ -64,6 +64,13 @@ class UpdatableSessionIndex {
   std::span<const SessionId> SessionsForItem(
       ItemId item, std::vector<SessionId>* scratch) const;
 
+  /// SoA query path: ids + timestamps in one call. Pure-base items return
+  /// the base index's parallel-array views directly; items the overlay
+  /// touches are merged (overlay newest-first, then base) into `scratch`.
+  /// Note: no IdfData() here — IDF is computed live from frequency counts
+  /// (see Idf), so the scoring pass takes the scalar per-item path.
+  PostingsRef PostingsForItem(ItemId item, PostingScratch* scratch) const;
+
   std::span<const ItemId> ItemsForSession(SessionId session,
                                           std::vector<ItemId>* scratch) const;
 

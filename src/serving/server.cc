@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/stopwatch.h"
+#include "core/knn_kernels.h"
 #include "index/index_format.h"
 #include "serving/json.h"
 
@@ -592,6 +593,8 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(executor_->requests_rejected())
       .Key("slow_requests")
       .Value(slow_logger_.slow_requests_seen())
+      .Key("simd_level")
+      .Value(simd::LevelName(simd::ActiveLevel()))
       .EndObject();
   return HttpResponse::Json(writer.str());
 }

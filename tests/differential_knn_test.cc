@@ -1,7 +1,9 @@
 // Differential-correctness harness (testing/differential.h): random
-// click histories and evolving sessions, one query through four engines
-// — VS-kNN, VMIS-kNN, the no-opt VMIS variant, and the micro-batched
-// service path — demanding bit-identical scores and ranks.
+// click histories and evolving sessions, one query through six engines
+// — VS-kNN, VMIS-kNN, the no-opt VMIS variant, VMIS forced to the
+// scalar SIMD level, VMIS over the compressed index's fused decode
+// path, and the micro-batched service path — demanding bit-identical
+// scores and ranks.
 //
 // The CI smoke below generates >= 5,000 random sessions under a pinned
 // seed with zero tolerated divergence, and the mutation self-check
@@ -58,6 +60,52 @@ TEST(DifferentialKnnTest, KernelOnlyFuzzCoversWiderShapes) {
       RunDiffFuzz(spec, kPinnedSeed + 1000, 48, &stats);
   ASSERT_FALSE(reproducer.has_value()) << *reproducer;
   EXPECT_EQ(stats.cases, 48u);
+}
+
+TEST(DifferentialKnnTest, PostingLengthEdgesAgreeAcrossEngines) {
+  // Deliberately constructed histories whose posting lists sit exactly at
+  // the SIMD block boundaries (lengths 0, 1, 7, 8, 9, 16, 17, 33): item j
+  // appears in the first length[j] sessions, and the query touches every
+  // item, so the intersection loop scans each edge-length list. Swept
+  // over m values around the block width so the fill-regime/eviction
+  // transition lands mid-block, on the boundary, and far beyond it.
+  const size_t lengths[] = {0, 1, 7, 8, 9, 16, 17, 33};
+  std::vector<Click> clicks;
+  Timestamp now = 1000;
+  constexpr size_t kNumSessions = 40;
+  for (size_t s = 0; s < kNumSessions; ++s) {
+    bool any = false;
+    for (size_t j = 0; j < std::size(lengths); ++j) {
+      if (s < lengths[j]) {
+        clicks.push_back(Click{static_cast<SessionId>(s),
+                               static_cast<ItemId>(j), now++});
+        any = true;
+      }
+    }
+    if (!any) {
+      // Keep session ids dense (FromClicks requires every id present);
+      // a filler item beyond the edge items.
+      clicks.push_back(Click{static_cast<SessionId>(s),
+                             static_cast<ItemId>(std::size(lengths)), now++});
+    }
+  }
+
+  for (const size_t m : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                         size_t{33}, size_t{40}}) {
+    DiffCase c;
+    c.train = Dataset::FromClicks(clicks, /*min_session_length=*/1);
+    c.queries.assign(1, EvolvingSession{});
+    for (size_t j = 0; j <= std::size(lengths); ++j) {
+      c.queries[0].push_back(static_cast<ItemId>(j));
+    }
+    c.knn.m = m;
+    c.knn.k = std::max<size_t>(m / 2, 1);
+    c.knn.vs_length_norm = false;
+    const auto divergence = CheckDiffCase(c, /*include_service=*/false);
+    ASSERT_FALSE(divergence.has_value())
+        << "m=" << m << ": " << divergence->engine_a << " vs "
+        << divergence->engine_b << "\n" << divergence->detail;
+  }
 }
 
 TEST(DifferentialKnnTest, MutationSelfCheckIsCaught) {

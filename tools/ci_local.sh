@@ -51,16 +51,29 @@ build_and_test() {
 }
 
 bench_smoke() {
+  # Mirrors the CI bench-smoke job: the same six binaries at smoke
+  # scale, then the perf regression gate against bench/baselines/.
   local dir="$1"
+  export SERENADE_BENCH_SCALE=0.05 SERENADE_BENCH_SECONDS=2
   mkdir -p "$dir/bench-results" &&
-    SERENADE_BENCH_SCALE=0.05 \
-      "$dir/bench/fig3a_microbenchmark" \
+    "$dir/bench/fig3a_microbenchmark" \
       --benchmark_min_time=0.05 \
       --benchmark_out="$dir/bench-results/fig3a_microbenchmark.json" \
       --benchmark_out_format=json &&
-    SERENADE_BENCH_SCALE=0.05 SERENADE_BENCH_SECONDS=2 \
-      SERENADE_BENCH_JSON="$dir/bench-results/index_swap_bench.json" \
+    SERENADE_BENCH_JSON="$dir/bench-results/index_swap_bench.json" \
       "$dir/bench/index_swap_bench" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/recommend_batch_bench.json" \
+      "$dir/bench/recommend_batch_bench" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/index_freshness_bench.json" \
+      "$dir/bench/index_freshness_bench" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/complexity_validation_bench.json" \
+      "$dir/bench/complexity_validation_bench" &&
+    ulimit -n "$(ulimit -Hn)" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/fig3b_load_test.json" \
+      SERENADE_BENCH_CONNECTIONS=10000 \
+      "$dir/bench/fig3b_load_test" &&
+    python3 tools/check_bench_regression.py --self-test &&
+    python3 tools/check_bench_regression.py --results "$dir/bench-results" &&
     echo "bench results in $dir/bench-results/"
 }
 

@@ -39,6 +39,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/knn_kernels.h"
 #include "data/synthetic.h"
 #include "flags.h"
 #include "freshness/click_tap.h"
@@ -176,6 +177,7 @@ int main(int argc, char** argv) {
       server.port(), service_config.knn.m, service_config.knn.k,
       static_cast<unsigned long long>(service_config.store.ttl_seconds),
       server_config.batch.max_batch_size, server.port());
+  std::printf("kernel dispatch: %s\n", simd::DescribeDispatch().c_str());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
