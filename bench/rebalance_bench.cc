@@ -1,0 +1,250 @@
+// Live ring-rebalancing benchmark: what does an elastic fleet change cost
+// the client? A simulated cluster (three pods + gateway, session
+// replication managed) under steady closed-loop /v1/recommend load,
+// measured in three phases of equal length:
+//   phase A  steady state on three pods
+//   phase B  cutover — a fourth pod joins mid-load via the
+//            /v1/admin/cluster/join control plane; the donors hand off
+//            every session whose ownership moves, with per-key cutover
+//   phase C  steady state on four pods
+// The hand-off design predicts phase B's p99 stays within a small factor
+// of phase A (moves are per-key and writes divert via 307/proxy instead
+// of failing), and zero requests may fail in any phase. The join's
+// wall-clock duration is reported as handoff_ms.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "data/synthetic.h"
+#include "serving/http.h"
+#include "testing/sim_cluster.h"
+
+using namespace serenade;
+
+namespace {
+
+struct PhaseResult {
+  Histogram latency_micros;  // client-observed request latency
+  uint64_t requests = 0;
+  uint64_t errors = 0;  // transport failures + non-200 statuses
+};
+
+// Closed-loop load from `threads` keep-alive connections against the
+// gateway for `seconds`. `during` (optional) runs once on the control
+// thread shortly after the phase starts — the membership mutation under
+// measurement.
+PhaseResult RunPhase(uint16_t port, double seconds, size_t threads,
+                     size_t key_space, size_t num_items,
+                     const std::function<void()>& during) {
+  PhaseResult result;
+  ShardedHistogram latencies;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      HttpClient client;
+      bool connected = client.Connect(port).ok();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!connected) {
+          connected = client.Connect(port).ok();
+          if (!connected) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            requests.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+        }
+        const uint64_t n = t * 1013 + i++;
+        const std::string target =
+            "/v1/recommend?session_id=bench-" +
+            std::to_string(n % key_space) +
+            "&item_id=" + std::to_string(1 + n % (num_items - 1));
+        const auto start = std::chrono::steady_clock::now();
+        auto response = client.Get(target);
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!response.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          connected = false;  // redial: the connection is poisoned
+        } else if (response->status != 200) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          latencies.Record(static_cast<uint64_t>(micros));
+        }
+        requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  if (during) {
+    // Let the phase reach steady state before the mutation lands, so the
+    // measured window brackets the hand-off with live traffic.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(seconds * 150)));
+    during();
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+
+  result.latency_micros = latencies.Merged();
+  result.requests = requests.load();
+  result.errors = errors.load();
+  return result;
+}
+
+void PrintPhase(const char* name, const PhaseResult& result, double seconds) {
+  std::printf(
+      "%-20s %8llu req (%6.0f rps)  %llu errors  p50=%6llu us  "
+      "p90=%6llu us  p99=%6llu us\n",
+      name, static_cast<unsigned long long>(result.requests),
+      static_cast<double>(result.requests) / seconds,
+      static_cast<unsigned long long>(result.errors),
+      static_cast<unsigned long long>(result.latency_micros.Percentile(0.50)),
+      static_cast<unsigned long long>(result.latency_micros.Percentile(0.90)),
+      static_cast<unsigned long long>(result.latency_micros.Percentile(0.99)));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Live ring rebalancing", "Section 4 (elastic fleet data plane)",
+      "p99 while a fourth pod joins mid-load vs steady state; hand-off "
+      "duration and client-visible errors.");
+  const double scale = bench::ScaleFromEnv();
+  const double phase_seconds = bench::SecondsFromEnv(6.0);
+
+  SyntheticConfig data_config;
+  data_config.num_items = static_cast<size_t>(2000 * scale);
+  data_config.num_sessions = static_cast<size_t>(8000 * scale);
+  data_config.num_days = 14;
+  data_config.seed = 0x4eba;
+
+  const std::string work_dir =
+      std::filesystem::temp_directory_path().string() +
+      "/serenade_rebalance_bench";
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  SimClusterConfig config;
+  config.num_pods = 3;
+  config.train = GenerateDataset(data_config);
+  config.knn.m = 100;
+  config.knn.k = 21;
+  config.work_dir = work_dir;
+  config.store.sync_every_write = true;
+  config.gateway.health.probe_interval_ms = 50;
+  config.gateway.health.probe_timeout_ms = 500;
+  config.replication.enabled = true;
+  config.replication.pod.ship_interval_ms = 10;
+
+  auto cluster = SimCluster::Start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  SimCluster& sim = **cluster;
+  if (!sim.AwaitHealthy(3, 5000)) {
+    std::fprintf(stderr, "fleet never became healthy\n");
+    return 1;
+  }
+
+  const size_t threads = 6;
+  const size_t key_space = 64;
+  std::printf("\ngateway on port %u; 3 pods, %zu closed-loop connections, "
+              "%zu-session key space, %.1fs per phase\n",
+              sim.gateway().port(), threads, key_space, phase_seconds);
+
+  // Warmup fills the session stores and the gateway's connection pools.
+  RunPhase(sim.gateway().port(), std::min(2.0, phase_seconds), threads,
+           key_space, data_config.num_items, nullptr);
+
+  bench::PrintSection("measured");
+  const PhaseResult steady =
+      RunPhase(sim.gateway().port(), phase_seconds, threads, key_space,
+               data_config.num_items, nullptr);
+  PrintPhase("steady (3 pods)", steady, phase_seconds);
+
+  double handoff_ms = 0.0;
+  bool joined = false;
+  const PhaseResult cutover = RunPhase(
+      sim.gateway().port(), phase_seconds, threads, key_space,
+      data_config.num_items, [&] {
+        const auto start = std::chrono::steady_clock::now();
+        auto added = sim.AddPod();
+        handoff_ms =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count() /
+            1000.0;
+        joined = added.ok();
+        if (!added.ok()) {
+          std::fprintf(stderr, "join failed: %s\n",
+                       added.status().ToString().c_str());
+        }
+      });
+  PrintPhase("cutover (join)", cutover, phase_seconds);
+  std::printf("%-20s join + hand-off completed in %.1f ms\n", "",
+              handoff_ms);
+
+  const PhaseResult post =
+      RunPhase(sim.gateway().port(), phase_seconds, threads, key_space,
+               data_config.num_items, nullptr);
+  PrintPhase("steady (4 pods)", post, phase_seconds);
+
+  const double steady_p99 = steady.latency_micros.Percentile(0.99);
+  const double cutover_p99 = cutover.latency_micros.Percentile(0.99);
+  const double post_p99 = post.latency_micros.Percentile(0.99);
+  const double ratio = steady_p99 > 0 ? cutover_p99 / steady_p99 : 0.0;
+  const uint64_t errors = steady.errors + cutover.errors + post.errors;
+  std::printf(
+      "\nshape check (per-key cutover; a rebalance must not fail requests "
+      "or blow the tail):\n  p99 steady=%.0fus vs cutover=%.0fus (ratio "
+      "%.2fx), hand-off %.1fms, %llu errors -> %s\n",
+      steady_p99, cutover_p99, ratio, handoff_ms,
+      static_cast<unsigned long long>(errors),
+      (joined && errors == 0 && ratio < 8.0) ? "REPRODUCED"
+                                             : "see numbers above");
+
+  // Machine-readable results for the CI bench-smoke artifact.
+  bench::JsonResultWriter json("rebalance");
+  json.Add("phase_seconds", phase_seconds);
+  json.Add("joined", joined ? 1.0 : 0.0);
+  json.Add("handoff_ms", handoff_ms);
+  json.Add("steady_requests", static_cast<double>(steady.requests));
+  json.Add("steady_p50_us",
+           static_cast<double>(steady.latency_micros.Percentile(0.50)));
+  json.Add("steady_p99_us", steady_p99);
+  json.Add("cutover_requests", static_cast<double>(cutover.requests));
+  json.Add("cutover_p50_us",
+           static_cast<double>(cutover.latency_micros.Percentile(0.50)));
+  json.Add("cutover_p99_us", cutover_p99);
+  json.Add("post_p99_us", post_p99);
+  json.Add("p99_ratio", ratio);
+  json.Add("steady_errors", static_cast<double>(steady.errors));
+  json.Add("cutover_errors", static_cast<double>(cutover.errors));
+  json.Add("post_errors", static_cast<double>(post.errors));
+  json.Add("errors", static_cast<double>(errors));
+  const bool json_ok = json.WriteTo(bench::JsonPathFromEnv());
+  return joined && json_ok ? 0 : 1;
+}

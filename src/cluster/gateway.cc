@@ -6,11 +6,14 @@
 #include <condition_variable>
 #include <thread>
 
+#include <set>
+
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/types.h"
+#include "replication/replication_protocol.h"
 #include "serving/json.h"
 #include "serving/server.h"
 
@@ -73,17 +76,8 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
   RegisterMetrics();
   BuildRoutes();
   backends_.reserve(backends.size());
-  for (BackendEndpoint& endpoint : backends) {
-    auto backend = std::make_unique<Backend>();
-    backend->endpoint = endpoint;
-    backend->requests = &registry_.AddCounter(
-        "gateway_backend_requests_total",
-        "forwarding attempts per backend", "backend", endpoint.name);
-    backend->errors = &registry_.AddCounter(
-        "gateway_backend_errors_total",
-        "failed forwarding attempts per backend", "backend", endpoint.name);
-    ring_.AddNode(endpoint.name);
-    backends_.push_back(std::move(backend));
+  for (const BackendEndpoint& endpoint : backends) {
+    AttachBackendLocked(endpoint);
   }
   std::vector<BackendEndpoint> endpoints;
   endpoints.reserve(backends.size());
@@ -123,6 +117,28 @@ ClusterGateway::ClusterGateway(std::vector<BackendEndpoint> backends,
         }
         return samples;
       });
+  // Replication-lag view of the fleet: how far each pod's ring successor
+  // trails its WAL, as last reported over /v1/healthz.
+  registry_.AddCallback(
+      "gateway_backend_replica_lag_bytes",
+      "WAL bytes the backend's ring successor has not yet acknowledged",
+      MetricType::kGauge, "backend", [this]() -> std::vector<MetricSample> {
+        std::vector<MetricSample> samples;
+        for (const BackendHealth& entry : health_->Snapshot()) {
+          samples.push_back({entry.name, entry.replica_lag_bytes});
+        }
+        return samples;
+      });
+  registry_.AddCallback(
+      "gateway_backend_ring_epoch",
+      "fleet-membership epoch the backend last adopted", MetricType::kGauge,
+      "backend", [this]() -> std::vector<MetricSample> {
+        std::vector<MetricSample> samples;
+        for (const BackendHealth& entry : health_->Snapshot()) {
+          samples.push_back({entry.name, entry.ring_epoch});
+        }
+        return samples;
+      });
 }
 
 ClusterGateway::~ClusterGateway() { Stop(); }
@@ -146,6 +162,17 @@ void ClusterGateway::RegisterMetrics() {
                                   "hedged second requests launched");
   hedge_wins_ = &registry_.AddCounter("gateway_hedge_wins_total",
                                       "hedges that beat the primary");
+  stale_epoch_rejects_ = &registry_.AddCounter(
+      "gateway_stale_epoch_rejects_total",
+      "cluster mutations rejected for carrying a stale ring epoch");
+  redirects_followed_ = &registry_.AddCounter(
+      "gateway_redirects_followed_total",
+      "mid-hand-off 307 redirects followed to a session's new owner");
+  registry_.AddCallback(
+      "gateway_ring_epoch", "current fleet-membership epoch",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        return {{"", ring_epoch()}};
+      });
   registry_.AddCallback(
       "serenade_http_deprecated_requests_total",
       "requests served via deprecated unversioned path aliases",
@@ -221,6 +248,40 @@ void ClusterGateway::RegisterMetrics() {
   }
 }
 
+void ClusterGateway::AttachBackendLocked(const BackendEndpoint& endpoint) {
+  auto backend = std::make_unique<Backend>();
+  backend->endpoint = endpoint;
+  // AddCounter returns the existing handle when a retired backend's name
+  // is reused, so counters survive leave/rejoin cycles.
+  backend->requests = &registry_.AddCounter(
+      "gateway_backend_requests_total", "forwarding attempts per backend",
+      "backend", endpoint.name);
+  backend->errors = &registry_.AddCounter(
+      "gateway_backend_errors_total",
+      "failed forwarding attempts per backend", "backend", endpoint.name);
+  ring_.AddNode(endpoint.name);
+  backends_.push_back(std::move(backend));
+}
+
+uint64_t ClusterGateway::ring_epoch() const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  return ring_epoch_;
+}
+
+std::string ClusterGateway::OwnerOf(const std::string& session_key) const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  if (ring_.num_nodes() == 0) return "";
+  return ring_.NodeFor(session_key);
+}
+
+std::vector<BackendEndpoint> ClusterGateway::Members() const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  std::vector<BackendEndpoint> members;
+  members.reserve(backends_.size());
+  for (const auto& backend : backends_) members.push_back(backend->endpoint);
+  return members;
+}
+
 Status ClusterGateway::Start() {
   if (backends_.empty() && fallback_ == nullptr) {
     return Status::InvalidArgument(
@@ -230,6 +291,15 @@ Status ClusterGateway::Start() {
   // at startup is never routed to.
   health_->ProbeAllOnce();
   health_->Start();
+  if (config_.manage_replication) {
+    // Tell every pod who its ring successor is before traffic (and
+    // therefore WAL writes) start flowing.
+    const Status wired = PushReplicationWiring();
+    if (!wired.ok()) {
+      LOG_WARNING << "gateway: initial replication wiring incomplete: "
+                  << wired.ToString();
+    }
+  }
   http_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request) { return Handle(request); },
       config_.http);
@@ -249,7 +319,8 @@ void ClusterGateway::Stop() {
   if (health_) health_->Stop();
 }
 
-ClusterGateway::Backend* ClusterGateway::FindBackend(const std::string& name) {
+ClusterGateway::Backend* ClusterGateway::FindBackendLocked(
+    const std::string& name) {
   for (const auto& backend : backends_) {
     if (backend->endpoint.name == name) return backend.get();
   }
@@ -310,11 +381,57 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardOnce(
     result.error = Status::Internal("backend " + backend.endpoint.name +
                                     " returned " +
                                     std::to_string(response->status));
+    // Keep the parsed response: a 503 with Retry-After is a donor saying
+    // "this key is mid-cutover, ask me again", which the failover loop
+    // treats differently from a dead pod.
+    result.response = std::move(response).value();
     return result;
   }
   result.ok = true;
   result.response = std::move(response).value();
   return result;
+}
+
+ClusterGateway::AttemptResult ClusterGateway::ForwardToPort(
+    uint16_t port, const std::string& target,
+    const std::map<std::string, std::string>& headers,
+    const std::string* post_body) {
+  AttemptResult result;
+  auto client = pool_->Acquire(port);
+  if (!client.ok()) {
+    result.error = client.status();
+    return result;
+  }
+  auto http = std::move(client).value();
+  auto response = post_body != nullptr ? http->Post(target, *post_body, headers)
+                                       : http->Get(target, headers);
+  const bool transport_ok = response.ok();
+  pool_->Release(port, std::move(http), transport_ok);
+  if (!transport_ok) {
+    result.error = response.status();
+    return result;
+  }
+  if (response->status >= 500) {
+    result.error = Status::Internal("redirect target on port " +
+                                    std::to_string(port) + " returned " +
+                                    std::to_string(response->status));
+    result.response = std::move(response).value();
+    return result;
+  }
+  result.ok = true;
+  result.response = std::move(response).value();
+  return result;
+}
+
+std::string ClusterGateway::FirstHealthyFor(
+    const std::string& session_key) const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  if (ring_.num_nodes() == 0) return "";
+  for (const std::string& name :
+       ring_.SuccessorChain(ring_.NodeFor(session_key))) {
+    if (health_->IsHealthy(name)) return name;
+  }
+  return "";
 }
 
 ClusterGateway::AttemptResult ClusterGateway::ForwardMaybeHedged(
@@ -417,6 +534,24 @@ void ClusterGateway::BuildRoutes() {
                                              MetricsRegistry::ContentType());
                  });
 
+  // Elastic-fleet control plane (epoch-fenced, see API.md).
+  router_.Handle("GET", "/v1/admin/cluster",
+                 [this](const HttpRequest&, Trace* trace) {
+                   return HandleClusterGet(trace);
+                 });
+  router_.Handle("POST", "/v1/admin/cluster/join",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleClusterJoin(request, trace);
+                 });
+  router_.Handle("POST", "/v1/admin/cluster/drain",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleClusterDrain(request, trace);
+                 });
+  router_.Handle("POST", "/v1/admin/cluster/remove",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleClusterRemove(request, trace);
+                 });
+
   // Pre-/v1 paths: same handlers (byte-identical bodies), marked
   // deprecated on the way out. The forwarded target preserves the path
   // the client used, so legacy traffic stays legacy on the pod hop too.
@@ -460,26 +595,18 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardWithFailover(
     const std::string& session_key, const std::string& target,
     const std::map<std::string, std::string>& headers,
     const std::string* post_body, Trace* trace) {
-  // Ring order per session key: owner first, then deterministic failover
-  // successors; unhealthy pods are skipped, which keeps a session sticky
-  // to one pod while the fleet is stable and re-homes only the ejected
-  // pod's sessions during an outage.
-  const std::vector<std::string> replicas =
-      ring_.ReplicasFor(session_key, backends_.size());
-  std::vector<Backend*> candidates;
-  candidates.reserve(replicas.size());
-  for (const std::string& name : replicas) {
-    if (!health_->IsHealthy(name)) continue;
-    if (Backend* backend = FindBackend(name)) candidates.push_back(backend);
-  }
-
   Span forward_span(trace, TraceStage::kForward);
   AttemptResult last;
   last.error = Status::Unavailable("no healthy backend");
-  size_t next_candidate = 0;
+  // Candidates are re-resolved from the LIVE ring on every attempt, not
+  // precomputed: a join/drain/remove (or an ejection) between attempts
+  // must steer the retry at the key's current owner, or a retried click
+  // lands on a pod that no longer owns the session. Ring order is the
+  // node-successor chain, so failover traffic for a dead owner reaches
+  // the pod holding its replica first.
+  std::set<std::string> tried;
   uint32_t attempts = 0;
-  while (next_candidate < candidates.size() &&
-         attempts < config_.max_attempts) {
+  while (attempts < config_.max_attempts) {
     if (attempts > 0) {
       retries_->Increment();
       const uint64_t delay =
@@ -487,20 +614,71 @@ ClusterGateway::AttemptResult ClusterGateway::ForwardWithFailover(
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }
+      if (pre_retry_hook_) pre_retry_hook_();
     }
-    Backend* primary = candidates[next_candidate];
-    Backend* secondary =
-        (attempts == 0 && next_candidate + 1 < candidates.size())
-            ? candidates[next_candidate + 1]
-            : nullptr;
-    const bool hedged = config_.hedge_delay_ms > 0 && secondary != nullptr;
+    Backend* primary = nullptr;
+    Backend* secondary = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(membership_mutex_);
+      if (ring_.num_nodes() > 0) {
+        for (const std::string& name :
+             ring_.SuccessorChain(ring_.NodeFor(session_key))) {
+          if (tried.count(name) != 0 || !health_->IsHealthy(name)) continue;
+          Backend* backend = FindBackendLocked(name);
+          if (backend == nullptr) continue;
+          if (primary == nullptr) {
+            primary = backend;
+          } else {
+            secondary = backend;
+            break;
+          }
+        }
+      }
+    }
+    if (primary == nullptr) break;  // no untried healthy candidate left
+    // Hedge only on the first round: a retry already proved the fleet
+    // slow or unstable, racing a third request just adds load.
+    const bool hedged =
+        attempts == 0 && config_.hedge_delay_ms > 0 && secondary != nullptr;
+    tried.insert(primary->endpoint.name);
+    if (hedged) tried.insert(secondary->endpoint.name);
     last = hedged ? ForwardMaybeHedged(*primary, secondary, target, headers,
                                        post_body)
                   : ForwardOnce(*primary, target, headers, post_body);
-    if (last.ok) return last;
-    // A hedged round consumed the primary and its successor.
-    next_candidate += hedged ? 2 : 1;
     attempts += hedged ? 2 : 1;
+    if (!last.ok) {
+      // 503 + Retry-After is a donor holding this key closed for a
+      // moment mid-cutover — the key is still THERE, so the same pod
+      // stays a candidate for the next attempt instead of the request
+      // wandering to a non-owner.
+      if (last.response.status == 503 &&
+          !last.response.Header("Retry-After").empty()) {
+        tried.erase(primary->endpoint.name);
+      }
+      continue;
+    }
+    // A donor answering for an already-cut-over key 307s to the new
+    // owner; follow exactly one hop so clients never see the redirect.
+    if (last.response.status == 307) {
+      uint16_t redirect_port = 0;
+      const std::string port_text =
+          last.response.Header(repl::kBackendPortHeader);
+      std::from_chars(port_text.data(), port_text.data() + port_text.size(),
+                      redirect_port);
+      if (redirect_port != 0) {
+        redirects_followed_->Increment();
+        AttemptResult followed =
+            ForwardToPort(redirect_port, target, headers, post_body);
+        if (followed.ok && followed.response.status != 307) return followed;
+        last = std::move(followed);
+        if (last.ok) {
+          last.ok = false;
+          last.error = Status::Internal("redirect loop during hand-off");
+        }
+        continue;  // treat a failed follow as a failed attempt
+      }
+    }
+    return last;
   }
   return last;
 }
@@ -623,15 +801,9 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
       merged[i] = error_entry(400, "session_id is required");
       continue;
     }
-    // First healthy replica = the pod this key's micro-batches land on.
-    std::string owner;
-    for (const std::string& name :
-         ring_.ReplicasFor(session->AsString(), backends_.size())) {
-      if (health_->IsHealthy(name)) {
-        owner = name;
-        break;
-      }
-    }
+    // First healthy candidate on the live ring = the pod this key's
+    // micro-batches land on (resolved under the membership lock).
+    const std::string owner = FirstHealthyFor(session->AsString());
     Group& group = groups[owner];
     if (group.slots.empty()) group.session_key = session->AsString();
     group.slots.push_back(i);
@@ -738,6 +910,501 @@ std::string ClusterGateway::DegradedEntryJson(const std::string& item_text) {
   return writer.str();
 }
 
+// --- elastic-fleet control plane --------------------------------------------
+
+HttpResponse ClusterGateway::WithEpochHeader(HttpResponse response) const {
+  response.headers[repl::kRingEpochHeader] = std::to_string(ring_epoch());
+  return response;
+}
+
+std::optional<HttpResponse> ClusterGateway::CheckEpoch(const JsonValue& doc,
+                                                       Trace* trace) {
+  const JsonValue* epoch = doc.Find("epoch");
+  if (epoch == nullptr || epoch->type() != JsonValue::Type::kNumber) {
+    return WithEpochHeader(ApiError(
+        400, "mutation must carry the current ring \"epoch\"", trace->id()));
+  }
+  const uint64_t carried = static_cast<uint64_t>(epoch->AsInt());
+  uint64_t current;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    current = ring_epoch_;
+  }
+  if (carried == current) return std::nullopt;
+  stale_epoch_rejects_->Increment();
+  JsonWriter writer;
+  writer.BeginObject().Key("error").BeginObject();
+  writer.Key("code").Value(ApiErrorCode(409));
+  writer.Key("message").Value("stale ring epoch " + std::to_string(carried) +
+                              " (current " + std::to_string(current) + ")");
+  writer.Key("trace_id").Value(trace->id());
+  writer.EndObject().Key("current_epoch").Value(current).EndObject();
+  HttpResponse response = HttpResponse::Json(writer.str());
+  response.status = 409;
+  return WithEpochHeader(std::move(response));
+}
+
+StatusOr<HttpResponse> ClusterGateway::PostAdmin(uint16_t port,
+                                                 const std::string& path,
+                                                 const std::string& body) {
+  // Fresh connection per call: hand-offs move real data, so these calls
+  // need their own (much longer) deadline than the pooled forwarding
+  // clients are configured with.
+  HttpClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = config_.admin_timeout_ms;
+  HttpClient client(options);
+  const Status connected = client.Connect(port);
+  if (!connected.ok()) return connected;
+  return client.Post(path, body);
+}
+
+Status ClusterGateway::PostAdminRetried(uint16_t port, const std::string& path,
+                                        const std::string& body) {
+  Status last = Status::Internal("no attempts made");
+  const uint32_t attempts = std::max<uint32_t>(1, config_.admin_retry_attempts);
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    auto response = PostAdmin(port, path, body);
+    if (!response.ok()) {
+      last = response.status();
+      continue;
+    }
+    if (response->status / 100 == 2) return Status::Ok();
+    last = Status::Internal(path + " on port " + std::to_string(port) +
+                            " returned " + std::to_string(response->status) +
+                            ": " + response->body);
+    // 4xx is a protocol disagreement, not a transient: retries can't fix
+    // a malformed request, so abandon immediately.
+    if (response->status / 100 == 4) break;
+  }
+  return last;
+}
+
+std::string ClusterGateway::HandoffBody(
+    const std::vector<BackendEndpoint>& pending, uint64_t new_epoch) const {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ring_epoch")
+      .Value(new_epoch)
+      .Key("virtual_nodes")
+      .Value(static_cast<uint64_t>(config_.virtual_nodes))
+      .Key("members")
+      .BeginArray();
+  for (const BackendEndpoint& member : pending) {
+    writer.BeginObject()
+        .Key("name")
+        .Value(member.name)
+        .Key("port")
+        .Value(static_cast<uint64_t>(member.port))
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+  return writer.str();
+}
+
+Status ClusterGateway::PushReplicationWiring() {
+  struct Wire {
+    BackendEndpoint member;
+    uint16_t successor_port = 0;
+  };
+  std::vector<Wire> wires;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    epoch = ring_epoch_;
+    std::map<std::string, uint16_t> ports;
+    for (const auto& backend : backends_) {
+      ports[backend->endpoint.name] = backend->endpoint.port;
+    }
+    for (const auto& backend : backends_) {
+      Wire wire;
+      wire.member = backend->endpoint;
+      const std::string successor = ring_.SuccessorOf(backend->endpoint.name);
+      // "" = single-node ring: peer_port 0 tells the pod to stop shipping.
+      if (!successor.empty()) wire.successor_port = ports[successor];
+      wires.push_back(std::move(wire));
+    }
+  }
+  Status first_error = Status::Ok();
+  for (const Wire& wire : wires) {
+    JsonWriter writer;
+    writer.BeginObject()
+        .Key("peer_port")
+        .Value(static_cast<uint64_t>(wire.successor_port))
+        .Key("ring_epoch")
+        .Value(epoch)
+        .EndObject();
+    auto response = PostAdmin(wire.member.port, repl::kPeerPath, writer.str());
+    Status status = Status::Ok();
+    if (!response.ok()) {
+      status = response.status();
+    } else if (response->status / 100 != 2) {
+      status = Status::Internal("peer push to " + wire.member.name +
+                                " returned " +
+                                std::to_string(response->status));
+    }
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+HttpResponse ClusterGateway::HandleClusterGet(Trace* trace) {
+  (void)trace;
+  std::vector<BackendEndpoint> members;
+  std::map<std::string, std::string> successors;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    epoch = ring_epoch_;
+    for (const auto& backend : backends_) {
+      members.push_back(backend->endpoint);
+      successors[backend->endpoint.name] =
+          ring_.SuccessorOf(backend->endpoint.name);
+    }
+  }
+  const std::vector<BackendHealth> health = health_->Snapshot();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ring_epoch")
+      .Value(epoch)
+      .Key("virtual_nodes")
+      .Value(static_cast<uint64_t>(config_.virtual_nodes))
+      .Key("replication_managed")
+      .Value(config_.manage_replication)
+      .Key("members")
+      .BeginArray();
+  for (const BackendEndpoint& member : members) {
+    BackendHealth entry;
+    for (const BackendHealth& candidate : health) {
+      if (candidate.name == member.name) {
+        entry = candidate;
+        break;
+      }
+    }
+    writer.BeginObject()
+        .Key("name")
+        .Value(member.name)
+        .Key("port")
+        .Value(static_cast<uint64_t>(member.port))
+        .Key("healthy")
+        .Value(entry.healthy)
+        .Key("successor")
+        .Value(successors[member.name])
+        .Key("replica_lag_bytes")
+        .Value(entry.replica_lag_bytes)
+        .Key("replica_lag_seconds")
+        .Value(entry.replica_lag_seconds)
+        .Key("ring_epoch")
+        .Value(entry.ring_epoch)
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+  return WithEpochHeader(HttpResponse::Json(writer.str()));
+}
+
+HttpResponse ClusterGateway::HandleClusterJoin(const HttpRequest& request,
+                                               Trace* trace) {
+  // admin_mutex_ serializes the whole mutation (epoch check -> hand-off
+  // -> ring flip -> rewire): the epoch cannot move between the check and
+  // the flip, so a stale client can never interleave a second change.
+  std::lock_guard<std::mutex> admin_lock(admin_mutex_);
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  if (auto rejected = CheckEpoch(*doc, trace)) return *std::move(rejected);
+  const JsonValue* name = doc->Find("name");
+  const JsonValue* port = doc->Find("port");
+  if (name == nullptr || name->type() != JsonValue::Type::kString ||
+      name->AsString().empty() || port == nullptr ||
+      port->type() != JsonValue::Type::kNumber) {
+    return ApiError(400, "join needs \"name\" and \"port\"", trace->id());
+  }
+  BackendEndpoint joining;
+  joining.name = name->AsString();
+  joining.port = static_cast<uint16_t>(port->AsInt());
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    if (ring_.Contains(joining.name)) {
+      return WithEpochHeader(ApiError(
+          409, "member \"" + joining.name + "\" is already in the ring",
+          trace->id()));
+    }
+  }
+
+  const std::vector<BackendEndpoint> donors = Members();
+  std::vector<BackendEndpoint> pending = donors;
+  pending.push_back(joining);
+  const uint64_t new_epoch = ring_epoch() + 1;
+
+  if (config_.manage_replication && !donors.empty()) {
+    // Every current member donates the key ranges the joiner takes over:
+    // snapshot + tail-chase + cutover runs on the donor BEFORE the ring
+    // flips, so no click written during the transfer is lost.
+    const std::string body = HandoffBody(pending, new_epoch);
+    for (const BackendEndpoint& donor : donors) {
+      const Status moved =
+          PostAdminRetried(donor.port, repl::kHandoffPath, body);
+      if (!moved.ok()) {
+        LOG_WARNING << "gateway: join of " << joining.name
+                    << " abandoned, hand-off on " << donor.name
+                    << " failed: " << moved.ToString();
+        return WithEpochHeader(ApiError(
+            502, "hand-off on donor \"" + donor.name +
+                     "\" failed: " + moved.ToString(),
+            trace->id()));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    AttachBackendLocked(joining);
+    ring_epoch_ = new_epoch;
+  }
+  health_->AddBackend(joining);
+  if (config_.manage_replication) {
+    // Finish = donors delete their moved keys and adopt the new epoch.
+    // The ring has flipped, so a finish failure only leaves redirects
+    // armed longer than needed — never wrong routing.
+    for (const BackendEndpoint& donor : donors) {
+      const Status finished =
+          PostAdminRetried(donor.port, repl::kHandoffFinishPath, "{}");
+      if (!finished.ok()) {
+        LOG_WARNING << "gateway: hand-off finish on " << donor.name
+                    << " failed: " << finished.ToString();
+      }
+    }
+    (void)PushReplicationWiring();
+  }
+  LOG_INFO << "gateway: " << joining.name << " joined the ring (epoch "
+           << new_epoch << ", " << pending.size() << " members)";
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ring_epoch")
+      .Value(new_epoch)
+      .Key("joined")
+      .Value(joining.name)
+      .Key("members")
+      .Value(static_cast<uint64_t>(pending.size()))
+      .EndObject();
+  return WithEpochHeader(HttpResponse::Json(writer.str()));
+}
+
+HttpResponse ClusterGateway::HandleClusterDrain(const HttpRequest& request,
+                                                Trace* trace) {
+  std::lock_guard<std::mutex> admin_lock(admin_mutex_);
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  if (auto rejected = CheckEpoch(*doc, trace)) return *std::move(rejected);
+  const JsonValue* name = doc->Find("name");
+  if (name == nullptr || name->type() != JsonValue::Type::kString ||
+      name->AsString().empty()) {
+    return ApiError(400, "drain needs \"name\"", trace->id());
+  }
+  const std::string draining = name->AsString();
+
+  const std::vector<BackendEndpoint> members = Members();
+  BackendEndpoint drainee;
+  std::vector<BackendEndpoint> pending;
+  for (const BackendEndpoint& member : members) {
+    if (member.name == draining) {
+      drainee = member;
+    } else {
+      pending.push_back(member);
+    }
+  }
+  if (drainee.name.empty()) {
+    return WithEpochHeader(ApiError(
+        404, "member \"" + draining + "\" is not in the ring", trace->id()));
+  }
+  if (pending.empty()) {
+    return WithEpochHeader(ApiError(
+        409, "cannot drain the last member of the ring", trace->id()));
+  }
+  const uint64_t new_epoch = ring_epoch() + 1;
+
+  if (config_.manage_replication) {
+    // Only the drainee donates: removing one node hands its ranges to
+    // the survivors and moves nobody else's keys.
+    const Status moved = PostAdminRetried(drainee.port, repl::kHandoffPath,
+                                          HandoffBody(pending, new_epoch));
+    if (!moved.ok()) {
+      LOG_WARNING << "gateway: drain of " << draining
+                  << " abandoned: " << moved.ToString();
+      return WithEpochHeader(ApiError(
+          502, "hand-off on \"" + draining + "\" failed: " + moved.ToString(),
+          trace->id()));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    ring_.RemoveNode(draining);
+    for (auto it = backends_.begin(); it != backends_.end(); ++it) {
+      if ((*it)->endpoint.name == draining) {
+        // Park, don't destroy: in-flight forwards and hedge losers may
+        // still hold this Backend*.
+        retired_backends_.push_back(std::move(*it));
+        backends_.erase(it);
+        break;
+      }
+    }
+    ring_epoch_ = new_epoch;
+  }
+  health_->RemoveBackend(draining);
+  if (config_.manage_replication) {
+    const Status finished =
+        PostAdminRetried(drainee.port, repl::kHandoffFinishPath, "{}");
+    if (!finished.ok()) {
+      LOG_WARNING << "gateway: hand-off finish on " << draining
+                  << " failed: " << finished.ToString();
+    }
+    (void)PushReplicationWiring();
+  }
+  LOG_INFO << "gateway: " << draining << " drained from the ring (epoch "
+           << new_epoch << ", " << pending.size() << " members)";
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ring_epoch")
+      .Value(new_epoch)
+      .Key("drained")
+      .Value(draining)
+      .Key("members")
+      .Value(static_cast<uint64_t>(pending.size()))
+      .EndObject();
+  return WithEpochHeader(HttpResponse::Json(writer.str()));
+}
+
+HttpResponse ClusterGateway::HandleClusterRemove(const HttpRequest& request,
+                                                 Trace* trace) {
+  std::lock_guard<std::mutex> admin_lock(admin_mutex_);
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ApiError(400, "malformed JSON body: " + doc.status().message(),
+                    trace->id());
+  }
+  if (auto rejected = CheckEpoch(*doc, trace)) return *std::move(rejected);
+  const JsonValue* name = doc->Find("name");
+  if (name == nullptr || name->type() != JsonValue::Type::kString ||
+      name->AsString().empty()) {
+    return ApiError(400, "remove needs \"name\"", trace->id());
+  }
+  const std::string dead = name->AsString();
+
+  const std::vector<BackendEndpoint> members = Members();
+  BackendEndpoint victim;
+  std::vector<BackendEndpoint> survivors;
+  for (const BackendEndpoint& member : members) {
+    if (member.name == dead) {
+      victim = member;
+    } else {
+      survivors.push_back(member);
+    }
+  }
+  if (victim.name.empty()) {
+    return WithEpochHeader(ApiError(
+        404, "member \"" + dead + "\" is not in the ring", trace->id()));
+  }
+  if (survivors.empty()) {
+    return WithEpochHeader(ApiError(
+        409, "cannot remove the last member of the ring", trace->id()));
+  }
+  const uint64_t new_epoch = ring_epoch() + 1;
+
+  BackendEndpoint successor;
+  if (config_.manage_replication) {
+    // The dead pod's ring successor holds its replica. Promote it (merge
+    // the shadow table into its live store), then let it hand off: the
+    // ring flip scatters the dead pod's ranges across ALL survivors, so
+    // the successor pushes every adopted session to its new owner.
+    std::string successor_name;
+    {
+      std::lock_guard<std::mutex> lock(membership_mutex_);
+      successor_name = ring_.SuccessorOf(dead);
+    }
+    for (const BackendEndpoint& member : survivors) {
+      if (member.name == successor_name) successor = member;
+    }
+    if (successor.name.empty()) {
+      return WithEpochHeader(ApiError(
+          502, "no ring successor found for \"" + dead + "\"", trace->id()));
+    }
+    if (!health_->IsHealthy(successor.name)) {
+      return WithEpochHeader(ApiError(
+          502, "replica holder \"" + successor.name +
+                   "\" is unhealthy; cannot promote",
+          trace->id()));
+    }
+    JsonWriter promote;
+    promote.BeginObject().Key("donor").Value(dead).EndObject();
+    const Status promoted = PostAdminRetried(
+        successor.port, repl::kPromotePath, promote.str());
+    if (!promoted.ok()) {
+      LOG_WARNING << "gateway: remove of " << dead
+                  << " abandoned, promotion on " << successor.name
+                  << " failed: " << promoted.ToString();
+      return WithEpochHeader(ApiError(
+          502, "promotion on \"" + successor.name +
+                   "\" failed: " + promoted.ToString(),
+          trace->id()));
+    }
+    const Status moved = PostAdminRetried(successor.port, repl::kHandoffPath,
+                                          HandoffBody(survivors, new_epoch));
+    if (!moved.ok()) {
+      LOG_WARNING << "gateway: remove of " << dead
+                  << " abandoned, hand-off on " << successor.name
+                  << " failed: " << moved.ToString();
+      return WithEpochHeader(ApiError(
+          502, "hand-off on \"" + successor.name +
+                   "\" failed: " + moved.ToString(),
+          trace->id()));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    ring_.RemoveNode(dead);
+    for (auto it = backends_.begin(); it != backends_.end(); ++it) {
+      if ((*it)->endpoint.name == dead) {
+        retired_backends_.push_back(std::move(*it));
+        backends_.erase(it);
+        break;
+      }
+    }
+    ring_epoch_ = new_epoch;
+  }
+  health_->RemoveBackend(dead);
+  if (config_.manage_replication) {
+    const Status finished =
+        PostAdminRetried(successor.port, repl::kHandoffFinishPath, "{}");
+    if (!finished.ok()) {
+      LOG_WARNING << "gateway: hand-off finish on " << successor.name
+                  << " failed: " << finished.ToString();
+    }
+    (void)PushReplicationWiring();
+  }
+  LOG_INFO << "gateway: " << dead << " removed from the ring (epoch "
+           << new_epoch << ", " << survivors.size() << " members)";
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("ring_epoch")
+      .Value(new_epoch)
+      .Key("removed")
+      .Value(dead)
+      .Key("members")
+      .Value(static_cast<uint64_t>(survivors.size()))
+      .EndObject();
+  return WithEpochHeader(HttpResponse::Json(writer.str()));
+}
+
 HttpResponse ClusterGateway::HandleHealthz() {
   JsonWriter writer;
   writer.BeginObject()
@@ -747,6 +1414,8 @@ HttpResponse ClusterGateway::HandleHealthz() {
       .Value(static_cast<uint64_t>(health_->NumBackends()))
       .Key("healthy_backends")
       .Value(static_cast<uint64_t>(health_->NumHealthy()))
+      .Key("ring_epoch")
+      .Value(ring_epoch())
       .EndObject();
   return HttpResponse::Json(writer.str());
 }
@@ -763,6 +1432,7 @@ GatewayCounters ClusterGateway::counters() const {
 }
 
 std::vector<BackendCounters> ClusterGateway::backend_counters() const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
   std::vector<BackendCounters> out;
   out.reserve(backends_.size());
   for (const auto& backend : backends_) {
@@ -807,43 +1477,62 @@ HttpResponse ClusterGateway::HandleStats() {
       .Value(http_ ? http_->stats().shed : 0)
       .Key("healthy_backends")
       .Value(static_cast<uint64_t>(health_->NumHealthy()))
+      .Key("ring_epoch")
+      .Value(ring_epoch())
       .Key("backends")
       .BeginArray();
+  // Snapshot membership under the lock, then serialize outside it.
+  struct Row {
+    std::string name;
+    uint16_t port = 0;
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    rows.reserve(backends_.size());
+    for (const auto& backend : backends_) {
+      rows.push_back(Row{backend->endpoint.name, backend->endpoint.port,
+                         backend->requests->value(),
+                         backend->errors->value()});
+    }
+  }
   const std::vector<BackendHealth> health = health_->Snapshot();
-  for (const auto& backend : backends_) {
-    const std::string& name = backend->endpoint.name;
-    bool healthy = false;
-    uint64_t ejections = 0;
-    uint64_t index_version = 0;
-    uint64_t probe_connects = 0;
-    uint64_t probe_reuses = 0;
-    for (const BackendHealth& entry : health) {
-      if (entry.name == name) {
-        healthy = entry.healthy;
-        ejections = entry.ejections_total;
-        index_version = entry.index_version;
-        probe_connects = entry.probe_connects_total;
-        probe_reuses = entry.probe_reuses_total;
+  for (const Row& row : rows) {
+    BackendHealth entry;
+    entry.healthy = false;
+    for (const BackendHealth& candidate : health) {
+      if (candidate.name == row.name) {
+        entry = candidate;
         break;
       }
     }
     writer.BeginObject()
         .Key("name")
-        .Value(name)
+        .Value(row.name)
+        .Key("port")
+        .Value(static_cast<uint64_t>(row.port))
         .Key("healthy")
-        .Value(healthy)
+        .Value(entry.healthy)
         .Key("index_version")
-        .Value(index_version)
+        .Value(entry.index_version)
         .Key("requests")
-        .Value(backend->requests->value())
+        .Value(row.requests)
         .Key("errors")
-        .Value(backend->errors->value())
+        .Value(row.errors)
         .Key("ejections")
-        .Value(ejections)
+        .Value(entry.ejections_total)
         .Key("probe_connects")
-        .Value(probe_connects)
+        .Value(entry.probe_connects_total)
         .Key("probe_reuses")
-        .Value(probe_reuses)
+        .Value(entry.probe_reuses_total)
+        .Key("replica_lag_bytes")
+        .Value(entry.replica_lag_bytes)
+        .Key("replica_lag_seconds")
+        .Value(entry.replica_lag_seconds)
+        .Key("ring_epoch")
+        .Value(entry.ring_epoch)
         .EndObject();
   }
   writer.EndArray().EndObject();

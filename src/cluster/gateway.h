@@ -26,13 +26,29 @@
 //   GET  /v1/healthz  -> gateway liveness + healthy-backend count
 //   GET  /v1/stats    -> aggregate + per-backend counters (JSON)
 //   GET  /v1/metrics  -> Prometheus text exposition (MetricsRegistry)
+//
+// Elastic-fleet control plane (versioned, epoch-fenced; see API.md):
+//   GET  /v1/admin/cluster         -> ring membership, epoch, per-member
+//                                     health + replica lag
+//   POST /v1/admin/cluster/join    {"epoch":E,"name":N,"port":P}
+//   POST /v1/admin/cluster/drain   {"epoch":E,"name":N}
+//   POST /v1/admin/cluster/remove  {"epoch":E,"name":N}
+// Mutations must carry the current ring epoch; a stale epoch is rejected
+// with 409 + the error envelope (and the current epoch), so two racing
+// operators can never fork the ring. With manage_replication on, the
+// gateway also orchestrates the data motion: join/drain run the
+// snapshot + tail-chase + cutover hand-off on the affected donors before
+// the ring flips, and remove promotes the dead pod's replica on its ring
+// successor first.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +60,7 @@
 #include "obs/trace.h"
 #include "serving/client_pool.h"
 #include "serving/http.h"
+#include "serving/json.h"
 
 namespace serenade {
 
@@ -71,6 +88,18 @@ struct GatewayConfig {
   TraceConfig trace;
   /// Front-door reactor tuning (connection cap, timeouts, threads).
   HttpServerOptions http;
+  /// When set, membership changes orchestrate the replication data plane:
+  /// join/drain run session hand-offs on the affected donors, remove
+  /// promotes the dead pod's replica, and every change re-pushes each
+  /// pod's shipping peer. Off = pure membership mutations (pods without
+  /// the replication subsystem attached).
+  bool manage_replication = false;
+  /// Per-call deadline for control-plane calls to pods (hand-offs move
+  /// real data, so this is much larger than forward_timeout_ms).
+  uint64_t admin_timeout_ms = 15000;
+  /// Retries for a failed hand-off/promote call before the membership
+  /// change is abandoned (a donor may 500 mid-transfer and resume).
+  uint32_t admin_retry_attempts = 100;
 };
 
 /// Aggregate gateway counters (monotonic).
@@ -108,7 +137,6 @@ class ClusterGateway {
 
   uint16_t port() const { return http_ ? http_->port() : 0; }
   HealthChecker& health() { return *health_; }
-  const HashRing& ring() const { return ring_; }
   uint64_t requests_served() const {
     return http_ ? http_->requests_served() : 0;
   }
@@ -117,6 +145,31 @@ class ClusterGateway {
 
   /// The gateway's metric registry (handed to tests and collectors).
   MetricsRegistry& metrics() { return registry_; }
+
+  /// Current fleet-membership epoch (starts at 1; bumped per change).
+  uint64_t ring_epoch() const;
+
+  /// The pod currently owning `session_key` on the live ring ("" for an
+  /// empty ring). Resolved under the membership lock — the answer tests
+  /// use to find where a session must live after a rebalance.
+  std::string OwnerOf(const std::string& session_key) const;
+
+  /// Current members (name + port) under the membership lock.
+  std::vector<BackendEndpoint> Members() const;
+
+  /// Pushes each member's shipping peer (its ring successor) and the
+  /// current epoch to the fleet. Called automatically at Start() and
+  /// after every membership change when manage_replication is set;
+  /// exposed so a restarted pod can be rewired explicitly. Best-effort:
+  /// returns the first push failure, having attempted every member.
+  Status PushReplicationWiring();
+
+  /// Test seam: runs before every retry attempt's candidate
+  /// re-resolution in ForwardWithFailover (so tests can mutate
+  /// membership between attempts deterministically).
+  void set_pre_retry_hook(std::function<void()> hook) {
+    pre_retry_hook_ = std::move(hook);
+  }
 
  private:
   struct Backend {
@@ -135,6 +188,7 @@ class ClusterGateway {
 
   void RegisterMetrics();
   void BuildRoutes();
+  void AttachBackendLocked(const BackendEndpoint& endpoint);
 
   HttpResponse Handle(const HttpRequest& request);
   HttpResponse HandleRecommendGet(const HttpRequest& request, Trace* trace);
@@ -142,8 +196,30 @@ class ClusterGateway {
   HttpResponse HandleRecommendBatch(const HttpRequest& request, Trace* trace);
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
+  HttpResponse HandleClusterGet(Trace* trace);
+  HttpResponse HandleClusterJoin(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleClusterDrain(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleClusterRemove(const HttpRequest& request, Trace* trace);
 
-  Backend* FindBackend(const std::string& name);
+  /// Validates the mutation's "epoch" field against the current ring
+  /// epoch; a non-null return is the 409 (or 400) rejection to send.
+  std::optional<HttpResponse> CheckEpoch(const JsonValue& doc, Trace* trace);
+  /// Stamps X-Serenade-Ring-Epoch and returns `response`.
+  HttpResponse WithEpochHeader(HttpResponse response) const;
+
+  /// One fresh-connection control-plane POST to a pod (admin deadline).
+  StatusOr<HttpResponse> PostAdmin(uint16_t port, const std::string& path,
+                                   const std::string& body);
+  /// PostAdmin retried until 2xx (bounded by admin_retry_attempts): a
+  /// donor that 500s mid-hand-off keeps its transfer state and resumes
+  /// on the retried call.
+  Status PostAdminRetried(uint16_t port, const std::string& path,
+                          const std::string& body);
+  /// The hand-off request body for a pending membership.
+  std::string HandoffBody(const std::vector<BackendEndpoint>& pending,
+                          uint64_t new_epoch) const;
+
+  Backend* FindBackendLocked(const std::string& name);
   /// One forwarding attempt; `headers` carry the trace-context header. A
   /// non-null `post_body` forwards a POST instead of a GET.
   AttemptResult ForwardOnce(Backend& backend, const std::string& target,
@@ -162,6 +238,15 @@ class ClusterGateway {
       const std::string& session_key, const std::string& target,
       const std::map<std::string, std::string>& headers,
       const std::string* post_body, Trace* trace);
+  /// Forwards straight to a port outside the named-backend bookkeeping —
+  /// the one-hop follow of a donor's mid-hand-off 307.
+  AttemptResult ForwardToPort(uint16_t port, const std::string& target,
+                              const std::map<std::string, std::string>& headers,
+                              const std::string* post_body);
+  /// First healthy candidate for a key on the CURRENT ring ("" if none),
+  /// in node-successor order so failover traffic lands on the pod holding
+  /// the owner's replica.
+  std::string FirstHealthyFor(const std::string& session_key) const;
 
   /// Fallback recommendations seeded with the (possibly empty) clicked
   /// item; `item_text` is its decimal form.
@@ -175,7 +260,18 @@ class ClusterGateway {
   void ReleaseClient(Backend& backend, std::unique_ptr<HttpClient> client,
                      bool reusable);
 
+  // Live membership: backends_, ring_, and ring_epoch_ move together
+  // under membership_mutex_ (held briefly — candidate resolution and
+  // mutation only, never across network I/O). Removed backends park in
+  // retired_backends_ so Backend* held by in-flight forwards and hedge
+  // losers stay valid for the gateway's lifetime.
+  mutable std::mutex membership_mutex_;
   std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<std::unique_ptr<Backend>> retired_backends_;
+  uint64_t ring_epoch_ = 1;
+  // Serializes control-plane mutations end to end (epoch check ->
+  // hand-off -> ring flip -> rewire); forwarding never takes it.
+  std::mutex admin_mutex_;
   GatewayConfig config_;
   // Keep-alive connections to the pods, keyed by backend port (bounded
   // per endpoint; close-on-error).
@@ -195,6 +291,8 @@ class ClusterGateway {
   MetricCounter* retries_ = nullptr;
   MetricCounter* hedges_ = nullptr;
   MetricCounter* hedge_wins_ = nullptr;
+  MetricCounter* stale_epoch_rejects_ = nullptr;
+  MetricCounter* redirects_followed_ = nullptr;
   MetricHistogram* forward_latency_micros_ = nullptr;
   MetricHistogram* request_latency_micros_ = nullptr;
   MetricHistogram* reactor_loop_lag_micros_ = nullptr;
@@ -204,6 +302,8 @@ class ClusterGateway {
   // Detached hedge-loser threads still in flight; Stop() waits for zero
   // so they never outlive the state they touch.
   std::atomic<int> inflight_hedges_{0};
+
+  std::function<void()> pre_retry_hook_;
 };
 
 /// Percent-encodes a URL query component (inverse of UrlDecode for the

@@ -79,4 +79,42 @@ std::vector<std::string> HashRing::ReplicasFor(std::string_view key,
   return replicas;
 }
 
+namespace {
+// Cyclic node order for the successor relation: nodes sorted by the mixed
+// hash of their name (ties broken by name). Independent of virtual-node
+// points so the successor of a node is stable under vnode-count changes.
+std::vector<std::string> HashedNodeOrder(const std::vector<std::string>& nodes) {
+  std::vector<std::string> ordered = nodes;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const std::string& a, const std::string& b) {
+              const uint64_t ha = Mix64(Fnv1a(a)), hb = Mix64(Fnv1a(b));
+              return ha < hb || (ha == hb && a < b);
+            });
+  return ordered;
+}
+}  // namespace
+
+std::string HashRing::SuccessorOf(const std::string& node) const {
+  if (nodes_.size() < 2 || !Contains(node)) return std::string();
+  const std::vector<std::string> ordered = HashedNodeOrder(nodes_);
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    if (ordered[i] == node) return ordered[(i + 1) % ordered.size()];
+  }
+  return std::string();
+}
+
+std::vector<std::string> HashRing::SuccessorChain(
+    const std::string& start) const {
+  std::vector<std::string> chain;
+  if (!Contains(start)) return chain;
+  const std::vector<std::string> ordered = HashedNodeOrder(nodes_);
+  size_t at = 0;
+  while (ordered[at] != start) ++at;
+  chain.reserve(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    chain.push_back(ordered[(at + i) % ordered.size()]);
+  }
+  return chain;
+}
+
 }  // namespace serenade

@@ -15,8 +15,8 @@ namespace serenade {
 
 /// Maps string keys onto a set of named nodes via consistent hashing.
 /// Not thread-safe; callers that mutate the node set concurrently with
-/// lookups must synchronise externally (the gateway builds the ring once
-/// and treats membership changes as health, not ring, events).
+/// lookups must synchronise externally (the gateway guards its ring with
+/// a membership mutex and rebuilds it on live join/drain/remove).
 class HashRing {
  public:
   /// More virtual nodes smooth the load split at the cost of ring size;
@@ -43,6 +43,19 @@ class HashRing {
   /// which backend is "next" when the owner is unhealthy.
   std::vector<std::string> ReplicasFor(std::string_view key,
                                        size_t max_nodes) const;
+
+  /// The next distinct node after `node` in the cyclic order of hashed
+  /// node names. This is the node-level successor relation replication
+  /// uses: pod P ships its whole WAL to SuccessorOf(P), so on P's death
+  /// exactly one peer holds its replica. Returns "" for an unknown node
+  /// or a single-node ring.
+  std::string SuccessorOf(const std::string& node) const;
+
+  /// All nodes starting at `start` and walking the node-successor cycle
+  /// (start first). Used by the gateway to order failover candidates so
+  /// traffic for a dead owner lands on the peer holding its replica.
+  /// Returns an empty vector when `start` is unknown.
+  std::vector<std::string> SuccessorChain(const std::string& start) const;
 
  private:
   void Rebuild();

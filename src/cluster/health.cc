@@ -1,5 +1,6 @@
 #include "cluster/health.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
@@ -10,10 +11,10 @@ namespace serenade {
 
 HealthChecker::HealthChecker(std::vector<BackendEndpoint> backends,
                              HealthCheckerConfig config)
-    : backends_(std::move(backends)), config_(config) {
-  states_.reserve(backends_.size());
-  for (const BackendEndpoint& endpoint : backends_) {
-    auto state = std::make_unique<State>();
+    : config_(config) {
+  states_.reserve(backends.size());
+  for (const BackendEndpoint& endpoint : backends) {
+    auto state = std::make_shared<State>();
     state->endpoint = endpoint;
     states_.push_back(std::move(state));
   }
@@ -36,6 +37,31 @@ void HealthChecker::Stop() {
   if (prober_.joinable()) prober_.join();
 }
 
+void HealthChecker::AddBackend(const BackendEndpoint& endpoint) {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  for (const auto& state : states_) {
+    if (state->endpoint.name == endpoint.name) return;  // idempotent
+  }
+  auto state = std::make_shared<State>();
+  state->endpoint = endpoint;
+  states_.push_back(std::move(state));
+}
+
+void HealthChecker::RemoveBackend(const std::string& name) {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  states_.erase(std::remove_if(states_.begin(), states_.end(),
+                               [&name](const std::shared_ptr<State>& state) {
+                                 return state->endpoint.name == name;
+                               }),
+                states_.end());
+}
+
+std::vector<std::shared_ptr<HealthChecker::State>>
+HealthChecker::StatesSnapshot() const {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  return states_;
+}
+
 void HealthChecker::ProbeLoop() {
   while (!stopping_.load()) {
     ProbeAllOnce();
@@ -51,10 +77,9 @@ void HealthChecker::ProbeAllOnce() {
   // startup while the prober thread may already be mid-round, and the
   // persistent probe clients must not see concurrent I/O.
   std::lock_guard<std::mutex> round_lock(probe_mutex_);
-  for (auto& state : states_) {
+  for (const auto& state : StatesSnapshot()) {
     const ProbeOutcome outcome = ProbeBackend(*state);
-    ApplyResult(*state, outcome.ok, /*from_probe=*/true,
-                outcome.index_version, outcome.index_freshness_seconds);
+    ApplyResult(*state, outcome.ok, /*from_probe=*/true, outcome);
   }
 }
 
@@ -102,24 +127,38 @@ HealthChecker::ProbeOutcome HealthChecker::ProbeBackend(State& state) {
     outcome.index_freshness_seconds =
         static_cast<uint64_t>(freshness->AsInt());
   }
+  // Replication lag + adopted membership epoch; absent on pods without
+  // the replication subsystem attached.
+  if (const JsonValue* lag = doc->Find("replica_lag_bytes")) {
+    outcome.replica_lag_bytes = static_cast<uint64_t>(lag->AsInt());
+  }
+  if (const JsonValue* lag = doc->Find("replica_lag_seconds")) {
+    outcome.replica_lag_seconds = lag->AsNumber();
+  }
+  if (const JsonValue* epoch = doc->Find("ring_epoch")) {
+    outcome.ring_epoch = static_cast<uint64_t>(epoch->AsInt());
+  }
   return outcome;
 }
 
 void HealthChecker::ApplyResult(State& state, bool success, bool from_probe,
-                                uint64_t index_version,
-                                uint64_t index_freshness_seconds) {
+                                const ProbeOutcome& outcome) {
   std::lock_guard<std::mutex> lock(state.mutex);
   if (from_probe) {
     ++state.probes_total;
     if (!success) ++state.probe_failures_total;
   }
-  if (success && index_version != 0) {
-    state.index_version = index_version;
+  if (success && outcome.index_version != 0) {
+    state.index_version = outcome.index_version;
   }
   if (success && from_probe) {
-    // 0 is meaningful here (a just-applied delta), so overwrite on every
-    // successful probe rather than treating 0 as "absent".
-    state.index_freshness_seconds = index_freshness_seconds;
+    // 0 is meaningful here (a just-applied delta / zero lag), so
+    // overwrite on every successful probe rather than treating 0 as
+    // "absent".
+    state.index_freshness_seconds = outcome.index_freshness_seconds;
+    state.replica_lag_bytes = outcome.replica_lag_bytes;
+    state.replica_lag_seconds = outcome.replica_lag_seconds;
+    if (outcome.ring_epoch != 0) state.ring_epoch = outcome.ring_epoch;
   }
   if (success) {
     state.consecutive_failures = 0;
@@ -141,15 +180,17 @@ void HealthChecker::ApplyResult(State& state, bool success, bool from_probe,
   }
 }
 
-HealthChecker::State* HealthChecker::FindState(const std::string& name) const {
+std::shared_ptr<HealthChecker::State> HealthChecker::FindState(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(states_mutex_);
   for (const auto& state : states_) {
-    if (state->endpoint.name == name) return state.get();
+    if (state->endpoint.name == name) return state;
   }
   return nullptr;
 }
 
 bool HealthChecker::IsHealthy(const std::string& name) const {
-  const State* state = FindState(name);
+  const auto state = FindState(name);
   if (state == nullptr) return false;
   std::lock_guard<std::mutex> lock(state->mutex);
   return state->healthy;
@@ -157,20 +198,27 @@ bool HealthChecker::IsHealthy(const std::string& name) const {
 
 size_t HealthChecker::NumHealthy() const {
   size_t healthy = 0;
-  for (const auto& state : states_) {
+  for (const auto& state : StatesSnapshot()) {
     std::lock_guard<std::mutex> lock(state->mutex);
     if (state->healthy) ++healthy;
   }
   return healthy;
 }
 
+size_t HealthChecker::NumBackends() const {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  return states_.size();
+}
+
 std::vector<BackendHealth> HealthChecker::Snapshot() const {
   std::vector<BackendHealth> snapshot;
-  snapshot.reserve(states_.size());
-  for (const auto& state : states_) {
+  const auto states = StatesSnapshot();
+  snapshot.reserve(states.size());
+  for (const auto& state : states) {
     std::lock_guard<std::mutex> lock(state->mutex);
     BackendHealth health;
     health.name = state->endpoint.name;
+    health.port = state->endpoint.port;
     health.healthy = state->healthy;
     health.consecutive_failures = state->consecutive_failures;
     health.consecutive_successes = state->consecutive_successes;
@@ -181,20 +229,23 @@ std::vector<BackendHealth> HealthChecker::Snapshot() const {
     health.index_freshness_seconds = state->index_freshness_seconds;
     health.probe_connects_total = state->probe_connects_total;
     health.probe_reuses_total = state->probe_reuses_total;
+    health.replica_lag_bytes = state->replica_lag_bytes;
+    health.replica_lag_seconds = state->replica_lag_seconds;
+    health.ring_epoch = state->ring_epoch;
     snapshot.push_back(std::move(health));
   }
   return snapshot;
 }
 
 uint64_t HealthChecker::IndexVersion(const std::string& name) const {
-  const State* state = FindState(name);
+  const auto state = FindState(name);
   if (state == nullptr) return 0;
   std::lock_guard<std::mutex> lock(state->mutex);
   return state->index_version;
 }
 
 void HealthChecker::ReportResult(const std::string& name, bool success) {
-  State* state = FindState(name);
+  const auto state = FindState(name);
   if (state != nullptr) ApplyResult(*state, success, /*from_probe=*/false);
 }
 

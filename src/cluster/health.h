@@ -38,6 +38,7 @@ struct HealthCheckerConfig {
 /// Point-in-time health view of one backend.
 struct BackendHealth {
   std::string name;
+  uint16_t port = 0;
   bool healthy = true;
   uint32_t consecutive_failures = 0;
   uint32_t consecutive_successes = 0;
@@ -59,6 +60,14 @@ struct BackendHealth {
   /// reuses grow with every round.
   uint64_t probe_connects_total = 0;
   uint64_t probe_reuses_total = 0;
+  /// Replication lag the pod reported on its last successful probe: WAL
+  /// bytes (and seconds) its ring successor has not yet acknowledged.
+  /// Zero for pods without replication.
+  uint64_t replica_lag_bytes = 0;
+  double replica_lag_seconds = 0.0;
+  /// Fleet-membership epoch the pod last adopted (0 = none reported). A
+  /// pod lagging the gateway's epoch is still rewiring.
+  uint64_t ring_epoch = 0;
 };
 
 /// Thread-safe health registry + prober. Backends start healthy (the
@@ -87,8 +96,14 @@ class HealthChecker {
   /// unhealthy.
   bool IsHealthy(const std::string& name) const;
 
+  /// Live-membership maintenance (join/drain/remove on a running fleet).
+  /// AddBackend starts the new pod healthy, mirroring construction;
+  /// RemoveBackend drops it from future probe rounds (no-op when absent).
+  void AddBackend(const BackendEndpoint& endpoint);
+  void RemoveBackend(const std::string& name);
+
   size_t NumHealthy() const;
-  size_t NumBackends() const { return backends_.size(); }
+  size_t NumBackends() const;
 
   /// Last index version reported by the named backend (0 = unknown).
   uint64_t IndexVersion(const std::string& name) const;
@@ -115,6 +130,9 @@ class HealthChecker {
     uint64_t index_freshness_seconds = 0;
     uint64_t probe_connects_total = 0;
     uint64_t probe_reuses_total = 0;
+    uint64_t replica_lag_bytes = 0;
+    double replica_lag_seconds = 0.0;
+    uint64_t ring_epoch = 0;
     /// Persistent keep-alive probe connection (guarded by probe_mutex_,
     /// not this state's mutex: only the serialized probe path touches it).
     /// Dropped on any transport error; redialed on the next round.
@@ -126,20 +144,27 @@ class HealthChecker {
     bool ok = false;
     uint64_t index_version = 0;  ///< 0 when absent from the response
     uint64_t index_freshness_seconds = 0;  ///< 0 when absent
+    uint64_t replica_lag_bytes = 0;
+    double replica_lag_seconds = 0.0;
+    uint64_t ring_epoch = 0;
   };
 
   void ProbeLoop();
   ProbeOutcome ProbeBackend(State& state);
   void ApplyResult(State& state, bool success, bool from_probe,
-                   uint64_t index_version = 0,
-                   uint64_t index_freshness_seconds = 0);
-  State* FindState(const std::string& name) const;
+                   const ProbeOutcome& outcome);
+  void ApplyResult(State& state, bool success, bool from_probe) {
+    ApplyResult(state, success, from_probe, ProbeOutcome{});
+  }
+  std::shared_ptr<State> FindState(const std::string& name) const;
+  std::vector<std::shared_ptr<State>> StatesSnapshot() const;
 
-  std::vector<BackendEndpoint> backends_;
   HealthCheckerConfig config_;
-  // States are stable in memory (vector of unique_ptr) so callers can be
-  // handed references that survive concurrent Snapshot calls.
-  std::vector<std::unique_ptr<State>> states_;
+  // Guards membership of states_; individual State counters have their
+  // own mutex, and shared_ptr keeps a State alive across a probe round
+  // even if RemoveBackend races it.
+  mutable std::mutex states_mutex_;
+  std::vector<std::shared_ptr<State>> states_;
   std::atomic<bool> stopping_{true};
   std::thread prober_;
   std::mutex wakeup_mutex_;

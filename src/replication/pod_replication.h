@@ -1,0 +1,169 @@
+// Pod-side replication agent: owns the WAL shipper (this pod -> ring
+// successor) and the replica hub (ring predecessors -> this pod), and
+// registers the replication/hand-off control-plane routes on the pod's
+// router before the server starts:
+//
+//   POST /v1/admin/replication/batch    WAL batches from donors (hub)
+//   POST /v1/admin/replication/peer     {"peer_port":N,"ring_epoch":E}
+//                                       rewires the shipper target
+//   POST /v1/admin/replication/promote  {"donor":"pod-X"} merges the
+//                                       donor's replica into this pod's
+//                                       live store (session-aware merge,
+//                                       expired entries skipped)
+//   POST /v1/admin/sessions/restore     {"entries":[{"k","v","t"},...]}
+//                                       hand-off entries from a donor
+//   POST /v1/admin/sessions/handoff     {"ring_epoch","virtual_nodes",
+//                                        "members":[{"name","port"}...]}
+//                                       push every session whose pending
+//                                       owner is another member, with
+//                                       per-key cutover (see DESIGN.md
+//                                       §12); retry-safe and idempotent
+//   POST /v1/admin/sessions/handoff:finish  drop moved keys, adopt epoch
+//
+// Mid-hand-off writes: once a key is cut over, a single recommend gets a
+// 307 + X-Serenade-Backend-Port (the gateway follows one hop) and a
+// batch slot is proxied to the new owner. The write-hook inflight
+// accounting guarantees a key is only cut over once its local value has
+// quiesced AND been pushed, so no acknowledged click is ever stranded on
+// the donor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/hash_ring.h"
+#include "common/status.h"
+#include "replication/replica_hub.h"
+#include "replication/wal_shipper.h"
+#include "serving/client_pool.h"
+#include "serving/server.h"
+
+namespace serenade {
+
+struct PodReplicationConfig {
+  std::string pod_name;
+  /// Must match the gateway's ring so donor and gateway agree on pending
+  /// ownership during hand-off.
+  size_t virtual_nodes = 128;
+  uint64_t ship_interval_ms = 20;
+  size_t max_batch_bytes = 256 * 1024;
+  HttpClientOptions client{/*connect_timeout_ms=*/2000,
+                           /*io_timeout_ms=*/5000};
+  /// Hand-off restore push granularity.
+  size_t restore_batch_entries = 256;
+  /// Push/cutover passes before the hand-off falls back to briefly
+  /// blocking writers of the remaining (hot) keys.
+  int handoff_max_passes = 50;
+  /// How long post-finish write diversion lingers so in-flight requests
+  /// routed against the pre-flip ring still reach the new owner.
+  uint64_t residue_ms = 2000;
+};
+
+/// Attach to a SerenadeServer BEFORE Start(); Start()/Stop() bracket the
+/// shipping thread (Stop flushes, so graceful shutdown loses nothing).
+class PodReplication {
+ public:
+  PodReplication(SerenadeServer* server, PodReplicationConfig config);
+  ~PodReplication();
+
+  PodReplication(const PodReplication&) = delete;
+  PodReplication& operator=(const PodReplication&) = delete;
+
+  Status Start();
+  void Stop();
+
+  ReplicaHub& hub() { return hub_; }
+  WalShipper& shipper() { return *shipper_; }
+  uint64_t ring_epoch() const {
+    return ring_epoch_.load(std::memory_order_acquire);
+  }
+
+  uint64_t sessions_moved_total() const { return sessions_moved_.load(); }
+  uint64_t redirects_total() const { return redirects_.load(); }
+  uint64_t proxied_writes_total() const { return proxied_writes_.load(); }
+  uint64_t promotions_total() const { return promotions_.load(); }
+  uint64_t handoffs_total() const { return handoffs_.load(); }
+
+ private:
+  struct Transfer {
+    bool active = false;
+    /// Set once the push loop converged: every pre-existing moving key is
+    /// cut over, brand-new moving keys divert straight to their pending
+    /// owner, and stragglers with local state are briefly blocked.
+    bool range_closed = false;
+    uint64_t target_epoch = 0;
+    HashRing ring;                                  // pending membership
+    std::map<std::string, uint16_t> ports;          // member -> port
+    std::set<std::string> member_names;
+    std::set<std::string> moved;                    // cut-over keys
+    std::set<std::string> blocked;                  // force-cutover window
+    std::unordered_map<std::string, std::string> pushed;  // key -> value
+  };
+
+  SessionStore& store() { return server_->service().session_store(); }
+
+  void RegisterRoutes();
+  void RegisterHooks();
+  void RegisterMetrics();
+
+  HttpResponse HandleBatch(const HttpRequest& request, Trace* trace);
+  HttpResponse HandlePeer(const HttpRequest& request, Trace* trace);
+  HttpResponse HandlePromote(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleRestore(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleHandoff(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleHandoffFinish(const HttpRequest& request, Trace* trace);
+
+  /// The replication write hook: nullopt admits a local write (and
+  /// registers it in-flight); otherwise the response to return (307 /
+  /// proxied slot result / 503 during the cutover window).
+  std::optional<HttpResponse> Divert(const std::string& key, bool batch_slot,
+                                     const std::string& slot_json);
+  void WriteDone(const std::string& key);
+
+  HttpResponse RedirectTo(uint16_t port);
+  HttpResponse ProxySlot(uint16_t port, const std::string& slot_json);
+  Status PostRestore(uint16_t port,
+                     const std::vector<SessionStore::RestoreEntry>& entries);
+  void AwaitMovingInflightDrain();
+
+  SerenadeServer* server_;
+  const PodReplicationConfig config_;
+  ReplicaHub hub_;
+  std::unique_ptr<WalShipper> shipper_;
+  std::unique_ptr<HttpClientPool> pool_;  // hand-off pushes + slot proxies
+
+  std::atomic<uint64_t> ring_epoch_{0};
+
+  mutable std::mutex transfer_mutex_;
+  Transfer transfer_;
+  std::unordered_map<std::string, int> inflight_;
+  /// Post-finish diversion residue (see residue_ms).
+  Transfer residue_;
+  int64_t residue_until_ms_ = 0;
+
+  std::atomic<uint64_t> sessions_moved_{0};
+  std::atomic<uint64_t> redirects_{0};
+  std::atomic<uint64_t> proxied_writes_{0};
+  std::atomic<uint64_t> blocked_writes_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> sessions_promoted_{0};
+  std::atomic<uint64_t> sessions_promote_skipped_{0};
+  std::atomic<uint64_t> handoffs_{0};
+};
+
+/// Merges a replica's session value with clicks the local pod accrued
+/// while serving failover traffic. Session values are append-only comma
+/// lists, so if one side is a token-prefix of the other the longer wins;
+/// otherwise the replica history (older clicks) is concatenated before
+/// the local suffix. Exposed for tests.
+std::string MergeSessionValues(const std::string& replica,
+                               const std::string& local);
+
+}  // namespace serenade

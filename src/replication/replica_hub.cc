@@ -1,0 +1,125 @@
+#include "replication/replica_hub.h"
+
+#include <utility>
+
+#include "store/wal.h"
+
+namespace serenade {
+
+StatusOr<uint64_t> ReplicaHub::ApplyBatch(const std::string& donor,
+                                          uint64_t seq, uint64_t start_offset,
+                                          bool reset, std::string_view bytes,
+                                          uint64_t* acked_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Donor& state = donors_[donor];
+  if (reset) {
+    // The donor's WAL was rewritten (compaction / fresh shipper): rebuild
+    // the replica from offset zero.
+    state.table.clear();
+    state.log.clear();
+    state.acked_offset = 0;
+  }
+  if (acked_out != nullptr) *acked_out = state.acked_offset;
+  if (start_offset != state.acked_offset) {
+    ++state.batches_rejected;
+    ++batches_rejected_;
+    return Status::Corruption(
+        "batch offset " + std::to_string(start_offset) +
+        " does not continue the replica (acked " +
+        std::to_string(state.acked_offset) + ")");
+  }
+
+  // Parse before applying: a batch either lands whole or not at all, so
+  // the accepted log stays a byte-exact prefix of the donor WAL.
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  auto replayed = ReplayWalBytes(
+      bytes, [&](const WalRecord& record) { records.push_back(record); },
+      &valid_bytes);
+  if (!replayed.ok() || valid_bytes != bytes.size()) {
+    ++state.batches_rejected;
+    ++batches_rejected_;
+    return Status::InvalidArgument(
+        "torn replication batch: " +
+        (replayed.ok() ? std::to_string(valid_bytes) + " of " +
+                             std::to_string(bytes.size()) + " bytes intact"
+                       : replayed.status().message()));
+  }
+
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kDelete) {
+      state.table.erase(record.key);
+    } else {
+      state.table[record.key] = SessionStore::RestoreEntry{
+          record.key, record.value, record.timestamp};
+    }
+  }
+  state.log.append(bytes.data(), bytes.size());
+  state.acked_offset += bytes.size();
+  state.last_seq = seq;
+  ++state.batches_applied;
+  ++batches_applied_;
+  bytes_applied_ += bytes.size();
+  if (acked_out != nullptr) *acked_out = state.acked_offset;
+  return state.acked_offset;
+}
+
+std::vector<SessionStore::RestoreEntry> ReplicaHub::SnapshotDonor(
+    const std::string& donor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionStore::RestoreEntry> out;
+  auto it = donors_.find(donor);
+  if (it == donors_.end()) return out;
+  out.reserve(it->second.table.size());
+  for (const auto& [key, entry] : it->second.table) out.push_back(entry);
+  return out;
+}
+
+void ReplicaHub::DropDonor(const std::string& donor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  donors_.erase(donor);
+}
+
+std::string ReplicaHub::LogBytes(const std::string& donor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = donors_.find(donor);
+  return it == donors_.end() ? std::string() : it->second.log;
+}
+
+ReplicaDonorState ReplicaHub::DonorState(const std::string& donor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicaDonorState out;
+  auto it = donors_.find(donor);
+  if (it == donors_.end()) return out;
+  out.acked_offset = it->second.acked_offset;
+  out.last_seq = it->second.last_seq;
+  out.batches_applied = it->second.batches_applied;
+  out.batches_rejected = it->second.batches_rejected;
+  out.entries = it->second.table.size();
+  return out;
+}
+
+std::vector<std::string> ReplicaHub::Donors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(donors_.size());
+  for (const auto& [name, state] : donors_) out.push_back(name);
+  return out;
+}
+
+uint64_t ReplicaHub::batches_applied_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_applied_;
+}
+
+uint64_t ReplicaHub::batches_rejected_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_rejected_;
+}
+
+uint64_t ReplicaHub::bytes_applied_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_applied_;
+}
+
+}  // namespace serenade

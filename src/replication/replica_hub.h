@@ -1,0 +1,96 @@
+// Receiving side of WAL shipping: a pod hosts one ReplicaHub that applies
+// sequence-numbered batches of raw WAL bytes from each donor (its ring
+// predecessors) into per-donor shadow session tables. The hub keeps the
+// accepted byte stream verbatim, so a replica is byte-identical to a
+// prefix of the donor's on-disk WAL — the property replication_test
+// asserts — and batches are idempotent: a resend of already-applied bytes
+// is answered with the current applied offset instead of double-applying.
+//
+// Protocol (POST /v1/admin/replication/batch, registered by
+// PodReplication):
+//   headers  X-Serenade-Repl-Donor   donor pod name
+//            X-Serenade-Repl-Seq     shipper batch sequence number
+//            X-Serenade-Repl-Offset  donor WAL byte offset of the batch
+//            X-Serenade-Repl-Reset   "1" = drop donor state first (the
+//                                    donor's WAL was rewritten/compacted)
+//   body     raw WAL-framed bytes (store/wal record layout)
+//   200 {"acked_offset":N,"seq":S}  batch applied through offset N
+//   409 + envelope, {"acked_offset":N}  offset mismatch; shipper rewinds
+//   400 + envelope                  torn/corrupt bytes; nothing applied
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/session_store.h"
+
+namespace serenade {
+
+struct ReplicaDonorState {
+  uint64_t acked_offset = 0;   ///< donor WAL bytes applied so far
+  uint64_t last_seq = 0;       ///< sequence number of the last batch
+  uint64_t batches_applied = 0;
+  uint64_t batches_rejected = 0;
+  size_t entries = 0;          ///< sessions in the shadow table
+};
+
+/// Thread-safe replica state for all donors shipping to this pod.
+class ReplicaHub {
+ public:
+  /// Applies one shipped batch. On success returns the new acked offset.
+  /// Failure modes:
+  ///   kInvalidArgument — `bytes` does not parse as a whole number of
+  ///     intact WAL records (torn or corrupt in flight). Nothing is
+  ///     applied; the shipper resends the batch.
+  ///   kCorruption — `start_offset` is not the donor's current acked
+  ///     offset (duplicate resend or a shipper that restarted). Nothing
+  ///     is applied; `*acked_out` carries the offset the shipper must
+  ///     rewind (or fast-forward) to. Maps to HTTP 409.
+  StatusOr<uint64_t> ApplyBatch(const std::string& donor, uint64_t seq,
+                                uint64_t start_offset, bool reset,
+                                std::string_view bytes, uint64_t* acked_out);
+
+  /// Copies the donor's shadow table (promotion input). Entries carry the
+  /// donor-side timestamps; expiry is the promoter's concern.
+  std::vector<SessionStore::RestoreEntry> SnapshotDonor(
+      const std::string& donor) const;
+
+  /// Drops all state for a donor (after promotion, or when the ring
+  /// rewires shipping away from this pod).
+  void DropDonor(const std::string& donor);
+
+  /// The raw accepted byte stream for a donor — byte-identical to the
+  /// prefix of the donor's WAL that has been acked.
+  std::string LogBytes(const std::string& donor) const;
+
+  ReplicaDonorState DonorState(const std::string& donor) const;
+  std::vector<std::string> Donors() const;
+
+  uint64_t batches_applied_total() const;
+  uint64_t batches_rejected_total() const;
+  uint64_t bytes_applied_total() const;
+
+ private:
+  struct Donor {
+    std::unordered_map<std::string, SessionStore::RestoreEntry> table;
+    std::string log;  // accepted bytes, verbatim
+    uint64_t acked_offset = 0;
+    uint64_t last_seq = 0;
+    uint64_t batches_applied = 0;
+    uint64_t batches_rejected = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Donor> donors_;
+  uint64_t batches_applied_ = 0;
+  uint64_t batches_rejected_ = 0;
+  uint64_t bytes_applied_ = 0;
+};
+
+}  // namespace serenade

@@ -1,0 +1,31 @@
+// Shared wire constants for the replication / hand-off control plane.
+// Kept header-only so the gateway (src/cluster) can speak the protocol
+// without linking the replication library.
+#pragma once
+
+namespace serenade::repl {
+
+// --- WAL shipping (WalShipper -> ReplicaHub) --------------------------------
+inline constexpr char kBatchPath[] = "/v1/admin/replication/batch";
+inline constexpr char kDonorHeader[] = "X-Serenade-Repl-Donor";
+inline constexpr char kSeqHeader[] = "X-Serenade-Repl-Seq";
+inline constexpr char kOffsetHeader[] = "X-Serenade-Repl-Offset";
+inline constexpr char kResetHeader[] = "X-Serenade-Repl-Reset";
+inline constexpr char kAckedOffsetField[] = "acked_offset";
+
+// --- control plane (gateway -> pod) -----------------------------------------
+inline constexpr char kPeerPath[] = "/v1/admin/replication/peer";
+inline constexpr char kPromotePath[] = "/v1/admin/replication/promote";
+inline constexpr char kHandoffPath[] = "/v1/admin/sessions/handoff";
+inline constexpr char kHandoffFinishPath[] = "/v1/admin/sessions/handoff:finish";
+inline constexpr char kRestorePath[] = "/v1/admin/sessions/restore";
+
+// --- mid-hand-off write diversion -------------------------------------------
+// A donor answering a single recommend for an already-cut-over key replies
+// 307 with this header naming the new owner's port; the gateway follows
+// one hop.
+inline constexpr char kBackendPortHeader[] = "X-Serenade-Backend-Port";
+// Ring epoch stamped on control-plane responses (fencing).
+inline constexpr char kRingEpochHeader[] = "X-Serenade-Ring-Epoch";
+
+}  // namespace serenade::repl

@@ -1,0 +1,275 @@
+#include "replication/wal_shipper.h"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "common/logging.h"
+#include "replication/replication_protocol.h"
+#include "serving/json.h"
+#include "store/wal.h"
+#include "testing/fault_injection.h"
+
+namespace serenade {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The receiver's acked offset from a batch response body
+// ({"acked_offset":N,...}); nullopt when unparseable.
+std::optional<uint64_t> ParseAckedOffset(const std::string& body) {
+  auto doc = ParseJson(body);
+  if (!doc.ok()) return std::nullopt;
+  const JsonValue* acked = doc->Find(repl::kAckedOffsetField);
+  if (acked == nullptr || acked->type() != JsonValue::Type::kNumber) {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(acked->AsNumber());
+}
+
+}  // namespace
+
+WalShipper::WalShipper(WalShipperConfig config,
+                       std::function<Status()> sync_wal,
+                       std::function<uint64_t()> wal_generation)
+    : config_(std::move(config)),
+      sync_wal_(std::move(sync_wal)),
+      wal_generation_(std::move(wal_generation)) {
+  caught_up_at_ms_.store(SteadyNowMs(), std::memory_order_release);
+}
+
+WalShipper::~WalShipper() { Stop(); }
+
+void WalShipper::Start() {
+  if (thread_.joinable()) return;
+  stopping_.store(false);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void WalShipper::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_.store(true);
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  // Graceful shutdown ships everything acknowledged to clients, so the
+  // replica is complete even though this pod will never restart. Retries
+  // ride out injected faults and peer hiccups; a torn (unacknowledged)
+  // tail record legitimately never ships and does not count as lag here.
+  if (peer_port() != 0) {
+    Status flushed = FlushNow();
+    for (int attempt = 0;
+         attempt < 20 && (!flushed.ok() || lag_bytes() > 0); ++attempt) {
+      flushed = FlushNow();
+    }
+    if (!flushed.ok()) {
+      LOG_WARNING << "wal_shipper: final flush failed: "
+                  << flushed.ToString();
+    }
+  }
+}
+
+void WalShipper::SetPeer(uint16_t port) {
+  std::lock_guard<std::mutex> lock(ship_mutex_);
+  if (port == peer_port_.load(std::memory_order_acquire)) return;
+  peer_port_.store(port, std::memory_order_release);
+  client_.reset();
+  connected_port_ = 0;
+  acked_offset_ = 0;
+  pending_reset_ = true;
+  if (port == 0) lag_bytes_.store(0, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> wake(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+}
+
+double WalShipper::lag_seconds() const {
+  if (lag_bytes_.load(std::memory_order_acquire) == 0) return 0.0;
+  const int64_t since =
+      SteadyNowMs() - caught_up_at_ms_.load(std::memory_order_acquire);
+  return since > 0 ? static_cast<double>(since) / 1000.0 : 0.0;
+}
+
+WalShipperStats WalShipper::stats() const {
+  std::lock_guard<std::mutex> lock(ship_mutex_);
+  return stats_;
+}
+
+void WalShipper::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait_for(lock,
+                        std::chrono::milliseconds(config_.ship_interval_ms),
+                        [this] { return stopping_.load(); });
+      if (stopping_.load()) return;
+    }
+    const Status shipped = ShipUntilCaughtUp();
+    if (!shipped.ok()) {
+      // Transient (peer restarting, transfer in progress): keep tailing.
+      continue;
+    }
+  }
+}
+
+Status WalShipper::ShipUntilCaughtUp() {
+  std::lock_guard<std::mutex> lock(ship_mutex_);
+  while (true) {
+    bool progress = false;
+    const Status status = ShipOnce(&progress);
+    SERENADE_RETURN_IF_ERROR(status);
+    if (!progress) return Status::Ok();
+    if (lag_bytes_.load(std::memory_order_acquire) == 0) return Status::Ok();
+  }
+}
+
+Status WalShipper::FlushNow() { return ShipUntilCaughtUp(); }
+
+void WalShipper::UpdateLag(uint64_t file_size, uint64_t acked) {
+  const uint64_t lag = file_size > acked ? file_size - acked : 0;
+  if (lag == 0) caught_up_at_ms_.store(SteadyNowMs(), std::memory_order_release);
+  lag_bytes_.store(lag, std::memory_order_release);
+}
+
+Status WalShipper::ShipOnce(bool* progress) {
+  *progress = false;
+  const uint16_t peer = peer_port_.load(std::memory_order_acquire);
+  if (peer == 0 || config_.wal_path.empty()) return Status::Ok();
+
+  SERENADE_RETURN_IF_ERROR(sync_wal_());
+
+  const uint64_t generation = wal_generation_ ? wal_generation_() : 0;
+  std::error_code ec;
+  const uint64_t file_size =
+      static_cast<uint64_t>(std::filesystem::file_size(config_.wal_path, ec));
+  if (ec) {
+    // No WAL yet: nothing to ship.
+    UpdateLag(0, 0);
+    return Status::Ok();
+  }
+  if (generation != last_generation_ || file_size < acked_offset_) {
+    // The byte stream we were tailing was rewritten under us; restart.
+    last_generation_ = generation;
+    acked_offset_ = 0;
+    pending_reset_ = true;
+    ++stats_.resets;
+  }
+  UpdateLag(file_size, acked_offset_);
+  if (file_size <= acked_offset_) {
+    *progress = true;  // fully shipped
+    return Status::Ok();
+  }
+
+  const uint64_t want =
+      std::min<uint64_t>(file_size - acked_offset_, config_.max_batch_bytes);
+  std::string chunk(want, '\0');
+  {
+    std::ifstream file(config_.wal_path, std::ios::binary);
+    if (!file) return Status::IoError("cannot open WAL for shipping");
+    file.seekg(static_cast<std::streamoff>(acked_offset_));
+    file.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    chunk.resize(static_cast<size_t>(file.gcount()));
+  }
+  // Trim to a record boundary: the receiver only accepts whole records.
+  uint64_t valid = 0;
+  auto framed = ReplayWalBytes(chunk, [](const WalRecord&) {}, &valid);
+  if (!framed.ok()) {
+    return Status::Corruption("donor WAL corrupt at shipped range: " +
+                              framed.status().message());
+  }
+  if (valid == 0) {
+    // Only a partial record so far (a write is landing); retry next tick.
+    return Status::Ok();
+  }
+  std::string body = chunk.substr(0, valid);
+
+  // Truncates the batch in flight; the receiver either rejects the torn
+  // tail wholesale (400, we resend) or — when the cut lands on a record
+  // boundary — acks the shorter prefix. Both keep byte parity.
+  SERENADE_FAULT_POINT(FaultSite::kReplShipTruncate, {
+    body.resize(static_cast<size_t>(serenade_fi->RandBelow(body.size())));
+  });
+
+  if (client_ == nullptr || connected_port_ != peer) {
+    auto client = std::make_unique<HttpClient>(config_.client);
+    const Status connected = client->Connect(peer);
+    if (!connected.ok()) {
+      ++stats_.ship_errors;
+      return connected;
+    }
+    client_ = std::move(client);
+    connected_port_ = peer;
+  }
+
+  const uint64_t seq = seq_ + 1;
+  std::map<std::string, std::string> headers{
+      {repl::kDonorHeader, config_.donor_name},
+      {repl::kSeqHeader, std::to_string(seq)},
+      {repl::kOffsetHeader, std::to_string(acked_offset_)},
+      {repl::kResetHeader, pending_reset_ ? "1" : "0"},
+  };
+  auto response = client_->Post(repl::kBatchPath, body, headers);
+  if (!response.ok()) {
+    ++stats_.ship_errors;
+    client_.reset();
+    connected_port_ = 0;
+    return response.status();
+  }
+  // The replica applied the batch but this pod never saw the ack; the
+  // resend is resolved idempotently by the receiver's offset check.
+  SERENADE_FAULT_POINT(FaultSite::kReplAckLost, {
+    ++stats_.ship_errors;
+    client_.reset();
+    connected_port_ = 0;
+    return Status::IoError("injected: replication ack dropped");
+  });
+  seq_ = seq;
+
+  if (response->status == 200) {
+    const auto acked = ParseAckedOffset(response->body);
+    if (!acked.has_value()) {
+      ++stats_.ship_errors;
+      return Status::Internal("unparseable replication ack");
+    }
+    if (*acked > acked_offset_) {
+      stats_.bytes_shipped += *acked - acked_offset_;
+      ++stats_.batches_shipped;
+      acked_offset_ = *acked;
+      pending_reset_ = false;
+      *progress = true;
+    }
+    UpdateLag(file_size, acked_offset_);
+    return Status::Ok();
+  }
+  if (response->status == 409) {
+    // Offset mismatch: adopt the replica's acked offset. A replica ahead
+    // of our (possibly truncated) WAL forces a full reset.
+    ++stats_.offset_rewinds;
+    const auto acked = ParseAckedOffset(response->body);
+    if (acked.has_value() && *acked <= file_size && !pending_reset_) {
+      acked_offset_ = *acked;
+    } else {
+      acked_offset_ = 0;
+      pending_reset_ = true;
+    }
+    *progress = true;  // resynchronised; next batch continues
+    UpdateLag(file_size, acked_offset_);
+    return Status::Ok();
+  }
+  // 400: torn in flight — resend the same range next tick. Anything else
+  // (peer mid-restart, 503) is equally retryable.
+  ++stats_.batches_rejected;
+  return Status::Ok();
+}
+
+}  // namespace serenade

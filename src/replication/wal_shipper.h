@@ -1,0 +1,125 @@
+// Sending side of WAL shipping: a background thread that tails the pod's
+// own WAL file and streams it to the ring successor in bounded,
+// sequence-numbered batches over keep-alive HTTP (the ReplicaHub protocol
+// described in replica_hub.h). Catch-up is implicit: the shipper always
+// sends the next unacked byte range, so after a receiver restart the 409
+// rewind resynchronises from whatever offset the replica actually holds,
+// and after a donor-side WAL rewrite (compaction) the generation bump
+// restarts shipping from offset zero with the reset flag.
+//
+// Durability contract: Stop() performs a final synchronous flush, so a
+// gracefully stopped pod has shipped every acknowledged write; a crashed
+// pod replays its own WAL on restart and the shipper re-tails it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serving/http.h"
+
+namespace serenade {
+
+struct WalShipperConfig {
+  std::string donor_name;             ///< this pod's name (batch header)
+  std::string wal_path;               ///< the WAL file to tail
+  uint64_t ship_interval_ms = 20;     ///< tail poll cadence
+  size_t max_batch_bytes = 256 * 1024;
+  /// Client deadlines for the ship hop; defaults keep a dead peer from
+  /// wedging the shipper thread.
+  HttpClientOptions client{/*connect_timeout_ms=*/2000,
+                           /*io_timeout_ms=*/5000};
+};
+
+struct WalShipperStats {
+  uint64_t batches_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t batches_rejected = 0;  ///< 400s from the receiver (torn in flight)
+  uint64_t offset_rewinds = 0;    ///< 409 resynchronisations
+  uint64_t ship_errors = 0;       ///< transport failures (incl. lost acks)
+  uint64_t resets = 0;            ///< restarts from offset zero
+};
+
+/// One shipper per pod. Thread-safe.
+class WalShipper {
+ public:
+  /// `sync_wal` flushes the store's WAL buffers before the file is read
+  /// (SessionStore::SyncWal); `wal_generation` detects in-place rewrites
+  /// (SessionStore::wal_generation).
+  WalShipper(WalShipperConfig config, std::function<Status()> sync_wal,
+             std::function<uint64_t()> wal_generation);
+  ~WalShipper();
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Starts the shipping thread (idles until a peer is set).
+  void Start();
+
+  /// Final flush + join. Idempotent.
+  void Stop();
+
+  /// Points the shipper at its ring successor (0 = replication off).
+  /// Changing to a different port restarts shipping from offset zero with
+  /// the reset flag; re-announcing the current port is a no-op.
+  void SetPeer(uint16_t port);
+  uint16_t peer_port() const {
+    return peer_port_.load(std::memory_order_acquire);
+  }
+
+  /// Ships synchronously until the replica holds every WAL byte currently
+  /// on disk (or an error stalls progress). Used by graceful shutdown and
+  /// by tests that need deterministic zero lag.
+  Status FlushNow();
+
+  /// Unshipped WAL bytes (0 when no peer is configured).
+  uint64_t lag_bytes() const {
+    return lag_bytes_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds since the replica was last fully caught up (0 when caught
+  /// up or when no peer is configured).
+  double lag_seconds() const;
+
+  WalShipperStats stats() const;
+
+ private:
+  void Loop();
+  /// One bounded batch. Sets `*progress` when the acked offset advanced
+  /// or the log is fully shipped.
+  Status ShipOnce(bool* progress);
+  Status ShipUntilCaughtUp();
+  void UpdateLag(uint64_t file_size, uint64_t acked);
+
+  const WalShipperConfig config_;
+  const std::function<Status()> sync_wal_;
+  const std::function<uint64_t()> wal_generation_;
+
+  std::atomic<uint16_t> peer_port_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> lag_bytes_{0};
+  std::atomic<int64_t> caught_up_at_ms_{0};  // steady clock, ms
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+
+  // Serialises shipping (loop vs FlushNow) and guards the state below.
+  mutable std::mutex ship_mutex_;
+  std::unique_ptr<HttpClient> client_;
+  uint16_t connected_port_ = 0;
+  uint64_t acked_offset_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t last_generation_ = 0;
+  bool pending_reset_ = true;  // first batch to a fresh peer announces reset
+  WalShipperStats stats_;
+};
+
+}  // namespace serenade

@@ -382,6 +382,12 @@ JsonWriter& JsonWriter::Value(bool value) {
   need_comma_ = true;
   return *this;
 }
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  MaybeComma();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
 JsonWriter& JsonWriter::Null() {
   MaybeComma();
   out_ += "null";

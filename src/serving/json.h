@@ -72,6 +72,10 @@ class JsonWriter {
   JsonWriter& Value(uint64_t value);
   JsonWriter& Value(bool value);
   JsonWriter& Null();
+  /// Splices an already-serialised JSON value verbatim (caller guarantees
+  /// it is well-formed) — used to merge proxied sub-results into a batch
+  /// response without a reparse.
+  JsonWriter& Raw(const std::string& json);
 
   const std::string& str() const { return out_; }
 

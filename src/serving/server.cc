@@ -256,22 +256,27 @@ void SerenadeServer::BuildRoutes() {
                    return HttpResponse::Text(registry_.RenderPrometheus(),
                                              MetricsRegistry::ContentType());
                  });
-  router_.Handle("POST", "/v1/admin/reload",
+  // Admin endpoints live under the uniform /v1/admin/<subsystem>/<verb>
+  // namespace (replication registers /v1/admin/replication/* and
+  // /v1/admin/sessions/* on this same router).
+  router_.Handle("POST", "/v1/admin/index/reload",
                  [this](const HttpRequest& request, Trace* trace) {
                    return HandleAdminReload(request, trace);
                  });
-  router_.Handle("POST", "/v1/admin/delta",
+  router_.Handle("POST", "/v1/admin/index/delta",
                  [this](const HttpRequest& request, Trace* trace) {
                    return HandleAdminDelta(request, trace);
                  });
 
-  // Pre-/v1 paths: same handlers (byte-identical bodies), marked
-  // deprecated on the way out.
+  // Pre-/v1 paths and the pre-namespace admin spellings: same handlers
+  // (byte-identical bodies), marked deprecated on the way out.
   router_.Alias("/recommend", "/v1/recommend");
   router_.Alias("/healthz", "/v1/healthz");
   router_.Alias("/stats", "/v1/stats");
   router_.Alias("/metrics", "/v1/metrics");
-  router_.Alias("/admin/reload", "/v1/admin/reload");
+  router_.Alias("/v1/admin/reload", "/v1/admin/index/reload");
+  router_.Alias("/admin/reload", "/v1/admin/index/reload");
+  router_.Alias("/v1/admin/delta", "/v1/admin/index/delta");
 }
 
 Status SerenadeServer::Start() {
@@ -344,7 +349,17 @@ HttpResponse SerenadeServer::Handle(const HttpRequest& request) {
 
 HttpResponse SerenadeServer::RunRecommend(const RecommendRequest& request,
                                           Trace* trace) {
+  bool admitted = false;
+  if (write_hooks_.divert) {
+    if (auto diverted =
+            write_hooks_.divert(request.session_key, false, std::string())) {
+      diverted->headers[kTraceIdHeader] = trace->id();
+      return std::move(*diverted);
+    }
+    admitted = true;
+  }
   auto result = executor_->Execute(request, trace);
+  if (admitted && write_hooks_.done) write_hooks_.done(request.session_key);
   if (!result.ok()) {
     return ApiError(HttpStatusForStatus(result.status()),
                     result.status().message(), trace->id());
@@ -414,6 +429,9 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
   // entry; the remaining slots still execute as one batch.
   std::vector<BatchExecutor::Result> results(
       slots.size(), Status::Internal("batch slot not filled"));
+  // Slots whose key range is mid-hand-off are proxied to the new owner by
+  // the replication write hook; their raw result bodies bypass `results`.
+  std::vector<std::string> raw_slots(slots.size());
   std::vector<RecommendRequest> requests;
   std::vector<size_t> request_slots;
   requests.reserve(slots.size());
@@ -424,11 +442,25 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
       results[i] = parsed.status();
       continue;
     }
+    if (write_hooks_.divert) {
+      if (auto diverted = write_hooks_.divert(parsed->session_key, true,
+                                              SerializeJson(slots[i]))) {
+        // A 200 body is a single-recommend result — exactly a slot entry;
+        // any error body is already the shared envelope a slot carries.
+        raw_slots[i] = diverted->body;
+        continue;
+      }
+    }
     requests.push_back(std::move(parsed).value());
     request_slots.push_back(i);
   }
   std::vector<BatchExecutor::Result> executed =
       executor_->ExecuteBatch(requests);
+  if (write_hooks_.divert && write_hooks_.done) {
+    for (const RecommendRequest& request : requests) {
+      write_hooks_.done(request.session_key);
+    }
+  }
   for (size_t j = 0; j < executed.size(); ++j) {
     if (click_observer_ && executed[j].ok() && j < requests.size()) {
       click_observer_(requests[j].session_key, requests[j].item);
@@ -439,8 +471,11 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
   Span serialize_span(trace, TraceStage::kSerialize);
   JsonWriter writer;
   writer.BeginObject().Key("results").BeginArray();
-  for (const BatchExecutor::Result& result : results) {
-    if (result.ok()) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BatchExecutor::Result& result = results[i];
+    if (!raw_slots[i].empty()) {
+      writer.Raw(raw_slots[i]);
+    } else if (result.ok()) {
       WriteRecommendation(*result, writer);
     } else {
       writer.BeginObject().Key("error").BeginObject();
@@ -466,8 +501,9 @@ HttpResponse SerenadeServer::HandleHealthz() {
       .Key("applied_delta_version")
       .Value(manager.applied_delta_version())
       .Key("index_freshness_seconds")
-      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()))
-      .EndObject();
+      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()));
+  for (const auto& extra : healthz_extras_) extra(writer);
+  writer.EndObject();
   return HttpResponse::Json(writer.str());
 }
 
@@ -594,8 +630,9 @@ HttpResponse SerenadeServer::HandleStats() {
       .Key("slow_requests")
       .Value(slow_logger_.slow_requests_seen())
       .Key("simd_level")
-      .Value(simd::LevelName(simd::ActiveLevel()))
-      .EndObject();
+      .Value(simd::LevelName(simd::ActiveLevel()));
+  for (const auto& extra : stats_extras_) extra(writer);
+  writer.EndObject();
   return HttpResponse::Json(writer.str());
 }
 

@@ -13,13 +13,17 @@
 //   GET  /v1/metrics  -> Prometheus text exposition rendered by the shared
 //                        MetricsRegistry (src/obs), including batch
 //                        occupancy, queue wait, and coalescing factor
-//   POST /v1/admin/reload[?path=<index file>]
+//   POST /v1/admin/index/reload[?path=<index file>]
 //        -> hot-swaps the serving index with zero downtime
+//   POST /v1/admin/index/delta  -> applies a streaming freshness delta
 //
-// Legacy unversioned paths (/recommend, /healthz, /stats, /metrics,
-// /admin/reload) remain as aliases that serve byte-identical responses
-// but stamp `Deprecation: true` and count into
-// serenade_http_deprecated_requests_total. Unknown paths get a 404 and
+// Admin endpoints live under the uniform /v1/admin/<subsystem>/<verb>
+// namespace; the replication subsystem (src/replication) registers its
+// /v1/admin/replication/* and /v1/admin/sessions/* routes on the same
+// router. Legacy paths (/recommend, /healthz, /stats, /metrics,
+// /admin/reload, /v1/admin/reload, /v1/admin/delta) remain as aliases
+// that serve byte-identical responses but stamp `Deprecation: true` and
+// count into serenade_http_deprecated_requests_total. Unknown paths get a 404 and
 // wrong methods a 405 (with Allow), both as the unified error envelope
 // {"error":{"code":...,"message":...,"trace_id":...}} (see API.md).
 //
@@ -35,12 +39,15 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serving/batch_executor.h"
 #include "serving/http.h"
+#include "serving/json.h"
 #include "serving/service.h"
 
 namespace serenade {
@@ -68,6 +75,24 @@ struct ServerConfig {
   HttpServerOptions http;
 };
 
+/// Hooks the replication subsystem installs around session writes (set
+/// before Start()). `divert` runs before a recommend request executes
+/// locally: a non-nullopt result is returned to the client instead of
+/// executing (a 307 redirect or a proxied result while the session's key
+/// range is mid-hand-off); nullopt admits the write, and the server then
+/// calls `done(key)` as soon as the local execution finishes — the
+/// hand-off cutover uses that in-flight accounting to know when a key's
+/// value has quiesced. `slot_json` carries the single-request JSON body
+/// on the batch path so a diverted slot can be proxied verbatim ("" on
+/// the single-request paths).
+struct WriteHooks {
+  std::function<std::optional<HttpResponse>(const std::string& session_key,
+                                            bool batch_slot,
+                                            const std::string& slot_json)>
+      divert;
+  std::function<void(const std::string& session_key)> done;
+};
+
 /// One serving machine (a "Serenade pod" in Figure 1).
 class SerenadeServer {
  public:
@@ -91,6 +116,26 @@ class SerenadeServer {
 
   /// The pod's metric registry (handed to tests and future collectors).
   MetricsRegistry& metrics() { return registry_; }
+
+  /// The pod's route table. Attached subsystems (replication) register
+  /// their /v1/admin/* routes here before Start(); the Router is not
+  /// thread-safe to mutate once the server is serving.
+  Router& router() { return router_; }
+
+  /// Installs the replication write hooks (see WriteHooks). Call before
+  /// Start().
+  void set_write_hooks(WriteHooks hooks) { write_hooks_ = std::move(hooks); }
+
+  /// Appends extra fields to the /v1/healthz (resp. /v1/stats) JSON
+  /// object — how replication surfaces replica lag and the ring epoch
+  /// without the server depending on it. Call before Start(); callbacks
+  /// must be thread-safe.
+  void add_healthz_extra(std::function<void(JsonWriter&)> fn) {
+    healthz_extras_.push_back(std::move(fn));
+  }
+  void add_stats_extra(std::function<void(JsonWriter&)> fn) {
+    stats_extras_.push_back(std::move(fn));
+  }
 
   /// Click observer for the freshness pipeline: invoked once per
   /// successfully served recommend request (single and batch slots) with
@@ -148,6 +193,9 @@ class SerenadeServer {
   std::atomic<uint64_t> shed_responses_{0};
   std::function<void(const std::string&, ItemId)> click_observer_;
   SlowRequestLogger slow_logger_;
+  WriteHooks write_hooks_;
+  std::vector<std::function<void(JsonWriter&)>> healthz_extras_;
+  std::vector<std::function<void(JsonWriter&)>> stats_extras_;
 };
 
 }  // namespace serenade

@@ -108,6 +108,10 @@ class SerenadeService {
 
   SessionStoreStats StoreStats() const { return store_->Stats(); }
 
+  /// Direct store access for the replication subsystem (WAL shipping,
+  /// hand-off dump/restore, replica promotion).
+  SessionStore& session_store() { return *store_; }
+
   /// Pins the current index snapshot (version + index + provenance).
   std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const {
     return manager_->Current();

@@ -236,6 +236,59 @@ Status SessionStore::MultiPut(
   return Status::Ok();
 }
 
+std::vector<SessionStore::RestoreEntry> SessionStore::DumpEntries() const {
+  const uint64_t now = options_.clock();
+  std::vector<RestoreEntry> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.table) {
+      if (IsExpired(entry, now)) continue;
+      out.push_back(RestoreEntry{key, entry.value, entry.last_access});
+    }
+  }
+  return out;
+}
+
+std::optional<SessionStore::RestoreEntry> SessionStore::PeekEntry(
+    const std::string& key) {
+  const uint64_t now = options_.clock();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end() || IsExpired(it->second, now)) {
+    return std::nullopt;
+  }
+  return RestoreEntry{key, it->second.value, it->second.last_access};
+}
+
+StatusOr<size_t> SessionStore::Restore(
+    const std::vector<RestoreEntry>& entries) {
+  const uint64_t now = options_.clock();
+  size_t applied = 0;
+  for (const RestoreEntry& incoming : entries) {
+    if (IsExpired(Entry{incoming.value, incoming.last_access}, now)) {
+      continue;  // never resurrect a session past its TTL
+    }
+    Shard& shard = ShardFor(incoming.key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.table[incoming.key] = Entry{incoming.value, incoming.last_access};
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    SERENADE_RETURN_IF_ERROR(LogWrite(WalRecordType::kPut, incoming.key,
+                                      incoming.value, incoming.last_access));
+    ++applied;
+  }
+  return applied;
+}
+
+Status SessionStore::SyncWal() {
+  if (options_.wal_path.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (!wal_.is_open()) return Status::Ok();
+  return wal_.Sync();
+}
+
 size_t SessionStore::SweepExpired() {
   const uint64_t now = options_.clock();
   size_t evicted = 0;
@@ -270,6 +323,7 @@ Status SessionStore::Compact() {
                   options_.wal_path.c_str()) != 0) {
     return Status::IoError("compaction rename failed");
   }
+  wal_generation_.fetch_add(1, std::memory_order_acq_rel);
   return wal_.Open(options_.wal_path);
 }
 

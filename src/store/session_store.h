@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -112,7 +113,44 @@ class SessionStore {
   size_t SweepExpired();
 
   /// Rewrites the WAL with only the live entries (no-op when volatile).
+  /// Bumps wal_generation() so a WAL shipper knows the byte stream it was
+  /// tailing has been rewritten and must restart from offset zero.
   Status Compact();
+
+  /// One live entry as exported for replication / hand-off.
+  struct RestoreEntry {
+    std::string key;
+    std::string value;
+    uint64_t last_access = 0;
+  };
+
+  /// Copies every live (non-expired) entry without refreshing TTLs.
+  std::vector<RestoreEntry> DumpEntries() const;
+
+  /// Reads one entry without the TTL touch of Get(); nullopt for missing
+  /// or expired keys. Used by the hand-off cutover check.
+  std::optional<RestoreEntry> PeekEntry(const std::string& key);
+
+  /// Applies entries received from a peer (hand-off / promotion).
+  /// Unconditional put that PRESERVES the incoming last_access (no TTL
+  /// refresh — a restored session expires on its original schedule, so a
+  /// hand-off can never resurrect an expired session). Entries already
+  /// expired at the local clock are skipped. Returns how many were
+  /// applied; each applied entry is WAL-logged with its original
+  /// timestamp.
+  StatusOr<size_t> Restore(const std::vector<RestoreEntry>& entries);
+
+  /// Flushes buffered WAL bytes to the OS (no-op when volatile). The WAL
+  /// shipper calls this before reading the file so every acknowledged
+  /// write is visible to the byte stream it tails.
+  Status SyncWal();
+
+  /// Bumped whenever the WAL file is rewritten in place (compaction).
+  uint64_t wal_generation() const {
+    return wal_generation_.load(std::memory_order_acquire);
+  }
+
+  const SessionStoreOptions& options() const { return options_; }
 
   SessionStoreStats Stats() const;
 
@@ -138,6 +176,7 @@ class SessionStore {
 
   std::mutex wal_mutex_;
   WalWriter wal_;
+  std::atomic<uint64_t> wal_generation_{0};
 
   mutable std::atomic<uint64_t> reads_{0}, read_misses_{0}, writes_{0},
       deletes_{0}, expirations_{0};

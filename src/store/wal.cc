@@ -13,9 +13,10 @@ namespace serenade {
 
 namespace {
 constexpr size_t kHeaderSize = 1 + 4 + 4 + 8;  // type, key_len, value_len, ts
+}  // namespace
 
-void EncodeRecord(const WalRecord& record, std::string* out) {
-  out->clear();
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  const size_t start = out->size();
   out->push_back(static_cast<char>(record.type));
   const uint32_t key_len = static_cast<uint32_t>(record.key.size());
   const uint32_t value_len = static_cast<uint32_t>(record.value.size());
@@ -24,10 +25,9 @@ void EncodeRecord(const WalRecord& record, std::string* out) {
   out->append(reinterpret_cast<const char*>(&record.timestamp), 8);
   out->append(record.key);
   out->append(record.value);
-  const uint32_t crc = Crc32(out->data(), out->size());
+  const uint32_t crc = Crc32(out->data() + start, out->size() - start);
   out->append(reinterpret_cast<const char*>(&crc), 4);
 }
-}  // namespace
 
 WalWriter::~WalWriter() { Close(); }
 
@@ -43,7 +43,7 @@ Status WalWriter::Open(const std::string& path, bool truncate) {
 Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("WAL not open");
   std::string encoded;
-  EncodeRecord(record, &encoded);
+  EncodeWalRecord(record, &encoded);
   SERENADE_FAULT_POINT(FaultSite::kWalAppendFail, {
     return Status::IoError("injected: WAL append failed, nothing written");
   });
@@ -97,6 +97,13 @@ StatusOr<uint64_t> ReplayWal(
         static_cast<size_t>(serenade_fi->RandBelow(bytes.size() + 1)));
   });
 
+  return ReplayWalBytes(bytes, cb, valid_bytes);
+}
+
+StatusOr<uint64_t> ReplayWalBytes(
+    std::string_view bytes, const std::function<void(const WalRecord&)>& cb,
+    uint64_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   uint64_t replayed = 0;
   size_t cursor = 0;
   while (cursor < bytes.size()) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -56,5 +57,19 @@ class WalWriter {
 StatusOr<uint64_t> ReplayWal(const std::string& path,
                              const std::function<void(const WalRecord&)>& cb,
                              uint64_t* valid_bytes = nullptr);
+
+/// Replays WAL-framed records from an in-memory byte range with the exact
+/// semantics of ReplayWal: stops cleanly at a torn tail, yields kCorruption
+/// for mid-stream damage, and reports the end offset of the last intact
+/// record via `valid_bytes`. Replication uses this to frame shipped batches
+/// identically to the on-disk log.
+StatusOr<uint64_t> ReplayWalBytes(
+    std::string_view bytes, const std::function<void(const WalRecord&)>& cb,
+    uint64_t* valid_bytes = nullptr);
+
+/// Encodes one record in the on-disk framing (including the CRC trailer),
+/// appending to `out`. Exposed so tests and the replica hub can build
+/// byte-exact log fragments.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
 
 }  // namespace serenade

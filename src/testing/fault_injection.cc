@@ -44,6 +44,12 @@ const char* FaultSiteName(FaultSite site) {
       return "http_server_stall_read";
     case FaultSite::kHttpServerCloseMidWrite:
       return "http_server_close_mid_write";
+    case FaultSite::kReplShipTruncate:
+      return "repl_ship_truncate";
+    case FaultSite::kReplAckLost:
+      return "repl_ack_lost";
+    case FaultSite::kHandoffCutoverCrash:
+      return "handoff_cutover_crash";
     case FaultSite::kNumSites:
       break;
   }

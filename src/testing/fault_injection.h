@@ -29,6 +29,9 @@
 //   kHttpAcceptOverload      Reactor::HandleAccept   admission shed (503) as if at the cap
 //   kHttpServerStallRead     Reactor::HandleReadable readable socket left undrained one pass
 //   kHttpServerCloseMidWrite Reactor::ContinueWrite  response cut short, connection closed
+//   kReplShipTruncate    WalShipper::ShipOnce     shipped batch truncated in flight
+//   kReplAckLost         WalShipper::ShipOnce     replica applied, ack dropped
+//   kHandoffCutoverCrash PodReplication hand-off  donor aborts mid-transfer (500)
 #pragma once
 
 #include <atomic>
@@ -57,6 +60,9 @@ enum class FaultSite : uint8_t {
   kHttpAcceptOverload,
   kHttpServerStallRead,
   kHttpServerCloseMidWrite,
+  kReplShipTruncate,
+  kReplAckLost,
+  kHandoffCutoverCrash,
   kNumSites,
 };
 

@@ -54,6 +54,10 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
   }
 
   GatewayConfig gateway_config = cluster->config_.gateway;
+  if (cluster->config_.replication.enabled) {
+    gateway_config.manage_replication = true;
+  }
+  cluster->config_.gateway = gateway_config;
   cluster->gateway_ = std::make_unique<ClusterGateway>(
       std::move(endpoints), gateway_config, /*fallback=*/nullptr);
   SERENADE_RETURN_IF_ERROR(cluster->gateway_->Start());
@@ -66,6 +70,7 @@ SimCluster::~SimCluster() {
     if (pod.fetcher != nullptr) pod.fetcher->Stop();
     if (pod.tap != nullptr) pod.tap->Stop();
     if (pod.server != nullptr) pod.server->Stop();
+    if (pod.repl != nullptr) pod.repl->Stop();
   }
   if (builder_ != nullptr) builder_->Stop();
 }
@@ -95,6 +100,16 @@ Status SimCluster::StartPod(Pod& pod, uint16_t port) {
   pod.server = std::make_unique<SerenadeServer>(std::move(service).value(),
                                                 server_config);
 
+  if (config_.replication.enabled) {
+    // Attach before Start(): the replication routes and write-divert
+    // hooks must be registered before the first request can land.
+    PodReplicationConfig repl_config = config_.replication.pod;
+    repl_config.pod_name = pod.name;
+    repl_config.virtual_nodes = config_.gateway.virtual_nodes;
+    pod.repl =
+        std::make_unique<PodReplication>(pod.server.get(), repl_config);
+  }
+
   if (config_.freshness.enabled && builder_ != nullptr) {
     // Tap before Start(): the observer must be in place before the first
     // request can land.
@@ -122,6 +137,9 @@ Status SimCluster::StartPod(Pod& pod, uint16_t port) {
         });
     SERENADE_RETURN_IF_ERROR(pod.fetcher->Start());
   }
+  if (pod.repl != nullptr) {
+    SERENADE_RETURN_IF_ERROR(pod.repl->Start());
+  }
   return Status::Ok();
 }
 
@@ -133,8 +151,13 @@ void SimCluster::KillPod(size_t i) {
   if (pod.fetcher != nullptr) pod.fetcher->Stop();
   if (pod.tap != nullptr) pod.tap->Stop();
   pod.server->Stop();
+  // After the server drained its writes: the shipper's Stop() flushes the
+  // final WAL batch to the ring successor, so a graceful kill loses no
+  // acknowledged click even before the gateway notices the death.
+  if (pod.repl != nullptr) pod.repl->Stop();
   pod.fetcher.reset();
   pod.tap.reset();
+  pod.repl.reset();  // references the server; destroy first
   pod.server.reset();  // destroys the service; the store syncs its WAL
 }
 
@@ -144,7 +167,88 @@ Status SimCluster::RestartPod(size_t i) {
   // Rebind the original port (SO_REUSEADDR): the gateway's endpoint set
   // is fixed at construction, so recovery must come back where routing
   // expects it — exactly like a pod rescheduled onto the same service IP.
-  return StartPod(pod, pod.port);
+  const Status started = StartPod(pod, pod.port);
+  if (started.ok() && config_.replication.enabled && gateway_ != nullptr) {
+    // The reborn pod's shipper has no peer until the gateway re-pushes
+    // the wiring (best-effort; still-dead members are skipped).
+    (void)gateway_->PushReplicationWiring();
+  }
+  return started;
+}
+
+StatusOr<uint64_t> SimCluster::FetchRingEpoch() {
+  HttpClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 10000;
+  HttpClient client(options);
+  SERENADE_RETURN_IF_ERROR(client.Connect(gateway_->port()));
+  auto response = client.Get("/v1/admin/cluster");
+  SERENADE_RETURN_IF_ERROR(response.status());
+  if (response->status != 200) {
+    return Status::Internal("GET /v1/admin/cluster returned " +
+                            std::to_string(response->status));
+  }
+  auto doc = ParseJson(response->body);
+  SERENADE_RETURN_IF_ERROR(doc.status());
+  const JsonValue* epoch = doc->Find("ring_epoch");
+  if (epoch == nullptr || epoch->type() != JsonValue::Type::kNumber) {
+    return Status::Internal("cluster document lacks ring_epoch");
+  }
+  return static_cast<uint64_t>(epoch->AsInt());
+}
+
+Status SimCluster::AdminMutate(const std::string& action,
+                               const std::string& extra) {
+  auto epoch = FetchRingEpoch();
+  SERENADE_RETURN_IF_ERROR(epoch.status());
+  HttpClientOptions options;
+  options.connect_timeout_ms = 2000;
+  // Mutations move real data (hand-offs); give them a wide deadline.
+  options.io_timeout_ms = 120000;
+  HttpClient client(options);
+  SERENADE_RETURN_IF_ERROR(client.Connect(gateway_->port()));
+  const std::string body =
+      "{\"epoch\":" + std::to_string(*epoch) + "," + extra + "}";
+  auto response = client.Post("/v1/admin/cluster/" + action, body);
+  SERENADE_RETURN_IF_ERROR(response.status());
+  if (response->status / 100 != 2) {
+    return Status::Internal("POST /v1/admin/cluster/" + action +
+                            " returned " + std::to_string(response->status) +
+                            ": " + response->body);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> SimCluster::AddPod() {
+  Pod pod;
+  const size_t index = pods_.size();
+  pod.name = "pod-" + std::to_string(index);
+  if (!config_.work_dir.empty()) {
+    pod.wal_path =
+        config_.work_dir + "/pod" + std::to_string(index) + ".wal";
+  }
+  SERENADE_RETURN_IF_ERROR(StartPod(pod, /*port=*/0));
+  const Status joined = AdminMutate(
+      "join", "\"name\":\"" + pod.name +
+                  "\",\"port\":" + std::to_string(pod.port));
+  if (!joined.ok()) {
+    // Leave the fleet unchanged: tear the half-started pod back down.
+    if (pod.fetcher != nullptr) pod.fetcher->Stop();
+    if (pod.tap != nullptr) pod.tap->Stop();
+    if (pod.server != nullptr) pod.server->Stop();
+    if (pod.repl != nullptr) pod.repl->Stop();
+    return joined;
+  }
+  pods_.push_back(std::move(pod));
+  return index;
+}
+
+Status SimCluster::DrainPod(size_t i) {
+  return AdminMutate("drain", "\"name\":\"" + pods_[i].name + "\"");
+}
+
+Status SimCluster::RemovePodFromRing(size_t i) {
+  return AdminMutate("remove", "\"name\":\"" + pods_[i].name + "\"");
 }
 
 bool SimCluster::AwaitHealthy(size_t min_healthy, uint64_t timeout_ms) {

@@ -23,6 +23,7 @@
 #include "freshness/builder_server.h"
 #include "freshness/click_tap.h"
 #include "freshness/delta_fetcher.h"
+#include "replication/pod_replication.h"
 #include "serving/server.h"
 #include "store/session_store.h"
 
@@ -47,6 +48,18 @@ struct SimFreshnessConfig {
   DeltaFetcherConfig fetch;
 };
 
+/// Optional replication role: each pod gets a PodReplication agent
+/// (WAL shipper to its ring successor + replica hub + hand-off routes),
+/// and the gateway is switched to manage_replication so join/drain/
+/// remove orchestrate the data motion.
+struct SimReplicationConfig {
+  bool enabled = false;
+  /// Per-pod replication knobs; pod_name and virtual_nodes are
+  /// overridden per pod / from the gateway config at Start(). Tests
+  /// usually shorten ship_interval_ms.
+  PodReplicationConfig pod;
+};
+
 struct SimClusterConfig {
   size_t num_pods = 2;
   /// Click history the shared index is built from.
@@ -64,6 +77,8 @@ struct SimClusterConfig {
   size_t max_items = 21;
   /// Streaming freshness role (off by default; torture tests opt in).
   SimFreshnessConfig freshness;
+  /// Session-replication role (off by default).
+  SimReplicationConfig replication;
 };
 
 /// Owns the pods and the gateway; Stop order (gateway first) is handled
@@ -89,13 +104,38 @@ class SimCluster {
   const std::string& pod_name(size_t i) const { return pods_[i].name; }
 
   /// Takes pod `i` off the air: in-flight batches drain, the WAL syncs,
-  /// the port stops answering. The prober ejects it within a few rounds.
+  /// the replication agent flushes its final batch, the port stops
+  /// answering. The prober ejects it within a few rounds.
   /// (A *crash* — torn WAL tail, lost unsynced writes — is modelled by
   /// arming kWalTornWrite/kWalSyncFail before the traffic, not by this.)
   void KillPod(size_t i);
 
   /// Rebuilds pod `i` from its WAL and rebinds its original port.
   Status RestartPod(size_t i);
+
+  /// Starts a brand-new pod (fresh name, fresh WAL) and joins it to the
+  /// live ring through the gateway's /v1/admin/cluster/join control
+  /// plane (hand-offs run on the donors when replication is managed).
+  /// Returns its pod index.
+  StatusOr<size_t> AddPod();
+
+  /// Drains pod `i` out of the ring via /v1/admin/cluster/drain (the pod
+  /// stays up and hands its sessions to the survivors; the caller kills
+  /// it afterwards if desired).
+  Status DrainPod(size_t i);
+
+  /// Declares pod `i` dead via /v1/admin/cluster/remove: the gateway
+  /// promotes its replica on the ring successor first. Kill the pod
+  /// before calling this.
+  Status RemovePodFromRing(size_t i);
+
+  /// Current ring epoch as reported by GET /v1/admin/cluster (exercises
+  /// the HTTP surface rather than reading the gateway object).
+  StatusOr<uint64_t> FetchRingEpoch();
+
+  /// One epoch-fenced control-plane mutation against the gateway; body
+  /// fields beyond "epoch" come from `extra` (e.g. "\"name\":\"pod-1\"").
+  Status AdminMutate(const std::string& action, const std::string& extra);
 
   /// Polls the health checker until at least `min_healthy` pods are
   /// routable (true) or `timeout_ms` elapses (false).
@@ -107,6 +147,9 @@ class SimCluster {
   /// freshness role is disabled.
   ClickTap* pod_tap(size_t i) { return pods_[i].tap.get(); }
   DeltaFetcher* pod_fetcher(size_t i) { return pods_[i].fetcher.get(); }
+  /// Per-pod replication agent; null while the pod is down or when the
+  /// replication role is disabled.
+  PodReplication* pod_repl(size_t i) { return pods_[i].repl.get(); }
 
  private:
   struct Pod {
@@ -116,6 +159,7 @@ class SimCluster {
     std::unique_ptr<SerenadeServer> server;
     std::unique_ptr<ClickTap> tap;
     std::unique_ptr<DeltaFetcher> fetcher;
+    std::unique_ptr<PodReplication> repl;
   };
 
   SimCluster() = default;

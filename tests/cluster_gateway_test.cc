@@ -204,7 +204,7 @@ TEST_F(GatewayTest, SessionStickinessAcrossRequests) {
 
   HttpClient client;
   ASSERT_TRUE(client.Connect(gateway.port()).ok());
-  const std::string owner = gateway.ring().NodeFor("sticky-session");
+  const std::string owner = gateway.OwnerOf("sticky-session");
   for (int i = 0; i < 20; ++i) {
     auto response = client.Get(
         "/recommend?session_id=sticky-session&item_id=" + std::to_string(i));
@@ -432,7 +432,7 @@ TEST_F(GatewayTest, HedgedRequestBeatsSlowPrimary) {
   std::string slow_session;
   for (int i = 0; i < 1000; ++i) {
     const std::string candidate = "hedge-" + std::to_string(i);
-    if (gateway.ring().NodeFor(candidate) == "pod-slow") {
+    if (gateway.OwnerOf(candidate) == "pod-slow") {
       slow_session = candidate;
       break;
     }
@@ -503,7 +503,7 @@ TEST(GatewayEndToEndTest, RealPodsKeepSessionStateThroughGateway) {
   }
 
   // The sticky pod — and only that pod — accumulated the session.
-  const std::string owner = gateway.ring().NodeFor("web-1");
+  const std::string owner = gateway.OwnerOf("web-1");
   size_t pods_with_session = 0;
   for (size_t i = 0; i < pods.size(); ++i) {
     auto session = pods[i]->service().GetSession("web-1");
@@ -750,7 +750,7 @@ TEST_F(GatewayV1Test, BatchScatterGathersAcrossTheFleet) {
   const std::map<std::string, EvolvingSession> expected = {
       {"alpha", {3, 6}}, {"beta", {4, 7}}, {"gamma", {5, 8}}};
   for (const auto& [key, want] : expected) {
-    const std::string owner = gateway_->ring().NodeFor(key);
+    const std::string owner = gateway_->OwnerOf(key);
     size_t pods_with_session = 0;
     for (size_t i = 0; i < pods_.size(); ++i) {
       auto session = pods_[i]->service().GetSession(key);

@@ -51,7 +51,7 @@ build_and_test() {
 }
 
 bench_smoke() {
-  # Mirrors the CI bench-smoke job: the same six binaries at smoke
+  # Mirrors the CI bench-smoke job: the same bench binaries at smoke
   # scale, then the perf regression gate against bench/baselines/.
   local dir="$1"
   export SERENADE_BENCH_SCALE=0.05 SERENADE_BENCH_SECONDS=2
@@ -68,6 +68,8 @@ bench_smoke() {
       "$dir/bench/index_freshness_bench" &&
     SERENADE_BENCH_JSON="$dir/bench-results/complexity_validation_bench.json" \
       "$dir/bench/complexity_validation_bench" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/rebalance_bench.json" \
+      "$dir/bench/rebalance_bench" &&
     ulimit -n "$(ulimit -Hn)" &&
     SERENADE_BENCH_JSON="$dir/bench-results/fig3b_load_test.json" \
       SERENADE_BENCH_CONNECTIONS=10000 \

@@ -5,7 +5,10 @@
 //     ports (synthetic index) plus the gateway in front of them. Good
 //     for demos and failover experiments on one machine.
 //   * Attach: --backends 8081,8082,... fronts already-running
-//     serenade_server pods.
+//     serenade_server pods. Entries may carry an explicit ring name as
+//     name=port (e.g. --backends pod-0=8081,pod-1=8082) — required with
+//     --manage-replication, where each name must equal the matching
+//     pod's --pod-name so donor and gateway agree on ring ownership.
 //
 //   serenade_gateway [--pods 3 | --backends 8081,8082] [--port 8080]
 //       [--forward-timeout 1000] [--max-attempts 3] [--hedge-delay 0]
@@ -14,12 +17,17 @@
 //       [--slow-request-us 0] [--slow-sample-every 1]
 //       [--max-connections 10000] [--idle-timeout-ms 60000]
 //       [--request-deadline-ms 0] [--reactor-threads 1]
-//       [--worker-threads 0]
+//       [--worker-threads 0] [--manage-replication]
 //
 // Serves the versioned /v1 API (see API.md): GET/POST /v1/recommend
 // (forwarded by session_id), POST /v1/recommend:batch (scatter-gathered
-// by each slot's ring owner), /v1/healthz, /v1/stats, /v1/metrics.
-// Unversioned paths remain as deprecated aliases. Runs until
+// by each slot's ring owner), /v1/healthz, /v1/stats, /v1/metrics, and
+// the cluster control plane (GET /v1/admin/cluster, POST
+// /v1/admin/cluster/join|drain|remove with epoch fencing).
+// --manage-replication makes membership changes drive the replication
+// data plane (DESIGN.md §12): hand-offs on join/drain, replica
+// promotion on remove, shipper rewiring after every change — the
+// attached pods must run with --pod-name/--wal. Runs until
 // SIGINT/SIGTERM.
 #include <algorithm>
 #include <atomic>
@@ -43,20 +51,32 @@ namespace {
 std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
 
-std::vector<uint16_t> ParsePortList(const std::string& text) {
-  std::vector<uint16_t> ports;
+// Each comma-separated entry is "port" or "name=port"; a bare port gets
+// the default "127.0.0.1:<port>" ring name.
+std::vector<BackendEndpoint> ParseBackendList(const std::string& text) {
+  std::vector<BackendEndpoint> backends;
   size_t start = 0;
   while (start < text.size()) {
     size_t end = text.find(',', start);
     if (end == std::string::npos) end = text.size();
-    const std::string token = text.substr(start, end - start);
+    std::string token = text.substr(start, end - start);
     if (!token.empty()) {
-      ports.push_back(static_cast<uint16_t>(std::strtoul(
-          token.c_str(), nullptr, 10)));
+      BackendEndpoint backend;
+      const size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        backend.name = token.substr(0, eq);
+        token = token.substr(eq + 1);
+      }
+      backend.port =
+          static_cast<uint16_t>(std::strtoul(token.c_str(), nullptr, 10));
+      if (backend.name.empty()) {
+        backend.name = "127.0.0.1:" + std::to_string(backend.port);
+      }
+      backends.push_back(std::move(backend));
     }
     start = end + 1;
   }
-  return ports;
+  return backends;
 }
 }  // namespace
 
@@ -120,10 +140,7 @@ int main(int argc, char** argv) {
       pods.push_back(std::move(pod));
     }
   } else {
-    for (uint16_t port : ParsePortList(backend_list)) {
-      backends.push_back(
-          BackendEndpoint{"127.0.0.1:" + std::to_string(port), port});
-    }
+    backends = ParseBackendList(backend_list);
   }
 
   GatewayConfig config;
@@ -143,6 +160,9 @@ int main(int argc, char** argv) {
   config.http.reactor_threads =
       std::max<uint64_t>(1, flags.GetInt("reactor-threads", 1));
   config.http.worker_threads = flags.GetInt("worker-threads", 0);
+  // Elastic fleet data plane (DESIGN.md §12): membership changes run
+  // hand-offs / promotion on the pods and rewire their shipping peers.
+  config.manage_replication = flags.GetBool("manage-replication", false);
 
   std::unique_ptr<Recommender> fallback;
   if (!flags.GetBool("no-fallback", false)) {

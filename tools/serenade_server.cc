@@ -9,6 +9,15 @@
 //       [--max-connections 10000] [--idle-timeout-ms 60000]
 //       [--request-deadline-ms 0] [--reactor-threads 1]
 //       [--worker-threads 0]
+//       [--pod-name NAME] [--virtual-nodes 128] [--ship-interval-ms 20]
+//
+// --pod-name joins the elastic fleet data plane (DESIGN.md §12): the pod
+// attaches the replication agent (WAL shipping to its ring successor,
+// replica hub, hand-off control plane under /v1/admin) and announces
+// itself under NAME — which must match the name the gateway's ring uses
+// for this backend, and requires --wal (the WAL is the replication
+// unit). Pair with a gateway running --manage-replication, which pushes
+// each pod's shipping peer on every membership change.
 //
 // --builder-port joins the streaming freshness pipeline (DESIGN.md §9):
 // accepted clicks stream to the serenade_index_builder at that port, and
@@ -45,6 +54,7 @@
 #include "freshness/click_tap.h"
 #include "freshness/delta_fetcher.h"
 #include "index/snapshot.h"
+#include "replication/pod_replication.h"
 #include "serving/server.h"
 
 using namespace serenade;
@@ -131,6 +141,27 @@ int main(int argc, char** argv) {
   server_config.http.worker_threads = flags.GetInt("worker-threads", 0);
   SerenadeServer server(std::move(service).value(), server_config);
 
+  // Optional replication agent (DESIGN.md §12): must attach before
+  // Start() so its routes and write-divert hooks are registered before
+  // the first request can land.
+  const std::string pod_name = flags.GetString("pod-name");
+  std::unique_ptr<PodReplication> replication;
+  if (!pod_name.empty()) {
+    if (service_config.store.wal_path.empty()) {
+      std::fprintf(stderr, "--pod-name requires --wal (the WAL is the "
+                           "replication unit)\n");
+      return 2;
+    }
+    PodReplicationConfig repl_config;
+    repl_config.pod_name = pod_name;
+    repl_config.virtual_nodes =
+        std::max<uint64_t>(1, flags.GetInt("virtual-nodes", 128));
+    repl_config.ship_interval_ms =
+        std::max<uint64_t>(1, flags.GetInt("ship-interval-ms", 20));
+    replication =
+        std::make_unique<PodReplication>(&server, repl_config);
+  }
+
   // Optional freshness-pipeline plumbing: tap accepted clicks out to the
   // index builder, poll it for cumulative deltas, apply them as overlays.
   const uint16_t builder_port =
@@ -171,6 +202,15 @@ int main(int argc, char** argv) {
     std::printf("freshness pipeline on: builder at 127.0.0.1:%u\n",
                 builder_port);
   }
+  if (replication != nullptr) {
+    if (Status status = replication->Start(); !status.ok()) {
+      std::fprintf(stderr, "replication: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("replication on: pod \"%s\" awaiting peer wiring from a "
+                "--manage-replication gateway\n",
+                pod_name.c_str());
+  }
   std::printf(
       "serving on 127.0.0.1:%u (m=%zu, k=%zu, ttl=%llus, batch=%zu); hot "
       "swap with curl -X POST 'http://127.0.0.1:%u/v1/admin/reload'\n",
@@ -189,5 +229,8 @@ int main(int argc, char** argv) {
   if (fetcher != nullptr) fetcher->Stop();
   if (tap != nullptr) tap->Stop();
   server.Stop();
+  // After the server drained its writes: the shipper's final flush
+  // ships every acknowledged byte to the successor before exit.
+  if (replication != nullptr) replication->Stop();
   return 0;
 }
