@@ -1,0 +1,165 @@
+// Experiment E14 (extension) — the ANN retrieval family's cost/quality
+// envelope. Serenade's VMIS-kNN retrieves by session co-occurrence; the
+// second family (DESIGN.md §13) retrieves by item2vec geometry through
+// an HNSW graph. Before an A/B split sends live traffic there, this
+// bench pins what the trade actually is:
+//
+//   train      item2vec skip-gram over the synthetic clickstream
+//              (deterministic: the artifact CRC is reproducible)
+//   build      HNSW graph construction over the trained vectors
+//   recall@20  HNSW top-20 vs brute-force exact top-20 on held-out
+//              session queries (the differential oracle's gate, here
+//              measured instead of asserted)
+//   latency    per-query p50/p99 of the exact scan vs the graph search
+//              — the reason ANN exists: sublinear search at high recall
+//
+// Honours SERENADE_BENCH_SCALE; writes key metrics to the path in
+// SERENADE_BENCH_JSON for the CI bench-smoke artifact
+// (tools/check_bench_regression.py gates recall and failure counts).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/item2vec.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace {
+
+double PercentileUs(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(p * (values.size() - 1));
+  return values[rank];
+}
+
+}  // namespace
+
+using namespace serenade;
+
+int main() {
+  bench::PrintHeader("Experiment E14 (extension)",
+                     "DESIGN.md §13 second retrieval family",
+                     "item2vec + HNSW: build cost, recall@20 vs exact, "
+                     "query latency vs brute force.");
+  const double scale = bench::ScaleFromEnv();
+
+  SyntheticConfig data_config;
+  data_config.seed = 0xa22;
+  data_config.num_items = static_cast<size_t>(4000 * scale);
+  data_config.num_sessions = static_cast<size_t>(30000 * scale);
+  const Dataset dataset = GenerateDataset(data_config);
+  const TrainTestSplit split = SplitLastDays(dataset, 1);
+  std::printf("clickstream: %zu train sessions, %zu items, %zu query "
+              "sessions held out\n",
+              split.train.num_sessions(), split.train.num_items(),
+              split.test.num_sessions());
+
+  // (a) train: the deterministic artifact the nightly rollout would ship.
+  Item2VecConfig train_config;
+  train_config.dim = 32;
+  train_config.epochs = 2;
+  train_config.num_threads = 4;
+  Stopwatch train_timer;
+  auto embeddings = TrainItemEmbeddings(split.train, train_config);
+  if (!embeddings.ok()) {
+    std::fprintf(stderr, "training: %s\n",
+                 embeddings.status().ToString().c_str());
+    return 1;
+  }
+  const double train_seconds = train_timer.ElapsedSeconds();
+  std::printf("trained %zu x %zu embeddings in %.2fs\n",
+              embeddings->num_items, embeddings->dim, train_seconds);
+
+  // (b) build: the per-reload cost EmbeddingManager pays at publish time.
+  HnswConfig hnsw_config;
+  Stopwatch build_timer;
+  const HnswIndex ann(&*embeddings, hnsw_config);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  std::printf("built HNSW (M=%zu, efc=%zu) in %.2fs, digest %016llx\n",
+              hnsw_config.M, hnsw_config.ef_construction, build_seconds,
+              static_cast<unsigned long long>(ann.GraphDigest()));
+
+  // (c)+(d) recall and latency on session-folded queries — the exact
+  // vector the serving path searches with.
+  constexpr size_t kTopK = 20;
+  const size_t max_queries =
+      std::min<size_t>(split.test.num_sessions(), 2000);
+  std::vector<float> query(embeddings->dim);
+  std::vector<double> exact_us, ann_us;
+  exact_us.reserve(max_queries);
+  ann_us.reserve(max_queries);
+  double recall_sum = 0.0;
+  size_t queries = 0;
+  for (const SessionData& session : split.test.sessions()) {
+    if (queries >= max_queries) break;
+    EvolvingSession evolving;
+    for (ItemId item : session.items) {
+      if (item < embeddings->num_items) evolving.push_back(item);
+    }
+    if (evolving.empty()) continue;
+    if (!SessionQueryVector(*embeddings, evolving, /*window=*/8,
+                            /*decay=*/0.8f, query.data())) {
+      continue;
+    }
+
+    Stopwatch exact_timer;
+    const std::vector<ScoredItem> exact =
+        ExactNearest(*embeddings, query.data(), kTopK);
+    exact_us.push_back(exact_timer.ElapsedSeconds() * 1e6);
+
+    Stopwatch ann_timer;
+    const std::vector<ScoredItem> approx = ann.Search(query.data(), kTopK);
+    ann_us.push_back(ann_timer.ElapsedSeconds() * 1e6);
+
+    std::set<ItemId> truth;
+    for (const ScoredItem& scored : exact) truth.insert(scored.item);
+    size_t hits = 0;
+    for (const ScoredItem& scored : approx) {
+      if (truth.count(scored.item) > 0) ++hits;
+    }
+    recall_sum +=
+        truth.empty() ? 1.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(truth.size());
+    ++queries;
+  }
+  if (queries == 0) {
+    std::fprintf(stderr, "no usable queries at this scale\n");
+    return 1;
+  }
+  const double recall = recall_sum / static_cast<double>(queries);
+  const double exact_p50 = PercentileUs(exact_us, 0.50);
+  const double exact_p99 = PercentileUs(exact_us, 0.99);
+  const double ann_p50 = PercentileUs(ann_us, 0.50);
+  const double ann_p99 = PercentileUs(ann_us, 0.99);
+
+  bench::PrintSection("recall and latency");
+  std::printf("%zu session queries, top-%zu\n", queries, kTopK);
+  std::printf("recall@%zu vs exact: %.4f\n", kTopK, recall);
+  std::printf("%-12s %10s %10s\n", "path", "p50 us", "p99 us");
+  std::printf("%-12s %10.1f %10.1f\n", "exact scan", exact_p50, exact_p99);
+  std::printf("%-12s %10.1f %10.1f\n", "hnsw", ann_p50, ann_p99);
+  std::printf("\nspeedup p50: %.1fx (the sublinear-search payoff the "
+              "recall gate licenses)\n",
+              exact_p50 / std::max(ann_p50, 1e-9));
+
+  bench::JsonResultWriter json("ann_retrieval");
+  json.Add("train_seconds", train_seconds);
+  json.Add("build_seconds", build_seconds);
+  json.Add("queries", static_cast<double>(queries));
+  json.Add("recall_at_20", recall);
+  json.Add("exact_p50_us", exact_p50);
+  json.Add("exact_p99_us", exact_p99);
+  json.Add("ann_p50_us", ann_p50);
+  json.Add("ann_p99_us", ann_p99);
+  json.Add("speedup_p50", exact_p50 / std::max(ann_p50, 1e-9));
+  if (!json.WriteTo(bench::JsonPathFromEnv())) return 1;
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "baselines/item2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace serenade {
+
+namespace {
+
+struct Pair {
+  ItemId center = kInvalidItem;
+  ItemId context = kInvalidItem;
+};
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Per-batch state: the pairs, their pre-drawn negatives, and the scratch
+/// the parallel gradient phase writes into (disjoint slots per pair).
+struct Batch {
+  std::vector<Pair> pairs;
+  std::vector<ItemId> negatives;      // pairs.size() * num_negatives
+  std::vector<float> center_grads;    // pairs.size() * dim
+  std::vector<float> target_grads;    // pairs.size() * (1 + negs) * dim
+  std::vector<double> losses;         // pairs.size()
+};
+
+}  // namespace
+
+StatusOr<ItemEmbeddings> TrainItemEmbeddings(const Dataset& dataset,
+                                             const Item2VecConfig& config,
+                                             double* total_loss) {
+  const size_t vocab = dataset.num_items();
+  const size_t dim = config.dim;
+  if (vocab == 0) return Status::InvalidArgument("item2vec: empty catalog");
+  if (dim == 0) return Status::InvalidArgument("item2vec: zero dim");
+
+  // Unigram counts -> count^0.75 negative-sampling distribution.
+  std::vector<double> weights(vocab, 0.0);
+  size_t pairs_per_epoch = 0;
+  for (const SessionData& session : dataset.sessions()) {
+    const size_t n = session.items.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (session.items[i] < vocab) weights[session.items[i]] += 1.0;
+      const size_t lo = i >= config.window ? i - config.window : 0;
+      const size_t hi = std::min(n - 1, i + config.window);
+      pairs_per_epoch += (hi - lo);  // all offsets except the center itself
+    }
+  }
+  bool any_weight = false;
+  for (double& w : weights) {
+    if (w > 0.0) {
+      w = std::pow(w, 0.75);
+      any_weight = true;
+    }
+  }
+  if (!any_weight || pairs_per_epoch == 0) {
+    return Status::InvalidArgument("item2vec: no training pairs in dataset");
+  }
+  const AliasTable sampler(weights);
+
+  Rng rng(config.seed);
+  ItemEmbeddings input;
+  input.num_items = vocab;
+  input.dim = dim;
+  input.values.resize(vocab * dim);
+  // Standard word2vec init: inputs uniform in [-0.5, 0.5]/dim (drawn
+  // sequentially from the master RNG), contexts zero.
+  for (float& v : input.values) {
+    v = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+  }
+  std::vector<float> context(vocab * dim, 0.0f);
+
+  const size_t total_pairs = pairs_per_epoch * config.epochs;
+  const size_t negs = config.negatives;
+  const size_t targets_per_pair = 1 + negs;
+
+  ThreadPool pool(std::max<size_t>(1, config.num_threads));
+  Batch batch;
+  batch.pairs.reserve(config.batch_pairs);
+  double loss_sum = 0.0;
+  size_t processed = 0;
+
+  auto flush = [&]() {
+    const size_t count = batch.pairs.size();
+    if (count == 0) return;
+    // Linear learning-rate decay, computed from the deterministic pair
+    // counter (one rate per batch).
+    const float progress =
+        static_cast<float>(processed) / static_cast<float>(total_pairs);
+    const float lr = std::max(config.min_learning_rate,
+                              config.learning_rate * (1.0f - progress));
+
+    // Negatives for the whole batch, sequentially from the master RNG.
+    batch.negatives.resize(count * negs);
+    for (size_t p = 0; p < count; ++p) {
+      for (size_t j = 0; j < negs; ++j) {
+        batch.negatives[p * negs + j] =
+            static_cast<ItemId>(sampler.Sample(rng));
+      }
+    }
+
+    batch.center_grads.assign(count * dim, 0.0f);
+    batch.target_grads.assign(count * targets_per_pair * dim, 0.0f);
+    batch.losses.assign(count, 0.0);
+
+    // Parallel gradient phase: reads the weights frozen at batch start,
+    // writes only this pair's scratch slots.
+    ParallelFor(pool, count, [&](size_t begin, size_t end) {
+      for (size_t p = begin; p < end; ++p) {
+        const Pair& pair = batch.pairs[p];
+        const float* center_row = input.Row(pair.center);
+        float* center_grad = batch.center_grads.data() + p * dim;
+        double loss = 0.0;
+        for (size_t t = 0; t < targets_per_pair; ++t) {
+          ItemId target;
+          float label;
+          if (t == 0) {
+            target = pair.context;
+            label = 1.0f;
+          } else {
+            target = batch.negatives[p * negs + (t - 1)];
+            label = 0.0f;
+            if (target == pair.context) continue;  // accidental positive
+          }
+          const float* target_row = context.data() + target * dim;
+          float dot = 0.0f;
+          for (size_t d = 0; d < dim; ++d) dot += center_row[d] * target_row[d];
+          const float predicted = Sigmoid(dot);
+          const float g = (label - predicted) * lr;
+          float* target_grad =
+              batch.target_grads.data() + (p * targets_per_pair + t) * dim;
+          for (size_t d = 0; d < dim; ++d) {
+            center_grad[d] += g * target_row[d];
+            target_grad[d] = g * center_row[d];
+          }
+          const float clamped =
+              std::min(std::max(label > 0.5f ? predicted : 1.0f - predicted,
+                                1e-7f),
+                       1.0f);
+          loss -= std::log(clamped);
+        }
+        batch.losses[p] = loss;
+      }
+    });
+
+    // Sequential apply phase: fixed order makes float accumulation (and
+    // therefore the final bytes) independent of the thread count. Updates
+    // are clamped per component: a batch freezes its read snapshot, so a
+    // pair repeated within one batch stacks its gradient — on a small
+    // catalog that multiplies the effective learning rate and, unclamped,
+    // oscillates the weights out to infinity.
+    const auto clamped_update = [](float g) {
+      constexpr float kMaxUpdate = 0.5f;
+      return std::min(kMaxUpdate, std::max(-kMaxUpdate, g));
+    };
+    for (size_t p = 0; p < count; ++p) {
+      const Pair& pair = batch.pairs[p];
+      float* center_row = input.MutableRow(pair.center);
+      const float* center_grad = batch.center_grads.data() + p * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        center_row[d] += clamped_update(center_grad[d]);
+      }
+      for (size_t t = 0; t < targets_per_pair; ++t) {
+        const ItemId target =
+            t == 0 ? pair.context : batch.negatives[p * negs + (t - 1)];
+        if (t != 0 && target == pair.context) continue;
+        const float* target_grad =
+            batch.target_grads.data() + (p * targets_per_pair + t) * dim;
+        float* target_row = context.data() + target * dim;
+        for (size_t d = 0; d < dim; ++d) {
+          target_row[d] += clamped_update(target_grad[d]);
+        }
+      }
+      loss_sum += batch.losses[p];
+    }
+    processed += count;
+    batch.pairs.clear();
+  };
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const SessionData& session : dataset.sessions()) {
+      const size_t n = session.items.size();
+      for (size_t i = 0; i < n; ++i) {
+        const ItemId center = session.items[i];
+        if (center >= vocab) continue;
+        const size_t lo = i >= config.window ? i - config.window : 0;
+        const size_t hi = std::min(n - 1, i + config.window);
+        for (size_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          const ItemId ctx = session.items[j];
+          if (ctx >= vocab) continue;
+          batch.pairs.push_back({center, ctx});
+          if (batch.pairs.size() >= config.batch_pairs) flush();
+        }
+      }
+    }
+  }
+  flush();
+
+  NormalizeRows(&input);
+  SERENADE_RETURN_IF_ERROR(ValidateEmbeddings(input));
+  if (total_loss != nullptr) *total_loss = loss_sum;
+  return input;
+}
+
+}  // namespace serenade

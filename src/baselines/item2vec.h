@@ -1,0 +1,58 @@
+// item2vec — skip-gram with negative sampling over the clickstream,
+// treating each session as a sentence (Barkan & Koenigstein 2016). From
+// scratch like the other neural baselines, and **deterministic by
+// construction**: the same (dataset, config.seed) produces byte-identical
+// embeddings regardless of config.num_threads.
+//
+// The determinism scheme is mini-batch SGD with a frozen read snapshot:
+//
+//   1. Pairs are enumerated in a fixed order (epoch, session, position,
+//      offset) and grouped into batches of config.batch_pairs.
+//   2. Negatives for the whole batch are drawn *sequentially* from the
+//      master RNG (unigram^0.75 alias table), so the random stream never
+//      depends on thread interleaving.
+//   3. The gradient of every pair is computed in parallel against the
+//      weights as they stood at batch start (the parallel phase only
+//      reads), into per-pair scratch slots.
+//   4. Gradients are applied *sequentially* in pair order.
+//
+// Float addition order is therefore fixed end-to-end; tests assert
+// byte-identical artifacts across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/embedding.h"
+#include "data/click_log.h"
+
+namespace serenade {
+
+struct Item2VecConfig {
+  size_t dim = 32;
+  /// Context offsets +-1..window around each center click.
+  size_t window = 3;
+  /// Negative samples per (center, context) pair.
+  size_t negatives = 5;
+  size_t epochs = 3;
+  float learning_rate = 0.025f;
+  float min_learning_rate = 1e-4f;
+  uint64_t seed = 42;
+  /// Pairs per deterministic mini-batch (the parallel grain). Batches see
+  /// weights frozen at batch start, so pairs repeated within one batch
+  /// stack their gradients; small catalogs repeat a lot, which is why
+  /// this stays modest and updates are clamped (see item2vec.cc).
+  size_t batch_pairs = 256;
+  /// Worker threads for the gradient phase. Any value yields the same
+  /// bytes; larger values are just faster.
+  size_t num_threads = 1;
+};
+
+/// Trains item embeddings over `dataset`. Rows come back L2-normalized
+/// and validated. `total_loss` (optional) receives the summed negative
+/// log-likelihood over all processed pairs — itself deterministic.
+StatusOr<ItemEmbeddings> TrainItemEmbeddings(const Dataset& dataset,
+                                             const Item2VecConfig& config,
+                                             double* total_loss = nullptr);
+
+}  // namespace serenade

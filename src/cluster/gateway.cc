@@ -165,6 +165,31 @@ void ClusterGateway::RegisterMetrics() {
   stale_epoch_rejects_ = &registry_.AddCounter(
       "gateway_stale_epoch_rejects_total",
       "cluster mutations rejected for carrying a stale ring epoch");
+  // A/B experiment read-out, labelled by the arm the gateway ASSIGNED
+  // (the pod's serenade_engine_requests_total counts what actually
+  // served; the two disagree exactly when an arm degrades).
+  static constexpr const char* kArmNames[2] = {"vmis", "ann"};
+  for (int arm = 0; arm < 2; ++arm) {
+    ab_requests_[arm] = &registry_.AddCounter(
+        "gateway_ab_requests_total",
+        "forwarded recommend requests per experiment arm", "engine",
+        kArmNames[arm]);
+    ab_impressions_[arm] = &registry_.AddCounter(
+        "gateway_ab_impressions_total",
+        "served responses whose items entered the engagement tracker",
+        "engine", kArmNames[arm]);
+    ab_engagements_[arm] = &registry_.AddCounter(
+        "gateway_ab_engagements_total",
+        "clicks that landed on an item the same session was just shown",
+        "engine", kArmNames[arm]);
+    ab_latency_micros_[arm] = &registry_.AddHistogram(
+        "gateway_ab_latency_microseconds",
+        "end-to-end forwarding latency per experiment arm", "engine",
+        kArmNames[arm]);
+  }
+  ab_fallbacks_ = &registry_.AddCounter(
+      "gateway_ab_fallbacks_total",
+      "ANN-arm requests a pod actually served with VMIS (dead arm)");
   redirects_followed_ = &registry_.AddCounter(
       "gateway_redirects_followed_total",
       "mid-hand-off 307 redirects followed to a session's new owner");
@@ -690,6 +715,19 @@ HttpResponse ClusterGateway::HandleRecommendGet(const HttpRequest& request,
     return ApiError(400, "session_id is required", trace->id());
   }
 
+  // Engine resolution: an explicit engine= from the client wins; else
+  // the sticky A/B bucket is stamped onto the forwarded query so the pod
+  // serves this session's assigned arm.
+  std::string engine = request.Param("engine");
+  const bool client_specified = !engine.empty();
+  if (!client_specified && config_.ab_ann_percent > 0) {
+    engine = AbArmOf(session_key);
+  }
+  const int arm = engine == "ann" ? 1 : 0;
+  if (config_.ab_ann_percent > 0) {
+    AbObserveClick(session_key, request.Param("item_id"));
+  }
+
   // Re-encode the query for forwarding (it arrived percent-decoded).
   std::string target = request.path;
   char separator = '?';
@@ -700,15 +738,26 @@ HttpResponse ClusterGateway::HandleRecommendGet(const HttpRequest& request,
     target += UrlEncodeComponent(value);
     separator = '&';
   }
+  if (!client_specified && !engine.empty()) {
+    target += separator;
+    target += "engine=";
+    target += engine;
+  }
 
   // Trace-context propagation: the backend adopts this id and echoes it,
   // so the pod's slow-request logs join with ours.
   const std::map<std::string, std::string> forward_headers = {
       {kTraceIdHeader, trace->id()}};
+  Stopwatch forward_watch;
   AttemptResult last = ForwardWithFailover(session_key, target,
                                            forward_headers, nullptr, trace);
   if (last.ok) {
     forwarded_ok_->Increment();
+    AbCountForward(arm, forward_watch.ElapsedMicros(),
+                   last.response.Header(kEngineHeader));
+    if (config_.ab_ann_percent > 0) {
+      AbObserveResponse(session_key, arm, last.response.body);
+    }
     return std::move(last.response);
   }
   if (fallback_ != nullptr) return ServeDegraded(request.Param("item_id"));
@@ -728,24 +777,51 @@ HttpResponse ClusterGateway::HandleRecommendPost(const HttpRequest& request,
       session->AsString().empty()) {
     return ApiError(400, "session_id is required", trace->id());
   }
+  const std::string session_key = session->AsString();
+
+  // Engine resolution mirrors the GET path: an explicit "engine" field
+  // wins, else the A/B bucket is stamped into the forwarded body.
+  std::string engine;
+  if (const JsonValue* field = doc->Find("engine");
+      field != nullptr && field->type() == JsonValue::Type::kString) {
+    engine = field->AsString();
+  }
+  const bool client_specified = !engine.empty();
+  if (!client_specified && config_.ab_ann_percent > 0) {
+    engine = AbArmOf(session_key);
+  }
+  const int arm = engine == "ann" ? 1 : 0;
+  const std::string* forward_body = &request.body;
+  std::string stamped_body;
+  if (!client_specified && !engine.empty()) {
+    std::map<std::string, JsonValue> members = doc->AsObject();
+    members["engine"] = JsonValue::String(engine);
+    stamped_body = SerializeJson(JsonValue::Object(std::move(members)));
+    forward_body = &stamped_body;
+  }
+  std::string item_text;
+  if (const JsonValue* item = doc->Find("item_id");
+      item != nullptr && item->type() == JsonValue::Type::kNumber) {
+    item_text = std::to_string(item->AsInt());
+  }
+  if (config_.ab_ann_percent > 0) AbObserveClick(session_key, item_text);
 
   const std::map<std::string, std::string> forward_headers = {
       {kTraceIdHeader, trace->id()}};
-  AttemptResult last =
-      ForwardWithFailover(session->AsString(), request.path, forward_headers,
-                          &request.body, trace);
+  Stopwatch forward_watch;
+  AttemptResult last = ForwardWithFailover(session_key, request.path,
+                                           forward_headers, forward_body,
+                                           trace);
   if (last.ok) {
     forwarded_ok_->Increment();
+    AbCountForward(arm, forward_watch.ElapsedMicros(),
+                   last.response.Header(kEngineHeader));
+    if (config_.ab_ann_percent > 0) {
+      AbObserveResponse(session_key, arm, last.response.body);
+    }
     return std::move(last.response);
   }
-  if (fallback_ != nullptr) {
-    std::string item_text;
-    if (const JsonValue* item = doc->Find("item_id");
-        item != nullptr && item->type() == JsonValue::Type::kNumber) {
-      item_text = std::to_string(item->AsInt());
-    }
-    return ServeDegraded(item_text);
-  }
+  if (fallback_ != nullptr) return ServeDegraded(item_text);
   failed_->Increment();
   return ApiError(503, last.error.ToString(), trace->id());
 }
@@ -794,6 +870,11 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
   };
   std::map<std::string, Group> groups;  // backend name (or "") -> group
   std::vector<std::string> merged(slots.size());
+  // Per-slot A/B arm ([i] meaningful only for grouped slots): a slot's
+  // own "engine" field wins, else its session key's sticky bucket is
+  // stamped into the forwarded slot JSON.
+  std::vector<int> slot_arms(slots.size(), 0);
+  std::vector<std::string> slot_bodies(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
     const JsonValue* session = slots[i].Find("session_id");
     if (session == nullptr || session->type() != JsonValue::Type::kString ||
@@ -801,6 +882,22 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
       merged[i] = error_entry(400, "session_id is required");
       continue;
     }
+    std::string engine;
+    if (const JsonValue* field = slots[i].Find("engine");
+        field != nullptr && field->type() == JsonValue::Type::kString) {
+      engine = field->AsString();
+    }
+    if (engine.empty() && config_.ab_ann_percent > 0) {
+      engine = AbArmOf(session->AsString());
+      std::map<std::string, JsonValue> members = slots[i].AsObject();
+      members["engine"] = JsonValue::String(engine);
+      slot_bodies[i] = SerializeJson(JsonValue::Object(std::move(members)));
+    } else {
+      // Re-serialising parsed slots (rather than slicing raw text) keeps
+      // the forwarded sub-batch canonical JSON whatever the client sent.
+      slot_bodies[i] = SerializeJson(slots[i]);
+    }
+    slot_arms[i] = engine == "ann" ? 1 : 0;
     // First healthy candidate on the live ring = the pod this key's
     // micro-batches land on (resolved under the membership lock).
     const std::string owner = FirstHealthyFor(session->AsString());
@@ -816,12 +913,10 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
   for (auto& [owner, group] : groups) {
     AttemptResult last;
     if (!owner.empty()) {
-      // Re-serialising parsed slots (rather than slicing raw text) keeps
-      // the forwarded sub-batch canonical JSON whatever the client sent.
       std::string sub = "{\"requests\":[";
       for (size_t j = 0; j < group.slots.size(); ++j) {
         if (j > 0) sub += ',';
-        sub += SerializeJson(slots[group.slots[j]]);
+        sub += slot_bodies[group.slots[j]];
       }
       sub += "]}";
       last = ForwardWithFailover(group.session_key, request.path,
@@ -836,6 +931,10 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
           results->AsArray().size() == group.slots.size()) {
         forwarded_ok_->Increment();
         for (size_t j = 0; j < group.slots.size(); ++j) {
+          // Per-arm accounting per slot (no per-slot engine header or
+          // latency on the batch hop; fallback detection is single-path
+          // only).
+          ab_requests_[slot_arms[group.slots[j]]]->Increment();
           merged[group.slots[j]] = SerializeJson(results->AsArray()[j]);
         }
         continue;
@@ -862,6 +961,90 @@ HttpResponse ClusterGateway::HandleRecommendBatch(const HttpRequest& request,
   }
   body += "]}";
   return HttpResponse::Json(std::move(body));
+}
+
+// --- A/B experiment layer ---------------------------------------------------
+
+bool ClusterGateway::AbAnnBucket(const std::string& session_key) const {
+  if (config_.ab_ann_percent == 0) return false;
+  if (config_.ab_ann_percent >= 100) return true;
+  // Pure function of (key, salt): sticky across requests and across
+  // gateway restarts, with no per-session assignment state to replicate.
+  const uint64_t bucket = Mix64(Fnv1a(session_key) ^ config_.ab_salt) % 100;
+  return bucket < config_.ab_ann_percent;
+}
+
+const char* ClusterGateway::AbArmOf(const std::string& session_key) const {
+  return AbAnnBucket(session_key) ? "ann" : "vmis";
+}
+
+void ClusterGateway::AbObserveClick(const std::string& session_key,
+                                    const std::string& item_text) {
+  uint32_t item = 0;
+  const auto parsed = std::from_chars(
+      item_text.data(), item_text.data() + item_text.size(), item);
+  if (parsed.ec != std::errc() ||
+      parsed.ptr != item_text.data() + item_text.size()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(ab_mutex_);
+  auto it = ab_sessions_.find(session_key);
+  if (it == ab_sessions_.end()) return;
+  for (ItemId shown : it->second.shown) {
+    if (shown == item) {
+      // Credit the arm that PRODUCED the shown list, not the arm serving
+      // this click — the click is the previous recommendation's reward.
+      ab_engagements_[it->second.arm]->Increment();
+      return;
+    }
+  }
+}
+
+void ClusterGateway::AbObserveResponse(const std::string& session_key, int arm,
+                                       const std::string& body) {
+  auto doc = ParseJson(body);
+  if (!doc.ok()) return;
+  const JsonValue* items = doc->Find("items");
+  if (items == nullptr || items->type() != JsonValue::Type::kArray) return;
+  std::vector<ItemId> shown;
+  shown.reserve(items->AsArray().size());
+  for (const JsonValue& value : items->AsArray()) {
+    if (value.type() == JsonValue::Type::kNumber) {
+      shown.push_back(static_cast<ItemId>(value.AsInt()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(ab_mutex_);
+  auto it = ab_sessions_.find(session_key);
+  if (it == ab_sessions_.end()) {
+    // Bounded memory: over capacity, new sessions are served but not
+    // quality-tracked (existing sessions keep updating in place).
+    if (ab_sessions_.size() >= config_.ab_engagement_capacity) return;
+    it = ab_sessions_.emplace(session_key, AbEngagement{}).first;
+  }
+  it->second.arm = arm;
+  it->second.shown = std::move(shown);
+  ab_impressions_[arm]->Increment();
+}
+
+void ClusterGateway::AbCountForward(int arm, uint64_t latency_micros,
+                                    const std::string& served_engine) {
+  ab_requests_[arm]->Increment();
+  ab_latency_micros_[arm]->Record(latency_micros);
+  // The pod stamps what actually served; an ANN-arm request answered by
+  // VMIS is the dead-arm safety valve firing, which the experiment
+  // read-out must show (an "" engine means the header was absent).
+  if (arm == 1 && served_engine == "vmis") ab_fallbacks_->Increment();
+}
+
+AbCounters ClusterGateway::ab_counters() const {
+  AbCounters counters;
+  for (int arm = 0; arm < 2; ++arm) {
+    counters.requests[arm] = ab_requests_[arm]->value();
+    counters.impressions[arm] = ab_impressions_[arm]->value();
+    counters.engagements[arm] = ab_engagements_[arm]->value();
+  }
+  counters.fallbacks = ab_fallbacks_->value();
+  return counters;
 }
 
 std::vector<ScoredItem> ClusterGateway::FallbackItems(
@@ -1447,6 +1630,7 @@ std::vector<BackendCounters> ClusterGateway::backend_counters() const {
 
 HttpResponse ClusterGateway::HandleStats() {
   const GatewayCounters totals = this->counters();
+  const AbCounters ab = ab_counters();
   JsonWriter writer;
   writer.BeginObject()
       .Key("requests_served")
@@ -1479,6 +1663,22 @@ HttpResponse ClusterGateway::HandleStats() {
       .Value(static_cast<uint64_t>(health_->NumHealthy()))
       .Key("ring_epoch")
       .Value(ring_epoch())
+      .Key("ab_ann_percent")
+      .Value(static_cast<uint64_t>(config_.ab_ann_percent))
+      .Key("ab_requests_vmis")
+      .Value(ab.requests[0])
+      .Key("ab_requests_ann")
+      .Value(ab.requests[1])
+      .Key("ab_impressions_vmis")
+      .Value(ab.impressions[0])
+      .Key("ab_impressions_ann")
+      .Value(ab.impressions[1])
+      .Key("ab_engagements_vmis")
+      .Value(ab.engagements[0])
+      .Key("ab_engagements_ann")
+      .Value(ab.engagements[1])
+      .Key("ab_fallbacks")
+      .Value(ab.fallbacks)
       .Key("backends")
       .BeginArray();
   // Snapshot membership under the lock, then serialize outside it.

@@ -100,6 +100,18 @@ struct GatewayConfig {
   /// Retries for a failed hand-off/promote call before the membership
   /// change is abandoned (a donor may 500 mid-transfer and resume).
   uint32_t admin_retry_attempts = 100;
+  /// A/B experiment knob: percent of sessions (0-100) bucketed into the
+  /// ANN retrieval arm. Buckets are sticky per session key (pure hash of
+  /// key + ab_salt, no per-request state), the gateway stamps the bucket
+  /// as `engine=` on every forwarded request, and a client-specified
+  /// engine always wins over the bucket. 0 = experiment off.
+  uint32_t ab_ann_percent = 0;
+  /// Salt folded into the bucket hash so re-running the experiment
+  /// re-shuffles which sessions land in which arm.
+  uint64_t ab_salt = 0;
+  /// Sessions tracked for the engagement read-out (shown-items memory);
+  /// beyond this, new sessions are served but not quality-tracked.
+  size_t ab_engagement_capacity = 65536;
 };
 
 /// Aggregate gateway counters (monotonic).
@@ -110,6 +122,17 @@ struct GatewayCounters {
   uint64_t retries = 0;            ///< extra attempts after the first
   uint64_t hedges = 0;             ///< hedged second requests launched
   uint64_t hedge_wins = 0;         ///< hedges that beat the primary
+};
+
+/// Per-arm A/B experiment counters (monotonic; [0]=vmis, [1]=ann, indexed
+/// by the engine the gateway assigned to the request).
+struct AbCounters {
+  uint64_t requests[2] = {0, 0};     ///< forwarded recommend requests
+  uint64_t impressions[2] = {0, 0};  ///< responses whose items were tracked
+  uint64_t engagements[2] = {0, 0};  ///< next click hit a shown item
+  /// ANN-arm requests a pod actually served with VMIS (dead-arm
+  /// degradation, detected via the X-Serenade-Engine response header).
+  uint64_t fallbacks = 0;
 };
 
 /// Per-backend forwarding counters (monotonic).
@@ -142,6 +165,13 @@ class ClusterGateway {
   }
   GatewayCounters counters() const;
   std::vector<BackendCounters> backend_counters() const;
+  /// A/B experiment read-out (zeros when ab_ann_percent is 0 and no
+  /// client ever asked for an explicit engine).
+  AbCounters ab_counters() const;
+
+  /// The experiment arm `session_key` is bucketed into ("vmis" | "ann"),
+  /// before any client override — the sticky assignment tests assert on.
+  const char* AbArmOf(const std::string& session_key) const;
 
   /// The gateway's metric registry (handed to tests and collectors).
   MetricsRegistry& metrics() { return registry_; }
@@ -248,6 +278,23 @@ class ClusterGateway {
   /// the owner's replica.
   std::string FirstHealthyFor(const std::string& session_key) const;
 
+  /// True when `session_key` hashes into the ANN arm under the current
+  /// experiment knobs (false when the experiment is off).
+  bool AbAnnBucket(const std::string& session_key) const;
+  /// Engagement check: the user just clicked `item_text` — if it was
+  /// among the items last shown to this session, credit that arm.
+  void AbObserveClick(const std::string& session_key,
+                      const std::string& item_text);
+  /// Impression record: parses "items" out of a served response body and
+  /// remembers them (bounded) as this session's last shown set.
+  void AbObserveResponse(const std::string& session_key, int arm,
+                         const std::string& body);
+  /// Per-arm accounting for one successfully forwarded request: request
+  /// counter, latency histogram, and dead-arm fallback detection via the
+  /// X-Serenade-Engine header ("" = header absent, e.g. batch slots).
+  void AbCountForward(int arm, uint64_t latency_micros,
+                      const std::string& served_engine);
+
   /// Fallback recommendations seeded with the (possibly empty) clicked
   /// item; `item_text` is its decimal form.
   std::vector<ScoredItem> FallbackItems(const std::string& item_text);
@@ -293,6 +340,20 @@ class ClusterGateway {
   MetricCounter* hedge_wins_ = nullptr;
   MetricCounter* stale_epoch_rejects_ = nullptr;
   MetricCounter* redirects_followed_ = nullptr;
+  // A/B experiment accounting ([0]=vmis, [1]=ann by assigned arm).
+  MetricCounter* ab_requests_[2] = {};
+  MetricCounter* ab_impressions_[2] = {};
+  MetricCounter* ab_engagements_[2] = {};
+  MetricCounter* ab_fallbacks_ = nullptr;
+  MetricHistogram* ab_latency_micros_[2] = {};
+  // Last items shown per session (bounded by ab_engagement_capacity):
+  // the next click landing in `shown` is an engagement for `arm`.
+  struct AbEngagement {
+    int arm = 0;
+    std::vector<ItemId> shown;
+  };
+  mutable std::mutex ab_mutex_;
+  std::map<std::string, AbEngagement> ab_sessions_;
   MetricHistogram* forward_latency_micros_ = nullptr;
   MetricHistogram* request_latency_micros_ = nullptr;
   MetricHistogram* reactor_loop_lag_micros_ = nullptr;

@@ -1,0 +1,30 @@
+#include "core/ann_recommender.h"
+
+namespace serenade {
+
+std::vector<ScoredItem> AnnRecommender::RecommendNext(
+    const EvolvingSession& session, size_t how_many) {
+  std::vector<ScoredItem> empty;
+  if (embeddings_->num_items == 0 || how_many == 0) return empty;
+
+  std::vector<float> query(embeddings_->dim, 0.0f);
+  if (!SessionQueryVector(*embeddings_, session, config_.window,
+                          config_.decay, query.data())) {
+    // No session item maps into the embedding table (cold catalog items):
+    // an empty result lets the caller fall back to business rules.
+    return empty;
+  }
+
+  std::vector<char> exclude;
+  const std::vector<char>* exclude_ptr = nullptr;
+  if (config_.exclude_session_items) {
+    exclude.assign(embeddings_->num_items, 0);
+    for (ItemId item : session) {
+      if (item < embeddings_->num_items) exclude[item] = 1;
+    }
+    exclude_ptr = &exclude;
+  }
+  return index_->Search(query.data(), how_many, exclude_ptr);
+}
+
+}  // namespace serenade

@@ -1,0 +1,46 @@
+// The ANN serving engine: session -> query vector -> HNSW top-k, packaged
+// behind the same Recommender interface as VMIS-kNN so the serving layer
+// can pick an engine per request (`engine=vmis|ann`, or the gateway's A/B
+// bucket). Stateless apart from per-call scratch; one instance is safe to
+// construct per request against a pinned EmbeddingSnapshot.
+#pragma once
+
+#include <cstddef>
+
+#include "core/embedding.h"
+#include "core/hnsw.h"
+#include "core/recommender.h"
+
+namespace serenade {
+
+struct AnnConfig {
+  /// How many trailing session items feed the query vector.
+  size_t window = 8;
+  /// Per-step recency decay of those items' weights.
+  float decay = 0.8f;
+  /// Skip items already in the session (recommend *new* items, matching
+  /// what the co-occurrence engine effectively surfaces).
+  bool exclude_session_items = true;
+  HnswConfig hnsw;
+};
+
+class AnnRecommender final : public Recommender {
+ public:
+  /// `embeddings` and `index` must outlive the recommender (they are the
+  /// pinned snapshot's members).
+  AnnRecommender(const ItemEmbeddings* embeddings, const HnswIndex* index,
+                 const AnnConfig& config)
+      : embeddings_(embeddings), index_(index), config_(config) {}
+
+  std::vector<ScoredItem> RecommendNext(const EvolvingSession& session,
+                                        size_t how_many) override;
+
+  std::string Name() const override { return "ann-hnsw"; }
+
+ private:
+  const ItemEmbeddings* embeddings_;
+  const HnswIndex* index_;
+  AnnConfig config_;
+};
+
+}  // namespace serenade

@@ -1,0 +1,83 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace serenade {
+
+void NormalizeRows(ItemEmbeddings* embeddings) {
+  for (size_t i = 0; i < embeddings->num_items; ++i) {
+    float* row = embeddings->MutableRow(i);
+    float norm_sq = 0.0f;
+    for (size_t d = 0; d < embeddings->dim; ++d) norm_sq += row[d] * row[d];
+    if (norm_sq <= 0.0f) continue;
+    const float inv = 1.0f / std::sqrt(norm_sq);
+    for (size_t d = 0; d < embeddings->dim; ++d) row[d] *= inv;
+  }
+}
+
+Status ValidateEmbeddings(const ItemEmbeddings& embeddings) {
+  if (embeddings.dim == 0) {
+    return Status::Corruption("embeddings: zero dimension");
+  }
+  if (embeddings.values.size() != embeddings.num_items * embeddings.dim) {
+    return Status::Corruption("embeddings: value count mismatch");
+  }
+  for (float v : embeddings.values) {
+    if (!std::isfinite(v)) {
+      return Status::Corruption("embeddings: non-finite value");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<ScoredItem> ExactNearest(const ItemEmbeddings& embeddings,
+                                     const float* query, size_t k,
+                                     const std::vector<char>* exclude) {
+  std::vector<ScoredItem> scored;
+  scored.reserve(embeddings.num_items);
+  for (size_t i = 0; i < embeddings.num_items; ++i) {
+    if (exclude != nullptr && (*exclude)[i]) continue;
+    const float* row = embeddings.Row(i);
+    float dot = 0.0f;
+    for (size_t d = 0; d < embeddings.dim; ++d) dot += row[d] * query[d];
+    scored.push_back({static_cast<ItemId>(i), dot});
+  }
+  const size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                    [](const ScoredItem& a, const ScoredItem& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.item < b.item;
+                    });
+  scored.resize(top);
+  return scored;
+}
+
+bool SessionQueryVector(const ItemEmbeddings& embeddings,
+                        const EvolvingSession& session, size_t window,
+                        float decay, float* out) {
+  std::fill(out, out + embeddings.dim, 0.0f);
+  bool any = false;
+  float weight = 1.0f;
+  const size_t take = std::min(window, session.size());
+  // Walk newest -> oldest so the most recent click carries weight 1.
+  for (size_t back = 0; back < take; ++back) {
+    const ItemId item = session[session.size() - 1 - back];
+    if (item < embeddings.num_items) {
+      const float* row = embeddings.Row(item);
+      for (size_t d = 0; d < embeddings.dim; ++d) out[d] += weight * row[d];
+      any = true;
+    }
+    weight *= decay;
+  }
+  if (!any) return false;
+  float norm_sq = 0.0f;
+  for (size_t d = 0; d < embeddings.dim; ++d) norm_sq += out[d] * out[d];
+  if (norm_sq > 0.0f) {
+    const float inv = 1.0f / std::sqrt(norm_sq);
+    for (size_t d = 0; d < embeddings.dim; ++d) out[d] *= inv;
+  }
+  return true;
+}
+
+}  // namespace serenade

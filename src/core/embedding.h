@@ -1,0 +1,67 @@
+// Dense item embeddings — the second retrieval family's data model.
+//
+// VMIS-kNN retrieves by session co-occurrence; this module holds the
+// alternative signal: a learned vector per catalog item (trained by the
+// item2vec skip-gram in src/baselines/item2vec.h) plus the two retrieval
+// arms over it:
+//
+//   * ExactNearest      — brute-force full-scan top-k by cosine similarity.
+//                         The ground-truth arm of the ANN oracle and the
+//                         baseline side of ann_retrieval_bench.
+//   * SessionQueryVector — folds an evolving session into one query vector
+//                         (recency-decayed mean of the last `window` item
+//                         vectors, re-normalized), shared by the exact and
+//                         HNSW serving paths so both arms answer the same
+//                         question.
+//
+// Rows are stored L2-normalized, so cosine similarity is a plain dot
+// product and scores are comparable across sessions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/recommender.h"
+
+namespace serenade {
+
+/// A dense [num_items x dim] float matrix, row i = item i's vector.
+/// Rows are expected (and produced by the trainer/codec) L2-normalized.
+struct ItemEmbeddings {
+  size_t num_items = 0;
+  size_t dim = 0;
+  /// Row-major, size num_items * dim.
+  std::vector<float> values;
+
+  const float* Row(size_t item) const { return values.data() + item * dim; }
+  float* MutableRow(size_t item) { return values.data() + item * dim; }
+
+  friend bool operator==(const ItemEmbeddings&,
+                         const ItemEmbeddings&) = default;
+};
+
+/// Scales each row to unit L2 norm (zero rows are left untouched).
+void NormalizeRows(ItemEmbeddings* embeddings);
+
+/// Structural sanity shared by the trainer output and the codec reader:
+/// non-zero dim, values.size() == num_items * dim, every value finite.
+Status ValidateEmbeddings(const ItemEmbeddings& embeddings);
+
+/// Brute-force exact top-k by dot product (== cosine on normalized rows).
+/// Deterministic total order: score descending, item id ascending on ties.
+/// Items flagged in `exclude` (when non-null, sized num_items) are skipped.
+std::vector<ScoredItem> ExactNearest(const ItemEmbeddings& embeddings,
+                                     const float* query, size_t k,
+                                     const std::vector<char>* exclude = nullptr);
+
+/// Folds `session` into a query vector: recency-weighted mean of the last
+/// `window` item vectors (weight decay^age, age 0 = most recent), then
+/// L2-normalized. Items outside [0, num_items) are ignored. Returns false
+/// when no session item maps into the embedding table (query undefined).
+bool SessionQueryVector(const ItemEmbeddings& embeddings,
+                        const EvolvingSession& session, size_t window,
+                        float decay, float* out);
+
+}  // namespace serenade

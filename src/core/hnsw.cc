@@ -1,0 +1,236 @@
+#include "core/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace serenade {
+
+namespace {
+
+using Candidate = std::pair<float, uint32_t>;  // (score, node)
+
+/// The one total order every queue and result list uses: higher score
+/// first, lower item id on ties. Keeping it single-sourced is what makes
+/// the graph (and therefore every search) reproducible.
+bool Better(const Candidate& a, const Candidate& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(const ItemEmbeddings* embeddings,
+                     const HnswConfig& config)
+    : embeddings_(embeddings), config_(config) {
+  const size_t n = embeddings_->num_items;
+  links_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    links_[i].resize(LevelFor(i) + 1);
+  }
+  // One shared visited scratch across all inserts (build is sequential by
+  // contract); a fresh stamp per layer search avoids re-zeroing.
+  std::vector<uint32_t> visited(n, 0);
+  uint32_t stamp = 0;
+  for (uint32_t i = 0; i < n; ++i) Insert(i, &visited, &stamp);
+}
+
+size_t HnswIndex::LevelFor(uint32_t item) const {
+  // Pure function of (seed, item): the standard exponential level draw
+  // computed from a stateless mix, so layer assignment cannot depend on
+  // build interleaving or prior draws.
+  uint64_t state = config_.seed ^ Mix64(item + 0x9e3779b97f4a7c15ULL);
+  const uint64_t bits = SplitMix64(state);
+  // Map to (0, 1]: never exactly 0 so the log is finite.
+  const double u = (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+  const double ml = 1.0 / std::log(static_cast<double>(
+                              config_.M < 2 ? 2 : config_.M));
+  const double level = -std::log(u) * ml;
+  // Cap: deeper than log2(4B) layers is never useful and keeps the
+  // adjacency allocation bounded for adversarial seeds.
+  return std::min<size_t>(static_cast<size_t>(level), 32);
+}
+
+float HnswIndex::Dot(const float* query, uint32_t node) const {
+  const float* row = embeddings_->Row(node);
+  float dot = 0.0f;
+  for (size_t d = 0; d < embeddings_->dim; ++d) dot += row[d] * query[d];
+  return dot;
+}
+
+void HnswIndex::SearchLayer(const float* query, uint32_t entry, size_t ef,
+                            size_t level,
+                            std::vector<Candidate>* out,
+                            std::vector<uint32_t>* visited,
+                            uint32_t stamp) const {
+  // to_expand: best-first (max) heap; result: worst-first (min) heap.
+  auto expand_cmp = [](const Candidate& a, const Candidate& b) {
+    return Better(b, a);  // heap top = Better-most
+  };
+  auto result_cmp = [](const Candidate& a, const Candidate& b) {
+    return Better(a, b);  // heap top = Better-least (the worst kept)
+  };
+  std::vector<Candidate> to_expand, result;
+  const Candidate seed{Dot(query, entry), entry};
+  to_expand.push_back(seed);
+  result.push_back(seed);
+  (*visited)[entry] = stamp;
+
+  while (!to_expand.empty()) {
+    std::pop_heap(to_expand.begin(), to_expand.end(), expand_cmp);
+    const Candidate current = to_expand.back();
+    to_expand.pop_back();
+    if (result.size() >= ef && Better(result.front(), current)) break;
+    if (level >= links_[current.second].size()) continue;
+    for (uint32_t neighbor : links_[current.second][level]) {
+      if ((*visited)[neighbor] == stamp) continue;
+      (*visited)[neighbor] = stamp;
+      const Candidate c{Dot(query, neighbor), neighbor};
+      if (result.size() < ef || Better(c, result.front())) {
+        to_expand.push_back(c);
+        std::push_heap(to_expand.begin(), to_expand.end(), expand_cmp);
+        result.push_back(c);
+        std::push_heap(result.begin(), result.end(), result_cmp);
+        if (result.size() > ef) {
+          std::pop_heap(result.begin(), result.end(), result_cmp);
+          result.pop_back();
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(), Better);
+  *out = std::move(result);
+}
+
+void HnswIndex::Insert(uint32_t item, std::vector<uint32_t>* visited,
+                       uint32_t* stamp) {
+  const size_t item_level = links_[item].size() - 1;
+  if (item == 0) {
+    entry_point_ = 0;
+    max_level_ = item_level;
+    return;
+  }
+
+  const float* query = embeddings_->Row(item);
+
+  // Greedy descent through layers above the item's level.
+  uint32_t entry = entry_point_;
+  for (size_t level = max_level_; level > item_level;) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      Candidate best{Dot(query, entry), entry};
+      if (level < links_[entry].size()) {
+        for (uint32_t neighbor : links_[entry][level]) {
+          const Candidate c{Dot(query, neighbor), neighbor};
+          if (Better(c, best)) {
+            best = c;
+            moved = true;
+          }
+        }
+      }
+      entry = best.second;
+    }
+    --level;
+  }
+
+  // Beam search + link on each layer from min(max_level_, item_level) down.
+  std::vector<Candidate> found;
+  for (size_t level = std::min(max_level_, item_level) + 1; level-- > 0;) {
+    ++*stamp;
+    SearchLayer(query, entry, config_.ef_construction, level, &found,
+                visited, *stamp);
+    const size_t max_links = level == 0 ? config_.M * 2 : config_.M;
+    const size_t take = std::min(config_.M, found.size());
+    for (size_t i = 0; i < take; ++i) {
+      const uint32_t neighbor = found[i].second;
+      links_[item][level].push_back(neighbor);
+      auto& reverse = links_[neighbor][level];
+      reverse.push_back(item);
+      if (reverse.size() > max_links) {
+        // Prune to the Better-most max_links by similarity to `neighbor`.
+        const float* base = embeddings_->Row(neighbor);
+        std::vector<Candidate> ranked;
+        ranked.reserve(reverse.size());
+        for (uint32_t node : reverse) ranked.push_back({Dot(base, node), node});
+        std::sort(ranked.begin(), ranked.end(), Better);
+        ranked.resize(max_links);
+        reverse.clear();
+        for (const Candidate& c : ranked) reverse.push_back(c.second);
+      }
+    }
+    if (!found.empty()) entry = found.front().second;
+  }
+
+  if (item_level > max_level_) {
+    max_level_ = item_level;
+    entry_point_ = item;
+  }
+}
+
+std::vector<ScoredItem> HnswIndex::Search(const float* query, size_t k,
+                                          const std::vector<char>* exclude,
+                                          size_t ef_override) const {
+  std::vector<ScoredItem> results;
+  if (embeddings_->num_items == 0 || k == 0) return results;
+
+  std::vector<uint32_t> visited(embeddings_->num_items, 0);
+  uint32_t entry = entry_point_;
+  for (size_t level = max_level_; level > 0; --level) {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      Candidate best{Dot(query, entry), entry};
+      if (level < links_[entry].size()) {
+        for (uint32_t neighbor : links_[entry][level]) {
+          const Candidate c{Dot(query, neighbor), neighbor};
+          if (Better(c, best)) {
+            best = c;
+            moved = true;
+          }
+        }
+      }
+      entry = best.second;
+    }
+  }
+
+  size_t ef = ef_override != 0 ? ef_override : config_.ef_search;
+  // Excluded items still steer traversal but are dropped from results, so
+  // widen the beam to leave k survivors.
+  size_t slack = 0;
+  if (exclude != nullptr) {
+    for (char flag : *exclude) slack += flag != 0;
+  }
+  ef = std::max(ef, k + slack);
+
+  std::vector<Candidate> found;
+  SearchLayer(query, entry, ef, 0, &found, &visited, 1);
+  results.reserve(std::min(k, found.size()));
+  for (const Candidate& c : found) {
+    if (results.size() >= k) break;
+    if (exclude != nullptr && (*exclude)[c.second]) continue;
+    results.push_back({static_cast<ItemId>(c.second), c.first});
+  }
+  return results;
+}
+
+uint64_t HnswIndex::GraphDigest() const {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  auto mix = [&digest](uint64_t value) {
+    digest = HashCombine(digest, Mix64(value));
+  };
+  mix(entry_point_);
+  mix(max_level_);
+  for (const auto& node : links_) {
+    mix(node.size());
+    for (const auto& level : node) {
+      mix(level.size());
+      for (uint32_t neighbor : level) mix(neighbor);
+    }
+  }
+  return digest;
+}
+
+}  // namespace serenade

@@ -1,0 +1,83 @@
+// Deterministic HNSW (Hierarchical Navigable Small World) index over
+// ItemEmbeddings — the approximate arm of the second retrieval family.
+//
+// Determinism contract (the ANN oracle and the determinism tests depend
+// on it): two builds over identical embeddings with identical HnswConfig
+// produce identical graphs and identical search results, regardless of
+// the host or the number of serving threads.
+//
+//   * Items are inserted in ascending item-id order.
+//   * The level of item i is a pure function of (config.seed, i) — a
+//     SplitMix64 draw, not a shared-RNG sequence — so the layer
+//     assignment cannot depend on construction interleaving.
+//   * All candidate orderings break score ties by ascending item id.
+//
+// The graph is rebuilt from the embedding artifact at load time (build is
+// O(n log n) with small constants at catalog scale), so the on-disk
+// artifact stays a single CRC-framed embedding matrix — one codec to
+// torture, one manifest to stamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedding.h"
+#include "core/recommender.h"
+
+namespace serenade {
+
+struct HnswConfig {
+  /// Max neighbors per node on layers > 0 (layer 0 keeps 2M).
+  size_t M = 16;
+  /// Beam width while inserting.
+  size_t ef_construction = 100;
+  /// Default beam width while searching (raised to k when smaller).
+  size_t ef_search = 64;
+  /// Seed for the per-item level draws.
+  uint64_t seed = 20260806;
+};
+
+class HnswIndex {
+ public:
+  /// Builds the graph over `embeddings` (kept by reference by the caller;
+  /// the index stores only adjacency and reads vectors through the
+  /// pointer it was built with).
+  HnswIndex(const ItemEmbeddings* embeddings, const HnswConfig& config);
+
+  /// Top-k by cosine over the graph. Deterministic: score descending,
+  /// item ascending on ties. `exclude` (optional, sized num_items) drops
+  /// items from the result without changing graph traversal.
+  std::vector<ScoredItem> Search(const float* query, size_t k,
+                                 const std::vector<char>* exclude = nullptr,
+                                 size_t ef_override = 0) const;
+
+  size_t num_items() const { return embeddings_->num_items; }
+  size_t max_level() const { return max_level_; }
+  const HnswConfig& config() const { return config_; }
+
+  /// FNV-1a digest of the full adjacency structure — lets tests assert
+  /// build determinism without exposing the internals.
+  uint64_t GraphDigest() const;
+
+ private:
+  float Dot(const float* query, uint32_t node) const;
+  /// Greedy beam search on one layer from `entry`; returns up to `ef`
+  /// candidates as (score, node), best first.
+  void SearchLayer(const float* query, uint32_t entry, size_t ef, size_t level,
+                   std::vector<std::pair<float, uint32_t>>* out,
+                   std::vector<uint32_t>* visited, uint32_t stamp) const;
+  size_t LevelFor(uint32_t item) const;
+  void Insert(uint32_t item, std::vector<uint32_t>* visited, uint32_t* stamp);
+
+  const ItemEmbeddings* embeddings_;
+  HnswConfig config_;
+  // links_[node][level] = sorted-by-insertion neighbor ids.
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  uint32_t entry_point_ = 0;
+  size_t max_level_ = 0;
+  // Scratch epoch stamps for SearchLayer (mutable: Search is logically
+  // const). Guarded by nothing — each thread must use its own HnswIndex
+  // *searcher* scratch; see Search() which keeps scratch on the stack.
+};
+
+}  // namespace serenade

@@ -1,0 +1,220 @@
+#include "index/embedding_format.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+
+namespace serenade {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'R', 'N', 'E', 'M', 'B', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(const char** cursor, const char* end, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*cursor < end && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(**cursor);
+    ++*cursor;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out->append(buf, 8);
+}
+
+// Section CRCs are stored *masked* (rotate + add a constant, after
+// LevelDB). Storing a raw CRC right after its payload makes the whole
+// file's CRC a constant function of the framing: CRC is linear over
+// GF(2), so `payload || crc(payload)` always leaves the same residue,
+// and two different well-formed artifacts would collide in the
+// manifest's whole-file index_crc32. The addition carries are
+// non-linear, which breaks that cancellation — the manifest CRC
+// actually distinguishes artifacts again (embedding_codec_test pins
+// this).
+constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+void AppendSection(std::string* out, const std::string& payload) {
+  PutFixed64(out, payload.size());
+  out->append(payload);
+  PutFixed32(out, MaskCrc(Crc32(payload.data(), payload.size())));
+}
+
+Status ReadSection(const char** cursor, const char* end,
+                   const char** payload, size_t* payload_size) {
+  if (end - *cursor < 8) return Status::Corruption("section length");
+  uint64_t size = 0;
+  std::memcpy(&size, *cursor, 8);
+  *cursor += 8;
+  if (static_cast<uint64_t>(end - *cursor) < size + 4) {
+    return Status::Corruption("section payload truncated");
+  }
+  *payload = *cursor;
+  *payload_size = static_cast<size_t>(size);
+  *cursor += size;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, *cursor, 4);
+  *cursor += 4;
+  if (MaskCrc(Crc32(*payload, *payload_size)) != stored_crc) {
+    return Status::Corruption("section CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeEmbeddings(const ItemEmbeddings& embeddings) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, kVersion);
+
+  std::string header;
+  PutVarint(&header, embeddings.num_items);
+  PutVarint(&header, embeddings.dim);
+  AppendSection(&out, header);
+
+  std::string vectors;
+  PutVarint(&vectors, embeddings.values.size());
+  vectors.append(reinterpret_cast<const char*>(embeddings.values.data()),
+                 embeddings.values.size() * sizeof(float));
+  AppendSection(&out, vectors);
+  return out;
+}
+
+StatusOr<ItemEmbeddings> DeserializeEmbeddings(const std::string& bytes) {
+  const char* cursor = bytes.data();
+  const char* end = bytes.data() + bytes.size();
+  if (end - cursor < static_cast<ptrdiff_t>(sizeof(kMagic) + 4)) {
+    return Status::Corruption("embedding file too short");
+  }
+  if (std::memcmp(cursor, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad embedding magic");
+  }
+  cursor += sizeof(kMagic);
+  uint32_t version = 0;
+  std::memcpy(&version, cursor, 4);
+  cursor += 4;
+  if (version != kVersion) {
+    return Status::Corruption("unsupported embedding version " +
+                              std::to_string(version));
+  }
+
+  const char* header = nullptr;
+  size_t header_size = 0;
+  SERENADE_RETURN_IF_ERROR(ReadSection(&cursor, end, &header, &header_size));
+  const char* header_cursor = header;
+  const char* header_end = header + header_size;
+  uint64_t num_items = 0, dim = 0;
+  if (!GetVarint(&header_cursor, header_end, &num_items) ||
+      !GetVarint(&header_cursor, header_end, &dim)) {
+    return Status::Corruption("embedding header truncated");
+  }
+  if (header_cursor != header_end) {
+    return Status::Corruption("embedding header has trailing bytes");
+  }
+
+  const char* vectors = nullptr;
+  size_t vectors_size = 0;
+  SERENADE_RETURN_IF_ERROR(ReadSection(&cursor, end, &vectors, &vectors_size));
+  if (cursor != end) {
+    return Status::Corruption("trailing bytes after embedding sections");
+  }
+  const char* vec_cursor = vectors;
+  const char* vec_end = vectors + vectors_size;
+  uint64_t count = 0;
+  if (!GetVarint(&vec_cursor, vec_end, &count)) {
+    return Status::Corruption("embedding vector count truncated");
+  }
+  if (count != num_items * dim) {
+    return Status::Corruption("embedding vector count mismatch");
+  }
+  if (static_cast<uint64_t>(vec_end - vec_cursor) != count * sizeof(float)) {
+    return Status::Corruption("embedding vector payload size mismatch");
+  }
+
+  ItemEmbeddings embeddings;
+  embeddings.num_items = static_cast<size_t>(num_items);
+  embeddings.dim = static_cast<size_t>(dim);
+  embeddings.values.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    std::memcpy(embeddings.values.data(), vec_cursor,
+                static_cast<size_t>(count) * sizeof(float));
+  }
+  SERENADE_RETURN_IF_ERROR(ValidateEmbeddings(embeddings));
+  return embeddings;
+}
+
+Status WriteEmbeddingsFile(const std::string& path,
+                           const ItemEmbeddings& embeddings) {
+  const std::string bytes = SerializeEmbeddings(embeddings);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<ItemEmbeddings> ReadEmbeddingsFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on " + path);
+  return DeserializeEmbeddings(buffer.str());
+}
+
+StatusOr<IndexManifest> WriteEmbeddingsWithManifest(
+    const std::string& path, const ItemEmbeddings& embeddings,
+    IndexManifest manifest) {
+  SERENADE_RETURN_IF_ERROR(ValidateEmbeddings(embeddings));
+  const std::string bytes = SerializeEmbeddings(embeddings);
+  manifest.kind = "embedding";
+  manifest.num_items = embeddings.num_items;
+  manifest.embedding_dim = embeddings.dim;
+  manifest.num_sessions = 0;
+  manifest.num_postings = 0;
+  manifest.index_bytes = bytes.size();
+  manifest.index_crc32 = Crc32(bytes.data(), bytes.size());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("write failure on " + path);
+
+  SERENADE_RETURN_IF_ERROR(WriteManifestFile(ManifestPathFor(path), manifest));
+  return manifest;
+}
+
+}  // namespace serenade

@@ -1,0 +1,54 @@
+// On-disk format for the embedding artifact (the second retrieval
+// family's deployable), mirroring the SRNIDX1 discipline: CRC-framed
+// sections, structural validation on load, deterministic serialization.
+//
+// Layout (little-endian):
+//
+//   magic   "SRNEMB1\0"                     (8 bytes)
+//   u32     format version (currently 1)
+//   section header:  varint num_items | varint dim
+//   section vectors: varint count | count * float32 (row-major)
+//
+// Each section is framed as u64 payload length | payload | u32 CRC-32,
+// exactly like the index codec, so truncation and bit flips anywhere past
+// the magic are caught by length/CRC checks. The deserializer addition-
+// ally rejects structural lies: dim == 0, count != num_items * dim,
+// non-finite values, and trailing bytes after the last section.
+//
+// Serialization is deterministic: the same embeddings always produce the
+// same bytes (embedding_determinism_test pins this, and the manifest CRC
+// with it).
+//
+// The ANN graph is NOT persisted — it is rebuilt deterministically from
+// these vectors at load time (see core/hnsw.h), keeping one artifact and
+// one codec to torture.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/embedding.h"
+#include "index/snapshot.h"
+
+namespace serenade {
+
+/// Deterministic: identical embeddings yield identical bytes.
+std::string SerializeEmbeddings(const ItemEmbeddings& embeddings);
+
+/// Validates framing (magic, version, section lengths, CRCs) and
+/// structure; returns kCorruption on any mismatch.
+StatusOr<ItemEmbeddings> DeserializeEmbeddings(const std::string& bytes);
+
+Status WriteEmbeddingsFile(const std::string& path,
+                           const ItemEmbeddings& embeddings);
+StatusOr<ItemEmbeddings> ReadEmbeddingsFile(const std::string& path);
+
+/// Writes the artifact plus its `<path>.manifest` sidecar in one step,
+/// stamping kind="embedding", the vector counts, and the artifact CRC.
+/// `manifest.version`, `build_id`, and `source` come from the caller
+/// (same contract as WriteIndexWithManifest).
+StatusOr<IndexManifest> WriteEmbeddingsWithManifest(
+    const std::string& path, const ItemEmbeddings& embeddings,
+    IndexManifest manifest);
+
+}  // namespace serenade

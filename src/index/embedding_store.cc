@@ -1,0 +1,126 @@
+#include "index/embedding_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "index/embedding_format.h"
+#include "testing/fault_injection.h"
+
+namespace serenade {
+
+StatusOr<std::shared_ptr<const EmbeddingSnapshot>>
+EmbeddingManager::LoadSnapshot(const std::string& path) const {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failure on " + path);
+  std::string bytes = buffer.str();
+
+  SERENADE_FAULT_POINT(FaultSite::kEmbeddingLoadTruncate, {
+    // A torn rollout read: the CRC-framed sections make the deserializer
+    // reject it below, leaving the current snapshot published.
+    bytes.resize(serenade_fi->RandBelow(bytes.size() + 1));
+  });
+
+  IndexManifest manifest;
+  auto sidecar = ReadManifestFile(ManifestPathFor(path));
+  if (sidecar.ok()) {
+    manifest = std::move(sidecar).value();
+    if (manifest.index_bytes != 0 && manifest.index_bytes != bytes.size()) {
+      return Status::Corruption("manifest/embedding size mismatch for " +
+                                path);
+    }
+    if (manifest.index_bytes != 0 &&
+        manifest.index_crc32 != Crc32(bytes.data(), bytes.size())) {
+      return Status::Corruption("manifest/embedding CRC mismatch for " +
+                                path);
+    }
+    if (manifest.kind != "embedding" && manifest.kind != "full") {
+      return Status::Corruption("manifest kind '" + manifest.kind +
+                                "' is not an embedding artifact");
+    }
+  } else if (sidecar.status().code() != StatusCode::kNotFound) {
+    return sidecar.status();
+  }
+
+  auto embeddings = DeserializeEmbeddings(bytes);
+  if (!embeddings.ok()) return embeddings.status();
+
+  manifest.kind = "embedding";
+  manifest.num_items = embeddings->num_items;
+  manifest.embedding_dim = embeddings->dim;
+  if (manifest.source.empty()) manifest.source = path;
+  return std::make_shared<const EmbeddingSnapshot>(
+      std::move(embeddings).value(), hnsw_, std::move(manifest));
+}
+
+StatusOr<std::shared_ptr<EmbeddingManager>> EmbeddingManager::CreateFromFile(
+    const std::string& path, const HnswConfig& hnsw) {
+  auto manager =
+      std::shared_ptr<EmbeddingManager>(new EmbeddingManager(hnsw));
+  auto snapshot = manager->LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  auto loaded = std::move(snapshot).value();
+  if (loaded->version() == 0) {
+    IndexManifest manifest = loaded->manifest();
+    manifest.version = 1;
+    loaded = std::make_shared<const EmbeddingSnapshot>(
+        loaded->embeddings(), manager->hnsw_, std::move(manifest));
+  }
+  manager->current_.store(std::move(loaded), std::memory_order_release);
+  manager->source_path_ = path;
+  return manager;
+}
+
+StatusOr<std::shared_ptr<EmbeddingManager>>
+EmbeddingManager::CreateFromEmbeddings(ItemEmbeddings embeddings,
+                                       const HnswConfig& hnsw,
+                                       uint64_t version) {
+  SERENADE_RETURN_IF_ERROR(ValidateEmbeddings(embeddings));
+  auto manager =
+      std::shared_ptr<EmbeddingManager>(new EmbeddingManager(hnsw));
+  IndexManifest manifest;
+  manifest.version = version == 0 ? 1 : version;
+  manifest.source = "in-memory";
+  manifest.kind = "embedding";
+  manifest.num_items = embeddings.num_items;
+  manifest.embedding_dim = embeddings.dim;
+  manager->current_.store(std::make_shared<const EmbeddingSnapshot>(
+                              std::move(embeddings), hnsw,
+                              std::move(manifest)),
+                          std::memory_order_release);
+  return manager;
+}
+
+Status EmbeddingManager::ReloadFromFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string target = path.empty() ? source_path_ : path;
+  if (target.empty()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "no reload path given and the current embeddings are not "
+        "file-backed");
+  }
+  auto snapshot = LoadSnapshot(target);
+  if (!snapshot.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return snapshot.status();
+  }
+  auto loaded = std::move(snapshot).value();
+  if (loaded->version() == 0 || loaded->version() == current_version()) {
+    // Unversioned artifact or a reused version number: force a visible
+    // bump so the fleet can observe the rollout.
+    IndexManifest manifest = loaded->manifest();
+    manifest.version = current_version() + 1;
+    loaded = std::make_shared<const EmbeddingSnapshot>(
+        loaded->embeddings(), hnsw_, std::move(manifest));
+  }
+  current_.store(std::move(loaded), std::memory_order_release);
+  source_path_ = target;
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace serenade

@@ -1,0 +1,92 @@
+// Versioned embedding snapshots with the same RCU hot-swap discipline as
+// IndexManager (index/snapshot.h): an immutable EmbeddingSnapshot pinned
+// per request through an atomic handle, writers serialized on a mutex,
+// and a failed load leaving the current snapshot untouched. The snapshot
+// owns both the vectors and the HNSW graph rebuilt from them at load
+// time, so one pin covers everything an ANN-engine request touches.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
+#include "index/snapshot.h"
+
+namespace serenade {
+
+/// One immutable published embedding version: vectors + ANN graph +
+/// provenance (manifest kind "embedding").
+class EmbeddingSnapshot {
+ public:
+  EmbeddingSnapshot(ItemEmbeddings embeddings, const HnswConfig& hnsw,
+                    IndexManifest manifest)
+      : embeddings_(std::move(embeddings)),
+        ann_(&embeddings_, hnsw),
+        manifest_(std::move(manifest)) {}
+
+  const ItemEmbeddings& embeddings() const { return embeddings_; }
+  const HnswIndex& ann() const { return ann_; }
+  const IndexManifest& manifest() const { return manifest_; }
+  uint64_t version() const { return manifest_.version; }
+
+ private:
+  ItemEmbeddings embeddings_;
+  HnswIndex ann_;
+  IndexManifest manifest_;
+};
+
+/// Loads, validates, and atomically publishes embedding snapshots.
+/// Mirrors IndexManager: Current() is a wait-free pin, ReloadFromFile
+/// keeps the old snapshot on any failure, reload counters feed
+/// /v1/metrics.
+class EmbeddingManager {
+ public:
+  /// Boots from an on-disk SRNEMB1 artifact (manifest sidecar honoured
+  /// when present; unversioned artifacts boot as version 1).
+  static StatusOr<std::shared_ptr<EmbeddingManager>> CreateFromFile(
+      const std::string& path, const HnswConfig& hnsw = {});
+
+  /// Boots from in-memory embeddings (tests, benches, SimCluster).
+  static StatusOr<std::shared_ptr<EmbeddingManager>> CreateFromEmbeddings(
+      ItemEmbeddings embeddings, const HnswConfig& hnsw = {},
+      uint64_t version = 1);
+
+  /// Pins the currently published snapshot. Never null after construction.
+  std::shared_ptr<const EmbeddingSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  uint64_t current_version() const { return Current()->version(); }
+
+  /// Loads `path` (or the boot path when empty) and publishes on success;
+  /// on failure the current snapshot stays and the error is returned.
+  Status ReloadFromFile(const std::string& path = "");
+
+  uint64_t reloads_total() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+  uint64_t reload_failures_total() const {
+    return reload_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit EmbeddingManager(HnswConfig hnsw) : hnsw_(hnsw) {}
+
+  StatusOr<std::shared_ptr<const EmbeddingSnapshot>> LoadSnapshot(
+      const std::string& path) const;
+
+  HnswConfig hnsw_;
+  std::atomic<std::shared_ptr<const EmbeddingSnapshot>> current_;
+
+  mutable std::mutex mutex_;  // serializes writers
+  std::string source_path_;
+
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+};
+
+}  // namespace serenade

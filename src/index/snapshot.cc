@@ -45,7 +45,8 @@ Status WriteManifestFile(const std::string& path,
       << "kind=" << (manifest.kind.empty() ? "full" : manifest.kind) << "\n"
       << "base_version=" << manifest.base_version << "\n"
       << "base_crc32=" << manifest.base_crc32 << "\n"
-      << "watermark_unix_ms=" << manifest.watermark_unix_ms << "\n";
+      << "watermark_unix_ms=" << manifest.watermark_unix_ms << "\n"
+      << "embedding_dim=" << manifest.embedding_dim << "\n";
   std::ofstream file(path, std::ios::trunc);
   if (!file) return Status::IoError("cannot open " + path + " for writing");
   file << out.str();
@@ -103,6 +104,8 @@ StatusOr<IndexManifest> ReadManifestFile(const std::string& path) {
     } else if (key == "watermark_unix_ms") {
       SERENADE_RETURN_IF_ERROR(
           ParseUint64(value, &manifest.watermark_unix_ms));
+    } else if (key == "embedding_dim") {
+      SERENADE_RETURN_IF_ERROR(ParseUint64(value, &manifest.embedding_dim));
     }
     // Unknown keys are skipped so future pipelines can add fields.
   }

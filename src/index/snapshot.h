@@ -50,10 +50,14 @@ struct IndexManifest {
 
   // Freshness-pipeline lineage (kind "delta" snapshots only; older readers
   // skip these keys).
-  std::string kind = "full";       ///< "full" | "delta"
+  std::string kind = "full";       ///< "full" | "delta" | "embedding"
   uint64_t base_version = 0;       ///< full snapshot a delta layers over
   uint32_t base_crc32 = 0;         ///< that snapshot's artifact CRC
   uint64_t watermark_unix_ms = 0;  ///< newest click covered (freshness SLO)
+
+  // Embedding-artifact extension (kind "embedding" only; older readers
+  // skip the key). Stamped by WriteEmbeddingsWithManifest.
+  uint64_t embedding_dim = 0;      ///< vector dimensionality
 };
 
 /// `<index path>.manifest`.

@@ -68,6 +68,17 @@ StatusOr<RecommendRequest> ParseRecommendEntry(const JsonValue& entry) {
       consent != nullptr && consent->type() == JsonValue::Type::kBool) {
     request.consent = consent->AsBool();
   }
+  if (const JsonValue* engine = entry.Find("engine"); engine != nullptr) {
+    if (engine->type() != JsonValue::Type::kString) {
+      return Status::InvalidArgument("engine must be \"vmis\" or \"ann\"");
+    }
+    const auto kind = ParseEngineKind(engine->AsString());
+    if (!kind.has_value()) {
+      return Status::InvalidArgument("unknown engine '" + engine->AsString() +
+                                     "' (expected \"vmis\" or \"ann\")");
+    }
+    request.engine = *kind;
+  }
   return request;
 }
 
@@ -223,6 +234,58 @@ void SerenadeServer::RegisterMetrics() {
   recommend_latency_micros_ = &registry_.AddHistogram(
       "serenade_recommend_latency_microseconds",
       "/recommend handling latency");
+
+  // Second retrieval family: per-arm traffic/latency plus the embedding
+  // snapshot lifecycle (all read 0 / stay empty on pods without an ANN
+  // arm, so the exposition shape is uniform across the fleet).
+  registry_.AddCallback(
+      "serenade_engine_requests_total",
+      "recommend requests served, by resolved retrieval engine",
+      MetricType::kCounter, "engine",
+      [this]() -> std::vector<MetricSample> {
+        return {{"vmis", engine_requests_[0].load(std::memory_order_relaxed)},
+                {"ann", engine_requests_[1].load(std::memory_order_relaxed)}};
+      });
+  registry_.AddCallback(
+      "serenade_ann_requests_total",
+      "requests that asked for the ANN engine", MetricType::kCounter, "",
+      [this]() -> std::vector<MetricSample> {
+        return {{"", service_->ann_requests_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_ann_fallbacks_total",
+      "ANN requests degraded to VMIS (no embedding snapshot attached)",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        return {{"", service_->ann_fallbacks_total()}};
+      });
+  registry_.AddCallback(
+      "serenade_embedding_version",
+      "published embedding snapshot version (0 = no ANN arm)",
+      MetricType::kGauge, "", [this]() -> std::vector<MetricSample> {
+        const auto& manager = service_->embedding_manager();
+        return {{"", manager ? manager->current_version() : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_embedding_reloads_total", "successful embedding hot swaps",
+      MetricType::kCounter, "", [this]() -> std::vector<MetricSample> {
+        const auto& manager = service_->embedding_manager();
+        return {{"", manager ? manager->reloads_total() : 0}};
+      });
+  registry_.AddCallback(
+      "serenade_embedding_reload_failures_total",
+      "rejected embedding reload attempts", MetricType::kCounter, "",
+      [this]() -> std::vector<MetricSample> {
+        const auto& manager = service_->embedding_manager();
+        return {{"", manager ? manager->reload_failures_total() : 0}};
+      });
+  engine_latency_micros_[0] = &registry_.AddHistogram(
+      "serenade_engine_latency_microseconds",
+      "single-recommend execution latency by resolved retrieval engine",
+      "engine", "vmis");
+  engine_latency_micros_[1] = &registry_.AddHistogram(
+      "serenade_engine_latency_microseconds",
+      "single-recommend execution latency by resolved retrieval engine",
+      "engine", "ann");
   click_to_servable_ms_ = &registry_.AddHistogram(
       "serenade_click_to_servable_milliseconds",
       "end-to-end freshness: click observation to servable overlay");
@@ -266,6 +329,10 @@ void SerenadeServer::BuildRoutes() {
   router_.Handle("POST", "/v1/admin/index/delta",
                  [this](const HttpRequest& request, Trace* trace) {
                    return HandleAdminDelta(request, trace);
+                 });
+  router_.Handle("POST", "/v1/admin/embeddings/reload",
+                 [this](const HttpRequest& request, Trace* trace) {
+                   return HandleAdminEmbeddingsReload(request, trace);
                  });
 
   // Pre-/v1 paths and the pre-namespace admin spellings: same handlers
@@ -358,11 +425,23 @@ HttpResponse SerenadeServer::RunRecommend(const RecommendRequest& request,
     }
     admitted = true;
   }
+  // The engine that will actually serve: ann only when embeddings are
+  // attached, else the vmis fallback (the service counts the fallback).
+  const EngineKind resolved =
+      request.engine == EngineKind::kAnn && service_->ann_available()
+          ? EngineKind::kAnn
+          : EngineKind::kVmis;
+  const size_t arm = resolved == EngineKind::kAnn ? 1 : 0;
+  Stopwatch engine_watch;
   auto result = executor_->Execute(request, trace);
   if (admitted && write_hooks_.done) write_hooks_.done(request.session_key);
   if (!result.ok()) {
     return ApiError(HttpStatusForStatus(result.status()),
                     result.status().message(), trace->id());
+  }
+  engine_requests_[arm].fetch_add(1, std::memory_order_relaxed);
+  if (engine_latency_micros_[arm] != nullptr) {
+    engine_latency_micros_[arm]->Record(engine_watch.ElapsedMicros());
   }
   // Accepted click: feed the freshness tap (the builder turns it into a
   // servable overlay delta).
@@ -370,7 +449,9 @@ HttpResponse SerenadeServer::RunRecommend(const RecommendRequest& request,
   Span serialize_span(trace, TraceStage::kSerialize);
   JsonWriter writer;
   WriteRecommendation(*result, writer);
-  return HttpResponse::Json(writer.str());
+  HttpResponse response = HttpResponse::Json(writer.str());
+  response.headers[kEngineHeader] = EngineName(resolved);
+  return response;
 }
 
 HttpResponse SerenadeServer::HandleRecommendGet(const HttpRequest& request,
@@ -388,7 +469,15 @@ HttpResponse SerenadeServer::HandleRecommendGet(const HttpRequest& request,
     return ApiError(400, "item_id must be an unsigned integer", trace->id());
   }
   const bool consent = request.Param("consent", "true") != "false";
-  return RunRecommend(RecommendRequest{session_key, item, consent}, trace);
+  const auto engine = ParseEngineKind(request.Param("engine"));
+  if (!engine.has_value()) {
+    return ApiError(400,
+                    "unknown engine '" + request.Param("engine") +
+                        "' (expected \"vmis\" or \"ann\")",
+                    trace->id());
+  }
+  return RunRecommend(RecommendRequest{session_key, item, consent, *engine},
+                      trace);
 }
 
 HttpResponse SerenadeServer::HandleRecommendPost(const HttpRequest& request,
@@ -462,8 +551,13 @@ HttpResponse SerenadeServer::HandleRecommendBatch(const HttpRequest& request,
     }
   }
   for (size_t j = 0; j < executed.size(); ++j) {
-    if (click_observer_ && executed[j].ok() && j < requests.size()) {
-      click_observer_(requests[j].session_key, requests[j].item);
+    if (executed[j].ok() && j < requests.size()) {
+      if (click_observer_) {
+        click_observer_(requests[j].session_key, requests[j].item);
+      }
+      const bool ann = requests[j].engine == EngineKind::kAnn &&
+                       service_->ann_available();
+      engine_requests_[ann ? 1 : 0].fetch_add(1, std::memory_order_relaxed);
     }
     results[request_slots[j]] = std::move(executed[j]);
   }
@@ -501,7 +595,13 @@ HttpResponse SerenadeServer::HandleHealthz() {
       .Key("applied_delta_version")
       .Value(manager.applied_delta_version())
       .Key("index_freshness_seconds")
-      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()));
+      .Value(FreshnessSeconds(manager.freshness_watermark_unix_ms()))
+      .Key("ann_ready")
+      .Value(service_->ann_available())
+      .Key("embedding_version")
+      .Value(service_->embedding_manager()
+                 ? service_->embedding_manager()->current_version()
+                 : 0);
   for (const auto& extra : healthz_extras_) extra(writer);
   writer.EndObject();
   return HttpResponse::Json(writer.str());
@@ -573,6 +673,32 @@ HttpResponse SerenadeServer::HandleAdminReload(const HttpRequest& request,
   return HttpResponse::Json(writer.str());
 }
 
+HttpResponse SerenadeServer::HandleAdminEmbeddingsReload(
+    const HttpRequest& request, Trace* trace) {
+  const std::string path = request.Param("path");
+  const Status reloaded = service_->ReloadEmbeddings(path);
+  if (!reloaded.ok()) {
+    // The previous embedding snapshot (if any) stays published.
+    return ApiError(HttpStatusForStatus(reloaded), reloaded.ToString(),
+                    trace->id());
+  }
+  const auto snapshot = service_->embedding_manager()->Current();
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("status")
+      .Value("ok")
+      .Key("embedding_version")
+      .Value(snapshot->version())
+      .Key("embedding_source")
+      .Value(snapshot->manifest().source)
+      .Key("embedding_items")
+      .Value(static_cast<uint64_t>(snapshot->embeddings().num_items))
+      .Key("embedding_dim")
+      .Value(static_cast<uint64_t>(snapshot->embeddings().dim))
+      .EndObject();
+  return HttpResponse::Json(writer.str());
+}
+
 HttpResponse SerenadeServer::HandleStats() {
   const SessionStoreStats stats = service_->StoreStats();
   const auto snapshot = service_->CurrentSnapshot();
@@ -629,6 +755,28 @@ HttpResponse SerenadeServer::HandleStats() {
       .Value(executor_->requests_rejected())
       .Key("slow_requests")
       .Value(slow_logger_.slow_requests_seen())
+      .Key("ann_ready")
+      .Value(service_->ann_available())
+      .Key("embedding_version")
+      .Value(service_->embedding_manager()
+                 ? service_->embedding_manager()->current_version()
+                 : 0)
+      .Key("embedding_reloads")
+      .Value(service_->embedding_manager()
+                 ? service_->embedding_manager()->reloads_total()
+                 : 0)
+      .Key("embedding_reload_failures")
+      .Value(service_->embedding_manager()
+                 ? service_->embedding_manager()->reload_failures_total()
+                 : 0)
+      .Key("ann_requests")
+      .Value(service_->ann_requests_total())
+      .Key("ann_fallbacks")
+      .Value(service_->ann_fallbacks_total())
+      .Key("engine_requests_vmis")
+      .Value(engine_requests_[0].load(std::memory_order_relaxed))
+      .Key("engine_requests_ann")
+      .Value(engine_requests_[1].load(std::memory_order_relaxed))
       .Key("simd_level")
       .Value(simd::LevelName(simd::ActiveLevel()));
   for (const auto& extra : stats_extras_) extra(writer);

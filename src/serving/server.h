@@ -2,9 +2,14 @@
 // an HttpServer (through the micro-batching BatchExecutor) and runs the
 // background TTL janitor. The API is versioned under /v1:
 //   GET  /v1/recommend?session_id=<key>&item_id=<id>[&consent=true|false]
+//                     [&engine=vmis|ann]
 //        -> {"items":[...],"scores":[...]}
-//   POST /v1/recommend   body {"session_id":"k","item_id":N[,"consent":b]}
+//   POST /v1/recommend   body {"session_id":"k","item_id":N[,"consent":b]
+//                              [,"engine":"vmis"|"ann"]}
 //        -> same response; single requests from JSON-speaking clients
+//        Both spellings pick the retrieval family per request; the
+//        response carries X-Serenade-Engine with the engine that actually
+//        served (ann degrades to vmis when no embeddings are attached).
 //   POST /v1/recommend:batch   body {"requests":[<single bodies>...]}
 //        -> {"results":[{"items":..,"scores":..} | {"error":{...}}, ...]}
 //        order-preserving; one bad item never fails its siblings
@@ -16,6 +21,9 @@
 //   POST /v1/admin/index/reload[?path=<index file>]
 //        -> hot-swaps the serving index with zero downtime
 //   POST /v1/admin/index/delta  -> applies a streaming freshness delta
+//   POST /v1/admin/embeddings/reload[?path=<embedding file>]
+//        -> hot-swaps the ANN engine's embedding artifact (409-style
+//           error when this pod has no embedding manager attached)
 //
 // Admin endpoints live under the uniform /v1/admin/<subsystem>/<verb>
 // namespace; the replication subsystem (src/replication) registers its
@@ -54,6 +62,12 @@ namespace serenade {
 
 /// Trace-context header stamped by the gateway and echoed by pods.
 inline constexpr char kTraceIdHeader[] = "X-Serenade-Trace-Id";
+
+/// Response header naming the retrieval family that actually served a
+/// recommend request ("vmis" | "ann"). The gateway reads it to detect a
+/// dead ANN arm degrading to VMIS; clients and tests read it to verify
+/// A/B bucket assignment.
+inline constexpr char kEngineHeader[] = "X-Serenade-Engine";
 
 struct ServerConfig {
   uint16_t port = 0;  ///< 0 = pick an ephemeral port
@@ -163,6 +177,8 @@ class SerenadeServer {
   HttpResponse HandleHealthz();
   HttpResponse HandleAdminReload(const HttpRequest& request, Trace* trace);
   HttpResponse HandleAdminDelta(const HttpRequest& request, Trace* trace);
+  HttpResponse HandleAdminEmbeddingsReload(const HttpRequest& request,
+                                           Trace* trace);
   HttpResponse HandleStats();
 
   /// Runs one parsed request through the executor and serialises the
@@ -183,6 +199,10 @@ class SerenadeServer {
   // Shared metrics substrate: /metrics is rendered from this registry.
   MetricsRegistry registry_;
   MetricHistogram* recommend_latency_micros_ = nullptr;
+  /// Per-retrieval-family request latency ([0]=vmis, [1]=ann, indexed by
+  /// the *resolved* engine) — the pod-side half of the A/B read-out.
+  MetricHistogram* engine_latency_micros_[2] = {};
+  std::atomic<uint64_t> engine_requests_[2] = {{0}, {0}};
   MetricHistogram* reactor_loop_lag_micros_ = nullptr;
   MetricHistogram* stage_micros_[kNumTraceStages] = {};
   /// Click->servable freshness latency, recorded when an applied delta

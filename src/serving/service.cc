@@ -10,6 +10,17 @@
 
 namespace serenade {
 
+const char* EngineName(EngineKind engine) {
+  return engine == EngineKind::kAnn ? "ann" : "vmis";
+}
+
+std::optional<EngineKind> ParseEngineKind(const std::string& text) {
+  if (text.empty()) return EngineKind::kDefault;
+  if (text == "vmis") return EngineKind::kVmis;
+  if (text == "ann") return EngineKind::kAnn;
+  return std::nullopt;
+}
+
 std::string EncodeSession(const EvolvingSession& session) {
   std::string out;
   for (size_t i = 0; i < session.size(); ++i) {
@@ -74,6 +85,21 @@ Status SerenadeService::ReloadIndex(const std::string& path) {
   SERENADE_RETURN_IF_ERROR(manager_->ReloadFromFile(path));
   PruneStaleRecommenders(manager_->current_version());
   return Status::Ok();
+}
+
+Status SerenadeService::ReloadEmbeddings(const std::string& path) {
+  if (embeddings_ == nullptr) {
+    return Status::Unavailable("this pod has no embedding manager attached");
+  }
+  return embeddings_->ReloadFromFile(path);
+}
+
+EngineKind SerenadeService::ResolveEngine(EngineKind requested) {
+  if (requested != EngineKind::kAnn) return EngineKind::kVmis;
+  ann_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (ann_available()) return EngineKind::kAnn;
+  ann_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return EngineKind::kVmis;
 }
 
 Status SerenadeService::ApplyDelta(const IndexDelta& delta,
@@ -177,18 +203,35 @@ StatusOr<std::vector<ScoredItem>> SerenadeService::HandleUpdateAndRecommend(
     evolving.assign(1, request.item);
   }
 
-  // Step 3: VMIS-kNN prediction against the pinned index snapshot. The pin
-  // outlives the scoring pass, so a concurrent hot swap can never free the
-  // index under us. Fetch more than the UI needs so the business-rule
-  // filters have spare candidates.
+  // Step 3: prediction against the pinned snapshot of whichever retrieval
+  // family the request resolved to. The pin outlives the scoring pass, so
+  // a concurrent hot swap can never free the index under us. Fetch more
+  // than the UI needs so the business-rule filters have spare candidates.
+  const size_t fetch = config_.rules.max_items * 2 + 8;
+  if (ResolveEngine(request.engine) == EngineKind::kAnn) {
+    Span pin_span(trace, TraceStage::kSnapshotPin);
+    const std::shared_ptr<const EmbeddingSnapshot> snapshot =
+        embeddings_->Current();
+    pin_span.End();
+
+    Span knn_span(trace, TraceStage::kKnnRetrieve);
+    AnnRecommender ann(&snapshot->embeddings(), &snapshot->ann(),
+                       config_.ann);
+    const std::vector<ScoredItem> raw = ann.RecommendNext(evolving, fetch);
+    knn_span.End();
+
+    Span rank_span(trace, TraceStage::kRank);
+    return ApplyBusinessRules(raw, catalog_, config_.rules);
+  }
+
   Span pin_span(trace, TraceStage::kSnapshotPin);
   const std::shared_ptr<const IndexSnapshot> snapshot = manager_->Current();
   PooledRecommender entry = AcquireRecommender(snapshot);
   pin_span.End();
 
   Span knn_span(trace, TraceStage::kKnnRetrieve);
-  const std::vector<ScoredItem> raw = entry.recommender->RecommendNext(
-      evolving, config_.rules.max_items * 2 + 8);
+  const std::vector<ScoredItem> raw =
+      entry.recommender->RecommendNext(evolving, fetch);
   knn_span.End();
   ReleaseRecommender(std::move(entry));
 
@@ -286,11 +329,28 @@ SerenadeService::HandleUpdateAndRecommendBatch(
     }
   }
 
-  // Step 3, batched: one snapshot pin and one pooled recommender serve
-  // every item — the scoring loop itself is the only per-item work left.
+  // Step 3, batched: one snapshot pin per retrieval family and one pooled
+  // recommender serve every item — the scoring loop itself is the only
+  // per-item work left. Slots resolve their engine independently, so one
+  // batch can mix A/B arms.
+  std::vector<EngineKind> resolved(requests.size(), EngineKind::kVmis);
+  bool any_ann = false;
+  for (size_t i : valid) {
+    resolved[i] = ResolveEngine(requests[i].engine);
+    any_ann |= resolved[i] == EngineKind::kAnn;
+  }
+
   Stopwatch pin_watch;
   const std::shared_ptr<const IndexSnapshot> snapshot = manager_->Current();
   PooledRecommender entry = AcquireRecommender(snapshot);
+  std::shared_ptr<const EmbeddingSnapshot> embedding_snapshot;
+  std::unique_ptr<AnnRecommender> ann;
+  if (any_ann) {
+    embedding_snapshot = embeddings_->Current();
+    ann = std::make_unique<AnnRecommender>(&embedding_snapshot->embeddings(),
+                                           &embedding_snapshot->ann(),
+                                           config_.ann);
+  }
   const uint64_t pin_micros = pin_watch.ElapsedMicros();
   for (size_t i : valid) {
     if (Trace* trace = trace_for(i)) {
@@ -301,8 +361,12 @@ SerenadeService::HandleUpdateAndRecommendBatch(
   for (size_t i : valid) {
     Trace* trace = trace_for(i);
     Span knn_span(trace, TraceStage::kKnnRetrieve);
-    const std::vector<ScoredItem> raw = entry.recommender->RecommendNext(
-        predict[i], config_.rules.max_items * 2 + 8);
+    Recommender& engine =
+        resolved[i] == EngineKind::kAnn
+            ? static_cast<Recommender&>(*ann)
+            : static_cast<Recommender&>(*entry.recommender);
+    const std::vector<ScoredItem> raw =
+        engine.RecommendNext(predict[i], config_.rules.max_items * 2 + 8);
     knn_span.End();
     Span rank_span(trace, TraceStage::kRank);
     results[i] = ApplyBusinessRules(raw, catalog_, config_.rules);

@@ -11,26 +11,44 @@
 // when the last in-flight request (or pooled recommender) releases it.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/ann_recommender.h"
 #include "core/session_index.h"
 #include "obs/trace.h"
 #include "core/vmis_knn.h"
 #include "data/synthetic.h"
+#include "index/embedding_store.h"
 #include "index/snapshot.h"
 #include "serving/business_rules.h"
 #include "store/session_store.h"
 
 namespace serenade {
 
+/// Which retrieval family serves a request. kDefault defers to the
+/// service default (VMIS); kAnn requires an attached embedding snapshot
+/// and silently degrades to VMIS (counted, never failed) without one —
+/// a dead ANN arm must not fail user traffic.
+enum class EngineKind { kDefault, kVmis, kAnn };
+
+/// "vmis" / "ann" (kDefault resolves to "vmis").
+const char* EngineName(EngineKind engine);
+
+/// Parses "" (default), "vmis", "ann"; anything else is nullopt.
+std::optional<EngineKind> ParseEngineKind(const std::string& text);
+
 struct ServiceConfig {
   KnnConfig knn;
   BusinessRulesConfig rules;
   SessionStoreOptions store;
+  /// Session->query folding and graph parameters for the ANN engine.
+  AnnConfig ann;
   /// Stored evolving sessions are truncated to this many recent items
   /// (predictions only use KnnConfig::max_session_length of them anyway).
   size_t max_stored_session_length = 100;
@@ -48,6 +66,10 @@ struct RecommendRequest {
   /// Consent flag: when false, the paper's depersonalisation applies —
   /// only the currently displayed item is used (Section 4.2).
   bool consent = true;
+  /// Retrieval family for this request (`engine=vmis|ann` on the wire, or
+  /// the gateway's A/B bucket stamp). Flows through the batch executor
+  /// untouched.
+  EngineKind engine = EngineKind::kDefault;
 };
 
 /// Thread-safe service facade. One instance per serving machine; safe for
@@ -97,6 +119,37 @@ class SerenadeService {
   /// In-flight requests keep serving from their pinned snapshot; new
   /// requests see the new index as soon as this returns Ok.
   Status ReloadIndex(const std::string& path = "");
+
+  /// Attaches the second retrieval family (call before serving traffic;
+  /// the pointer itself is not re-assigned afterwards — reloads go
+  /// through the manager). Null detaches nothing: pass a live manager.
+  void AttachEmbeddings(std::shared_ptr<EmbeddingManager> embeddings) {
+    embeddings_ = std::move(embeddings);
+  }
+
+  /// True when an embedding snapshot is published and the ANN engine can
+  /// serve `engine=ann` requests without falling back.
+  bool ann_available() const { return embeddings_ != nullptr; }
+
+  /// The attached embedding manager (null when the pod has no ANN arm).
+  const std::shared_ptr<EmbeddingManager>& embedding_manager() const {
+    return embeddings_;
+  }
+
+  /// Hot-swaps the embedding artifact ("" = re-read the boot path).
+  /// kFailedPrecondition when no embedding manager is attached.
+  Status ReloadEmbeddings(const std::string& path = "");
+
+  /// Requests that asked for the ANN engine (requested, not resolved).
+  uint64_t ann_requests_total() const {
+    return ann_requests_.load(std::memory_order_relaxed);
+  }
+
+  /// ANN-engine requests degraded to VMIS because no embedding snapshot
+  /// was attached — the dead-arm safety valve, never a request failure.
+  uint64_t ann_fallbacks_total() const {
+    return ann_fallbacks_.load(std::memory_order_relaxed);
+  }
 
   /// Layers a streaming freshness delta over the pinned base snapshot
   /// (IndexManager::ApplyDelta) with the same publication discipline as a
@@ -149,7 +202,15 @@ class SerenadeService {
   // a retired index is not kept alive by an idle pool.
   void PruneStaleRecommenders(uint64_t version);
 
+  // Resolves kDefault/kVmis -> kVmis, kAnn -> kAnn when an embedding
+  // snapshot is attached else kVmis; maintains the ann request/fallback
+  // counters.
+  EngineKind ResolveEngine(EngineKind requested);
+
   std::shared_ptr<IndexManager> manager_;
+  std::shared_ptr<EmbeddingManager> embeddings_;
+  std::atomic<uint64_t> ann_requests_{0};
+  std::atomic<uint64_t> ann_fallbacks_{0};
   ItemCatalog catalog_;
   ServiceConfig config_;
   std::unique_ptr<SessionStore> store_;

@@ -1,0 +1,187 @@
+#include "testing/ann_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace serenade {
+
+namespace {
+
+void NormalizeVector(std::vector<float>* v) {
+  float norm_sq = 0.0f;
+  for (float x : *v) norm_sq += x * x;
+  if (norm_sq <= 0.0f) return;
+  const float inv = 1.0f / std::sqrt(norm_sq);
+  for (float& x : *v) x *= inv;
+}
+
+double QueryRecall(const HnswIndex& ann, const ItemEmbeddings& embeddings,
+                   const std::vector<float>& query, size_t k, bool mutate) {
+  const std::vector<ScoredItem> exact =
+      ExactNearest(embeddings, query.data(), k);
+  std::vector<ScoredItem> approx = ann.Search(query.data(), k);
+  if (mutate) {
+    // Self-check sabotage: throw away half the approximate answer. The
+    // harness must notice, or a recall gate that can never fire would
+    // pass silently forever.
+    approx.resize(approx.size() / 2);
+  }
+  if (exact.empty()) return 1.0;
+  std::vector<char> hit(embeddings.num_items, 0);
+  for (const ScoredItem& s : approx) hit[s.item] = 1;
+  size_t covered = 0;
+  for (const ScoredItem& s : exact) covered += hit[s.item];
+  return static_cast<double>(covered) / static_cast<double>(exact.size());
+}
+
+}  // namespace
+
+AnnCase GenerateAnnCase(const AnnOracleSpec& spec, Rng* rng) {
+  AnnCase c;
+  c.k = spec.k;
+  c.hnsw = spec.hnsw;
+  c.hnsw.seed = rng->Next();
+
+  const size_t num_items =
+      spec.min_items + rng->Below(spec.max_items - spec.min_items + 1);
+  const size_t dim = spec.min_dim + rng->Below(spec.max_dim - spec.min_dim + 1);
+  c.embeddings.num_items = num_items;
+  c.embeddings.dim = dim;
+  c.embeddings.values.resize(num_items * dim);
+
+  // Clustered corpus: a handful of centroids with Gaussian spread, the
+  // shape item2vec actually produces over the synthetic generator's
+  // interest clusters.
+  const size_t num_clusters = 1 + rng->Below(8);
+  std::vector<std::vector<float>> centroids(num_clusters,
+                                            std::vector<float>(dim));
+  for (auto& centroid : centroids) {
+    for (float& x : centroid) x = static_cast<float>(rng->Gaussian(0.0, 1.0));
+    NormalizeVector(&centroid);
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    const auto& centroid = centroids[rng->Below(num_clusters)];
+    float* row = c.embeddings.MutableRow(i);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = centroid[d] + 0.3f * static_cast<float>(rng->Gaussian(0.0, 1.0));
+    }
+  }
+  NormalizeRows(&c.embeddings);
+
+  c.queries.resize(spec.num_queries);
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    auto& query = c.queries[q];
+    query.resize(dim);
+    if (q % 2 == 0) {
+      // Near a cluster, like a session query vector.
+      const auto& centroid = centroids[rng->Below(num_clusters)];
+      for (size_t d = 0; d < dim; ++d) {
+        query[d] = centroid[d] + 0.3f * static_cast<float>(rng->Gaussian(0.0, 1.0));
+      }
+    } else {
+      for (float& x : query) x = static_cast<float>(rng->Gaussian(0.0, 1.0));
+    }
+    NormalizeVector(&query);
+  }
+  return c;
+}
+
+std::optional<AnnViolation> CheckAnnCase(const AnnCase& c, double min_recall,
+                                         bool mutate) {
+  const HnswIndex ann(&c.embeddings, c.hnsw);
+  AnnViolation v;
+  v.worst_recall = 1.0;
+  double sum = 0.0;
+  for (size_t q = 0; q < c.queries.size(); ++q) {
+    const double recall =
+        QueryRecall(ann, c.embeddings, c.queries[q], c.k, mutate);
+    sum += recall;
+    if (recall < v.worst_recall) {
+      v.worst_recall = recall;
+      v.worst_query = q;
+    }
+  }
+  v.mean_recall =
+      c.queries.empty() ? 1.0 : sum / static_cast<double>(c.queries.size());
+  if (v.mean_recall >= min_recall) return std::nullopt;
+  return v;
+}
+
+AnnCase ShrinkAnnCase(const AnnCase& c, double min_recall) {
+  AnnCase current = c;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Drop one query at a time.
+    for (size_t q = 0; q < current.queries.size();) {
+      AnnCase candidate = current;
+      candidate.queries.erase(candidate.queries.begin() + q);
+      if (!candidate.queries.empty() &&
+          CheckAnnCase(candidate, min_recall).has_value()) {
+        current = std::move(candidate);
+        progress = true;
+      } else {
+        ++q;
+      }
+    }
+    // Halve the corpus tail (keeps item ids dense; exact and approximate
+    // arms are recomputed from scratch on the smaller corpus).
+    while (current.embeddings.num_items > 8) {
+      AnnCase candidate = current;
+      const size_t keep = candidate.embeddings.num_items / 2;
+      candidate.embeddings.num_items = keep;
+      candidate.embeddings.values.resize(keep * candidate.embeddings.dim);
+      if (CheckAnnCase(candidate, min_recall).has_value()) {
+        current = std::move(candidate);
+        progress = true;
+      } else {
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::string FormatAnnReproducer(const AnnCase& c, uint64_t seed,
+                                const AnnViolation& violation) {
+  std::ostringstream out;
+  out << "ANN oracle violation (replays deterministically):\n"
+      << "  seed=" << seed << "\n"
+      << "  corpus: num_items=" << c.embeddings.num_items
+      << " dim=" << c.embeddings.dim << " queries=" << c.queries.size()
+      << " k=" << c.k << "\n"
+      << "  hnsw: M=" << c.hnsw.M
+      << " ef_construction=" << c.hnsw.ef_construction
+      << " ef_search=" << c.hnsw.ef_search << " seed=" << c.hnsw.seed << "\n"
+      << "  mean_recall=" << violation.mean_recall
+      << " worst_query=" << violation.worst_query
+      << " worst_recall=" << violation.worst_recall << "\n"
+      << "  replay: AnnCase c = GenerateAnnCase(spec, &rng) with "
+         "Rng rng(seed); CheckAnnCase(c, spec.min_recall);";
+  return out.str();
+}
+
+std::optional<std::string> RunAnnFuzz(const AnnOracleSpec& spec,
+                                      uint64_t base_seed, size_t num_cases,
+                                      AnnFuzzStats* stats) {
+  for (size_t i = 0; i < num_cases; ++i) {
+    const uint64_t seed = base_seed + i;
+    Rng rng(seed);
+    const AnnCase c = GenerateAnnCase(spec, &rng);
+    if (stats != nullptr) {
+      ++stats->cases;
+      stats->queries += c.queries.size();
+      stats->items += c.embeddings.num_items;
+    }
+    if (auto violation = CheckAnnCase(c, spec.min_recall)) {
+      const AnnCase shrunk = ShrinkAnnCase(c, spec.min_recall);
+      const auto shrunk_violation = CheckAnnCase(shrunk, spec.min_recall);
+      return FormatAnnReproducer(
+          shrunk, seed, shrunk_violation.value_or(*violation));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace serenade

@@ -1,0 +1,88 @@
+// ANN-vs-exact differential oracle — the second retrieval family's
+// correctness harness, mirroring the kNN oracle in testing/differential.h:
+// seeded case generation, a checker with a mutation self-check, greedy
+// shrinking, a paste-able reproducer, and a fuzz driver.
+//
+// The property: for every generated (embeddings, queries, HnswConfig)
+// case, HNSW's top-k must cover at least `min_recall` of the brute-force
+// exact top-k, averaged over the case's queries (recall@k = |ann ∩ exact|
+// / k per query). Exact search is the trusted arm: a full scan with a
+// total deterministic order. HNSW builds are deterministic (core/hnsw.h),
+// so any violation replays exactly from (spec, seed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
+
+namespace serenade {
+
+struct AnnOracleSpec {
+  size_t min_items = 64;
+  size_t max_items = 512;
+  size_t min_dim = 8;
+  size_t max_dim = 32;
+  size_t num_queries = 16;
+  size_t k = 20;
+  /// Average recall@k floor across a case's queries.
+  double min_recall = 0.95;
+  /// Graph parameters for the approximate arm (seed is drawn per case).
+  HnswConfig hnsw;
+};
+
+/// One self-contained case: the corpus, the queries (unit vectors), and
+/// the graph configuration under test.
+struct AnnCase {
+  ItemEmbeddings embeddings;
+  std::vector<std::vector<float>> queries;
+  HnswConfig hnsw;
+  size_t k = 20;
+};
+
+/// What CheckAnnCase found: the mean recall and the worst single query.
+struct AnnViolation {
+  double mean_recall = 0.0;
+  size_t worst_query = 0;
+  double worst_recall = 0.0;
+};
+
+/// Generates a clustered corpus (items concentrate around a few random
+/// centroids, like co-viewed catalog neighborhoods) plus queries drawn
+/// half from cluster neighborhoods and half uniformly.
+AnnCase GenerateAnnCase(const AnnOracleSpec& spec, Rng* rng);
+
+/// Builds the HNSW arm, runs every query through both arms, and returns
+/// the violation if mean recall@k < min_recall. With `mutate` set, half
+/// of the ANN arm's results are discarded first — the harness must then
+/// report a violation, proving it can fail (the same self-check the kNN
+/// oracle runs).
+std::optional<AnnViolation> CheckAnnCase(const AnnCase& c, double min_recall,
+                                         bool mutate = false);
+
+/// Greedy shrink: drop queries, then halve the corpus, keeping each step
+/// only while the violation persists. Returns the smallest failing case.
+AnnCase ShrinkAnnCase(const AnnCase& c, double min_recall);
+
+/// Paste-able report: seed, corpus/query shape, graph config, recall.
+std::string FormatAnnReproducer(const AnnCase& c, uint64_t seed,
+                                const AnnViolation& violation);
+
+struct AnnFuzzStats {
+  uint64_t cases = 0;
+  uint64_t queries = 0;
+  uint64_t items = 0;
+};
+
+/// Runs `num_cases` generated cases (case i uses seed `base_seed + i`).
+/// Returns the reproducer of the first shrunk violation, or nullopt when
+/// every case held.
+std::optional<std::string> RunAnnFuzz(const AnnOracleSpec& spec,
+                                      uint64_t base_seed, size_t num_cases,
+                                      AnnFuzzStats* stats = nullptr);
+
+}  // namespace serenade

@@ -50,6 +50,8 @@ const char* FaultSiteName(FaultSite site) {
       return "repl_ack_lost";
     case FaultSite::kHandoffCutoverCrash:
       return "handoff_cutover_crash";
+    case FaultSite::kEmbeddingLoadTruncate:
+      return "load_embedding_truncate";
     case FaultSite::kNumSites:
       break;
   }

@@ -32,6 +32,7 @@
 //   kReplShipTruncate    WalShipper::ShipOnce     shipped batch truncated in flight
 //   kReplAckLost         WalShipper::ShipOnce     replica applied, ack dropped
 //   kHandoffCutoverCrash PodReplication hand-off  donor aborts mid-transfer (500)
+//   kEmbeddingLoadTruncate EmbeddingManager::LoadSnapshot  artifact bytes truncated on read
 #pragma once
 
 #include <atomic>
@@ -63,6 +64,7 @@ enum class FaultSite : uint8_t {
   kReplShipTruncate,
   kReplAckLost,
   kHandoffCutoverCrash,
+  kEmbeddingLoadTruncate,
   kNumSites,
 };
 

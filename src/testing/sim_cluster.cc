@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "data/synthetic.h"
+#include "index/embedding_store.h"
 #include "serving/service.h"
 
 namespace serenade {
@@ -40,6 +41,16 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
     SERENADE_RETURN_IF_ERROR(cluster->builder_->Start());
   }
 
+  if (cluster->config_.ab.enabled &&
+      cluster->config_.ab.pods_have_embeddings) {
+    // One training run feeds every pod: the experiment compares retrieval
+    // families, so all ANN arms must serve identical vectors.
+    auto trained = TrainItemEmbeddings(cluster->config_.train,
+                                       cluster->config_.ab.train);
+    SERENADE_RETURN_IF_ERROR(trained.status());
+    cluster->embeddings_ = std::move(trained).value();
+  }
+
   cluster->pods_.resize(cluster->config_.num_pods);
   std::vector<BackendEndpoint> endpoints;
   for (size_t i = 0; i < cluster->pods_.size(); ++i) {
@@ -56,6 +67,10 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Start(
   GatewayConfig gateway_config = cluster->config_.gateway;
   if (cluster->config_.replication.enabled) {
     gateway_config.manage_replication = true;
+  }
+  if (cluster->config_.ab.enabled) {
+    gateway_config.ab_ann_percent = cluster->config_.ab.ann_percent;
+    gateway_config.ab_salt = cluster->config_.ab.salt;
   }
   cluster->config_.gateway = gateway_config;
   cluster->gateway_ = std::make_unique<ClusterGateway>(
@@ -99,6 +114,16 @@ Status SimCluster::StartPod(Pod& pod, uint16_t port) {
   server_config.batch = config_.batch;
   pod.server = std::make_unique<SerenadeServer>(std::move(service).value(),
                                                 server_config);
+
+  if (config_.ab.enabled && config_.ab.pods_have_embeddings) {
+    // Attach before Start(): the ANN arm must be live before the first
+    // bucketed request lands (each pod rebuilds its own HNSW graph from
+    // the shared vectors, like pods loading the same artifact).
+    auto manager =
+        EmbeddingManager::CreateFromEmbeddings(embeddings_, config_.ab.hnsw);
+    SERENADE_RETURN_IF_ERROR(manager.status());
+    pod.server->service().AttachEmbeddings(std::move(manager).value());
+  }
 
   if (config_.replication.enabled) {
     // Attach before Start(): the replication routes and write-divert

@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "baselines/item2vec.h"
 #include "cluster/gateway.h"
 #include "common/status.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
 #include "core/session_index.h"
 #include "data/click_log.h"
 #include "freshness/builder_server.h"
@@ -46,6 +49,25 @@ struct SimFreshnessConfig {
   ClickTapConfig tap;
   /// Per-pod fetcher knobs; builder_port is overridden at Start().
   DeltaFetcherConfig fetch;
+};
+
+/// Optional A/B experiment role: item2vec embeddings are trained once
+/// from the shared click history, each pod gets an EmbeddingManager
+/// attached before Start() (unless pods_have_embeddings is off — the
+/// dead-ANN-arm degradation drill), and the gateway buckets the
+/// configured percent of sessions into the ANN retrieval arm.
+struct SimAbConfig {
+  bool enabled = false;
+  /// Gateway bucket knobs (GatewayConfig::ab_ann_percent / ab_salt).
+  uint32_t ann_percent = 50;
+  uint64_t salt = 0;
+  /// Off = pods carry no embedding artifact, so every ANN-arm request
+  /// degrades to VMIS (counted, never failed).
+  bool pods_have_embeddings = true;
+  /// Trainer knobs; tests shrink dim/epochs for speed.
+  Item2VecConfig train;
+  /// Per-pod ANN graph knobs.
+  HnswConfig hnsw;
 };
 
 /// Optional replication role: each pod gets a PodReplication agent
@@ -79,6 +101,8 @@ struct SimClusterConfig {
   SimFreshnessConfig freshness;
   /// Session-replication role (off by default).
   SimReplicationConfig replication;
+  /// A/B experiment role (off by default).
+  SimAbConfig ab;
 };
 
 /// Owns the pods and the gateway; Stop order (gateway first) is handled
@@ -168,6 +192,9 @@ class SimCluster {
 
   SimClusterConfig config_;
   std::shared_ptr<const SessionIndex> index_;
+  /// Shared trained vectors the per-pod EmbeddingManagers boot from
+  /// (empty unless the A/B role trains them at Start()).
+  ItemEmbeddings embeddings_;
   std::vector<Pod> pods_;
   std::unique_ptr<IndexBuilderServer> builder_;
   std::unique_ptr<ClusterGateway> gateway_;

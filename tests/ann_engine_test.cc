@@ -1,0 +1,213 @@
+// The ANN retrieval family as a serving engine: session folding + HNSW
+// top-k behind the Recommender interface (core/ann_recommender.h), and
+// per-request engine selection in SerenadeService — engine=ann serves
+// from the pinned embedding snapshot, and a pod without embeddings
+// degrades the ANN arm to VMIS (counted, never a failed request).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ann_recommender.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
+#include "core/session_index.h"
+#include "data/synthetic.h"
+#include "index/embedding_store.h"
+#include "serving/service.h"
+
+namespace serenade {
+namespace {
+
+// Items 0..11 on the unit circle: item i at angle i * 30 degrees, so
+// nearest-by-cosine neighbours are the adjacent angles.
+ItemEmbeddings CircleEmbeddings() {
+  ItemEmbeddings embeddings;
+  embeddings.num_items = 12;
+  embeddings.dim = 2;
+  embeddings.values.resize(24);
+  for (size_t i = 0; i < 12; ++i) {
+    const double angle = static_cast<double>(i) * 3.14159265358979 / 6.0;
+    embeddings.values[i * 2] = static_cast<float>(std::cos(angle));
+    embeddings.values[i * 2 + 1] = static_cast<float>(std::sin(angle));
+  }
+  return embeddings;
+}
+
+TEST(AnnRecommenderTest, ReturnsAngularNeighborsExcludingSession) {
+  const ItemEmbeddings embeddings = CircleEmbeddings();
+  const HnswIndex index(&embeddings, HnswConfig{});
+  AnnConfig config;
+  AnnRecommender ann(&embeddings, &index, config);
+
+  const EvolvingSession session = {0};
+  const std::vector<ScoredItem> top = ann.RecommendNext(session, 2);
+  ASSERT_EQ(top.size(), 2u);
+  // Item 0 itself is excluded; its angular neighbours 1 and 11 tie on
+  // score and come back id-ascending.
+  EXPECT_EQ(top[0].item, 1u);
+  EXPECT_EQ(top[1].item, 11u);
+  EXPECT_GE(top[0].score, top[1].score);
+}
+
+TEST(AnnRecommenderTest, SessionWindowFoldsRecentClicks) {
+  const ItemEmbeddings embeddings = CircleEmbeddings();
+  const HnswIndex index(&embeddings, HnswConfig{});
+  AnnConfig config;
+  AnnRecommender ann(&embeddings, &index, config);
+
+  // A session drifting 3 -> 4 -> 5: the folded query leans toward the
+  // most recent click, so 6 (ahead of the drift) must rank above 2.
+  const std::vector<ScoredItem> top = ann.RecommendNext({3, 4, 5}, 4);
+  ASSERT_FALSE(top.empty());
+  size_t rank6 = top.size(), rank2 = top.size();
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (top[i].item == 6u) rank6 = i;
+    if (top[i].item == 2u) rank2 = i;
+  }
+  ASSERT_LT(rank6, top.size()) << "item 6 missing from the neighbourhood";
+  EXPECT_LT(rank6, rank2);
+}
+
+TEST(AnnRecommenderTest, UnknownItemsYieldEmptyResult) {
+  const ItemEmbeddings embeddings = CircleEmbeddings();
+  const HnswIndex index(&embeddings, HnswConfig{});
+  AnnConfig config;
+  AnnRecommender ann(&embeddings, &index, config);
+  EXPECT_TRUE(ann.RecommendNext({}, 5).empty());
+  EXPECT_TRUE(ann.RecommendNext({999}, 5).empty());
+}
+
+TEST(AnnRecommenderTest, ExactNearestBreaksTiesByItemId) {
+  const ItemEmbeddings embeddings = CircleEmbeddings();
+  // Query exactly between items 2 and 3: equal scores, id order decides.
+  float query[2];
+  const double angle = 2.5 * 3.14159265358979 / 6.0;
+  query[0] = static_cast<float>(std::cos(angle));
+  query[1] = static_cast<float>(std::sin(angle));
+  const std::vector<ScoredItem> exact = ExactNearest(embeddings, query, 2);
+  ASSERT_EQ(exact.size(), 2u);
+  EXPECT_EQ(exact[0].item, 2u);
+  EXPECT_EQ(exact[1].item, 3u);
+}
+
+TEST(EngineKindTest, ParsesAndNames) {
+  EXPECT_EQ(ParseEngineKind(""), EngineKind::kDefault);
+  EXPECT_EQ(ParseEngineKind("vmis"), EngineKind::kVmis);
+  EXPECT_EQ(ParseEngineKind("ann"), EngineKind::kAnn);
+  EXPECT_FALSE(ParseEngineKind("hnsw").has_value());
+  EXPECT_STREQ(EngineName(EngineKind::kDefault), "vmis");
+  EXPECT_STREQ(EngineName(EngineKind::kVmis), "vmis");
+  EXPECT_STREQ(EngineName(EngineKind::kAnn), "ann");
+}
+
+class AnnServiceTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SerenadeService> MakeService() {
+    SyntheticConfig synth;
+    synth.seed = 7;
+    synth.num_items = 50;
+    synth.num_sessions = 300;
+    train_ = GenerateDataset(synth);
+    auto index = std::make_shared<const SessionIndex>(
+        SessionIndex::Build(train_, 100));
+    ItemCatalog catalog;
+    catalog.available.assign(train_.num_items(), true);
+    catalog.adult.assign(train_.num_items(), false);
+    ServiceConfig config;
+    config.knn.m = std::min<size_t>(100, index->max_sessions_per_item());
+    config.knn.k = std::min<size_t>(50, config.knn.m);
+    config.rules.filter_unavailable = false;
+    config.rules.filter_adult = false;
+    auto service = SerenadeService::Create(index, catalog, config);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service).value();
+  }
+
+  std::shared_ptr<EmbeddingManager> MakeEmbeddings() {
+    ItemEmbeddings embeddings;
+    embeddings.num_items = train_.num_items();
+    embeddings.dim = 8;
+    embeddings.values.resize(embeddings.num_items * embeddings.dim);
+    for (size_t i = 0; i < embeddings.values.size(); ++i) {
+      embeddings.values[i] = 0.1f * static_cast<float>((i * 13) % 17) - 0.5f;
+    }
+    NormalizeRows(&embeddings);
+    auto manager = EmbeddingManager::CreateFromEmbeddings(embeddings);
+    EXPECT_TRUE(manager.ok()) << manager.status().ToString();
+    return std::move(manager).value();
+  }
+
+  Dataset train_;
+};
+
+TEST_F(AnnServiceTest, AnnWithoutEmbeddingsDegradesToVmisAndCounts) {
+  auto service = MakeService();
+  ASSERT_FALSE(service->ann_available());
+
+  RecommendRequest request;
+  request.session_key = "s1";
+  request.item = 3;
+  request.engine = EngineKind::kAnn;
+  auto result = service->HandleUpdateAndRecommend(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString()
+                           << " (a dead ANN arm must never fail a request)";
+  EXPECT_EQ(service->ann_requests_total(), 1u);
+  EXPECT_EQ(service->ann_fallbacks_total(), 1u);
+
+  // Reloading embeddings on a pod with no manager is an error the admin
+  // surface reports — but never a crash.
+  EXPECT_FALSE(service->ReloadEmbeddings().ok());
+}
+
+TEST_F(AnnServiceTest, AnnEngineServesFromAttachedEmbeddings) {
+  auto service = MakeService();
+  service->AttachEmbeddings(MakeEmbeddings());
+  ASSERT_TRUE(service->ann_available());
+
+  RecommendRequest request;
+  request.session_key = "s2";
+  request.item = 5;
+  request.engine = EngineKind::kAnn;
+  auto result = service->HandleUpdateAndRecommend(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->empty());
+  for (const ScoredItem& scored : *result) {
+    EXPECT_NE(scored.item, 5u) << "session items must be excluded";
+  }
+  EXPECT_EQ(service->ann_requests_total(), 1u);
+  EXPECT_EQ(service->ann_fallbacks_total(), 0u);
+
+  // The default engine still serves VMIS and doesn't touch ANN counters.
+  RecommendRequest vmis_request;
+  vmis_request.session_key = "s3";
+  vmis_request.item = 5;
+  ASSERT_TRUE(service->HandleUpdateAndRecommend(vmis_request).ok());
+  EXPECT_EQ(service->ann_requests_total(), 1u);
+}
+
+TEST_F(AnnServiceTest, BatchMixesEnginesPerSlot) {
+  auto service = MakeService();
+  service->AttachEmbeddings(MakeEmbeddings());
+
+  std::vector<RecommendRequest> requests(4);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].session_key = "b" + std::to_string(i);
+    requests[i].item = static_cast<ItemId>(2 + i);
+    requests[i].engine = (i % 2 == 0) ? EngineKind::kAnn : EngineKind::kVmis;
+  }
+  const auto results = service->HandleUpdateAndRecommendBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << "slot " << i << ": "
+                                 << results[i].status().ToString();
+  }
+  EXPECT_EQ(service->ann_requests_total(), 2u);
+  EXPECT_EQ(service->ann_fallbacks_total(), 0u);
+}
+
+}  // namespace
+}  // namespace serenade

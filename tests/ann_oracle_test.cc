@@ -1,0 +1,98 @@
+// The ANN-vs-exact differential oracle (testing/ann_oracle.h) holding the
+// recall@20 >= 0.95 gate under a pinned seed, plus the harness's own
+// honesty checks: the mutation self-check must flag a sabotaged ANN arm,
+// a deliberately crippled graph must violate and shrink to a smaller
+// still-failing reproducer, and the fuzz driver must replay
+// deterministically from (spec, seed).
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/ann_oracle.h"
+
+namespace serenade {
+namespace {
+
+constexpr uint64_t kPinnedSeed = 20260806;
+
+TEST(AnnOracleTest, PinnedSeedSweepHoldsTheRecallGate) {
+  AnnOracleSpec spec;  // recall@20 >= 0.95 with default HNSW parameters
+  AnnFuzzStats stats;
+  const std::optional<std::string> violation =
+      RunAnnFuzz(spec, kPinnedSeed, /*num_cases=*/25, &stats);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+  EXPECT_EQ(stats.cases, 25u);
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_GT(stats.items, 0u);
+}
+
+TEST(AnnOracleTest, MutationSelfCheckProvesTheHarnessCanFail) {
+  // A recall gate that can never fire would pass silently forever; the
+  // sabotaged arm (half the ANN answer discarded) must be flagged.
+  AnnOracleSpec spec;
+  Rng rng(kPinnedSeed);
+  const AnnCase c = GenerateAnnCase(spec, &rng);
+  ASSERT_FALSE(CheckAnnCase(c, spec.min_recall).has_value())
+      << "the unmutated case must hold, or the self-check proves nothing";
+  const auto violation = CheckAnnCase(c, spec.min_recall, /*mutate=*/true);
+  ASSERT_TRUE(violation.has_value())
+      << "discarding half the ANN results must break the recall gate";
+  EXPECT_LT(violation->mean_recall, spec.min_recall);
+}
+
+TEST(AnnOracleTest, CrippledGraphViolatesAndShrinks) {
+  // ef_search=1 with minimal connectivity cannot hold 0.95 recall on a
+  // clustered corpus; the shrunk reproducer must still violate and be no
+  // larger than the original.
+  AnnOracleSpec spec;
+  spec.hnsw.M = 2;
+  spec.hnsw.ef_construction = 4;
+  spec.hnsw.ef_search = 1;
+
+  std::optional<AnnViolation> violation;
+  AnnCase failing;
+  for (uint64_t seed = kPinnedSeed; seed < kPinnedSeed + 16; ++seed) {
+    Rng rng(seed);
+    AnnCase c = GenerateAnnCase(spec, &rng);
+    violation = CheckAnnCase(c, spec.min_recall);
+    if (violation.has_value()) {
+      failing = c;
+      break;
+    }
+  }
+  ASSERT_TRUE(violation.has_value())
+      << "a crippled graph held 0.95 recall across 16 seeds — the gate "
+         "is not actually measuring the approximate arm";
+
+  const AnnCase shrunk = ShrinkAnnCase(failing, spec.min_recall);
+  EXPECT_TRUE(CheckAnnCase(shrunk, spec.min_recall).has_value())
+      << "shrinking must preserve the violation";
+  EXPECT_LE(shrunk.queries.size(), failing.queries.size());
+  EXPECT_LE(shrunk.embeddings.num_items, failing.embeddings.num_items);
+
+  const std::string report =
+      FormatAnnReproducer(shrunk, kPinnedSeed,
+                          *CheckAnnCase(shrunk, spec.min_recall));
+  EXPECT_NE(report.find("seed="), std::string::npos);
+  EXPECT_NE(report.find("mean_recall="), std::string::npos);
+}
+
+TEST(AnnOracleTest, GenerationIsDeterministicPerSeed) {
+  AnnOracleSpec spec;
+  Rng rng_a(kPinnedSeed);
+  Rng rng_b(kPinnedSeed);
+  const AnnCase a = GenerateAnnCase(spec, &rng_a);
+  const AnnCase b = GenerateAnnCase(spec, &rng_b);
+  EXPECT_TRUE(a.embeddings == b.embeddings);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.hnsw.seed, b.hnsw.seed);
+
+  Rng rng_c(kPinnedSeed + 1);
+  const AnnCase c = GenerateAnnCase(spec, &rng_c);
+  EXPECT_FALSE(a.embeddings == c.embeddings);
+}
+
+}  // namespace
+}  // namespace serenade

@@ -1,0 +1,235 @@
+// Embedding artifact codec torture (index/embedding_format.h) — the ANN
+// retrieval family's deployable gets the same treatment as the index and
+// delta codecs. Pinned invariants:
+//   * serialization is deterministic and round-trips losslessly,
+//   * any truncation and trailing garbage are rejected as corruption,
+//   * bit flips are caught by section CRCs (or decode to the identical
+//     artifact when they land in redundant framing bytes — never to a
+//     *different* accepted artifact),
+//   * structurally invalid vectors (zero dim, count mismatch, non-finite
+//     values) never load,
+//   * WriteEmbeddingsWithManifest stamps a kind="embedding" sidecar whose
+//     CRC matches the artifact bytes,
+//   * a failed EmbeddingManager reload (truncated read via the
+//     load_embedding_truncate fault site) leaves the published snapshot
+//     untouched and counts into reload_failures_total.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "index/embedding_format.h"
+#include "index/embedding_store.h"
+#include "index/snapshot.h"
+#include "testing/fault_injection.h"
+
+namespace serenade {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+ItemEmbeddings SmallEmbeddings(size_t num_items = 12, size_t dim = 4) {
+  ItemEmbeddings embeddings;
+  embeddings.num_items = num_items;
+  embeddings.dim = dim;
+  embeddings.values.resize(num_items * dim);
+  for (size_t i = 0; i < num_items; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      embeddings.values[i * dim + d] =
+          0.25f * static_cast<float>((i * 7 + d * 3) % 9) - 1.0f;
+    }
+  }
+  NormalizeRows(&embeddings);
+  return embeddings;
+}
+
+TEST(EmbeddingCodecTest, RoundTripsLosslesslyAndDeterministically) {
+  const ItemEmbeddings embeddings = SmallEmbeddings();
+  const std::string bytes = SerializeEmbeddings(embeddings);
+  EXPECT_EQ(bytes, SerializeEmbeddings(embeddings))
+      << "serialization must be stable";
+
+  auto decoded = DeserializeEmbeddings(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_items, embeddings.num_items);
+  EXPECT_EQ(decoded->dim, embeddings.dim);
+  EXPECT_TRUE(*decoded == embeddings);
+  EXPECT_EQ(SerializeEmbeddings(*decoded), bytes);
+}
+
+TEST(EmbeddingCodecTest, EveryTruncationIsRejected) {
+  const std::string bytes = SerializeEmbeddings(SmallEmbeddings());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DeserializeEmbeddings(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes accepted";
+  }
+  // Trailing garbage is corruption too, not silently ignored.
+  EXPECT_FALSE(DeserializeEmbeddings(bytes + "x").ok());
+}
+
+TEST(EmbeddingCodecTest, BitFlipsAreCaughtBySectionCrcs) {
+  const std::string clean = SerializeEmbeddings(SmallEmbeddings());
+  // Flip one bit in every byte past the magic; each flip must either be
+  // rejected or decode back to the identical artifact — never to a
+  // *different* accepted one.
+  for (size_t pos = 8; pos < clean.size(); ++pos) {
+    std::string bytes = clean;
+    bytes[pos] ^= 0x01;
+    auto decoded = DeserializeEmbeddings(bytes);
+    if (decoded.ok()) {
+      EXPECT_EQ(SerializeEmbeddings(*decoded), clean)
+          << "flip at byte " << pos << " decoded to a different artifact";
+    }
+  }
+}
+
+TEST(EmbeddingCodecTest, WrongMagicAndVersionAreRejected) {
+  const std::string clean = SerializeEmbeddings(SmallEmbeddings());
+  std::string wrong_magic = clean;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeEmbeddings(wrong_magic).ok());
+  std::string wrong_version = clean;
+  wrong_version[8] = 9;  // u32 version little-endian low byte
+  EXPECT_FALSE(DeserializeEmbeddings(wrong_version).ok());
+}
+
+TEST(EmbeddingCodecTest, StructurallyInvalidVectorsNeverLoad) {
+  // Non-finite payloads carry valid CRCs (the codec frames whatever it
+  // is given) — the structural validator must refuse them at load.
+  ItemEmbeddings nan_embeddings = SmallEmbeddings();
+  nan_embeddings.values[5] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(DeserializeEmbeddings(SerializeEmbeddings(nan_embeddings)).ok());
+
+  ItemEmbeddings inf_embeddings = SmallEmbeddings();
+  inf_embeddings.values[0] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(DeserializeEmbeddings(SerializeEmbeddings(inf_embeddings)).ok());
+
+  // The validator itself rejects the structural lies the serializer
+  // cannot produce (a hand-rolled artifact could).
+  ItemEmbeddings zero_dim;
+  zero_dim.num_items = 3;
+  zero_dim.dim = 0;
+  EXPECT_FALSE(ValidateEmbeddings(zero_dim).ok());
+
+  ItemEmbeddings count_mismatch = SmallEmbeddings();
+  count_mismatch.values.pop_back();
+  EXPECT_FALSE(ValidateEmbeddings(count_mismatch).ok());
+}
+
+TEST(EmbeddingCodecTest, DifferentArtifactsGetDifferentManifestCrcs) {
+  // Regression pin: a raw per-section CRC stored right after its payload
+  // makes the *whole-file* CRC a constant of the framing (the CRC
+  // residue property — linear over GF(2)), so every same-shaped artifact
+  // would collide in the manifest's index_crc32 and rebuild-determinism
+  // checks would pass vacuously. The codec masks section CRCs to break
+  // that; two different artifacts must get different manifest CRCs.
+  ItemEmbeddings a = SmallEmbeddings(16, 8);
+  ItemEmbeddings b = a;
+  b.values[3] += 0.25f;
+  NormalizeRows(&b);
+  ASSERT_FALSE(a == b);
+
+  IndexManifest stamp;
+  auto manifest_a =
+      WriteEmbeddingsWithManifest(TempPath("crc-a.emb"), a, stamp);
+  auto manifest_b =
+      WriteEmbeddingsWithManifest(TempPath("crc-b.emb"), b, stamp);
+  ASSERT_TRUE(manifest_a.ok() && manifest_b.ok());
+  EXPECT_EQ(manifest_a->index_bytes, manifest_b->index_bytes)
+      << "same shape must frame to the same size for this pin to bite";
+  EXPECT_NE(manifest_a->index_crc32, manifest_b->index_crc32);
+}
+
+TEST(EmbeddingCodecTest, ManifestSidecarStampsEmbeddingProvenance) {
+  const ItemEmbeddings embeddings = SmallEmbeddings(20, 8);
+  const std::string path = TempPath("codec-manifest.emb");
+
+  IndexManifest stamp;
+  stamp.version = 4;
+  stamp.build_id = "codec-test";
+  stamp.source = "unit";
+  stamp.built_unix = 1700000000;
+  auto written = WriteEmbeddingsWithManifest(path, embeddings, stamp);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written->kind, "embedding");
+  EXPECT_EQ(written->version, 4u);
+  EXPECT_EQ(written->num_items, embeddings.num_items);
+  EXPECT_EQ(written->embedding_dim, embeddings.dim);
+
+  auto sidecar = ReadManifestFile(ManifestPathFor(path));
+  ASSERT_TRUE(sidecar.ok()) << sidecar.status().ToString();
+  EXPECT_EQ(sidecar->kind, "embedding");
+  EXPECT_EQ(sidecar->index_crc32, written->index_crc32);
+  EXPECT_EQ(sidecar->embedding_dim, embeddings.dim);
+
+  auto loaded = ReadEmbeddingsFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == embeddings);
+}
+
+TEST(EmbeddingCodecTest, ManagerRejectsArtifactManifestMismatch) {
+  const ItemEmbeddings embeddings = SmallEmbeddings();
+  const std::string path = TempPath("codec-mismatch.emb");
+  IndexManifest stamp;
+  stamp.version = 2;
+  auto written = WriteEmbeddingsWithManifest(path, embeddings, stamp);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+
+  // Corrupt the artifact under the sidecar's feet: the CRC check at boot
+  // must refuse to publish it.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::in);
+    out.seekp(16);
+    out.put('\x7f');
+  }
+  EXPECT_FALSE(EmbeddingManager::CreateFromFile(path).ok());
+}
+
+TEST(EmbeddingCodecTest, FailedReloadKeepsCurrentSnapshotAndCounts) {
+  const ItemEmbeddings embeddings = SmallEmbeddings(24, 8);
+  const std::string path = TempPath("codec-reload.emb");
+  IndexManifest stamp;
+  stamp.version = 1;
+  ASSERT_TRUE(WriteEmbeddingsWithManifest(path, embeddings, stamp).ok());
+
+  auto manager = EmbeddingManager::CreateFromFile(path);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  const auto before = (*manager)->Current();
+  ASSERT_NE(before, nullptr);
+
+  // Every reload read is truncated to a random prefix: each must fail
+  // cleanly (length/CRC checks), leave the published snapshot pinned, and
+  // count into reload_failures_total.
+  {
+    ScopedFaultInjector faults(20260807);
+    faults->Arm(FaultSite::kEmbeddingLoadTruncate, 1.0);
+    auto pinned = before;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const Status reloaded = (*manager)->ReloadFromFile(path);
+      // RandBelow(size + 1) may occasionally keep the full artifact; a
+      // full read legitimately succeeds, every shorter prefix must not.
+      if (!reloaded.ok()) {
+        EXPECT_EQ((*manager)->Current().get(), pinned.get())
+            << "failed reload must not disturb the published snapshot";
+      } else {
+        pinned = (*manager)->Current();
+      }
+    }
+    EXPECT_GT((*manager)->reload_failures_total(), 0u);
+  }
+
+  // Disarmed, the same path loads fine and bumps the version.
+  const uint64_t version_before = (*manager)->current_version();
+  ASSERT_TRUE((*manager)->ReloadFromFile(path).ok());
+  EXPECT_GT((*manager)->current_version(), version_before);
+  EXPECT_TRUE((*manager)->Current()->embeddings() == embeddings);
+}
+
+}  // namespace
+}  // namespace serenade

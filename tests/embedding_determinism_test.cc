@@ -1,0 +1,141 @@
+// Training determinism for the second retrieval family (mirrors
+// index_determinism_test): nightly embedding rollouts trust that the same
+// (clicks, seed) reproduce the same artifact, or CRC validation and
+// cross-pod artifact comparison mean nothing. Pinned at three levels:
+//   * item2vec training is byte-identical across thread counts (the
+//     frozen-batch SGD scheme in baselines/item2vec.h),
+//   * repeated WriteEmbeddingsWithManifest runs with pinned provenance
+//     yield byte-identical files and equal manifest CRCs,
+//   * the HNSW graph rebuilt from the same vectors and seed has the same
+//     digest — the serving-side half of artifact reproducibility.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/item2vec.h"
+#include "core/embedding.h"
+#include "core/hnsw.h"
+#include "data/synthetic.h"
+#include "index/embedding_format.h"
+#include "index/snapshot.h"
+
+namespace serenade {
+namespace {
+
+Dataset TrainingSet() {
+  SyntheticConfig config;
+  config.seed = 1234;
+  config.num_items = 200;
+  config.num_sessions = 800;
+  return GenerateDataset(config);
+}
+
+Item2VecConfig SmallTrainer(size_t num_threads) {
+  Item2VecConfig config;
+  config.dim = 16;
+  config.epochs = 2;
+  config.seed = 99;
+  config.num_threads = num_threads;
+  return config;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(EmbeddingDeterminismTest, TrainingIsByteIdenticalAcrossThreadCounts) {
+  const Dataset train = TrainingSet();
+  double reference_loss = 0.0;
+  auto reference = TrainItemEmbeddings(train, SmallTrainer(1),
+                                       &reference_loss);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string reference_bytes = SerializeEmbeddings(*reference);
+  ASSERT_FALSE(reference_bytes.empty());
+
+  for (size_t threads : {2, 4}) {
+    double loss = 0.0;
+    auto parallel = TrainItemEmbeddings(train, SmallTrainer(threads), &loss);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(SerializeEmbeddings(*parallel), reference_bytes)
+        << "num_threads=" << threads
+        << " diverged from the single-threaded reference";
+    EXPECT_EQ(loss, reference_loss)
+        << "even the training loss must be thread-count independent";
+  }
+}
+
+TEST(EmbeddingDeterminismTest, SameSeedSameBytesDifferentSeedDifferent) {
+  const Dataset train = TrainingSet();
+  auto first = TrainItemEmbeddings(train, SmallTrainer(2));
+  auto second = TrainItemEmbeddings(train, SmallTrainer(2));
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(SerializeEmbeddings(*first), SerializeEmbeddings(*second));
+
+  Item2VecConfig other_seed = SmallTrainer(2);
+  other_seed.seed = 100;
+  auto third = TrainItemEmbeddings(train, other_seed);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(SerializeEmbeddings(*first), SerializeEmbeddings(*third))
+      << "a different seed must actually change the model";
+}
+
+TEST(EmbeddingDeterminismTest, RebuildWritesByteIdenticalArtifacts) {
+  const Dataset train = TrainingSet();
+  const std::string dir = testing::TempDir() + "/embedding-determinism";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Provenance pinned: rollout metadata, not a function of the data.
+  IndexManifest stamp;
+  stamp.version = 3;
+  stamp.build_id = "determinism-check";
+  stamp.source = "synthetic-1234";
+  stamp.built_unix = 1700000000;
+
+  std::string paths[2];
+  IndexManifest manifests[2];
+  for (int run = 0; run < 2; ++run) {
+    paths[run] = dir + "/run" + std::to_string(run) + ".emb";
+    auto trained = TrainItemEmbeddings(train, SmallTrainer(run + 1));
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    auto manifest = WriteEmbeddingsWithManifest(paths[run], *trained, stamp);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    manifests[run] = *manifest;
+  }
+
+  EXPECT_EQ(ReadFileBytes(paths[0]), ReadFileBytes(paths[1]))
+      << "rebuild produced a different artifact";
+  EXPECT_EQ(manifests[0].index_crc32, manifests[1].index_crc32);
+  EXPECT_EQ(manifests[0].index_bytes, manifests[1].index_bytes);
+  EXPECT_EQ(ReadFileBytes(ManifestPathFor(paths[0])),
+            ReadFileBytes(ManifestPathFor(paths[1])))
+      << "manifest sidecars diverged";
+}
+
+TEST(EmbeddingDeterminismTest, HnswRebuildHasStableDigest) {
+  const Dataset train = TrainingSet();
+  auto trained = TrainItemEmbeddings(train, SmallTrainer(2));
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+
+  HnswConfig hnsw;
+  hnsw.seed = 20260806;
+  const HnswIndex first(&*trained, hnsw);
+  const HnswIndex second(&*trained, hnsw);
+  EXPECT_EQ(first.GraphDigest(), second.GraphDigest())
+      << "same vectors + same seed must rebuild the same graph";
+
+  HnswConfig other = hnsw;
+  other.seed = 1;
+  const HnswIndex reseeded(&*trained, other);
+  EXPECT_NE(first.GraphDigest(), reseeded.GraphDigest())
+      << "the level draw must actually depend on the seed";
+}
+
+}  // namespace
+}  // namespace serenade

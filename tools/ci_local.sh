@@ -70,6 +70,8 @@ bench_smoke() {
       "$dir/bench/complexity_validation_bench" &&
     SERENADE_BENCH_JSON="$dir/bench-results/rebalance_bench.json" \
       "$dir/bench/rebalance_bench" &&
+    SERENADE_BENCH_JSON="$dir/bench-results/ann_retrieval_bench.json" \
+      "$dir/bench/ann_retrieval_bench" &&
     ulimit -n "$(ulimit -Hn)" &&
     SERENADE_BENCH_JSON="$dir/bench-results/fig3b_load_test.json" \
       SERENADE_BENCH_CONNECTIONS=10000 \
@@ -87,7 +89,7 @@ fuzz_smoke() {
   local dir="$1" seconds="$2"
   cmake --build "$dir" -j "$JOBS" --target serenade_fuzz &&
     SERENADE_FUZZ_SECONDS="$seconds" \
-      "$dir/tools/serenade_fuzz" --seed 20260806
+      "$dir/tools/serenade_fuzz" --family both --seed 20260806
 }
 
 if [ "$QUICK" -eq 1 ]; then

@@ -18,6 +18,7 @@
 //       [--max-connections 10000] [--idle-timeout-ms 60000]
 //       [--request-deadline-ms 0] [--reactor-threads 1]
 //       [--worker-threads 0] [--manage-replication]
+//       [--ab-ann-percent 0] [--ab-salt 0]
 //
 // Serves the versioned /v1 API (see API.md): GET/POST /v1/recommend
 // (forwarded by session_id), POST /v1/recommend:batch (scatter-gathered
@@ -163,6 +164,12 @@ int main(int argc, char** argv) {
   // Elastic fleet data plane (DESIGN.md §12): membership changes run
   // hand-offs / promotion on the pods and rewire their shipping peers.
   config.manage_replication = flags.GetBool("manage-replication", false);
+  // Retrieval A/B split (DESIGN.md §13): this share of sessions is
+  // sticky-bucketed onto engine=ann (the pods need --embeddings, or the
+  // arm degrades to VMIS and counts into gateway_ab_fallbacks_total).
+  config.ab_ann_percent =
+      static_cast<uint32_t>(std::min<uint64_t>(100, flags.GetInt("ab-ann-percent", 0)));
+  config.ab_salt = flags.GetInt("ab-salt", 0);
 
   std::unique_ptr<Recommender> fallback;
   if (!flags.GetBool("no-fallback", false)) {

@@ -10,6 +10,13 @@
 //       [--request-deadline-ms 0] [--reactor-threads 1]
 //       [--worker-threads 0]
 //       [--pod-name NAME] [--virtual-nodes 128] [--ship-interval-ms 20]
+//       [--embeddings items.emb]
+//
+// --embeddings loads the item2vec artifact from
+// serenade_train_embeddings and turns on the second retrieval family
+// (DESIGN.md §13): requests carrying engine=ann (query param, JSON
+// field, or a gateway A/B bucket) serve HNSW neighbours of the folded
+// session vector, hot-swappable via POST /v1/admin/embeddings/reload.
 //
 // --pod-name joins the elastic fleet data plane (DESIGN.md §12): the pod
 // attaches the replication agent (WAL shipping to its ring successor,
@@ -53,6 +60,7 @@
 #include "flags.h"
 #include "freshness/click_tap.h"
 #include "freshness/delta_fetcher.h"
+#include "index/embedding_store.h"
 #include "index/snapshot.h"
 #include "replication/pod_replication.h"
 #include "serving/server.h"
@@ -113,6 +121,24 @@ int main(int argc, char** argv) {
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
     return 1;
+  }
+
+  // Optional second retrieval family (DESIGN.md §13): the item2vec
+  // artifact from serenade_train_embeddings, served as `engine=ann` and
+  // hot-swappable via POST /v1/admin/embeddings/reload.
+  const std::string embeddings_path = flags.GetString("embeddings");
+  if (!embeddings_path.empty()) {
+    auto embedding_manager = EmbeddingManager::CreateFromFile(embeddings_path);
+    if (!embedding_manager.ok()) {
+      std::fprintf(stderr, "failed to load embeddings: %s\n",
+                   embedding_manager.status().ToString().c_str());
+      return 1;
+    }
+    const auto snapshot = (*embedding_manager)->Current();
+    std::printf("loaded embeddings version %llu: %zu items x %zu dims\n",
+                static_cast<unsigned long long>(snapshot->version()),
+                snapshot->embeddings().num_items, snapshot->embeddings().dim);
+    (*service)->AttachEmbeddings(std::move(embedding_manager).value());
   }
 
   ServerConfig server_config;
